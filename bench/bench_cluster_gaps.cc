@@ -1,0 +1,66 @@
+// Inter-cluster distance study — the paper's conclusion explicitly defers
+// this: "There are other aspects of clustering that we have not analyzed
+// here, for example, the distance between different clusters of the same
+// query region, which tends to be important in fetching data from the
+// disk."
+//
+// For random cubes of several sizes, reports per curve: clusters (seeks),
+// the mean and max key gap BETWEEN consecutive clusters, and the total key
+// span of the query. Headline: the onion curve needs far fewer clusters on
+// large cubes, but its clusters are spread across layers, so the gaps
+// between them are wider than the Hilbert curve's — quantifying the
+// trade-off the paper leaves open.
+//
+//   build/bench/bench_cluster_gaps [--side=256] [--queries=100]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/locality.h"
+#include "common/cli.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  const CommandLine cli(argc, argv);
+  const auto side = static_cast<Coord>(cli.GetInt("side", 256));
+  const auto num_queries = static_cast<size_t>(cli.GetInt("queries", 100));
+  const Universe universe(2, side);
+
+  std::printf("=== inter-cluster gaps (paper's future-work metric), side %u "
+              "===\n\n",
+              side);
+  for (const Coord len :
+       {side / 8, side / 2, static_cast<Coord>(side - side / 8)}) {
+    const auto queries = RandomCubes(universe, len, num_queries, 55);
+    std::printf("--- cube side %u (volume %llu) ---\n", len,
+                static_cast<unsigned long long>(
+                    static_cast<uint64_t>(len) * len));
+    std::printf("%-10s %12s %14s %14s %16s\n", "curve", "avg clusters",
+                "avg mean gap", "avg max gap", "avg span");
+    for (const std::string name : {"onion", "hilbert", "snake"}) {
+      auto curve = MakeCurve(name, universe).value();
+      double clusters = 0;
+      double mean_gap = 0;
+      double max_gap = 0;
+      double span = 0;
+      for (const Box& query : queries) {
+        const ClusterGapStats stats = ComputeClusterGaps(*curve, query);
+        clusters += static_cast<double>(stats.clusters);
+        mean_gap += stats.MeanGap();
+        max_gap += static_cast<double>(stats.max_gap);
+        span += static_cast<double>(stats.span);
+      }
+      const auto q = static_cast<double>(queries.size());
+      std::printf("%-10s %12.1f %14.1f %14.1f %16.1f\n", name.c_str(),
+                  clusters / q, mean_gap / q, max_gap / q, span / q);
+    }
+    std::printf("\n");
+  }
+  std::printf("(onion: fewest clusters but widest gaps between them; "
+              "whether that\n matters depends on the seek cost model — see "
+              "bench_io_sim.)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks: IndexOf / CellAt throughput for every
+// curve, clustering evaluation, and range decomposition. These quantify the
+// "index arithmetic" cost that an SFC-backed storage engine pays per
+// record and per query.
+//
+//   build/bench/bench_curve_ops [--benchmark_filter=...]
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/clustering.h"
+#include "common/rng.h"
+#include "index/decompose.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace onion;
+
+std::unique_ptr<SpaceFillingCurve> Curve(const std::string& name, int dims,
+                                         Coord side) {
+  return MakeCurve(name, Universe(dims, side)).value();
+}
+
+void BM_IndexOf(benchmark::State& state, const std::string& name, int dims,
+                Coord side) {
+  auto curve = Curve(name, dims, side);
+  const auto points = RandomPoints(curve->universe(), 1024, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->IndexOf(points[i]));
+    i = (i + 1) & 1023;
+  }
+}
+
+void BM_CellAt(benchmark::State& state, const std::string& name, int dims,
+               Coord side) {
+  auto curve = Curve(name, dims, side);
+  Rng rng(7);
+  std::vector<Key> keys(1024);
+  for (auto& key : keys) key = rng.UniformInclusive(curve->num_cells() - 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve->CellAt(keys[i]));
+    i = (i + 1) & 1023;
+  }
+}
+
+void BM_Clustering(benchmark::State& state, const std::string& name,
+                   int dims, Coord side, Coord len) {
+  auto curve = Curve(name, dims, side);
+  const ClusteringEvaluator evaluator(curve.get());
+  const auto queries = RandomCubes(curve->universe(), len, 64, 11);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Clustering(queries[i]));
+    i = (i + 1) & 63;
+  }
+}
+
+void BM_Decompose(benchmark::State& state, const std::string& name,
+                  int dims, Coord side, Coord len) {
+  auto curve = Curve(name, dims, side);
+  const auto queries = RandomCubes(curve->universe(), len, 64, 13);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecomposeBox(*curve, queries[i]));
+    i = (i + 1) & 63;
+  }
+}
+
+void RegisterAll() {
+  const std::vector<std::string> names = {
+      "onion", "hilbert", "hilbert_nd", "zorder", "graycode", "snake"};
+  for (const std::string& name : names) {
+    benchmark::RegisterBenchmark(("IndexOf/2d1024/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_IndexOf(s, name, 2, 1024);
+                                 });
+    benchmark::RegisterBenchmark(("CellAt/2d1024/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_CellAt(s, name, 2, 1024);
+                                 });
+    benchmark::RegisterBenchmark(("IndexOf/3d64/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_IndexOf(s, name, 3, 64);
+                                 });
+    benchmark::RegisterBenchmark(("CellAt/3d64/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_CellAt(s, name, 3, 64);
+                                 });
+  }
+  for (const std::string name : {"onion", "hilbert"}) {
+    benchmark::RegisterBenchmark(("Clustering/2d1024l128/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Clustering(s, name, 2, 1024, 128);
+                                 });
+    benchmark::RegisterBenchmark(("Clustering/2d1024l896/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Clustering(s, name, 2, 1024, 896);
+                                 });
+  }
+  for (const std::string name : {"onion", "hilbert", "zorder"}) {
+    benchmark::RegisterBenchmark(("Decompose/2d256l64/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Decompose(s, name, 2, 256, 64);
+                                 });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

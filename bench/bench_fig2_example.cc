@@ -1,0 +1,66 @@
+// Figure 2 (paper Sec. I): the average clustering number of the Hilbert
+// curve over ALL 7x7 squares on the 8x8 universe is much higher than the
+// onion curve's, and there is a placement where the onion curve needs a
+// single cluster while the Hilbert curve needs five. Also sweeps the
+// analogous near-full square on larger universes, where the gap grows like
+// sqrt(n) (Lemma 5).
+//
+//   build/bench/bench_fig2_example
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/clustering.h"
+#include "sfc/registry.h"
+
+int main() {
+  using namespace onion;
+
+  std::printf("=== Figure 2: 7x7 queries on the 8x8 universe ===\n");
+  {
+    const Universe universe(2, 8);
+    auto onion = MakeCurve("onion", universe).value();
+    auto hilbert = MakeCurve("hilbert", universe).value();
+    double onion_total = 0;
+    double hilbert_total = 0;
+    uint64_t onion_best = ~0ull;
+    uint64_t hilbert_at_best = 0;
+    for (Coord x = 0; x <= 1; ++x) {
+      for (Coord y = 0; y <= 1; ++y) {
+        const Box q = Box::Cube(Cell(x, y), 7);
+        const uint64_t o = ClusteringNumber(*onion, q);
+        const uint64_t h = ClusteringNumber(*hilbert, q);
+        std::printf("  corner (%u,%u): onion %llu, hilbert %llu\n", x, y,
+                    static_cast<unsigned long long>(o),
+                    static_cast<unsigned long long>(h));
+        onion_total += static_cast<double>(o);
+        hilbert_total += static_cast<double>(h);
+        if (o < onion_best) {
+          onion_best = o;
+          hilbert_at_best = h;
+        }
+      }
+    }
+    std::printf("  average: onion %.2f, hilbert %.2f\n", onion_total / 4,
+                hilbert_total / 4);
+    std::printf("  best onion placement: onion %llu vs hilbert %llu "
+                "(paper: 1 vs 5)\n\n",
+                static_cast<unsigned long long>(onion_best),
+                static_cast<unsigned long long>(hilbert_at_best));
+  }
+
+  std::printf("=== Near-full squares (l = side - 1) as the universe grows "
+              "===\n");
+  std::printf("%8s %14s %14s %10s\n", "side", "onion c(Q)", "hilbert c(Q)",
+              "ratio");
+  for (const Coord side : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const Universe universe(2, side);
+    auto onion = MakeCurve("onion", universe).value();
+    auto hilbert = MakeCurve("hilbert", universe).value();
+    const Coord l = side - 1;
+    const double o = AverageClusteringExact(*onion, {l, l});
+    const double h = AverageClusteringExact(*hilbert, {l, l});
+    std::printf("%8u %14.2f %14.2f %10.1f\n", side, o, h, h / o);
+  }
+  return 0;
+}

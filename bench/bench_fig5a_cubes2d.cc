@@ -1,0 +1,54 @@
+// Figure 5a (paper Sec. VII-A): distribution of clustering numbers of the
+// onion and Hilbert curves over random 2D squares of varying side length.
+//
+// Paper parameters (defaults here): sqrt(n) = 2^10 = 1024; side lengths
+// l = 1024 - 50k for k in {1, 3, 5, ..., 19}; 1000 random squares per
+// length, lower-left corner uniform.
+//
+//   build/bench/bench_fig5a_cubes2d [--side=1024] [--queries=1000]
+//                                   [--csv]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  const CommandLine cli(argc, argv);
+  const auto side = static_cast<Coord>(cli.GetInt("side", 1024));
+  const auto num_queries = static_cast<size_t>(cli.GetInt("queries", 1000));
+  const bool csv = cli.GetBool("csv", false);
+
+  const Universe universe(2, side);
+  std::printf("=== Figure 5a: clustering of random squares, d=2, "
+              "sqrt(n)=%u, %zu queries/length ===\n",
+              side, num_queries);
+
+  std::vector<std::pair<std::string, std::unique_ptr<SpaceFillingCurve>>>
+      curves;
+  curves.emplace_back("onion", MakeCurve("onion", universe).value());
+  curves.emplace_back("hilbert", MakeCurve("hilbert", universe).value());
+
+  for (int k = 1; k <= 19; k += 2) {
+    // Scale the paper's step (50 at side 1024) with the side.
+    const auto step = static_cast<Coord>(50.0 * side / 1024.0);
+    const Coord len = side - step * static_cast<Coord>(k);
+    if (len == 0 || len > side) continue;
+    const auto queries =
+        RandomCubes(universe, len, num_queries, /*seed=*/1000 + k);
+    std::printf("square side %u:\n", len);
+    for (const auto& [name, curve] : curves) {
+      const ClusteringEvaluator evaluator(curve.get());
+      const BoxPlot box = Summarize(
+          bench::ClusteringSample(evaluator, queries));
+      bench::PrintRow(name, box);
+      if (csv) bench::PrintCsvRow("fig5a_l" + std::to_string(len), name, box);
+    }
+  }
+  return 0;
+}

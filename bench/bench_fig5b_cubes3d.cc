@@ -1,0 +1,57 @@
+// Figure 5b (paper Sec. VII-A): distribution of clustering numbers of the
+// onion and Hilbert curves over random 3D cubes of varying side length.
+//
+// Paper parameters: n^(1/3) = 2^9 = 512; cube sides
+// {472, 432, 192, 152, 112, 72, 32}; 500 random cubes per length.
+// Default here is side 128 with the cube sides scaled proportionally and
+// 150 queries, so the binary completes in seconds; run with
+// --side=512 --queries=500 for the full paper scale.
+//
+//   build/bench/bench_fig5b_cubes3d [--side=128] [--queries=150] [--csv]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  const CommandLine cli(argc, argv);
+  const auto side = static_cast<Coord>(cli.GetInt("side", 128));
+  const auto num_queries = static_cast<size_t>(cli.GetInt("queries", 150));
+  const bool csv = cli.GetBool("csv", false);
+
+  const Universe universe(3, side);
+  std::printf("=== Figure 5b: clustering of random cubes, d=3, "
+              "n^(1/3)=%u, %zu queries/length ===\n",
+              side, num_queries);
+
+  std::vector<std::pair<std::string, std::unique_ptr<SpaceFillingCurve>>>
+      curves;
+  curves.emplace_back("onion", MakeCurve("onion", universe).value());
+  curves.emplace_back("hilbert", MakeCurve("hilbert", universe).value());
+
+  // The paper's lengths at side 512, scaled proportionally to `side`.
+  const int paper_lengths[] = {472, 432, 192, 152, 112, 72, 32};
+  for (const int paper_len : paper_lengths) {
+    const auto len = static_cast<Coord>(
+        std::lround(static_cast<double>(paper_len) * side / 512.0));
+    if (len == 0 || len > side) continue;
+    const auto queries =
+        RandomCubes(universe, len, num_queries, /*seed=*/2000 + paper_len);
+    std::printf("cube side %u (paper %d):\n", len, paper_len);
+    for (const auto& [name, curve] : curves) {
+      const ClusteringEvaluator evaluator(curve.get());
+      const BoxPlot box = Summarize(
+          bench::ClusteringSample(evaluator, queries));
+      bench::PrintRow(name, box);
+      if (csv) bench::PrintCsvRow("fig5b_l" + std::to_string(len), name, box);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 7 (paper Sec. VII-C): clustering distributions over rectangles
+// with uniformly random corner points, in two and three dimensions.
+//
+//   build/bench/bench_fig7_random_rects [--side2d=1024] [--side3d=128]
+//                                       [--queries=500] [--csv]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace onion;
+
+void RunDimension(int dims, Coord side, size_t num_queries, bool csv) {
+  const Universe universe(dims, side);
+  std::printf("=== Figure 7%c: random-corner rectangles, d=%d, side=%u, "
+              "%zu queries ===\n",
+              dims == 2 ? 'a' : 'b', dims, side, num_queries);
+  const auto queries =
+      RandomCornerBoxes(universe, num_queries, /*seed=*/4000 + dims);
+  for (const std::string name : {"onion", "hilbert"}) {
+    auto curve = MakeCurve(name, universe).value();
+    const ClusteringEvaluator evaluator(curve.get());
+    const BoxPlot box = Summarize(bench::ClusteringSample(evaluator, queries));
+    bench::PrintRow(name, box);
+    if (csv) {
+      bench::PrintCsvRow("fig7_" + std::to_string(dims) + "d", name, box);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const auto side2d = static_cast<Coord>(cli.GetInt("side2d", 1024));
+  const auto side3d = static_cast<Coord>(cli.GetInt("side3d", 128));
+  const auto num_queries = static_cast<size_t>(cli.GetInt("queries", 500));
+  const bool csv = cli.GetBool("csv", false);
+  RunDimension(2, side2d, num_queries, csv);
+  RunDimension(3, side3d, num_queries, csv);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Lemma 5 (paper Sec. IV): with the gap L = side - l + 1 held constant, the
+// average clustering number of the Hilbert curve over cube queries grows as
+// Omega(sqrt(n)) in 2D and Omega(n^(2/3)) in 3D, while the onion curve
+// stays O(1) (Theorem 1 / Theorem 4: at most 2L/3 + 2).
+//
+// The bench doubles the universe side and reports the measured growth
+// factor per doubling (Lemma 5 predicts ~2x in 2D and ~4x in 3D).
+//
+//   build/bench/bench_hilbert_scaling [--gap=4] [--max_side2d=1024]
+//                                     [--max_side3d=128]
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/edge_stats.h"
+#include "common/cli.h"
+#include "sfc/registry.h"
+
+namespace {
+
+using namespace onion;
+
+void RunDimension(int dims, Coord gap, Coord max_side) {
+  std::printf("=== d = %d, fixed gap L = %u ===\n", dims, gap);
+  std::printf("%8s %14s %14s %16s %14s\n", "side", "onion c(Q)",
+              "hilbert c(Q)", "hilbert growth", "onion bound");
+  double prev_hilbert = 0;
+  for (Coord side = 16; side <= max_side; side *= 2) {
+    const Universe universe(dims, side);
+    auto onion = MakeCurve("onion", universe).value();
+    auto hilbert = MakeCurve("hilbert", universe).value();
+    const Coord l = side - gap + 1;
+    const std::vector<Coord> lengths(static_cast<size_t>(dims), l);
+    const double o = AverageClusteringViaLemma1(*onion, lengths);
+    const double h = AverageClusteringViaLemma1(*hilbert, lengths);
+    // Onion bound: 2L/3 + 2 in 2D (Sec. IV); (3/5)L^2 + (13/4)L in 3D.
+    const double bound = dims == 2
+                             ? 2.0 * gap / 3.0 + 2.0
+                             : 0.6 * gap * gap + 3.25 * gap;
+    char growth[32] = "-";
+    if (prev_hilbert > 0) {
+      std::snprintf(growth, sizeof(growth), "%.2fx", h / prev_hilbert);
+    }
+    std::printf("%8u %14.2f %14.2f %16s %14.2f\n", side, o, h, growth,
+                bound);
+    prev_hilbert = h;
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const auto gap = static_cast<Coord>(cli.GetInt("gap", 4));
+  RunDimension(2, gap, static_cast<Coord>(cli.GetInt("max_side2d", 1024)));
+  RunDimension(3, gap, static_cast<Coord>(cli.GetInt("max_side3d", 128)));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// End-to-end spatial index benchmark (systems extension of the paper's
+// Sec. I motivation): for each curve, build a B+-tree index over the same
+// random points and run identical cube-query workloads of increasing size,
+// reporting average seeks (= clustering number), scanned entries, and
+// modeled HDD latency.
+//
+//   build/bench/bench_index_seeks [--side=512] [--points=100000]
+//                                 [--queries=100]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "index/disk_model.h"
+#include "index/spatial_index.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  const CommandLine cli(argc, argv);
+  const auto side = static_cast<Coord>(cli.GetInt("side", 512));
+  const auto num_points = static_cast<size_t>(cli.GetInt("points", 100000));
+  const auto num_queries = static_cast<size_t>(cli.GetInt("queries", 100));
+
+  const Universe universe(2, side);
+  const auto points = RandomPoints(universe, num_points, 17);
+
+  std::printf("=== index seeks: %zu uniform points on %ux%u, %zu queries "
+              "per size ===\n\n",
+              points.size(), side, side, num_queries);
+
+  const std::vector<std::string> names = {"onion", "hilbert", "graycode",
+                                          "zorder", "snake"};
+  for (const Coord len :
+       {side / 16, side / 4, static_cast<Coord>(side / 2 + side / 4),
+        static_cast<Coord>(side - 8)}) {
+    const auto queries = RandomCubes(universe, len, num_queries, 23);
+    std::printf("--- query side %u ---\n", len);
+    std::printf("%-12s %12s %14s %14s\n", "curve", "avg seeks",
+                "avg scanned", "HDD ms/q");
+    for (const std::string& name : names) {
+      auto curve = MakeCurve(name, universe);
+      if (!curve.ok()) continue;
+      SpatialIndex index(std::move(curve).value());
+      for (size_t i = 0; i < points.size(); ++i) {
+        index.Insert(points[i], i);
+      }
+      for (const Box& query : queries) {
+        index.Query(query);
+      }
+      const QueryStats& stats = index.stats();
+      const double q = static_cast<double>(stats.queries);
+      std::printf("%-12s %12.1f %14.1f %14.2f\n", name.c_str(),
+                  static_cast<double>(stats.ranges) / q,
+                  static_cast<double>(stats.tree.entries_scanned) / q,
+                  DiskModel::Hdd().EstimateMs(stats.ranges,
+                                              stats.tree.entries_scanned) /
+                      q);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

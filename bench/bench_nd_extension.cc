@@ -1,0 +1,59 @@
+// Higher-dimensional extension (paper Sec. VIII: "The onion curve can be
+// extended naturally to higher dimensions ... The analysis of such a higher
+// dimensional onion curve is the subject of future work"). Compares the
+// generic d-dimensional onion curve against the Skilling Hilbert curve and
+// Z-order on cube queries in 4 and 5 dimensions.
+//
+//   build/bench/bench_nd_extension [--side4d=16] [--side5d=8]
+//                                  [--queries=100]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/clustering.h"
+#include "common/cli.h"
+#include "common/stats.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace onion;
+
+void RunDimension(int dims, Coord side, size_t num_queries) {
+  const Universe universe(dims, side);
+  std::printf("=== d = %d, side %u (%llu cells) ===\n", dims, side,
+              static_cast<unsigned long long>(universe.num_cells()));
+  for (const Coord len :
+       {static_cast<Coord>(side / 4), static_cast<Coord>(side / 2),
+        static_cast<Coord>(side - 2)}) {
+    if (len < 1) continue;
+    const auto queries = RandomCubes(universe, len, num_queries, 99);
+    std::printf("cube side %u:\n", len);
+    for (const std::string name : {"onion_nd", "hilbert_nd", "zorder"}) {
+      auto curve = MakeCurve(name, universe).value();
+      const ClusteringEvaluator evaluator(curve.get());
+      std::vector<uint64_t> sample;
+      sample.reserve(queries.size());
+      for (const Box& query : queries) {
+        sample.push_back(evaluator.Clustering(query));
+      }
+      const BoxPlot box = Summarize(sample);
+      std::printf("  %-12s mean %12.2f  median %10.1f  max %10.1f\n",
+                  name.c_str(), box.mean, box.median, box.max);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  RunDimension(4, static_cast<Coord>(cli.GetInt("side4d", 16)),
+               static_cast<size_t>(cli.GetInt("queries", 100)));
+  RunDimension(5, static_cast<Coord>(cli.GetInt("side5d", 8)),
+               static_cast<size_t>(cli.GetInt("queries", 100)));
+  return 0;
+}

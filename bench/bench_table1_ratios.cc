@@ -1,0 +1,93 @@
+// Tables I and II (paper Sec. V-D, VI-C): approximation ratios of the
+// onion and Hilbert curves for cube and near-cube query sets.
+//
+// Part 1 regenerates the closed-form entries of Table II (theory).
+// Part 2 measures empirical ratios  c(Q, pi) / LB_general  on a concrete
+// universe, sweeping the cube side, to confirm the onion curve's constant
+// ratio and the Hilbert curve's divergence for large cubes.
+//
+//   build/bench/bench_table1_ratios [--side=256] [--side3d=32]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/edge_stats.h"
+#include "common/cli.h"
+#include "sfc/registry.h"
+#include "theory/approx_ratio.h"
+#include "theory/bounds3d.h"
+#include "theory/lower_bounds2d.h"
+#include "theory/onion2d_bounds.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  const CommandLine cli(argc, argv);
+  const auto side = static_cast<Coord>(cli.GetInt("side", 256));
+  const auto side3d = static_cast<Coord>(cli.GetInt("side3d", 32));
+
+  std::printf("=== Table I: clustering approximation ratio eta(Q, pi) for "
+              "cube query sets ===\n");
+  std::printf("%-18s %-18s %-18s\n", "", "onion curve", "Hilbert curve");
+  std::printf("%-18s %-18.2f %-18s\n", "two dimensions", MaxOnionRatio2D(),
+              "Omega(sqrt(n))");
+  std::printf("%-18s %-18.2f %-18s\n\n", "three dimensions",
+              MaxOnionRatio3D(), "Omega(n^(2/3))");
+
+  std::printf("=== Table II: eta(Q, O) for near-cube query sets "
+              "(closed forms) ===\n");
+  std::printf("  mu = 0 (constant sides):             eta = 1 (optimal)\n");
+  std::printf("  0 < mu < 1, phi1 = phi2:             eta <= 2\n");
+  std::printf("  0 < mu < 1, general:                 eta <= 1 + phi2/phi1; "
+              "e.g. phi2/phi1 = 3 -> %.2f\n",
+              1.0 + 3.0);
+  std::printf("  mu = 1, phi <= 1/2 (2D), sweep of eta(phi):\n");
+  for (const double phi : {0.1, 0.2, 0.3, 0.355, 0.4, 0.5}) {
+    std::printf("    phi = %-6.3f eta2d <= %-8.3f eta3d <= %-8.3f\n", phi,
+                OnionRatio2DEqualPhi(phi), OnionRatio3DEqualPhi(phi));
+  }
+  std::printf("  mu = 1, 1/2 < phi1 <= phi2 < 1:      eta <= 2 + "
+              "3((phi2-phi1)/(1-phi2))^2; e.g. (0.6, 0.8) -> %.2f\n",
+              OnionRatio2DLargePhi(0.6, 0.8));
+  std::printf("  mu = 1, phi = 1 (2D), psi pairs:     (psi1,psi2)=(-4,-2) -> "
+              "%.2f; equal psi -> 2\n",
+              OnionRatio2DNearFull(-4, -2));
+  std::printf("  mu = 1, phi = 1 (3D):                eta <= 2 + (95/6)/"
+              "(-psi-3/2); psi=-20 -> %.2f (<= 3)\n\n",
+              OnionRatio3DNearFull(-20));
+
+  // ----- Empirical ratios, 2D -----
+  std::printf("=== Empirical 2D: c(Q,pi) via Lemma 1 vs general lower bound, "
+              "side %u ===\n",
+              side);
+  const Universe universe2(2, side);
+  auto onion2 = MakeCurve("onion", universe2).value();
+  auto hilbert2 = MakeCurve("hilbert", universe2).value();
+  std::printf("%8s %14s %14s %12s %14s %14s\n", "l", "onion c(Q)",
+              "hilbert c(Q)", "LB(general)", "eta(onion)", "eta(hilbert)");
+  for (Coord l = side / 8; l <= side - 2; l += side / 8) {
+    const std::vector<Coord> lengths = {l, l};
+    const double onion_c = AverageClusteringViaLemma1(*onion2, lengths);
+    const double hilbert_c = AverageClusteringViaLemma1(*hilbert2, lengths);
+    const double lb = LowerBoundGeneral2D(side, l, l);
+    std::printf("%8u %14.2f %14.2f %12.2f %14.2f %14.2f\n", l, onion_c,
+                hilbert_c, lb, onion_c / lb, hilbert_c / lb);
+  }
+
+  // ----- Empirical ratios, 3D -----
+  std::printf("\n=== Empirical 3D: cube queries, side %u ===\n", side3d);
+  const Universe universe3(3, side3d);
+  auto onion3 = MakeCurve("onion", universe3).value();
+  auto hilbert3 = MakeCurve("hilbert", universe3).value();
+  std::printf("%8s %14s %14s %14s %14s\n", "l", "onion c(Q)", "hilbert c(Q)",
+              "Thm4 (onion)", "LB/2 (Thm 6)");
+  for (Coord l = side3d / 8; l <= side3d - 2; l += side3d / 8) {
+    const std::vector<Coord> lengths = {l, l, l};
+    const double onion_c = AverageClusteringViaLemma1(*onion3, lengths);
+    const double hilbert_c = AverageClusteringViaLemma1(*hilbert3, lengths);
+    std::printf("%8u %14.2f %14.2f %14.2f %14.2f\n", l, onion_c, hilbert_c,
+                Onion3DClusteringTheorem4(side3d, l),
+                LowerBoundGeneral3D(side3d, l));
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Theory-validation sweep: measured average clustering numbers (exact, via
+// the Lemma 1 edge formula) against every closed form in the paper:
+// Theorem 1 (onion 2D), Theorem 2/3 (2D lower bounds), Theorem 4 (onion
+// 3D), Theorem 5/6 (3D lower bounds). Reports prediction, measurement, and
+// absolute error so EXPERIMENTS.md can quote paper-vs-measured directly.
+//
+//   build/bench/bench_theory_validation [--side2d=256] [--side3d=32]
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/edge_stats.h"
+#include "common/cli.h"
+#include "sfc/registry.h"
+#include "theory/bounds3d.h"
+#include "theory/lower_bounds2d.h"
+#include "theory/onion2d_bounds.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  const CommandLine cli(argc, argv);
+  const auto side = static_cast<Coord>(cli.GetInt("side2d", 256));
+  const auto side3 = static_cast<Coord>(cli.GetInt("side3d", 32));
+
+  // ---- Theorem 1: onion 2D closed form ----
+  std::printf("=== Theorem 1: onion 2D clustering, side %u ===\n", side);
+  std::printf("%8s %8s %14s %14s %10s %12s\n", "l1", "l2", "measured",
+              "theorem 1", "error", "stated |eps|");
+  const Universe universe2(2, side);
+  auto onion2 = MakeCurve("onion", universe2).value();
+  const Coord m = side / 2;
+  const std::vector<std::pair<Coord, Coord>> shapes = {
+      {2, 2},         {8, 8},           {m / 2, m / 2}, {m / 4, m},
+      {m, m},         {m + 8, m + 8},   {side - 8, side - 8},
+      {side - 2, side - 1}};
+  for (const auto& [l1, l2] : shapes) {
+    const double measured =
+        AverageClusteringViaLemma1(*onion2, {l1, l2});
+    const TheoryEstimate est = Onion2DClusteringTheorem1(side, l1, l2);
+    std::printf("%8u %8u %14.3f %14.3f %10.3f %12.1f\n", l1, l2, measured,
+                est.value, std::abs(measured - est.value), est.error);
+  }
+
+  // ---- Theorems 2/3: 2D lower bounds across curves ----
+  std::printf("\n=== Theorems 2/3: 2D lower bounds (side %u) ===\n", side);
+  std::printf("%8s %12s %12s %12s %14s %14s\n", "l", "onion", "hilbert",
+              "snake", "LB continuous", "LB general");
+  auto hilbert2 = MakeCurve("hilbert", universe2).value();
+  auto snake2 = MakeCurve("snake", universe2).value();
+  for (Coord l = side / 8; l < side; l += side / 8) {
+    const std::vector<Coord> lengths = {l, l};
+    std::printf("%8u %12.2f %12.2f %12.2f %14.2f %14.2f\n", l,
+                AverageClusteringViaLemma1(*onion2, lengths),
+                AverageClusteringViaLemma1(*hilbert2, lengths),
+                AverageClusteringViaLemma1(*snake2, lengths),
+                LowerBoundContinuous2D(side, l, l),
+                LowerBoundGeneral2D(side, l, l));
+  }
+
+  // ---- Lemma 8 fidelity: paper polynomial vs exact T ----
+  std::printf("\n=== Lemma 8: paper polynomial vs exact T (side %u) ===\n",
+              side);
+  std::printf("%8s %8s %16s %16s\n", "l1", "l2", "paper poly", "exact T");
+  for (const auto& [l1, l2] : shapes) {
+    std::printf("%8u %8u %16.1f %16.1f\n", l1, l2,
+                TSum2DClosedForm(side, l1, l2), TSum2DExact(side, l1, l2));
+  }
+
+  // ---- Theorems 4/5/6: 3D ----
+  std::printf("\n=== Theorems 4/5/6: 3D cubes, side %u ===\n", side3);
+  std::printf("%8s %12s %12s %14s %14s %14s\n", "l", "onion", "hilbert",
+              "Thm4 (onion)", "Thm5 LB cont", "Thm6 LB gen");
+  const Universe universe3(3, side3);
+  auto onion3 = MakeCurve("onion", universe3).value();
+  auto hilbert3 = MakeCurve("hilbert", universe3).value();
+  for (Coord l = side3 / 8; l < side3; l += side3 / 8) {
+    const std::vector<Coord> lengths = {l, l, l};
+    std::printf("%8u %12.2f %12.2f %14.2f %14.2f %14.2f\n", l,
+                AverageClusteringViaLemma1(*onion3, lengths),
+                AverageClusteringViaLemma1(*hilbert3, lengths),
+                Onion3DClusteringTheorem4(side3, l),
+                LowerBoundContinuous3D(side3, l),
+                LowerBoundGeneral3D(side3, l));
+  }
+  return 0;
+}

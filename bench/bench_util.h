@@ -1,0 +1,48 @@
+// Shared helpers for the paper-reproduction benchmark binaries: evaluating
+// clustering distributions over query workloads and printing box-plot rows
+// in a uniform format (optionally CSV for plotting).
+
+#ifndef ONION_BENCH_BENCH_UTIL_H_
+#define ONION_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/clustering.h"
+#include "common/stats.h"
+#include "sfc/curve.h"
+
+namespace onion::bench {
+
+/// Clustering numbers of every query in the workload.
+inline std::vector<uint64_t> ClusteringSample(
+    const ClusteringEvaluator& evaluator, const std::vector<Box>& queries) {
+  std::vector<uint64_t> sample;
+  sample.reserve(queries.size());
+  for (const Box& query : queries) {
+    sample.push_back(evaluator.Clustering(query));
+  }
+  return sample;
+}
+
+/// Prints one row: label + five-number summary + mean.
+inline void PrintRow(const std::string& label, const BoxPlot& box) {
+  std::printf("  %-22s min %8.1f  q25 %8.1f  med %8.1f  q75 %8.1f  max %8.1f  "
+              "mean %10.2f\n",
+              label.c_str(), box.min, box.q25, box.median, box.q75, box.max,
+              box.mean);
+}
+
+/// Prints a CSV row (for plotting): tag,label,min,q25,median,q75,max,mean.
+inline void PrintCsvRow(const std::string& tag, const std::string& label,
+                        const BoxPlot& box) {
+  std::printf("CSV,%s,%s,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f\n", tag.c_str(),
+              label.c_str(), box.min, box.q25, box.median, box.q75, box.max,
+              box.mean);
+}
+
+}  // namespace onion::bench
+
+#endif  // ONION_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,104 @@
+// Curve advisor: given a description of the expected query workload
+// (query-shape distribution), empirically evaluates every applicable curve
+// on a sampled workload and recommends the one with the lowest modeled
+// query cost. Demonstrates using the library to make the design decision
+// the paper informs: which SFC should back an index for THIS workload?
+//
+//   build/examples/curve_advisor [--side=256] [--shape=cube|rect|mixed]
+//                                [--min_len=8] [--max_len=248]
+//                                [--queries=200] [--seek_ms=8]
+//                                [--transfer_ms=0.001]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/clustering.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "index/disk_model.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  const CommandLine cli(argc, argv);
+  const auto side = static_cast<Coord>(cli.GetInt("side", 256));
+  const std::string shape = cli.GetString("shape", "mixed");
+  const auto min_len = static_cast<Coord>(cli.GetInt("min_len", 8));
+  const auto max_len =
+      static_cast<Coord>(cli.GetInt("max_len", side - side / 32));
+  const auto num_queries = static_cast<size_t>(cli.GetInt("queries", 200));
+  DiskModel disk;
+  disk.seek_ms = cli.GetDouble("seek_ms", 8.0);
+  disk.transfer_ms_per_entry = cli.GetDouble("transfer_ms", 0.001);
+
+  const Universe universe(2, side);
+
+  // Sample the workload.
+  Rng rng(2026);
+  std::vector<Box> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    const Coord len =
+        static_cast<Coord>(rng.UniformRange(min_len, max_len));
+    if (shape == "cube") {
+      const Coord x = static_cast<Coord>(rng.UniformInclusive(side - len));
+      const Coord y = static_cast<Coord>(rng.UniformInclusive(side - len));
+      queries.push_back(Box::Cube(Cell(x, y), len));
+    } else if (shape == "rect") {
+      const Coord len2 =
+          static_cast<Coord>(rng.UniformRange(min_len, max_len));
+      const Coord x = static_cast<Coord>(rng.UniformInclusive(side - len));
+      const Coord y = static_cast<Coord>(rng.UniformInclusive(side - len2));
+      queries.push_back(
+          Box::FromCornerAndLengths(Cell(x, y), {len, len2}));
+    } else {  // mixed: half cubes, half random rectangles
+      if (i % 2 == 0) {
+        const Coord x = static_cast<Coord>(rng.UniformInclusive(side - len));
+        const Coord y = static_cast<Coord>(rng.UniformInclusive(side - len));
+        queries.push_back(Box::Cube(Cell(x, y), len));
+      } else {
+        queries.push_back(RandomCornerBoxes(universe, 1, rng.Next())[0]);
+      }
+    }
+  }
+
+  std::printf("curve advisor: %zu '%s' queries on a %ux%u grid, seek %.2f "
+              "ms, transfer %.4f ms/entry\n\n",
+              queries.size(), shape.c_str(), side, side, disk.seek_ms,
+              disk.transfer_ms_per_entry);
+  std::printf("%-14s %14s %16s %16s\n", "curve", "avg clusters",
+              "avg cells/query", "modeled ms/query");
+
+  std::string best_name;
+  double best_cost = -1;
+  for (const std::string& name : KnownCurveNames()) {
+    auto result = MakeCurve(name, universe);
+    if (!result.ok()) continue;
+    auto curve = std::move(result).value();
+    const ClusteringEvaluator evaluator(curve.get());
+    double clusters = 0;
+    double cells = 0;
+    for (const Box& query : queries) {
+      clusters += static_cast<double>(evaluator.Clustering(query));
+      cells += static_cast<double>(query.Volume());
+    }
+    const auto q = static_cast<double>(queries.size());
+    const double cost =
+        disk.EstimateMs(static_cast<uint64_t>(clusters),
+                        static_cast<uint64_t>(cells)) /
+        q;
+    std::printf("%-14s %14.1f %16.1f %16.2f\n", name.c_str(), clusters / q,
+                cells / q, cost);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best_name = name;
+    }
+  }
+  std::printf("\nrecommendation: index by the '%s' curve (%.2f ms/query "
+              "under this model)\n",
+              best_name.c_str(), best_cost);
+  return 0;
+}

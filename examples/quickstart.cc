@@ -1,0 +1,65 @@
+// Quickstart: the 60-second tour of the onion-curve library.
+//
+//   build/examples/quickstart
+//
+// Creates curves, maps cells to keys and back, computes clustering numbers
+// of a rectangular query under several curves, and runs one spatial-index
+// query end to end.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/clustering.h"
+#include "index/spatial_index.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+int main() {
+  using namespace onion;
+
+  // 1. A 2D universe and the onion curve over it.
+  const Universe universe(2, 256);
+  auto onion = MakeCurve("onion", universe).value();
+
+  const Cell cell(17, 42);
+  const Key key = onion->IndexOf(cell);
+  std::printf("onion curve: cell %s -> key %llu -> cell %s\n",
+              cell.ToString().c_str(), static_cast<unsigned long long>(key),
+              onion->CellAt(key).ToString().c_str());
+
+  // 2. Clustering number of one query under several curves: the number of
+  // contiguous key runs the query decomposes into (fewer = fewer disk
+  // seeks when data is laid out along the curve).
+  const Box query = Box::FromCornerAndLengths(Cell(10, 20), {200, 190});
+  std::printf("\nclustering number of %s:\n", query.ToString().c_str());
+  for (const std::string name :
+       {"onion", "hilbert", "zorder", "graycode", "row_major"}) {
+    auto curve = MakeCurve(name, universe).value();
+    std::printf("  %-12s %llu clusters\n", name.c_str(),
+                static_cast<unsigned long long>(
+                    ClusteringNumber(*curve, query)));
+  }
+
+  // 3. A spatial index: insert points, run a box query, inspect the seek
+  // count (== clustering number of the query box).
+  SpatialIndex index(MakeCurve("onion", universe).value());
+  const auto points = RandomPoints(universe, 10000, /*seed=*/1);
+  for (size_t i = 0; i < points.size(); ++i) index.Insert(points[i], i);
+
+  const auto results = index.Query(query);
+  std::printf("\nspatial index: %zu points in %s, %llu seeks\n",
+              results.size(), query.ToString().c_str(),
+              static_cast<unsigned long long>(index.stats().ranges));
+
+  // 4. The same query against a Hilbert-backed index for comparison.
+  SpatialIndex hilbert_index(MakeCurve("hilbert", universe).value());
+  for (size_t i = 0; i < points.size(); ++i) {
+    hilbert_index.Insert(points[i], i);
+  }
+  const auto hilbert_results = hilbert_index.Query(query);
+  std::printf("hilbert index: %zu points, %llu seeks\n",
+              hilbert_results.size(),
+              static_cast<unsigned long long>(hilbert_index.stats().ranges));
+  return 0;
+}

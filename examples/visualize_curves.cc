@@ -1,0 +1,120 @@
+// ASCII visualization of space-filling curves and their clustering
+// behavior, reproducing the paper's illustrative figures:
+//
+//   Figure 3: the 2D onion curve orders for the 2x2 and 4x4 universes;
+//   Figure 1: a single query where the Hilbert curve needs fewer clusters
+//             than the Z curve;
+//   Figure 2: the 7x7 query on the 8x8 universe where the onion curve
+//             achieves one cluster and the Hilbert curve five.
+//
+//   build/examples/visualize_curves [--side=8] [--curve=onion]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/clustering.h"
+#include "common/cli.h"
+#include "sfc/registry.h"
+
+namespace {
+
+using namespace onion;
+
+// Prints the key of every cell, origin at the bottom-left like the paper's
+// figures (y grows upward).
+void PrintGrid(const SpaceFillingCurve& curve) {
+  const Coord side = curve.side();
+  std::printf("%s order on the %u x %u universe:\n", curve.name().c_str(),
+              side, side);
+  for (Coord y = side; y-- > 0;) {
+    std::printf("  ");
+    for (Coord x = 0; x < side; ++x) {
+      std::printf("%4llu", static_cast<unsigned long long>(
+                               curve.IndexOf(Cell(x, y))));
+    }
+    std::printf("\n");
+  }
+}
+
+// Prints the grid with query cells marked by their cluster rank (letters),
+// other cells as dots.
+void PrintQueryClusters(const SpaceFillingCurve& curve, const Box& query) {
+  const auto ranges = ClusterRanges(curve, query);
+  std::printf("%s: query %s -> %zu cluster(s)\n", curve.name().c_str(),
+              query.ToString().c_str(), ranges.size());
+  const Coord side = curve.side();
+  for (Coord y = side; y-- > 0;) {
+    std::printf("  ");
+    for (Coord x = 0; x < side; ++x) {
+      const Cell cell(x, y);
+      if (!query.Contains(cell)) {
+        std::printf("  .");
+        continue;
+      }
+      const Key key = curve.IndexOf(cell);
+      char label = '?';
+      for (size_t r = 0; r < ranges.size(); ++r) {
+        if (key >= ranges[r].lo && key <= ranges[r].hi) {
+          label = static_cast<char>('A' + (r % 26));
+          break;
+        }
+      }
+      std::printf("  %c", label);
+    }
+    std::printf("\n");
+  }
+  std::printf("  key ranges:");
+  for (const KeyRange& range : ranges) {
+    std::printf(" [%llu..%llu]", static_cast<unsigned long long>(range.lo),
+                static_cast<unsigned long long>(range.hi));
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+
+  // --- Figure 3: onion curve on 2x2 and 4x4 ---------------------------
+  std::printf("=== Figure 3: two-dimensional onion curve ===\n");
+  for (const Coord side : {2u, 4u}) {
+    PrintGrid(*MakeCurve("onion", Universe(2, side)).value());
+    std::printf("\n");
+  }
+
+  // --- Figure 1: Hilbert vs Z on one rectangular query ----------------
+  std::printf("=== Figure 1: Hilbert vs Z clustering on one query ===\n");
+  {
+    const Universe universe(2, 8);
+    // A placement reproducing the figure's counts: Hilbert 2, Z 4.
+    const Box query = Box::FromCornerAndLengths(Cell(1, 1), {3, 3});
+    PrintQueryClusters(*MakeCurve("hilbert", universe).value(), query);
+    PrintQueryClusters(*MakeCurve("zorder", universe).value(), query);
+  }
+
+  // --- Figure 2: onion vs Hilbert on a 7x7 query ----------------------
+  std::printf("=== Figure 2: onion vs Hilbert on a 7x7 query ===\n");
+  {
+    const Universe universe(2, 8);
+    // The placement where the onion curve achieves a single cluster.
+    const Box query = Box::FromCornerAndLengths(Cell(0, 1), {7, 7});
+    PrintQueryClusters(*MakeCurve("onion", universe).value(), query);
+    PrintQueryClusters(*MakeCurve("hilbert", universe).value(), query);
+  }
+
+  // --- Optional: any curve/side the user asks for ---------------------
+  const auto side = static_cast<Coord>(cli.GetInt("side", 0));
+  if (side > 0) {
+    const std::string name = cli.GetString("curve", "onion");
+    auto curve = MakeCurve(name, Universe(2, side));
+    if (!curve.ok()) {
+      std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("=== requested: %s, side %u ===\n", name.c_str(), side);
+    PrintGrid(*curve.value());
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Cell enumeration helpers for box queries: all cells, and boundary cells
+// only (each visited exactly once). Header-only templates so the per-cell
+// callback inlines into the clustering hot loops.
+
+#ifndef ONION_ANALYSIS_BOXITER_H_
+#define ONION_ANALYSIS_BOXITER_H_
+
+#include <utility>
+
+#include "sfc/types.h"
+
+namespace onion {
+
+/// Invokes fn(cell) for every cell of `box`, in row-major order.
+template <typename Fn>
+void ForEachCell(const Box& box, Fn&& fn) {
+  Cell cell = box.lo;
+  const int d = box.dims();
+  for (;;) {
+    fn(static_cast<const Cell&>(cell));
+    int axis = 0;
+    while (axis < d) {
+      if (cell[axis] < box.hi[axis]) {
+        ++cell[axis];
+        break;
+      }
+      cell[axis] = box.lo[axis];
+      ++axis;
+    }
+    if (axis == d) return;
+  }
+}
+
+/// Invokes fn(cell) exactly once for every boundary cell of `box` (cells
+/// with at least one coordinate equal to the box's lo or hi along some
+/// axis). Enumeration strategy: classify each boundary cell by the smallest
+/// axis on which it is extreme; for that axis the coordinate is pinned to
+/// lo/hi, smaller axes range over the strict interior, larger axes over the
+/// full extent.
+template <typename Fn>
+void ForEachBoundaryCell(const Box& box, Fn&& fn) {
+  const int d = box.dims();
+  for (int pinned = 0; pinned < d; ++pinned) {
+    // Skip if any smaller axis has no interior (then every cell is extreme
+    // on that axis and is enumerated there).
+    bool has_interior = true;
+    for (int axis = 0; axis < pinned; ++axis) {
+      if (box.Length(axis) <= 2) {
+        has_interior = false;
+        break;
+      }
+    }
+    if (!has_interior) break;
+
+    const Coord extremes[2] = {box.lo[pinned], box.hi[pinned]};
+    const int num_extremes = box.Length(pinned) == 1 ? 1 : 2;
+    for (int which = 0; which < num_extremes; ++which) {
+      // Iterate the remaining axes: smaller axes over strict interior,
+      // larger axes over the full range.
+      Cell cell = box.lo;
+      cell[pinned] = extremes[which];
+      for (int axis = 0; axis < pinned; ++axis) cell[axis] = box.lo[axis] + 1;
+      for (;;) {
+        fn(static_cast<const Cell&>(cell));
+        int axis = 0;
+        for (; axis < d; ++axis) {
+          if (axis == pinned) continue;
+          const Coord hi_bound =
+              axis < pinned ? box.hi[axis] - 1 : box.hi[axis];
+          const Coord lo_bound =
+              axis < pinned ? box.lo[axis] + 1 : box.lo[axis];
+          if (cell[axis] < hi_bound) {
+            ++cell[axis];
+            break;
+          }
+          cell[axis] = lo_bound;
+        }
+        if (axis == d) break;
+      }
+    }
+  }
+}
+
+/// Invokes fn(cell) for every cell of the universe.
+template <typename Fn>
+void ForEachCellInUniverse(const Universe& universe, Fn&& fn) {
+  ForEachCell(universe.Bounds(), std::forward<Fn>(fn));
+}
+
+}  // namespace onion
+
+#endif  // ONION_ANALYSIS_BOXITER_H_

@@ -1,0 +1,245 @@
+#include "analysis/clustering.h"
+
+#include <algorithm>
+
+#include "analysis/boxiter.h"
+
+namespace onion {
+
+uint64_t ClusteringNumberBruteForce(const SpaceFillingCurve& curve,
+                                    const Box& box) {
+  std::vector<Key> keys;
+  keys.reserve(box.Volume());
+  ForEachCell(box, [&](const Cell& cell) { keys.push_back(curve.IndexOf(cell)); });
+  std::sort(keys.begin(), keys.end());
+  uint64_t clusters = keys.empty() ? 0 : 1;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] != keys[i - 1] + 1) ++clusters;
+  }
+  return clusters;
+}
+
+namespace {
+
+// True if `cell` begins a cluster of `box` under `curve`.
+inline bool IsClusterStart(const SpaceFillingCurve& curve, const Box& box,
+                           const Cell& cell) {
+  const Key key = curve.IndexOf(cell);
+  if (key == 0) return true;
+  return !box.Contains(curve.CellAt(key - 1));
+}
+
+// True if `cell` ends a cluster of `box` under `curve`.
+inline bool IsClusterEnd(const SpaceFillingCurve& curve, const Box& box,
+                         const Cell& cell) {
+  const Key key = curve.IndexOf(cell);
+  if (key + 1 == curve.num_cells()) return true;
+  return !box.Contains(curve.CellAt(key + 1));
+}
+
+}  // namespace
+
+uint64_t ClusteringNumberEntryTest(const SpaceFillingCurve& curve,
+                                   const Box& box) {
+  uint64_t clusters = 0;
+  ForEachCell(box, [&](const Cell& cell) {
+    if (IsClusterStart(curve, box, cell)) ++clusters;
+  });
+  return clusters;
+}
+
+uint64_t ClusteringNumberBoundary(const SpaceFillingCurve& curve,
+                                  const Box& box) {
+  ONION_CHECK_MSG(curve.is_continuous(),
+                  "boundary scan requires a continuous curve");
+  uint64_t clusters = 0;
+  ForEachBoundaryCell(box, [&](const Cell& cell) {
+    if (IsClusterStart(curve, box, cell)) ++clusters;
+  });
+  // The curve's first cell starts a cluster regardless of its neighbors;
+  // on a continuous curve it could in principle sit strictly inside the box
+  // and be missed by the boundary walk.
+  const Cell start = curve.StartCell();
+  if (box.Contains(start)) {
+    bool on_boundary = false;
+    for (int axis = 0; axis < box.dims(); ++axis) {
+      if (start[axis] == box.lo[axis] || start[axis] == box.hi[axis]) {
+        on_boundary = true;
+        break;
+      }
+    }
+    if (!on_boundary) ++clusters;  // interior start cell: key 0 entry
+  }
+  return clusters;
+}
+
+uint64_t ClusteringNumber(const SpaceFillingCurve& curve, const Box& box) {
+  if (curve.is_continuous() && box.Volume() > box.SurfaceCells()) {
+    return ClusteringNumberBoundary(curve, box);
+  }
+  return ClusteringNumberEntryTest(curve, box);
+}
+
+std::vector<KeyRange> ClusterRanges(const SpaceFillingCurve& curve,
+                                    const Box& box) {
+  std::vector<Key> starts;
+  std::vector<Key> ends;
+  const bool boundary_only =
+      curve.is_continuous() && box.Volume() > box.SurfaceCells();
+  auto visit = [&](const Cell& cell) {
+    if (IsClusterStart(curve, box, cell)) starts.push_back(curve.IndexOf(cell));
+    if (IsClusterEnd(curve, box, cell)) ends.push_back(curve.IndexOf(cell));
+  };
+  if (boundary_only) {
+    ForEachBoundaryCell(box, visit);
+    // Strictly-interior first/last cells of the curve (see
+    // ClusteringNumberBoundary for rationale).
+    for (const Cell& cell : {curve.StartCell(), curve.EndCell()}) {
+      if (!box.Contains(cell)) continue;
+      bool on_boundary = false;
+      for (int axis = 0; axis < box.dims(); ++axis) {
+        if (cell[axis] == box.lo[axis] || cell[axis] == box.hi[axis]) {
+          on_boundary = true;
+          break;
+        }
+      }
+      if (!on_boundary) visit(cell);
+    }
+  } else {
+    ForEachCell(box, visit);
+  }
+  std::sort(starts.begin(), starts.end());
+  std::sort(ends.begin(), ends.end());
+  ONION_CHECK(starts.size() == ends.size());
+  std::vector<KeyRange> ranges;
+  ranges.reserve(starts.size());
+  for (size_t i = 0; i < starts.size(); ++i) {
+    ONION_DCHECK(starts[i] <= ends[i]);
+    ranges.push_back(KeyRange{starts[i], ends[i]});
+  }
+  return ranges;
+}
+
+namespace {
+
+// True if a and b differ by exactly 1 along exactly one axis.
+bool NeighborCells(const Cell& a, const Cell& b) {
+  int diff_axes = 0;
+  for (int axis = 0; axis < a.dims; ++axis) {
+    const int64_t delta = static_cast<int64_t>(a[axis]) - b[axis];
+    if (delta == 0) continue;
+    if (delta != 1 && delta != -1) return false;
+    ++diff_axes;
+  }
+  return diff_axes == 1;
+}
+
+bool OnBoxBoundary(const Box& box, const Cell& cell) {
+  for (int axis = 0; axis < box.dims(); ++axis) {
+    if (cell[axis] == box.lo[axis] || cell[axis] == box.hi[axis]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ClusteringEvaluator::ClusteringEvaluator(const SpaceFillingCurve* curve)
+    : curve_(curve) {
+  ONION_CHECK(curve != nullptr);
+  if (curve->is_continuous()) {
+    mode_ = Mode::kBoundary;
+    return;
+  }
+  // One full pass to find all jump targets. Give up (entry-test mode) as
+  // soon as the jump count exceeds a small multiple of the side length,
+  // since the per-query overhead would then dominate.
+  const uint64_t limit = 8ull * curve->side() * curve->dims() + 16;
+  jump_targets_.push_back(curve->CellAt(0));
+  Cell prev = jump_targets_.front();
+  for (Key key = 1; key < curve->num_cells(); ++key) {
+    const Cell next = curve->CellAt(key);
+    if (!NeighborCells(prev, next)) {
+      jump_targets_.push_back(next);
+      if (jump_targets_.size() > limit) {
+        jump_targets_.clear();
+        mode_ = Mode::kEntryTest;
+        return;
+      }
+    }
+    prev = next;
+  }
+  mode_ = Mode::kAlmostContinuous;
+}
+
+uint64_t ClusteringEvaluator::Clustering(const Box& box) const {
+  if (mode_ == Mode::kEntryTest || box.Volume() <= box.SurfaceCells()) {
+    return ClusteringNumberEntryTest(*curve_, box);
+  }
+  // Starts on the query boundary.
+  uint64_t clusters = 0;
+  ForEachBoundaryCell(box, [&](const Cell& cell) {
+    if (IsClusterStart(*curve_, box, cell)) ++clusters;
+  });
+  // Starts strictly inside the query: only possible at jump targets (or
+  // the curve's start cell); both are precomputed for kAlmostContinuous.
+  if (mode_ == Mode::kAlmostContinuous) {
+    for (const Cell& cell : jump_targets_) {
+      if (box.Contains(cell) && !OnBoxBoundary(box, cell) &&
+          IsClusterStart(*curve_, box, cell)) {
+        ++clusters;
+      }
+    }
+  } else {
+    // Continuous curve: only the start cell needs the interior check.
+    const Cell start = curve_->StartCell();
+    if (box.Contains(start) && !OnBoxBoundary(box, start)) ++clusters;
+  }
+  return clusters;
+}
+
+const char* ClusteringEvaluator::mode() const {
+  switch (mode_) {
+    case Mode::kBoundary:
+      return "boundary";
+    case Mode::kAlmostContinuous:
+      return "almost";
+    case Mode::kEntryTest:
+      return "entry";
+  }
+  return "unknown";
+}
+
+double AverageClusteringExact(const SpaceFillingCurve& curve,
+                              const std::vector<Coord>& lengths) {
+  const Universe& universe = curve.universe();
+  ONION_CHECK(static_cast<int>(lengths.size()) == universe.dims());
+  std::array<Coord, kMaxDims> len_array = {};
+  for (int axis = 0; axis < universe.dims(); ++axis) {
+    ONION_CHECK(lengths[static_cast<size_t>(axis)] >= 1 &&
+                lengths[static_cast<size_t>(axis)] <= universe.side());
+    len_array[static_cast<size_t>(axis)] = lengths[static_cast<size_t>(axis)];
+  }
+  // Iterate all translations: corner[axis] in [0, side - len].
+  Cell corner = Cell::Filled(universe.dims(), 0);
+  uint64_t total = 0;
+  uint64_t count = 0;
+  for (;;) {
+    const Box box = Box::FromCornerAndLengths(corner, len_array);
+    total += ClusteringNumber(curve, box);
+    ++count;
+    int axis = 0;
+    while (axis < universe.dims()) {
+      if (corner[axis] + len_array[static_cast<size_t>(axis)] <
+          universe.side()) {
+        ++corner[axis];
+        break;
+      }
+      corner[axis] = 0;
+      ++axis;
+    }
+    if (axis == universe.dims()) break;
+  }
+  return static_cast<double>(total) / static_cast<double>(count);
+}
+
+}  // namespace onion

@@ -1,0 +1,94 @@
+// Clustering-number computation (paper, Sec. I).
+//
+// The clustering number c(q, pi) of a query q under curve pi is the minimum
+// number of clusters (runs of consecutive curve positions) that q can be
+// partitioned into. Equivalently it is the number of cells alpha in q whose
+// key-predecessor cell lies outside q (counting the curve's first cell as
+// having no predecessor).
+//
+// Three algorithms, all exact:
+//  * brute force     - O(|q| log |q|): map every cell, sort, count runs.
+//  * entry test      - O(|q|): for every cell, test whether its predecessor
+//                      is outside q. Works for any curve.
+//  * boundary scan   - O(surface(q)): for continuous curves the predecessor
+//                      of an interior cell is always inside q, so only
+//                      boundary cells can begin clusters.
+
+#ifndef ONION_ANALYSIS_CLUSTERING_H_
+#define ONION_ANALYSIS_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/curve.h"
+
+namespace onion {
+
+/// A maximal run of consecutive curve positions, inclusive on both ends.
+struct KeyRange {
+  Key lo = 0;
+  Key hi = 0;
+
+  bool operator==(const KeyRange& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// O(|q| log |q|) reference implementation.
+uint64_t ClusteringNumberBruteForce(const SpaceFillingCurve& curve,
+                                    const Box& box);
+
+/// O(|q|) predecessor test; works for any curve.
+uint64_t ClusteringNumberEntryTest(const SpaceFillingCurve& curve,
+                                   const Box& box);
+
+/// O(surface(q)) boundary scan; requires curve.is_continuous().
+uint64_t ClusteringNumberBoundary(const SpaceFillingCurve& curve,
+                                  const Box& box);
+
+/// Picks the fastest exact algorithm for the curve.
+uint64_t ClusteringNumber(const SpaceFillingCurve& curve, const Box& box);
+
+/// The exact minimal set of key ranges covering the box, sorted ascending.
+/// The size of the result equals ClusteringNumber(curve, box).
+std::vector<KeyRange> ClusterRanges(const SpaceFillingCurve& curve,
+                                    const Box& box);
+
+/// Exact average clustering number over the full translation query set
+/// Q(lengths): every position of a box with the given side lengths
+/// (paper, Sec. I). Intended for small universes (validation of the
+/// closed-form theorems); cost is O(#translations * surface).
+double AverageClusteringExact(const SpaceFillingCurve& curve,
+                              const std::vector<Coord>& lengths);
+
+/// Amortized exact clustering evaluation for repeated queries against one
+/// curve. For continuous curves it uses the O(surface) boundary scan. For
+/// "almost continuous" curves (e.g. the 3D onion curve, whose only
+/// non-neighbor steps are at the <= 10 group boundaries per layer) it
+/// additionally precomputes the jump-target cells in one O(n) pass and
+/// checks the few that fall strictly inside each query. Curves with many
+/// jumps (Z-order, Gray-code) fall back to the O(|q|) entry test.
+class ClusteringEvaluator {
+ public:
+  /// The precomputation pass costs O(n) CellAt calls for non-continuous
+  /// curves (nothing for continuous ones).
+  explicit ClusteringEvaluator(const SpaceFillingCurve* curve);
+
+  /// Exact clustering number of `box`; equal to ClusteringNumber(curve,box).
+  uint64_t Clustering(const Box& box) const;
+
+  /// How this evaluator computes: "boundary", "almost", or "entry".
+  const char* mode() const;
+
+ private:
+  const SpaceFillingCurve* curve_;
+  enum class Mode { kBoundary, kAlmostContinuous, kEntryTest } mode_;
+  // Cells whose predecessor along the curve is not a grid neighbor (plus
+  // the curve's start cell). Only these can begin a cluster while lying
+  // strictly inside a query.
+  std::vector<Cell> jump_targets_;
+};
+
+}  // namespace onion
+
+#endif  // ONION_ANALYSIS_CLUSTERING_H_

@@ -1,0 +1,34 @@
+#include "analysis/continuity.h"
+
+#include <cstdlib>
+
+namespace onion {
+
+bool AreGridNeighbors(const Cell& a, const Cell& b) {
+  if (a.dims != b.dims) return false;
+  int diff_axes = 0;
+  for (int axis = 0; axis < a.dims; ++axis) {
+    const int64_t delta = static_cast<int64_t>(a[axis]) - b[axis];
+    if (delta == 0) continue;
+    if (delta != 1 && delta != -1) return false;
+    ++diff_axes;
+  }
+  return diff_axes == 1;
+}
+
+uint64_t CountDiscontinuities(const SpaceFillingCurve& curve) {
+  uint64_t jumps = 0;
+  Cell prev = curve.CellAt(0);
+  for (Key key = 1; key < curve.num_cells(); ++key) {
+    const Cell next = curve.CellAt(key);
+    if (!AreGridNeighbors(prev, next)) ++jumps;
+    prev = next;
+  }
+  return jumps;
+}
+
+bool VerifyContinuity(const SpaceFillingCurve& curve) {
+  return CountDiscontinuities(curve) == 0;
+}
+
+}  // namespace onion

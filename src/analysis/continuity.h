@@ -1,0 +1,26 @@
+// Continuity checking (Definition 1 in the paper): a curve is continuous if
+// every pair of consecutive positions are grid neighbors.
+
+#ifndef ONION_ANALYSIS_CONTINUITY_H_
+#define ONION_ANALYSIS_CONTINUITY_H_
+
+#include <cstdint>
+
+#include "sfc/curve.h"
+
+namespace onion {
+
+/// True if cells a and b differ by exactly 1 along exactly one axis.
+bool AreGridNeighbors(const Cell& a, const Cell& b);
+
+/// Number of consecutive pairs (CellAt(k), CellAt(k+1)) that are NOT grid
+/// neighbors. Zero iff the curve is continuous. O(n) full scan.
+uint64_t CountDiscontinuities(const SpaceFillingCurve& curve);
+
+/// Full-scan continuity verdict; use in tests to validate the static
+/// is_continuous() claims of curve implementations.
+bool VerifyContinuity(const SpaceFillingCurve& curve);
+
+}  // namespace onion
+
+#endif  // ONION_ANALYSIS_CONTINUITY_H_

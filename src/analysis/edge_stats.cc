@@ -1,0 +1,166 @@
+#include "analysis/edge_stats.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/boxiter.h"
+
+namespace onion {
+
+namespace {
+
+// Number of placements of an interval of length `len` within [0, side)
+// that cover coordinate c: positions x0 in [max(0, c-len+1), min(c, side-len)].
+uint64_t CoverOptions1D(Coord side, Coord len, Coord c) {
+  const int64_t lo = std::max<int64_t>(0, static_cast<int64_t>(c) - len + 1);
+  const int64_t hi =
+      std::min<int64_t>(c, static_cast<int64_t>(side) - len);
+  return hi >= lo ? static_cast<uint64_t>(hi - lo + 1) : 0;
+}
+
+}  // namespace
+
+int GammaSingle(const Box& query, const Cell& from, const Cell& to) {
+  const bool from_in = query.Contains(from);
+  const bool to_in = query.Contains(to);
+  return from_in != to_in ? 1 : 0;
+}
+
+uint64_t GammaTranslations(const Universe& universe,
+                           const std::vector<Coord>& lengths,
+                           const Cell& from, const Cell& to) {
+  ONION_CHECK(static_cast<int>(lengths.size()) == universe.dims());
+  // A translated query q is crossed by (from, to) iff exactly one endpoint
+  // is inside. Decompose per axis: let S = set of axes where the placement
+  // separates the endpoints, C = axes where it covers both. The edge is
+  // crossed iff exactly one axis separates and all others cover both ...
+  // in general (arbitrary edges) iff an odd/mixed condition holds; for
+  // clarity and correctness in all cases we use:
+  //   crossed iff (covers from) XOR (covers to)
+  // where covers(cell) = AND over axes of 1D coverage. Inclusion-exclusion:
+  //   #crossing = #covering-from + #covering-to - 2 * #covering-both.
+  uint64_t cover_from = 1;
+  uint64_t cover_to = 1;
+  uint64_t cover_both = 1;
+  for (int axis = 0; axis < universe.dims(); ++axis) {
+    const Coord len = lengths[static_cast<size_t>(axis)];
+    const Coord a = from[axis];
+    const Coord b = to[axis];
+    const uint64_t fa = CoverOptions1D(universe.side(), len, a);
+    const uint64_t fb = CoverOptions1D(universe.side(), len, b);
+    uint64_t both;
+    if (a == b) {
+      both = fa;
+    } else {
+      // Placements covering both coordinates of this axis.
+      const Coord lo_c = std::min(a, b);
+      const Coord hi_c = std::max(a, b);
+      const int64_t lo = std::max<int64_t>(
+          0, static_cast<int64_t>(hi_c) - len + 1);
+      const int64_t hi = std::min<int64_t>(
+          lo_c, static_cast<int64_t>(universe.side()) - len);
+      both = hi >= lo ? static_cast<uint64_t>(hi - lo + 1) : 0;
+    }
+    cover_from *= fa;
+    cover_to *= fb;
+    cover_both *= both;
+  }
+  return cover_from + cover_to - 2 * cover_both;
+}
+
+uint64_t GammaTranslationsBrute(const Universe& universe,
+                                const std::vector<Coord>& lengths,
+                                const Cell& from, const Cell& to) {
+  ONION_CHECK(static_cast<int>(lengths.size()) == universe.dims());
+  std::array<Coord, kMaxDims> len_array = {};
+  for (int axis = 0; axis < universe.dims(); ++axis) {
+    len_array[static_cast<size_t>(axis)] = lengths[static_cast<size_t>(axis)];
+  }
+  Cell corner = Cell::Filled(universe.dims(), 0);
+  uint64_t crossings = 0;
+  for (;;) {
+    const Box box = Box::FromCornerAndLengths(corner, len_array);
+    crossings += static_cast<uint64_t>(GammaSingle(box, from, to));
+    int axis = 0;
+    while (axis < universe.dims()) {
+      if (corner[axis] + len_array[static_cast<size_t>(axis)] <
+          universe.side()) {
+        ++corner[axis];
+        break;
+      }
+      corner[axis] = 0;
+      ++axis;
+    }
+    if (axis == universe.dims()) break;
+  }
+  return crossings;
+}
+
+uint64_t CoverCount(const Universe& universe,
+                    const std::vector<Coord>& lengths, const Cell& cell) {
+  ONION_CHECK(static_cast<int>(lengths.size()) == universe.dims());
+  uint64_t count = 1;
+  for (int axis = 0; axis < universe.dims(); ++axis) {
+    count *= CoverOptions1D(universe.side(),
+                            lengths[static_cast<size_t>(axis)], cell[axis]);
+  }
+  return count;
+}
+
+uint64_t LambdaMin(const Universe& universe, const std::vector<Coord>& lengths,
+                   const Cell& cell) {
+  uint64_t lambda = std::numeric_limits<uint64_t>::max();
+  for (const Cell& neighbor : GridNeighbors(universe, cell)) {
+    lambda = std::min(lambda,
+                      GammaTranslations(universe, lengths, cell, neighbor));
+  }
+  ONION_CHECK_MSG(lambda != std::numeric_limits<uint64_t>::max(),
+                  "cell has no neighbors (1x1 universe)");
+  return lambda;
+}
+
+uint64_t LambdaSum(const Universe& universe,
+                   const std::vector<Coord>& lengths) {
+  uint64_t total = 0;
+  ForEachCellInUniverse(universe, [&](const Cell& cell) {
+    total += LambdaMin(universe, lengths, cell);
+  });
+  return total;
+}
+
+uint64_t GammaCurveTotal(const SpaceFillingCurve& curve,
+                         const std::vector<Coord>& lengths) {
+  uint64_t total = 0;
+  Cell prev = curve.CellAt(0);
+  for (Key key = 1; key < curve.num_cells(); ++key) {
+    const Cell next = curve.CellAt(key);
+    total += GammaTranslations(curve.universe(), lengths, prev, next);
+    prev = next;
+  }
+  return total;
+}
+
+double AverageClusteringViaLemma1(const SpaceFillingCurve& curve,
+                                  const std::vector<Coord>& lengths) {
+  const Universe& universe = curve.universe();
+  const uint64_t gamma = GammaCurveTotal(curve, lengths);
+  const uint64_t i_start = CoverCount(universe, lengths, curve.StartCell());
+  const uint64_t i_end = CoverCount(universe, lengths, curve.EndCell());
+  const uint64_t num_queries = NumTranslations(universe, lengths);
+  return static_cast<double>(gamma + i_start + i_end) /
+         (2.0 * static_cast<double>(num_queries));
+}
+
+uint64_t NumTranslations(const Universe& universe,
+                         const std::vector<Coord>& lengths) {
+  ONION_CHECK(static_cast<int>(lengths.size()) == universe.dims());
+  uint64_t count = 1;
+  for (int axis = 0; axis < universe.dims(); ++axis) {
+    const Coord len = lengths[static_cast<size_t>(axis)];
+    ONION_CHECK(len >= 1 && len <= universe.side());
+    count *= universe.side() - len + 1;
+  }
+  return count;
+}
+
+}  // namespace onion

@@ -1,0 +1,73 @@
+// Edge-crossing statistics from the paper's general techniques (Sec. II and
+// Sec. V): gamma (crossing counts), the I indicator sums, lambda (minimum
+// neighboring crossing number), and the T sum behind the lower bounds.
+//
+// Throughout, Q = Q(lengths) is the query set of ALL translations of a box
+// with the given side lengths inside the universe (the paper's standard
+// query-set construction).
+
+#ifndef ONION_ANALYSIS_EDGE_STATS_H_
+#define ONION_ANALYSIS_EDGE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/curve.h"
+
+namespace onion {
+
+/// A directed edge of a curve: consecutive cells (CellAt(k), CellAt(k+1)).
+struct CurveEdge {
+  Cell from;
+  Cell to;
+};
+
+/// gamma(q, e): 1 if e enters or leaves q (i.e. exactly one endpoint is in
+/// q), else 0.
+int GammaSingle(const Box& query, const Cell& from, const Cell& to);
+
+/// gamma(Q, e) where Q is all translations of a box with side `lengths`:
+/// the number of translations that edge (from, to) crosses. Closed form
+/// generalizing Lemma 2 to arbitrary edges in arbitrary dimension.
+uint64_t GammaTranslations(const Universe& universe,
+                           const std::vector<Coord>& lengths,
+                           const Cell& from, const Cell& to);
+
+/// Brute-force version of GammaTranslations (iterates every translation).
+/// Used as a test oracle.
+uint64_t GammaTranslationsBrute(const Universe& universe,
+                                const std::vector<Coord>& lengths,
+                                const Cell& from, const Cell& to);
+
+/// I(Q, alpha): the number of translations containing cell alpha.
+uint64_t CoverCount(const Universe& universe,
+                    const std::vector<Coord>& lengths, const Cell& cell);
+
+/// lambda(Q, alpha) (Definition 2): minimum of GammaTranslations over the
+/// grid neighbors of alpha.
+uint64_t LambdaMin(const Universe& universe, const std::vector<Coord>& lengths,
+                   const Cell& cell);
+
+/// T = sum over all cells of lambda(Q, alpha) (Sec. V-A). O(n) cells with
+/// O(d) work each; exact in any dimension.
+uint64_t LambdaSum(const Universe& universe,
+                   const std::vector<Coord>& lengths);
+
+/// gamma(Q, pi): total crossings of the curve's edge set over all
+/// translations, computed edge by edge with the closed form. O(n * d).
+uint64_t GammaCurveTotal(const SpaceFillingCurve& curve,
+                         const std::vector<Coord>& lengths);
+
+/// Average clustering number via Lemma 1:
+///   c(Q, pi) = (gamma(Q, pi) + I(Q, pi_s) + I(Q, pi_e)) / (2 |Q|).
+/// Exact for any curve; cost O(n * d) independent of |Q|.
+double AverageClusteringViaLemma1(const SpaceFillingCurve& curve,
+                                  const std::vector<Coord>& lengths);
+
+/// Number of translations |Q(lengths)| in the universe.
+uint64_t NumTranslations(const Universe& universe,
+                         const std::vector<Coord>& lengths);
+
+}  // namespace onion
+
+#endif  // ONION_ANALYSIS_EDGE_STATS_H_

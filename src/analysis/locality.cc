@@ -1,0 +1,70 @@
+#include "analysis/locality.h"
+
+#include <cstdlib>
+
+#include "analysis/boxiter.h"
+#include "analysis/clustering.h"
+
+namespace onion {
+
+ClusterGapStats ComputeClusterGaps(const SpaceFillingCurve& curve,
+                                   const Box& box) {
+  const std::vector<KeyRange> ranges = ClusterRanges(curve, box);
+  ClusterGapStats stats;
+  stats.clusters = ranges.size();
+  if (ranges.empty()) return stats;
+  stats.span = ranges.back().hi - ranges.front().lo + 1;
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    const uint64_t gap = ranges[i].lo - ranges[i - 1].hi - 1;
+    stats.total_gap += gap;
+    stats.max_gap = std::max(stats.max_gap, gap);
+  }
+  return stats;
+}
+
+StretchStats NeighborStretch(const SpaceFillingCurve& curve) {
+  StretchStats stats;
+  if (curve.num_cells() < 2) return stats;
+  uint64_t total = 0;
+  Cell prev = curve.CellAt(0);
+  for (Key key = 1; key < curve.num_cells(); ++key) {
+    const Cell next = curve.CellAt(key);
+    uint64_t step = 0;
+    for (int axis = 0; axis < curve.dims(); ++axis) {
+      step += static_cast<uint64_t>(
+          std::llabs(static_cast<int64_t>(prev[axis]) - next[axis]));
+    }
+    total += step;
+    stats.max_l1 = std::max(stats.max_l1, step);
+    if (step > 1) ++stats.jumps;
+    prev = next;
+  }
+  stats.mean_l1 =
+      static_cast<double>(total) / static_cast<double>(curve.num_cells() - 1);
+  return stats;
+}
+
+KeyGapStats KeyGapOfGridNeighbors(const SpaceFillingCurve& curve) {
+  KeyGapStats stats;
+  uint64_t pairs = 0;
+  long double total = 0;
+  const Coord side = curve.side();
+  ForEachCellInUniverse(curve.universe(), [&](const Cell& cell) {
+    const Key key = curve.IndexOf(cell);
+    // Count each undirected pair once: only look at +1 neighbors.
+    for (int axis = 0; axis < curve.dims(); ++axis) {
+      if (cell[axis] + 1 >= side) continue;
+      Cell up = cell;
+      up[axis] += 1;
+      const Key other = curve.IndexOf(up);
+      const uint64_t gap = other > key ? other - key : key - other;
+      total += static_cast<long double>(gap);
+      stats.max = std::max(stats.max, gap);
+      ++pairs;
+    }
+  });
+  if (pairs > 0) stats.mean = static_cast<double>(total / pairs);
+  return stats;
+}
+
+}  // namespace onion

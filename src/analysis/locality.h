@@ -1,0 +1,65 @@
+// Locality metrics beyond the clustering number.
+//
+// 1. Inter-cluster gaps: the paper's conclusion singles out "the distance
+//    between different clusters of the same query region, which tends to be
+//    important in fetching data from the disk" as an unanalyzed aspect of
+//    clustering and explicit future work. ComputeClusterGaps quantifies it:
+//    the key-space distances between consecutive clusters of a query.
+//
+// 2. Stretch-style metrics (Gotsman & Lindenbaum 1996, cited as [14]):
+//    how far apart in space consecutive curve positions are
+//    (NeighborStretch), and how far apart in key space grid-adjacent cells
+//    land (KeyGapOfGridNeighbors).
+
+#ifndef ONION_ANALYSIS_LOCALITY_H_
+#define ONION_ANALYSIS_LOCALITY_H_
+
+#include <cstdint>
+
+#include "sfc/curve.h"
+
+namespace onion {
+
+/// Key-space distances between the consecutive clusters of one query.
+struct ClusterGapStats {
+  uint64_t clusters = 0;   ///< number of clusters (= seeks)
+  uint64_t total_gap = 0;  ///< sum of key gaps between consecutive clusters
+  uint64_t max_gap = 0;    ///< largest single gap
+  uint64_t span = 0;       ///< last key - first key + 1 over the whole query
+
+  /// Average gap between consecutive clusters (0 if a single cluster).
+  double MeanGap() const {
+    return clusters <= 1
+               ? 0.0
+               : static_cast<double>(total_gap) /
+                     static_cast<double>(clusters - 1);
+  }
+};
+
+/// Exact inter-cluster gap statistics of `box` under `curve`.
+ClusterGapStats ComputeClusterGaps(const SpaceFillingCurve& curve,
+                                   const Box& box);
+
+/// Spatial distance between consecutive curve positions.
+struct StretchStats {
+  double mean_l1 = 0;  ///< average L1 distance of steps (1 iff continuous)
+  uint64_t max_l1 = 0;  ///< largest single step
+  uint64_t jumps = 0;   ///< steps with L1 distance > 1
+};
+
+/// Full-scan stretch of the curve: O(n) CellAt calls.
+StretchStats NeighborStretch(const SpaceFillingCurve& curve);
+
+/// Key-space gap of grid neighbors: for every grid-adjacent cell pair, the
+/// absolute key difference. Reports the mean and max over all pairs
+/// (Gotsman-Lindenbaum-style locality; smaller is better for near-neighbor
+/// access patterns). O(n * d).
+struct KeyGapStats {
+  double mean = 0;
+  uint64_t max = 0;
+};
+KeyGapStats KeyGapOfGridNeighbors(const SpaceFillingCurve& curve);
+
+}  // namespace onion
+
+#endif  // ONION_ANALYSIS_LOCALITY_H_

@@ -1,0 +1,53 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace onion {
+
+CommandLine::CommandLine(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg);
+      std::exit(2);
+    }
+    std::string body = arg + 2;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";  // bare boolean flag
+    }
+  }
+}
+
+int64_t CommandLine::GetInt(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second;
+}
+
+bool CommandLine::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace onion

@@ -1,0 +1,34 @@
+// Tiny command-line flag parser for the benchmark and example binaries.
+// Supports "--name=value" and "--name value". Unrecognized flags abort with
+// a usage message so that typos in experiment parameters are never silently
+// ignored.
+
+#ifndef ONION_COMMON_CLI_H_
+#define ONION_COMMON_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace onion {
+
+class CommandLine {
+ public:
+  /// Parses argv. Flags must look like --key=value or --key value.
+  CommandLine(int argc, char** argv);
+
+  /// Returns the flag value, or `def` if the flag was not passed.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace onion
+
+#endif  // ONION_COMMON_CLI_H_

@@ -1,0 +1,40 @@
+// Lightweight assertion macros used across the onion-curve library.
+//
+// ONION_CHECK is active in all build types: library invariants must hold in
+// release benchmarks too, and the cost is negligible relative to the work
+// done per check site. ONION_DCHECK compiles away in NDEBUG builds and is
+// meant for hot loops.
+
+#ifndef ONION_COMMON_MACROS_H_
+#define ONION_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ONION_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define ONION_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define ONION_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define ONION_DCHECK(cond) ONION_CHECK(cond)
+#endif
+
+#endif  // ONION_COMMON_MACROS_H_

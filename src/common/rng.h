@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// We deliberately do not use std::mt19937 + std::uniform_int_distribution in
+// workload generators: their outputs are not guaranteed to be identical
+// across standard library implementations, and reproducing the paper's
+// experiment tables requires bit-stable workloads. Xoshiro256++ seeded via
+// SplitMix64 is small, fast and fully specified here.
+
+#ifndef ONION_COMMON_RNG_H_
+#define ONION_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace onion {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256++ generator. Deterministic across platforms for a given seed.
+class Rng {
+ public:
+  /// Seeds the generator; any 64-bit value (including 0) is a valid seed.
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(&sm);
+  }
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound] (inclusive). Uses rejection sampling so
+  /// the distribution is exactly uniform.
+  uint64_t UniformInclusive(uint64_t bound) {
+    if (bound == ~0ULL) return Next();
+    const uint64_t range = bound + 1;
+    // Largest multiple of `range` that fits in 2^64.
+    const uint64_t limit = ~0ULL - (~0ULL % range);
+    uint64_t draw = Next();
+    while (draw >= limit) draw = Next();
+    return draw % range;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    ONION_DCHECK(lo <= hi);
+    return lo + UniformInclusive(hi - lo);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace onion
+
+#endif  // ONION_COMMON_RNG_H_

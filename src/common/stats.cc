@@ -1,0 +1,52 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace onion {
+
+namespace {
+
+// Type-7 quantile (linear interpolation between closest ranks) of a sorted
+// sample; q in [0, 1].
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string BoxPlot::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.1f / %.1f / %.1f / %.1f / %.1f (mean %.2f)",
+                min, q25, median, q75, max, mean);
+  return buf;
+}
+
+BoxPlot Summarize(std::vector<double> sample) {
+  BoxPlot out;
+  out.count = sample.size();
+  if (sample.empty()) return out;
+  std::sort(sample.begin(), sample.end());
+  out.min = sample.front();
+  out.max = sample.back();
+  out.q25 = SortedQuantile(sample, 0.25);
+  out.median = SortedQuantile(sample, 0.5);
+  out.q75 = SortedQuantile(sample, 0.75);
+  out.mean = std::accumulate(sample.begin(), sample.end(), 0.0) /
+             static_cast<double>(sample.size());
+  return out;
+}
+
+BoxPlot Summarize(const std::vector<uint64_t>& sample) {
+  std::vector<double> as_double(sample.begin(), sample.end());
+  return Summarize(std::move(as_double));
+}
+
+}  // namespace onion

@@ -1,0 +1,40 @@
+// Order statistics used to report the paper's box plots (Figures 5-7) as
+// numeric five-number summaries.
+
+#ifndef ONION_COMMON_STATS_H_
+#define ONION_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace onion {
+
+/// Five-number summary plus mean, matching the box plots in the paper
+/// ("25 percentile and 75 percentile within the box, as well as the median,
+/// minimum, and maximum").
+struct BoxPlot {
+  double min = 0;
+  double q25 = 0;
+  double median = 0;
+  double q75 = 0;
+  double max = 0;
+  double mean = 0;
+  size_t count = 0;
+
+  /// Renders as "min/q25/med/q75/max (mean)" with fixed precision.
+  std::string ToString() const;
+};
+
+/// Computes the summary of a sample. The input is copied and sorted
+/// internally; quantiles use linear interpolation between closest ranks
+/// (type-7, the numpy/R default). An empty sample yields an all-zero
+/// summary with count == 0.
+BoxPlot Summarize(std::vector<double> sample);
+
+/// Convenience overload for integer samples (clustering numbers).
+BoxPlot Summarize(const std::vector<uint64_t>& sample);
+
+}  // namespace onion
+
+#endif  // ONION_COMMON_STATS_H_

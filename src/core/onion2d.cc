@@ -1,0 +1,107 @@
+#include "core/onion2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onion {
+
+namespace {
+
+// Largest integer r with r * r <= value, exact for all 64-bit inputs.
+uint64_t ISqrt(uint64_t value) {
+  if (value == 0) return 0;
+  auto r = static_cast<uint64_t>(std::sqrt(static_cast<double>(value)));
+  // std::sqrt on 64-bit inputs can be off by one in either direction.
+  while (r > 0 && r * r > value) --r;
+  while ((r + 1) * (r + 1) <= value) ++r;
+  return r;
+}
+
+}  // namespace
+
+Key OnionPerimeterIndex(Coord u, Coord v, Coord j) {
+  ONION_DCHECK(u < j && v < j);
+  ONION_DCHECK(u == 0 || v == 0 || u == j - 1 || v == j - 1);
+  // The four cases of the paper's O_j definition.
+  if (v == 0) return u;                                  // bottom row
+  if (u == j - 1) return static_cast<Key>(j) - 1 + v;    // right column
+  if (v == j - 1) return 3 * (static_cast<Key>(j) - 1) - u;  // top row
+  return 4 * (static_cast<Key>(j) - 1) - v;              // left column
+}
+
+void OnionPerimeterCell(Key pos, Coord j, Coord* u, Coord* v) {
+  const Key jj = j;
+  if (j == 1) {
+    ONION_DCHECK(pos == 0);
+    *u = 0;
+    *v = 0;
+    return;
+  }
+  ONION_DCHECK(pos < 4 * (jj - 1));
+  if (pos <= jj - 1) {  // bottom row: (pos, 0)
+    *u = static_cast<Coord>(pos);
+    *v = 0;
+  } else if (pos <= 2 * jj - 2) {  // right column: (j-1, pos-(j-1))
+    *u = j - 1;
+    *v = static_cast<Coord>(pos - (jj - 1));
+  } else if (pos <= 3 * jj - 3) {  // top row: (3j-3-pos, j-1)
+    *u = static_cast<Coord>(3 * (jj - 1) - pos);
+    *v = j - 1;
+  } else {  // left column: (0, 4j-4-pos)
+    *u = 0;
+    *v = static_cast<Coord>(4 * (jj - 1) - pos);
+  }
+}
+
+Key Onion2DLocalIndex(Coord u, Coord v, Coord j) {
+  ONION_DCHECK(u < j && v < j);
+  const Coord layer =
+      std::min(std::min(u, j - 1 - u), std::min(v, j - 1 - v));
+  const Coord local_side = j - 2 * layer;
+  const Key outer = static_cast<Key>(j) * j -
+                    static_cast<Key>(local_side) * local_side;
+  return outer +
+         OnionPerimeterIndex(u - layer, v - layer, local_side);
+}
+
+void Onion2DLocalCell(Key key, Coord j, Coord* u, Coord* v) {
+  const Key total = static_cast<Key>(j) * j;
+  ONION_DCHECK(key < total);
+  // Find the layer: the local square of side `ls` satisfies ls^2 >= total -
+  // key, with ls of the same parity as j; the smallest such ls belongs to
+  // the cell's layer.
+  const uint64_t remaining = total - key;
+  uint64_t ls = ISqrt(remaining);
+  if (ls * ls < remaining) ++ls;         // ceil
+  if (((j - ls) & 1) != 0) ++ls;         // match parity of j
+  const Coord local_side = static_cast<Coord>(ls);
+  const Coord layer = (j - local_side) / 2;
+  const Key pos = key - (total - ls * ls);
+  Coord lu = 0;
+  Coord lv = 0;
+  OnionPerimeterCell(pos, local_side, &lu, &lv);
+  *u = lu + layer;
+  *v = lv + layer;
+}
+
+Result<std::unique_ptr<Onion2D>> Onion2D::Make(const Universe& universe) {
+  if (universe.dims() != 2) {
+    return Status::InvalidArgument("Onion2D requires a 2D universe");
+  }
+  return std::unique_ptr<Onion2D>(new Onion2D(universe));
+}
+
+Key Onion2D::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  return Onion2DLocalIndex(cell.x(), cell.y(), side());
+}
+
+Cell Onion2D::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  Coord u = 0;
+  Coord v = 0;
+  Onion2DLocalCell(key, side(), &u, &v);
+  return Cell(u, v);
+}
+
+}  // namespace onion

@@ -1,0 +1,60 @@
+// The two-dimensional onion curve (paper, Sec. III-A).
+//
+// The curve orders cells layer by layer: all cells at distance 1 from the
+// universe boundary first (the outermost "onion shell"), then distance 2,
+// and so on inward. Within a layer of local side j, the perimeter is walked
+// bottom row left-to-right, right column bottom-to-top, top row
+// right-to-left, then left column top-to-bottom — exactly the recursive
+// definition O_j in the paper, unrolled to a closed form.
+//
+// The curve is continuous (Definition 1): consecutive positions are always
+// grid neighbors, including across layer transitions, because each layer
+// ends at local (0, 1) which is adjacent to the next layer's start (1, 1).
+//
+// Works for any side >= 1 (the paper assumes an even side; odd sides simply
+// terminate in a single center cell).
+
+#ifndef ONION_CORE_ONION2D_H_
+#define ONION_CORE_ONION2D_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+/// Position of local cell (u, v) on the perimeter walk of a j x j square,
+/// valid only for cells on the perimeter (u or v equal to 0 or j-1).
+/// This is the paper's O_j restricted to its first layer.
+Key OnionPerimeterIndex(Coord u, Coord v, Coord j);
+
+/// Inverse of OnionPerimeterIndex: decodes perimeter position `pos`
+/// (0 <= pos < 4j-4, or pos == 0 when j == 1) to local coordinates.
+void OnionPerimeterCell(Key pos, Coord j, Coord* u, Coord* v);
+
+/// Full 2D onion index of local cell (u, v) within a j x j square
+/// (all layers, not just the perimeter).
+Key Onion2DLocalIndex(Coord u, Coord v, Coord j);
+
+/// Inverse of Onion2DLocalIndex.
+void Onion2DLocalCell(Key key, Coord j, Coord* u, Coord* v);
+
+/// The 2D onion curve over a square universe.
+class Onion2D final : public SpaceFillingCurve {
+ public:
+  /// Creates the curve; fails unless dims == 2. Any side >= 1 is accepted.
+  static Result<std::unique_ptr<Onion2D>> Make(const Universe& universe);
+
+  std::string name() const override { return "onion"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return true; }
+
+ private:
+  explicit Onion2D(const Universe& universe) : SpaceFillingCurve(universe) {}
+};
+
+}  // namespace onion
+
+#endif  // ONION_CORE_ONION2D_H_

@@ -1,0 +1,211 @@
+#include "core/onion3d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/onion2d.h"
+
+namespace onion {
+
+namespace {
+
+// Largest integer r with r^3 <= value, exact for 64-bit inputs.
+uint64_t ICbrt(uint64_t value) {
+  if (value == 0) return 0;
+  auto r = static_cast<uint64_t>(std::cbrt(static_cast<double>(value)));
+  while (r > 0 && r * r * r > value) --r;
+  while ((r + 1) * (r + 1) * (r + 1) <= value) ++r;
+  return r;
+}
+
+// Sizes of the ten groups S1..S10 for a layer whose full width is w
+// (w = side - 2*layer, w >= 2). Groups are 0-indexed here (g-1).
+void GroupSizes(Coord w, Key sizes[10]) {
+  const Key face = static_cast<Key>(w) * w;
+  const Key inner = w - 2;
+  const Key plane = inner * inner;
+  sizes[0] = face;   // S1: face i = lo
+  sizes[1] = face;   // S2: face i = hi
+  sizes[2] = inner;  // S3: line j=lo, k=lo
+  sizes[3] = plane;  // S4: plane j=lo, k interior
+  sizes[4] = inner;  // S5: line j=lo, k=hi
+  sizes[5] = inner;  // S6: line j=hi, k=lo
+  sizes[6] = plane;  // S7: plane j=hi, k interior
+  sizes[7] = inner;  // S8: line j=hi, k=hi
+  sizes[8] = plane;  // S9: plane j interior, k=lo
+  sizes[9] = plane;  // S10: plane j interior, k=hi
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Onion3D>> Onion3D::Make(const Universe& universe) {
+  return MakeWithGroupOrder(universe, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+}
+
+Result<std::unique_ptr<Onion3D>> Onion3D::MakeWithGroupOrder(
+    const Universe& universe, const std::array<int, 10>& group_order) {
+  if (universe.dims() != 3) {
+    return Status::InvalidArgument("Onion3D requires a 3D universe");
+  }
+  if (universe.side() % 2 != 0) {
+    return Status::InvalidArgument(
+        "Onion3D follows the paper's construction and requires an even side");
+  }
+  bool seen[10] = {};
+  for (const int g : group_order) {
+    if (g < 1 || g > 10 || seen[g - 1]) {
+      return Status::InvalidArgument(
+          "group_order must be a permutation of {1, ..., 10}");
+    }
+    seen[g - 1] = true;
+  }
+  return std::unique_ptr<Onion3D>(new Onion3D(universe, group_order));
+}
+
+Onion3D::TripleKey Onion3D::TripleKeyOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  const Coord s = side();
+  const Coord i = cell[0];
+  const Coord j = cell[1];
+  const Coord k = cell[2];
+  const Coord layer = universe().Layer(cell);  // 0-based
+  const Coord lo = layer;
+  const Coord hi = s - 1 - layer;
+  const Coord w = s - 2 * layer;
+
+  TripleKey triple;
+  triple.t = layer + 1;
+
+  if (i == lo) {  // S1: full face, 2D onion over (j, k)
+    triple.g = 1;
+    triple.r = Onion2DLocalIndex(j - lo, k - lo, w);
+    return triple;
+  }
+  if (i == hi) {  // S2
+    triple.g = 2;
+    triple.r = Onion2DLocalIndex(j - lo, k - lo, w);
+    return triple;
+  }
+  // Band: i interior; (j, k) on the boundary of the (j, k) square.
+  const Key ri = i - lo - 1;  // natural rank along the interior i-range
+  const Coord wi = w - 2;
+  if (j == lo && k == lo) {  // S3
+    triple.g = 3;
+    triple.r = ri;
+  } else if (j == lo && k == hi) {  // S5
+    triple.g = 5;
+    triple.r = ri;
+  } else if (j == hi && k == lo) {  // S6
+    triple.g = 6;
+    triple.r = ri;
+  } else if (j == hi && k == hi) {  // S8
+    triple.g = 8;
+    triple.r = ri;
+  } else if (j == lo) {  // S4: plane over (i, k), both interior
+    triple.g = 4;
+    triple.r = Onion2DLocalIndex(i - lo - 1, k - lo - 1, wi);
+  } else if (j == hi) {  // S7
+    triple.g = 7;
+    triple.r = Onion2DLocalIndex(i - lo - 1, k - lo - 1, wi);
+  } else if (k == lo) {  // S9: plane over (i, j), both interior
+    triple.g = 9;
+    triple.r = Onion2DLocalIndex(i - lo - 1, j - lo - 1, wi);
+  } else {  // S10
+    ONION_DCHECK(k == hi);
+    triple.g = 10;
+    triple.r = Onion2DLocalIndex(i - lo - 1, j - lo - 1, wi);
+  }
+  return triple;
+}
+
+Key Onion3D::IndexOf(const Cell& cell) const {
+  const Coord s = side();
+  const Coord layer = universe().Layer(cell);
+  const Coord w = s - 2 * layer;
+  // K1: cells in all outer layers = s^3 - w^3.
+  const Key k1 = static_cast<Key>(s) * s * s - static_cast<Key>(w) * w * w;
+  const TripleKey triple = TripleKeyOf(cell);
+  Key sizes[10];
+  GroupSizes(w, sizes);
+  // Sum the sizes of groups laid out before this cell's group.
+  const int position = position_of_group_[triple.g - 1];
+  Key k2 = 0;
+  for (int pos = 0; pos < position; ++pos) {
+    k2 += sizes[group_order_[static_cast<size_t>(pos)] - 1];
+  }
+  return k1 + k2 + triple.r;
+}
+
+Cell Onion3D::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  const Coord s = side();
+  const Key total = static_cast<Key>(s) * s * s;
+  // Find the layer: smallest even-parity w with w^3 >= total - key.
+  const uint64_t remaining = total - key;
+  uint64_t wc = ICbrt(remaining);
+  if (wc * wc * wc < remaining) ++wc;      // ceil
+  if (((s - wc) & 1) != 0) ++wc;           // match parity (s even => w even)
+  const Coord w = static_cast<Coord>(wc);
+  const Coord layer = (s - w) / 2;
+  const Coord lo = layer;
+  const Coord hi = s - 1 - layer;
+
+  Key pos = key - (total - wc * wc * wc);
+  Key sizes[10];
+  GroupSizes(w, sizes);
+  int layout_pos = 0;
+  while (pos >= sizes[group_order_[static_cast<size_t>(layout_pos)] - 1]) {
+    pos -= sizes[group_order_[static_cast<size_t>(layout_pos)] - 1];
+    ++layout_pos;
+  }
+  const int g = group_order_[static_cast<size_t>(layout_pos)] - 1;
+  // g is 0-based here; r = pos.
+  const Coord wi = w - 2;
+  Coord a = 0;
+  Coord b = 0;
+  Cell cell;
+  cell.dims = 3;
+  switch (g + 1) {
+    case 1:
+      Onion2DLocalCell(pos, w, &a, &b);
+      cell = Cell(lo, a + lo, b + lo);
+      break;
+    case 2:
+      Onion2DLocalCell(pos, w, &a, &b);
+      cell = Cell(hi, a + lo, b + lo);
+      break;
+    case 3:
+      cell = Cell(static_cast<Coord>(lo + 1 + pos), lo, lo);
+      break;
+    case 4:
+      Onion2DLocalCell(pos, wi, &a, &b);
+      cell = Cell(a + lo + 1, lo, b + lo + 1);
+      break;
+    case 5:
+      cell = Cell(static_cast<Coord>(lo + 1 + pos), lo, hi);
+      break;
+    case 6:
+      cell = Cell(static_cast<Coord>(lo + 1 + pos), hi, lo);
+      break;
+    case 7:
+      Onion2DLocalCell(pos, wi, &a, &b);
+      cell = Cell(a + lo + 1, hi, b + lo + 1);
+      break;
+    case 8:
+      cell = Cell(static_cast<Coord>(lo + 1 + pos), hi, hi);
+      break;
+    case 9:
+      Onion2DLocalCell(pos, wi, &a, &b);
+      cell = Cell(a + lo + 1, b + lo + 1, lo);
+      break;
+    case 10:
+      Onion2DLocalCell(pos, wi, &a, &b);
+      cell = Cell(a + lo + 1, b + lo + 1, hi);
+      break;
+    default:
+      ONION_CHECK_MSG(false, "corrupt group index");
+  }
+  return cell;
+}
+
+}  // namespace onion

@@ -1,0 +1,70 @@
+// The three-dimensional onion curve (paper, Sec. VI-A).
+//
+// The universe of side s = 2m is ordered layer by layer (S(1) outermost).
+// Within layer t, cells are indexed in ten groups S1..S10, exactly as in
+// the paper: the two full faces i = lo and i = hi first (each an s' x s'
+// square ordered by the 2D onion curve), then the four edge lines and four
+// edge planes of the remaining band. Planes are ordered by the 2D onion
+// curve on their two free axes (in increasing axis order); lines in natural
+// order. The cell's index is K1(t) + K2(t, g) + r for its triple key
+// (t, g, r), matching the paper's indexing scheme.
+
+#ifndef ONION_CORE_ONION3D_H_
+#define ONION_CORE_ONION3D_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+class Onion3D final : public SpaceFillingCurve {
+ public:
+  /// Creates the curve; fails unless dims == 3 and the side is even
+  /// (the paper's setting, side = 2m). Groups are laid out in the paper's
+  /// order S1..S10.
+  static Result<std::unique_ptr<Onion3D>> Make(const Universe& universe);
+
+  /// Creates the curve with a custom within-layer group order. The paper
+  /// notes the group order "is not so important. We can actually adopt any
+  /// permutation" (Sec. VI-A); this constructor enables the ablation that
+  /// verifies it. `group_order` must be a permutation of {1, ..., 10}.
+  static Result<std::unique_ptr<Onion3D>> MakeWithGroupOrder(
+      const Universe& universe, const std::array<int, 10>& group_order);
+
+  std::string name() const override { return "onion"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  /// The 3D onion curve is "almost continuous" (paper, Sec. VI-C): the vast
+  /// majority of steps are between neighbors but group boundaries within a
+  /// layer may jump, so it does not satisfy Definition 1 exactly.
+  bool is_continuous() const override { return false; }
+
+  /// The paper's triple key (t, g, r): 1-based layer t, group g in [1, 10],
+  /// rank r within the group. Exposed for tests and the visualizer.
+  struct TripleKey {
+    Coord t = 1;
+    int g = 1;
+    Key r = 0;
+  };
+  TripleKey TripleKeyOf(const Cell& cell) const;
+
+  /// The group laid out at position `pos` (0-based) within each layer.
+  int GroupAtPosition(int pos) const { return group_order_[pos]; }
+
+ private:
+  Onion3D(const Universe& universe, const std::array<int, 10>& group_order)
+      : SpaceFillingCurve(universe), group_order_(group_order) {
+    for (int pos = 0; pos < 10; ++pos) {
+      position_of_group_[group_order_[pos] - 1] = pos;
+    }
+  }
+
+  std::array<int, 10> group_order_;  // layout position -> group id (1-based)
+  int position_of_group_[10];        // group id - 1 -> layout position
+};
+
+}  // namespace onion
+
+#endif  // ONION_CORE_ONION3D_H_

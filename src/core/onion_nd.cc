@@ -1,0 +1,130 @@
+#include "core/onion_nd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onion {
+
+namespace {
+
+Key CubePow(Coord w, int d) {
+  Key result = 1;
+  for (int i = 0; i < d; ++i) result *= w;
+  return result;
+}
+
+// Smallest r with r^d >= value (integer d-th root, rounded up), exact.
+uint64_t IRootCeil(uint64_t value, int d) {
+  if (value <= 1) return value;
+  auto r = static_cast<uint64_t>(
+      std::pow(static_cast<double>(value), 1.0 / d));
+  // Guard against floating-point error in either direction.
+  while (r > 1 && CubePow(static_cast<Coord>(r - 1), d) >= value) --r;
+  while (CubePow(static_cast<Coord>(r), d) < value) ++r;
+  return r;
+}
+
+// Forward declarations of the mutually recursive encode/decode helpers.
+// All operate on local coordinates of a d-cube of side w.
+Key CubeIndex(const Coord* c, int d, Coord w);
+Key ShellIndex(const Coord* c, int d, Coord w);
+void CubeCell(Key key, int d, Coord w, Coord* c);
+void ShellCell(Key pos, int d, Coord w, Coord* c);
+
+// Full onion index within a d-cube of side w. For d == 1 this degenerates
+// to the natural order (see header).
+Key CubeIndex(const Coord* c, int d, Coord w) {
+  if (d == 1) return c[0];
+  Coord layer = w;  // min over axes of distance-to-boundary (0-based)
+  for (int axis = 0; axis < d; ++axis) {
+    layer = std::min(layer, std::min(c[axis], w - 1 - c[axis]));
+  }
+  const Coord ws = w - 2 * layer;  // shell width
+  const Key base = CubePow(w, d) - CubePow(ws, d);
+  Coord local[kMaxDims];
+  for (int axis = 0; axis < d; ++axis) local[axis] = c[axis] - layer;
+  return base + ShellIndex(local, d, ws);
+}
+
+// Index within the outermost shell (layer 0) of a d-cube of side w.
+// Requires that some coordinate equals 0 or w-1 (or w == 1).
+Key ShellIndex(const Coord* c, int d, Coord w) {
+  if (d == 1) {
+    if (w == 1) return 0;
+    ONION_DCHECK(c[0] == 0 || c[0] == w - 1);
+    return c[0] == 0 ? 0 : 1;
+  }
+  const Key face = CubePow(w, d - 1);
+  if (c[0] == 0) return CubeIndex(c + 1, d - 1, w);
+  if (c[0] == w - 1) return face + CubeIndex(c + 1, d - 1, w);
+  // Band: x0 interior, remaining coordinates on the (d-1)-shell.
+  ONION_DCHECK(w > 2);
+  return 2 * face + ShellIndex(c + 1, d - 1, w) * (w - 2) + (c[0] - 1);
+}
+
+void CubeCell(Key key, int d, Coord w, Coord* c) {
+  if (d == 1) {
+    c[0] = static_cast<Coord>(key);
+    return;
+  }
+  const Key total = CubePow(w, d);
+  ONION_DCHECK(key < total);
+  const uint64_t remaining = total - key;
+  uint64_t ws = IRootCeil(remaining, d);
+  if (((w - ws) & 1) != 0) ++ws;  // match parity of w
+  const Coord shell_width = static_cast<Coord>(ws);
+  const Coord layer = (w - shell_width) / 2;
+  const Key pos = key - (total - CubePow(shell_width, d));
+  ShellCell(pos, d, shell_width, c);
+  for (int axis = 0; axis < d; ++axis) c[axis] += layer;
+}
+
+void ShellCell(Key pos, int d, Coord w, Coord* c) {
+  if (d == 1) {
+    ONION_DCHECK(pos <= 1);
+    c[0] = pos == 0 ? 0 : w - 1;
+    return;
+  }
+  const Key face = CubePow(w, d - 1);
+  if (pos < face) {
+    c[0] = 0;
+    CubeCell(pos, d - 1, w, c + 1);
+    return;
+  }
+  if (pos < 2 * face) {
+    c[0] = w - 1;
+    CubeCell(pos - face, d - 1, w, c + 1);
+    return;
+  }
+  ONION_DCHECK(w > 2);
+  const Key band = pos - 2 * face;
+  const Key shell_pos = band / (w - 2);
+  const Key interior = band % (w - 2);
+  c[0] = static_cast<Coord>(1 + interior);
+  ShellCell(shell_pos, d - 1, w, c + 1);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<OnionND>> OnionND::Make(const Universe& universe) {
+  return std::unique_ptr<OnionND>(new OnionND(universe));
+}
+
+Key OnionND::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  Coord local[kMaxDims];
+  for (int axis = 0; axis < dims(); ++axis) local[axis] = cell[axis];
+  return CubeIndex(local, dims(), side());
+}
+
+Cell OnionND::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  Cell cell;
+  cell.dims = dims();
+  Coord local[kMaxDims] = {};
+  CubeCell(key, dims(), side(), local);
+  for (int axis = 0; axis < dims(); ++axis) cell[axis] = local[axis];
+  return cell;
+}
+
+}  // namespace onion

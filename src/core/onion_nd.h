@@ -1,0 +1,49 @@
+// d-dimensional onion curve — the paper's "future work" extension
+// (Sec. VIII: "The onion curve can be extended naturally to higher
+// dimensions, using the idea of ordering points according to increasing
+// distance from the edge of the universe").
+//
+// The essential property, which all of the paper's clustering upper bounds
+// rest on, is that layers are ordered sequentially (Sec. VI-A: "the order in
+// which the onion curve organizes the different groups ... is not so
+// important. We can actually adopt any permutation"). Within a layer (the
+// shell of a w^d cube) this implementation uses a recursive face ordering:
+//
+//   1. face x0 = 0:   a full (d-1)-cube slice, ordered by onion_{d-1};
+//   2. face x0 = w-1: likewise;
+//   3. the band (x0 interior) x shell_{d-1}, ordered lexicographically by
+//      (shell position of the remaining coordinates, x0).
+//
+// For d = 2 and d = 3 prefer Onion2D / Onion3D, which implement the paper's
+// exact constructions (and in 2D are continuous); OnionND is the generic
+// extension and is not continuous for d >= 2.
+
+#ifndef ONION_CORE_ONION_ND_H_
+#define ONION_CORE_ONION_ND_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+class OnionND final : public SpaceFillingCurve {
+ public:
+  /// Creates the generic onion curve for any dims in [1, kMaxDims].
+  static Result<std::unique_ptr<OnionND>> Make(const Universe& universe);
+
+  std::string name() const override { return "onion_nd"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override {
+    return dims() == 1 || num_cells() == 1;
+  }
+
+ private:
+  explicit OnionND(const Universe& universe) : SpaceFillingCurve(universe) {}
+};
+
+}  // namespace onion
+
+#endif  // ONION_CORE_ONION_ND_H_

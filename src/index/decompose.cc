@@ -1,0 +1,175 @@
+#include "index/decompose.h"
+
+#include <algorithm>
+
+namespace onion {
+
+namespace {
+
+struct HierarchicalState {
+  const SpaceFillingCurve* curve;
+  const Box* box;
+  std::vector<KeyRange>* out;
+};
+
+// Recursively visits the aligned subcube with lower corner `origin` and
+// side `size` (a power of the curve's aligned_block_base()).
+void Visit(const HierarchicalState& state, const Cell& origin, Coord size) {
+  const Box& query = *state.box;
+  const int d = query.dims();
+  // Disjoint / containment tests per axis.
+  bool contained = true;
+  for (int axis = 0; axis < d; ++axis) {
+    const Coord lo = origin[axis];
+    const Coord hi = origin[axis] + size - 1;
+    if (hi < query.lo[axis] || lo > query.hi[axis]) return;  // disjoint
+    if (lo < query.lo[axis] || hi > query.hi[axis]) contained = false;
+  }
+  if (contained) {
+    // The whole subcube maps to one aligned key block.
+    Key block = 1;
+    for (int axis = 0; axis < d; ++axis) block *= size;
+    const Key key = state.curve->IndexOf(origin);
+    const Key base = key - key % block;
+    state.out->push_back(KeyRange{base, base + block - 1});
+    return;
+  }
+  ONION_DCHECK(size > 1);
+  const Coord base_b = state.curve->aligned_block_base();
+  const Coord sub = size / base_b;
+  // Recurse into the base^d children (odometer over per-axis offsets).
+  Coord offsets[kMaxDims] = {};
+  for (;;) {
+    Cell child = origin;
+    for (int axis = 0; axis < d; ++axis) {
+      child[axis] += offsets[axis] * sub;
+    }
+    Visit(state, child, sub);
+    int axis = 0;
+    while (axis < d) {
+      if (++offsets[axis] < base_b) break;
+      offsets[axis] = 0;
+      ++axis;
+    }
+    if (axis == d) break;
+  }
+}
+
+}  // namespace
+
+void MergeAdjacentRanges(std::vector<KeyRange>* ranges) {
+  if (ranges->empty()) return;
+  std::sort(ranges->begin(), ranges->end(),
+            [](const KeyRange& a, const KeyRange& b) { return a.lo < b.lo; });
+  size_t write = 0;
+  for (size_t read = 1; read < ranges->size(); ++read) {
+    KeyRange& current = (*ranges)[write];
+    const KeyRange& next = (*ranges)[read];
+    if (next.lo <= current.hi + 1) {
+      current.hi = std::max(current.hi, next.hi);
+    } else {
+      (*ranges)[++write] = next;
+    }
+  }
+  ranges->resize(write + 1);
+}
+
+std::vector<KeyRange> DecomposeHierarchical(const SpaceFillingCurve& curve,
+                                            const Box& box) {
+  ONION_CHECK_MSG(curve.has_contiguous_aligned_blocks(),
+                  "hierarchical decomposition needs a bit-recursive curve");
+  std::vector<KeyRange> out;
+  HierarchicalState state{&curve, &box, &out};
+  Visit(state, Cell::Filled(curve.dims(), 0), curve.side());
+  MergeAdjacentRanges(&out);
+  return out;
+}
+
+std::vector<KeyRange> DecomposeByClusterScan(const SpaceFillingCurve& curve,
+                                             const Box& box) {
+  return ClusterRanges(curve, box);
+}
+
+std::vector<KeyRange> DecomposeOnion2DAnalytic(const Onion2D& curve,
+                                               const Box& box) {
+  ONION_CHECK(box.dims() == 2);
+  const Coord s = curve.side();
+  const Coord x0 = box.lo.x();
+  const Coord x1 = box.hi.x();
+  const Coord y0 = box.lo.y();
+  const Coord y1 = box.hi.y();
+
+  // Layer range touched by the box. The per-axis distance-to-boundary is a
+  // tent function, so its min over an interval sits at an endpoint and its
+  // max at the midpoint (if covered) or the nearer endpoint.
+  auto tent = [s](Coord c) { return std::min(c, s - 1 - c); };
+  auto tent_max = [&](Coord a, Coord b) {
+    const Coord mid_lo = (s - 1) / 2;
+    const Coord mid_hi = s / 2 > 0 ? s / 2 : 0;
+    if (a <= mid_lo && mid_lo <= b) return tent(mid_lo);
+    if (a <= mid_hi && mid_hi <= b) return tent(mid_hi);
+    return std::max(tent(a), tent(b));
+  };
+  const Coord layer_min =
+      std::min(std::min(tent(x0), tent(x1)), std::min(tent(y0), tent(y1)));
+  const Coord layer_max = std::min(tent_max(x0, x1), tent_max(y0, y1));
+
+  std::vector<KeyRange> ranges;
+  for (Coord layer = layer_min; layer <= layer_max; ++layer) {
+    const Coord j = s - 2 * layer;  // local side of the layer ring
+    const Coord lo = layer;
+    const Coord hi = s - 1 - layer;
+    const Key base = static_cast<Key>(s) * s - static_cast<Key>(j) * j;
+    if (j == 1) {  // degenerate center cell (odd side)
+      if (box.Contains(Cell(lo, lo))) ranges.push_back(KeyRange{base, base});
+      break;
+    }
+    const Key jj = j;
+    // Horizontal overlap of the box with the ring's u-range [0, j-1].
+    const Coord ux0 = std::max(x0, lo) - lo;
+    const Coord ux1 = std::min(x1, hi) - lo;
+    const bool x_overlap = std::max(x0, lo) <= std::min(x1, hi);
+    const Coord vy0 = std::max(y0, lo) - lo;
+    const Coord vy1 = std::min(y1, hi) - lo;
+    const bool y_overlap = std::max(y0, lo) <= std::min(y1, hi);
+    if (!x_overlap || !y_overlap) continue;
+
+    // Bottom row (v = 0): p = u.
+    if (y0 <= lo && lo <= y1) {
+      ranges.push_back(KeyRange{base + ux0, base + ux1});
+    }
+    // Right column (u = j-1): p = j-1+v.
+    if (x0 <= hi && hi <= x1) {
+      ranges.push_back(KeyRange{base + jj - 1 + vy0, base + jj - 1 + vy1});
+    }
+    // Top row (v = j-1): p = 3j-3-u (reversed).
+    if (y0 <= hi && hi <= y1) {
+      ranges.push_back(
+          KeyRange{base + 3 * (jj - 1) - ux1, base + 3 * (jj - 1) - ux0});
+    }
+    // Left column (u = 0, 1 <= v <= j-2): p = 4j-4-v (reversed).
+    if (x0 <= lo && lo <= x1) {
+      const Coord v_lo = std::max<Coord>(vy0, 1);
+      const Coord v_hi = std::min<Coord>(vy1, j - 2);
+      if (v_lo <= v_hi) {
+        ranges.push_back(
+            KeyRange{base + 4 * (jj - 1) - v_hi, base + 4 * (jj - 1) - v_lo});
+      }
+    }
+  }
+  MergeAdjacentRanges(&ranges);
+  return ranges;
+}
+
+std::vector<KeyRange> DecomposeBox(const SpaceFillingCurve& curve,
+                                   const Box& box) {
+  if (curve.has_contiguous_aligned_blocks()) {
+    return DecomposeHierarchical(curve, box);
+  }
+  if (const auto* onion2d = dynamic_cast<const Onion2D*>(&curve)) {
+    return DecomposeOnion2DAnalytic(*onion2d, box);
+  }
+  return DecomposeByClusterScan(curve, box);
+}
+
+}  // namespace onion

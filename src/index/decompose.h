@@ -1,0 +1,53 @@
+// Query-box -> key-range decomposition.
+//
+// A box query against an SFC index must be translated into a set of
+// one-dimensional key ranges; the number of ranges is exactly the
+// clustering number of the box (paper, Sec. I), and each range costs one
+// seek. Two exact algorithms:
+//
+//  * DecomposeHierarchical: for digit-recursive curves (Z-order, Gray-code,
+//    Hilbert: base 2; Peano: base 3) descends the implicit b^d-ary space
+//    partition; every aligned subcube fully inside the query contributes
+//    one aligned key block, and adjacent blocks are merged. Cost is
+//    proportional to the number of nodes intersecting the query boundary.
+//  * DecomposeByClusterScan: generic fallback for any curve, using the
+//    cluster-start/end scan from analysis/clustering.h.
+//
+// Both return the minimal sorted set of ranges covering exactly the query.
+
+#ifndef ONION_INDEX_DECOMPOSE_H_
+#define ONION_INDEX_DECOMPOSE_H_
+
+#include <vector>
+
+#include "analysis/clustering.h"
+#include "core/onion2d.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+/// Hierarchical decomposition; requires
+/// curve.has_contiguous_aligned_blocks().
+std::vector<KeyRange> DecomposeHierarchical(const SpaceFillingCurve& curve,
+                                            const Box& box);
+
+/// Analytic decomposition for the 2D onion curve: walks the O(side) layers
+/// intersecting the box and emits the (at most four) perimeter arcs each
+/// contributes, in O(layers) time — no per-cell work at all.
+std::vector<KeyRange> DecomposeOnion2DAnalytic(const Onion2D& curve,
+                                               const Box& box);
+
+/// Generic decomposition via cluster scanning (any curve).
+std::vector<KeyRange> DecomposeByClusterScan(const SpaceFillingCurve& curve,
+                                             const Box& box);
+
+/// Picks the cheapest exact algorithm for the curve.
+std::vector<KeyRange> DecomposeBox(const SpaceFillingCurve& curve,
+                                   const Box& box);
+
+/// Merges adjacent/overlapping ranges in a sorted range list (in place).
+void MergeAdjacentRanges(std::vector<KeyRange>* ranges);
+
+}  // namespace onion
+
+#endif  // ONION_INDEX_DECOMPOSE_H_

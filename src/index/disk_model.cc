@@ -1,0 +1,4 @@
+#include "index/disk_model.h"
+
+// DiskModel is header-only; this translation unit exists so the target has
+// a concrete object file and the header stays self-contained under IWYU.

@@ -1,0 +1,34 @@
+// A simple disk cost model that converts seek/scan counts into estimated
+// latency, demonstrating why the clustering number is the right figure of
+// merit for SFC-based indexes (paper, Sec. I: "a smaller clustering number
+// means better performance" because every cluster costs a disk seek).
+
+#ifndef ONION_INDEX_DISK_MODEL_H_
+#define ONION_INDEX_DISK_MODEL_H_
+
+#include <cstdint>
+
+namespace onion {
+
+struct DiskModel {
+  /// Cost of repositioning to the start of a new key range.
+  double seek_ms = 8.0;
+  /// Cost of sequentially reading one indexed entry.
+  double transfer_ms_per_entry = 0.001;
+
+  /// Estimated latency of a query that scanned `seeks` ranges touching
+  /// `entries` entries.
+  double EstimateMs(uint64_t seeks, uint64_t entries) const {
+    return seek_ms * static_cast<double>(seeks) +
+           transfer_ms_per_entry * static_cast<double>(entries);
+  }
+
+  /// A model of a typical spinning disk (default).
+  static DiskModel Hdd() { return DiskModel{8.0, 0.001}; }
+  /// A model of a NAND SSD: cheaper "seeks", same transfer.
+  static DiskModel Ssd() { return DiskModel{0.08, 0.0005}; }
+};
+
+}  // namespace onion
+
+#endif  // ONION_INDEX_DISK_MODEL_H_

@@ -1,0 +1,25 @@
+#include "index/spatial_index.h"
+
+namespace onion {
+
+std::vector<SpatialEntry> SpatialIndex::Query(const Box& box) const {
+  ONION_CHECK(curve_->universe().Contains(box));
+  std::vector<SpatialEntry> results;
+  const std::vector<KeyRange> ranges = DecomposeBox(*curve_, box);
+  ++stats_.queries;
+  stats_.ranges += ranges.size();
+  for (const KeyRange& range : ranges) {
+    tree_.Scan(range.lo, range.hi,
+               [&](Key key, uint64_t payload) {
+                 const Cell cell = curve_->CellAt(key);
+                 // The decomposition is exact, so every scanned entry must
+                 // lie inside the query box.
+                 ONION_DCHECK(box.Contains(cell));
+                 results.push_back(SpatialEntry{cell, payload});
+               },
+               &stats_.tree);
+  }
+  return results;
+}
+
+}  // namespace onion

@@ -1,0 +1,23 @@
+#include "sfc/curve.h"
+
+namespace onion {
+
+std::vector<Cell> GridNeighbors(const Universe& universe, const Cell& cell) {
+  std::vector<Cell> neighbors;
+  neighbors.reserve(static_cast<size_t>(2 * universe.dims()));
+  for (int axis = 0; axis < universe.dims(); ++axis) {
+    if (cell[axis] > 0) {
+      Cell down = cell;
+      down[axis] -= 1;
+      neighbors.push_back(down);
+    }
+    if (cell[axis] + 1 < universe.side()) {
+      Cell up = cell;
+      up[axis] += 1;
+      neighbors.push_back(up);
+    }
+  }
+  return neighbors;
+}
+
+}  // namespace onion

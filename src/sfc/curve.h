@@ -1,0 +1,76 @@
+// The space-filling-curve abstraction.
+//
+// A space-filling curve (SFC) pi on a universe U of n cells is a bijection
+// pi : U -> {0, 1, ..., n-1} (paper, Sec. I). Implementations provide both
+// directions of the bijection; everything else in the library (clustering
+// analysis, range decomposition, spatial indexes) is generic over this
+// interface.
+
+#ifndef ONION_SFC_CURVE_H_
+#define ONION_SFC_CURVE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfc/types.h"
+
+namespace onion {
+
+class SpaceFillingCurve {
+ public:
+  virtual ~SpaceFillingCurve() = default;
+
+  /// The universe this curve fills.
+  const Universe& universe() const { return universe_; }
+  int dims() const { return universe_.dims(); }
+  Coord side() const { return universe_.side(); }
+  Key num_cells() const { return universe_.num_cells(); }
+
+  /// Short stable identifier, e.g. "onion", "hilbert", "zorder".
+  virtual std::string name() const = 0;
+
+  /// Maps a cell to its position along the curve. `cell` must lie in the
+  /// universe.
+  virtual Key IndexOf(const Cell& cell) const = 0;
+
+  /// Maps a curve position back to its cell. `key` must be < num_cells().
+  virtual Cell CellAt(Key key) const = 0;
+
+  /// Whether consecutive curve positions are always grid neighbors
+  /// (Definition 1 in the paper). Continuous curves admit the O(surface)
+  /// boundary-scan clustering algorithm.
+  virtual bool is_continuous() const = 0;
+
+  /// Whether every grid-aligned b^k-subcube (b = aligned_block_base())
+  /// occupies one contiguous, aligned block of b^(k*d) keys. True for the
+  /// digit-recursive curves (Z-order, Gray-code, Hilbert with b = 2; Peano
+  /// with b = 3); enables the hierarchical range decomposition in
+  /// index/decompose.h.
+  virtual bool has_contiguous_aligned_blocks() const { return false; }
+
+  /// Branching base of the recursive structure (2 for binary curves, 3 for
+  /// Peano). Only meaningful when has_contiguous_aligned_blocks().
+  virtual Coord aligned_block_base() const { return 2; }
+
+  /// First and last cells of the curve (pi_s and pi_e in the paper).
+  Cell StartCell() const { return CellAt(0); }
+  Cell EndCell() const { return CellAt(num_cells() - 1); }
+
+  SpaceFillingCurve(const SpaceFillingCurve&) = delete;
+  SpaceFillingCurve& operator=(const SpaceFillingCurve&) = delete;
+
+ protected:
+  explicit SpaceFillingCurve(const Universe& universe) : universe_(universe) {}
+
+ private:
+  Universe universe_;
+};
+
+/// Cells adjacent to `cell` in the grid (differing by exactly 1 along
+/// exactly one axis), clipped to the universe. Returns 2*dims cells at most.
+std::vector<Cell> GridNeighbors(const Universe& universe, const Cell& cell);
+
+}  // namespace onion
+
+#endif  // ONION_SFC_CURVE_H_

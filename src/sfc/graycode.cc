@@ -1,0 +1,27 @@
+#include "sfc/graycode.h"
+
+#include "sfc/morton.h"
+
+namespace onion {
+
+Result<std::unique_ptr<GrayCodeCurve>> GrayCodeCurve::Make(
+    const Universe& universe) {
+  if (!IsPowerOfTwo(universe.side())) {
+    return Status::InvalidArgument(
+        "Gray-code curve requires power-of-two side");
+  }
+  const int bits = Log2Exact(universe.side());
+  return std::unique_ptr<GrayCodeCurve>(new GrayCodeCurve(universe, bits));
+}
+
+Key GrayCodeCurve::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  return GrayDecode(MortonEncode(cell, bits_));
+}
+
+Cell GrayCodeCurve::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  return MortonDecode(GrayEncode(key), dims(), bits_);
+}
+
+}  // namespace onion

@@ -1,0 +1,39 @@
+// The Gray-code curve (Faloutsos 1986/1988): the position of a cell is the
+// Gray-code rank of its bit-interleaved (Morton) code. Equivalently, the
+// curve enumerates Morton codes in binary-reflected Gray-code order.
+// Requires a power-of-two side. Not continuous in the grid sense, but
+// consecutive cells differ in exactly one Morton bit.
+
+#ifndef ONION_SFC_GRAYCODE_H_
+#define ONION_SFC_GRAYCODE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+class GrayCodeCurve final : public SpaceFillingCurve {
+ public:
+  /// Creates a Gray-code curve; fails unless the side is a power of two.
+  static Result<std::unique_ptr<GrayCodeCurve>> Make(const Universe& universe);
+
+  std::string name() const override { return "graycode"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return num_cells() <= 2; }
+  bool has_contiguous_aligned_blocks() const override { return true; }
+
+  int bits() const { return bits_; }
+
+ private:
+  GrayCodeCurve(const Universe& universe, int bits)
+      : SpaceFillingCurve(universe), bits_(bits) {}
+
+  int bits_;
+};
+
+}  // namespace onion
+
+#endif  // ONION_SFC_GRAYCODE_H_

@@ -1,0 +1,65 @@
+#include "sfc/hilbert2d.h"
+
+#include <utility>
+
+#include "sfc/morton.h"
+
+namespace onion {
+
+namespace {
+
+// Rotates/flips the quadrant-local frame; the standard step of the
+// iterative Hilbert transform.
+inline void Rotate(Coord n, Coord* x, Coord* y, Coord rx, Coord ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Hilbert2D>> Hilbert2D::Make(const Universe& universe) {
+  if (universe.dims() != 2) {
+    return Status::InvalidArgument("Hilbert2D requires a 2D universe");
+  }
+  if (!IsPowerOfTwo(universe.side())) {
+    return Status::InvalidArgument("Hilbert curve requires power-of-two side");
+  }
+  return std::unique_ptr<Hilbert2D>(new Hilbert2D(universe));
+}
+
+Key Hilbert2D::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  Coord x = cell.x();
+  Coord y = cell.y();
+  Key d = 0;
+  for (Coord s = side() / 2; s > 0; s /= 2) {
+    const Coord rx = (x & s) ? 1 : 0;
+    const Coord ry = (y & s) ? 1 : 0;
+    d += static_cast<Key>(s) * s * ((3 * rx) ^ ry);
+    Rotate(side(), &x, &y, rx, ry);
+  }
+  return d;
+}
+
+Cell Hilbert2D::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  Coord x = 0;
+  Coord y = 0;
+  Key t = key;
+  for (Coord s = 1; s < side(); s *= 2) {
+    const Coord rx = 1 & static_cast<Coord>(t / 2);
+    const Coord ry = 1 & static_cast<Coord>(t ^ rx);
+    Rotate(s, &x, &y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return Cell(x, y);
+}
+
+}  // namespace onion

@@ -1,0 +1,33 @@
+// The two-dimensional Hilbert curve (Hilbert 1891), implemented with the
+// classic iterative quadrant-rotation algorithm. This is the paper's main
+// comparison baseline. Continuous; requires a power-of-two side.
+
+#ifndef ONION_SFC_HILBERT2D_H_
+#define ONION_SFC_HILBERT2D_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+class Hilbert2D final : public SpaceFillingCurve {
+ public:
+  /// Creates a 2D Hilbert curve; fails unless dims == 2 and the side is a
+  /// power of two.
+  static Result<std::unique_ptr<Hilbert2D>> Make(const Universe& universe);
+
+  std::string name() const override { return "hilbert"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return true; }
+  bool has_contiguous_aligned_blocks() const override { return true; }
+
+ private:
+  explicit Hilbert2D(const Universe& universe) : SpaceFillingCurve(universe) {}
+};
+
+}  // namespace onion
+
+#endif  // ONION_SFC_HILBERT2D_H_

@@ -1,0 +1,109 @@
+#include "sfc/hilbert_nd.h"
+
+#include "sfc/morton.h"
+
+namespace onion {
+
+namespace {
+
+// Skilling's AxesToTranspose: converts grid coordinates (in place) into the
+// transposed Hilbert index.
+void AxesToTranspose(Coord* X, int bits, int dims) {
+  if (bits <= 1) {
+    // With one bit per axis the loop below is empty except Gray coding.
+    if (bits == 0) return;
+  }
+  // Inverse undo.
+  for (Coord q = Coord{1} << (bits - 1); q > 1; q >>= 1) {
+    const Coord p = q - 1;
+    for (int i = 0; i < dims; ++i) {
+      if (X[i] & q) {
+        X[0] ^= p;  // invert low bits of X[0]
+      } else {
+        const Coord t = (X[0] ^ X[i]) & p;
+        X[0] ^= t;
+        X[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < dims; ++i) X[i] ^= X[i - 1];
+  Coord t = 0;
+  for (Coord q = Coord{1} << (bits - 1); q > 1; q >>= 1) {
+    if (X[dims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < dims; ++i) X[i] ^= t;
+}
+
+// Skilling's TransposeToAxes: inverse of AxesToTranspose.
+void TransposeToAxes(Coord* X, int bits, int dims) {
+  if (bits == 0) return;
+  const Coord n = Coord{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  Coord t = X[dims - 1] >> 1;
+  for (int i = dims - 1; i > 0; --i) X[i] ^= X[i - 1];
+  X[0] ^= t;
+  // Undo excess work.
+  for (Coord q = 2; q != n; q <<= 1) {
+    const Coord p = q - 1;
+    for (int i = dims - 1; i >= 0; --i) {
+      if (X[i] & q) {
+        X[0] ^= p;
+      } else {
+        t = (X[0] ^ X[i]) & p;
+        X[0] ^= t;
+        X[i] ^= t;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HilbertND>> HilbertND::Make(const Universe& universe) {
+  if (universe.dims() < 2) {
+    return Status::InvalidArgument("HilbertND requires dims >= 2");
+  }
+  if (!IsPowerOfTwo(universe.side())) {
+    return Status::InvalidArgument("Hilbert curve requires power-of-two side");
+  }
+  const int bits = Log2Exact(universe.side());
+  return std::unique_ptr<HilbertND>(new HilbertND(universe, bits));
+}
+
+Key HilbertND::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  Coord X[kMaxDims];
+  for (int i = 0; i < dims(); ++i) X[i] = cell[i];
+  AxesToTranspose(X, bits_, dims());
+  // Interleave the transpose, most significant bit-plane first; within a
+  // plane, X[0] is most significant.
+  Key key = 0;
+  for (int q = bits_ - 1; q >= 0; --q) {
+    for (int i = 0; i < dims(); ++i) {
+      key = (key << 1) | ((X[i] >> q) & 1u);
+    }
+  }
+  return key;
+}
+
+Cell HilbertND::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  Coord X[kMaxDims] = {};
+  const int total_bits = bits_ * dims();
+  for (int pos = 0; pos < total_bits; ++pos) {
+    // Bit `pos` (from MSB) of the key belongs to axis pos % dims at bit
+    // plane bits_-1 - pos/dims.
+    const int q = bits_ - 1 - pos / dims();
+    const int i = pos % dims();
+    const Key bit = (key >> (total_bits - 1 - pos)) & 1u;
+    X[i] |= static_cast<Coord>(bit) << q;
+  }
+  TransposeToAxes(X, bits_, dims());
+  Cell cell;
+  cell.dims = dims();
+  for (int i = 0; i < dims(); ++i) cell[i] = X[i];
+  return cell;
+}
+
+}  // namespace onion

@@ -1,0 +1,43 @@
+// d-dimensional Hilbert curve via Skilling's transpose algorithm
+// ("Programming the Hilbert curve", J. Skilling, AIP Conf. Proc. 707, 2004).
+//
+// The Hilbert index of a cell is carried in "transpose" form: an array
+// X[0..d) where bit q of X[i] is bit q*d + (d-1-i) of the index. The
+// algorithm converts between coordinates and transpose form in place with
+// O(d * b) bit operations. Continuous in any dimension; requires a
+// power-of-two side.
+
+#ifndef ONION_SFC_HILBERT_ND_H_
+#define ONION_SFC_HILBERT_ND_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+class HilbertND final : public SpaceFillingCurve {
+ public:
+  /// Creates a d-dimensional Hilbert curve (d >= 2); fails unless the side
+  /// is a power of two and side^d fits in a Key.
+  static Result<std::unique_ptr<HilbertND>> Make(const Universe& universe);
+
+  std::string name() const override { return "hilbert_nd"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return true; }
+  bool has_contiguous_aligned_blocks() const override { return true; }
+
+  int bits() const { return bits_; }
+
+ private:
+  HilbertND(const Universe& universe, int bits)
+      : SpaceFillingCurve(universe), bits_(bits) {}
+
+  int bits_;
+};
+
+}  // namespace onion
+
+#endif  // ONION_SFC_HILBERT_ND_H_

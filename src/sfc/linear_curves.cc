@@ -1,0 +1,81 @@
+#include "sfc/linear_curves.h"
+
+namespace onion {
+
+Key RowMajorCurve::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  // Last axis is the most significant digit.
+  Key key = 0;
+  for (int axis = dims() - 1; axis >= 0; --axis) {
+    key = key * side() + cell[axis];
+  }
+  return key;
+}
+
+Cell RowMajorCurve::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  Cell cell;
+  cell.dims = dims();
+  for (int axis = 0; axis < dims(); ++axis) {
+    cell[axis] = static_cast<Coord>(key % side());
+    key /= side();
+  }
+  return cell;
+}
+
+Key ColumnMajorCurve::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  // First axis is the most significant digit.
+  Key key = 0;
+  for (int axis = 0; axis < dims(); ++axis) {
+    key = key * side() + cell[axis];
+  }
+  return key;
+}
+
+Cell ColumnMajorCurve::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  Cell cell;
+  cell.dims = dims();
+  for (int axis = dims() - 1; axis >= 0; --axis) {
+    cell[axis] = static_cast<Coord>(key % side());
+    key /= side();
+  }
+  return cell;
+}
+
+Key SnakeCurve::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  // Recursive slab construction: the last axis selects a slab; odd slabs
+  // traverse the (d-1)-dimensional snake in reverse ORDER (not a coordinate
+  // reflection), which keeps the curve continuous across slab boundaries.
+  Key key = 0;     // index within the processed prefix of axes
+  Key block = 1;   // number of cells in that prefix
+  for (int axis = 0; axis < dims(); ++axis) {
+    const Coord t = cell[axis];
+    const Key sub = (t & 1) ? block - 1 - key : key;
+    key = static_cast<Key>(t) * block + sub;
+    block *= side();
+  }
+  return key;
+}
+
+Cell SnakeCurve::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  Cell cell;
+  cell.dims = dims();
+  // Peel axes from the most significant (last) down, undoing the
+  // odd-slab order reversal at each level.
+  Key block = num_cells() / side();
+  for (int axis = dims() - 1; axis >= 0; --axis) {
+    const Coord t = static_cast<Coord>(key / block);
+    Key off = key % block;
+    if (t & 1) off = block - 1 - off;
+    cell[axis] = t;
+    key = off;
+    if (axis > 0) block /= side();
+  }
+  return cell;
+}
+
+}  // namespace onion

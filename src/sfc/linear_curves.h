@@ -1,0 +1,60 @@
+// Simple baseline curves from the paper's related work (Jagadish 1990):
+// row-major, column-major, and the snake (boustrophedon) curve.
+//
+// Row-major and column-major are the curves used in the paper's Lemma 10
+// (each is optimal on one of Q_R / Q_C and pathological on the other).
+// The snake curve is a continuous relative of row-major included as an
+// additional continuous baseline.
+
+#ifndef ONION_SFC_LINEAR_CURVES_H_
+#define ONION_SFC_LINEAR_CURVES_H_
+
+#include <string>
+
+#include "sfc/curve.h"
+
+namespace onion {
+
+/// Row-major order: key = y * side + x in 2D; the last axis varies slowest.
+/// Generalizes to d dimensions. Not continuous (wraps between rows).
+class RowMajorCurve final : public SpaceFillingCurve {
+ public:
+  explicit RowMajorCurve(const Universe& universe)
+      : SpaceFillingCurve(universe) {}
+
+  std::string name() const override { return "row_major"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return side() == 1; }
+};
+
+/// Column-major order: the first axis varies slowest (transpose of
+/// row-major in 2D).
+class ColumnMajorCurve final : public SpaceFillingCurve {
+ public:
+  explicit ColumnMajorCurve(const Universe& universe)
+      : SpaceFillingCurve(universe) {}
+
+  std::string name() const override { return "column_major"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return side() == 1; }
+};
+
+/// Snake (boustrophedon) order: row-major but with every other row (and,
+/// recursively, every other higher-dimensional slab) reversed, making the
+/// curve continuous in any dimension.
+class SnakeCurve final : public SpaceFillingCurve {
+ public:
+  explicit SnakeCurve(const Universe& universe)
+      : SpaceFillingCurve(universe) {}
+
+  std::string name() const override { return "snake"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return true; }
+};
+
+}  // namespace onion
+
+#endif  // ONION_SFC_LINEAR_CURVES_H_

@@ -1,0 +1,46 @@
+#include "sfc/morton.h"
+
+namespace onion {
+
+Key MortonEncode(const Cell& cell, int bits) {
+  Key code = 0;
+  for (int q = bits - 1; q >= 0; --q) {
+    for (int axis = cell.dims - 1; axis >= 0; --axis) {
+      code = (code << 1) | ((cell[axis] >> q) & 1u);
+    }
+  }
+  return code;
+}
+
+Cell MortonDecode(Key code, int dims, int bits) {
+  Cell cell;
+  cell.dims = dims;
+  for (int q = 0; q < bits; ++q) {
+    for (int axis = 0; axis < dims; ++axis) {
+      const Key bit = (code >> (q * dims + axis)) & 1u;
+      cell[axis] |= static_cast<Coord>(bit << q);
+    }
+  }
+  return cell;
+}
+
+int Log2Exact(Coord side) {
+  ONION_CHECK_MSG(IsPowerOfTwo(side), "side must be a power of two");
+  int bits = 0;
+  while ((Coord{1} << bits) < side) ++bits;
+  return bits;
+}
+
+bool IsPowerOfTwo(Coord side) {
+  return side >= 1 && (side & (side - 1)) == 0;
+}
+
+uint64_t GrayDecode(uint64_t gray) {
+  uint64_t value = gray;
+  for (int shift = 1; shift < 64; shift <<= 1) {
+    value ^= value >> shift;
+  }
+  return value;
+}
+
+}  // namespace onion

@@ -1,0 +1,41 @@
+// Bit-interleaving (Morton code) utilities shared by the Z-order and
+// Gray-code curves and by the hierarchical range decomposition.
+//
+// Bit layout: for dims = d and bits = b per axis, the interleaved code has
+// d*b bits. Bit position q of axis i lands at interleaved position
+// q*d + i, so axis 0 occupies the least significant slot within each group
+// of d bits and higher bit-groups are more significant. This makes an
+// aligned 2^k-subcube occupy one contiguous aligned block of codes, the
+// property the hierarchical decomposition relies on.
+
+#ifndef ONION_SFC_MORTON_H_
+#define ONION_SFC_MORTON_H_
+
+#include <cstdint>
+
+#include "sfc/types.h"
+
+namespace onion {
+
+/// Interleaves the low `bits` bits of each of the `dims` coordinates.
+Key MortonEncode(const Cell& cell, int bits);
+
+/// Inverse of MortonEncode.
+Cell MortonDecode(Key code, int dims, int bits);
+
+/// Number of bits needed to represent coordinates in [0, side); side must be
+/// a power of two. Returns b with side == 2^b.
+int Log2Exact(Coord side);
+
+/// True if `side` is a power of two (and >= 1).
+bool IsPowerOfTwo(Coord side);
+
+/// Binary-reflected Gray code of `value`.
+inline uint64_t GrayEncode(uint64_t value) { return value ^ (value >> 1); }
+
+/// Inverse of GrayEncode: the rank of `gray` in Gray-code order.
+uint64_t GrayDecode(uint64_t gray);
+
+}  // namespace onion
+
+#endif  // ONION_SFC_MORTON_H_

@@ -1,0 +1,87 @@
+#include "sfc/peano.h"
+
+namespace onion {
+
+namespace {
+
+// Positions are processed most-significant first; position p (0-based)
+// carries the digit of axis p % d at level p / d. The digit of axis i is
+// reflected (d -> 2-d) iff the sum of all more significant digits
+// belonging to OTHER axes is odd — the coordinatewise form of Peano's
+// serpentine construction.
+
+}  // namespace
+
+bool PeanoCurve::IsPowerOfThree(Coord side) {
+  if (side < 1) return false;
+  while (side % 3 == 0) side /= 3;
+  return side == 1;
+}
+
+Result<std::unique_ptr<PeanoCurve>> PeanoCurve::Make(
+    const Universe& universe) {
+  if (!IsPowerOfThree(universe.side())) {
+    return Status::InvalidArgument(
+        "Peano curve requires a power-of-three side");
+  }
+  int trits = 0;
+  for (Coord s = universe.side(); s > 1; s /= 3) ++trits;
+  return std::unique_ptr<PeanoCurve>(new PeanoCurve(universe, trits));
+}
+
+Key PeanoCurve::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  const int d = dims();
+  // Coordinate digits, most significant first.
+  int coord_digit[kMaxDims][40];
+  for (int i = 0; i < d; ++i) {
+    Coord c = cell[i];
+    for (int j = trits_ - 1; j >= 0; --j) {
+      coord_digit[i][j] = static_cast<int>(c % 3);
+      c /= 3;
+    }
+  }
+  Key key = 0;
+  int axis_sum[kMaxDims] = {};  // sum of emitted index digits per axis
+  int total_sum = 0;
+  for (int p = 0; p < trits_ * d; ++p) {
+    const int axis = p % d;
+    const int level = p / d;
+    const int parity = (total_sum - axis_sum[axis]) & 1;
+    const int c = coord_digit[axis][level];
+    const int t = parity ? 2 - c : c;
+    key = key * 3 + static_cast<Key>(t);
+    axis_sum[axis] += t;
+    total_sum += t;
+  }
+  return key;
+}
+
+Cell PeanoCurve::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  const int d = dims();
+  const int total_digits = trits_ * d;
+  int index_digit[40 * kMaxDims];
+  for (int p = total_digits - 1; p >= 0; --p) {
+    index_digit[p] = static_cast<int>(key % 3);
+    key /= 3;
+  }
+  Cell cell;
+  cell.dims = d;
+  int axis_sum[kMaxDims] = {};
+  int total_sum = 0;
+  Coord coords[kMaxDims] = {};
+  for (int p = 0; p < total_digits; ++p) {
+    const int axis = p % d;
+    const int parity = (total_sum - axis_sum[axis]) & 1;
+    const int t = index_digit[p];
+    const int c = parity ? 2 - t : t;
+    coords[axis] = coords[axis] * 3 + static_cast<Coord>(c);
+    axis_sum[axis] += t;
+    total_sum += t;
+  }
+  for (int i = 0; i < d; ++i) cell[i] = coords[i];
+  return cell;
+}
+
+}  // namespace onion

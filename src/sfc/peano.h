@@ -1,0 +1,51 @@
+// The Peano curve (Peano 1890), the original space-filling curve: a base-3
+// analogue of the Hilbert curve built from 3x3 blocks of serpentines.
+// Continuous in any dimension; requires the side to be a power of THREE.
+//
+// Construction (standard coordinatewise form): write each coordinate in
+// base 3, digits d^(i)_q (axis i, digit position q from most significant).
+// A digit is reflected (d -> 2-d) iff the sum of all more significant
+// digits on OTHER axes plus the more significant digits of the SAME axis
+// ... is odd; concretely we use the recursive serpentine: at each level the
+// key digit group is the mixed-radix serpentine of the coordinate digits,
+// with each axis's digit direction flipping according to the parity of the
+// digits consumed after it at this level and all digits of coarser levels.
+
+#ifndef ONION_SFC_PEANO_H_
+#define ONION_SFC_PEANO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+class PeanoCurve final : public SpaceFillingCurve {
+ public:
+  /// Creates a Peano curve; fails unless the side is a power of three.
+  static Result<std::unique_ptr<PeanoCurve>> Make(const Universe& universe);
+
+  std::string name() const override { return "peano"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return true; }
+  bool has_contiguous_aligned_blocks() const override { return true; }
+  Coord aligned_block_base() const override { return 3; }
+
+  /// Base-3 digits per coordinate.
+  int trits() const { return trits_; }
+
+  /// True if `side` is a power of three (3^k, k >= 0).
+  static bool IsPowerOfThree(Coord side);
+
+ private:
+  PeanoCurve(const Universe& universe, int trits)
+      : SpaceFillingCurve(universe), trits_(trits) {}
+
+  int trits_;
+};
+
+}  // namespace onion
+
+#endif  // ONION_SFC_PEANO_H_

@@ -1,0 +1,66 @@
+#include "sfc/registry.h"
+
+#include "core/onion2d.h"
+#include "core/onion3d.h"
+#include "core/onion_nd.h"
+#include "sfc/graycode.h"
+#include "sfc/hilbert2d.h"
+#include "sfc/hilbert_nd.h"
+#include "sfc/linear_curves.h"
+#include "sfc/peano.h"
+#include "sfc/zorder.h"
+
+namespace onion {
+
+namespace {
+
+// Adapts a Result<unique_ptr<Derived>> to Result<unique_ptr<Base>>.
+template <typename Derived>
+Result<std::unique_ptr<SpaceFillingCurve>> Upcast(
+    Result<std::unique_ptr<Derived>> result) {
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<SpaceFillingCurve>(std::move(result).value());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpaceFillingCurve>> MakeCurve(
+    const std::string& name, const Universe& universe) {
+  if (name == "onion") {
+    if (universe.dims() == 2) return Upcast(Onion2D::Make(universe));
+    if (universe.dims() == 3 && universe.side() % 2 == 0) {
+      return Upcast(Onion3D::Make(universe));
+    }
+    return Upcast(OnionND::Make(universe));
+  }
+  if (name == "onion_nd") return Upcast(OnionND::Make(universe));
+  if (name == "hilbert") {
+    if (universe.dims() == 2) return Upcast(Hilbert2D::Make(universe));
+    return Upcast(HilbertND::Make(universe));
+  }
+  if (name == "hilbert_nd") return Upcast(HilbertND::Make(universe));
+  if (name == "peano") return Upcast(PeanoCurve::Make(universe));
+  if (name == "zorder") return Upcast(ZOrderCurve::Make(universe));
+  if (name == "graycode") return Upcast(GrayCodeCurve::Make(universe));
+  if (name == "row_major") {
+    return std::unique_ptr<SpaceFillingCurve>(
+        std::make_unique<RowMajorCurve>(universe));
+  }
+  if (name == "column_major") {
+    return std::unique_ptr<SpaceFillingCurve>(
+        std::make_unique<ColumnMajorCurve>(universe));
+  }
+  if (name == "snake") {
+    return std::unique_ptr<SpaceFillingCurve>(
+        std::make_unique<SnakeCurve>(universe));
+  }
+  return Status::NotFound("unknown curve: " + name);
+}
+
+std::vector<std::string> KnownCurveNames() {
+  return {"onion",  "onion_nd", "hilbert",   "hilbert_nd",
+          "zorder", "graycode", "peano",     "row_major",
+          "column_major", "snake"};
+}
+
+}  // namespace onion

@@ -1,0 +1,33 @@
+// Factory for curves by name, used by benchmarks, examples, and the
+// parameterized test sweeps.
+
+#ifndef ONION_SFC_REGISTRY_H_
+#define ONION_SFC_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+/// Creates a curve by name over `universe`. Recognized names:
+///   "onion"        - Onion2D (d=2), Onion3D (d=3, even side), OnionND else
+///   "onion_nd"     - generic d-dimensional onion curve
+///   "hilbert"      - Hilbert2D (d=2) or HilbertND (d>=3); power-of-two side
+///   "hilbert_nd"   - Skilling Hilbert in any dimension >= 2
+///   "zorder"       - Z curve (Morton order); power-of-two side
+///   "graycode"     - Gray-code curve; power-of-two side
+///   "peano"        - Peano curve (any d); power-of-THREE side
+///   "row_major", "column_major", "snake"
+Result<std::unique_ptr<SpaceFillingCurve>> MakeCurve(const std::string& name,
+                                                     const Universe& universe);
+
+/// All names accepted by MakeCurve.
+std::vector<std::string> KnownCurveNames();
+
+}  // namespace onion
+
+#endif  // ONION_SFC_REGISTRY_H_

@@ -1,0 +1,130 @@
+#include "sfc/types.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace onion {
+
+Cell Cell::Filled(int dims, Coord fill) {
+  ONION_CHECK(dims >= 1 && dims <= kMaxDims);
+  Cell cell;
+  cell.dims = dims;
+  for (int axis = 0; axis < dims; ++axis) cell[axis] = fill;
+  return cell;
+}
+
+std::string Cell::ToString() const {
+  std::string out = "(";
+  for (int axis = 0; axis < dims; ++axis) {
+    if (axis > 0) out += ", ";
+    out += std::to_string(coords[static_cast<size_t>(axis)]);
+  }
+  out += ")";
+  return out;
+}
+
+Box::Box(const Cell& lo_cell, const Cell& hi_cell) : lo(lo_cell), hi(hi_cell) {
+  ONION_CHECK(lo.dims == hi.dims);
+  for (int axis = 0; axis < lo.dims; ++axis) {
+    ONION_CHECK_MSG(lo[axis] <= hi[axis], "box corners out of order");
+  }
+}
+
+Box Box::FromCornerAndLengths(const Cell& corner,
+                              const std::array<Coord, kMaxDims>& lengths) {
+  Cell hi = corner;
+  for (int axis = 0; axis < corner.dims; ++axis) {
+    const Coord len = lengths[static_cast<size_t>(axis)];
+    ONION_CHECK_MSG(len >= 1, "box side lengths must be >= 1");
+    hi[axis] = corner[axis] + len - 1;
+  }
+  return Box(corner, hi);
+}
+
+Box Box::Cube(const Cell& corner, Coord len) {
+  std::array<Coord, kMaxDims> lengths = {};
+  for (int axis = 0; axis < corner.dims; ++axis) {
+    lengths[static_cast<size_t>(axis)] = len;
+  }
+  return FromCornerAndLengths(corner, lengths);
+}
+
+uint64_t Box::Volume() const {
+  uint64_t volume = 1;
+  for (int axis = 0; axis < dims(); ++axis) volume *= Length(axis);
+  return volume;
+}
+
+uint64_t Box::SurfaceCells() const {
+  // Volume minus the strictly-interior sub-box (empty if any side <= 2).
+  uint64_t interior = 1;
+  for (int axis = 0; axis < dims(); ++axis) {
+    const Coord len = Length(axis);
+    if (len <= 2) return Volume();
+    interior *= len - 2;
+  }
+  return Volume() - interior;
+}
+
+bool Box::Contains(const Cell& cell) const {
+  if (cell.dims != dims()) return false;
+  for (int axis = 0; axis < dims(); ++axis) {
+    if (cell[axis] < lo[axis] || cell[axis] > hi[axis]) return false;
+  }
+  return true;
+}
+
+std::string Box::ToString() const {
+  return lo.ToString() + ".." + hi.ToString();
+}
+
+Key PowChecked(Coord side, int dims) {
+  Key result = 1;
+  for (int i = 0; i < dims; ++i) {
+    ONION_CHECK_MSG(side == 0 ||
+                        result <= std::numeric_limits<Key>::max() / side,
+                    "universe size overflows 64-bit keys");
+    result *= side;
+  }
+  return result;
+}
+
+Universe::Universe(int dims, Coord side) : dims_(dims), side_(side) {
+  ONION_CHECK_MSG(dims >= 1 && dims <= kMaxDims, "dims out of range");
+  ONION_CHECK_MSG(side >= 1, "side must be positive");
+  num_cells_ = PowChecked(side, dims);
+}
+
+bool Universe::Contains(const Cell& cell) const {
+  if (cell.dims != dims_) return false;
+  for (int axis = 0; axis < dims_; ++axis) {
+    if (cell[axis] >= side_) return false;
+  }
+  return true;
+}
+
+bool Universe::Contains(const Box& box) const {
+  return Contains(box.lo) && Contains(box.hi);
+}
+
+Box Universe::Bounds() const {
+  return Box(Cell::Filled(dims_, 0), Cell::Filled(dims_, side_ - 1));
+}
+
+Coord Universe::Depth(const Cell& cell) const {
+  ONION_DCHECK(Contains(cell));
+  Coord depth = side_;  // upper bound
+  for (int axis = 0; axis < dims_; ++axis) {
+    const Coord c = cell[axis];
+    const Coord dist = std::min(c + 1, side_ - c);
+    depth = std::min(depth, dist);
+  }
+  return depth;
+}
+
+std::string Universe::ToString() const {
+  return std::to_string(dims_) + "D universe, side " + std::to_string(side_) +
+         " (" + std::to_string(num_cells_) + " cells)";
+}
+
+}  // namespace onion

@@ -1,0 +1,145 @@
+// Core geometric vocabulary: cells of a discrete d-dimensional grid, axis-
+// aligned boxes (the paper's rectangular queries), and the universe they
+// live in.
+//
+// Model (paper, Sec. I): U is a discrete d-dimensional universe of n cells,
+// of dimensions s x s x ... x s where s = n^(1/d). A query is a subset of U;
+// this library works with rectangular (box) queries.
+
+#ifndef ONION_SFC_TYPES_H_
+#define ONION_SFC_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/macros.h"
+
+namespace onion {
+
+/// One coordinate of a grid cell.
+using Coord = uint32_t;
+
+/// Position of a cell along a space-filling curve, in [0, n).
+using Key = uint64_t;
+
+/// Maximum supported dimensionality. Keys are 64-bit, so side^dims must fit
+/// in 64 bits; with dims == 8 that allows sides up to 256.
+inline constexpr int kMaxDims = 8;
+
+/// A cell of the grid: `dims` coordinates, each in [0, side).
+/// Coordinates beyond `dims` are kept zero so that equality can compare the
+/// whole array.
+struct Cell {
+  std::array<Coord, kMaxDims> coords = {};
+  int dims = 2;
+
+  Cell() = default;
+  Cell(Coord x, Coord y) : coords{x, y}, dims(2) {}
+  Cell(Coord x, Coord y, Coord z) : coords{x, y, z}, dims(3) {}
+  /// Builds a cell with `dims` coordinates, all initialized to `fill`.
+  static Cell Filled(int dims, Coord fill);
+
+  Coord& operator[](int axis) { return coords[static_cast<size_t>(axis)]; }
+  Coord operator[](int axis) const {
+    return coords[static_cast<size_t>(axis)];
+  }
+
+  Coord x() const { return coords[0]; }
+  Coord y() const { return coords[1]; }
+  Coord z() const { return coords[2]; }
+
+  bool operator==(const Cell& other) const {
+    return dims == other.dims && coords == other.coords;
+  }
+  bool operator!=(const Cell& other) const { return !(*this == other); }
+
+  /// Renders as "(x, y, ...)".
+  std::string ToString() const;
+};
+
+/// An axis-aligned box query: coordinates axis i range over
+/// [lo[i], hi[i]] inclusive. The paper's query of side lengths l_i
+/// corresponds to hi[i] - lo[i] + 1 == l_i.
+struct Box {
+  Cell lo;
+  Cell hi;
+
+  Box() = default;
+  Box(const Cell& lo_cell, const Cell& hi_cell);
+
+  /// Box with lower corner `corner` and side length `len[i]` along axis i.
+  static Box FromCornerAndLengths(const Cell& corner,
+                                  const std::array<Coord, kMaxDims>& lengths);
+  /// Cube with lower corner `corner` and uniform side length `len`.
+  static Box Cube(const Cell& corner, Coord len);
+
+  int dims() const { return lo.dims; }
+
+  /// Side length along `axis` (number of cells).
+  Coord Length(int axis) const { return hi[axis] - lo[axis] + 1; }
+
+  /// Number of cells contained in the box.
+  uint64_t Volume() const;
+
+  /// Number of cells on the inner boundary of the box (cells with at least
+  /// one coordinate equal to lo or hi along some axis).
+  uint64_t SurfaceCells() const;
+
+  bool Contains(const Cell& cell) const;
+
+  bool operator==(const Box& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  std::string ToString() const;
+};
+
+/// The discrete universe: a `dims`-dimensional grid of side `side`.
+class Universe {
+ public:
+  /// Constructs a universe; aborts if side^dims does not fit in a Key or if
+  /// dims is outside [1, kMaxDims].
+  Universe(int dims, Coord side);
+
+  int dims() const { return dims_; }
+  Coord side() const { return side_; }
+  /// Total number of cells n = side^dims.
+  Key num_cells() const { return num_cells_; }
+
+  bool Contains(const Cell& cell) const;
+  /// True if `box` is fully inside the universe and has matching dims.
+  bool Contains(const Box& box) const;
+
+  /// The whole universe as a box query.
+  Box Bounds() const;
+
+  /// Distance of the cell to the boundary of the universe, as defined in the
+  /// paper (Sec. III-A): min over axes of min(x_i + 1, side - x_i). The
+  /// outermost layer has Depth == 1.
+  Coord Depth(const Cell& cell) const;
+
+  /// 0-based layer index, Depth - 1; outermost layer is 0.
+  Coord Layer(const Cell& cell) const { return Depth(cell) - 1; }
+
+  /// Number of onion layers: ceil(side / 2).
+  Coord NumLayers() const { return (side_ + 1) / 2; }
+
+  bool operator==(const Universe& other) const {
+    return dims_ == other.dims_ && side_ == other.side_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int dims_;
+  Coord side_;
+  Key num_cells_;
+};
+
+/// Returns side^dims, aborting on overflow of Key.
+Key PowChecked(Coord side, int dims);
+
+}  // namespace onion
+
+#endif  // ONION_SFC_TYPES_H_

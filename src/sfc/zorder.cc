@@ -1,0 +1,26 @@
+#include "sfc/zorder.h"
+
+#include "sfc/morton.h"
+
+namespace onion {
+
+Result<std::unique_ptr<ZOrderCurve>> ZOrderCurve::Make(
+    const Universe& universe) {
+  if (!IsPowerOfTwo(universe.side())) {
+    return Status::InvalidArgument("Z-order curve requires power-of-two side");
+  }
+  const int bits = Log2Exact(universe.side());
+  return std::unique_ptr<ZOrderCurve>(new ZOrderCurve(universe, bits));
+}
+
+Key ZOrderCurve::IndexOf(const Cell& cell) const {
+  ONION_DCHECK(universe().Contains(cell));
+  return MortonEncode(cell, bits_);
+}
+
+Cell ZOrderCurve::CellAt(Key key) const {
+  ONION_DCHECK(key < num_cells());
+  return MortonDecode(key, dims(), bits_);
+}
+
+}  // namespace onion

@@ -1,0 +1,39 @@
+// The Z curve (Orenstein & Merrett 1984): position = bit interleaving of
+// the coordinates. Works in any dimension; requires a power-of-two side.
+// Not continuous (Definition 1): consecutive positions can be far apart,
+// which is what inflates its clustering number in the paper's Figure 1.
+
+#ifndef ONION_SFC_ZORDER_H_
+#define ONION_SFC_ZORDER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace onion {
+
+class ZOrderCurve final : public SpaceFillingCurve {
+ public:
+  /// Creates a Z curve; fails unless the universe side is a power of two.
+  static Result<std::unique_ptr<ZOrderCurve>> Make(const Universe& universe);
+
+  std::string name() const override { return "zorder"; }
+  Key IndexOf(const Cell& cell) const override;
+  Cell CellAt(Key key) const override;
+  bool is_continuous() const override { return num_cells() <= 2; }
+  bool has_contiguous_aligned_blocks() const override { return true; }
+
+  /// Bits per coordinate.
+  int bits() const { return bits_; }
+
+ private:
+  ZOrderCurve(const Universe& universe, int bits)
+      : SpaceFillingCurve(universe), bits_(bits) {}
+
+  int bits_;
+};
+
+}  // namespace onion
+
+#endif  // ONION_SFC_ZORDER_H_

@@ -1,0 +1,117 @@
+#include "theory/approx_ratio.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace onion {
+
+namespace {
+
+// Asymptotic (n -> infinity) average clustering of the 2D onion curve for
+// l_i = phi_i * sqrt(n), in units of sqrt(n): dominant terms of Theorem 1
+// with m -> 1/2, L_i -> (1 - phi_i) sqrt(n).
+double OnionClusteringLimit2D(double phi1, double phi2) {
+  if (phi1 > phi2) std::swap(phi1, phi2);
+  const double denom = (1 - phi1) * (1 - phi2);
+  const double cubic = (2.0 / 3.0) * phi2 * phi2 * phi2 -
+                       3.5 * phi1 * phi2 * phi2 + 2.5 * phi1 * phi1 * phi2 -
+                       0.5 * (phi2 - phi1) * (phi2 - 3 * phi1);
+  return 0.5 * (phi1 + phi2) + cubic / denom;
+}
+
+// Asymptotic continuous-SFC lower bound, in units of sqrt(n): dominant
+// terms of Lemma 8 / Theorem 2 with m -> 1/2.
+double LowerBoundLimit2D(double phi1, double phi2) {
+  if (phi1 > phi2) std::swap(phi1, phi2);
+  double t;  // T / (4 n^{3/2})
+  if (phi1 <= phi2 / 2) {
+    t = phi1 * phi1 * phi1 / 12 + phi1 * phi1 * phi2 / 2 -
+        (5.0 / 8.0) * phi1 * phi1 - phi1 * phi2 / 2 + phi1 / 2;
+  } else {
+    t = phi1 * phi1 * phi1 / 12 + 1.5 * phi1 * phi1 * phi2 -
+        phi1 * phi2 * phi2 + phi2 * phi2 * phi2 / 4 -
+        (9.0 / 8.0) * phi1 * phi1 - phi2 * phi2 / 8 + phi1 / 2;
+  }
+  const double queries = (1 - phi1) * (1 - phi2);  // |Q| / n
+  return 4 * t / (2 * queries);
+}
+
+}  // namespace
+
+double OnionRatio2DEqualPhi(double phi) {
+  ONION_CHECK(phi > 0 && phi <= 0.5);
+  return 2 * (1 + phi * (0.5 - phi) /
+                      (1 - 2.5 * phi + (5.0 / 3.0) * phi * phi));
+}
+
+double OnionRatio2DAsymptotic(double phi1, double phi2) {
+  ONION_CHECK(phi1 > 0 && phi1 <= phi2 && phi2 <= 0.5);
+  return 2 * OnionClusteringLimit2D(phi1, phi2) /
+         LowerBoundLimit2D(phi1, phi2);
+}
+
+double OnionRatio2DLargePhi(double phi1, double phi2) {
+  ONION_CHECK(phi1 > 0.5 && phi1 <= phi2 && phi2 < 1);
+  const double r = (phi2 - phi1) / (1 - phi2);
+  return 2 + 3 * r * r;
+}
+
+double OnionRatio2DNearFull(double psi1, double psi2) {
+  ONION_CHECK(psi1 <= psi2 && psi2 <= 0);
+  const double r = (psi2 - psi1) / (1 - psi2);
+  return 2 + 3 * r * r;
+}
+
+double OnionRatio3DEqualPhi(double phi) {
+  ONION_CHECK(phi > 0 && phi <= 0.5);
+  const double numerator = 0.75 * phi * (0.5 - phi) * (4 + 3 * phi);
+  const double denominator =
+      (1 - phi) * (1 - phi) * (1 - phi) +
+      (phi / 40) * (29 * phi * phi + 37.5 * phi - 30);
+  return 2 + numerator / denominator;
+}
+
+double OnionRatio3DNearFull(double psi) {
+  ONION_CHECK(psi <= 0);
+  return 2 + (95.0 / 6.0) / (-psi - 1.5);
+}
+
+double ConstantQueryClusteringLimit(int dims, const double* lengths) {
+  ONION_CHECK(dims >= 1 && lengths != nullptr);
+  // Surface area of a box = sum over axes of 2 * (product of the other
+  // side lengths).
+  double surface = 0;
+  for (int drop = 0; drop < dims; ++drop) {
+    double face = 1;
+    for (int axis = 0; axis < dims; ++axis) {
+      if (axis != drop) face *= lengths[axis];
+    }
+    surface += 2 * face;
+  }
+  return surface / (2.0 * dims);
+}
+
+namespace {
+
+template <typename Fn>
+double MaximizeOnHalfOpenUnitInterval(Fn&& fn) {
+  double best = 0;
+  for (int i = 1; i <= 50000; ++i) {
+    const double phi = 0.5 * i / 50000.0;
+    best = std::max(best, fn(phi));
+  }
+  return best;
+}
+
+}  // namespace
+
+double MaxOnionRatio2D() {
+  return MaximizeOnHalfOpenUnitInterval(OnionRatio2DEqualPhi);
+}
+
+double MaxOnionRatio3D() {
+  return MaximizeOnHalfOpenUnitInterval(OnionRatio3DEqualPhi);
+}
+
+}  // namespace onion

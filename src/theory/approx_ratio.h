@@ -1,0 +1,63 @@
+// Approximation-ratio case analysis (paper, Sec. V-D and VI-C; Tables I
+// and II). Query side lengths scale as l_i = phi_i * side^mu + psi_i.
+//
+// The asymptotic ratios eta(Q, O) = c(Q, O) / OPT(Q) are bounded by
+// 2 * c(Q, O) / LB_continuous; the functions below evaluate the paper's
+// closed-form limits of that bound.
+
+#ifndef ONION_THEORY_APPROX_RATIO_H_
+#define ONION_THEORY_APPROX_RATIO_H_
+
+namespace onion {
+
+/// Case III (d = 2, mu = 1, phi1 = phi2 = phi <= 1/2):
+///   eta <= 2 (1 + phi(1/2 - phi) / (1 - (5/2)phi + (5/3)phi^2)).
+/// Maximum 2.32 at phi = 0.355 (Table I).
+double OnionRatio2DEqualPhi(double phi);
+
+/// General mu = 1 asymptotic bound for 0 < phi1 <= phi2 <= 1/2, obtained as
+/// 2 * lim c(Q,O) / lim LB with the dominant terms of Theorem 1 and
+/// Lemma 8 (the paper states this function exists but omits it; we evaluate
+/// it exactly from the same closed forms).
+double OnionRatio2DAsymptotic(double phi1, double phi2);
+
+/// Case IV (d = 2, 1/2 < phi1 <= phi2 < 1):
+///   eta <= 2 + 3 ((phi2 - phi1) / (1 - phi2))^2.
+double OnionRatio2DLargePhi(double phi1, double phi2);
+
+/// Case V (d = 2, phi = 1, side lengths side + psi_i, psi1 <= psi2 <= 0):
+///   eta <= 2 + 3 ((psi2 - psi1) / (1 - psi2))^2.
+double OnionRatio2DNearFull(double psi1, double psi2);
+
+/// Case III (d = 3, mu = 1, phi <= 1/2):
+///   eta <= 2 + (3/4) phi (1/2 - phi)(4 + 3 phi)
+///              / [ (1-phi)^3 + (phi/40)(29 phi^2 + (75/2) phi - 30) ].
+/// Maximum 3.4 at phi = 0.3967 (Table I).
+double OnionRatio3DEqualPhi(double phi);
+
+/// Case V (d = 3, l = side + psi, psi <= 0):
+///   eta <= 2 + (95/6) / (-psi - 3/2).   (<= 3 for psi <= -20.)
+double OnionRatio3DNearFull(double psi);
+
+/// Moon/Jagadish/Faloutsos/Saltz (TKDE 2001, cited as [11]): for a query
+/// shape of CONSTANT size, the average clustering number of the Hilbert
+/// curve tends to (surface area of the shape) / (2d) as n grows; Xu &
+/// Tirthapura (TODS 2014, [13]) extend this to every continuous curve and
+/// show it is optimal. Returns that limit for a box of the given side
+/// lengths (2D surface area = perimeter).
+double ConstantQueryClusteringLimit(int dims, const double* lengths);
+
+/// The paper's headline constants (Table I).
+inline constexpr double kOnionCubeRatio2D = 2.32;
+inline constexpr double kOnionCubeRatio3D = 3.4;
+
+/// Numerically maximizes OnionRatio2DEqualPhi over (0, 1/2]; should return
+/// ~2.32 (used to regenerate Table I).
+double MaxOnionRatio2D();
+
+/// Numerically maximizes OnionRatio3DEqualPhi over (0, 1/2]; ~3.4.
+double MaxOnionRatio3D();
+
+}  // namespace onion
+
+#endif  // ONION_THEORY_APPROX_RATIO_H_

@@ -1,0 +1,47 @@
+#include "theory/bounds3d.h"
+
+#include "common/macros.h"
+
+namespace onion {
+
+double Onion3DClusteringTheorem4(uint64_t side, uint64_t l) {
+  ONION_CHECK(side % 2 == 0);
+  ONION_CHECK(l >= 1 && l <= side);
+  const double s = static_cast<double>(side);
+  const double x = static_cast<double>(l);
+  const double big_l = s - x + 1;
+  if (2 * l <= side) {
+    // c(Q,O) = l^2 - (2/5) l^5 / L^3 + o(l^2)
+    return x * x - 0.4 * x * x * x * x * x / (big_l * big_l * big_l);
+  }
+  // c(Q,O) <= (3/5)L^2 + (13/4)L - 13/6
+  return 0.6 * big_l * big_l + 3.25 * big_l - 13.0 / 6.0;
+}
+
+double LowerBoundContinuous3D(uint64_t side, uint64_t l) {
+  ONION_CHECK(side % 2 == 0);
+  ONION_CHECK(l >= 1 && l <= side);
+  const double s = static_cast<double>(side);
+  const double x = static_cast<double>(l);
+  const double m = s / 2;
+  const double big_l = s - x + 1;
+  if (2 * l <= side) {
+    // LB = l^2 + [ (29/40) l^5 + (15/8) m l^4 - 3 m^2 l^3 ] / L^3 + o(l^2).
+    // (The last exponent is l^3: with l = phi*s this makes the bracket
+    // O(s^2) like l^2 itself, and reproduces the paper's closed-form ratio
+    // eta(phi) with its maximum 3.4 at phi = 0.3967; an l^2 exponent there
+    // would make the "lower bound" exceed the Theorem 4 upper bound.)
+    const double correction = (29.0 / 40.0) * x * x * x * x * x +
+                              (15.0 / 8.0) * m * x * x * x * x -
+                              3.0 * m * m * x * x * x;
+    return x * x + correction / (big_l * big_l * big_l);
+  }
+  // LB = (3/5)L^2 - (3/2)L (+ eps in [0, 1], dropped).
+  return 0.6 * big_l * big_l - 1.5 * big_l;
+}
+
+double LowerBoundGeneral3D(uint64_t side, uint64_t l) {
+  return 0.5 * LowerBoundContinuous3D(side, l);
+}
+
+}  // namespace onion

@@ -1,0 +1,27 @@
+// Three-dimensional bounds (paper, Sec. VI-B): Theorem 4 (onion upper
+// bound), Theorem 5 (continuous-SFC lower bound) and Theorem 6 (general-SFC
+// lower bound), for cube query sets Q(l) on a universe of even side
+// s = n^(1/3) with L = s - l + 1 and m = s/2.
+
+#ifndef ONION_THEORY_BOUNDS3D_H_
+#define ONION_THEORY_BOUNDS3D_H_
+
+#include <cstdint>
+
+namespace onion {
+
+/// Theorem 4: closed-form estimate of c(Q(l), O) for the 3D onion curve.
+/// For l <= s/2 the o(l^2) term is dropped; for l > s/2 this is the
+/// theorem's upper bound (3/5)L^2 + (13/4)L - 13/6.
+double Onion3DClusteringTheorem4(uint64_t side, uint64_t l);
+
+/// Theorem 5: lower bound LB(l) on the average clustering number of any
+/// continuous 3D SFC (o(l^2) term dropped).
+double LowerBoundContinuous3D(uint64_t side, uint64_t l);
+
+/// Theorem 6: lower bound for arbitrary 3D SFCs (half of Theorem 5).
+double LowerBoundGeneral3D(uint64_t side, uint64_t l);
+
+}  // namespace onion
+
+#endif  // ONION_THEORY_BOUNDS3D_H_

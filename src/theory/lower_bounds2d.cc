@@ -1,0 +1,125 @@
+#include "theory/lower_bounds2d.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace onion {
+
+namespace {
+
+// tau(k, l) = min(k+1, l, side+1-l): the covering-options factor of
+// Lemma 2 for a cell at distance k from the near boundary.
+uint64_t Tau(uint64_t side, uint64_t k, uint64_t l) {
+  return std::min({k + 1, l, side + 1 - l});
+}
+
+// Separating-options factor of Lemma 2 for an edge at boundary distance
+// `depth` (= min over endpoints of coordinate distance to the boundary,
+// 1-based): h1 when l <= side/2, h2 otherwise.
+uint64_t SeparationFactor(uint64_t side, uint64_t depth, uint64_t l) {
+  if (l <= side / 2) {
+    return depth <= l - 1 ? 1 : 2;  // h1
+  }
+  return depth <= side - l ? 1 : 0;  // h2
+}
+
+// Reflects a coordinate into the lower quadrant [0, side/2).
+uint64_t Reflect(uint64_t side, uint64_t c) {
+  return c < side / 2 ? c : side - 1 - c;
+}
+
+}  // namespace
+
+uint64_t Lambda2DExact(uint64_t side, uint64_t l1, uint64_t l2, uint64_t i,
+                       uint64_t j) {
+  ONION_CHECK(side % 2 == 0);
+  ONION_CHECK(i < side && j < side);
+  // lambda is invariant under reflections of the universe.
+  i = Reflect(side, i);
+  j = Reflect(side, j);
+  // Edge boundary depths (1-based): the left edge of cell i sits at depth
+  // i, the right edge at depth i+1 (both clamped by the quadrant).
+  const uint64_t cover1 = Tau(side, i, l1);  // covering options along axis 1
+  const uint64_t cover2 = Tau(side, j, l2);
+  uint64_t lambda = ~0ull;
+  if (i > 0) {  // left edge
+    lambda = std::min(lambda, SeparationFactor(side, i, l1) * cover2);
+  }
+  // right edge (always exists for quadrant cells, i+1 <= side/2)
+  lambda = std::min(lambda, SeparationFactor(side, i + 1, l1) * cover2);
+  if (j > 0) {  // down edge
+    lambda = std::min(lambda, SeparationFactor(side, j, l2) * cover1);
+  }
+  // up edge
+  lambda = std::min(lambda, SeparationFactor(side, j + 1, l2) * cover1);
+  return lambda;
+}
+
+uint64_t Lambda2DPaperFormula(uint64_t side, uint64_t l1, uint64_t l2,
+                              uint64_t i, uint64_t j) {
+  ONION_CHECK(side % 2 == 0);
+  ONION_CHECK(i < side && j < side);
+  i = Reflect(side, i);
+  j = Reflect(side, j);
+  // Lemma 7: min(h(i, l1) tau(j, l2), h(j, l2) tau(i, l1)) with h = h1 for
+  // l <= m and h = h2 for l > m.
+  const uint64_t horizontal =
+      SeparationFactor(side, i, l1) * Tau(side, j, l2);
+  const uint64_t vertical = SeparationFactor(side, j, l2) * Tau(side, i, l1);
+  return std::min(horizontal, vertical);
+}
+
+double TSum2DExact(uint64_t side, uint64_t l1, uint64_t l2) {
+  ONION_CHECK(side % 2 == 0);
+  const uint64_t half = side / 2;
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < half; ++i) {
+    for (uint64_t j = 0; j < half; ++j) {
+      total += Lambda2DExact(side, l1, l2, i, j);
+    }
+  }
+  return 4.0 * static_cast<double>(total);
+}
+
+double TSum2DClosedForm(uint64_t side, uint64_t l1, uint64_t l2) {
+  ONION_CHECK(side % 2 == 0);
+  if (l1 > l2) std::swap(l1, l2);
+  const double a = static_cast<double>(l1);
+  const double b = static_cast<double>(l2);
+  const double m = static_cast<double>(side) / 2;
+  if (b <= m) {
+    if (a <= b / 2) {
+      // Lemma 8, first case.
+      return 4 * (a / 6 - a * a / 2 + a * a * a / 12 - a * b / 2 +
+                  a * a * b / 2 + 1.5 * a * m - 1.25 * a * a * m - a * b * m +
+                  2 * a * m * m);
+    }
+    // Lemma 8, second case.
+    return 4 * (a / 6 - a * a / 2 + a * a * a / 12 + a * b / 2 +
+                1.5 * a * a * b - b * b / 2 - a * b * b + b * b * b / 4 +
+                a * m / 2 - 2.25 * a * a * m + b * m / 2 - b * b * m / 4 +
+                2 * a * m * m);
+  }
+  if (a > m) {
+    // Lemma 8, third case (overestimates the exact T; see header).
+    const double big_l1 = static_cast<double>(side) - a + 1;
+    const double big_l2 = static_cast<double>(side) - b + 1;
+    return (2.0 / 3.0) * (1 + 3 * big_l1 - big_l2) * big_l2 * (1 + big_l2);
+  }
+  // Mixed case (l1 <= m < l2): not covered by Lemma 8.
+  return TSum2DExact(side, l1, l2);
+}
+
+double LowerBoundContinuous2D(uint64_t side, uint64_t l1, uint64_t l2) {
+  const double t_sum = TSum2DExact(side, l1, l2);
+  const double num_queries = static_cast<double>(side - l1 + 1) *
+                             static_cast<double>(side - l2 + 1);
+  return t_sum / (2 * num_queries);
+}
+
+double LowerBoundGeneral2D(uint64_t side, uint64_t l1, uint64_t l2) {
+  return 0.5 * LowerBoundContinuous2D(side, l1, l2);
+}
+
+}  // namespace onion

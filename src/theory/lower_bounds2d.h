@@ -1,0 +1,55 @@
+// Lower bounds on the average clustering number of ANY two-dimensional SFC
+// (paper, Sec. V): the minimum neighboring crossing number lambda
+// (Definition 2 / Lemma 7), the T sum (Lemma 8), Theorem 2 (continuous
+// SFCs) and Theorem 3 (arbitrary SFCs).
+//
+// NOTE ON FIDELITY: the paper's Lemma 7 closed form assumes the minimum
+// crossing is achieved at the left/down neighbor, which is correct for
+// l2 <= m but NOT in the large-query regime (l1 > m), where the edge
+// TOWARD the universe center can have zero crossings (e.g. side 8, l = 7,
+// cell (0, 1): true lambda = 0 via the up-edge; the paper formula gives 1).
+// Lambda2DExact therefore evaluates all four incident edges with the exact
+// Lemma 2 factors; the verbatim paper formula is kept as
+// Lambda2DPaperFormula, and the divergence is quantified in EXPERIMENTS.md.
+// All bounds exported from this header use the exact (sound) version.
+
+#ifndef ONION_THEORY_LOWER_BOUNDS2D_H_
+#define ONION_THEORY_LOWER_BOUNDS2D_H_
+
+#include <cstdint>
+
+namespace onion {
+
+/// Exact lambda(Q(l1,l2), (i,j)) on a side x side grid, O(1): the minimum
+/// over the (up to four) incident grid edges of the Lemma 2 crossing count.
+uint64_t Lambda2DExact(uint64_t side, uint64_t l1, uint64_t l2, uint64_t i,
+                       uint64_t j);
+
+/// The paper's Lemma 7 closed form, verbatim (left/down edges only, h1/h2
+/// and tau factors). Agrees with Lambda2DExact when l1, l2 <= side/2;
+/// overestimates for some boundary cells when l1 > side/2.
+uint64_t Lambda2DPaperFormula(uint64_t side, uint64_t l1, uint64_t l2,
+                              uint64_t i, uint64_t j);
+
+/// Exact T = sum over all cells of lambda (Sec. V-A), via the quadrant
+/// symmetry; O(side^2 / 4). `side` must be even.
+double TSum2DExact(uint64_t side, uint64_t l1, uint64_t l2);
+
+/// Lemma 8's closed-form polynomials for T, verbatim. Matches TSum2DExact
+/// for l2 <= side/2; overestimates in the l1 > side/2 regime (see header
+/// note). The mixed case l1 <= m < l2, which Lemma 8 does not cover, falls
+/// back to TSum2DExact.
+double TSum2DClosedForm(uint64_t side, uint64_t l1, uint64_t l2);
+
+/// Theorem 2: lower bound for continuous SFCs, LB = T / (2 |Q|) computed
+/// from the exact T; any continuous SFC's average clustering number is
+/// >= LB - 1.
+double LowerBoundContinuous2D(uint64_t side, uint64_t l1, uint64_t l2);
+
+/// Theorem 3: lower bound for arbitrary SFCs (half the continuous bound,
+/// up to an additive constant |eps| <= 2).
+double LowerBoundGeneral2D(uint64_t side, uint64_t l1, uint64_t l2);
+
+}  // namespace onion
+
+#endif  // ONION_THEORY_LOWER_BOUNDS2D_H_

@@ -1,0 +1,40 @@
+#include "theory/onion2d_bounds.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace onion {
+
+TheoryEstimate Onion2DClusteringTheorem1(uint64_t side, uint64_t l1,
+                                         uint64_t l2) {
+  ONION_CHECK_MSG(side % 2 == 0, "Theorem 1 assumes an even side");
+  ONION_CHECK(l1 >= 1 && l2 >= 1 && l1 <= side && l2 <= side);
+  if (l1 > l2) std::swap(l1, l2);
+  const double s = static_cast<double>(side);
+  const double m = s / 2;
+  const double a = static_cast<double>(l1);
+  const double b = static_cast<double>(l2);
+  const double big_l1 = s - a + 1;
+  const double big_l2 = s - b + 1;
+
+  TheoryEstimate estimate;
+  if (b <= m) {
+    const double correction =
+        (2.0 / 3.0) * b * b * b - 3.5 * a * b * b + 2.5 * a * a * b -
+        m * (b - a) * (b - 3 * a);
+    estimate.value = 0.5 * (a + b) + correction / (big_l1 * big_l2);
+    estimate.error = 5.0;
+  } else if (a > m) {
+    estimate.value =
+        big_l1 - big_l2 + (2.0 / 3.0) * big_l2 * big_l2 / big_l1 + 0.0;
+    estimate.error = 2.0;
+  } else {
+    // Near-cube remark: approximate by the cube Q(m, m).
+    estimate.value = 2.0 * m / 3.0;
+    estimate.error = 6.0;
+  }
+  return estimate;
+}
+
+}  // namespace onion

@@ -1,0 +1,35 @@
+// Closed-form clustering estimates for the 2D onion curve (Theorem 1).
+//
+// For query set Q(l1, l2) (all translations; l1 <= l2) on a sqrt(n) x
+// sqrt(n) universe with even side and m = sqrt(n)/2, L_i = sqrt(n) - l_i + 1:
+//
+//   l2 <= m:  c(Q,O) = (l1+l2)/2
+//                      + [ (2/3)l2^3 - (7/2)l1 l2^2 + (5/2)l1^2 l2
+//                          - m(l2-l1)(l2-3l1) ] / (L1 L2)  + eps1, |eps1|<=5
+//   m  <  l1: c(Q,O) = L1 - L2 + (2/3)L2^2/L1 + eps2,          |eps2|<=2
+//   l1 <= m < l2 (near-cube remark): c(Q,O) = 2m/3 + O(1).
+
+#ifndef ONION_THEORY_ONION2D_BOUNDS_H_
+#define ONION_THEORY_ONION2D_BOUNDS_H_
+
+#include <cstdint>
+
+namespace onion {
+
+/// A closed-form estimate together with the theorem's error bound: the true
+/// average clustering number lies within [value - error, value + error].
+struct TheoryEstimate {
+  double value = 0;
+  double error = 0;
+};
+
+/// Theorem 1 estimate of the onion curve's average clustering number over
+/// Q(l1, l2). Orders l1/l2 internally. `side` must be even. For the mixed
+/// case l1 <= m < l2 the estimate is the near-cube remark (2m/3) with a
+/// conservative O(1) error of 6.
+TheoryEstimate Onion2DClusteringTheorem1(uint64_t side, uint64_t l1,
+                                         uint64_t l2);
+
+}  // namespace onion
+
+#endif  // ONION_THEORY_ONION2D_BOUNDS_H_

@@ -1,0 +1,143 @@
+#include "workloads/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace onion {
+
+namespace {
+
+// Uniform corner for a box with the given lengths.
+Cell RandomCorner(const Universe& universe,
+                  const std::array<Coord, kMaxDims>& lengths, Rng* rng) {
+  Cell corner = Cell::Filled(universe.dims(), 0);
+  for (int axis = 0; axis < universe.dims(); ++axis) {
+    const Coord len = lengths[static_cast<size_t>(axis)];
+    corner[axis] =
+        static_cast<Coord>(rng->UniformInclusive(universe.side() - len));
+  }
+  return corner;
+}
+
+}  // namespace
+
+std::vector<Box> RandomCubes(const Universe& universe, Coord len,
+                             size_t count, uint64_t seed) {
+  std::vector<Coord> lengths(static_cast<size_t>(universe.dims()), len);
+  return RandomBoxes(universe, lengths, count, seed);
+}
+
+std::vector<Box> RandomBoxes(const Universe& universe,
+                             const std::vector<Coord>& lengths, size_t count,
+                             uint64_t seed) {
+  ONION_CHECK(static_cast<int>(lengths.size()) == universe.dims());
+  std::array<Coord, kMaxDims> len_array = {};
+  for (int axis = 0; axis < universe.dims(); ++axis) {
+    const Coord len = lengths[static_cast<size_t>(axis)];
+    ONION_CHECK(len >= 1 && len <= universe.side());
+    len_array[static_cast<size_t>(axis)] = len;
+  }
+  Rng rng(seed);
+  std::vector<Box> boxes;
+  boxes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    boxes.push_back(Box::FromCornerAndLengths(
+        RandomCorner(universe, len_array, &rng), len_array));
+  }
+  return boxes;
+}
+
+std::vector<Box> FixedRatioBoxes(const Universe& universe, double rho,
+                                 Coord step, size_t per_step, uint64_t seed) {
+  ONION_CHECK(rho > 0);
+  ONION_CHECK(step >= 1);
+  Rng rng(seed);
+  std::vector<Box> boxes;
+  // Algorithm 1: l2 walks down from the full side; l1 = floor(l2 / rho).
+  // l2 = 1 is appended so that extreme aspect ratios (rho < step/side),
+  // which are only feasible at l2 = 1, still produce the paper's
+  // column-like rectangles.
+  std::vector<int64_t> l2_values;
+  for (int64_t l2 = universe.side(); l2 >= 1;
+       l2 -= static_cast<int64_t>(step)) {
+    l2_values.push_back(l2);
+  }
+  if (l2_values.empty() || l2_values.back() != 1) l2_values.push_back(1);
+  for (const int64_t l2 : l2_values) {
+    const auto l1 = static_cast<int64_t>(
+        std::floor(static_cast<double>(l2) / rho));
+    if (l1 < 1 || l1 > static_cast<int64_t>(universe.side())) continue;
+    std::array<Coord, kMaxDims> lengths = {};
+    lengths[0] = static_cast<Coord>(l1);
+    for (int axis = 1; axis < universe.dims(); ++axis) {
+      lengths[static_cast<size_t>(axis)] = static_cast<Coord>(l2);
+    }
+    for (size_t i = 0; i < per_step; ++i) {
+      boxes.push_back(Box::FromCornerAndLengths(
+          RandomCorner(universe, lengths, &rng), lengths));
+    }
+  }
+  return boxes;
+}
+
+std::vector<Box> RandomCornerBoxes(const Universe& universe, size_t count,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Box> boxes;
+  boxes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Cell lo = Cell::Filled(universe.dims(), 0);
+    Cell hi = Cell::Filled(universe.dims(), 0);
+    for (int axis = 0; axis < universe.dims(); ++axis) {
+      auto a = static_cast<Coord>(rng.UniformInclusive(universe.side() - 1));
+      auto b = static_cast<Coord>(rng.UniformInclusive(universe.side() - 1));
+      lo[axis] = std::min(a, b);
+      hi[axis] = std::max(a, b);
+    }
+    boxes.push_back(Box(lo, hi));
+  }
+  return boxes;
+}
+
+std::vector<Cell> RandomPoints(const Universe& universe, size_t count,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Cell> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Cell cell = Cell::Filled(universe.dims(), 0);
+    for (int axis = 0; axis < universe.dims(); ++axis) {
+      cell[axis] = static_cast<Coord>(rng.UniformInclusive(universe.side() - 1));
+    }
+    points.push_back(cell);
+  }
+  return points;
+}
+
+std::vector<Cell> ClusteredPoints(const Universe& universe, size_t count,
+                                  size_t num_clusters, Coord spread,
+                                  uint64_t seed) {
+  ONION_CHECK(num_clusters >= 1);
+  Rng rng(seed);
+  std::vector<Cell> centers =
+      RandomPoints(universe, num_clusters, SplitMix64(&seed));
+  std::vector<Cell> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Cell& center = centers[rng.UniformInclusive(num_clusters - 1)];
+    Cell cell = Cell::Filled(universe.dims(), 0);
+    for (int axis = 0; axis < universe.dims(); ++axis) {
+      const int64_t offset =
+          static_cast<int64_t>(rng.UniformInclusive(2 * spread)) - spread;
+      int64_t coord = static_cast<int64_t>(center[axis]) + offset;
+      coord = std::clamp<int64_t>(coord, 0, universe.side() - 1);
+      cell[axis] = static_cast<Coord>(coord);
+    }
+    points.push_back(cell);
+  }
+  return points;
+}
+
+}  // namespace onion

@@ -1,0 +1,49 @@
+// Query-workload generators reproducing the paper's experimental setup
+// (Sec. VII). All generators are deterministic given a seed.
+
+#ifndef ONION_WORKLOADS_GENERATORS_H_
+#define ONION_WORKLOADS_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/types.h"
+
+namespace onion {
+
+/// Sec. VII-A: `count` random cubes of side `len`, lower corner uniform
+/// among all feasible positions.
+std::vector<Box> RandomCubes(const Universe& universe, Coord len,
+                             size_t count, uint64_t seed);
+
+/// Random boxes with the given per-axis side lengths, corner uniform.
+std::vector<Box> RandomBoxes(const Universe& universe,
+                             const std::vector<Coord>& lengths, size_t count,
+                             uint64_t seed);
+
+/// Sec. VII-B, Algorithm 1: rectangles with fixed side-length ratio rho.
+/// Starting from l2 = side and stepping down by `step`, sets
+/// l1 = floor(l2 / rho); whenever 1 <= l1 <= side, samples `per_step`
+/// random placements. In d = 3 the second and third axes share l2.
+std::vector<Box> FixedRatioBoxes(const Universe& universe, double rho,
+                                 Coord step, size_t per_step, uint64_t seed);
+
+/// Sec. VII-C: rectangles whose two corners are chosen uniformly at random
+/// in the universe (the box is the smallest box containing both corners).
+std::vector<Box> RandomCornerBoxes(const Universe& universe, size_t count,
+                                   uint64_t seed);
+
+/// Uniformly random points of the universe (for populating indexes).
+std::vector<Cell> RandomPoints(const Universe& universe, size_t count,
+                               uint64_t seed);
+
+/// Points clustered around `num_clusters` random centers with a boxy spread
+/// of +/- `spread` per axis (clipped to the universe). Models skewed
+/// spatial data (e.g. GPS points around cities).
+std::vector<Cell> ClusteredPoints(const Universe& universe, size_t count,
+                                  size_t num_clusters, Coord spread,
+                                  uint64_t seed);
+
+}  // namespace onion
+
+#endif  // ONION_WORKLOADS_GENERATORS_H_

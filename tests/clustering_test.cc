@@ -1,0 +1,252 @@
+// Tests for the clustering-number algorithms: the three implementations
+// must agree on every curve and query, and reproduce the paper's Figure 1
+// and Figure 2 examples.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "common/rng.h"
+#include "sfc/registry.h"
+
+namespace onion {
+namespace {
+
+TEST(ClusteringTest, WholeUniverseIsOneCluster) {
+  for (const std::string& name : KnownCurveNames()) {
+    auto result = MakeCurve(name, Universe(2, 8));
+    if (!result.ok()) continue;  // e.g. peano needs a power-of-three side
+    auto curve = std::move(result).value();
+    EXPECT_EQ(ClusteringNumber(*curve, curve->universe().Bounds()), 1u)
+        << name;
+  }
+  // Peano separately on its native side.
+  auto peano = MakeCurve("peano", Universe(2, 9)).value();
+  EXPECT_EQ(ClusteringNumber(*peano, peano->universe().Bounds()), 1u);
+}
+
+TEST(ClusteringTest, SingleCellIsOneCluster) {
+  for (const std::string& name : KnownCurveNames()) {
+    auto result = MakeCurve(name, Universe(2, 8));
+    if (!result.ok()) continue;
+    auto curve = std::move(result).value();
+    const Box box = Box::FromCornerAndLengths(Cell(3, 5), {1, 1});
+    EXPECT_EQ(ClusteringNumber(*curve, box), 1u) << name;
+  }
+}
+
+// Property sweep: all three algorithms agree on random boxes, every curve,
+// 2D and 3D.
+struct AgreementCase {
+  std::string name;
+  int dims;
+  Coord side;
+};
+
+class ClusteringAgreement : public testing::TestWithParam<AgreementCase> {};
+
+TEST_P(ClusteringAgreement, AllAlgorithmsAgree) {
+  const AgreementCase& param = GetParam();
+  auto curve = MakeCurve(param.name, Universe(param.dims, param.side)).value();
+  Rng rng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    Cell lo = Cell::Filled(param.dims, 0);
+    Cell hi = Cell::Filled(param.dims, 0);
+    for (int axis = 0; axis < param.dims; ++axis) {
+      auto a = static_cast<Coord>(rng.UniformInclusive(param.side - 1));
+      auto b = static_cast<Coord>(rng.UniformInclusive(param.side - 1));
+      lo[axis] = std::min(a, b);
+      hi[axis] = std::max(a, b);
+    }
+    const Box box(lo, hi);
+    const uint64_t brute = ClusteringNumberBruteForce(*curve, box);
+    const uint64_t entry = ClusteringNumberEntryTest(*curve, box);
+    ASSERT_EQ(brute, entry) << param.name << " " << box.ToString();
+    if (curve->is_continuous()) {
+      ASSERT_EQ(brute, ClusteringNumberBoundary(*curve, box))
+          << param.name << " " << box.ToString();
+    }
+    ASSERT_EQ(brute, ClusteringNumber(*curve, box))
+        << param.name << " " << box.ToString();
+    // Cluster ranges must be consistent: count matches, ranges sorted,
+    // disjoint, and their total size equals the box volume.
+    const auto ranges = ClusterRanges(*curve, box);
+    ASSERT_EQ(ranges.size(), brute);
+    uint64_t covered = 0;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      ASSERT_LE(ranges[i].lo, ranges[i].hi);
+      if (i > 0) {
+        ASSERT_GT(ranges[i].lo, ranges[i - 1].hi + 1);
+      }
+      covered += ranges[i].hi - ranges[i].lo + 1;
+    }
+    ASSERT_EQ(covered, box.Volume());
+  }
+}
+
+std::vector<AgreementCase> AgreementCases() {
+  std::vector<AgreementCase> cases;
+  for (const std::string& name : KnownCurveNames()) {
+    for (const AgreementCase& candidate :
+         {AgreementCase{name, 2, 16}, AgreementCase{name, 3, 8},
+          AgreementCase{name, 2, 9}, AgreementCase{name, 3, 9}}) {
+      if (MakeCurve(candidate.name,
+                    Universe(candidate.dims, candidate.side))
+              .ok()) {
+        cases.push_back(candidate);
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCurves, ClusteringAgreement, testing::ValuesIn(AgreementCases()),
+    [](const testing::TestParamInfo<AgreementCase>& info) {
+      return info.param.name + "_" + std::to_string(info.param.dims) +
+             "d_s" + std::to_string(info.param.side);
+    });
+
+TEST(ClusteringTest, Figure1HilbertBeatsZOnExampleQuery) {
+  // Figure 1: for the same query region, the Hilbert curve yields fewer
+  // clusters than the Z curve (2 vs 4 in the paper's 8x8 example).
+  auto hilbert = MakeCurve("hilbert", Universe(2, 8)).value();
+  auto zorder = MakeCurve("zorder", Universe(2, 8)).value();
+  uint64_t z_worse = 0;
+  uint64_t comparisons = 0;
+  for (Coord x = 0; x + 3 <= 8; ++x) {
+    for (Coord y = 0; y + 2 <= 8; ++y) {
+      const Box box = Box::FromCornerAndLengths(Cell(x, y), {3, 2});
+      const uint64_t h = ClusteringNumber(*hilbert, box);
+      const uint64_t z = ClusteringNumber(*zorder, box);
+      if (z > h) ++z_worse;
+      ++comparisons;
+    }
+  }
+  // The Z curve is strictly worse on a majority of placements of this
+  // query shape and never dramatically better on average.
+  EXPECT_GT(z_worse * 2, comparisons);
+}
+
+TEST(ClusteringTest, Figure2OnionVersusHilbertOn7x7) {
+  // Figure 2: a 7x7 query on the 8x8 universe where the onion curve
+  // achieves a single cluster while the Hilbert curve needs 5.
+  auto onion = MakeCurve("onion", Universe(2, 8)).value();
+  auto hilbert = MakeCurve("hilbert", Universe(2, 8)).value();
+  uint64_t onion_best = ~0ull;
+  uint64_t hilbert_best = ~0ull;
+  double onion_total = 0;
+  double hilbert_total = 0;
+  for (Coord x = 0; x + 7 <= 8; ++x) {
+    for (Coord y = 0; y + 7 <= 8; ++y) {
+      const Box box = Box::Cube(Cell(x, y), 7);
+      const uint64_t o = ClusteringNumber(*onion, box);
+      const uint64_t h = ClusteringNumber(*hilbert, box);
+      onion_best = std::min(onion_best, o);
+      hilbert_best = std::min(hilbert_best, h);
+      onion_total += static_cast<double>(o);
+      hilbert_total += static_cast<double>(h);
+    }
+  }
+  // The onion curve achieves clustering number 1 on one placement and at
+  // most 2 anywhere; Hilbert is far worse on average (Fig. 2 shows 5).
+  EXPECT_EQ(onion_best, 1u);
+  EXPECT_GT(hilbert_total, 2 * onion_total);
+  EXPECT_GE(hilbert_best, 2u);
+}
+
+TEST(ClusteringTest, OnionSingleClusterForLayerAlignedQuery) {
+  // A query equal to the inner k x k sub-square (all layers >= t) is a
+  // single suffix of the onion order.
+  auto onion = MakeCurve("onion", Universe(2, 12)).value();
+  for (Coord t = 0; t < 6; ++t) {
+    const Coord w = 12 - 2 * t;
+    const Box box = Box::Cube(Cell(t, t), w);
+    EXPECT_EQ(ClusteringNumber(*onion, box), 1u) << "t " << t;
+  }
+}
+
+TEST(ClusteringTest, AverageClusteringExactMatchesManualEnumeration) {
+  auto onion = MakeCurve("onion", Universe(2, 6)).value();
+  // Manual enumeration of Q(2, 3).
+  double total = 0;
+  int count = 0;
+  for (Coord x = 0; x + 2 <= 6; ++x) {
+    for (Coord y = 0; y + 3 <= 6; ++y) {
+      total += static_cast<double>(ClusteringNumberBruteForce(
+          *onion, Box::FromCornerAndLengths(Cell(x, y), {2, 3})));
+      ++count;
+    }
+  }
+  EXPECT_DOUBLE_EQ(AverageClusteringExact(*onion, {2, 3}), total / count);
+}
+
+TEST(ClusteringEvaluatorTest, ModesSelectedPerCurve) {
+  auto hilbert = MakeCurve("hilbert", Universe(2, 16)).value();
+  auto onion3d = MakeCurve("onion", Universe(3, 8)).value();
+  // Z-order has ~n/2 non-neighbor steps, far above the jump threshold at
+  // realistic sizes (at tiny sides it may legitimately classify as
+  // "almost", which is also exact).
+  auto zorder = MakeCurve("zorder", Universe(2, 64)).value();
+  EXPECT_STREQ(ClusteringEvaluator(hilbert.get()).mode(), "boundary");
+  EXPECT_STREQ(ClusteringEvaluator(onion3d.get()).mode(), "almost");
+  EXPECT_STREQ(ClusteringEvaluator(zorder.get()).mode(), "entry");
+}
+
+TEST(ClusteringEvaluatorTest, AgreesWithBruteForceOnEveryCurve) {
+  Rng rng(31337);
+  for (const std::string& name : KnownCurveNames()) {
+    for (const int dims : {2, 3}) {
+      const Coord side = dims == 2 ? 16 : 8;
+      auto result = MakeCurve(name, Universe(dims, side));
+      if (!result.ok()) continue;
+      auto curve = std::move(result).value();
+      const ClusteringEvaluator evaluator(curve.get());
+      for (int trial = 0; trial < 40; ++trial) {
+        Cell lo = Cell::Filled(dims, 0);
+        Cell hi = Cell::Filled(dims, 0);
+        for (int axis = 0; axis < dims; ++axis) {
+          auto a = static_cast<Coord>(rng.UniformInclusive(side - 1));
+          auto b = static_cast<Coord>(rng.UniformInclusive(side - 1));
+          lo[axis] = std::min(a, b);
+          hi[axis] = std::max(a, b);
+        }
+        const Box box(lo, hi);
+        ASSERT_EQ(evaluator.Clustering(box),
+                  ClusteringNumberBruteForce(*curve, box))
+            << name << " " << dims << "D " << box.ToString();
+      }
+    }
+  }
+}
+
+TEST(ClusteringEvaluatorTest, Onion3DInteriorJumpsCounted) {
+  // A query strictly inside the universe that contains group-boundary jump
+  // targets must still be exact.
+  auto curve = MakeCurve("onion", Universe(3, 12)).value();
+  const ClusteringEvaluator evaluator(curve.get());
+  for (const Coord corner : {1u, 2u, 3u}) {
+    const Box box = Box::Cube(Cell(corner, corner, corner), 12 - 2 * corner);
+    EXPECT_EQ(evaluator.Clustering(box),
+              ClusteringNumberEntryTest(*curve, box))
+        << corner;
+  }
+}
+
+TEST(ClusteringTest, ThinBoxesAndEdgeTouchingBoxes) {
+  auto onion = MakeCurve("onion", Universe(2, 10)).value();
+  auto hilbert = MakeCurve("hilbert", Universe(2, 16)).value();
+  // 1 x side sliver through the middle.
+  const Box sliver = Box::FromCornerAndLengths(Cell(4, 0), {1, 10});
+  EXPECT_EQ(ClusteringNumberBruteForce(*onion, sliver),
+            ClusteringNumberEntryTest(*onion, sliver));
+  const Box sliver16 = Box::FromCornerAndLengths(Cell(7, 0), {1, 16});
+  EXPECT_EQ(ClusteringNumberBruteForce(*hilbert, sliver16),
+            ClusteringNumberBoundary(*hilbert, sliver16));
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,159 @@
+// Tests for the edge-crossing machinery of Sec. II and Sec. V: gamma
+// closed forms against brute force, the I (cover count) indicator, lambda,
+// and the Lemma 1 identity relating crossings to clustering numbers.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "analysis/edge_stats.h"
+#include "sfc/registry.h"
+
+namespace onion {
+namespace {
+
+TEST(GammaSingleTest, EntersAndLeaves) {
+  const Box box = Box::FromCornerAndLengths(Cell(2, 2), {3, 3});
+  EXPECT_EQ(GammaSingle(box, Cell(1, 2), Cell(2, 2)), 1);  // enters
+  EXPECT_EQ(GammaSingle(box, Cell(4, 4), Cell(5, 4)), 1);  // leaves
+  EXPECT_EQ(GammaSingle(box, Cell(2, 2), Cell(3, 2)), 0);  // inside
+  EXPECT_EQ(GammaSingle(box, Cell(0, 0), Cell(1, 0)), 0);  // outside
+}
+
+TEST(GammaTranslationsTest, MatchesBruteForce2D) {
+  const Universe universe(2, 10);
+  const std::vector<std::vector<Coord>> shapes = {
+      {2, 2}, {3, 5}, {1, 7}, {6, 6}, {10, 3}, {9, 9}};
+  for (const auto& lengths : shapes) {
+    for (Coord x = 0; x < 9; ++x) {
+      for (Coord y = 0; y < 10; ++y) {
+        // Horizontal edge (x, y) -> (x+1, y).
+        const Cell a(x, y);
+        const Cell b(x + 1, y);
+        ASSERT_EQ(GammaTranslations(universe, lengths, a, b),
+                  GammaTranslationsBrute(universe, lengths, a, b))
+            << "l=(" << lengths[0] << "," << lengths[1] << ") edge "
+            << a.ToString();
+        // Vertical edge (y, x) -> (y, x+1).
+        const Cell c(y, x);
+        const Cell d(y, x + 1);
+        ASSERT_EQ(GammaTranslations(universe, lengths, c, d),
+                  GammaTranslationsBrute(universe, lengths, c, d));
+      }
+    }
+  }
+}
+
+TEST(GammaTranslationsTest, MatchesBruteForceNonNeighborEdges) {
+  // The closed form must also hold for jump edges (Z-curve style).
+  const Universe universe(2, 8);
+  const std::vector<Coord> lengths = {3, 4};
+  const std::vector<std::pair<Cell, Cell>> edges = {
+      {Cell(1, 1), Cell(4, 1)}, {Cell(0, 0), Cell(7, 7)},
+      {Cell(3, 2), Cell(3, 6)}, {Cell(5, 5), Cell(2, 7)},
+  };
+  for (const auto& [a, b] : edges) {
+    EXPECT_EQ(GammaTranslations(universe, lengths, a, b),
+              GammaTranslationsBrute(universe, lengths, a, b))
+        << a.ToString() << " -> " << b.ToString();
+  }
+}
+
+TEST(GammaTranslationsTest, MatchesBruteForce3D) {
+  const Universe universe(3, 6);
+  const std::vector<Coord> lengths = {2, 3, 4};
+  for (Coord x = 0; x < 5; ++x) {
+    const Cell a(x, 2, 3);
+    const Cell b(x + 1, 2, 3);
+    EXPECT_EQ(GammaTranslations(universe, lengths, a, b),
+              GammaTranslationsBrute(universe, lengths, a, b));
+  }
+}
+
+TEST(CoverCountTest, MatchesDirectEnumeration) {
+  const Universe universe(2, 8);
+  const std::vector<Coord> lengths = {3, 5};
+  for (Coord x = 0; x < 8; ++x) {
+    for (Coord y = 0; y < 8; ++y) {
+      uint64_t expected = 0;
+      for (Coord cx = 0; cx + 3 <= 8; ++cx) {
+        for (Coord cy = 0; cy + 5 <= 8; ++cy) {
+          const Box box = Box::FromCornerAndLengths(Cell(cx, cy), {3, 5});
+          if (box.Contains(Cell(x, y))) ++expected;
+        }
+      }
+      ASSERT_EQ(CoverCount(universe, lengths, Cell(x, y)), expected)
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(NumTranslationsTest, Formula) {
+  const Universe universe(2, 10);
+  EXPECT_EQ(NumTranslations(universe, {3, 4}), 8u * 7u);
+  EXPECT_EQ(NumTranslations(universe, {10, 10}), 1u);
+  EXPECT_EQ(NumTranslations(universe, {1, 1}), 100u);
+}
+
+TEST(LambdaMinTest, IsMinOverNeighbors) {
+  const Universe universe(2, 8);
+  const std::vector<Coord> lengths = {3, 3};
+  const Cell cell(4, 4);
+  uint64_t expected = ~0ull;
+  for (const Cell& n : GridNeighbors(universe, cell)) {
+    expected =
+        std::min(expected, GammaTranslations(universe, lengths, cell, n));
+  }
+  EXPECT_EQ(LambdaMin(universe, lengths, cell), expected);
+}
+
+TEST(Lemma1Test, EdgeFormulaMatchesDirectAverageEveryCurve) {
+  // Lemma 1: c(Q, pi) = (gamma(Q, pi) + I(Q, pi_s) + I(Q, pi_e)) / (2|Q|),
+  // exactly, for any SFC. Verify against direct enumeration.
+  const Universe universe(2, 8);
+  const std::vector<std::vector<Coord>> shapes = {{2, 2}, {3, 5}, {7, 2}};
+  for (const std::string& name : KnownCurveNames()) {
+    auto result = MakeCurve(name, universe);
+    if (!result.ok()) continue;
+    auto curve = std::move(result).value();
+    for (const auto& lengths : shapes) {
+      const double via_edges = AverageClusteringViaLemma1(*curve, lengths);
+      const double direct = AverageClusteringExact(*curve, lengths);
+      EXPECT_NEAR(via_edges, direct, 1e-9)
+          << name << " l=(" << lengths[0] << "," << lengths[1] << ")";
+    }
+  }
+}
+
+TEST(Lemma1Test, HoldsIn3D) {
+  const Universe universe(3, 4);
+  const std::vector<Coord> lengths = {2, 3, 2};
+  for (const std::string name : {"onion", "hilbert", "zorder", "snake"}) {
+    auto curve = MakeCurve(name, universe).value();
+    EXPECT_NEAR(AverageClusteringViaLemma1(*curve, lengths),
+                AverageClusteringExact(*curve, lengths), 1e-9)
+        << name;
+  }
+}
+
+TEST(LambdaSumTest, LowerBoundsContinuousCurves) {
+  // Theorem 2's engine: for any continuous curve pi,
+  //   2 |Q| c(Q, pi) >= T - lambda_max.
+  // We verify the slightly weaker integral statement T <= gamma(Q, pi) +
+  // lambda_max via the final clustering comparison.
+  const Universe universe(2, 8);
+  const std::vector<Coord> lengths = {3, 3};
+  const double t_sum =
+      static_cast<double>(LambdaSum(universe, lengths));
+  const double queries = static_cast<double>(NumTranslations(universe, lengths));
+  const double lower = t_sum / (2 * queries) - 1.0;  // eps <= 1 (Thm 2)
+  for (const std::string name : {"onion", "hilbert", "snake"}) {
+    auto curve = MakeCurve(name, universe).value();
+    const double measured = AverageClusteringExact(*curve, lengths);
+    EXPECT_GE(measured, lower) << name;
+  }
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,133 @@
+// Tests for the Hilbert curves: the classic 2D rotation algorithm and the
+// d-dimensional Skilling algorithm. Both are validated as continuous
+// bijections; the 2D pair is additionally cross-checked for clustering
+// equivalence (the two constructions differ by a symmetry of the square,
+// which leaves translation-averaged clustering invariant).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "analysis/continuity.h"
+#include "sfc/hilbert2d.h"
+#include "sfc/hilbert_nd.h"
+
+namespace onion {
+namespace {
+
+TEST(Hilbert2DTest, OrderTwoGrid) {
+  // The classic algorithm on 2x2: d=0 -> (0,0), then (0,1), (1,1), (1,0).
+  auto curve = Hilbert2D::Make(Universe(2, 2)).value();
+  EXPECT_EQ(curve->CellAt(0), Cell(0, 0));
+  EXPECT_EQ(curve->CellAt(1), Cell(0, 1));
+  EXPECT_EQ(curve->CellAt(2), Cell(1, 1));
+  EXPECT_EQ(curve->CellAt(3), Cell(1, 0));
+}
+
+TEST(Hilbert2DTest, ContinuousAtAllSizes) {
+  for (const Coord side : {2u, 4u, 8u, 16u, 32u}) {
+    auto curve = Hilbert2D::Make(Universe(2, side)).value();
+    EXPECT_TRUE(VerifyContinuity(*curve)) << "side " << side;
+  }
+}
+
+TEST(Hilbert2DTest, QuadrantRecursion) {
+  // Each quadrant of the 2^k x 2^k curve is a contiguous block of keys of
+  // size (n/4).
+  const Coord side = 16;
+  auto curve = Hilbert2D::Make(Universe(2, side)).value();
+  const Key quarter = curve->num_cells() / 4;
+  for (int q = 0; q < 4; ++q) {
+    Coord min_x = side;
+    Coord max_x = 0;
+    Coord min_y = side;
+    Coord max_y = 0;
+    for (Key key = quarter * q; key < quarter * (q + 1); ++key) {
+      const Cell cell = curve->CellAt(key);
+      min_x = std::min(min_x, cell.x());
+      max_x = std::max(max_x, cell.x());
+      min_y = std::min(min_y, cell.y());
+      max_y = std::max(max_y, cell.y());
+    }
+    EXPECT_EQ(max_x - min_x + 1, side / 2) << "quadrant " << q;
+    EXPECT_EQ(max_y - min_y + 1, side / 2) << "quadrant " << q;
+  }
+}
+
+TEST(Hilbert2DTest, RejectsBadUniverses) {
+  EXPECT_FALSE(Hilbert2D::Make(Universe(2, 6)).ok());
+  EXPECT_FALSE(Hilbert2D::Make(Universe(3, 8)).ok());
+}
+
+TEST(HilbertNDTest, ContinuousInTwoThreeFourDims) {
+  for (const int dims : {2, 3, 4}) {
+    for (const Coord side : {2u, 4u, 8u}) {
+      if (PowChecked(side, dims) > (1u << 20)) continue;
+      auto curve = HilbertND::Make(Universe(dims, side)).value();
+      EXPECT_TRUE(VerifyContinuity(*curve))
+          << dims << "D side " << side;
+    }
+  }
+}
+
+TEST(HilbertNDTest, StartsAtOrigin) {
+  for (const int dims : {2, 3, 4}) {
+    auto curve = HilbertND::Make(Universe(dims, 8)).value();
+    EXPECT_EQ(curve->IndexOf(Cell::Filled(dims, 0)), 0u) << dims;
+  }
+}
+
+TEST(HilbertNDTest, AlignedBlocksAreContiguous) {
+  // Every aligned 2x2x2 block of the 3D curve occupies 8 consecutive keys
+  // starting at a multiple of 8.
+  auto curve = HilbertND::Make(Universe(3, 8)).value();
+  for (Coord bx = 0; bx < 8; bx += 2) {
+    for (Coord by = 0; by < 8; by += 2) {
+      for (Coord bz = 0; bz < 8; bz += 2) {
+        Key min_key = curve->num_cells();
+        Key max_key = 0;
+        for (Coord dx = 0; dx < 2; ++dx) {
+          for (Coord dy = 0; dy < 2; ++dy) {
+            for (Coord dz = 0; dz < 2; ++dz) {
+              const Key key =
+                  curve->IndexOf(Cell(bx + dx, by + dy, bz + dz));
+              min_key = std::min(min_key, key);
+              max_key = std::max(max_key, key);
+            }
+          }
+        }
+        EXPECT_EQ(max_key - min_key, 7u);
+        EXPECT_EQ(min_key % 8, 0u);
+      }
+    }
+  }
+}
+
+TEST(HilbertNDTest, RejectsOneDimensional) {
+  EXPECT_FALSE(HilbertND::Make(Universe(1, 8)).ok());
+}
+
+TEST(HilbertCrossCheckTest, SameClusteringDistributionIn2D) {
+  // The classic and Skilling constructions differ by a reflection, so the
+  // average clustering number over ALL translations of a fixed query shape
+  // must agree exactly for symmetric (square) shapes.
+  const Coord side = 16;
+  auto classic = Hilbert2D::Make(Universe(2, side)).value();
+  auto skilling = HilbertND::Make(Universe(2, side)).value();
+  for (const Coord len : {2u, 3u, 5u, 9u}) {
+    uint64_t total_classic = 0;
+    uint64_t total_skilling = 0;
+    for (Coord x = 0; x + len <= side; ++x) {
+      for (Coord y = 0; y + len <= side; ++y) {
+        const Box box = Box::Cube(Cell(x, y), len);
+        total_classic += ClusteringNumberBruteForce(*classic, box);
+        total_skilling += ClusteringNumberBruteForce(*skilling, box);
+      }
+    }
+    EXPECT_EQ(total_classic, total_skilling) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,99 @@
+// Tests for the row-major, column-major, and snake baseline curves,
+// including the Lemma 10 setup (rows vs columns query sets).
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "analysis/continuity.h"
+#include "sfc/linear_curves.h"
+
+namespace onion {
+namespace {
+
+TEST(RowMajorTest, KnownOrder2D) {
+  RowMajorCurve curve(Universe(2, 3));
+  // key = y * side + x.
+  EXPECT_EQ(curve.IndexOf(Cell(0, 0)), 0u);
+  EXPECT_EQ(curve.IndexOf(Cell(2, 0)), 2u);
+  EXPECT_EQ(curve.IndexOf(Cell(0, 1)), 3u);
+  EXPECT_EQ(curve.IndexOf(Cell(2, 2)), 8u);
+}
+
+TEST(ColumnMajorTest, KnownOrder2D) {
+  ColumnMajorCurve curve(Universe(2, 3));
+  // key = x * side + y.
+  EXPECT_EQ(curve.IndexOf(Cell(0, 0)), 0u);
+  EXPECT_EQ(curve.IndexOf(Cell(0, 2)), 2u);
+  EXPECT_EQ(curve.IndexOf(Cell(1, 0)), 3u);
+  EXPECT_EQ(curve.IndexOf(Cell(2, 2)), 8u);
+}
+
+TEST(SnakeTest, KnownOrder2D) {
+  SnakeCurve curve(Universe(2, 3));
+  // Row 0 left-to-right, row 1 right-to-left, row 2 left-to-right.
+  EXPECT_EQ(curve.IndexOf(Cell(0, 0)), 0u);
+  EXPECT_EQ(curve.IndexOf(Cell(2, 0)), 2u);
+  EXPECT_EQ(curve.IndexOf(Cell(2, 1)), 3u);
+  EXPECT_EQ(curve.IndexOf(Cell(0, 1)), 5u);
+  EXPECT_EQ(curve.IndexOf(Cell(0, 2)), 6u);
+}
+
+TEST(SnakeTest, ContinuousInAllDims) {
+  for (const int dims : {1, 2, 3, 4}) {
+    for (const Coord side : {2u, 3u, 4u, 5u}) {
+      if (PowChecked(side, dims) > (1u << 16)) continue;
+      SnakeCurve curve(Universe(dims, side));
+      EXPECT_TRUE(VerifyContinuity(curve)) << dims << "D side " << side;
+    }
+  }
+}
+
+TEST(RowMajorTest, RowQueriesAreOneCluster) {
+  // Lemma 10 setup: the row-major curve is optimal on the row query set.
+  RowMajorCurve curve(Universe(2, 8));
+  for (Coord y = 0; y < 8; ++y) {
+    const Box row = Box::FromCornerAndLengths(Cell(0, y), {8, 1});
+    EXPECT_EQ(ClusteringNumberBruteForce(curve, row), 1u);
+  }
+}
+
+TEST(RowMajorTest, ColumnQueriesAreWorstCase) {
+  // ... and pathological on the column query set: sqrt(n) clusters.
+  RowMajorCurve curve(Universe(2, 8));
+  for (Coord x = 0; x < 8; ++x) {
+    const Box column = Box::FromCornerAndLengths(Cell(x, 0), {1, 8});
+    EXPECT_EQ(ClusteringNumberBruteForce(curve, column), 8u);
+  }
+}
+
+TEST(ColumnMajorTest, MirrorOfRowMajor) {
+  ColumnMajorCurve curve(Universe(2, 8));
+  const Box row = Box::FromCornerAndLengths(Cell(0, 3), {8, 1});
+  const Box column = Box::FromCornerAndLengths(Cell(3, 0), {1, 8});
+  EXPECT_EQ(ClusteringNumberBruteForce(curve, column), 1u);
+  EXPECT_EQ(ClusteringNumberBruteForce(curve, row), 8u);
+}
+
+TEST(SnakeTest, RowQueriesAreOneCluster) {
+  SnakeCurve curve(Universe(2, 8));
+  for (Coord y = 0; y < 8; ++y) {
+    const Box row = Box::FromCornerAndLengths(Cell(0, y), {8, 1});
+    EXPECT_EQ(ClusteringNumberBruteForce(curve, row), 1u);
+  }
+}
+
+TEST(LinearCurvesTest, ThreeDimensionalRoundTrip) {
+  for (const Coord side : {2u, 3u, 4u}) {
+    RowMajorCurve row(Universe(3, side));
+    ColumnMajorCurve col(Universe(3, side));
+    SnakeCurve snake(Universe(3, side));
+    for (Key key = 0; key < row.num_cells(); ++key) {
+      ASSERT_EQ(row.IndexOf(row.CellAt(key)), key);
+      ASSERT_EQ(col.IndexOf(col.CellAt(key)), key);
+      ASSERT_EQ(snake.IndexOf(snake.CellAt(key)), key);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,148 @@
+// Tests for the locality metrics: inter-cluster gaps (the paper's stated
+// future work), neighbor stretch, and grid-neighbor key gaps.
+
+#include <gtest/gtest.h>
+
+#include "analysis/boxiter.h"
+#include "analysis/clustering.h"
+#include "analysis/locality.h"
+#include "sfc/registry.h"
+
+namespace onion {
+namespace {
+
+TEST(ClusterGapsTest, SingleClusterHasNoGaps) {
+  auto onion = MakeCurve("onion", Universe(2, 12)).value();
+  const Box box = Box::Cube(Cell(1, 1), 10);  // inner layers: one cluster
+  const ClusterGapStats stats = ComputeClusterGaps(*onion, box);
+  EXPECT_EQ(stats.clusters, 1u);
+  EXPECT_EQ(stats.total_gap, 0u);
+  EXPECT_EQ(stats.max_gap, 0u);
+  EXPECT_EQ(stats.MeanGap(), 0.0);
+  EXPECT_EQ(stats.span, box.Volume());
+}
+
+TEST(ClusterGapsTest, GapsMatchManualRangeInspection) {
+  auto hilbert = MakeCurve("hilbert", Universe(2, 8)).value();
+  const Box box = Box::FromCornerAndLengths(Cell(0, 1), {7, 7});
+  const auto ranges = ClusterRanges(*hilbert, box);
+  const ClusterGapStats stats = ComputeClusterGaps(*hilbert, box);
+  ASSERT_EQ(stats.clusters, ranges.size());
+  uint64_t total = 0;
+  uint64_t max_gap = 0;
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    const uint64_t gap = ranges[i].lo - ranges[i - 1].hi - 1;
+    total += gap;
+    max_gap = std::max(max_gap, gap);
+  }
+  EXPECT_EQ(stats.total_gap, total);
+  EXPECT_EQ(stats.max_gap, max_gap);
+  EXPECT_EQ(stats.span, ranges.back().hi - ranges.front().lo + 1);
+}
+
+TEST(ClusterGapsTest, SpanNeverBelowVolume) {
+  auto onion = MakeCurve("onion", Universe(2, 16)).value();
+  auto hilbert = MakeCurve("hilbert", Universe(2, 16)).value();
+  for (Coord len : {3u, 7u, 12u}) {
+    const Box box = Box::Cube(Cell(2, 1), len);
+    for (const SpaceFillingCurve* curve :
+         {static_cast<const SpaceFillingCurve*>(onion.get()),
+          static_cast<const SpaceFillingCurve*>(hilbert.get())}) {
+      const ClusterGapStats stats = ComputeClusterGaps(*curve, box);
+      EXPECT_GE(stats.span, box.Volume());
+      EXPECT_EQ(stats.span, box.Volume() + stats.total_gap);
+    }
+  }
+}
+
+TEST(StretchTest, ContinuousCurvesHaveUnitStretch) {
+  for (const std::string name : {"onion", "hilbert", "snake"}) {
+    auto curve = MakeCurve(name, Universe(2, 16)).value();
+    const StretchStats stats = NeighborStretch(*curve);
+    EXPECT_DOUBLE_EQ(stats.mean_l1, 1.0) << name;
+    EXPECT_EQ(stats.max_l1, 1u) << name;
+    EXPECT_EQ(stats.jumps, 0u) << name;
+  }
+}
+
+TEST(StretchTest, ZOrderJumps) {
+  auto zorder = MakeCurve("zorder", Universe(2, 16)).value();
+  const StretchStats stats = NeighborStretch(*zorder);
+  EXPECT_GT(stats.mean_l1, 1.0);
+  EXPECT_GT(stats.max_l1, 1u);
+  // Exactly half the steps of a 2D Z curve are odd->even jumps.
+  EXPECT_EQ(stats.jumps, (zorder->num_cells() - 1) / 2);
+}
+
+TEST(StretchTest, RowMajorWrapJumps) {
+  auto row = MakeCurve("row_major", Universe(2, 8)).value();
+  const StretchStats stats = NeighborStretch(*row);
+  // One wrap jump of L1 distance 8 per row transition (7 of them).
+  EXPECT_EQ(stats.jumps, 7u);
+  EXPECT_EQ(stats.max_l1, 8u);
+}
+
+TEST(KeyGapTest, RowMajorKnownValues) {
+  // In row-major order, horizontal neighbors differ by 1 and vertical
+  // neighbors by `side`.
+  auto row = MakeCurve("row_major", Universe(2, 4)).value();
+  const KeyGapStats stats = KeyGapOfGridNeighbors(*row);
+  EXPECT_EQ(stats.max, 4u);
+  // 12 horizontal pairs with gap 1 and 12 vertical pairs with gap 4.
+  EXPECT_DOUBLE_EQ(stats.mean, (12.0 * 1 + 12.0 * 4) / 24.0);
+}
+
+TEST(KeyGapTest, HilbertKeepsMostNeighborsClose) {
+  // Note the mean is NOT the right lens here: row-major's mean gap is
+  // (1 + side)/2, which can beat Hilbert's mean because Hilbert trades a
+  // heavy tail (quadrant boundaries) for keeping the vast majority of
+  // neighbor pairs very close in key space. Verify the body of the
+  // distribution instead.
+  const Coord side = 32;
+  auto hilbert = MakeCurve("hilbert", Universe(2, side)).value();
+  auto row = MakeCurve("row_major", Universe(2, side)).value();
+  auto close_fraction = [&](const SpaceFillingCurve& curve) {
+    uint64_t close = 0;
+    uint64_t pairs = 0;
+    ForEachCellInUniverse(curve.universe(), [&](const Cell& cell) {
+      for (int axis = 0; axis < 2; ++axis) {
+        if (cell[axis] + 1 >= side) continue;
+        Cell up = cell;
+        up[axis] += 1;
+        const Key a = curve.IndexOf(cell);
+        const Key b = curve.IndexOf(up);
+        const uint64_t gap = a > b ? a - b : b - a;
+        if (gap <= 8) ++close;
+        ++pairs;
+      }
+    });
+    return static_cast<double>(close) / static_cast<double>(pairs);
+  };
+  EXPECT_GT(close_fraction(*hilbert), close_fraction(*row));
+  // Row-major: exactly the horizontal pairs are close.
+  EXPECT_DOUBLE_EQ(close_fraction(*row), 0.5);
+}
+
+TEST(KeyGapTest, OnionLayerStructureShowsInMaxGap) {
+  // Grid neighbors on opposite sides of the first layer's start/end are
+  // nearly a full perimeter apart in key space.
+  auto onion = MakeCurve("onion", Universe(2, 16)).value();
+  const KeyGapStats stats = KeyGapOfGridNeighbors(*onion);
+  EXPECT_GE(stats.max, 4u * 15u - 1u - 16u);  // near the outer perimeter
+}
+
+TEST(ClusterGapsTest, OnionTradesFewerClustersForWiderGaps) {
+  // The honest flip side the paper defers to future work: the onion curve
+  // achieves fewer clusters on large cubes, but its clusters live in
+  // different layers, so the gaps BETWEEN them are larger than Hilbert's.
+  auto onion = MakeCurve("onion", Universe(2, 64)).value();
+  auto hilbert = MakeCurve("hilbert", Universe(2, 64)).value();
+  const Box box = Box::Cube(Cell(3, 5), 48);
+  const ClusterGapStats o = ComputeClusterGaps(*onion, box);
+  const ClusterGapStats h = ComputeClusterGaps(*hilbert, box);
+  EXPECT_LT(o.clusters, h.clusters);
+  EXPECT_GT(o.MeanGap(), h.MeanGap());
+}
+
+}  // namespace
+}  // namespace onion

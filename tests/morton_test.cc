@@ -1,0 +1,139 @@
+// Tests for Morton interleaving, Gray-code utilities, and the Z-order /
+// Gray-code curves built on them.
+
+#include <gtest/gtest.h>
+
+#include "sfc/graycode.h"
+#include "sfc/morton.h"
+#include "sfc/zorder.h"
+
+namespace onion {
+namespace {
+
+TEST(MortonTest, Known2DValues) {
+  // Interleaving (x, y): y bits land above x bits within each pair.
+  EXPECT_EQ(MortonEncode(Cell(0, 0), 2), 0u);
+  EXPECT_EQ(MortonEncode(Cell(1, 0), 2), 1u);
+  EXPECT_EQ(MortonEncode(Cell(0, 1), 2), 2u);
+  EXPECT_EQ(MortonEncode(Cell(1, 1), 2), 3u);
+  EXPECT_EQ(MortonEncode(Cell(2, 0), 2), 4u);
+  EXPECT_EQ(MortonEncode(Cell(3, 3), 2), 15u);
+}
+
+TEST(MortonTest, RoundTrip2D) {
+  for (Coord x = 0; x < 16; ++x) {
+    for (Coord y = 0; y < 16; ++y) {
+      const Key code = MortonEncode(Cell(x, y), 4);
+      EXPECT_EQ(MortonDecode(code, 2, 4), Cell(x, y));
+    }
+  }
+}
+
+TEST(MortonTest, RoundTrip3D) {
+  for (Coord x = 0; x < 8; ++x) {
+    for (Coord y = 0; y < 8; ++y) {
+      for (Coord z = 0; z < 8; ++z) {
+        const Key code = MortonEncode(Cell(x, y, z), 3);
+        EXPECT_EQ(MortonDecode(code, 3, 3), Cell(x, y, z));
+      }
+    }
+  }
+}
+
+TEST(MortonTest, CodesArePermutation) {
+  std::vector<bool> seen(256, false);
+  for (Coord x = 0; x < 16; ++x) {
+    for (Coord y = 0; y < 16; ++y) {
+      const Key code = MortonEncode(Cell(x, y), 4);
+      ASSERT_LT(code, 256u);
+      ASSERT_FALSE(seen[code]);
+      seen[code] = true;
+    }
+  }
+}
+
+TEST(MortonTest, Log2Exact) {
+  EXPECT_EQ(Log2Exact(1), 0);
+  EXPECT_EQ(Log2Exact(2), 1);
+  EXPECT_EQ(Log2Exact(1024), 10);
+}
+
+TEST(MortonTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+TEST(GrayTest, EncodeKnownValues) {
+  // 0,1,3,2,6,7,5,4 is the 3-bit reflected Gray sequence.
+  const uint64_t expected[] = {0, 1, 3, 2, 6, 7, 5, 4};
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(GrayEncode(i), expected[i]) << i;
+  }
+}
+
+TEST(GrayTest, DecodeInvertsEncode) {
+  for (uint64_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(GrayDecode(GrayEncode(i)), i);
+  }
+  // Large values too.
+  EXPECT_EQ(GrayDecode(GrayEncode(0xdeadbeefcafebabeULL)),
+            0xdeadbeefcafebabeULL);
+}
+
+TEST(GrayTest, ConsecutiveCodesDifferInOneBit) {
+  for (uint64_t i = 0; i + 1 < 1024; ++i) {
+    const uint64_t diff = GrayEncode(i) ^ GrayEncode(i + 1);
+    EXPECT_EQ(diff & (diff - 1), 0u) << i;  // power of two
+    EXPECT_NE(diff, 0u);
+  }
+}
+
+TEST(ZOrderTest, MatchesMortonDirectly) {
+  auto curve = ZOrderCurve::Make(Universe(2, 8)).value();
+  for (Coord x = 0; x < 8; ++x) {
+    for (Coord y = 0; y < 8; ++y) {
+      EXPECT_EQ(curve->IndexOf(Cell(x, y)), MortonEncode(Cell(x, y), 3));
+    }
+  }
+}
+
+TEST(ZOrderTest, NotContinuous) {
+  auto curve = ZOrderCurve::Make(Universe(2, 4)).value();
+  EXPECT_FALSE(curve->is_continuous());
+  // The jump from key 3 (1,1) to key 4 (2,0) is not a neighbor move.
+  EXPECT_EQ(curve->CellAt(3), Cell(1, 1));
+  EXPECT_EQ(curve->CellAt(4), Cell(2, 0));
+}
+
+TEST(GrayCodeCurveTest, ConsecutiveCellsDifferInOneMortonBit) {
+  auto curve = GrayCodeCurve::Make(Universe(2, 8)).value();
+  for (Key key = 0; key + 1 < curve->num_cells(); ++key) {
+    const Key m1 = MortonEncode(curve->CellAt(key), 3);
+    const Key m2 = MortonEncode(curve->CellAt(key + 1), 3);
+    const Key diff = m1 ^ m2;
+    EXPECT_EQ(diff & (diff - 1), 0u) << key;
+  }
+}
+
+TEST(GrayCodeCurveTest, SingleStepMovesArePowerOfTwoDistance) {
+  // A one-bit Morton flip moves exactly one coordinate by a power of two.
+  auto curve = GrayCodeCurve::Make(Universe(2, 16)).value();
+  for (Key key = 0; key + 1 < curve->num_cells(); ++key) {
+    const Cell a = curve->CellAt(key);
+    const Cell b = curve->CellAt(key + 1);
+    int changed = 0;
+    for (int axis = 0; axis < 2; ++axis) {
+      const Coord diff = a[axis] ^ b[axis];
+      if (diff == 0) continue;
+      ++changed;
+      EXPECT_EQ(diff & (diff - 1), 0u);
+    }
+    EXPECT_EQ(changed, 1) << key;
+  }
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,201 @@
+// Tests for the 2D onion curve against the paper's exact definition:
+// the O_2 and O_4 grids of Figure 3, the recursive definition of O_j, the
+// layer-sequential property, continuity, and the local encode/decode
+// helpers.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/boxiter.h"
+#include "analysis/continuity.h"
+#include "core/onion2d.h"
+
+namespace onion {
+namespace {
+
+std::unique_ptr<Onion2D> MakeOnion(Coord side) {
+  auto result = Onion2D::Make(Universe(2, side));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(Onion2DTest, Figure3GridTwoByTwo) {
+  // O_2(0,0)=0, O_2(1,0)=1, O_2(1,1)=2, O_2(0,1)=3 (paper Sec. III-A).
+  auto curve = MakeOnion(2);
+  EXPECT_EQ(curve->IndexOf(Cell(0, 0)), 0u);
+  EXPECT_EQ(curve->IndexOf(Cell(1, 0)), 1u);
+  EXPECT_EQ(curve->IndexOf(Cell(1, 1)), 2u);
+  EXPECT_EQ(curve->IndexOf(Cell(0, 1)), 3u);
+}
+
+TEST(Onion2DTest, Figure3GridFourByFour) {
+  // Unrolling the definition for j = 4: bottom row 0..3, right column 4..6,
+  // top row 7..9, left column 10..11, inner 2x2 block 12..15.
+  auto curve = MakeOnion(4);
+  const Key expected[4][4] = {
+      // indexed [y][x]
+      {0, 1, 2, 3},
+      {11, 12, 13, 4},
+      {10, 15, 14, 5},
+      {9, 8, 7, 6},
+  };
+  for (Coord y = 0; y < 4; ++y) {
+    for (Coord x = 0; x < 4; ++x) {
+      EXPECT_EQ(curve->IndexOf(Cell(x, y)), expected[y][x])
+          << "(" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(Onion2DTest, MatchesRecursiveDefinition) {
+  // O_j(x, y) for j > 2 per the paper's five cases, applied recursively.
+  struct Recursive {
+    static Key Eval(Coord x, Coord y, Coord j) {
+      if (j == 2) {
+        if (y == 0) return x;          // (0,0)->0, (1,0)->1
+        return x == 1 ? 2 : 3;         // (1,1)->2, (0,1)->3
+      }
+      const Key jj = j;
+      if (y == 0) return x;                          // case 1
+      if (x == j - 1) return jj - 1 + y;             // case 2
+      if (y == j - 1) return 3 * jj - 3 - x;         // case 3
+      if (x == 0) return 4 * jj - 4 - y;             // case 4 (y >= 1)
+      return 4 * jj - 4 + Eval(x - 1, y - 1, j - 2);  // case 5
+    }
+  };
+  for (const Coord side : {2u, 4u, 6u, 8u, 10u}) {
+    auto curve = MakeOnion(side);
+    for (Coord y = 0; y < side; ++y) {
+      for (Coord x = 0; x < side; ++x) {
+        ASSERT_EQ(curve->IndexOf(Cell(x, y)), Recursive::Eval(x, y, side))
+            << "side " << side << " cell (" << x << ", " << y << ")";
+      }
+    }
+  }
+}
+
+TEST(Onion2DTest, LayerSequentialOrdering) {
+  // The defining property: all cells of layer t come before all cells of
+  // layer t+1 (paper: S(1) first, then S(2), ...).
+  for (const Coord side : {4u, 7u, 12u}) {
+    auto curve = MakeOnion(side);
+    const Universe& universe = curve->universe();
+    Key prev_key = 0;
+    Coord prev_layer = 0;
+    bool first = true;
+    for (Key key = 0; key < curve->num_cells(); ++key) {
+      const Coord layer = universe.Layer(curve->CellAt(key));
+      if (!first) {
+        ASSERT_GE(layer, prev_layer)
+            << "layer decreased at key " << key << " (prev key " << prev_key
+            << ") side " << side;
+      }
+      first = false;
+      prev_layer = layer;
+      prev_key = key;
+    }
+  }
+}
+
+TEST(Onion2DTest, LayerBlockBoundaries) {
+  // Layer t (0-based) occupies keys [side^2 - w^2, side^2 - (w-2)^2) with
+  // w = side - 2t.
+  const Coord side = 10;
+  auto curve = MakeOnion(side);
+  for (Coord t = 0; t < (side + 1) / 2; ++t) {
+    const Key w = side - 2 * t;
+    const Key begin = static_cast<Key>(side) * side - w * w;
+    const Cell first = curve->CellAt(begin);
+    EXPECT_EQ(curve->universe().Layer(first), t);
+    // The first cell of each layer is its lower-left corner (t, t).
+    EXPECT_EQ(first, Cell(t, t));
+  }
+}
+
+TEST(Onion2DTest, ContinuousForEvenAndOddSides) {
+  for (const Coord side : {1u, 2u, 3u, 4u, 5u, 8u, 9u, 16u, 21u}) {
+    auto curve = MakeOnion(side);
+    EXPECT_TRUE(VerifyContinuity(*curve)) << "side " << side;
+  }
+}
+
+TEST(Onion2DTest, StartsAtOriginEndsNearCenter) {
+  auto curve = MakeOnion(8);
+  EXPECT_EQ(curve->StartCell(), Cell(0, 0));
+  // Even side: the last layer is a 2x2 block whose final cell is its
+  // local (0, 1) = global (3, 4).
+  EXPECT_EQ(curve->EndCell(), Cell(3, 4));
+}
+
+TEST(Onion2DTest, RejectsNon2D) {
+  EXPECT_FALSE(Onion2D::Make(Universe(3, 4)).ok());
+}
+
+TEST(Onion2DPerimeterTest, EncodeDecodeRoundTrip) {
+  for (const Coord j : {1u, 2u, 3u, 5u, 8u, 100u}) {
+    const Key perimeter = j == 1 ? 1 : 4 * (static_cast<Key>(j) - 1);
+    for (Key pos = 0; pos < perimeter; ++pos) {
+      Coord u = 0;
+      Coord v = 0;
+      OnionPerimeterCell(pos, j, &u, &v);
+      ASSERT_TRUE(u == 0 || v == 0 || u == j - 1 || v == j - 1);
+      ASSERT_EQ(OnionPerimeterIndex(u, v, j), pos)
+          << "j " << j << " pos " << pos;
+    }
+  }
+}
+
+TEST(Onion2DPerimeterTest, WalkIsAContiguousLoop) {
+  const Coord j = 7;
+  Coord pu = 0;
+  Coord pv = 0;
+  OnionPerimeterCell(0, j, &pu, &pv);
+  for (Key pos = 1; pos < 4 * (static_cast<Key>(j) - 1); ++pos) {
+    Coord u = 0;
+    Coord v = 0;
+    OnionPerimeterCell(pos, j, &u, &v);
+    const int du = std::abs(static_cast<int>(u) - static_cast<int>(pu));
+    const int dv = std::abs(static_cast<int>(v) - static_cast<int>(pv));
+    ASSERT_EQ(du + dv, 1) << "pos " << pos;
+    pu = u;
+    pv = v;
+  }
+  // The walk ends adjacent to the next layer's start (1, 1).
+  EXPECT_EQ(pu, 0u);
+  EXPECT_EQ(pv, 1u);
+}
+
+TEST(Onion2DLocalTest, FullSquareRoundTrip) {
+  for (const Coord j : {1u, 2u, 5u, 12u}) {
+    for (Key key = 0; key < static_cast<Key>(j) * j; ++key) {
+      Coord u = 0;
+      Coord v = 0;
+      Onion2DLocalCell(key, j, &u, &v);
+      ASSERT_LT(u, j);
+      ASSERT_LT(v, j);
+      ASSERT_EQ(Onion2DLocalIndex(u, v, j), key) << "j " << j;
+    }
+  }
+}
+
+TEST(Onion2DTest, AlmostSymmetricUnderTranspose) {
+  // The paper notes the onion curve is "almost symmetric to the two
+  // dimensions". Verify the transposed cell is always within one layer
+  // position: |O(x,y) - O(y,x)| is bounded by the perimeter of its layer.
+  const Coord side = 8;
+  auto curve = MakeOnion(side);
+  ForEachCellInUniverse(curve->universe(), [&](const Cell& cell) {
+    const Key a = curve->IndexOf(cell);
+    const Key b = curve->IndexOf(Cell(cell.y(), cell.x()));
+    const Coord layer = curve->universe().Layer(cell);
+    const Key w = side - 2 * layer;
+    const Key perimeter = w == 1 ? 1 : 4 * (w - 1);
+    const Key diff = a > b ? a - b : b - a;
+    EXPECT_LT(diff, perimeter) << cell.ToString();
+  });
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,236 @@
+// Tests for the 3D onion curve (paper Sec. VI-A): the K1 layer prefix
+// formula, group sizes V_t(g), the triple-key scheme, layer-sequential
+// ordering, and group ordering within layers.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/boxiter.h"
+#include "core/onion3d.h"
+
+namespace onion {
+namespace {
+
+std::unique_ptr<Onion3D> MakeOnion(Coord side) {
+  auto result = Onion3D::Make(Universe(3, side));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(Onion3DTest, RejectsOddSideAndWrongDims) {
+  EXPECT_FALSE(Onion3D::Make(Universe(3, 5)).ok());
+  EXPECT_FALSE(Onion3D::Make(Universe(2, 4)).ok());
+  EXPECT_TRUE(Onion3D::Make(Universe(3, 4)).ok());
+}
+
+TEST(Onion3DTest, K1MatchesPaperFormula) {
+  // K1(t') = 24 m^2 (t'-1) - 24 m (t'-1)^2 + 8 (t'-1)^3 where side = 2m,
+  // which equals side^3 - w^3 with w = side - 2(t'-1).
+  const Coord side = 12;
+  const Key m = side / 2;
+  auto curve = MakeOnion(side);
+  for (Coord t1 = 1; t1 <= m; ++t1) {  // 1-based layer
+    const Key t0 = t1 - 1;
+    const Key paper_k1 = 24 * m * m * t0 - 24 * m * t0 * t0 + 8 * t0 * t0 * t0;
+    const Key w = side - 2 * t0;
+    const Key ours = static_cast<Key>(side) * side * side - w * w * w;
+    EXPECT_EQ(paper_k1, ours) << "t " << t1;
+    // The first cell of layer t is (t0, t0, t0), which begins group S1.
+    EXPECT_EQ(curve->CellAt(ours), Cell(t0, t0, t0));
+  }
+}
+
+TEST(Onion3DTest, GroupSizesMatchPaper) {
+  // V_t(1) = V_t(2) = (2m - 2t + 2)^2; lines are 2m - 2t; planes are
+  // (2m - 2t)^2 (paper Sec. VI-A, with t 1-based).
+  const Coord side = 10;
+  auto curve = MakeOnion(side);
+  const Key m = side / 2;
+  std::vector<std::vector<Key>> counts(
+      m, std::vector<Key>(11, 0));  // counts[t0][g]
+  ForEachCellInUniverse(curve->universe(), [&](const Cell& cell) {
+    const auto triple = curve->TripleKeyOf(cell);
+    counts[triple.t - 1][static_cast<size_t>(triple.g)] += 1;
+  });
+  for (Key t1 = 1; t1 <= m; ++t1) {
+    const Key face = (2 * m - 2 * t1 + 2) * (2 * m - 2 * t1 + 2);
+    const Key line = 2 * m - 2 * t1;
+    const Key plane = line * line;
+    const auto& c = counts[t1 - 1];
+    EXPECT_EQ(c[1], face) << t1;
+    EXPECT_EQ(c[2], face) << t1;
+    EXPECT_EQ(c[3], line) << t1;
+    EXPECT_EQ(c[4], plane) << t1;
+    EXPECT_EQ(c[5], line) << t1;
+    EXPECT_EQ(c[6], line) << t1;
+    EXPECT_EQ(c[7], plane) << t1;
+    EXPECT_EQ(c[8], line) << t1;
+    EXPECT_EQ(c[9], plane) << t1;
+    EXPECT_EQ(c[10], plane) << t1;
+  }
+}
+
+TEST(Onion3DTest, LayerSequentialOrdering) {
+  for (const Coord side : {4u, 8u, 10u}) {
+    auto curve = MakeOnion(side);
+    Coord prev_layer = 0;
+    for (Key key = 0; key < curve->num_cells(); ++key) {
+      const Coord layer = curve->universe().Layer(curve->CellAt(key));
+      ASSERT_GE(layer, prev_layer) << "side " << side << " key " << key;
+      prev_layer = layer;
+    }
+  }
+}
+
+TEST(Onion3DTest, GroupsOrderedWithinLayer) {
+  const Coord side = 8;
+  auto curve = MakeOnion(side);
+  Coord prev_layer = 0;
+  int prev_group = 0;
+  for (Key key = 0; key < curve->num_cells(); ++key) {
+    const Cell cell = curve->CellAt(key);
+    const auto triple = curve->TripleKeyOf(cell);
+    const Coord layer = triple.t - 1;
+    if (layer == prev_layer) {
+      ASSERT_GE(triple.g, prev_group) << "key " << key;
+    }
+    prev_layer = layer;
+    prev_group = triple.g;
+  }
+}
+
+TEST(Onion3DTest, TripleKeyGroupMembership) {
+  // Every cell's group must match the paper's definition of S_g(t).
+  const Coord side = 8;
+  auto curve = MakeOnion(side);
+  ForEachCellInUniverse(curve->universe(), [&](const Cell& cell) {
+    const auto triple = curve->TripleKeyOf(cell);
+    const Coord t0 = triple.t - 1;
+    const Coord lo = t0;
+    const Coord hi = side - 1 - t0;
+    const Coord i = cell[0];
+    const Coord j = cell[1];
+    const Coord k = cell[2];
+    const bool i_interior = i > lo && i < hi;
+    switch (triple.g) {
+      case 1:
+        EXPECT_EQ(i, lo);
+        break;
+      case 2:
+        EXPECT_EQ(i, hi);
+        break;
+      case 3:
+        EXPECT_TRUE(i_interior && j == lo && k == lo);
+        break;
+      case 4:
+        EXPECT_TRUE(i_interior && j == lo && k > lo && k < hi);
+        break;
+      case 5:
+        EXPECT_TRUE(i_interior && j == lo && k == hi);
+        break;
+      case 6:
+        EXPECT_TRUE(i_interior && j == hi && k == lo);
+        break;
+      case 7:
+        EXPECT_TRUE(i_interior && j == hi && k > lo && k < hi);
+        break;
+      case 8:
+        EXPECT_TRUE(i_interior && j == hi && k == hi);
+        break;
+      case 9:
+        EXPECT_TRUE(i_interior && j > lo && j < hi && k == lo);
+        break;
+      case 10:
+        EXPECT_TRUE(i_interior && j > lo && j < hi && k == hi);
+        break;
+      default:
+        FAIL() << "group out of range: " << triple.g;
+    }
+  });
+}
+
+TEST(Onion3DTest, FacesUseTwoDimensionalOnionOrder) {
+  // Within S1(t=1) (the face i = 0), keys must follow the 2D onion curve
+  // over (j, k).
+  const Coord side = 6;
+  auto curve = MakeOnion(side);
+  // S1 of layer 1 occupies keys [0, side^2).
+  for (Key key = 0; key + 1 < static_cast<Key>(side) * side; ++key) {
+    const Cell a = curve->CellAt(key);
+    const Cell b = curve->CellAt(key + 1);
+    ASSERT_EQ(a[0], 0u);
+    ASSERT_EQ(b[0], 0u);
+    // Consecutive cells within the face are grid neighbors in (j, k)
+    // because the 2D onion curve is continuous.
+    const int dj = std::abs(static_cast<int>(a[1]) - static_cast<int>(b[1]));
+    const int dk = std::abs(static_cast<int>(a[2]) - static_cast<int>(b[2]));
+    ASSERT_EQ(dj + dk, 1) << "key " << key;
+  }
+}
+
+TEST(Onion3DTest, CustomGroupOrderIsStillABijection) {
+  // The paper: "the order in which the onion curve organizes the different
+  // S_g(t) ... is not so important. We can actually adopt any permutation."
+  const std::array<int, 10> reversed = {10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  auto curve = Onion3D::MakeWithGroupOrder(Universe(3, 8), reversed).value();
+  for (Key key = 0; key < curve->num_cells(); ++key) {
+    ASSERT_EQ(curve->IndexOf(curve->CellAt(key)), key);
+  }
+  // Layers still sequential — the property the bounds rest on.
+  Coord prev_layer = 0;
+  for (Key key = 0; key < curve->num_cells(); ++key) {
+    const Coord layer = curve->universe().Layer(curve->CellAt(key));
+    ASSERT_GE(layer, prev_layer);
+    prev_layer = layer;
+  }
+}
+
+TEST(Onion3DTest, CustomGroupOrderKeepsLayerPrefixes) {
+  const std::array<int, 10> shuffled = {2, 1, 9, 10, 4, 7, 3, 5, 6, 8};
+  auto paper = Onion3D::Make(Universe(3, 6)).value();
+  auto custom =
+      Onion3D::MakeWithGroupOrder(Universe(3, 6), shuffled).value();
+  // Both curves assign the same SET of keys to each layer.
+  for (Key key = 0; key < paper->num_cells(); ++key) {
+    EXPECT_EQ(paper->universe().Layer(paper->CellAt(key)),
+              custom->universe().Layer(custom->CellAt(key)))
+        << key;
+  }
+}
+
+TEST(Onion3DTest, RejectsInvalidGroupOrder) {
+  EXPECT_FALSE(Onion3D::MakeWithGroupOrder(
+                   Universe(3, 8), {1, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+                   .ok());
+  EXPECT_FALSE(Onion3D::MakeWithGroupOrder(
+                   Universe(3, 8), {0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+                   .ok());
+  EXPECT_FALSE(Onion3D::MakeWithGroupOrder(
+                   Universe(3, 8), {2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+                   .ok());
+}
+
+TEST(Onion3DTest, MostStepsAreNeighborMoves) {
+  // The 3D onion curve is "almost continuous": discontinuities only occur
+  // at group boundaries, of which there are at most 10 per layer.
+  const Coord side = 8;
+  auto curve = MakeOnion(side);
+  uint64_t jumps = 0;
+  Cell prev = curve->CellAt(0);
+  for (Key key = 1; key < curve->num_cells(); ++key) {
+    const Cell next = curve->CellAt(key);
+    int moved = 0;
+    for (int axis = 0; axis < 3; ++axis) {
+      moved += std::abs(static_cast<int>(prev[axis]) -
+                        static_cast<int>(next[axis]));
+    }
+    if (moved != 1) ++jumps;
+    prev = next;
+  }
+  const uint64_t layers = side / 2;
+  EXPECT_LE(jumps, layers * 10);
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,98 @@
+// Tests for the generic d-dimensional onion curve: the layer-sequential
+// property (the essential invariant all clustering bounds rest on), face
+// ordering, and agreement of layer prefixes with side^d - w^d.
+
+#include <gtest/gtest.h>
+
+#include "analysis/boxiter.h"
+#include "core/onion_nd.h"
+
+namespace onion {
+namespace {
+
+std::unique_ptr<OnionND> MakeOnion(int dims, Coord side) {
+  auto result = OnionND::Make(Universe(dims, side));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(OnionNDTest, LayerSequentialInAllDims) {
+  struct Case {
+    int dims;
+    Coord side;
+  };
+  for (const Case c : {Case{1, 9}, Case{2, 8}, Case{2, 7}, Case{3, 6},
+                       Case{3, 5}, Case{4, 4}, Case{5, 3}}) {
+    auto curve = MakeOnion(c.dims, c.side);
+    Coord prev_layer = 0;
+    for (Key key = 0; key < curve->num_cells(); ++key) {
+      // In 1D the curve is the natural order, which is NOT layered; skip.
+      if (c.dims == 1) break;
+      const Coord layer = curve->universe().Layer(curve->CellAt(key));
+      ASSERT_GE(layer, prev_layer)
+          << c.dims << "D side " << c.side << " key " << key;
+      prev_layer = layer;
+    }
+  }
+}
+
+TEST(OnionNDTest, LayerPrefixFormula) {
+  // Layer t (0-based) begins at key side^d - w^d with w = side - 2t.
+  const int dims = 3;
+  const Coord side = 6;
+  auto curve = MakeOnion(dims, side);
+  for (Coord t = 0; t < (side + 1) / 2; ++t) {
+    const Key w = side - 2 * t;
+    const Key begin = PowChecked(side, dims) - w * w * w;
+    const Cell first = curve->CellAt(begin);
+    EXPECT_EQ(curve->universe().Layer(first), t) << "t " << t;
+  }
+}
+
+TEST(OnionNDTest, OneDimensionalIsIdentity) {
+  auto curve = MakeOnion(1, 16);
+  for (Key key = 0; key < 16; ++key) {
+    EXPECT_EQ(curve->CellAt(key)[0], key);
+  }
+}
+
+TEST(OnionNDTest, FirstFaceComesFirst) {
+  // Within the outermost layer, all cells of the face x0 = 0 precede all
+  // other layer-0 cells.
+  const int dims = 3;
+  const Coord side = 5;
+  auto curve = MakeOnion(dims, side);
+  const Key face = PowChecked(side, dims - 1);
+  for (Key key = 0; key < face; ++key) {
+    EXPECT_EQ(curve->CellAt(key)[0], 0u) << key;
+  }
+  // And the second face is x0 = side - 1.
+  for (Key key = face; key < 2 * face; ++key) {
+    EXPECT_EQ(curve->CellAt(key)[0], side - 1) << key;
+  }
+}
+
+TEST(OnionNDTest, HighDimensionalBijectionSpotCheck) {
+  // 6D, side 3: 729 cells; full round trip.
+  auto curve = MakeOnion(6, 3);
+  for (Key key = 0; key < curve->num_cells(); ++key) {
+    ASSERT_EQ(curve->IndexOf(curve->CellAt(key)), key);
+  }
+}
+
+TEST(OnionNDTest, MaxDimsSupported) {
+  auto curve = MakeOnion(kMaxDims, 2);
+  EXPECT_EQ(curve->num_cells(), 256u);
+  for (Key key = 0; key < curve->num_cells(); ++key) {
+    ASSERT_EQ(curve->IndexOf(curve->CellAt(key)), key);
+  }
+}
+
+TEST(OnionNDTest, SideOneUniverse) {
+  auto curve = MakeOnion(3, 1);
+  EXPECT_EQ(curve->num_cells(), 1u);
+  EXPECT_EQ(curve->CellAt(0), Cell(0, 0, 0));
+}
+
+}  // namespace
+}  // namespace onion

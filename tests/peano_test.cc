@@ -1,0 +1,96 @@
+// Tests for the Peano curve: the classic 3x3 serpentine, self-similarity
+// (aligned 3^k-blocks are contiguous), continuity, and the base-3 side
+// requirement.
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "analysis/continuity.h"
+#include "sfc/peano.h"
+
+namespace onion {
+namespace {
+
+std::unique_ptr<PeanoCurve> MakePeano(int dims, Coord side) {
+  auto result = PeanoCurve::Make(Universe(dims, side));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(PeanoTest, IsPowerOfThree) {
+  EXPECT_TRUE(PeanoCurve::IsPowerOfThree(1));
+  EXPECT_TRUE(PeanoCurve::IsPowerOfThree(3));
+  EXPECT_TRUE(PeanoCurve::IsPowerOfThree(27));
+  EXPECT_TRUE(PeanoCurve::IsPowerOfThree(729));
+  EXPECT_FALSE(PeanoCurve::IsPowerOfThree(0));
+  EXPECT_FALSE(PeanoCurve::IsPowerOfThree(2));
+  EXPECT_FALSE(PeanoCurve::IsPowerOfThree(6));
+  EXPECT_FALSE(PeanoCurve::IsPowerOfThree(10));
+}
+
+TEST(PeanoTest, RejectsNonPowerOfThreeSides) {
+  EXPECT_FALSE(PeanoCurve::Make(Universe(2, 8)).ok());
+  EXPECT_FALSE(PeanoCurve::Make(Universe(2, 6)).ok());
+  EXPECT_TRUE(PeanoCurve::Make(Universe(2, 9)).ok());
+}
+
+TEST(PeanoTest, ClassicThreeByThreeSerpentine) {
+  // The canonical Peano 3x3: columns traversed boustrophedon in y.
+  auto curve = MakePeano(2, 3);
+  const Cell expected[9] = {
+      Cell(0, 0), Cell(0, 1), Cell(0, 2), Cell(1, 2), Cell(1, 1),
+      Cell(1, 0), Cell(2, 0), Cell(2, 1), Cell(2, 2),
+  };
+  for (Key key = 0; key < 9; ++key) {
+    EXPECT_EQ(curve->CellAt(key), expected[key]) << "key " << key;
+    EXPECT_EQ(curve->IndexOf(expected[key]), key);
+  }
+}
+
+TEST(PeanoTest, ContinuousAtLargerSizes) {
+  EXPECT_TRUE(VerifyContinuity(*MakePeano(2, 27)));
+  EXPECT_TRUE(VerifyContinuity(*MakePeano(2, 81)));
+  EXPECT_TRUE(VerifyContinuity(*MakePeano(3, 9)));
+  EXPECT_TRUE(VerifyContinuity(*MakePeano(4, 3)));
+}
+
+TEST(PeanoTest, AlignedBlocksAreContiguous) {
+  // Aligned 3x3 blocks of the 9x9 curve occupy 9 consecutive keys starting
+  // at multiples of 9 (self-similarity).
+  auto curve = MakePeano(2, 9);
+  for (Coord bx = 0; bx < 9; bx += 3) {
+    for (Coord by = 0; by < 9; by += 3) {
+      Key min_key = curve->num_cells();
+      Key max_key = 0;
+      for (Coord dx = 0; dx < 3; ++dx) {
+        for (Coord dy = 0; dy < 3; ++dy) {
+          const Key key = curve->IndexOf(Cell(bx + dx, by + dy));
+          min_key = std::min(min_key, key);
+          max_key = std::max(max_key, key);
+        }
+      }
+      EXPECT_EQ(max_key - min_key, 8u);
+      EXPECT_EQ(min_key % 9, 0u);
+    }
+  }
+}
+
+TEST(PeanoTest, StartsAtOriginEndsAtFarCorner) {
+  auto curve = MakePeano(2, 27);
+  EXPECT_EQ(curve->CellAt(0), Cell(0, 0));
+  EXPECT_EQ(curve->EndCell(), Cell(26, 26));
+}
+
+TEST(PeanoTest, ClusteringSanityOnRowQueries) {
+  // Like all continuous curves, a full row decomposes into O(sqrt(n))
+  // clusters and the whole universe into exactly 1.
+  auto curve = MakePeano(2, 27);
+  EXPECT_EQ(ClusteringNumber(*curve, curve->universe().Bounds()), 1u);
+  const Box row = Box::FromCornerAndLengths(Cell(0, 13), {27, 1});
+  const uint64_t clusters = ClusteringNumber(*curve, row);
+  EXPECT_GE(clusters, 2u);
+  EXPECT_LE(clusters, 27u);
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,152 @@
+// End-to-end tests of the SFC spatial index: query results must match a
+// brute-force filter for every curve, seek counts must equal clustering
+// numbers, and statistics must accumulate correctly.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.h"
+#include "index/disk_model.h"
+#include "index/spatial_index.h"
+#include "sfc/registry.h"
+#include "workloads/generators.h"
+
+namespace onion {
+namespace {
+
+SpatialIndex MakeIndex(const std::string& name, int dims, Coord side) {
+  auto curve = MakeCurve(name, Universe(dims, side)).value();
+  return SpatialIndex(std::move(curve));
+}
+
+TEST(SpatialIndexTest, InsertLookupErase) {
+  SpatialIndex index = MakeIndex("onion", 2, 16);
+  index.Insert(Cell(3, 4), 100);
+  index.Insert(Cell(3, 4), 101);
+  index.Insert(Cell(5, 5), 102);
+  EXPECT_EQ(index.size(), 3u);
+  auto at_cell = index.LookupCell(Cell(3, 4));
+  std::sort(at_cell.begin(), at_cell.end());
+  EXPECT_EQ(at_cell, (std::vector<uint64_t>{100, 101}));
+  EXPECT_TRUE(index.Erase(Cell(3, 4), 100));
+  EXPECT_FALSE(index.Erase(Cell(3, 4), 100));
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(SpatialIndexTest, QueryMatchesBruteForceEveryCurve) {
+  const Universe universe(2, 32);
+  const auto points = RandomPoints(universe, 2000, /*seed=*/77);
+  const auto queries = RandomCornerBoxes(universe, 25, /*seed=*/88);
+  for (const std::string& name : KnownCurveNames()) {
+    if (!MakeCurve(name, universe).ok()) continue;
+    SpatialIndex index = MakeIndex(name, 2, 32);
+    for (size_t i = 0; i < points.size(); ++i) {
+      index.Insert(points[i], i);
+    }
+    for (const Box& box : queries) {
+      std::multiset<uint64_t> expected;
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (box.Contains(points[i])) expected.insert(i);
+      }
+      std::multiset<uint64_t> actual;
+      for (const SpatialEntry& entry : index.Query(box)) {
+        EXPECT_TRUE(box.Contains(entry.cell));
+        actual.insert(entry.payload);
+      }
+      ASSERT_EQ(actual, expected) << name << " " << box.ToString();
+    }
+  }
+}
+
+TEST(SpatialIndexTest, QueryMatchesBruteForce3D) {
+  const Universe universe(3, 8);
+  const auto points = RandomPoints(universe, 500, 5);
+  const auto queries = RandomCornerBoxes(universe, 10, 6);
+  for (const std::string name : {"onion", "hilbert", "zorder"}) {
+    SpatialIndex index = MakeIndex(name, 3, 8);
+    for (size_t i = 0; i < points.size(); ++i) index.Insert(points[i], i);
+    for (const Box& box : queries) {
+      size_t expected = 0;
+      for (const Cell& p : points) {
+        if (box.Contains(p)) ++expected;
+      }
+      EXPECT_EQ(index.Query(box).size(), expected) << name;
+    }
+  }
+}
+
+TEST(SpatialIndexTest, SeeksEqualClusteringNumber) {
+  // The motivating identity of the paper: ranges scanned per query ==
+  // clustering number of the query box.
+  SpatialIndex index = MakeIndex("onion", 2, 16);
+  const Box box = Box::FromCornerAndLengths(Cell(2, 3), {9, 7});
+  index.Insert(Cell(4, 4), 1);
+  index.ResetStats();
+  index.Query(box);
+  EXPECT_EQ(index.stats().queries, 1u);
+  EXPECT_EQ(index.stats().ranges, ClusteringNumber(index.curve(), box));
+}
+
+TEST(SpatialIndexTest, StatsAccumulateAndReset) {
+  SpatialIndex index = MakeIndex("hilbert", 2, 16);
+  for (uint64_t i = 0; i < 64; ++i) {
+    index.Insert(Cell(i % 16, i / 16), i);
+  }
+  const Box box = Box::FromCornerAndLengths(Cell(0, 0), {8, 4});
+  index.Query(box);
+  index.Query(box);
+  EXPECT_EQ(index.stats().queries, 2u);
+  EXPECT_GT(index.stats().tree.seeks, 0u);
+  index.ResetStats();
+  EXPECT_EQ(index.stats().queries, 0u);
+  EXPECT_EQ(index.stats().tree.seeks, 0u);
+}
+
+TEST(SpatialIndexTest, ResultsComeInKeyOrder) {
+  SpatialIndex index = MakeIndex("zorder", 2, 16);
+  const auto points = RandomPoints(index.curve().universe(), 300, 9);
+  for (size_t i = 0; i < points.size(); ++i) index.Insert(points[i], i);
+  const Box box = Box::FromCornerAndLengths(Cell(2, 2), {12, 11});
+  Key prev = 0;
+  bool first = true;
+  for (const SpatialEntry& entry : index.Query(box)) {
+    const Key key = index.curve().IndexOf(entry.cell);
+    if (!first) {
+      EXPECT_GE(key, prev);
+    }
+    prev = key;
+    first = false;
+  }
+}
+
+TEST(SpatialIndexTest, EmptyIndexQueries) {
+  SpatialIndex index = MakeIndex("onion", 2, 8);
+  const Box box = Box::Cube(Cell(1, 1), 4);
+  EXPECT_TRUE(index.Query(box).empty());
+  EXPECT_GT(index.stats().ranges, 0u);  // decomposition still happened
+}
+
+TEST(DiskModelTest, LatencyEstimates) {
+  const DiskModel hdd = DiskModel::Hdd();
+  EXPECT_DOUBLE_EQ(hdd.EstimateMs(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(hdd.EstimateMs(2, 1000), 2 * 8.0 + 1.0);
+  const DiskModel ssd = DiskModel::Ssd();
+  // Seeks dominate on HDD much more than on SSD.
+  EXPECT_GT(hdd.EstimateMs(10, 0) / ssd.EstimateMs(10, 0), 50.0);
+}
+
+TEST(DiskModelTest, FewerSeeksBeatManySeeks) {
+  // Same data volume, different clustering: the curve with fewer clusters
+  // wins under the disk model — the paper's core systems argument.
+  const DiskModel disk = DiskModel::Hdd();
+  const double few = disk.EstimateMs(2, 10000);
+  const double many = disk.EstimateMs(40, 10000);
+  EXPECT_LT(few, many);
+}
+
+}  // namespace
+}  // namespace onion

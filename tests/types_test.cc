@@ -1,0 +1,197 @@
+// Tests for the geometric vocabulary (Cell, Box, Universe) and the box
+// iteration helpers.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/boxiter.h"
+#include "sfc/types.h"
+
+namespace onion {
+namespace {
+
+TEST(CellTest, ConstructorsSetDims) {
+  const Cell c2(3, 4);
+  EXPECT_EQ(c2.dims, 2);
+  EXPECT_EQ(c2.x(), 3u);
+  EXPECT_EQ(c2.y(), 4u);
+  const Cell c3(1, 2, 3);
+  EXPECT_EQ(c3.dims, 3);
+  EXPECT_EQ(c3.z(), 3u);
+}
+
+TEST(CellTest, FilledInitializesAllAxes) {
+  const Cell cell = Cell::Filled(4, 7);
+  EXPECT_EQ(cell.dims, 4);
+  for (int axis = 0; axis < 4; ++axis) EXPECT_EQ(cell[axis], 7u);
+}
+
+TEST(CellTest, EqualityComparesDimsAndCoords) {
+  EXPECT_EQ(Cell(1, 2), Cell(1, 2));
+  EXPECT_NE(Cell(1, 2), Cell(2, 1));
+  EXPECT_NE(Cell(1, 2), Cell(1, 2, 0));  // different dims
+}
+
+TEST(CellTest, ToString) {
+  EXPECT_EQ(Cell(1, 2).ToString(), "(1, 2)");
+  EXPECT_EQ(Cell(1, 2, 3).ToString(), "(1, 2, 3)");
+}
+
+TEST(BoxTest, FromCornerAndLengths) {
+  const Box box = Box::FromCornerAndLengths(Cell(2, 3), {4, 5});
+  EXPECT_EQ(box.lo, Cell(2, 3));
+  EXPECT_EQ(box.hi, Cell(5, 7));
+  EXPECT_EQ(box.Length(0), 4u);
+  EXPECT_EQ(box.Length(1), 5u);
+}
+
+TEST(BoxTest, CubeHelper) {
+  const Box box = Box::Cube(Cell(1, 1, 1), 3);
+  EXPECT_EQ(box.hi, Cell(3, 3, 3));
+  EXPECT_EQ(box.Volume(), 27u);
+}
+
+TEST(BoxTest, VolumeAndSurface2D) {
+  const Box box = Box::FromCornerAndLengths(Cell(0, 0), {5, 4});
+  EXPECT_EQ(box.Volume(), 20u);
+  // 20 - 3*2 interior cells = 14 boundary cells.
+  EXPECT_EQ(box.SurfaceCells(), 14u);
+}
+
+TEST(BoxTest, SurfaceOfThinBoxIsEverything) {
+  const Box box = Box::FromCornerAndLengths(Cell(0, 0), {2, 10});
+  EXPECT_EQ(box.SurfaceCells(), box.Volume());
+}
+
+TEST(BoxTest, SurfaceCells3D) {
+  const Box box = Box::Cube(Cell(0, 0, 0), 4);
+  EXPECT_EQ(box.Volume(), 64u);
+  EXPECT_EQ(box.SurfaceCells(), 64u - 8u);
+}
+
+TEST(BoxTest, Contains) {
+  const Box box = Box::FromCornerAndLengths(Cell(1, 1), {3, 3});
+  EXPECT_TRUE(box.Contains(Cell(1, 1)));
+  EXPECT_TRUE(box.Contains(Cell(3, 3)));
+  EXPECT_FALSE(box.Contains(Cell(0, 1)));
+  EXPECT_FALSE(box.Contains(Cell(4, 2)));
+  EXPECT_FALSE(box.Contains(Cell(2, 2, 2)));  // dim mismatch
+}
+
+TEST(UniverseTest, BasicProperties) {
+  const Universe u(2, 8);
+  EXPECT_EQ(u.dims(), 2);
+  EXPECT_EQ(u.side(), 8u);
+  EXPECT_EQ(u.num_cells(), 64u);
+  EXPECT_EQ(u.NumLayers(), 4u);
+}
+
+TEST(UniverseTest, ContainsCellAndBox) {
+  const Universe u(2, 4);
+  EXPECT_TRUE(u.Contains(Cell(3, 3)));
+  EXPECT_FALSE(u.Contains(Cell(4, 0)));
+  EXPECT_FALSE(u.Contains(Cell(0, 0, 0)));
+  EXPECT_TRUE(u.Contains(Box::Cube(Cell(0, 0), 4)));
+  EXPECT_FALSE(u.Contains(Box::Cube(Cell(1, 1), 4)));
+}
+
+TEST(UniverseTest, DepthMatchesPaperDefinition) {
+  const Universe u(2, 8);
+  // Depth(alpha) = min(x+1, side-x, y+1, side-y).
+  EXPECT_EQ(u.Depth(Cell(0, 0)), 1u);
+  EXPECT_EQ(u.Depth(Cell(7, 7)), 1u);
+  EXPECT_EQ(u.Depth(Cell(3, 3)), 4u);
+  EXPECT_EQ(u.Depth(Cell(1, 5)), 2u);
+  EXPECT_EQ(u.Layer(Cell(1, 5)), 1u);
+}
+
+TEST(UniverseTest, OddSideLayers) {
+  const Universe u(2, 5);
+  EXPECT_EQ(u.NumLayers(), 3u);
+  EXPECT_EQ(u.Depth(Cell(2, 2)), 3u);
+}
+
+TEST(UniverseTest, PowCheckedComputesPowers) {
+  EXPECT_EQ(PowChecked(2, 10), 1024u);
+  EXPECT_EQ(PowChecked(10, 3), 1000u);
+  EXPECT_EQ(PowChecked(1, 8), 1u);
+}
+
+TEST(ForEachCellTest, VisitsEveryCellOnce) {
+  const Box box = Box::FromCornerAndLengths(Cell(1, 2), {3, 4});
+  std::set<std::pair<Coord, Coord>> seen;
+  ForEachCell(box, [&](const Cell& cell) {
+    EXPECT_TRUE(box.Contains(cell));
+    seen.insert({cell.x(), cell.y()});
+  });
+  EXPECT_EQ(seen.size(), box.Volume());
+}
+
+TEST(ForEachCellTest, SingleCellBox) {
+  const Box box = Box::FromCornerAndLengths(Cell(5, 5), {1, 1});
+  int visits = 0;
+  ForEachCell(box, [&](const Cell& cell) {
+    EXPECT_EQ(cell, Cell(5, 5));
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(ForEachCellTest, ThreeDimensional) {
+  const Box box = Box::Cube(Cell(0, 0, 0), 3);
+  uint64_t visits = 0;
+  ForEachCell(box, [&](const Cell&) { ++visits; });
+  EXPECT_EQ(visits, 27u);
+}
+
+// Boundary enumeration must match the brute-force definition for a variety
+// of box shapes in 2D..4D.
+TEST(ForEachBoundaryCellTest, MatchesBruteForce) {
+  struct Case {
+    int dims;
+    std::array<Coord, kMaxDims> corner;
+    std::array<Coord, kMaxDims> lengths;
+  };
+  const std::vector<Case> cases = {
+      {2, {0, 0}, {5, 4}},  {2, {3, 1}, {1, 6}},  {2, {2, 2}, {2, 2}},
+      {2, {0, 0}, {1, 1}},  {3, {0, 0, 0}, {4, 3, 5}},
+      {3, {1, 1, 1}, {2, 2, 2}}, {3, {0, 2, 1}, {1, 3, 4}},
+      {4, {0, 0, 0, 0}, {3, 3, 2, 4}},
+  };
+  for (const Case& c : cases) {
+    Cell corner;
+    corner.dims = c.dims;
+    for (int axis = 0; axis < c.dims; ++axis) corner[axis] = c.corner[axis];
+    const Box box = Box::FromCornerAndLengths(corner, c.lengths);
+
+    std::set<std::vector<Coord>> expected;
+    ForEachCell(box, [&](const Cell& cell) {
+      for (int axis = 0; axis < c.dims; ++axis) {
+        if (cell[axis] == box.lo[axis] || cell[axis] == box.hi[axis]) {
+          std::vector<Coord> key(cell.coords.begin(),
+                                 cell.coords.begin() + c.dims);
+          expected.insert(key);
+          return;
+        }
+      }
+    });
+
+    std::set<std::vector<Coord>> actual;
+    uint64_t visits = 0;
+    ForEachBoundaryCell(box, [&](const Cell& cell) {
+      std::vector<Coord> key(cell.coords.begin(),
+                             cell.coords.begin() + c.dims);
+      actual.insert(key);
+      ++visits;
+    });
+    EXPECT_EQ(actual, expected) << box.ToString();
+    EXPECT_EQ(visits, actual.size()) << "duplicate visits for "
+                                     << box.ToString();
+    EXPECT_EQ(visits, box.SurfaceCells()) << box.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,164 @@
+// Tests for the workload generators: determinism, bounds, and the
+// structural properties of Algorithm 1 (fixed-ratio rectangles).
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/generators.h"
+
+namespace onion {
+namespace {
+
+TEST(RandomCubesTest, BoundsAndShape) {
+  const Universe universe(2, 64);
+  const auto cubes = RandomCubes(universe, 16, 100, 1);
+  EXPECT_EQ(cubes.size(), 100u);
+  for (const Box& box : cubes) {
+    EXPECT_TRUE(universe.Contains(box));
+    EXPECT_EQ(box.Length(0), 16u);
+    EXPECT_EQ(box.Length(1), 16u);
+  }
+}
+
+TEST(RandomCubesTest, DeterministicPerSeed) {
+  const Universe universe(2, 64);
+  const auto a = RandomCubes(universe, 8, 50, 42);
+  const auto b = RandomCubes(universe, 8, 50, 42);
+  const auto c = RandomCubes(universe, 8, 50, 43);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == c[i])) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RandomCubesTest, CornersSpreadAcrossUniverse) {
+  const Universe universe(2, 64);
+  const auto cubes = RandomCubes(universe, 4, 500, 3);
+  std::set<std::pair<Coord, Coord>> corners;
+  for (const Box& box : cubes) corners.insert({box.lo.x(), box.lo.y()});
+  EXPECT_GT(corners.size(), 300u);  // not degenerate
+}
+
+TEST(RandomBoxesTest, RespectsPerAxisLengths) {
+  const Universe universe(3, 32);
+  const auto boxes = RandomBoxes(universe, {4, 8, 16}, 50, 7);
+  for (const Box& box : boxes) {
+    EXPECT_TRUE(universe.Contains(box));
+    EXPECT_EQ(box.Length(0), 4u);
+    EXPECT_EQ(box.Length(1), 8u);
+    EXPECT_EQ(box.Length(2), 16u);
+  }
+}
+
+TEST(FixedRatioTest, Algorithm1SideRatio2D) {
+  const Universe universe(2, 1024);
+  const double rho = 4.0;
+  const auto boxes = FixedRatioBoxes(universe, rho, 50, 20, 11);
+  EXPECT_FALSE(boxes.empty());
+  for (const Box& box : boxes) {
+    EXPECT_TRUE(universe.Contains(box));
+    // l1 = floor(l2 / rho).
+    EXPECT_EQ(box.Length(0),
+              static_cast<Coord>(std::floor(box.Length(1) / rho)));
+  }
+}
+
+TEST(FixedRatioTest, RhoBelowOneMakesWideBoxes) {
+  const Universe universe(2, 1024);
+  const auto boxes = FixedRatioBoxes(universe, 0.25, 100, 5, 12);
+  for (const Box& box : boxes) {
+    EXPECT_GE(box.Length(0), box.Length(1));
+  }
+}
+
+TEST(FixedRatioTest, PerStepCount) {
+  const Universe universe(2, 512);
+  const Coord step = 64;
+  const size_t per_step = 7;
+  const auto boxes = FixedRatioBoxes(universe, 1.0, step, per_step, 13);
+  // l2 in {512, 448, ..., 64} plus the appended l2 = 1: 9 valid levels,
+  // each contributing per_step boxes.
+  EXPECT_EQ(boxes.size(), 9 * per_step);
+}
+
+TEST(FixedRatioTest, ExtremeRatiosProduceColumnLikeBoxes) {
+  // rho = 1/side is only feasible at l2 = 1 (a full-width row); the
+  // generator must still produce it (paper Fig. 6 includes rho = 1/1024).
+  const Universe universe(2, 1024);
+  const auto wide = FixedRatioBoxes(universe, 1.0 / 1024, 50, 5, 15);
+  ASSERT_FALSE(wide.empty());
+  for (const Box& box : wide) {
+    EXPECT_EQ(box.Length(0), 1024u);
+    EXPECT_EQ(box.Length(1), 1u);
+  }
+  const auto tall = FixedRatioBoxes(universe, 1024.0, 50, 5, 16);
+  ASSERT_FALSE(tall.empty());
+  for (const Box& box : tall) {
+    EXPECT_EQ(box.Length(0), 1u);
+    EXPECT_EQ(box.Length(1), 1024u);
+  }
+}
+
+TEST(FixedRatioTest, ThreeDimensionalSharesL2) {
+  const Universe universe(3, 128);
+  const auto boxes = FixedRatioBoxes(universe, 2.0, 32, 3, 14);
+  for (const Box& box : boxes) {
+    EXPECT_EQ(box.Length(1), box.Length(2));
+    EXPECT_EQ(box.Length(0),
+              static_cast<Coord>(std::floor(box.Length(1) / 2.0)));
+  }
+}
+
+TEST(RandomCornerBoxesTest, BoundsAndDeterminism) {
+  const Universe universe(2, 100);
+  const auto a = RandomCornerBoxes(universe, 200, 21);
+  const auto b = RandomCornerBoxes(universe, 200, 21);
+  ASSERT_EQ(a.size(), 200u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(universe.Contains(a[i]));
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(RandomCornerBoxesTest, ShapesVary) {
+  const Universe universe(2, 100);
+  const auto boxes = RandomCornerBoxes(universe, 200, 22);
+  std::set<std::pair<Coord, Coord>> shapes;
+  for (const Box& box : boxes) {
+    shapes.insert({box.Length(0), box.Length(1)});
+  }
+  EXPECT_GT(shapes.size(), 100u);
+}
+
+TEST(RandomPointsTest, InBoundsAndDeterministic) {
+  const Universe universe(3, 16);
+  const auto a = RandomPoints(universe, 1000, 31);
+  const auto b = RandomPoints(universe, 1000, 31);
+  ASSERT_EQ(a.size(), 1000u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(universe.Contains(a[i]));
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(ClusteredPointsTest, InBoundsAndClustered) {
+  const Universe universe(2, 256);
+  const auto points = ClusteredPoints(universe, 2000, 4, 10, 41);
+  ASSERT_EQ(points.size(), 2000u);
+  std::set<std::pair<Coord, Coord>> distinct;
+  for (const Cell& p : points) {
+    EXPECT_TRUE(universe.Contains(p));
+    distinct.insert({p.x(), p.y()});
+  }
+  // Clustered data occupies far fewer distinct cells than uniform data
+  // would (4 clusters x 21x21 box = at most ~1764 cells).
+  EXPECT_LT(distinct.size(), 1764u + 1);
+}
+
+}  // namespace
+}  // namespace onion
