@@ -13,6 +13,7 @@
 #include "analysis/clustering.h"
 #include "common/stats.h"
 #include "sfc/curve.h"
+#include "storage/io_stats.h"
 
 namespace onion::bench {
 
@@ -41,6 +42,27 @@ inline void PrintCsvRow(const std::string& tag, const std::string& label,
   std::printf("CSV,%s,%s,%.2f,%.2f,%.2f,%.2f,%.2f,%.4f\n", tag.c_str(),
               label.c_str(), box.min, box.q25, box.median, box.q75, box.max,
               box.mean);
+}
+
+/// Header line for the I/O-metric CSV rows below (perf-trajectory files).
+inline void PrintIoCsvHeader() {
+  std::printf("CSVIO,tag,label,queries,seeks,page_reads,cache_hits,"
+              "entries_read,avg_clustering,est_ms\n");
+}
+
+/// Prints one I/O-metric CSV row: per-workload physical counters from a
+/// buffer pool (aggregated over `queries` queries), the analytic average
+/// clustering number for comparison, and the modeled latency in ms.
+inline void PrintIoCsvRow(const std::string& tag, const std::string& label,
+                          uint64_t queries, const IoStats& io,
+                          double avg_clustering, double est_ms) {
+  std::printf("CSVIO,%s,%s,%llu,%llu,%llu,%llu,%llu,%.3f,%.3f\n", tag.c_str(),
+              label.c_str(), static_cast<unsigned long long>(queries),
+              static_cast<unsigned long long>(io.seeks),
+              static_cast<unsigned long long>(io.page_reads),
+              static_cast<unsigned long long>(io.cache_hits),
+              static_cast<unsigned long long>(io.entries_read),
+              avg_clustering, est_ms);
 }
 
 }  // namespace onion::bench

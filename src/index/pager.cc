@@ -1,65 +1,15 @@
 #include "index/pager.h"
 
-#include <algorithm>
+#include "common/macros.h"
 
 namespace onion {
 
 PackedRun::PackedRun(std::vector<Entry> entries, uint32_t entries_per_page)
-    : entries_(std::move(entries)), page_size_(entries_per_page) {
-  ONION_CHECK_MSG(page_size_ >= 1, "page size must be positive");
-  for (size_t i = 1; i < entries_.size(); ++i) {
-    ONION_CHECK_MSG(entries_[i - 1].key <= entries_[i].key,
-                    "PackedRun input must be sorted by key");
-  }
-  fences_.reserve(num_pages());
-  for (uint64_t page = 0; page < num_pages(); ++page) {
-    fences_.push_back(entries_[page * page_size_].key);
-  }
-}
-
-uint64_t PackedRun::PageOf(Key key) const {
-  if (fences_.empty()) return 0;
-  // Candidate: one page before the first fence >= key (duplicates of a
-  // fence key can spill backward into the preceding page), then advance
-  // past pages whose entries all precede `key`.
-  auto it = std::lower_bound(fences_.begin(), fences_.end(), key);
-  uint64_t page =
-      it == fences_.begin()
-          ? 0
-          : static_cast<uint64_t>(it - fences_.begin()) - 1;
-  while (page < num_pages() && entries_[PageEnd(page) - 1].key < key) {
-    ++page;
-  }
-  return page;
-}
-
-uint64_t PackedRun::PageEnd(uint64_t page) const {
-  return std::min<uint64_t>(entries_.size(), (page + 1) * page_size_);
-}
+    : storage::MemPageSource(std::move(entries), entries_per_page) {}
 
 BufferPool::BufferPool(const PackedRun* run, uint64_t capacity_pages)
-    : run_(run), capacity_(capacity_pages) {
+    : run_(run), pool_(capacity_pages) {
   ONION_CHECK(run != nullptr);
-  ONION_CHECK_MSG(capacity_pages >= 1, "buffer pool needs >= 1 page");
-}
-
-void BufferPool::Fetch(uint64_t page) {
-  auto it = resident_.find(page);
-  if (it != resident_.end()) {
-    ++stats_.cache_hits;
-    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    return;
-  }
-  // Disk read.
-  ++stats_.page_reads;
-  if (page != last_disk_page_ + 1) ++stats_.seeks;
-  last_disk_page_ = page;
-  lru_.push_front(page);
-  resident_[page] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    resident_.erase(lru_.back());
-    lru_.pop_back();
-  }
 }
 
 }  // namespace onion

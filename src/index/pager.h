@@ -1,71 +1,42 @@
-// A miniature storage-engine substrate used to turn clustering numbers into
-// simulated physical I/O: a page-packed sorted run (the on-disk layout of
-// an SFC-ordered table), an LRU buffer pool, and I/O statistics that
-// distinguish sequential from random page reads.
+// Single-run pager facade, kept for the simulation benchmarks and tests
+// that predate the storage engine. The actual machinery now lives in
+// src/storage/: PackedRun is the in-memory MemPageSource backend, and
+// BufferPool wraps the generalized multi-source pool (storage/buffer_pool.h)
+// pinned to one run. New code should use the storage layer directly — it
+// serves the same pages from real segment files (storage/segment.h) and
+// caches across many runs at once.
 //
 // The paper's argument (Sec. I) is that each cluster of a query costs one
 // disk seek. This module makes that concrete: a range scan reads
 // consecutive pages (one seek, then sequential), so a query with k
-// clusters costs k seeks plus its data volume — now measurable against a
+// clusters costs k seeks plus its data volume — measurable against a
 // buffer pool instead of assumed.
 
 #ifndef ONION_INDEX_PAGER_H_
 #define ONION_INDEX_PAGER_H_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
-#include "common/macros.h"
 #include "sfc/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/mem_source.h"
 
 namespace onion {
 
-/// Physical I/O counters.
-struct IoStats {
-  uint64_t page_reads = 0;   ///< pages fetched from "disk"
-  uint64_t cache_hits = 0;   ///< pages served by the buffer pool
-  uint64_t seeks = 0;        ///< non-sequential disk reads
-  uint64_t entries_read = 0; ///< entries delivered to the caller
-
-  void Reset() { *this = IoStats{}; }
-};
-
 /// An immutable sorted run of (key, payload) entries packed into fixed-size
-/// pages, with an in-memory fence index (first key of each page).
-class PackedRun {
+/// pages, with an in-memory fence index. Alias shell over the storage
+/// layer's in-memory page source.
+class PackedRun : public storage::MemPageSource {
  public:
-  struct Entry {
-    Key key;
-    uint64_t payload;
-  };
+  using Entry = storage::Entry;
 
   /// Builds a run from entries sorted by key (checked).
   PackedRun(std::vector<Entry> entries, uint32_t entries_per_page);
 
-  uint64_t num_entries() const { return entries_.size(); }
-  uint64_t num_pages() const {
-    return (entries_.size() + page_size_ - 1) / page_size_;
-  }
-  uint32_t page_size() const { return page_size_; }
-
-  /// Page containing the first entry with key >= `key`, or num_pages() if
-  /// every entry precedes `key`. Binary search over the fence index plus a
-  /// duplicate-aware adjustment.
-  uint64_t PageOf(Key key) const;
-
-  /// First entry index of page `page`.
-  uint64_t PageBegin(uint64_t page) const { return page * page_size_; }
-  /// One-past-last entry index of page `page`.
-  uint64_t PageEnd(uint64_t page) const;
-
-  const Entry& entry(uint64_t index) const { return entries_[index]; }
-
- private:
-  std::vector<Entry> entries_;
-  std::vector<Key> fences_;  // first key of each page
-  uint32_t page_size_;
+  uint32_t page_size() const { return entries_per_page(); }
 };
 
 /// A simple LRU buffer pool over the pages of one PackedRun. Fetching a
@@ -76,49 +47,23 @@ class BufferPool {
   BufferPool(const PackedRun* run, uint64_t capacity_pages);
 
   /// Ensures `page` is resident, updating statistics.
-  void Fetch(uint64_t page);
+  void Fetch(uint64_t page) { pool_.Fetch(*run_, page); }
 
   /// Scans all entries with lo <= key <= hi through the pool, invoking
   /// fn(key, payload) and accounting page fetches + entries.
   template <typename Fn>
   void ScanRange(Key lo, Key hi, Fn&& fn) {
-    const uint64_t pages = run_->num_pages();
-    for (uint64_t page = run_->PageOf(lo); page < pages; ++page) {
-      const uint64_t begin = run_->PageBegin(page);
-      // The fence index already tells us this page starts past the range;
-      // no I/O needed.
-      if (run_->entry(begin).key > hi) break;
-      Fetch(page);
-      bool past_end = false;
-      for (uint64_t i = begin; i < run_->PageEnd(page); ++i) {
-        const auto& entry = run_->entry(i);
-        if (entry.key < lo) continue;
-        if (entry.key > hi) {
-          past_end = true;
-          break;
-        }
-        ++stats_.entries_read;
-        fn(entry.key, entry.payload);
-      }
-      if (past_end) break;
-    }
+    pool_.ScanRange(*run_, lo, hi, std::forward<Fn>(fn));
   }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
-  uint64_t resident_pages() const { return lru_.size(); }
-  uint64_t capacity() const { return capacity_; }
+  const IoStats& stats() const { return pool_.stats(); }
+  void ResetStats() { pool_.ResetStats(); }
+  uint64_t resident_pages() const { return pool_.resident_pages(); }
+  uint64_t capacity() const { return pool_.capacity(); }
 
  private:
   const PackedRun* run_;
-  uint64_t capacity_;
-  // LRU list of resident pages, most recent at front, with an index.
-  std::list<uint64_t> lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;
-  // Sentinel chosen so that sentinel + 1 cannot equal a real page id (the
-  // very first disk read must count as a seek).
-  uint64_t last_disk_page_ = ~0ull - 1;
-  IoStats stats_;
+  storage::BufferPool pool_;
 };
 
 }  // namespace onion

@@ -3,6 +3,10 @@
 // sequentially. This is the data structure the paper's clustering metric is
 // about — the number of ranges (seeks) per query is exactly the clustering
 // number of the query box under the chosen curve.
+//
+// This index is purely in-memory; its persistent, file-backed twin is
+// storage::SfcTable (storage/sfc_table.h), which serves the same queries
+// from on-disk segments through a buffer pool and reports measured I/O.
 
 #ifndef ONION_INDEX_SPATIAL_INDEX_H_
 #define ONION_INDEX_SPATIAL_INDEX_H_

@@ -1,0 +1,51 @@
+#include "storage/buffer_pool.h"
+
+namespace onion::storage {
+
+BufferPool::BufferPool(uint64_t capacity_pages) : capacity_(capacity_pages) {
+  ONION_CHECK_MSG(capacity_pages >= 1, "buffer pool needs >= 1 page");
+}
+
+const std::vector<Entry>& BufferPool::Fetch(const PageSource& source,
+                                            uint64_t page) {
+  const FrameKey key{&source, page};
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    ++stats_.cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return lru_.front().data;
+  }
+  // Disk read.
+  ++stats_.page_reads;
+  if (&source != last_disk_source_ || page != last_disk_page_ + 1) {
+    ++stats_.seeks;
+  }
+  last_disk_source_ = &source;
+  last_disk_page_ = page;
+  lru_.push_front(Frame{&source, page, {}});
+  source.ReadPage(page, &lru_.front().data);
+  resident_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    const Frame& victim = lru_.back();
+    resident_.erase(FrameKey{victim.source, victim.page});
+    lru_.pop_back();
+  }
+  return lru_.front().data;
+}
+
+void BufferPool::Drop(const PageSource* source) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->source == source) {
+      resident_.erase(FrameKey{it->source, it->page});
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (last_disk_source_ == source) {
+    last_disk_source_ = nullptr;
+    last_disk_page_ = ~0ull - 1;
+  }
+}
+
+}  // namespace onion::storage

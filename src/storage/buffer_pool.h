@@ -1,0 +1,95 @@
+// A buffer pool shared by every open run of the storage engine.
+//
+// Generalizes the single-run LRU pool from index/pager.h: frames are keyed
+// by (source, page) so one pool arbitrates memory across the memtable's
+// flushed segments, a compacted run, and any in-memory sources at once.
+// Accounting keeps the paper's sequential-vs-seek distinction: a disk read
+// is sequential only when it targets the page immediately after the
+// previous disk read *of the same source* — switching runs always seeks,
+// which is exactly why compaction into a single run pays off.
+//
+// Range scans consult only the fence index to decide which pages to fetch
+// and when to stop; entry data is touched strictly after Fetch(), so the
+// counters are honest even when pages live in a file.
+
+#ifndef ONION_STORAGE_BUFFER_POOL_H_
+#define ONION_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/page_source.h"
+
+namespace onion::storage {
+
+class BufferPool {
+ public:
+  explicit BufferPool(uint64_t capacity_pages);
+
+  /// Ensures the page is resident and returns its entries. The reference is
+  /// valid until the next Fetch() (which may evict the frame).
+  const std::vector<Entry>& Fetch(const PageSource& source, uint64_t page);
+
+  /// Scans all entries of `source` with lo <= key <= hi through the pool,
+  /// invoking fn(key, payload). Page selection and loop termination use the
+  /// fence index only; pages are read exclusively via Fetch().
+  template <typename Fn>
+  void ScanRange(const PageSource& source, Key lo, Key hi, Fn&& fn) {
+    const uint64_t pages = source.num_pages();
+    for (uint64_t page = source.PageOf(lo); page < pages; ++page) {
+      // Fence test: this page starts past the range, so neither it nor any
+      // later page can contribute — stop without I/O.
+      if (source.first_key(page) > hi) break;
+      const std::vector<Entry>& data = Fetch(source, page);
+      for (const Entry& entry : data) {
+        if (entry.key < lo) continue;
+        if (entry.key > hi) break;
+        ++stats_.entries_read;
+        fn(entry.key, entry.payload);
+      }
+    }
+  }
+
+  /// Discards all frames of `source` (used when a segment is retired by
+  /// compaction). Does not count as I/O.
+  void Drop(const PageSource* source);
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  uint64_t resident_pages() const { return lru_.size(); }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    const PageSource* source;
+    uint64_t page;
+    std::vector<Entry> data;
+  };
+  using FrameKey = std::pair<const PageSource*, uint64_t>;
+  struct FrameKeyHash {
+    size_t operator()(const FrameKey& key) const {
+      const auto h1 = std::hash<const void*>()(key.first);
+      const auto h2 = std::hash<uint64_t>()(key.second);
+      return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+    }
+  };
+
+  uint64_t capacity_;
+  // LRU list of resident frames, most recent at front, with an index.
+  std::list<Frame> lru_;
+  std::unordered_map<FrameKey, std::list<Frame>::iterator, FrameKeyHash>
+      resident_;
+  // Position of the disk head: last source/page actually read from disk.
+  // The sentinel page is chosen so sentinel + 1 can't match a real page.
+  const PageSource* last_disk_source_ = nullptr;
+  uint64_t last_disk_page_ = ~0ull - 1;
+  IoStats stats_;
+};
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,73 @@
+#include "storage/compaction.h"
+
+#include <queue>
+
+#include "common/macros.h"
+
+namespace onion::storage {
+namespace {
+
+/// Sequential page-at-a-time cursor over one segment.
+struct Cursor {
+  const SegmentReader* reader;
+  uint64_t page = 0;
+  size_t offset = 0;
+  std::vector<Entry> buf;
+
+  bool LoadPage() {
+    if (page >= reader->num_pages()) return false;
+    reader->ReadPage(page, &buf);
+    offset = 0;
+    return true;
+  }
+
+  const Entry& Current() const { return buf[offset]; }
+
+  /// Advances to the next entry; returns false at end of segment.
+  bool Advance() {
+    if (++offset < buf.size()) return true;
+    ++page;
+    return LoadPage();
+  }
+};
+
+struct HeapItem {
+  Key key;
+  size_t input;  // tie-break: earlier inputs first among equal keys
+
+  bool operator>(const HeapItem& other) const {
+    if (key != other.key) return key > other.key;
+    return input > other.input;
+  }
+};
+
+}  // namespace
+
+Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
+                     SegmentWriter* out) {
+  std::vector<Cursor> cursors;
+  cursors.reserve(inputs.size());
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    ONION_CHECK(inputs[i] != nullptr);
+    cursors.push_back(Cursor{inputs[i], 0, 0, {}});
+    if (cursors.back().LoadPage()) {
+      heap.push(HeapItem{cursors.back().Current().key, i});
+    }
+  }
+  while (!heap.empty()) {
+    const HeapItem top = heap.top();
+    heap.pop();
+    Cursor& cursor = cursors[top.input];
+    const Entry& entry = cursor.Current();
+    const Status status = out->Add(entry.key, entry.payload);
+    if (!status.ok()) return status;
+    if (cursor.Advance()) {
+      heap.push(HeapItem{cursor.Current().key, top.input});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace onion::storage

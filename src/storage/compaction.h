@@ -1,0 +1,26 @@
+// K-way merge compaction: folds several sorted segments into one. Fewer
+// runs means fewer per-query seeks (every extra run a range scan touches
+// costs at least one seek in the buffer-pool accounting), so compaction is
+// how the engine converges back to the paper's one-run model where a
+// query's seek count equals its clustering number.
+
+#ifndef ONION_STORAGE_COMPACTION_H_
+#define ONION_STORAGE_COMPACTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/segment.h"
+
+namespace onion::storage {
+
+/// Merges the sorted inputs into `out` (which must be fresh). Reads every
+/// input sequentially page by page; ties between inputs are broken by input
+/// order, so earlier inputs' entries come first among equal keys. The
+/// caller still owns out->Finish().
+Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
+                     SegmentWriter* out);
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_COMPACTION_H_

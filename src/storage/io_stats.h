@@ -1,0 +1,26 @@
+// Physical I/O counters shared by every page-serving component (the legacy
+// single-run pager in index/pager.h, the multi-segment buffer pool, and the
+// SfcTable facade). Kept in the top-level onion namespace because the
+// counters predate the storage subsystem and are part of its public
+// benchmark vocabulary.
+
+#ifndef ONION_STORAGE_IO_STATS_H_
+#define ONION_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace onion {
+
+/// Physical I/O counters.
+struct IoStats {
+  uint64_t page_reads = 0;   ///< pages fetched from disk (or the simulated one)
+  uint64_t cache_hits = 0;   ///< pages served by the buffer pool
+  uint64_t seeks = 0;        ///< non-sequential disk reads
+  uint64_t entries_read = 0; ///< entries delivered to the caller
+
+  void Reset() { *this = IoStats{}; }
+};
+
+}  // namespace onion
+
+#endif  // ONION_STORAGE_IO_STATS_H_

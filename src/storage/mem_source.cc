@@ -1,0 +1,25 @@
+#include "storage/mem_source.h"
+
+#include <cstddef>
+
+#include "common/macros.h"
+
+namespace onion::storage {
+
+MemPageSource::MemPageSource(std::vector<Entry> entries,
+                             uint32_t entries_per_page)
+    : entries_(std::move(entries)), entries_per_page_(entries_per_page) {
+  ONION_CHECK_MSG(entries_per_page_ >= 1, "page size must be positive");
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    ONION_CHECK_MSG(entries_[i - 1].key <= entries_[i].key,
+                    "page source input must be sorted by key");
+  }
+}
+
+void MemPageSource::ReadPage(uint64_t page, std::vector<Entry>* out) const {
+  ONION_CHECK_MSG(page < num_pages(), "page out of range");
+  out->assign(entries_.begin() + static_cast<ptrdiff_t>(PageBegin(page)),
+              entries_.begin() + static_cast<ptrdiff_t>(PageEnd(page)));
+}
+
+}  // namespace onion::storage

@@ -1,0 +1,18 @@
+#include "storage/memtable.h"
+
+#include <algorithm>
+
+namespace onion::storage {
+
+Status MemTable::FlushTo(SegmentWriter* writer) {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  for (const Entry& entry : entries_) {
+    const Status status = writer->Add(entry.key, entry.payload);
+    if (!status.ok()) return status;
+  }
+  entries_.clear();
+  return Status::OK();
+}
+
+}  // namespace onion::storage

@@ -1,0 +1,48 @@
+// The write buffer of the storage engine: an unsorted in-memory batch of
+// (key, payload) entries that is sorted once when flushed into a segment.
+// Reads against unflushed data are a linear scan — the memtable is bounded
+// by the flush threshold, so this stays cheap, and it keeps inserts O(1).
+
+#ifndef ONION_STORAGE_MEMTABLE_H_
+#define ONION_STORAGE_MEMTABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_source.h"
+#include "storage/segment.h"
+
+namespace onion::storage {
+
+class MemTable {
+ public:
+  void Insert(Key key, uint64_t payload) {
+    entries_.push_back(Entry{key, payload});
+  }
+
+  uint64_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+  /// Invokes fn(key, payload) for every entry with lo <= key <= hi, in
+  /// insertion order (not key order).
+  template <typename Fn>
+  void ScanRange(Key lo, Key hi, Fn&& fn) const {
+    for (const Entry& entry : entries_) {
+      if (entry.key >= lo && entry.key <= hi) fn(entry.key, entry.payload);
+    }
+  }
+
+  /// Sorts the buffered entries by key (stable, so same-key entries keep
+  /// insertion order) and streams them into `writer`. Clears the memtable
+  /// on success; the caller still owns writer->Finish().
+  Status FlushTo(SegmentWriter* writer);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_MEMTABLE_H_

@@ -1,0 +1,31 @@
+#include "storage/page_source.h"
+
+#include <algorithm>
+
+namespace onion::storage {
+
+uint64_t PageSource::PageEnd(uint64_t page) const {
+  return std::min<uint64_t>(num_entries(), (page + 1) * entries_per_page());
+}
+
+uint64_t PageSource::PageOf(Key key) const {
+  const uint64_t pages = num_pages();
+  if (pages == 0) return 0;
+  // First page whose first fence is >= key; the answer can be one page
+  // earlier when duplicates of that fence key spill backward.
+  uint64_t lo = 0;
+  uint64_t hi = pages;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (first_key(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  uint64_t page = lo == 0 ? 0 : lo - 1;
+  while (page < pages && last_key(page) < key) ++page;
+  return page;
+}
+
+}  // namespace onion::storage

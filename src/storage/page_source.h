@@ -1,0 +1,76 @@
+// The page-granular read abstraction of the storage engine.
+//
+// A PageSource is an immutable sorted run of (key, payload) entries packed
+// into fixed-size pages, with an in-memory fence index (first and last key
+// of every page). Concrete sources are MemPageSource (a std::vector, the
+// original simulation backend from index/pager.h) and SegmentReader (a
+// real file). The buffer pool and all range-scan logic are generic over
+// this interface, so "how many seeks does this query cost" is answered the
+// same way whether pages live in RAM or on disk.
+//
+// The fence index is the only metadata a caller may consult without doing
+// page I/O: PageOf() and range-termination tests are pure fence lookups,
+// while entry data is reachable solely through ReadPage().
+
+#ifndef ONION_STORAGE_PAGE_SOURCE_H_
+#define ONION_STORAGE_PAGE_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/types.h"
+#include "storage/io_stats.h"
+
+namespace onion::storage {
+
+/// One stored record: a curve key and an opaque payload id.
+struct Entry {
+  Key key;
+  uint64_t payload;
+
+  bool operator==(const Entry& other) const {
+    return key == other.key && payload == other.payload;
+  }
+};
+
+/// Number of bytes an Entry occupies in the on-disk segment format.
+inline constexpr uint64_t kEntryBytes = 16;
+
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  virtual uint64_t num_entries() const = 0;
+  virtual uint32_t entries_per_page() const = 0;
+
+  /// Fence index: first / last key of page `page` (page must be < num_pages
+  /// and non-empty — every page of a source holds at least one entry).
+  virtual Key first_key(uint64_t page) const = 0;
+  virtual Key last_key(uint64_t page) const = 0;
+
+  /// Reads the entries of page `page` into `*out` (replacing its contents).
+  /// This is the only operation that touches entry data; for disk-backed
+  /// sources it performs real file I/O.
+  virtual void ReadPage(uint64_t page, std::vector<Entry>* out) const = 0;
+
+  uint64_t num_pages() const {
+    return (num_entries() + entries_per_page() - 1) / entries_per_page();
+  }
+
+  /// First entry index of page `page`.
+  uint64_t PageBegin(uint64_t page) const {
+    return page * entries_per_page();
+  }
+  /// One-past-last entry index of page `page`.
+  uint64_t PageEnd(uint64_t page) const;
+
+  /// Page containing the first entry with key >= `key`, or num_pages() if
+  /// every entry precedes `key`. Pure fence-index binary search (duplicate
+  /// keys can spill backward across a page boundary, handled via the
+  /// last-key fences) — no page I/O.
+  uint64_t PageOf(Key key) const;
+};
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_PAGE_SOURCE_H_

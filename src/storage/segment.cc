@@ -1,0 +1,273 @@
+#include "storage/segment.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace onion::storage {
+namespace {
+
+constexpr char kMagic[8] = {'O', 'S', 'F', 'C', 'S', 'E', 'G', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kHeaderBytes = 64;
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t HeaderChecksum(uint32_t entries_per_page, uint64_t num_entries,
+                        uint64_t num_pages, uint64_t min_key, uint64_t max_key,
+                        uint64_t fence_offset) {
+  // xor-fold with distinct rotations so field swaps change the sum.
+  const auto rotl = [](uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  };
+  uint64_t sum = 0x0410105fc5e671ULL;  // salt
+  sum ^= rotl(static_cast<uint64_t>(kFormatVersion) << 32 | entries_per_page, 1);
+  sum ^= rotl(num_entries, 7);
+  sum ^= rotl(num_pages, 13);
+  sum ^= rotl(min_key, 19);
+  sum ^= rotl(max_key, 29);
+  sum ^= rotl(fence_offset, 37);
+  return sum;
+}
+
+Status IoError(const std::string& path, const char* what) {
+  return Status::Internal(std::string(what) + ": " + path);
+}
+
+/// 64-bit-safe absolute seek (plain fseek takes a long, which is 32 bits on
+/// some platforms — segments can exceed 2 GiB).
+bool SeekTo(std::FILE* file, uint64_t offset) {
+#if defined(_WIN32)
+  return _fseeki64(file, static_cast<long long>(offset), SEEK_SET) == 0;
+#else
+  return ::fseeko(file, static_cast<off_t>(offset), SEEK_SET) == 0;
+#endif
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SegmentWriter
+
+SegmentWriter::SegmentWriter(std::string path, uint32_t entries_per_page)
+    : path_(std::move(path)), entries_per_page_(entries_per_page) {
+  ONION_CHECK_MSG(entries_per_page_ >= 1, "page size must be positive");
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = IoError(path_, "cannot create segment file");
+    return;
+  }
+  // Header placeholder, overwritten by Finish().
+  const std::vector<uint8_t> zeros(kHeaderBytes, 0);
+  if (std::fwrite(zeros.data(), 1, zeros.size(), file_) != zeros.size()) {
+    status_ = IoError(path_, "write failed");
+  }
+  page_buf_.reserve(entries_per_page_);
+}
+
+SegmentWriter::~SegmentWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!finished_) std::remove(path_.c_str());
+}
+
+Status SegmentWriter::WritePage() {
+  std::vector<uint8_t> bytes(static_cast<size_t>(entries_per_page_) *
+                             kEntryBytes, 0);
+  for (size_t i = 0; i < page_buf_.size(); ++i) {
+    PutU64(&bytes[i * kEntryBytes], page_buf_[i].key);
+    PutU64(&bytes[i * kEntryBytes + 8], page_buf_[i].payload);
+  }
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return IoError(path_, "write failed");
+  }
+  fences_.emplace_back(page_buf_.front().key, page_buf_.back().key);
+  page_buf_.clear();
+  return Status::OK();
+}
+
+Status SegmentWriter::Add(Key key, uint64_t payload) {
+  if (!status_.ok()) return status_;
+  ONION_CHECK_MSG(!finished_, "Add after Finish");
+  ONION_CHECK_MSG(num_entries_ == 0 || key >= last_key_,
+                  "segment entries must be added in sorted key order");
+  if (num_entries_ == 0) min_key_ = key;
+  max_key_ = key;
+  last_key_ = key;
+  ++num_entries_;
+  page_buf_.push_back(Entry{key, payload});
+  if (page_buf_.size() == entries_per_page_) status_ = WritePage();
+  return status_;
+}
+
+Status SegmentWriter::Finish() {
+  if (!status_.ok()) return status_;
+  ONION_CHECK_MSG(!finished_, "Finish called twice");
+  if (!page_buf_.empty()) {
+    status_ = WritePage();
+    if (!status_.ok()) return status_;
+  }
+  const uint64_t num_pages = fences_.size();
+  const uint64_t fence_offset =
+      kHeaderBytes + num_pages * entries_per_page_ * kEntryBytes;
+  std::vector<uint8_t> fence_bytes(num_pages * kEntryBytes);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    PutU64(&fence_bytes[i * kEntryBytes], fences_[i].first);
+    PutU64(&fence_bytes[i * kEntryBytes + 8], fences_[i].second);
+  }
+  if (!fence_bytes.empty() &&
+      std::fwrite(fence_bytes.data(), 1, fence_bytes.size(), file_) !=
+          fence_bytes.size()) {
+    return status_ = IoError(path_, "write failed");
+  }
+
+  uint8_t header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  PutU32(header + 8, kFormatVersion);
+  PutU32(header + 12, entries_per_page_);
+  PutU64(header + 16, num_entries_);
+  PutU64(header + 24, num_pages);
+  PutU64(header + 32, min_key_);
+  PutU64(header + 40, max_key_);
+  PutU64(header + 48, fence_offset);
+  PutU64(header + 56, HeaderChecksum(entries_per_page_, num_entries_,
+                                     num_pages, min_key_, max_key_,
+                                     fence_offset));
+  if (!SeekTo(file_, 0) ||
+      std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes ||
+      std::fflush(file_) != 0) {
+    return status_ = IoError(path_, "write failed");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  finished_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SegmentReader
+
+SegmentReader::SegmentReader(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+SegmentReader::~SegmentReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(std::string path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open segment file: " + path);
+  }
+  std::unique_ptr<SegmentReader> reader(
+      new SegmentReader(std::move(path), file));
+
+  uint8_t header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, file) != kHeaderBytes) {
+    return Status::InvalidArgument("segment too short: " + reader->path_);
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad segment magic: " + reader->path_);
+  }
+  const uint32_t version = GetU32(header + 8);
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported segment version " +
+                                   std::to_string(version) + ": " +
+                                   reader->path_);
+  }
+  reader->entries_per_page_ = GetU32(header + 12);
+  reader->num_entries_ = GetU64(header + 16);
+  const uint64_t num_pages = GetU64(header + 24);
+  reader->min_key_ = GetU64(header + 32);
+  reader->max_key_ = GetU64(header + 40);
+  const uint64_t fence_offset = GetU64(header + 48);
+  const uint64_t checksum = GetU64(header + 56);
+  if (reader->entries_per_page_ < 1) {
+    return Status::InvalidArgument("segment page size is zero: " +
+                                   reader->path_);
+  }
+  if (checksum != HeaderChecksum(reader->entries_per_page_,
+                                 reader->num_entries_, num_pages,
+                                 reader->min_key_, reader->max_key_,
+                                 fence_offset)) {
+    return Status::InvalidArgument("segment header checksum mismatch: " +
+                                   reader->path_);
+  }
+  const uint64_t expected_pages =
+      (reader->num_entries_ + reader->entries_per_page_ - 1) /
+      reader->entries_per_page_;
+  const uint64_t expected_fence_offset =
+      kHeaderBytes + num_pages * reader->entries_per_page_ * kEntryBytes;
+  if (num_pages != expected_pages || fence_offset != expected_fence_offset) {
+    return Status::InvalidArgument("segment geometry corrupt: " +
+                                   reader->path_);
+  }
+
+  std::vector<uint8_t> fence_bytes(num_pages * kEntryBytes);
+  if (!SeekTo(file, fence_offset) ||
+      (!fence_bytes.empty() &&
+       std::fread(fence_bytes.data(), 1, fence_bytes.size(), file) !=
+           fence_bytes.size())) {
+    return Status::InvalidArgument("segment fence block truncated: " +
+                                   reader->path_);
+  }
+  reader->fences_.reserve(num_pages);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    const Key first = GetU64(&fence_bytes[i * kEntryBytes]);
+    const Key last = GetU64(&fence_bytes[i * kEntryBytes + 8]);
+    if (first > last ||
+        (i > 0 && first < reader->fences_.back().second)) {
+      return Status::InvalidArgument("segment fence index not sorted: " +
+                                     reader->path_);
+    }
+    reader->fences_.emplace_back(first, last);
+  }
+  return reader;
+}
+
+void SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
+  ONION_CHECK_MSG(page < num_pages(), "page out of range");
+  const uint64_t page_bytes =
+      static_cast<uint64_t>(entries_per_page_) * kEntryBytes;
+  const uint64_t offset = kHeaderBytes + page * page_bytes;
+  std::vector<uint8_t> bytes(page_bytes);
+  ONION_CHECK_MSG(SeekTo(file_, offset), "segment seek failed");
+  ONION_CHECK_MSG(
+      std::fread(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
+      "segment page read truncated");
+  const uint64_t count = PageEnd(page) - PageBegin(page);
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    out->push_back(Entry{GetU64(&bytes[i * kEntryBytes]),
+                         GetU64(&bytes[i * kEntryBytes + 8])});
+  }
+}
+
+uint64_t SegmentReader::file_bytes() const {
+  const uint64_t page_bytes =
+      static_cast<uint64_t>(entries_per_page_) * kEntryBytes;
+  return kHeaderBytes + num_pages() * (page_bytes + kEntryBytes);
+}
+
+}  // namespace onion::storage

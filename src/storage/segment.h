@@ -1,0 +1,123 @@
+// Persistent sorted segments: the on-disk unit of the storage engine.
+//
+// A segment file holds one immutable sorted run of (key, payload) entries,
+// packed into fixed-size pages exactly like MemPageSource packs its vector,
+// so the clustering-number arithmetic of the paper carries over unchanged —
+// one key range of a decomposed query is one contiguous byte range of the
+// file, and entering it costs one seek.
+//
+// File layout (all integers little-endian):
+//
+//   offset 0   header, 64 bytes:
+//     [0]  magic "OSFCSEG1"
+//     [8]  u32 format version (currently 1)
+//     [12] u32 entries_per_page
+//     [16] u64 num_entries
+//     [24] u64 num_pages
+//     [32] u64 min_key
+//     [40] u64 max_key
+//     [48] u64 fence_offset  (byte offset of the fence block)
+//     [56] u64 header checksum (xor-fold of the fields above)
+//   offset 64  pages: page i occupies entries_per_page * 16 bytes starting
+//              at 64 + i * page_bytes; each entry is key(8) + payload(8);
+//              the final page is zero-padded to full size.
+//   fence_offset  fence block: num_pages records of (first_key, last_key),
+//              16 bytes each — loaded into memory on open so that PageOf()
+//              and scan termination never touch page data.
+//
+// SegmentWriter streams sorted entries to a new file; SegmentReader opens
+// and validates an existing file and serves pages through the PageSource
+// interface with real positioned reads.
+
+#ifndef ONION_STORAGE_SEGMENT_H_
+#define ONION_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_source.h"
+
+namespace onion::storage {
+
+/// Streams a sorted run of entries into a new segment file. Usage:
+/// construct, Add() entries in nondecreasing key order, Finish().
+/// If Finish() is never reached (error or abandonment) the partial file is
+/// removed by the destructor.
+class SegmentWriter {
+ public:
+  SegmentWriter(std::string path, uint32_t entries_per_page);
+  ~SegmentWriter();
+
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Appends one entry. Keys must be nondecreasing (checked).
+  Status Add(Key key, uint64_t payload);
+
+  /// Flushes the last page, writes the fence block and header, and closes
+  /// the file. No further Add() calls are allowed.
+  Status Finish();
+
+  uint64_t num_entries() const { return num_entries_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Status WritePage();  // writes page_buf_ (padded) and records its fences
+
+  std::string path_;
+  uint32_t entries_per_page_;
+  std::FILE* file_ = nullptr;
+  Status status_;  // first error encountered, sticky
+  std::vector<Entry> page_buf_;
+  std::vector<std::pair<Key, Key>> fences_;
+  uint64_t num_entries_ = 0;
+  Key min_key_ = 0;
+  Key max_key_ = 0;
+  Key last_key_ = 0;
+  bool finished_ = false;
+};
+
+/// Read side of a segment file. Validates the header and fence block on
+/// open, keeps the fences in memory, and reads pages with positioned file
+/// I/O on demand.
+class SegmentReader final : public PageSource {
+ public:
+  static Result<std::unique_ptr<SegmentReader>> Open(std::string path);
+  ~SegmentReader() override;
+
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  uint64_t num_entries() const override { return num_entries_; }
+  uint32_t entries_per_page() const override { return entries_per_page_; }
+  Key first_key(uint64_t page) const override { return fences_[page].first; }
+  Key last_key(uint64_t page) const override { return fences_[page].second; }
+  void ReadPage(uint64_t page, std::vector<Entry>* out) const override;
+
+  /// Smallest / largest key stored (only meaningful when num_entries() > 0).
+  Key min_key() const { return min_key_; }
+  Key max_key() const { return max_key_; }
+  const std::string& path() const { return path_; }
+  /// Total bytes of the file as recorded by the header geometry.
+  uint64_t file_bytes() const;
+
+ private:
+  SegmentReader(std::string path, std::FILE* file);
+
+  std::string path_;
+  mutable std::FILE* file_;
+  uint32_t entries_per_page_ = 1;
+  uint64_t num_entries_ = 0;
+  Key min_key_ = 0;
+  Key max_key_ = 0;
+  std::vector<std::pair<Key, Key>> fences_;
+};
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_SEGMENT_H_

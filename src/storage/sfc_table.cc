@@ -1,0 +1,286 @@
+#include "storage/sfc_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "index/decompose.h"
+#include "sfc/registry.h"
+#include "storage/compaction.h"
+
+namespace onion::storage {
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestFormat[] = "onion-sfc-table";
+constexpr int kManifestVersion = 1;
+
+}  // namespace
+
+SfcTable::SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
+                   const SfcTableOptions& options)
+    : dir_(std::move(dir)),
+      curve_(std::move(curve)),
+      curve_name_(curve_->name()),
+      options_(options),
+      pool_(options.pool_pages) {}
+
+std::string SfcTable::SegmentPath(const std::string& file) const {
+  return dir_ + "/" + file;
+}
+
+Status SfcTable::WriteManifest() const {
+  const std::string tmp_path = dir_ + "/" + kManifestName + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot write manifest: " + tmp_path);
+    }
+    out << kManifestFormat << " " << kManifestVersion << "\n";
+    out << "curve " << curve_name_ << "\n";
+    out << "dims " << curve_->universe().dims() << "\n";
+    out << "side " << curve_->universe().side() << "\n";
+    out << "entries_per_page " << options_.entries_per_page << "\n";
+    out << "next_segment_id " << next_segment_id_ << "\n";
+    for (const std::string& file : segment_files_) {
+      out << "segment " << file << "\n";
+    }
+    out.flush();
+    if (!out) {
+      return Status::Internal("cannot write manifest: " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, dir_ + "/" + kManifestName, ec);
+  if (ec) {
+    return Status::Internal("cannot install manifest: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SfcTable>> SfcTable::Create(
+    const std::string& dir, const std::string& curve_name,
+    const Universe& universe, const SfcTableOptions& options) {
+  if (options.entries_per_page < 1) {
+    return Status::InvalidArgument("entries_per_page must be positive");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create table directory " + dir + ": " +
+                            ec.message());
+  }
+  if (std::filesystem::exists(dir + "/" + kManifestName)) {
+    return Status::InvalidArgument("table already exists in " + dir);
+  }
+  auto curve = MakeCurve(curve_name, universe);
+  if (!curve.ok()) return curve.status();
+  std::unique_ptr<SfcTable> table(
+      new SfcTable(dir, std::move(curve).value(), options));
+  const Status status = table->WriteManifest();
+  if (!status.ok()) return status;
+  return table;
+}
+
+Result<std::unique_ptr<SfcTable>> SfcTable::Open(
+    const std::string& dir, const SfcTableOptions& options) {
+  std::ifstream in(dir + "/" + kManifestName);
+  if (!in) {
+    return Status::NotFound("no table manifest in " + dir);
+  }
+  std::string format;
+  int version = 0;
+  in >> format >> version;
+  if (!in || format != kManifestFormat) {
+    return Status::InvalidArgument("bad manifest format in " + dir);
+  }
+  if (version != kManifestVersion) {
+    return Status::InvalidArgument("unsupported manifest version " +
+                                   std::to_string(version) + " in " + dir);
+  }
+  std::string curve_name;
+  int dims = 0;
+  Coord side = 0;
+  uint32_t entries_per_page = 0;
+  uint64_t next_segment_id = 0;
+  std::vector<std::string> segment_files;
+  std::string field;
+  while (in >> field) {
+    if (field == "curve") {
+      in >> curve_name;
+    } else if (field == "dims") {
+      in >> dims;
+    } else if (field == "side") {
+      in >> side;
+    } else if (field == "entries_per_page") {
+      in >> entries_per_page;
+    } else if (field == "next_segment_id") {
+      in >> next_segment_id;
+    } else if (field == "segment") {
+      std::string file;
+      in >> file;
+      segment_files.push_back(file);
+    } else {
+      return Status::InvalidArgument("unknown manifest field '" + field +
+                                     "' in " + dir);
+    }
+  }
+  if (curve_name.empty() || dims < 1 || side < 1 || entries_per_page < 1) {
+    return Status::InvalidArgument("incomplete manifest in " + dir);
+  }
+
+  auto curve = MakeCurve(curve_name, Universe(dims, side));
+  if (!curve.ok()) return curve.status();
+  SfcTableOptions effective = options;
+  // Page geometry is a property of the files on disk, not of the caller.
+  effective.entries_per_page = entries_per_page;
+  std::unique_ptr<SfcTable> table(
+      new SfcTable(dir, std::move(curve).value(), effective));
+  table->next_segment_id_ = next_segment_id;
+  for (const std::string& file : segment_files) {
+    auto reader = SegmentReader::Open(table->SegmentPath(file));
+    if (!reader.ok()) return reader.status();
+    table->segments_.push_back(std::move(reader).value());
+    table->segment_files_.push_back(file);
+  }
+  return table;
+}
+
+uint64_t SfcTable::size() const {
+  uint64_t total = memtable_.size();
+  for (const auto& segment : segments_) total += segment->num_entries();
+  return total;
+}
+
+Status SfcTable::Insert(const Cell& cell, uint64_t payload) {
+  if (!curve_->universe().Contains(cell)) {
+    return Status::OutOfRange("cell outside the table's universe: " +
+                              cell.ToString());
+  }
+  // Flush BEFORE buffering so a failed Insert has not retained the entry —
+  // callers can retry it without creating a duplicate.
+  if (memtable_.size() >= options_.memtable_flush_entries) {
+    const Status status = Flush();
+    if (!status.ok()) return status;
+  }
+  memtable_.Insert(curve_->IndexOf(cell), payload);
+  return Status::OK();
+}
+
+Status SfcTable::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  const std::string file =
+      "seg_" + std::to_string(next_segment_id_++) + ".sfc";
+  SegmentWriter writer(SegmentPath(file), options_.entries_per_page);
+  Status status = memtable_.FlushTo(&writer);
+  if (status.ok()) status = writer.Finish();
+  if (!status.ok()) return status;
+  auto reader = SegmentReader::Open(SegmentPath(file));
+  if (!reader.ok()) return reader.status();
+  segments_.push_back(std::move(reader).value());
+  segment_files_.push_back(file);
+  return WriteManifest();
+}
+
+Status SfcTable::Compact() {
+  Status status = Flush();
+  if (!status.ok()) return status;
+  if (segments_.size() <= 1) return Status::OK();
+
+  const std::string file =
+      "seg_" + std::to_string(next_segment_id_++) + ".sfc";
+  {
+    SegmentWriter writer(SegmentPath(file), options_.entries_per_page);
+    std::vector<const SegmentReader*> inputs;
+    inputs.reserve(segments_.size());
+    for (const auto& segment : segments_) inputs.push_back(segment.get());
+    status = MergeSegments(inputs, &writer);
+    if (status.ok()) status = writer.Finish();
+    if (!status.ok()) return status;
+  }
+  auto reader = SegmentReader::Open(SegmentPath(file));
+  if (!reader.ok()) return reader.status();
+
+  // Install the new manifest BEFORE deleting the inputs: a crash in between
+  // leaves both generations on disk and a manifest that names a live one,
+  // never a manifest pointing at deleted files.
+  std::vector<std::unique_ptr<SegmentReader>> retired;
+  std::vector<std::string> retired_files;
+  retired.swap(segments_);
+  retired_files.swap(segment_files_);
+  segments_.push_back(std::move(reader).value());
+  segment_files_.push_back(file);
+  status = WriteManifest();
+  if (!status.ok()) {
+    // Roll back to the (still valid) old generation; discard the new file.
+    segments_.swap(retired);
+    segment_files_.swap(retired_files);
+    std::remove(SegmentPath(file).c_str());
+    return status;
+  }
+  // Retire the inputs: evict their cached pages, close, delete.
+  for (size_t i = 0; i < retired.size(); ++i) {
+    pool_.Drop(retired[i].get());
+    const std::string path = SegmentPath(retired_files[i]);
+    retired[i].reset();  // close before unlink, for portability
+    std::remove(path.c_str());
+  }
+  return Status::OK();
+}
+
+std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
+  ONION_CHECK(curve_->universe().Contains(box));
+  const std::vector<KeyRange> ranges = DecomposeBox(*curve_, box);
+  ++read_stats_.queries;
+  read_stats_.ranges += ranges.size();
+
+  std::vector<Entry> hits;
+  // One pass over the memtable for the whole query (not one per range):
+  // the ranges are sorted and disjoint, so membership is a binary search.
+  if (!memtable_.empty() && !ranges.empty()) {
+    memtable_.ScanRange(
+        ranges.front().lo, ranges.back().hi, [&](Key key, uint64_t payload) {
+          auto it = std::lower_bound(
+              ranges.begin(), ranges.end(), key,
+              [](const KeyRange& range, Key k) { return range.hi < k; });
+          if (it != ranges.end() && it->lo <= key) {
+            ++read_stats_.memtable_entries;
+            hits.push_back(Entry{key, payload});
+          }
+        });
+  }
+  for (const KeyRange& range : ranges) {
+    for (const auto& segment : segments_) {
+      if (segment->num_entries() == 0 || range.hi < segment->min_key() ||
+          range.lo > segment->max_key()) {
+        continue;
+      }
+      pool_.ScanRange(*segment, range.lo, range.hi,
+                      [&](Key key, uint64_t payload) {
+                        hits.push_back(Entry{key, payload});
+                      });
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.payload < b.payload;
+  });
+
+  std::vector<SpatialEntry> results;
+  results.reserve(hits.size());
+  for (const Entry& hit : hits) {
+    const Cell cell = curve_->CellAt(hit.key);
+    ONION_DCHECK(box.Contains(cell));
+    results.push_back(SpatialEntry{cell, hit.payload});
+  }
+  return results;
+}
+
+void SfcTable::ResetStats() {
+  read_stats_.Reset();
+  pool_.ResetStats();
+}
+
+}  // namespace onion::storage

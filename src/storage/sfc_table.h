@@ -1,0 +1,125 @@
+// SfcTable: the end-to-end persistent spatial table.
+//
+// The disk-backed twin of SpatialIndex (index/spatial_index.h): points are
+// mapped to keys by any registered space-filling curve, buffered in a
+// memtable, flushed to sorted segment files, optionally compacted into a
+// single run, and queried by decomposing a box into exact curve-key ranges
+// (index/decompose.h) that are scanned through a shared buffer pool. Every
+// query's cost is observable: the pool counts real page reads, cache hits,
+// and seeks, and DiskModel converts them to estimated latency — turning
+// the paper's "clustering number == seeks" claim into a measurement
+// against actual files.
+//
+// On-disk layout of a table directory:
+//   MANIFEST        text file: format line, curve name, universe geometry,
+//                   page size, next segment id, and the live segment list
+//   seg_<id>.sfc    immutable sorted segments (storage/segment.h)
+//
+// The manifest is rewritten (atomically, via rename) after every flush and
+// compaction, so a table can be closed and reopened at any point with
+// identical query results.
+
+#ifndef ONION_STORAGE_SFC_TABLE_H_
+#define ONION_STORAGE_SFC_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/disk_model.h"
+#include "index/spatial_index.h"
+#include "sfc/curve.h"
+#include "storage/buffer_pool.h"
+#include "storage/memtable.h"
+#include "storage/segment.h"
+
+namespace onion::storage {
+
+struct SfcTableOptions {
+  /// Entries per page of every segment written by this table.
+  uint32_t entries_per_page = 256;
+  /// Capacity of the table's buffer pool, in pages.
+  uint64_t pool_pages = 256;
+  /// Inserts accumulate in the memtable until it reaches this size, then
+  /// flush automatically into a new segment.
+  uint64_t memtable_flush_entries = 64 * 1024;
+};
+
+/// Logical read statistics (the physical side lives in IoStats).
+struct TableReadStats {
+  uint64_t queries = 0;
+  uint64_t ranges = 0;            ///< decomposed key ranges (== clusters)
+  uint64_t memtable_entries = 0;  ///< results served from unflushed data
+
+  void Reset() { *this = TableReadStats{}; }
+};
+
+class SfcTable {
+ public:
+  /// Creates a new table directory (made if absent; must not already hold a
+  /// table) keyed by the named curve (sfc/registry.h) over `universe`.
+  static Result<std::unique_ptr<SfcTable>> Create(
+      const std::string& dir, const std::string& curve_name,
+      const Universe& universe, const SfcTableOptions& options = {});
+
+  /// Opens an existing table directory from its MANIFEST.
+  static Result<std::unique_ptr<SfcTable>> Open(
+      const std::string& dir, const SfcTableOptions& options = {});
+
+  const SpaceFillingCurve& curve() const { return *curve_; }
+  const std::string& dir() const { return dir_; }
+  uint64_t size() const;
+  size_t num_segments() const { return segments_.size(); }
+  uint64_t memtable_entries() const { return memtable_.size(); }
+
+  /// Buffers a point; flushes to a new segment at the memtable threshold.
+  Status Insert(const Cell& cell, uint64_t payload);
+
+  /// Persists buffered entries as a new segment (no-op when empty) and
+  /// rewrites the manifest.
+  Status Flush();
+
+  /// Flushes, then merges all segments into a single sorted run, retiring
+  /// and deleting the inputs.
+  Status Compact();
+
+  /// All entries inside `box`, sorted by (curve key, payload). Serves
+  /// flushed data through the buffer pool and unflushed data from the
+  /// memtable; updates read_stats() and io_stats().
+  std::vector<SpatialEntry> Query(const Box& box);
+
+  /// Flushes buffered writes; the table remains usable afterwards.
+  Status Close() { return Flush(); }
+
+  const TableReadStats& read_stats() const { return read_stats_; }
+  const IoStats& io_stats() const { return pool_.stats(); }
+  void ResetStats();
+
+  /// Estimated latency of the I/O accumulated since the last ResetStats().
+  double EstimateCostMs(const DiskModel& model) const {
+    return model.EstimateMs(io_stats().seeks, io_stats().entries_read);
+  }
+
+ private:
+  SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
+           const SfcTableOptions& options);
+
+  std::string SegmentPath(const std::string& file) const;
+  Status WriteManifest() const;
+
+  std::string dir_;
+  std::unique_ptr<SpaceFillingCurve> curve_;
+  std::string curve_name_;
+  SfcTableOptions options_;
+  MemTable memtable_;
+  std::vector<std::unique_ptr<SegmentReader>> segments_;
+  std::vector<std::string> segment_files_;  // basenames, parallel to segments_
+  uint64_t next_segment_id_ = 0;
+  BufferPool pool_;
+  TableReadStats read_stats_;
+};
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_SFC_TABLE_H_

@@ -1,0 +1,157 @@
+// Tests for the on-disk segment format: write -> reopen round trips
+// (including empty and single-page segments), fence-index correctness,
+// header validation of corrupted files, and agreement with the in-memory
+// page source on identical data.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/mem_source.h"
+#include "storage/segment.h"
+
+namespace onion::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::unique_ptr<SegmentReader> WriteAndOpen(const std::string& name,
+                                            const std::vector<Entry>& entries,
+                                            uint32_t entries_per_page) {
+  const std::string path = TempPath(name);
+  std::remove(path.c_str());
+  SegmentWriter writer(path, entries_per_page);
+  for (const Entry& entry : entries) {
+    EXPECT_TRUE(writer.Add(entry.key, entry.payload).ok());
+  }
+  EXPECT_TRUE(writer.Finish().ok());
+  auto reader = SegmentReader::Open(path);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  return std::move(reader).value();
+}
+
+std::vector<Entry> ReadAll(const SegmentReader& reader) {
+  std::vector<Entry> all;
+  std::vector<Entry> page;
+  for (uint64_t p = 0; p < reader.num_pages(); ++p) {
+    reader.ReadPage(p, &page);
+    all.insert(all.end(), page.begin(), page.end());
+  }
+  return all;
+}
+
+TEST(SegmentTest, RoundTripMultiPage) {
+  std::vector<Entry> entries;
+  for (uint64_t i = 0; i < 1000; ++i) entries.push_back({i * 3, i});
+  auto reader = WriteAndOpen("seg_multi.sfc", entries, 16);
+  EXPECT_EQ(reader->num_entries(), 1000u);
+  EXPECT_EQ(reader->num_pages(), (1000u + 15) / 16);
+  EXPECT_EQ(reader->min_key(), 0u);
+  EXPECT_EQ(reader->max_key(), 999u * 3);
+  EXPECT_EQ(ReadAll(*reader), entries);
+}
+
+TEST(SegmentTest, RoundTripEmpty) {
+  auto reader = WriteAndOpen("seg_empty.sfc", {}, 8);
+  EXPECT_EQ(reader->num_entries(), 0u);
+  EXPECT_EQ(reader->num_pages(), 0u);
+  EXPECT_EQ(reader->PageOf(0), 0u);
+}
+
+TEST(SegmentTest, RoundTripSinglePartialPage) {
+  const std::vector<Entry> entries = {{7, 100}, {9, 200}, {9, 201}};
+  auto reader = WriteAndOpen("seg_single.sfc", entries, 8);
+  EXPECT_EQ(reader->num_entries(), 3u);
+  EXPECT_EQ(reader->num_pages(), 1u);
+  EXPECT_EQ(reader->first_key(0), 7u);
+  EXPECT_EQ(reader->last_key(0), 9u);
+  EXPECT_EQ(ReadAll(*reader), entries);
+}
+
+TEST(SegmentTest, FencesMatchPageContents) {
+  Rng rng(7);
+  std::vector<Entry> entries;
+  for (uint64_t i = 0; i < 500; ++i) {
+    entries.push_back({rng.UniformInclusive(10000), i});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  auto reader = WriteAndOpen("seg_fence.sfc", entries, 7);
+  std::vector<Entry> page;
+  for (uint64_t p = 0; p < reader->num_pages(); ++p) {
+    reader->ReadPage(p, &page);
+    EXPECT_EQ(reader->first_key(p), page.front().key);
+    EXPECT_EQ(reader->last_key(p), page.back().key);
+  }
+}
+
+TEST(SegmentTest, PageOfAgreesWithMemSource) {
+  Rng rng(11);
+  std::vector<Entry> entries;
+  for (uint64_t i = 0; i < 300; ++i) {
+    entries.push_back({rng.UniformInclusive(999), i});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  auto reader = WriteAndOpen("seg_pageof.sfc", entries, 9);
+  const MemPageSource mem(entries, 9);
+  for (Key key = 0; key <= 1005; ++key) {
+    ASSERT_EQ(reader->PageOf(key), mem.PageOf(key)) << "key " << key;
+  }
+}
+
+TEST(SegmentTest, OpenRejectsMissingFile) {
+  auto result = SegmentReader::Open(TempPath("does_not_exist.sfc"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SegmentTest, OpenRejectsBadMagic) {
+  const std::string path = TempPath("seg_badmagic.sfc");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[128] = "this is not a segment file at all, sorry";
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  auto result = SegmentReader::Open(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentTest, OpenRejectsCorruptedHeader) {
+  const std::vector<Entry> entries = {{1, 1}, {2, 2}, {3, 3}};
+  auto reader = WriteAndOpen("seg_corrupt.sfc", entries, 2);
+  reader.reset();
+  // Flip a byte inside the entry-count field.
+  const std::string path = TempPath("seg_corrupt.sfc");
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 16, SEEK_SET);
+  const uint8_t bogus = 0xff;
+  std::fwrite(&bogus, 1, 1, f);
+  std::fclose(f);
+  auto result = SegmentReader::Open(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentTest, AbandonedWriterLeavesNoFile) {
+  const std::string path = TempPath("seg_abandoned.sfc");
+  {
+    SegmentWriter writer(path, 4);
+    EXPECT_TRUE(writer.Add(1, 1).ok());
+    // No Finish().
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+}  // namespace
+}  // namespace onion::storage

@@ -1,0 +1,210 @@
+// End-to-end tests of the persistent SfcTable: equivalence with the
+// in-memory SpatialIndex on random workloads, close -> reopen cycles,
+// compaction, unflushed-memtable reads, and manifest/I/O failure modes.
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/spatial_index.h"
+#include "sfc/registry.h"
+#include "storage/sfc_table.h"
+#include "workloads/generators.h"
+
+namespace onion::storage {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/sfc_table_test/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Canonical form for comparing result sets: sorted (key, payload) pairs
+/// under the table's curve.
+std::vector<std::pair<Key, uint64_t>> Canonical(
+    const SpaceFillingCurve& curve, const std::vector<SpatialEntry>& entries) {
+  std::vector<std::pair<Key, uint64_t>> out;
+  out.reserve(entries.size());
+  for (const SpatialEntry& entry : entries) {
+    out.emplace_back(curve.IndexOf(entry.cell), entry.payload);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(SfcTableTest, QueryEquivalentToSpatialIndexAcrossCurves) {
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 4000, 31);
+  const auto cubes = RandomCubes(universe, 12, 25, 37);
+  const auto rects = RandomCornerBoxes(universe, 25, 41);
+  for (const std::string name : {"onion", "hilbert", "zorder"}) {
+    SfcTableOptions options;
+    options.entries_per_page = 32;
+    options.pool_pages = 16;
+    options.memtable_flush_entries = 1000;  // forces several segments
+    auto table_result =
+        SfcTable::Create(FreshDir("equiv_" + name), name, universe, options);
+    ASSERT_TRUE(table_result.ok()) << table_result.status().ToString();
+    auto& table = *table_result.value();
+    SpatialIndex reference(MakeCurve(name, universe).value());
+    for (size_t i = 0; i < points.size(); ++i) {
+      ASSERT_TRUE(table.Insert(points[i], i).ok());
+      reference.Insert(points[i], i);
+    }
+    EXPECT_GT(table.num_segments(), 1u);  // auto-flush kicked in
+    for (const auto& queries : {cubes, rects}) {
+      for (const Box& query : queries) {
+        ASSERT_EQ(Canonical(table.curve(), table.Query(query)),
+                  Canonical(reference.curve(), reference.Query(query)))
+            << name << " " << query.ToString();
+      }
+    }
+  }
+}
+
+TEST(SfcTableTest, SurvivesCloseAndReopen) {
+  const Universe universe(2, 64);
+  const auto points = ClusteredPoints(universe, 3000, 5, 6, 51);
+  const auto queries = RandomCubes(universe, 16, 30, 53);
+  const std::string dir = FreshDir("reopen");
+
+  std::vector<std::vector<std::pair<Key, uint64_t>>> before;
+  {
+    SfcTableOptions options;
+    options.memtable_flush_entries = 700;
+    auto table_result = SfcTable::Create(dir, "hilbert", universe, options);
+    ASSERT_TRUE(table_result.ok()) << table_result.status().ToString();
+    auto& table = *table_result.value();
+    for (size_t i = 0; i < points.size(); ++i) {
+      ASSERT_TRUE(table.Insert(points[i], i).ok());
+    }
+    for (const Box& query : queries) {
+      before.push_back(Canonical(table.curve(), table.Query(query)));
+    }
+    ASSERT_TRUE(table.Close().ok());
+  }  // table destroyed: only the files remain
+
+  auto reopened_result = SfcTable::Open(dir);
+  ASSERT_TRUE(reopened_result.ok()) << reopened_result.status().ToString();
+  auto& reopened = *reopened_result.value();
+  EXPECT_EQ(reopened.curve().name(), "hilbert");
+  EXPECT_EQ(reopened.size(), points.size());
+  EXPECT_EQ(reopened.memtable_entries(), 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(Canonical(reopened.curve(), reopened.Query(queries[i])),
+              before[i])
+        << queries[i].ToString();
+  }
+}
+
+TEST(SfcTableTest, CompactionPreservesResultsAndReducesSeeks) {
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 5000, 61);
+  const auto queries = RandomCubes(universe, 20, 40, 67);
+  SfcTableOptions options;
+  options.entries_per_page = 64;
+  options.pool_pages = 8;  // small pool: queries really hit the files
+  options.memtable_flush_entries = 600;
+  auto table_result =
+      SfcTable::Create(FreshDir("compact"), "onion", universe, options);
+  ASSERT_TRUE(table_result.ok()) << table_result.status().ToString();
+  auto& table = *table_result.value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(table.Flush().ok());
+  ASSERT_GT(table.num_segments(), 1u);
+
+  std::vector<std::vector<std::pair<Key, uint64_t>>> before;
+  for (const Box& query : queries) {
+    before.push_back(Canonical(table.curve(), table.Query(query)));
+  }
+  table.ResetStats();
+  for (const Box& query : queries) table.Query(query);
+  const uint64_t seeks_fragmented = table.io_stats().seeks;
+
+  ASSERT_TRUE(table.Compact().ok());
+  EXPECT_EQ(table.num_segments(), 1u);
+  EXPECT_EQ(table.size(), points.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(Canonical(table.curve(), table.Query(queries[i])), before[i]);
+  }
+  table.ResetStats();
+  for (const Box& query : queries) table.Query(query);
+  const uint64_t seeks_compacted = table.io_stats().seeks;
+  EXPECT_LT(seeks_compacted, seeks_fragmented);
+}
+
+TEST(SfcTableTest, UnflushedMemtableEntriesAreVisible) {
+  const Universe universe(2, 32);
+  auto table_result = SfcTable::Create(FreshDir("memtable"), "zorder",
+                                       universe, SfcTableOptions{});
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  ASSERT_TRUE(table.Insert(Cell(3, 4), 7).ok());
+  ASSERT_TRUE(table.Insert(Cell(3, 4), 8).ok());
+  ASSERT_TRUE(table.Insert(Cell(30, 30), 9).ok());
+  EXPECT_EQ(table.num_segments(), 0u);  // nothing flushed yet
+  const auto results = table.Query(Box(Cell(0, 0), Cell(8, 8)));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].payload, 7u);
+  EXPECT_EQ(results[1].payload, 8u);
+  EXPECT_EQ(table.read_stats().memtable_entries, 2u);
+  EXPECT_EQ(table.io_stats().page_reads, 0u);  // served without disk I/O
+}
+
+TEST(SfcTableTest, InsertOutsideUniverseFails) {
+  const Universe universe(2, 32);
+  auto table_result = SfcTable::Create(FreshDir("outside"), "hilbert",
+                                       universe, SfcTableOptions{});
+  ASSERT_TRUE(table_result.ok());
+  const Status status = table_result.value()->Insert(Cell(32, 0), 1);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(SfcTableTest, CreateRefusesExistingTable) {
+  const Universe universe(2, 32);
+  const std::string dir = FreshDir("exists");
+  ASSERT_TRUE(SfcTable::Create(dir, "onion", universe).ok());
+  auto second = SfcTable::Create(dir, "onion", universe);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SfcTableTest, OpenMissingDirectoryFails) {
+  auto result = SfcTable::Open(FreshDir("never_created"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SfcTableTest, ReopenedTableAcceptsMoreInserts) {
+  const Universe universe(2, 32);
+  const std::string dir = FreshDir("append");
+  {
+    auto table = SfcTable::Create(dir, "onion", universe);
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(table.value()->Insert(Cell(1, 1), 1).ok());
+    ASSERT_TRUE(table.value()->Close().ok());
+  }
+  {
+    auto table = SfcTable::Open(dir);
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(table.value()->Insert(Cell(2, 2), 2).ok());
+    ASSERT_TRUE(table.value()->Close().ok());
+  }
+  auto table = SfcTable::Open(dir);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->size(), 2u);
+  const auto results =
+      table.value()->Query(Box(Cell(0, 0), Cell(31, 31)));
+  EXPECT_EQ(results.size(), 2u);
+}
+
+}  // namespace
+}  // namespace onion::storage
