@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Docs coverage check (run by CI, runnable locally from the repo root):
+# every file under src/storage/ must be mentioned by name in
+# docs/storage_format.md or README.md, so the on-disk format spec and the
+# architecture map can never silently drift behind the code.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+for path in src/storage/*; do
+  name="$(basename "$path")"
+  if ! grep -q "$name" docs/storage_format.md README.md; then
+    echo "UNDOCUMENTED: $path (mention it in docs/storage_format.md or README.md)"
+    fail=1
+  fi
+done
+if [ "$fail" -eq 0 ]; then
+  echo "docs check OK: every src/storage/ file is documented"
+fi
+exit "$fail"

@@ -56,7 +56,7 @@ class BufferPool {
     pool_.ScanRange(*run_, lo, hi, std::forward<Fn>(fn));
   }
 
-  const IoStats& stats() const { return pool_.stats(); }
+  IoStats stats() const { return pool_.stats(); }
   void ResetStats() { pool_.ResetStats(); }
   uint64_t resident_pages() const { return pool_.resident_pages(); }
   uint64_t capacity() const { return pool_.capacity(); }

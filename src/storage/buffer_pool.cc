@@ -1,51 +1,91 @@
 #include "storage/buffer_pool.h"
 
+#include <mutex>
+
 namespace onion::storage {
 
 BufferPool::BufferPool(uint64_t capacity_pages) : capacity_(capacity_pages) {
   ONION_CHECK_MSG(capacity_pages >= 1, "buffer pool needs >= 1 page");
 }
 
-const std::vector<Entry>& BufferPool::Fetch(const PageSource& source,
-                                            uint64_t page) {
-  const FrameKey key{&source, page};
+std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
+    const PageSource& source, uint64_t page) {
+  const FrameKey key{source.source_id(), page};
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = resident_.find(key);
   if (it != resident_.end()) {
     ++stats_.cache_hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
     return lru_.front().data;
   }
-  // Disk read.
+  // Disk read. Account for it while the decision is still serialized, then
+  // release the lock for the actual I/O so concurrent readers of other
+  // pages are not held up behind this one.
   ++stats_.page_reads;
-  if (&source != last_disk_source_ || page != last_disk_page_ + 1) {
+  if (source.source_id() != last_disk_source_ ||
+      page != last_disk_page_ + 1) {
     ++stats_.seeks;
   }
-  last_disk_source_ = &source;
+  last_disk_source_ = source.source_id();
   last_disk_page_ = page;
-  lru_.push_front(Frame{&source, page, {}});
-  source.ReadPage(page, &lru_.front().data);
+  lock.unlock();
+
+  auto data = std::make_shared<std::vector<Entry>>();
+  source.ReadPage(page, data.get());
+
+  lock.lock();
+  // Another thread may have read the same page while the lock was free;
+  // keep its frame (the physical read above already happened and stays
+  // counted — the counters report real I/O, not residency).
+  it = resident_.find(key);
+  if (it != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().data;
+  }
+  lru_.push_front(Frame{source.source_id(), page, std::move(data)});
   resident_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
     const Frame& victim = lru_.back();
-    resident_.erase(FrameKey{victim.source, victim.page});
+    resident_.erase(FrameKey{victim.source_id, victim.page});
     lru_.pop_back();
   }
   return lru_.front().data;
 }
 
 void BufferPool::Drop(const PageSource* source) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->source == source) {
-      resident_.erase(FrameKey{it->source, it->page});
+    if (it->source_id == source->source_id()) {
+      resident_.erase(FrameKey{it->source_id, it->page});
       it = lru_.erase(it);
     } else {
       ++it;
     }
   }
-  if (last_disk_source_ == source) {
-    last_disk_source_ = nullptr;
+  if (last_disk_source_ == source->source_id()) {
+    last_disk_source_ = 0;
     last_disk_page_ = ~0ull - 1;
   }
+}
+
+IoStats BufferPool::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_.Reset();
+}
+
+uint64_t BufferPool::resident_pages() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return lru_.size();
+}
+
+void BufferPool::AddEntriesRead(uint64_t count) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_.entries_read += count;
 }
 
 }  // namespace onion::storage

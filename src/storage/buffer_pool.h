@@ -6,17 +6,27 @@
 // Accounting keeps the paper's sequential-vs-seek distinction: a disk read
 // is sequential only when it targets the page immediately after the
 // previous disk read *of the same source* — switching runs always seeks,
-// which is exactly why compaction into a single run pays off.
+// which is exactly why compaction into fewer runs pays off.
 //
 // Range scans consult only the fence index to decide which pages to fetch
 // and when to stop; entry data is touched strictly after Fetch(), so the
 // counters are honest even when pages live in a file.
+//
+// Thread safety: the pool is fully thread-safe. A shared_mutex guards the
+// LRU structures — Fetch() and Drop() mutate them under the exclusive
+// lock (the underlying page read itself is serialized by the source), while
+// observers (stats(), resident_pages()) take the shared lock, so any number
+// of threads may introspect concurrently with scans. Fetched page data is
+// returned as a shared_ptr, so a frame evicted or Drop()ped by another
+// thread stays valid for as long as a caller still holds it.
 
 #ifndef ONION_STORAGE_BUFFER_POOL_H_
 #define ONION_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -30,9 +40,11 @@ class BufferPool {
  public:
   explicit BufferPool(uint64_t capacity_pages);
 
-  /// Ensures the page is resident and returns its entries. The reference is
-  /// valid until the next Fetch() (which may evict the frame).
-  const std::vector<Entry>& Fetch(const PageSource& source, uint64_t page);
+  /// Ensures the page is resident and returns its entries. The returned
+  /// data stays valid for as long as the caller holds the pointer, even if
+  /// the frame is evicted or its source is Drop()ped meanwhile.
+  std::shared_ptr<const std::vector<Entry>> Fetch(const PageSource& source,
+                                                  uint64_t page);
 
   /// Scans all entries of `source` with lo <= key <= hi through the pool,
   /// invoking fn(key, payload). Page selection and loop termination use the
@@ -40,52 +52,61 @@ class BufferPool {
   template <typename Fn>
   void ScanRange(const PageSource& source, Key lo, Key hi, Fn&& fn) {
     const uint64_t pages = source.num_pages();
+    uint64_t delivered = 0;
     for (uint64_t page = source.PageOf(lo); page < pages; ++page) {
       // Fence test: this page starts past the range, so neither it nor any
       // later page can contribute — stop without I/O.
       if (source.first_key(page) > hi) break;
-      const std::vector<Entry>& data = Fetch(source, page);
-      for (const Entry& entry : data) {
+      const auto data = Fetch(source, page);
+      for (const Entry& entry : *data) {
         if (entry.key < lo) continue;
         if (entry.key > hi) break;
-        ++stats_.entries_read;
+        ++delivered;
         fn(entry.key, entry.payload);
       }
     }
+    AddEntriesRead(delivered);
   }
 
   /// Discards all frames of `source` (used when a segment is retired by
   /// compaction). Does not count as I/O.
   void Drop(const PageSource* source);
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
-  uint64_t resident_pages() const { return lru_.size(); }
+  IoStats stats() const;
+  void ResetStats();
+  uint64_t resident_pages() const;
   uint64_t capacity() const { return capacity_; }
 
  private:
+  // Frames are keyed by the source's never-reused id, not its address: a
+  // retired segment's lingering frames can therefore never alias a newer
+  // source that the allocator placed at the same address.
   struct Frame {
-    const PageSource* source;
+    uint64_t source_id;
     uint64_t page;
-    std::vector<Entry> data;
+    std::shared_ptr<std::vector<Entry>> data;
   };
-  using FrameKey = std::pair<const PageSource*, uint64_t>;
+  using FrameKey = std::pair<uint64_t, uint64_t>;  // (source_id, page)
   struct FrameKeyHash {
     size_t operator()(const FrameKey& key) const {
-      const auto h1 = std::hash<const void*>()(key.first);
+      const auto h1 = std::hash<uint64_t>()(key.first);
       const auto h2 = std::hash<uint64_t>()(key.second);
       return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
     }
   };
 
-  uint64_t capacity_;
+  void AddEntriesRead(uint64_t count);
+
+  const uint64_t capacity_;
+  mutable std::shared_mutex mu_;
   // LRU list of resident frames, most recent at front, with an index.
   std::list<Frame> lru_;
   std::unordered_map<FrameKey, std::list<Frame>::iterator, FrameKeyHash>
       resident_;
   // Position of the disk head: last source/page actually read from disk.
-  // The sentinel page is chosen so sentinel + 1 can't match a real page.
-  const PageSource* last_disk_source_ = nullptr;
+  // Source id 0 is never assigned; the sentinel page is chosen so
+  // sentinel + 1 can't match a real page.
+  uint64_t last_disk_source_ = 0;
   uint64_t last_disk_page_ = ~0ull - 1;
   IoStats stats_;
 };

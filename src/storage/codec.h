@@ -1,0 +1,41 @@
+// Little-endian integer codec shared by every on-disk format of the
+// storage engine (segment files, the WAL). One definition keeps the byte
+// order in lockstep with docs/storage_format.md for all writers/readers.
+
+#ifndef ONION_STORAGE_CODEC_H_
+#define ONION_STORAGE_CODEC_H_
+
+#include <cstdint>
+
+namespace onion::storage {
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Left-rotate, the mixing step of the header/record checksums. Each
+/// format keeps its own salt and rotation schedule (see segment.cc and
+/// wal.cc) so a segment header can never validate as a WAL record.
+inline uint64_t Rotl64(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_CODEC_H_

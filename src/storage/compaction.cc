@@ -41,21 +41,29 @@ struct HeapItem {
   }
 };
 
+using MergeHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>;
+
+/// Seeds cursors and the heap from the non-empty inputs.
+void InitMerge(const std::vector<const SegmentReader*>& inputs,
+               std::vector<Cursor>* cursors, MergeHeap* heap) {
+  cursors->reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    ONION_CHECK(inputs[i] != nullptr);
+    cursors->push_back(Cursor{inputs[i], 0, 0, {}});
+    if (cursors->back().LoadPage()) {
+      heap->push(HeapItem{cursors->back().Current().key, i});
+    }
+  }
+}
+
 }  // namespace
 
 Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
                      SegmentWriter* out) {
   std::vector<Cursor> cursors;
-  cursors.reserve(inputs.size());
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
-      heap;
-  for (size_t i = 0; i < inputs.size(); ++i) {
-    ONION_CHECK(inputs[i] != nullptr);
-    cursors.push_back(Cursor{inputs[i], 0, 0, {}});
-    if (cursors.back().LoadPage()) {
-      heap.push(HeapItem{cursors.back().Current().key, i});
-    }
-  }
+  MergeHeap heap;
+  InitMerge(inputs, &cursors, &heap);
   while (!heap.empty()) {
     const HeapItem top = heap.top();
     heap.pop();
@@ -66,6 +74,50 @@ Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
     if (cursor.Advance()) {
       heap.push(HeapItem{cursor.Current().key, top.input});
     }
+  }
+  return Status::OK();
+}
+
+Status MergeSegmentsLeveled(
+    const std::vector<const SegmentReader*>& inputs,
+    uint64_t max_output_entries,
+    const std::function<std::unique_ptr<SegmentWriter>()>& open_output,
+    std::vector<std::unique_ptr<SegmentWriter>>* outputs) {
+  ONION_CHECK_MSG(max_output_entries >= 1, "output size must be positive");
+  std::vector<Cursor> cursors;
+  MergeHeap heap;
+  InitMerge(inputs, &cursors, &heap);
+
+  SegmentWriter* out = nullptr;
+  Key last_written = 0;
+  while (!heap.empty()) {
+    const HeapItem top = heap.top();
+    heap.pop();
+    Cursor& cursor = cursors[top.input];
+    const Entry& entry = cursor.Current();
+    // Cut only between strictly increasing keys: equal keys split across
+    // two outputs would make their fence ranges touch, and the level would
+    // no longer be probe-one-segment-per-range.
+    if (out != nullptr && out->num_entries() >= max_output_entries &&
+        entry.key > last_written) {
+      const Status status = out->Finish();
+      if (!status.ok()) return status;
+      out = nullptr;
+    }
+    if (out == nullptr) {
+      outputs->push_back(open_output());
+      out = outputs->back().get();
+    }
+    const Status status = out->Add(entry.key, entry.payload);
+    if (!status.ok()) return status;
+    last_written = entry.key;
+    if (cursor.Advance()) {
+      heap.push(HeapItem{cursor.Current().key, top.input});
+    }
+  }
+  if (out != nullptr) {
+    const Status status = out->Finish();
+    if (!status.ok()) return status;
   }
   return Status::OK();
 }

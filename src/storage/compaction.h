@@ -1,12 +1,24 @@
-// K-way merge compaction: folds several sorted segments into one. Fewer
-// runs means fewer per-query seeks (every extra run a range scan touches
-// costs at least one seek in the buffer-pool accounting), so compaction is
-// how the engine converges back to the paper's one-run model where a
-// query's seek count equals its clustering number.
+// K-way merge compaction: folds several sorted segments into fewer. Fewer
+// overlapping runs means fewer per-query seeks (every extra run a range
+// scan touches costs at least one seek in the buffer-pool accounting), so
+// compaction is how the engine converges back to the paper's one-run model
+// where a query's seek count equals its clustering number.
+//
+// Two entry points:
+//   MergeSegments        — everything into ONE output (major compaction).
+//   MergeSegmentsLeveled — into a sequence of bounded, key-disjoint
+//                          outputs, the unit of leveled compaction: L0's
+//                          overlapping flush runs are folded (together with
+//                          the overlapping part of the next level) into
+//                          non-overlapping level segments, so a box query
+//                          probes at most one segment of that level per
+//                          decomposed key range.
 
 #ifndef ONION_STORAGE_COMPACTION_H_
 #define ONION_STORAGE_COMPACTION_H_
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -20,6 +32,20 @@ namespace onion::storage {
 /// caller still owns out->Finish().
 Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
                      SegmentWriter* out);
+
+/// Merges the sorted inputs into one or more key-disjoint outputs. A new
+/// output is started once the current one holds at least
+/// `max_output_entries` entries AND the next key is strictly greater than
+/// the last written key (so a run of duplicate keys never straddles two
+/// outputs — the outputs' [min_key, max_key] ranges stay disjoint).
+/// `open_output` must return a fresh writer each time it is called; every
+/// writer is Finish()ed (and therefore durably synced) here and appended to
+/// `*outputs`. With all-empty inputs no output is opened at all.
+Status MergeSegmentsLeveled(
+    const std::vector<const SegmentReader*>& inputs,
+    uint64_t max_output_entries,
+    const std::function<std::unique_ptr<SegmentWriter>()>& open_output,
+    std::vector<std::unique_ptr<SegmentWriter>>* outputs);
 
 }  // namespace onion::storage
 

@@ -1,0 +1,53 @@
+#include "storage/fs_util.h"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace onion::storage {
+
+Status SyncFile(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::Internal("fflush failed: " + path);
+  }
+#if defined(_WIN32)
+  if (_commit(_fileno(file)) != 0) {
+    return Status::Internal("fsync failed: " + path);
+  }
+#else
+  if (::fsync(::fileno(file)) != 0) {
+    return Status::Internal("fsync failed: " + path);
+  }
+#endif
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+#if defined(_WIN32)
+  (void)dir;  // directory entries cannot be fsynced on Windows
+  return Status::OK();
+#else
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory for fsync: " + dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("directory fsync failed: " + dir);
+  }
+  return Status::OK();
+#endif
+}
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of("/\\");
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace onion::storage

@@ -1,0 +1,40 @@
+// Small durability helpers shared by the storage engine's writers.
+//
+// POSIX gives no ordering guarantees between a file's data reaching disk
+// and its directory entry reaching disk; a crash can leave a MANIFEST that
+// names a segment whose bytes (or whose very directory entry) never made
+// it. Every component that persists state therefore follows the same
+// discipline, built from these three primitives:
+//
+//   1. write the new file, SyncFile() it,
+//   2. SyncDir() its directory so the entry itself is durable,
+//   3. only then publish a reference to it (MANIFEST rename, which is in
+//      turn followed by another SyncDir()).
+//
+// On platforms without directory fsync (Windows) SyncDir is a no-op; the
+// rename-based manifest install is still atomic there.
+
+#ifndef ONION_STORAGE_FS_UTIL_H_
+#define ONION_STORAGE_FS_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace onion::storage {
+
+/// Flushes the stdio buffer of `file` and fsyncs it to stable storage.
+/// `path` is used only for error messages.
+Status SyncFile(std::FILE* file, const std::string& path);
+
+/// Fsyncs the directory `dir` so that entries created, renamed, or removed
+/// inside it are durable. No-op on platforms without directory fsync.
+Status SyncDir(const std::string& dir);
+
+/// The directory component of `path` ("." when there is none).
+std::string DirOf(const std::string& path);
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_FS_UTIL_H_

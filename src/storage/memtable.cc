@@ -4,14 +4,14 @@
 
 namespace onion::storage {
 
-Status MemTable::FlushTo(SegmentWriter* writer) {
-  std::stable_sort(entries_.begin(), entries_.end(),
+Status MemTable::FlushTo(SegmentWriter* writer) const {
+  std::vector<Entry> sorted = entries_;
+  std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Entry& a, const Entry& b) { return a.key < b.key; });
-  for (const Entry& entry : entries_) {
+  for (const Entry& entry : sorted) {
     const Status status = writer->Add(entry.key, entry.payload);
     if (!status.ok()) return status;
   }
-  entries_.clear();
   return Status::OK();
 }
 

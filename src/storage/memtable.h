@@ -2,6 +2,12 @@
 // (key, payload) entries that is sorted once when flushed into a segment.
 // Reads against unflushed data are a linear scan — the memtable is bounded
 // by the flush threshold, so this stays cheap, and it keeps inserts O(1).
+//
+// Thread safety: none of its own. SfcTable mutates the active memtable
+// only under its exclusive table lock; once a memtable rotates into the
+// immutable flush queue it is never written again, so concurrent readers
+// may ScanRange() it (and the background thread may FlushTo() it — const,
+// it sorts a copy) under the shared lock.
 
 #ifndef ONION_STORAGE_MEMTABLE_H_
 #define ONION_STORAGE_MEMTABLE_H_
@@ -34,10 +40,11 @@ class MemTable {
     }
   }
 
-  /// Sorts the buffered entries by key (stable, so same-key entries keep
-  /// insertion order) and streams them into `writer`. Clears the memtable
-  /// on success; the caller still owns writer->Finish().
-  Status FlushTo(SegmentWriter* writer);
+  /// Streams the buffered entries into `writer` in key order (stable, so
+  /// same-key entries keep insertion order). Sorts a copy — the memtable
+  /// itself is not modified, so concurrent readers holding a shared table
+  /// lock are undisturbed. The caller still owns writer->Finish().
+  Status FlushTo(SegmentWriter* writer) const;
 
  private:
   std::vector<Entry> entries_;

@@ -1,8 +1,19 @@
 #include "storage/page_source.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace onion::storage {
+namespace {
+
+uint64_t NextSourceId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;  // ids start at 1
+}
+
+}  // namespace
+
+PageSource::PageSource() : source_id_(NextSourceId()) {}
 
 uint64_t PageSource::PageEnd(uint64_t page) const {
   return std::min<uint64_t>(num_entries(), (page + 1) * entries_per_page());

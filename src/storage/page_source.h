@@ -38,7 +38,15 @@ inline constexpr uint64_t kEntryBytes = 16;
 
 class PageSource {
  public:
+  PageSource();
   virtual ~PageSource() = default;
+
+  /// Process-unique, never-reused identifier of this source. The buffer
+  /// pool keys its frames by (source_id, page) rather than by pointer, so
+  /// a source retired by compaction while a query still holds its pages
+  /// can never be confused with a newer source allocated at the same
+  /// address.
+  uint64_t source_id() const { return source_id_; }
 
   virtual uint64_t num_entries() const = 0;
   virtual uint32_t entries_per_page() const = 0;
@@ -69,6 +77,9 @@ class PageSource {
   /// keys can spill backward across a page boundary, handled via the
   /// last-key fences) — no page I/O.
   uint64_t PageOf(Key key) const;
+
+ private:
+  const uint64_t source_id_;
 };
 
 }  // namespace onion::storage

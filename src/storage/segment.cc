@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "storage/codec.h"
+#include "storage/fs_util.h"
 
 namespace onion::storage {
 namespace {
@@ -11,40 +13,18 @@ constexpr char kMagic[8] = {'O', 'S', 'F', 'C', 'S', 'E', 'G', '1'};
 constexpr uint32_t kFormatVersion = 1;
 constexpr uint64_t kHeaderBytes = 64;
 
-void PutU32(uint8_t* p, uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-void PutU64(uint8_t* p, uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-uint32_t GetU32(const uint8_t* p) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-
-uint64_t GetU64(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-
 uint64_t HeaderChecksum(uint32_t entries_per_page, uint64_t num_entries,
                         uint64_t num_pages, uint64_t min_key, uint64_t max_key,
                         uint64_t fence_offset) {
   // xor-fold with distinct rotations so field swaps change the sum.
-  const auto rotl = [](uint64_t x, int k) {
-    return (x << k) | (x >> (64 - k));
-  };
   uint64_t sum = 0x0410105fc5e671ULL;  // salt
-  sum ^= rotl(static_cast<uint64_t>(kFormatVersion) << 32 | entries_per_page, 1);
-  sum ^= rotl(num_entries, 7);
-  sum ^= rotl(num_pages, 13);
-  sum ^= rotl(min_key, 19);
-  sum ^= rotl(max_key, 29);
-  sum ^= rotl(fence_offset, 37);
+  sum ^= Rotl64(
+      static_cast<uint64_t>(kFormatVersion) << 32 | entries_per_page, 1);
+  sum ^= Rotl64(num_entries, 7);
+  sum ^= Rotl64(num_pages, 13);
+  sum ^= Rotl64(min_key, 19);
+  sum ^= Rotl64(max_key, 29);
+  sum ^= Rotl64(fence_offset, 37);
   return sum;
 }
 
@@ -154,10 +134,17 @@ Status SegmentWriter::Finish() {
                                      num_pages, min_key_, max_key_,
                                      fence_offset));
   if (!SeekTo(file_, 0) ||
-      std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes ||
-      std::fflush(file_) != 0) {
+      std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes) {
     return status_ = IoError(path_, "write failed");
   }
+  // Durability before publication: fsync the data, then the directory
+  // entry, BEFORE the caller may reference this segment from a MANIFEST.
+  // Without the second sync a crash could durably install a manifest whose
+  // directory never durably contained the segment it names.
+  status_ = SyncFile(file_, path_);
+  if (!status_.ok()) return status_;
+  status_ = SyncDir(DirOf(path_));
+  if (!status_.ok()) return status_;
   std::fclose(file_);
   file_ = nullptr;
   finished_ = true;
@@ -251,10 +238,15 @@ void SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
       static_cast<uint64_t>(entries_per_page_) * kEntryBytes;
   const uint64_t offset = kHeaderBytes + page * page_bytes;
   std::vector<uint8_t> bytes(page_bytes);
-  ONION_CHECK_MSG(SeekTo(file_, offset), "segment seek failed");
-  ONION_CHECK_MSG(
-      std::fread(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
-      "segment page read truncated");
+  {
+    // The seek+read pair must be atomic: concurrent readers (queries
+    // through the buffer pool, a background compaction cursor) share file_.
+    std::lock_guard<std::mutex> lock(io_mu_);
+    ONION_CHECK_MSG(SeekTo(file_, offset), "segment seek failed");
+    ONION_CHECK_MSG(
+        std::fread(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
+        "segment page read truncated");
+  }
   const uint64_t count = PageEnd(page) - PageBegin(page);
   out->clear();
   out->reserve(count);

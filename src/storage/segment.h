@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,8 +60,11 @@ class SegmentWriter {
   /// Appends one entry. Keys must be nondecreasing (checked).
   Status Add(Key key, uint64_t payload);
 
-  /// Flushes the last page, writes the fence block and header, and closes
-  /// the file. No further Add() calls are allowed.
+  /// Flushes the last page, writes the fence block and header, fsyncs the
+  /// file AND its directory, and closes the file. Only after Finish()
+  /// returns OK may the segment be referenced by a MANIFEST — the sync
+  /// ordering guarantees a crash can never leave a manifest pointing at a
+  /// torn or unlinked segment. No further Add() calls are allowed.
   Status Finish();
 
   uint64_t num_entries() const { return num_entries_; }
@@ -84,7 +88,9 @@ class SegmentWriter {
 
 /// Read side of a segment file. Validates the header and fence block on
 /// open, keeps the fences in memory, and reads pages with positioned file
-/// I/O on demand.
+/// I/O on demand. ReadPage() is safe to call from multiple threads (the
+/// seek+read pair is serialized internally); all other accessors touch
+/// immutable state only.
 class SegmentReader final : public PageSource {
  public:
   static Result<std::unique_ptr<SegmentReader>> Open(std::string path);
@@ -111,6 +117,7 @@ class SegmentReader final : public PageSource {
 
   std::string path_;
   mutable std::FILE* file_;
+  mutable std::mutex io_mu_;  // serializes the seek+read pair on file_
   uint32_t entries_per_page_ = 1;
   uint64_t num_entries_ = 0;
   Key min_key_ = 0;

@@ -4,18 +4,70 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <utility>
 
 #include "index/decompose.h"
 #include "sfc/registry.h"
 #include "storage/compaction.h"
+#include "storage/fs_util.h"
 
 namespace onion::storage {
 namespace {
 
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestFormat[] = "onion-sfc-table";
-constexpr int kManifestVersion = 1;
+// Version 2 adds the per-segment level and the WAL floor; version 1
+// manifests (no levels, no WALs) are still readable — their segments all
+// load as level 0.
+constexpr int kManifestVersion = 2;
+
+constexpr char kWalPrefix[] = "wal_";
+constexpr char kWalSuffix[] = ".log";
+
+std::string SegmentFileName(uint64_t id) {
+  return "seg_" + std::to_string(id) + ".sfc";
+}
+
+/// Rejects option combinations that would deadlock or loop the engine.
+Status ValidateOptions(const SfcTableOptions& options) {
+  if (options.entries_per_page < 1) {
+    return Status::InvalidArgument("entries_per_page must be positive");
+  }
+  if (options.pool_pages < 1) {
+    return Status::InvalidArgument("pool_pages must be positive");
+  }
+  if (options.memtable_flush_entries < 1) {
+    return Status::InvalidArgument("memtable_flush_entries must be positive");
+  }
+  if (options.max_pending_memtables < 1) {
+    return Status::InvalidArgument("max_pending_memtables must be positive");
+  }
+  if (options.l0_compaction_trigger < 2) {
+    return Status::InvalidArgument("l0_compaction_trigger must be >= 2");
+  }
+  if (options.level_growth_factor < 2) {
+    return Status::InvalidArgument("level_growth_factor must be >= 2");
+  }
+  return Status::OK();
+}
+
+/// Parses "wal_<id>.log"; returns false for any other name.
+bool ParseWalFileName(const std::string& name, uint64_t* id) {
+  const size_t prefix = sizeof(kWalPrefix) - 1;
+  const size_t suffix = sizeof(kWalSuffix) - 1;
+  if (name.size() <= prefix + suffix) return false;
+  if (name.compare(0, prefix, kWalPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix, suffix, kWalSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *id = value;
+  return true;
+}
 
 }  // namespace
 
@@ -27,45 +79,122 @@ SfcTable::SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
       options_(options),
       pool_(options.pool_pages) {}
 
+SfcTable::~SfcTable() {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+  // Last chance to collect retired files whose earlier unlink failed.
+  for (const std::string& path : garbage_files_) {
+    std::remove(path.c_str());
+  }
+}
+
 std::string SfcTable::SegmentPath(const std::string& file) const {
   return dir_ + "/" + file;
 }
 
-Status SfcTable::WriteManifest() const {
+std::string SfcTable::WalFileName(uint64_t id) const {
+  return kWalPrefix + std::to_string(id) + kWalSuffix;
+}
+
+std::string SfcTable::WalPath(uint64_t id) const {
+  return dir_ + "/" + WalFileName(id);
+}
+
+uint64_t SfcTable::EffectiveLevelSegmentEntries() const {
+  return options_.level_segment_entries > 0 ? options_.level_segment_entries
+                                            : options_.memtable_flush_entries;
+}
+
+uint64_t SfcTable::LevelTargetEntries(int level) const {
+  uint64_t target = options_.level_base_entries > 0
+                        ? options_.level_base_entries
+                        : options_.l0_compaction_trigger *
+                              options_.memtable_flush_entries;
+  for (int i = 1; i < level; ++i) target *= options_.level_growth_factor;
+  return target;
+}
+
+std::string SfcTable::ManifestTextLocked() const {
+  std::string text;
+  text += std::string(kManifestFormat) + " " +
+          std::to_string(kManifestVersion) + "\n";
+  text += "curve " + curve_name_ + "\n";
+  text += "dims " + std::to_string(curve_->universe().dims()) + "\n";
+  text += "side " + std::to_string(curve_->universe().side()) + "\n";
+  text += "entries_per_page " + std::to_string(options_.entries_per_page) +
+          "\n";
+  text += "next_segment_id " + std::to_string(next_segment_id_) + "\n";
+  text += "wal_floor " + std::to_string(wal_floor_) + "\n";
+  for (const TableSegment& segment : l0_) {
+    text += "segment 0 " + segment.file + "\n";
+  }
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    for (const TableSegment& segment : levels_[i]) {
+      text += "segment " + std::to_string(i + 1) + " " + segment.file + "\n";
+    }
+  }
+  return text;
+}
+
+Status SfcTable::WriteManifestFile(const std::string& text) const {
   const std::string tmp_path = dir_ + "/" + kManifestName + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot write manifest: " + tmp_path);
-    }
-    out << kManifestFormat << " " << kManifestVersion << "\n";
-    out << "curve " << curve_name_ << "\n";
-    out << "dims " << curve_->universe().dims() << "\n";
-    out << "side " << curve_->universe().side() << "\n";
-    out << "entries_per_page " << options_.entries_per_page << "\n";
-    out << "next_segment_id " << next_segment_id_ << "\n";
-    for (const std::string& file : segment_files_) {
-      out << "segment " << file << "\n";
-    }
-    out.flush();
-    if (!out) {
-      return Status::Internal("cannot write manifest: " + tmp_path);
-    }
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Internal("cannot write manifest: " + tmp_path);
+  }
+  Status status;
+  if (std::fwrite(text.data(), 1, text.size(), out) != text.size()) {
+    status = Status::Internal("cannot write manifest: " + tmp_path);
+  }
+  if (status.ok()) status = SyncFile(out, tmp_path);
+  std::fclose(out);
+  if (!status.ok()) {
+    std::remove(tmp_path.c_str());
+    return status;
   }
   std::error_code ec;
   std::filesystem::rename(tmp_path, dir_ + "/" + kManifestName, ec);
   if (ec) {
     return Status::Internal("cannot install manifest: " + ec.message());
   }
-  return Status::OK();
+  return SyncDir(dir_);
+}
+
+Status SfcTable::InstallManifest(std::unique_lock<std::shared_mutex>& lock) {
+  // Requires mu_ held on entry and returns with it held, but does the
+  // expensive part (tmp write + two fsyncs + rename) WITHOUT it, so
+  // queries and inserts are not stalled behind manifest durability.
+  //
+  // The manifest is a full-state snapshot, so correctness only needs every
+  // durable manifest to be a consistent snapshot and renames to happen in
+  // snapshot order. manifest_mu_ provides exactly that: it is taken first
+  // (with mu_ released, keeping the manifest_mu_ -> mu_ acquisition order
+  // deadlock-free), then the text is snapshotted under mu_, then mu_ is
+  // dropped for the file I/O. A concurrent installer blocks on
+  // manifest_mu_ and will snapshot strictly later state.
+  lock.unlock();
+  std::lock_guard<std::mutex> manifest_lock(manifest_mu_);
+  lock.lock();
+  const std::string text = ManifestTextLocked();
+  lock.unlock();
+  const Status status = WriteManifestFile(text);
+  lock.lock();
+  return status;
+}
+
+void SfcTable::StartWorker() {
+  worker_ = std::thread(&SfcTable::BackgroundMain, this);
 }
 
 Result<std::unique_ptr<SfcTable>> SfcTable::Create(
     const std::string& dir, const std::string& curve_name,
     const Universe& universe, const SfcTableOptions& options) {
-  if (options.entries_per_page < 1) {
-    return Status::InvalidArgument("entries_per_page must be positive");
-  }
+  const Status valid = ValidateOptions(options);
+  if (!valid.ok()) return valid;
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -79,13 +208,26 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Create(
   if (!curve.ok()) return curve.status();
   std::unique_ptr<SfcTable> table(
       new SfcTable(dir, std::move(curve).value(), options));
-  const Status status = table->WriteManifest();
+  Status status;
+  {
+    std::unique_lock<std::shared_mutex> lock(table->mu_);
+    status = table->InstallManifest(lock);
+  }
   if (!status.ok()) return status;
+  auto wal = WalWriter::Create(table->WalPath(0), options.wal_fsync);
+  if (!wal.ok()) return wal.status();
+  table->wal_ = std::move(wal).value();
+  table->wal_files_ = {table->WalFileName(0)};
+  table->max_wal_id_ = 0;
+  table->next_wal_id_ = 1;
+  table->StartWorker();
   return table;
 }
 
 Result<std::unique_ptr<SfcTable>> SfcTable::Open(
     const std::string& dir, const SfcTableOptions& options) {
+  const Status valid = ValidateOptions(options);
+  if (!valid.ok()) return valid;
   std::ifstream in(dir + "/" + kManifestName);
   if (!in) {
     return Status::NotFound("no table manifest in " + dir);
@@ -96,7 +238,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Open(
   if (!in || format != kManifestFormat) {
     return Status::InvalidArgument("bad manifest format in " + dir);
   }
-  if (version != kManifestVersion) {
+  if (version != 1 && version != kManifestVersion) {
     return Status::InvalidArgument("unsupported manifest version " +
                                    std::to_string(version) + " in " + dir);
   }
@@ -105,7 +247,8 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Open(
   Coord side = 0;
   uint32_t entries_per_page = 0;
   uint64_t next_segment_id = 0;
-  std::vector<std::string> segment_files;
+  uint64_t wal_floor = 0;
+  std::vector<std::pair<int, std::string>> segment_files;  // (level, file)
   std::string field;
   while (in >> field) {
     if (field == "curve") {
@@ -118,10 +261,17 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Open(
       in >> entries_per_page;
     } else if (field == "next_segment_id") {
       in >> next_segment_id;
+    } else if (field == "wal_floor") {
+      in >> wal_floor;
     } else if (field == "segment") {
+      int level = 0;
       std::string file;
+      if (version >= 2) in >> level;
       in >> file;
-      segment_files.push_back(file);
+      if (level < 0) {
+        return Status::InvalidArgument("negative segment level in " + dir);
+      }
+      segment_files.emplace_back(level, file);
     } else {
       return Status::InvalidArgument("unknown manifest field '" + field +
                                      "' in " + dir);
@@ -139,19 +289,135 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Open(
   std::unique_ptr<SfcTable> table(
       new SfcTable(dir, std::move(curve).value(), effective));
   table->next_segment_id_ = next_segment_id;
-  for (const std::string& file : segment_files) {
+  table->wal_floor_ = wal_floor;
+  for (const auto& [level, file] : segment_files) {
     auto reader = SegmentReader::Open(table->SegmentPath(file));
     if (!reader.ok()) return reader.status();
-    table->segments_.push_back(std::move(reader).value());
-    table->segment_files_.push_back(file);
+    TableSegment segment{std::move(reader).value(), file, level};
+    if (level == 0) {
+      table->l0_.push_back(std::move(segment));
+    } else {
+      if (static_cast<int>(table->levels_.size()) < level) {
+        table->levels_.resize(level);
+      }
+      table->levels_[level - 1].push_back(std::move(segment));
+    }
   }
+  for (auto& level_segments : table->levels_) {
+    SortByMinKey(&level_segments);
+    for (size_t i = 1; i < level_segments.size(); ++i) {
+      if (level_segments[i].reader->min_key() <=
+          level_segments[i - 1].reader->max_key()) {
+        return Status::InvalidArgument(
+            "overlapping segments within a level in " + dir);
+      }
+    }
+  }
+
+  // Crash recovery: replay every live WAL file (in id order) into the
+  // memtable. Files below the manifest's wal_floor are fenced — their
+  // entries are already in segments — and are garbage-collected here.
+  std::vector<std::pair<uint64_t, std::string>> wal_files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t id = 0;
+    const std::string name = entry.path().filename().string();
+    if (ParseWalFileName(name, &id)) wal_files.emplace_back(id, name);
+  }
+  if (ec) {
+    return Status::Internal("cannot list table directory " + dir + ": " +
+                            ec.message());
+  }
+  std::sort(wal_files.begin(), wal_files.end());
+  uint64_t max_seen_id = 0;
+  for (size_t i = 0; i < wal_files.size(); ++i) {
+    const auto& [id, name] = wal_files[i];
+    max_seen_id = std::max(max_seen_id, id);
+    if (id < wal_floor) {
+      std::remove((dir + "/" + name).c_str());  // fenced: pure GC
+      continue;
+    }
+    auto replayed = ReplayWal(dir + "/" + name, [&](Key key,
+                                                    uint64_t payload) {
+      table->memtable_.Insert(key, payload);
+    });
+    if (!replayed.ok()) {
+      // A torn header can only happen to the newest WAL (crash during its
+      // creation); anywhere else it means real corruption.
+      if (i + 1 == wal_files.size()) {
+        table->wal_files_.push_back(name);  // fenced off at next flush
+        continue;
+      }
+      return replayed.status();
+    }
+    table->wal_files_.push_back(name);
+  }
+  table->max_wal_id_ = max_seen_id;
+  table->next_wal_id_ = std::max(wal_floor, max_seen_id + 1);
+
+  const uint64_t active_id = table->next_wal_id_++;
+  auto wal = WalWriter::Create(table->WalPath(active_id),
+                               effective.wal_fsync);
+  if (!wal.ok()) return wal.status();
+  table->wal_ = std::move(wal).value();
+  table->wal_files_.push_back(table->WalFileName(active_id));
+  table->max_wal_id_ = active_id;
+  table->StartWorker();
   return table;
 }
 
 uint64_t SfcTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t total = memtable_.size();
-  for (const auto& segment : segments_) total += segment->num_entries();
+  for (const PendingMemtable& batch : pending_) {
+    if (!batch.installed) total += batch.mem.size();
+  }
+  for (const TableSegment& segment : l0_) {
+    total += segment.reader->num_entries();
+  }
+  for (const auto& level_segments : levels_) {
+    for (const TableSegment& segment : level_segments) {
+      total += segment.reader->num_entries();
+    }
+  }
   return total;
+}
+
+size_t SfcTable::num_segments() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t count = l0_.size();
+  for (const auto& level_segments : levels_) count += level_segments.size();
+  return count;
+}
+
+uint64_t SfcTable::memtable_entries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  uint64_t total = memtable_.size();
+  for (const PendingMemtable& batch : pending_) {
+    if (!batch.installed) total += batch.mem.size();
+  }
+  return total;
+}
+
+size_t SfcTable::pending_memtables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::vector<SegmentInfo> SfcTable::SegmentInfos() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<SegmentInfo> infos;
+  const auto add = [&](const TableSegment& segment) {
+    infos.push_back(SegmentInfo{segment.file, segment.level,
+                                segment.reader->min_key(),
+                                segment.reader->max_key(),
+                                segment.reader->num_entries()});
+  };
+  for (const TableSegment& segment : l0_) add(segment);
+  for (const auto& level_segments : levels_) {
+    for (const TableSegment& segment : level_segments) add(segment);
+  }
+  return infos;
 }
 
 Status SfcTable::Insert(const Cell& cell, uint64_t payload) {
@@ -159,100 +425,566 @@ Status SfcTable::Insert(const Cell& cell, uint64_t payload) {
     return Status::OutOfRange("cell outside the table's universe: " +
                               cell.ToString());
   }
-  // Flush BEFORE buffering so a failed Insert has not retained the entry —
+  const Key key = curve_->IndexOf(cell);
+  // wal_mu_ serializes writers and pins the active WAL for the duration of
+  // this insert, which lets the WAL file I/O below run with mu_ RELEASED —
+  // readers are never stalled behind a record's fflush/fsync.
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!background_error_.ok()) return background_error_;
+  // Rotate BEFORE buffering so a failed Insert has not retained the entry —
   // callers can retry it without creating a duplicate.
   if (memtable_.size() >= options_.memtable_flush_entries) {
-    const Status status = Flush();
+    const Status status =
+        RotateMemtableLocked(lock, options_.memtable_flush_entries);
     if (!status.ok()) return status;
   }
-  memtable_.Insert(curve_->IndexOf(cell), payload);
+  WalWriter* const wal = wal_.get();  // stable: wal_mu_ excludes rotation
+  lock.unlock();
+  const Status status = wal->Append(key, payload);
+  if (!status.ok()) return status;  // nothing buffered: retry-safe
+  lock.lock();
+  memtable_.Insert(key, payload);
+  return Status::OK();
+}
+
+Status SfcTable::RotateMemtableLocked(
+    std::unique_lock<std::shared_mutex>& lock, uint64_t min_entries) {
+  // Bounded queue: block while max_pending_memtables generations are
+  // already waiting for the background flush. (The wait releases mu_ but
+  // keeps the caller's wal_mu_, so no other writer can rotate meanwhile;
+  // the min_entries recheck below is defense in depth.)
+  cv_.wait(lock, [&] {
+    return !background_error_.ok() ||
+           pending_.size() < options_.max_pending_memtables;
+  });
+  if (!background_error_.ok()) return background_error_;
+  if (memtable_.size() < min_entries) return Status::OK();
+  // Open the next WAL first: if that fails, the current generation stays
+  // fully intact and writable.
+  const uint64_t id = next_wal_id_;
+  auto wal = WalWriter::Create(WalPath(id), options_.wal_fsync);
+  if (!wal.ok()) return wal.status();
+  ++next_wal_id_;
+  PendingMemtable batch;
+  batch.mem = std::move(memtable_);
+  batch.wal_files = std::move(wal_files_);
+  batch.max_wal_id = max_wal_id_;
+  pending_.push_back(std::move(batch));
+  memtable_ = MemTable();
+  wal_ = std::move(wal).value();
+  wal_files_ = {WalFileName(id)};
+  max_wal_id_ = id;
+  cv_.notify_all();
   return Status::OK();
 }
 
 Status SfcTable::Flush() {
-  if (memtable_.empty()) return Status::OK();
-  const std::string file =
-      "seg_" + std::to_string(next_segment_id_++) + ".sfc";
-  SegmentWriter writer(SegmentPath(file), options_.entries_per_page);
-  Status status = memtable_.FlushTo(&writer);
-  if (status.ok()) status = writer.Finish();
-  if (!status.ok()) return status;
-  auto reader = SegmentReader::Open(SegmentPath(file));
-  if (!reader.ok()) return reader.status();
-  segments_.push_back(std::move(reader).value());
-  segment_files_.push_back(file);
-  return WriteManifest();
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (!background_error_.ok()) return background_error_;
+    if (!memtable_.empty()) {
+      const Status status = RotateMemtableLocked(lock, 1);
+      if (!status.ok()) return status;
+    }
+  }  // release wal_mu_: writers may proceed while we wait for the barrier
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Barrier: everything rotated is durable in segments and the level
+  // structure has settled before we return.
+  cv_.wait(lock, [&] {
+    return !background_error_.ok() ||
+           (pending_.empty() && !compaction_pending_ && !compaction_inflight_);
+  });
+  return background_error_;
+}
+
+void SfcTable::BackgroundMain() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait(lock, [&] {
+      return stop_ || (background_error_.ok() &&
+                       (!pending_.empty() || compaction_pending_));
+    });
+    if (stop_) break;
+    if (!pending_.empty()) {
+      FlushPendingLocked(lock);
+    } else if (compaction_pending_) {
+      RunCompactionLocked(lock);
+    }
+  }
+}
+
+void SfcTable::SetBackgroundErrorLocked(const Status& status) {
+  if (background_error_.ok()) background_error_ = status;
+  cv_.notify_all();
+}
+
+void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
+  // The front reference stays valid while unlocked: only this thread pops,
+  // and deque growth does not invalidate references.
+  PendingMemtable& batch = pending_.front();
+  Status status;
+  TableSegment installed;
+  if (!batch.mem.empty()) {
+    const std::string file = SegmentFileName(next_segment_id_++);
+    const std::string path = SegmentPath(file);
+    std::shared_ptr<SegmentReader> reader;
+    lock.unlock();
+    {
+      SegmentWriter writer(path, options_.entries_per_page);
+      status = batch.mem.FlushTo(&writer);
+      if (status.ok()) status = writer.Finish();  // fsyncs file + directory
+    }
+    if (status.ok()) {
+      auto opened = SegmentReader::Open(path);
+      if (opened.ok()) {
+        reader = std::move(opened).value();
+      } else {
+        status = opened.status();
+      }
+    }
+    lock.lock();
+    if (!status.ok()) {
+      // Never entered the in-memory state, so no manifest can name it.
+      std::remove(path.c_str());
+      SetBackgroundErrorLocked(status);
+      return;
+    }
+    installed = TableSegment{std::move(reader), file, 0};
+    // One atomic visibility flip for readers: the segment appears and the
+    // batch disappears from the read path in the same lock hold, so a
+    // query during the (unlocked) manifest install below can never see
+    // the same entries in both.
+    l0_.push_back(installed);
+    batch.installed = true;
+  }
+  const uint64_t old_floor = wal_floor_;
+  wal_floor_ = std::max(wal_floor_, batch.max_wal_id + 1);
+  status = InstallManifest(lock);
+  if (!status.ok()) {
+    if (installed.reader != nullptr) {
+      // Remove by identity — the lock was released during the install, so
+      // the segment may no longer be l0_.back(). KEEP the file: a manifest
+      // written concurrently may already reference it; unreferenced it is
+      // a harmless orphan.
+      RemoveSegmentsByIdentityLocked({installed});
+      batch.installed = false;
+    }
+    wal_floor_ = old_floor;
+    SetBackgroundErrorLocked(status);
+    return;
+  }
+  // The manifest's wal_floor now fences these files; deleting them is GC.
+  for (const std::string& wal_file : batch.wal_files) {
+    std::remove((dir_ + "/" + wal_file).c_str());
+  }
+  pending_.pop_front();
+  if (!manual_compaction_ && l0_.size() >= options_.l0_compaction_trigger) {
+    compaction_pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool SfcTable::HasAutoCompactionWorkLocked() const {
+  if (l0_.size() >= options_.l0_compaction_trigger) return true;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    uint64_t total = 0;
+    for (const TableSegment& segment : levels_[i]) {
+      total += segment.reader->num_entries();
+    }
+    if (total > LevelTargetEntries(static_cast<int>(i) + 1)) return true;
+  }
+  return false;
+}
+
+void SfcTable::RunCompactionLocked(
+    std::unique_lock<std::shared_mutex>& lock) {
+  compaction_pending_ = false;
+  if (manual_compaction_) return;
+
+  // Pick the job: all of L0 into level 1, or the lowest-key prefix of the
+  // first over-target level into the next one.
+  std::vector<TableSegment> inputs;
+  int out_level = 0;
+  if (l0_.size() >= options_.l0_compaction_trigger) {
+    inputs = l0_;
+    out_level = 1;
+  } else {
+    for (size_t i = 0; i < levels_.size(); ++i) {
+      uint64_t total = 0;
+      for (const TableSegment& segment : levels_[i]) {
+        total += segment.reader->num_entries();
+      }
+      const uint64_t target = LevelTargetEntries(static_cast<int>(i) + 1);
+      if (total <= target) continue;
+      uint64_t removed = 0;
+      size_t take = 0;
+      while (take < levels_[i].size() && total - removed > target) {
+        removed += levels_[i][take].reader->num_entries();
+        ++take;
+      }
+      inputs.assign(levels_[i].begin(), levels_[i].begin() + take);
+      out_level = static_cast<int>(i) + 2;
+      break;
+    }
+  }
+  if (inputs.empty() || out_level < 1) return;
+
+  // Pull in the segments of the output level that overlap the inputs' key
+  // span — merging with them is what keeps the level non-overlapping.
+  Key span_lo = inputs.front().reader->min_key();
+  Key span_hi = inputs.front().reader->max_key();
+  for (const TableSegment& segment : inputs) {
+    span_lo = std::min(span_lo, segment.reader->min_key());
+    span_hi = std::max(span_hi, segment.reader->max_key());
+  }
+  if (static_cast<int>(levels_.size()) >= out_level) {
+    for (const TableSegment& segment : levels_[out_level - 1]) {
+      if (segment.reader->max_key() >= span_lo &&
+          segment.reader->min_key() <= span_hi) {
+        inputs.push_back(segment);
+      }
+    }
+  }
+
+  // While compaction_inflight_ is set (through the manifest install, whose
+  // lock-free window would otherwise let a manual Compact() interleave),
+  // only this worker thread mutates the segment structure, so wholesale
+  // backup/restore of the vectors is a sound rollback.
+  compaction_inflight_ = true;
+
+  // A single input with nothing to merge against moves between levels as a
+  // manifest-only edit — no reason to rewrite identical bytes.
+  if (inputs.size() == 1 && out_level >= 2) {
+    const std::vector<TableSegment> l0_backup = l0_;
+    const std::vector<std::vector<TableSegment>> levels_backup = levels_;
+    TableSegment moved = inputs.front();
+    moved.level = out_level;
+    RemoveSegmentsByIdentityLocked(inputs);
+    if (static_cast<int>(levels_.size()) < out_level) {
+      levels_.resize(out_level);
+    }
+    auto& move_dest = levels_[out_level - 1];
+    move_dest.push_back(std::move(moved));
+    SortByMinKey(&move_dest);
+    const Status status = InstallManifest(lock);
+    compaction_inflight_ = false;
+    if (!status.ok()) {
+      l0_ = l0_backup;
+      levels_ = levels_backup;
+      SetBackgroundErrorLocked(status);
+      return;
+    }
+    if (HasAutoCompactionWorkLocked()) compaction_pending_ = true;
+    cv_.notify_all();
+    return;
+  }
+  std::vector<const SegmentReader*> raw;
+  raw.reserve(inputs.size());
+  for (const TableSegment& segment : inputs) {
+    raw.push_back(segment.reader.get());
+  }
+  const uint64_t max_output_entries = EffectiveLevelSegmentEntries();
+  lock.unlock();
+
+  std::vector<std::string> out_files;
+  std::vector<std::unique_ptr<SegmentWriter>> outs;
+  auto open_output = [&]() {
+    uint64_t id = 0;
+    {
+      std::unique_lock<std::shared_mutex> id_lock(mu_);
+      id = next_segment_id_++;
+    }
+    out_files.push_back(SegmentFileName(id));
+    return std::make_unique<SegmentWriter>(SegmentPath(out_files.back()),
+                                           options_.entries_per_page);
+  };
+  Status status =
+      MergeSegmentsLeveled(raw, max_output_entries, open_output, &outs);
+  std::vector<TableSegment> new_segments;
+  if (status.ok()) {
+    for (size_t i = 0; i < outs.size(); ++i) {
+      auto opened = SegmentReader::Open(outs[i]->path());
+      if (!opened.ok()) {
+        status = opened.status();
+        break;
+      }
+      new_segments.push_back(
+          TableSegment{std::move(opened).value(), out_files[i], out_level});
+    }
+  }
+
+  lock.lock();
+  if (!status.ok()) {
+    compaction_inflight_ = false;
+    // The outputs never entered the in-memory state; no manifest can name
+    // them, so deleting the files is safe.
+    for (const std::string& file : out_files) {
+      std::remove(SegmentPath(file).c_str());
+    }
+    SetBackgroundErrorLocked(status);
+    return;
+  }
+  // Install the new generation; a manifest failure rolls everything back
+  // so the in-memory state always matches the manifest on disk.
+  const std::vector<TableSegment> l0_backup = l0_;
+  const std::vector<std::vector<TableSegment>> levels_backup = levels_;
+  RemoveSegmentsByIdentityLocked(inputs);
+  if (static_cast<int>(levels_.size()) < out_level) levels_.resize(out_level);
+  auto& dest = levels_[out_level - 1];
+  dest.insert(dest.end(), new_segments.begin(), new_segments.end());
+  SortByMinKey(&dest);
+  status = InstallManifest(lock);
+  if (!status.ok()) {
+    compaction_inflight_ = false;
+    l0_ = l0_backup;
+    levels_ = levels_backup;
+    // KEEP the output files: they entered the state during the install
+    // window, so a concurrently written manifest may reference them.
+    SetBackgroundErrorLocked(status);
+    return;
+  }
+  const std::vector<std::string> doomed =
+      DetachSegmentsLocked(std::move(inputs));
+  // Unlink with compaction_inflight_ still set, so the Flush()/Close()
+  // barrier cannot release (and a caller cannot start tearing down the
+  // table directory) while retired files are mid-deletion.
+  RemoveRetiredFiles(lock, doomed);
+  compaction_inflight_ = false;
+  if (!manual_compaction_ && HasAutoCompactionWorkLocked()) {
+    compaction_pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+void SfcTable::RemoveSegmentsByIdentityLocked(
+    const std::vector<TableSegment>& gone) {
+  const auto is_gone = [&](const TableSegment& segment) {
+    for (const TableSegment& g : gone) {
+      if (g.reader == segment.reader) return true;
+    }
+    return false;
+  };
+  l0_.erase(std::remove_if(l0_.begin(), l0_.end(), is_gone), l0_.end());
+  for (auto& level_segments : levels_) {
+    level_segments.erase(std::remove_if(level_segments.begin(),
+                                        level_segments.end(), is_gone),
+                         level_segments.end());
+  }
+}
+
+void SfcTable::SortByMinKey(std::vector<TableSegment>* segments) {
+  std::sort(segments->begin(), segments->end(),
+            [](const TableSegment& a, const TableSegment& b) {
+              return a.reader->min_key() < b.reader->min_key();
+            });
+}
+
+std::vector<std::string> SfcTable::DetachSegmentsLocked(
+    std::vector<TableSegment> retired) {
+  // Also retry earlier failed unlinks (their readers are gone by now).
+  std::vector<std::string> doomed = std::move(garbage_files_);
+  garbage_files_.clear();
+  for (TableSegment& segment : retired) {
+    pool_.Drop(segment.reader.get());
+    doomed.push_back(SegmentPath(segment.file));
+    // In-flight queries may still hold the reader via shared_ptr; on POSIX
+    // the open descriptor keeps the unlinked data readable until they
+    // finish, while platforms that refuse to delete open files land the
+    // path back in garbage_files_ for a later retry.
+    segment.reader.reset();
+  }
+  return doomed;
+}
+
+void SfcTable::RemoveRetiredFiles(std::unique_lock<std::shared_mutex>& lock,
+                                  const std::vector<std::string>& doomed) {
+  // File I/O with the table unlocked; only the bookkeeping re-locks.
+  lock.unlock();
+  std::vector<std::string> survivors;
+  for (const std::string& path : doomed) {
+    if (std::remove(path.c_str()) != 0 && std::filesystem::exists(path)) {
+      survivors.push_back(path);
+    }
+  }
+  lock.lock();
+  garbage_files_.insert(garbage_files_.end(), survivors.begin(),
+                        survivors.end());
+}
+
+std::vector<SfcTable::TableSegment> SfcTable::AllSegmentsLocked() const {
+  std::vector<TableSegment> all = l0_;
+  for (const auto& level_segments : levels_) {
+    all.insert(all.end(), level_segments.begin(), level_segments.end());
+  }
+  return all;
 }
 
 Status SfcTable::Compact() {
   Status status = Flush();
   if (!status.ok()) return status;
-  if (segments_.size() <= 1) return Status::OK();
 
-  const std::string file =
-      "seg_" + std::to_string(next_segment_id_++) + ".sfc";
-  {
-    SegmentWriter writer(SegmentPath(file), options_.entries_per_page);
-    std::vector<const SegmentReader*> inputs;
-    inputs.reserve(segments_.size());
-    for (const auto& segment : segments_) inputs.push_back(segment.get());
-    status = MergeSegments(inputs, &writer);
-    if (status.ok()) status = writer.Finish();
-    if (!status.ok()) return status;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Quiesce background compaction AND any other manual Compact() first:
+  // two concurrent compactions over the same inputs would install each
+  // other's entries twice.
+  cv_.wait(lock, [&] {
+    return !background_error_.ok() ||
+           (!compaction_inflight_ && !compaction_pending_ &&
+            !manual_compaction_);
+  });
+  if (!background_error_.ok()) return background_error_;
+  const std::vector<TableSegment> inputs = AllSegmentsLocked();
+  if (inputs.size() <= 1) return Status::OK();
+  // Deep enough that the single output does not overflow its level's size
+  // target (which would just make the worker push it further down).
+  uint64_t total_entries = 0;
+  for (const TableSegment& segment : inputs) {
+    total_entries += segment.reader->num_entries();
   }
-  auto reader = SegmentReader::Open(SegmentPath(file));
-  if (!reader.ok()) return reader.status();
+  int out_level = 1;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (!levels_[i].empty()) out_level = static_cast<int>(i) + 1;
+  }
+  while (LevelTargetEntries(out_level) < total_entries) ++out_level;
+  manual_compaction_ = true;  // keeps the worker from scheduling its own
+  const std::string file = SegmentFileName(next_segment_id_++);
+  const std::string path = SegmentPath(file);
+  std::vector<const SegmentReader*> raw;
+  raw.reserve(inputs.size());
+  for (const TableSegment& segment : inputs) {
+    raw.push_back(segment.reader.get());
+  }
+  lock.unlock();
 
-  // Install the new manifest BEFORE deleting the inputs: a crash in between
-  // leaves both generations on disk and a manifest that names a live one,
-  // never a manifest pointing at deleted files.
-  std::vector<std::unique_ptr<SegmentReader>> retired;
-  std::vector<std::string> retired_files;
-  retired.swap(segments_);
-  retired_files.swap(segment_files_);
-  segments_.push_back(std::move(reader).value());
-  segment_files_.push_back(file);
-  status = WriteManifest();
+  std::shared_ptr<SegmentReader> reader;
+  {
+    SegmentWriter writer(path, options_.entries_per_page);
+    status = MergeSegments(raw, &writer);
+    if (status.ok()) status = writer.Finish();
+  }
+  if (status.ok()) {
+    auto opened = SegmentReader::Open(path);
+    if (opened.ok()) {
+      reader = std::move(opened).value();
+    } else {
+      status = opened.status();
+    }
+  }
+
+  lock.lock();
   if (!status.ok()) {
-    // Roll back to the (still valid) old generation; discard the new file.
-    segments_.swap(retired);
-    segment_files_.swap(retired_files);
-    std::remove(SegmentPath(file).c_str());
+    manual_compaction_ = false;
+    // Never entered the in-memory state, so no manifest can name it.
+    std::remove(path.c_str());
+    cv_.notify_all();
     return status;
   }
-  // Retire the inputs: evict their cached pages, close, delete.
-  for (size_t i = 0; i < retired.size(); ++i) {
-    pool_.Drop(retired[i].get());
-    const std::string path = SegmentPath(retired_files[i]);
-    retired[i].reset();  // close before unlink, for portability
-    std::remove(path.c_str());
+  const TableSegment output{std::move(reader), file, out_level};
+  RemoveSegmentsByIdentityLocked(inputs);
+  if (static_cast<int>(levels_.size()) < out_level) levels_.resize(out_level);
+  levels_[out_level - 1].push_back(output);
+  SortByMinKey(&levels_[out_level - 1]);
+  status = InstallManifest(lock);
+  if (!status.ok()) {
+    manual_compaction_ = false;
+    // Roll back by identity: background flushes may have appended new L0
+    // runs during the unlocked install window, so restoring wholesale
+    // snapshots of the vectors would clobber them. L0 inputs return to the
+    // FRONT (they are older than anything flushed meanwhile); leveled
+    // inputs return to their levels, whose disjointness is restored once
+    // the output that replaced them is removed again.
+    RemoveSegmentsByIdentityLocked({output});
+    std::vector<TableSegment> old_l0;
+    for (const TableSegment& segment : inputs) {
+      if (segment.level == 0) {
+        old_l0.push_back(segment);
+      } else {
+        if (static_cast<int>(levels_.size()) < segment.level) {
+          levels_.resize(segment.level);
+        }
+        levels_[segment.level - 1].push_back(segment);
+      }
+    }
+    l0_.insert(l0_.begin(), old_l0.begin(), old_l0.end());
+    for (auto& level_segments : levels_) SortByMinKey(&level_segments);
+    // KEEP the output file: a manifest written concurrently by a flush
+    // install may already reference it; unreferenced it is an orphan.
+    cv_.notify_all();
+    return status;
   }
+  std::vector<TableSegment> retired = inputs;
+  const std::vector<std::string> doomed =
+      DetachSegmentsLocked(std::move(retired));
+  // Unlink before clearing manual_compaction_ or waking anyone: Compact()
+  // must not appear finished while retired files are mid-deletion.
+  RemoveRetiredFiles(lock, doomed);
+  manual_compaction_ = false;
+  // Re-arm background compaction: flushes that arrived during this manual
+  // compaction skipped scheduling (manual_compaction_ was set), so L0 may
+  // already be over the trigger.
+  if (HasAutoCompactionWorkLocked()) compaction_pending_ = true;
+  cv_.notify_all();
   return Status::OK();
 }
 
 std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
   ONION_CHECK(curve_->universe().Contains(box));
   const std::vector<KeyRange> ranges = DecomposeBox(*curve_, box);
-  ++read_stats_.queries;
-  read_stats_.ranges += ranges.size();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++read_stats_.queries;
+    read_stats_.ranges += ranges.size();
+  }
 
   std::vector<Entry> hits;
-  // One pass over the memtable for the whole query (not one per range):
-  // the ranges are sorted and disjoint, so membership is a binary search.
-  if (!memtable_.empty() && !ranges.empty()) {
-    memtable_.ScanRange(
-        ranges.front().lo, ranges.back().hi, [&](Key key, uint64_t payload) {
-          auto it = std::lower_bound(
-              ranges.begin(), ranges.end(), key,
-              [](const KeyRange& range, Key k) { return range.hi < k; });
-          if (it != ranges.end() && it->lo <= key) {
-            ++read_stats_.memtable_entries;
-            hits.push_back(Entry{key, payload});
-          }
-        });
+  uint64_t memtable_hits = 0;
+  std::vector<std::shared_ptr<SegmentReader>> l0_snapshot;
+  std::vector<std::vector<std::shared_ptr<SegmentReader>>> level_snapshot;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    // One pass over each memtable for the whole query (not one per range):
+    // the ranges are sorted and disjoint, so membership is a binary search.
+    if (!ranges.empty()) {
+      const auto scan_memtable = [&](const MemTable& mem) {
+        mem.ScanRange(ranges.front().lo, ranges.back().hi,
+                      [&](Key key, uint64_t payload) {
+                        auto it = std::lower_bound(
+                            ranges.begin(), ranges.end(), key,
+                            [](const KeyRange& range, Key k) {
+                              return range.hi < k;
+                            });
+                        if (it != ranges.end() && it->lo <= key) {
+                          ++memtable_hits;
+                          hits.push_back(Entry{key, payload});
+                        }
+                      });
+      };
+      scan_memtable(memtable_);
+      for (const PendingMemtable& batch : pending_) {
+        if (!batch.installed) scan_memtable(batch.mem);
+      }
+    }
+    l0_snapshot.reserve(l0_.size());
+    for (const TableSegment& segment : l0_) {
+      l0_snapshot.push_back(segment.reader);
+    }
+    level_snapshot.reserve(levels_.size());
+    for (const auto& level_segments : levels_) {
+      std::vector<std::shared_ptr<SegmentReader>> snapshot;
+      snapshot.reserve(level_segments.size());
+      for (const TableSegment& segment : level_segments) {
+        snapshot.push_back(segment.reader);
+      }
+      level_snapshot.push_back(std::move(snapshot));
+    }
   }
+  // Segment I/O runs WITHOUT the table lock: flush and compaction proceed
+  // concurrently, and the snapshot's shared_ptrs keep retired segments
+  // readable until this query finishes.
   for (const KeyRange& range : ranges) {
-    for (const auto& segment : segments_) {
+    for (const auto& segment : l0_snapshot) {
       if (segment->num_entries() == 0 || range.hi < segment->min_key() ||
           range.lo > segment->max_key()) {
         continue;
@@ -262,11 +994,31 @@ std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
                         hits.push_back(Entry{key, payload});
                       });
     }
+    for (const auto& level_segments : level_snapshot) {
+      // Non-overlapping level: binary search to the first candidate, then
+      // scan the (usually single) segment(s) the range spans.
+      auto it = std::lower_bound(
+          level_segments.begin(), level_segments.end(), range.lo,
+          [](const std::shared_ptr<SegmentReader>& segment, Key lo) {
+            return segment->max_key() < lo;
+          });
+      for (; it != level_segments.end() && (*it)->min_key() <= range.hi;
+           ++it) {
+        pool_.ScanRange(**it, range.lo, range.hi,
+                        [&](Key key, uint64_t payload) {
+                          hits.push_back(Entry{key, payload});
+                        });
+      }
+    }
   }
   std::sort(hits.begin(), hits.end(), [](const Entry& a, const Entry& b) {
     if (a.key != b.key) return a.key < b.key;
     return a.payload < b.payload;
   });
+  if (memtable_hits > 0) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    read_stats_.memtable_entries += memtable_hits;
+  }
 
   std::vector<SpatialEntry> results;
   results.reserve(hits.size());
@@ -278,8 +1030,16 @@ std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
   return results;
 }
 
+TableReadStats SfcTable::read_stats() const {
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  return read_stats_;
+}
+
 void SfcTable::ResetStats() {
-  read_stats_.Reset();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    read_stats_.Reset();
+  }
   pool_.ResetStats();
 }
 

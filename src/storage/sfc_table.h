@@ -1,29 +1,63 @@
-// SfcTable: the end-to-end persistent spatial table.
+// SfcTable: the end-to-end persistent spatial table — crash-safe and
+// concurrent.
 //
 // The disk-backed twin of SpatialIndex (index/spatial_index.h): points are
-// mapped to keys by any registered space-filling curve, buffered in a
-// memtable, flushed to sorted segment files, optionally compacted into a
-// single run, and queried by decomposing a box into exact curve-key ranges
-// (index/decompose.h) that are scanned through a shared buffer pool. Every
-// query's cost is observable: the pool counts real page reads, cache hits,
-// and seeks, and DiskModel converts them to estimated latency — turning
-// the paper's "clustering number == seeks" claim into a measurement
-// against actual files.
+// mapped to keys by any registered space-filling curve, logged to a
+// write-ahead log (storage/wal.h), buffered in a memtable, flushed by a
+// background worker into sorted level-0 segment files, and leveled by
+// background compaction into non-overlapping runs per level. Queries
+// decompose a box into exact curve-key ranges (index/decompose.h) that are
+// scanned through a shared buffer pool. Every query's cost is observable:
+// the pool counts real page reads, cache hits, and seeks, and DiskModel
+// converts them to estimated latency — turning the paper's "clustering
+// number == seeks" claim into a measurement against actual files.
 //
-// On-disk layout of a table directory:
+// On-disk layout of a table directory (byte-level spec in
+// docs/storage_format.md):
 //   MANIFEST        text file: format line, curve name, universe geometry,
-//                   page size, next segment id, and the live segment list
+//                   page size, next segment id, WAL floor, and the live
+//                   segment list with per-segment levels
 //   seg_<id>.sfc    immutable sorted segments (storage/segment.h)
+//   wal_<id>.log    write-ahead logs, one per memtable generation
 //
-// The manifest is rewritten (atomically, via rename) after every flush and
-// compaction, so a table can be closed and reopened at any point with
-// identical query results.
+// Crash safety: every Insert() is appended to the active WAL before it is
+// buffered, and a WAL file is deleted only after its memtable generation
+// is durably flushed (segment fsynced, directory fsynced, MANIFEST
+// renamed in place and fenced via `wal_floor`). Open() replays live WAL
+// files, so a process crash at ANY point loses nothing and duplicates
+// nothing. The manifest is rewritten atomically (write + fsync + rename +
+// directory fsync) after every flush and compaction.
+//
+// Concurrency: one background worker owns flushing and compaction. A
+// shared_mutex guards the table's in-memory state — writers and state
+// changes take it exclusively, queries take it only long enough to scan
+// the (immutable while shared-locked) memtables and snapshot the segment
+// list; segment I/O then proceeds WITHOUT the table lock, so readers keep
+// reading while a flush writes the next segment or a compaction merges
+// runs. Retired segments stay alive (shared_ptr) until the last in-flight
+// query drops them. Insert() blocks only when `max_pending_memtables`
+// generations are already waiting to flush (bounded queue backpressure).
+// Flush() and Close() are barriers: they return once all buffered data is
+// durable and background work has quiesced.
+//
+// Leveling: freshly flushed segments form level 0 (overlapping, newest
+// last). When L0 reaches `l0_compaction_trigger` runs, the worker merges
+// them (plus the overlapping part of level 1) into level 1, whose segments
+// are non-overlapping and at most `level_segment_entries` entries each;
+// levels overflowing their size target spill into the next level the same
+// way. A box query therefore probes every L0 run but at most one
+// contiguous group of segments per deeper level and key range.
 
 #ifndef ONION_STORAGE_SFC_TABLE_H_
 #define ONION_STORAGE_SFC_TABLE_H_
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -33,6 +67,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/memtable.h"
 #include "storage/segment.h"
+#include "storage/wal.h"
 
 namespace onion::storage {
 
@@ -42,8 +77,26 @@ struct SfcTableOptions {
   /// Capacity of the table's buffer pool, in pages.
   uint64_t pool_pages = 256;
   /// Inserts accumulate in the memtable until it reaches this size, then
-  /// flush automatically into a new segment.
+  /// rotate to the background flush queue automatically.
   uint64_t memtable_flush_entries = 64 * 1024;
+  /// Backpressure bound: Insert() blocks while this many rotated memtables
+  /// are still waiting for the background flush.
+  size_t max_pending_memtables = 2;
+  /// Number of level-0 runs that triggers a background compaction into
+  /// level 1.
+  size_t l0_compaction_trigger = 4;
+  /// Maximum entries per segment on levels >= 1 (0 = memtable_flush_entries).
+  uint64_t level_segment_entries = 0;
+  /// Size target of level 1 in entries (0 = l0_compaction_trigger *
+  /// memtable_flush_entries); level i's target is this times
+  /// level_growth_factor^(i-1). A level over target spills into the next.
+  uint64_t level_base_entries = 0;
+  /// Geometric growth of per-level size targets.
+  uint64_t level_growth_factor = 8;
+  /// Fsync the WAL on every Append (power-loss durability). Off by
+  /// default: appends are still flushed to the OS per record, which
+  /// already survives any process crash.
+  bool wal_fsync = false;
 };
 
 /// Logical read statistics (the physical side lives in IoStats).
@@ -55,6 +108,15 @@ struct TableReadStats {
   void Reset() { *this = TableReadStats{}; }
 };
 
+/// Introspection record for one live segment (tests, benches, tooling).
+struct SegmentInfo {
+  std::string file;
+  int level = 0;
+  Key min_key = 0;
+  Key max_key = 0;
+  uint64_t num_entries = 0;
+};
+
 class SfcTable {
  public:
   /// Creates a new table directory (made if absent; must not already hold a
@@ -63,60 +125,162 @@ class SfcTable {
       const std::string& dir, const std::string& curve_name,
       const Universe& universe, const SfcTableOptions& options = {});
 
-  /// Opens an existing table directory from its MANIFEST.
+  /// Opens an existing table directory from its MANIFEST and replays any
+  /// live WAL files into the memtable (crash recovery).
   static Result<std::unique_ptr<SfcTable>> Open(
       const std::string& dir, const SfcTableOptions& options = {});
+
+  /// Stops the background worker WITHOUT flushing: buffered entries stay
+  /// recoverable from the WAL, exactly as after a crash. Call Close()
+  /// first for a clean shutdown.
+  ~SfcTable();
+
+  SfcTable(const SfcTable&) = delete;
+  SfcTable& operator=(const SfcTable&) = delete;
 
   const SpaceFillingCurve& curve() const { return *curve_; }
   const std::string& dir() const { return dir_; }
   uint64_t size() const;
-  size_t num_segments() const { return segments_.size(); }
-  uint64_t memtable_entries() const { return memtable_.size(); }
+  size_t num_segments() const;
+  /// Entries not yet in any segment (active memtable + pending flushes).
+  uint64_t memtable_entries() const;
+  /// Memtable generations queued for the background flush.
+  size_t pending_memtables() const;
+  /// Level/key-range/size of every live segment, L0 first (oldest to
+  /// newest), then each deeper level in key order.
+  std::vector<SegmentInfo> SegmentInfos() const;
 
-  /// Buffers a point; flushes to a new segment at the memtable threshold.
+  /// Logs and buffers a point; rotates the memtable to the background
+  /// flush queue at the threshold (blocking only on queue backpressure).
   Status Insert(const Cell& cell, uint64_t payload);
 
-  /// Persists buffered entries as a new segment (no-op when empty) and
-  /// rewrites the manifest.
+  /// Barrier: rotates any buffered entries and returns once every pending
+  /// memtable is durably flushed and background compaction has quiesced.
   Status Flush();
 
-  /// Flushes, then merges all segments into a single sorted run, retiring
-  /// and deleting the inputs.
+  /// Flushes, then merges ALL segments into a single sorted run, retiring
+  /// and deleting the inputs. Readers proceed throughout.
   Status Compact();
 
   /// All entries inside `box`, sorted by (curve key, payload). Serves
   /// flushed data through the buffer pool and unflushed data from the
-  /// memtable; updates read_stats() and io_stats().
+  /// memtables; updates read_stats() and io_stats(). Safe to call from any
+  /// number of threads, concurrently with Insert/Flush/Compact.
   std::vector<SpatialEntry> Query(const Box& box);
 
-  /// Flushes buffered writes; the table remains usable afterwards.
+  /// Flushes buffered writes (full barrier); the table remains usable.
   Status Close() { return Flush(); }
 
-  const TableReadStats& read_stats() const { return read_stats_; }
-  const IoStats& io_stats() const { return pool_.stats(); }
+  TableReadStats read_stats() const;
+  IoStats io_stats() const { return pool_.stats(); }
   void ResetStats();
 
   /// Estimated latency of the I/O accumulated since the last ResetStats().
   double EstimateCostMs(const DiskModel& model) const {
-    return model.EstimateMs(io_stats().seeks, io_stats().entries_read);
+    const IoStats io = io_stats();
+    return model.EstimateMs(io.seeks, io.entries_read);
   }
 
  private:
+  /// One live segment and its placement in the level structure.
+  struct TableSegment {
+    std::shared_ptr<SegmentReader> reader;
+    std::string file;  // basename inside dir_
+    int level = 0;
+  };
+
+  /// A rotated memtable generation waiting for the background flush,
+  /// together with the WAL files that make it durable meanwhile. Once its
+  /// segment is visible in l0_ the batch is flagged `installed` (in the
+  /// same exclusive-lock hold) and read paths skip it — it merely awaits
+  /// manifest durability before it can be popped and its WALs deleted.
+  struct PendingMemtable {
+    MemTable mem;
+    std::vector<std::string> wal_files;  // basenames
+    uint64_t max_wal_id = 0;
+    bool installed = false;
+  };
+
   SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
            const SfcTableOptions& options);
 
   std::string SegmentPath(const std::string& file) const;
-  Status WriteManifest() const;
+  std::string WalFileName(uint64_t id) const;
+  std::string WalPath(uint64_t id) const;
+  uint64_t EffectiveLevelSegmentEntries() const;
+  uint64_t LevelTargetEntries(int level) const;
 
-  std::string dir_;
-  std::unique_ptr<SpaceFillingCurve> curve_;
-  std::string curve_name_;
+  void StartWorker();
+  void BackgroundMain();
+  // All *Locked methods require mu_ held exclusively; those taking the
+  // lock by reference release it around file I/O and reacquire it.
+  // RotateMemtableLocked additionally requires wal_mu_ held (it swaps the
+  // active WAL). `min_entries` is rechecked after the backpressure wait so
+  // a waiter whose rotation was performed by another writer meanwhile does
+  // not rotate a fresh, near-empty memtable.
+  Status RotateMemtableLocked(std::unique_lock<std::shared_mutex>& lock,
+                              uint64_t min_entries);
+  void FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock);
+  void RunCompactionLocked(std::unique_lock<std::shared_mutex>& lock);
+  bool HasAutoCompactionWorkLocked() const;
+  std::string ManifestTextLocked() const;
+  Status WriteManifestFile(const std::string& text) const;
+  Status InstallManifest(std::unique_lock<std::shared_mutex>& lock);
+  void SetBackgroundErrorLocked(const Status& status);
+  /// Drops retired readers/pool frames and returns the file paths to
+  /// unlink — deletion itself happens outside the lock via
+  /// RemoveRetiredFiles (which re-locks only to stash failed unlinks in
+  /// garbage_files_ for a later retry).
+  std::vector<std::string> DetachSegmentsLocked(
+      std::vector<TableSegment> retired);
+  void RemoveRetiredFiles(std::unique_lock<std::shared_mutex>& lock,
+                          const std::vector<std::string>& doomed);
+  std::vector<TableSegment> AllSegmentsLocked() const;
+  void RemoveSegmentsByIdentityLocked(const std::vector<TableSegment>& gone);
+  static void SortByMinKey(std::vector<TableSegment>* segments);
+
+  const std::string dir_;
+  const std::unique_ptr<SpaceFillingCurve> curve_;
+  const std::string curve_name_;
   SfcTableOptions options_;
+
+  // Serializes writers (Insert / the rotation step of Flush) and pins the
+  // active WAL, so the per-record WAL I/O can run with mu_ RELEASED —
+  // readers snapshot state between any two inserts instead of stalling
+  // behind disk latency. Acquisition order: wal_mu_ strictly before mu_.
+  std::mutex wal_mu_;
+
+  mutable std::shared_mutex mu_;
+  std::condition_variable_any cv_;
   MemTable memtable_;
-  std::vector<std::unique_ptr<SegmentReader>> segments_;
-  std::vector<std::string> segment_files_;  // basenames, parallel to segments_
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<std::string> wal_files_;  // backing the active memtable
+  uint64_t max_wal_id_ = 0;
+  uint64_t next_wal_id_ = 0;
+  uint64_t wal_floor_ = 0;  // WAL ids below this are dead (fenced)
+  std::deque<PendingMemtable> pending_;
+  std::vector<TableSegment> l0_;  // oldest first; ranges may overlap
+  // levels_[i] holds level i+1, sorted by min_key, pairwise disjoint.
+  std::vector<std::vector<TableSegment>> levels_;
+  // Retired segment files whose unlink failed (e.g. still open on
+  // platforms that refuse to delete open files); retried on later
+  // retirements and in the destructor.
+  std::vector<std::string> garbage_files_;
   uint64_t next_segment_id_ = 0;
+  bool stop_ = false;
+  bool compaction_pending_ = false;
+  bool compaction_inflight_ = false;
+  bool manual_compaction_ = false;
+  Status background_error_;
+
+  // Serializes manifest installs so snapshot order equals rename order;
+  // always acquired while mu_ is NOT held (see InstallManifest).
+  std::mutex manifest_mu_;
+
+  std::thread worker_;
   BufferPool pool_;
+
+  mutable std::mutex stats_mu_;
   TableReadStats read_stats_;
 };
 

@@ -1,0 +1,85 @@
+// Write-ahead log: crash durability for the memtable.
+//
+// Every Insert() into an SfcTable is appended to the table's active WAL
+// file before it is buffered in memory, so a process crash loses nothing:
+// on Open(), the table replays every live WAL file back into the memtable.
+// A WAL file is paired with one memtable generation — when the memtable
+// rotates, the WAL rotates with it, and once that generation's segment is
+// durably on disk and referenced by the MANIFEST, the WAL file is obsolete
+// (the MANIFEST's `wal_floor` fences it off) and is deleted.
+//
+// File layout (all integers little-endian; see docs/storage_format.md):
+//
+//   offset 0   header, 16 bytes:
+//     [0]  magic "OSFCWAL1"
+//     [8]  u32 format version (currently 1)
+//     [12] u32 reserved (zero)
+//   offset 16  records, 24 bytes each, appended in insert order:
+//     [0]  u64 key
+//     [8]  u64 payload
+//     [16] u64 checksum (salted xor-rotate mix of key and payload)
+//
+// Replay validates each record's checksum and treats the first short or
+// corrupt record as the torn tail of an interrupted append: everything
+// before it is recovered, everything from it on is discarded. Appends are
+// fflush()ed to the OS on every record (survives process death); Sync()
+// additionally fsyncs (survives power loss) and is governed by
+// SfcTableOptions::wal_fsync.
+
+#ifndef ONION_STORAGE_WAL_H_
+#define ONION_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sfc/types.h"
+
+namespace onion::storage {
+
+class WalWriter {
+ public:
+  /// Creates a new WAL file at `path` (truncating any stale one) and writes
+  /// the header. When `fsync_each_append` is set every Append() is fsynced.
+  static Result<std::unique_ptr<WalWriter>> Create(std::string path,
+                                                   bool fsync_each_append);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and flushes it to the OS (plus fsync when
+  /// configured). The record is replayable as soon as this returns OK.
+  /// A failed append poisons the writer: every later Append() fails too.
+  /// A partial record may now sit at the file's tail, so acknowledging
+  /// anything written after it would be unrecoverable — replay stops at
+  /// the first torn record.
+  Status Append(Key key, uint64_t payload);
+
+  /// Forces everything appended so far to stable storage.
+  Status Sync();
+
+  uint64_t num_records() const { return num_records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, std::FILE* file, bool fsync_each_append);
+
+  std::string path_;
+  std::FILE* file_;
+  bool fsync_each_append_;
+  uint64_t num_records_ = 0;
+  Status status_;  // first append error, sticky
+};
+
+/// Replays the complete records of the WAL at `path` into `fn`, in append
+/// order, stopping silently at a torn tail. Returns the number of records
+/// replayed, or an error if the file is missing or its header is invalid.
+Result<uint64_t> ReplayWal(const std::string& path,
+                           const std::function<void(Key, uint64_t)>& fn);
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_WAL_H_

@@ -3,6 +3,7 @@
 // compaction, unflushed-memtable reads, and manifest/I/O failure modes.
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <utility>
@@ -56,7 +57,19 @@ TEST(SfcTableTest, QueryEquivalentToSpatialIndexAcrossCurves) {
       ASSERT_TRUE(table.Insert(points[i], i).ok());
       reference.Insert(points[i], i);
     }
-    EXPECT_GT(table.num_segments(), 1u);  // auto-flush kicked in
+    // First pass queries the mixed state: background-flushed segments plus
+    // whatever is still in the memtable / pending flush queue.
+    for (const auto& queries : {cubes, rects}) {
+      for (const Box& query : queries) {
+        ASSERT_EQ(Canonical(table.curve(), table.Query(query)),
+                  Canonical(reference.curve(), reference.Query(query)))
+            << name << " " << query.ToString();
+      }
+    }
+    ASSERT_TRUE(table.Flush().ok());
+    EXPECT_GT(table.num_segments(), 1u);  // auto-rotation kicked in
+    EXPECT_EQ(table.memtable_entries(), 0u);
+    // Second pass queries fully flushed segments only.
     for (const auto& queries : {cubes, rects}) {
       for (const Box& query : queries) {
         ASSERT_EQ(Canonical(table.curve(), table.Query(query)),
@@ -181,6 +194,143 @@ TEST(SfcTableTest, OpenMissingDirectoryFails) {
   auto result = SfcTable::Open(FreshDir("never_created"));
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SfcTableTest, CrashBeforeFlushRecoversFromWal) {
+  // Destroying the table without Close() stops the background worker
+  // without flushing — exactly the state a crash leaves behind. Reopen
+  // must replay every insert from the WAL.
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 1000, 71);
+  const std::string dir = FreshDir("wal_recovery");
+  {
+    auto table = SfcTable::Create(dir, "hilbert", universe);
+    ASSERT_TRUE(table.ok());
+    for (size_t i = 0; i < points.size(); ++i) {
+      ASSERT_TRUE(table.value()->Insert(points[i], i).ok());
+    }
+    EXPECT_EQ(table.value()->num_segments(), 0u);  // nothing flushed
+  }  // "crash": no Close(), no Flush()
+
+  auto reopened = SfcTable::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), points.size());
+  EXPECT_EQ(reopened.value()->memtable_entries(), points.size());
+  SpatialIndex reference(MakeCurve("hilbert", universe).value());
+  for (size_t i = 0; i < points.size(); ++i) reference.Insert(points[i], i);
+  const Box everything(Cell(0, 0), Cell(63, 63));
+  EXPECT_EQ(Canonical(reopened.value()->curve(),
+                      reopened.value()->Query(everything)),
+            Canonical(reference.curve(), reference.Query(everything)));
+}
+
+TEST(SfcTableTest, HardProcessExitRecoversFromWal) {
+  // A real crash: the child process inserts and dies via _Exit (no
+  // destructors, no buffered-stream flush beyond the WAL's own per-append
+  // flush). The parent then reopens and must see every record.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const Universe universe(2, 32);
+  const std::string dir = FreshDir("wal_hard_crash");
+  ASSERT_EXIT(
+      {
+        auto table = SfcTable::Create(dir, "zorder", universe);
+        if (!table.ok()) std::_Exit(1);
+        for (uint64_t i = 0; i < 200; ++i) {
+          const Cell cell(i % 32, (i / 32) % 32);
+          if (!table.value()->Insert(cell, i).ok()) std::_Exit(2);
+        }
+        std::_Exit(0);
+      },
+      ::testing::ExitedWithCode(0), "");
+
+  auto reopened = SfcTable::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), 200u);
+  const auto results =
+      reopened.value()->Query(Box(Cell(0, 0), Cell(31, 31)));
+  EXPECT_EQ(results.size(), 200u);
+}
+
+TEST(SfcTableTest, RecoveredEntriesAreNotDuplicatedAfterFlush) {
+  // Crash-recover, flush, crash again WITHOUT new inserts: the manifest's
+  // wal_floor must fence the replayed WAL files so the second recovery
+  // does not resurrect entries that already live in segments.
+  const Universe universe(2, 32);
+  const std::string dir = FreshDir("wal_floor");
+  {
+    auto table = SfcTable::Create(dir, "onion", universe);
+    ASSERT_TRUE(table.ok());
+    for (uint64_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE(table.value()->Insert(Cell(i % 32, i / 32), i).ok());
+    }
+  }  // crash #1
+  {
+    auto table = SfcTable::Open(dir);
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ(table.value()->size(), 50u);
+    ASSERT_TRUE(table.value()->Flush().ok());
+    EXPECT_EQ(table.value()->memtable_entries(), 0u);
+  }  // crash #2 (nothing unflushed)
+  auto table = SfcTable::Open(dir);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value()->size(), 50u);  // not 100
+  EXPECT_EQ(table.value()->memtable_entries(), 0u);
+}
+
+TEST(SfcTableTest, LeveledCompactionKeepsLevelsDisjoint) {
+  // Small thresholds force many flushes and several rounds of background
+  // leveling; afterwards every level >= 1 must hold pairwise-disjoint,
+  // key-sorted segments of bounded size, and L0 must stay under control.
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 6000, 83);
+  SfcTableOptions options;
+  options.entries_per_page = 32;
+  options.memtable_flush_entries = 250;
+  options.l0_compaction_trigger = 3;
+  options.level_growth_factor = 4;
+  auto table_result =
+      SfcTable::Create(FreshDir("leveled"), "hilbert", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  SpatialIndex reference(MakeCurve("hilbert", universe).value());
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+    reference.Insert(points[i], i);
+  }
+  ASSERT_TRUE(table.Flush().ok());
+
+  const auto infos = table.SegmentInfos();
+  ASSERT_FALSE(infos.empty());
+  int max_level = 0;
+  size_t l0_runs = 0;
+  std::vector<std::vector<std::pair<Key, Key>>> ranges_by_level(16);
+  for (const SegmentInfo& info : infos) {
+    ASSERT_GE(info.level, 0);
+    ASSERT_LT(info.level, 16);
+    max_level = std::max(max_level, info.level);
+    if (info.level == 0) {
+      ++l0_runs;
+    } else {
+      // Size-bounded up to the duplicate-key slack (a run of equal keys is
+      // never split across segments, so a cut can overshoot slightly).
+      EXPECT_LT(info.num_entries, 2 * options.memtable_flush_entries)
+          << info.file;
+      ranges_by_level[info.level].emplace_back(info.min_key, info.max_key);
+    }
+  }
+  EXPECT_GT(max_level, 0);  // compaction actually leveled something
+  EXPECT_LT(l0_runs, options.l0_compaction_trigger);
+  for (auto& ranges : ranges_by_level) {
+    std::sort(ranges.begin(), ranges.end());
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_GT(ranges[i].first, ranges[i - 1].second)
+          << "overlapping segments within a level";
+    }
+  }
+  // Leveling preserved the data.
+  const Box everything(Cell(0, 0), Cell(63, 63));
+  EXPECT_EQ(Canonical(table.curve(), table.Query(everything)),
+            Canonical(reference.curve(), reference.Query(everything)));
 }
 
 TEST(SfcTableTest, ReopenedTableAcceptsMoreInserts) {

@@ -1,0 +1,117 @@
+// Write-ahead-log unit tests: append/replay round trips, torn-tail
+// tolerance (short and corrupt records), and header validation.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/wal.h"
+
+namespace onion::storage {
+namespace {
+
+std::string FreshPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::pair<Key, uint64_t>> Replay(const std::string& path) {
+  std::vector<std::pair<Key, uint64_t>> records;
+  auto result = ReplayWal(path, [&](Key key, uint64_t payload) {
+    records.emplace_back(key, payload);
+  });
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (result.ok()) {
+    EXPECT_EQ(result.value(), records.size());
+  }
+  return records;
+}
+
+/// Byte length of the WAL file after `n` records (header + n * record).
+long FileBytes(uint64_t n) { return static_cast<long>(16 + 24 * n); }
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  const std::string path = FreshPath("wal_roundtrip.log");
+  std::vector<std::pair<Key, uint64_t>> written;
+  {
+    auto wal = WalWriter::Create(path, /*fsync_each_append=*/false);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    for (uint64_t i = 0; i < 500; ++i) {
+      const Key key = (i * 2654435761u) % 10000;  // unordered on purpose
+      ASSERT_TRUE(wal.value()->Append(key, i).ok());
+      written.emplace_back(key, i);
+    }
+    EXPECT_EQ(wal.value()->num_records(), 500u);
+  }
+  EXPECT_EQ(Replay(path), written);  // order and duplicates preserved
+}
+
+TEST(WalTest, EmptyLogReplaysNothing) {
+  const std::string path = FreshPath("wal_empty.log");
+  { ASSERT_TRUE(WalWriter::Create(path, false).ok()); }
+  EXPECT_TRUE(Replay(path).empty());
+}
+
+TEST(WalTest, TornTailIsDiscardedShortRecord) {
+  const std::string path = FreshPath("wal_torn.log");
+  {
+    auto wal = WalWriter::Create(path, false);
+    ASSERT_TRUE(wal.ok());
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(wal.value()->Append(i, i).ok());
+    }
+  }
+  // Simulate a crash mid-append: truncate into the middle of record 9.
+  ASSERT_EQ(::truncate(path.c_str(), FileBytes(9) + 7), 0);
+  const auto records = Replay(path);
+  ASSERT_EQ(records.size(), 9u);
+  EXPECT_EQ(records.back().first, 8u);
+}
+
+TEST(WalTest, CorruptChecksumStopsReplayThere) {
+  const std::string path = FreshPath("wal_corrupt.log");
+  {
+    auto wal = WalWriter::Create(path, false);
+    ASSERT_TRUE(wal.ok());
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(wal.value()->Append(i, i).ok());
+    }
+  }
+  // Flip one payload byte of record 5; its checksum no longer matches, so
+  // replay must stop after record 4 (torn-tail semantics).
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fseek(file, FileBytes(5) + 8, SEEK_SET), 0);
+  const unsigned char bad = 0xFF;
+  ASSERT_EQ(std::fwrite(&bad, 1, 1, file), 1u);
+  std::fclose(file);
+  const auto records = Replay(path);
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records.back().first, 4u);
+}
+
+TEST(WalTest, MissingFileIsNotFound) {
+  auto result = ReplayWal(FreshPath("wal_missing.log"), [](Key, uint64_t) {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WalTest, BadHeaderIsRejected) {
+  const std::string path = FreshPath("wal_badheader.log");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fputs("not a wal file at all", file);
+  std::fclose(file);
+  auto result = ReplayWal(path, [](Key, uint64_t) {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace onion::storage
