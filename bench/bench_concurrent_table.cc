@@ -11,14 +11,22 @@
 // table (crash semantics: the destructor does not flush; the WAL is the
 // only copy), then times Open()'s WAL replay and verifies the count.
 //
+// Part 3 (group commit): `--fsync_threads` committers append to one WAL
+// with a durability barrier per record (the wal_fsync insert pattern:
+// serialized Append, then WalWriter::SyncUpTo outside the lock). With one
+// thread that is one fsync per record; with several, committers share
+// leader fsyncs — the report shows records/s and the actual fsync count.
+//
 //   build/bench/bench_concurrent_table [--side=128] [--points=200000]
 //       [--readers=3] [--flush_entries=20000] [--queries_side_div=8]
+//       [--fsync_records=2000] [--fsync_threads=4]
 //       [--dir=/tmp/onion_bench_concurrent]
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +34,7 @@
 #include "common/cli.h"
 #include "sfc/registry.h"
 #include "storage/sfc_table.h"
+#include "storage/wal.h"
 #include "workloads/generators.h"
 
 int main(int argc, char** argv) {
@@ -144,5 +153,53 @@ int main(int argc, char** argv) {
               replay_secs, recovered / replay_secs,
               static_cast<unsigned long long>(recovered), points.size());
   std::filesystem::remove_all(dir);
-  return recovered == points.size() ? 0 : 1;
+  if (recovered != points.size()) return 1;
+
+  // --- Part 3: group-commit WAL fsync -----------------------------------
+  const auto fsync_records =
+      static_cast<uint64_t>(cli.GetInt("fsync_records", 2000));
+  const int fsync_threads = static_cast<int>(cli.GetInt("fsync_threads", 4));
+  std::printf("\n=== group commit: %llu durable appends (fsync before "
+              "ack) ===\n",
+              static_cast<unsigned long long>(fsync_records));
+  const auto run_committers = [&](int threads) {
+    const std::string wal_path = base_dir + "_group_commit.log";
+    std::remove(wal_path.c_str());
+    auto wal = storage::WalWriter::Create(wal_path,
+                                          /*fsync_each_append=*/false);
+    if (!wal.ok()) std::exit(1);
+    std::mutex append_mu;
+    std::atomic<uint64_t> next{0};
+    const auto start = Clock::now();
+    std::vector<std::thread> committers;
+    for (int t = 0; t < threads; ++t) {
+      committers.emplace_back([&] {
+        for (;;) {
+          const uint64_t i = next.fetch_add(1);
+          if (i >= fsync_records) return;
+          uint64_t seq = 0;
+          {
+            std::lock_guard<std::mutex> lock(append_mu);
+            if (!wal.value()->Append(i, i, &seq).ok()) std::exit(1);
+          }
+          if (!wal.value()->SyncUpTo(seq).ok()) std::exit(1);
+        }
+      });
+    }
+    for (std::thread& committer : committers) committer.join();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const uint64_t syncs = wal.value()->num_syncs();
+    std::printf("%d committer(s)          : %7.3f s  (%.0f records/s, "
+                "%llu fsyncs for %llu records, %.1f records/fsync)\n",
+                threads, secs, fsync_records / secs,
+                static_cast<unsigned long long>(syncs),
+                static_cast<unsigned long long>(fsync_records),
+                static_cast<double>(fsync_records) / syncs);
+    std::remove(wal_path.c_str());
+    return secs;
+  };
+  run_committers(1);  // baseline: every record pays its own fsync
+  run_committers(fsync_threads);
+  return 0;
 }

@@ -1,0 +1,175 @@
+// Multi-table SfcDb benchmark: K tables in ONE database share one buffer
+// pool and one background worker pool, get loaded by concurrent writers,
+// and answer box queries through streaming cursors.
+//
+// Reports:
+//   * aggregate load throughput across all tables (shared workers flush
+//     and level everything in the background, round-robin fair);
+//   * per-table query cost via cursors, with per-table IoStats attribution
+//     demonstrably separated even though the pool is shared (the summed
+//     per-table page counts equal the pool's physical aggregate);
+//   * the streaming payoff: a limit-bounded cursor touches a small
+//     fraction of the pages full materialization reads. The process exits
+//     nonzero if the bounded cursor fails to read fewer pages, so CI can
+//     run this as a smoke check.
+//
+//   build/bench/bench_multi_db [--tables=4] [--side=128] [--points=60000]
+//       [--pool_pages=256] [--workers=2] [--limit=16] [--quick=false]
+//       [--dir=/tmp/onion_bench_multi_db]
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "storage/sfc_db.h"
+#include "workloads/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  using Clock = std::chrono::steady_clock;
+  const CommandLine cli(argc, argv);
+  const bool quick = cli.GetBool("quick", false);
+  const int num_tables = static_cast<int>(cli.GetInt("tables", 4));
+  const auto side = static_cast<Coord>(cli.GetInt("side", quick ? 64 : 128));
+  const auto points_per_table =
+      static_cast<size_t>(cli.GetInt("points", quick ? 15000 : 60000));
+  const auto pool_pages =
+      static_cast<uint64_t>(cli.GetInt("pool_pages", 256));
+  const auto workers = static_cast<size_t>(cli.GetInt("workers", 2));
+  const auto limit = static_cast<uint64_t>(cli.GetInt("limit", 16));
+  const std::string dir = cli.GetString("dir", "/tmp/onion_bench_multi_db");
+  std::filesystem::remove_all(dir);
+
+  const Universe universe(2, side);
+  storage::SfcDbOptions db_options;
+  db_options.pool_pages = pool_pages;
+  db_options.num_workers = workers;
+  db_options.table_options.entries_per_page = 64;
+  db_options.table_options.memtable_flush_entries = points_per_table / 8 + 1;
+  db_options.table_options.l0_compaction_trigger = 3;
+
+  auto db_result = storage::SfcDb::Open(dir, db_options);
+  if (!db_result.ok()) {
+    std::printf("open failed: %s\n", db_result.status().ToString().c_str());
+    return 1;
+  }
+  auto& db = *db_result.value();
+  const std::vector<std::string> curves = {"onion", "hilbert", "zorder"};
+  std::vector<storage::SfcTable*> tables;
+  for (int t = 0; t < num_tables; ++t) {
+    auto table = db.CreateTable("shard" + std::to_string(t),
+                                curves[t % curves.size()], universe);
+    if (!table.ok()) {
+      std::printf("create failed: %s\n", table.status().ToString().c_str());
+      return 1;
+    }
+    tables.push_back(table.value());
+  }
+
+  std::printf("=== SfcDb: %d tables on one %llu-page pool, %zu shared "
+              "workers, %zu points each ===\n\n",
+              num_tables, static_cast<unsigned long long>(pool_pages),
+              workers, points_per_table);
+
+  // --- Load: one writer per table, background flush/leveling shared ----
+  const auto start_load = Clock::now();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < num_tables; ++t) {
+    writers.emplace_back([&, t] {
+      const auto points = RandomPoints(universe, points_per_table, 1000 + t);
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (!tables[t]->Insert(points[i], i).ok()) std::exit(1);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  for (storage::SfcTable* table : tables) {
+    if (!table->Flush().ok()) std::exit(1);
+  }
+  const double load_secs =
+      std::chrono::duration<double>(Clock::now() - start_load).count();
+  const double total_points =
+      static_cast<double>(points_per_table) * num_tables;
+  std::printf("load (concurrent writers) : %7.3f s  (%.0f inserts/s "
+              "aggregate)\n\n",
+              load_secs, total_points / load_secs);
+
+  // --- Query through cursors; attribution stays per-table --------------
+  const auto boxes = RandomCubes(universe, side / 4, quick ? 16 : 64, 77);
+  for (storage::SfcTable* table : tables) table->ResetStats();
+  const auto start_query = Clock::now();
+  uint64_t total_results = 0;
+  for (storage::SfcTable* table : tables) {
+    for (const Box& box : boxes) {
+      auto cursor = table->NewBoxCursor(box);
+      for (; cursor->Valid(); cursor->Next()) ++total_results;
+      ONION_CHECK_MSG(cursor->status().ok(),
+                      cursor->status().ToString().c_str());
+    }
+  }
+  const double query_secs =
+      std::chrono::duration<double>(Clock::now() - start_query).count();
+  std::printf("%-8s %8s %12s %12s %10s %12s\n", "table", "curve",
+              "page reads", "cache hits", "seeks", "entries");
+  uint64_t attributed_reads = 0;
+  for (int t = 0; t < num_tables; ++t) {
+    const IoStats io = tables[t]->io_stats();
+    attributed_reads += io.page_reads;
+    std::printf("%-8s %8s %12llu %12llu %10llu %12llu\n",
+                ("shard" + std::to_string(t)).c_str(),
+                tables[t]->curve().name().c_str(),
+                static_cast<unsigned long long>(io.page_reads),
+                static_cast<unsigned long long>(io.cache_hits),
+                static_cast<unsigned long long>(io.seeks),
+                static_cast<unsigned long long>(io.entries_read));
+  }
+  const IoStats pool = db.pool_stats();
+  std::printf("%zu queries/table -> %llu entries in %.3f s (%.0f queries/s "
+              "total)\n",
+              boxes.size(), static_cast<unsigned long long>(total_results),
+              query_secs,
+              boxes.size() * num_tables / query_secs);
+  std::printf("pool aggregate            : %llu page reads (sum of "
+              "per-table attributions: %llu)\n\n",
+              static_cast<unsigned long long>(pool.page_reads),
+              static_cast<unsigned long long>(attributed_reads));
+
+  // --- Streaming payoff: limit-bounded cursor vs full materialization --
+  storage::SfcTable* probe = tables[0];
+  const Box big(Cell(0, 0), Cell(side - 1, side - 1));
+  probe->ResetStats();
+  const size_t full_count = probe->Query(big).size();
+  const IoStats full_io = probe->io_stats();
+  const uint64_t full_pages = full_io.page_reads + full_io.cache_hits;
+
+  probe->ResetStats();
+  ReadOptions bounded;
+  bounded.limit = limit;
+  auto cursor = probe->NewBoxCursor(big, bounded);
+  size_t bounded_count = 0;
+  for (; cursor->Valid(); cursor->Next()) ++bounded_count;
+  ONION_CHECK_MSG(cursor->status().ok(),
+                  cursor->status().ToString().c_str());
+  const IoStats bounded_io = probe->io_stats();
+  const uint64_t bounded_pages = bounded_io.page_reads + bounded_io.cache_hits;
+
+  std::printf("full materialization      : %zu entries, %llu pages "
+              "touched\n",
+              full_count, static_cast<unsigned long long>(full_pages));
+  std::printf("cursor with limit=%-8llu: %zu entries, %llu pages touched "
+              "(%.1fx fewer)\n",
+              static_cast<unsigned long long>(limit), bounded_count,
+              static_cast<unsigned long long>(bounded_pages),
+              bounded_pages > 0
+                  ? static_cast<double>(full_pages) / bounded_pages
+                  : 0.0);
+
+  if (!db.Close().ok()) return 1;
+  std::filesystem::remove_all(dir);
+  // Smoke-check contract: early termination must actually save I/O.
+  return bounded_count == limit && bounded_pages < full_pages ? 0 : 1;
+}

@@ -19,9 +19,12 @@
 // --page=0 (auto) picks 1 entry/page in grid mode and 256 in random mode;
 // setting it explicitly exposes the granularity ablation above.
 //
+// --quick shrinks the defaults (side 64, 10 queries) so CI can smoke-run
+// the whole bench in seconds; explicit flags still win.
+//
 //   build/bench/bench_storage_engine [--side=256] [--mode=grid]
 //       [--points=120000] [--queries=50] [--page=0] [--pool_pages=64]
-//       [--csv=false] [--dir=/tmp/onion_bench_storage]
+//       [--csv=false] [--quick=false] [--dir=/tmp/onion_bench_storage]
 
 #include <cstdio>
 #include <filesystem>
@@ -39,10 +42,13 @@
 int main(int argc, char** argv) {
   using namespace onion;
   const CommandLine cli(argc, argv);
-  const auto side = static_cast<Coord>(cli.GetInt("side", 256));
+  const bool quick = cli.GetBool("quick", false);
+  const auto side = static_cast<Coord>(cli.GetInt("side", quick ? 64 : 256));
   const std::string mode = cli.GetString("mode", "grid");
-  const auto num_points = static_cast<size_t>(cli.GetInt("points", 120000));
-  const auto num_queries = static_cast<size_t>(cli.GetInt("queries", 50));
+  const auto num_points =
+      static_cast<size_t>(cli.GetInt("points", quick ? 20000 : 120000));
+  const auto num_queries =
+      static_cast<size_t>(cli.GetInt("queries", quick ? 10 : 50));
   auto page = static_cast<uint32_t>(cli.GetInt("page", 0));
   const auto pool_pages = static_cast<uint64_t>(cli.GetInt("pool_pages", 64));
   const bool csv = cli.GetBool("csv", false);
@@ -114,7 +120,12 @@ int main(int argc, char** argv) {
       table.ResetStats();
       uint64_t results = 0;
       for (const Box& query : workload.queries) {
-        results += table.Query(query).size();
+        // Stream through the cursor API: same I/O pattern as Query(), but
+        // nothing is materialized, which is how a server would read.
+        auto cursor = table.NewBoxCursor(query);
+        for (; cursor->Valid(); cursor->Next()) ++results;
+        ONION_CHECK_MSG(cursor->status().ok(),
+                        cursor->status().ToString().c_str());
       }
       const IoStats& io = table.io_stats();
       const ClusteringEvaluator evaluator(&table.curve());

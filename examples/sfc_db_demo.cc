@@ -1,0 +1,92 @@
+// Walkthrough of the multi-table catalog: open an SfcDb, create several
+// tables keyed by different curves that share one buffer pool and one
+// background worker pool, stream queries through cursors, drop a table,
+// and reopen the database to show the catalog persists.
+//
+//   build/examples/sfc_db_demo [--dir=/tmp/onion_db_demo]
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "storage/sfc_db.h"
+#include "workloads/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace onion;
+  const CommandLine cli(argc, argv);
+  const std::string dir = cli.GetString("dir", "/tmp/onion_db_demo");
+  std::filesystem::remove_all(dir);
+
+  const Universe universe(2, 64);
+  storage::SfcDbOptions options;
+  options.pool_pages = 128;  // ONE pool serving every table below
+  options.num_workers = 2;   // ONE worker pool flushing all of them
+  options.table_options.entries_per_page = 64;
+  options.table_options.memtable_flush_entries = 2000;
+
+  auto db_result = storage::SfcDb::Open(dir, options);
+  ONION_CHECK_MSG(db_result.ok(), db_result.status().ToString().c_str());
+  auto& db = *db_result.value();
+  std::printf("opened database %s (%llu-page shared pool, %zu workers)\n",
+              dir.c_str(),
+              static_cast<unsigned long long>(options.pool_pages),
+              db.num_workers());
+
+  // One table per curve, all fed concurrently through the shared workers.
+  const auto points = ClusteredPoints(universe, 8000, 6, 8, 19);
+  for (const std::string curve : {"onion", "hilbert", "zorder"}) {
+    auto table = db.CreateTable(curve, curve, universe);
+    ONION_CHECK_MSG(table.ok(), table.status().ToString().c_str());
+    for (size_t i = 0; i < points.size(); ++i) {
+      ONION_CHECK(table.value()->Insert(points[i], i).ok());
+    }
+    ONION_CHECK(table.value()->Flush().ok());
+  }
+  std::printf("created tables:");
+  for (const std::string& name : db.ListTables()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // The same box, streamed from every table: per-table I/O attribution
+  // stays separate even though all pages flow through one pool.
+  const Box box(Cell(8, 8), Cell(39, 31));
+  std::printf("cursor over %s per table:\n", box.ToString().c_str());
+  for (const std::string& name : db.ListTables()) {
+    storage::SfcTable* table = db.GetTable(name);
+    table->ResetStats();
+    auto cursor = table->NewBoxCursor(box);
+    size_t count = 0;
+    for (; cursor->Valid(); cursor->Next()) ++count;
+    const IoStats io = table->io_stats();
+    std::printf("  %-8s %5zu entries, %4llu page reads, %3llu seeks\n",
+                name.c_str(), count,
+                static_cast<unsigned long long>(io.page_reads),
+                static_cast<unsigned long long>(io.seeks));
+  }
+  const IoStats pool = db.pool_stats();
+  std::printf("pool aggregate: %llu page reads, %llu resident pages\n\n",
+              static_cast<unsigned long long>(pool.page_reads),
+              static_cast<unsigned long long>(db.pool_resident_pages()));
+
+  // Drop one table; the catalog update is atomic and the name is free.
+  ONION_CHECK(db.DropTable("zorder").ok());
+  ONION_CHECK(db.Close().ok());
+
+  // Reopen: the catalog (minus the dropped table) persisted.
+  auto reopened = storage::SfcDb::Open(dir);
+  ONION_CHECK_MSG(reopened.ok(), reopened.status().ToString().c_str());
+  std::printf("reopened %s; catalog:", dir.c_str());
+  for (const std::string& name : reopened.value()->ListTables()) {
+    std::printf(" %s", name.c_str());
+  }
+  auto hilbert = reopened.value()->OpenTable("hilbert");
+  ONION_CHECK_MSG(hilbert.ok(), hilbert.status().ToString().c_str());
+  auto cursor = hilbert.value()->NewBoxCursor(box);
+  std::printf("\nhilbert after reopen: %zu entries in the same box\n",
+              DrainCursor(cursor.get()).size());
+  return 0;
+}

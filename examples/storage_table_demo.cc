@@ -1,13 +1,15 @@
 // Walkthrough of the persistent storage engine: create an SfcTable keyed by
 // a space-filling curve, insert clustered points, flush to segment files,
-// query with measured I/O, then close and reopen the table to show the
-// results survive on disk.
+// stream a box query through a cursor with measured I/O (including an
+// early-terminated, limit-bounded read), then close and reopen the table
+// to show the results survive on disk.
 //
 //   build/examples/storage_table_demo [--dir=/tmp/onion_table_demo]
 
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/cli.h"
 #include "index/disk_model.h"
@@ -49,10 +51,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(table.size()),
               table.num_segments());
 
+  // Stream the box through the cursor API — entries arrive in curve-key
+  // order and I/O happens page by page as the cursor advances.
   const Box query(Cell(20, 20), Cell(59, 49));
-  auto results = table.Query(query);
-  std::printf("\nquery %s -> %zu entries\n", query.ToString().c_str(),
-              results.size());
+  auto cursor = table.NewBoxCursor(query);
+  std::vector<SpatialEntry> results = DrainCursor(cursor.get());
+  ONION_CHECK_MSG(cursor->status().ok(), cursor->status().ToString().c_str());
+  std::printf("\nbox cursor over %s -> %zu entries\n",
+              query.ToString().c_str(), results.size());
   std::printf("  decomposed into %llu key ranges; io: %llu page reads, "
               "%llu seeks, %llu cache hits\n",
               static_cast<unsigned long long>(table.read_stats().ranges),
@@ -62,6 +68,21 @@ int main(int argc, char** argv) {
   std::printf("  estimated cost: %.2f ms (HDD), %.3f ms (SSD)\n",
               table.EstimateCostMs(DiskModel::Hdd()),
               table.EstimateCostMs(DiskModel::Ssd()));
+
+  // Early termination: a bounded cursor stops after `limit` entries and
+  // skips the I/O full materialization would have paid.
+  table.ResetStats();
+  ReadOptions first_page_only;
+  first_page_only.limit = 10;
+  auto limited = table.NewBoxCursor(query, first_page_only);
+  size_t streamed = 0;
+  for (; limited->Valid(); limited->Next()) ++streamed;
+  std::printf("  limit=10 cursor          -> %zu entries, %llu page "
+              "fetches, budget hit: %s\n",
+              streamed,
+              static_cast<unsigned long long>(table.io_stats().page_reads +
+                                              table.io_stats().cache_hits),
+              limited->hit_read_budget() ? "yes" : "no");
 
   std::printf("\ncompacting %zu segment(s) into one run...\n",
               table.num_segments());
@@ -73,7 +94,9 @@ int main(int argc, char** argv) {
               results.size(),
               static_cast<unsigned long long>(table.io_stats().seeks));
 
-  // Reopen from disk: nothing lives in memory but the manifest path.
+  // Clean shutdown (flush + stop background work), then reopen from disk:
+  // nothing lives in memory but the manifest path.
+  ONION_CHECK_MSG(table.Close().ok(), "close failed");
   table_result.value().reset();
   auto reopened = storage::SfcTable::Open(dir);
   ONION_CHECK_MSG(reopened.ok(), reopened.status().ToString().c_str());

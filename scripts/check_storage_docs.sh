@@ -1,20 +1,30 @@
 #!/usr/bin/env sh
 # Docs coverage check (run by CI, runnable locally from the repo root):
-# every file under src/storage/ must be mentioned by name in
-# docs/storage_format.md or README.md, so the on-disk format spec and the
-# architecture map can never silently drift behind the code.
+# 1. every file under src/storage/ must be mentioned by name in
+#    docs/storage_format.md, docs/api.md, or README.md, so the on-disk
+#    format spec and the architecture map can never silently drift behind
+#    the code;
+# 2. the core query/catalog API names must appear in docs/api.md, so the
+#    cursor/catalog documentation cannot silently rot either.
 set -eu
 
 cd "$(dirname "$0")/.."
 fail=0
 for path in src/storage/*; do
   name="$(basename "$path")"
-  if ! grep -q "$name" docs/storage_format.md README.md; then
-    echo "UNDOCUMENTED: $path (mention it in docs/storage_format.md or README.md)"
+  if ! grep -q "$name" docs/storage_format.md docs/api.md README.md; then
+    echo "UNDOCUMENTED: $path (mention it in docs/storage_format.md, docs/api.md, or README.md)"
+    fail=1
+  fi
+done
+for symbol in SfcDb SfcTable Cursor ReadOptions NewBoxCursor NewScanCursor \
+              DrainCursor SyncUpTo CreateTable DropTable hit_read_budget; do
+  if ! grep -q "$symbol" docs/api.md; then
+    echo "UNDOCUMENTED API: $symbol (document it in docs/api.md)"
     fail=1
   fi
 done
 if [ "$fail" -eq 0 ]; then
-  echo "docs check OK: every src/storage/ file is documented"
+  echo "docs check OK: every src/storage/ file and core API name is documented"
 fi
 exit "$fail"

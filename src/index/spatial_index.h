@@ -7,6 +7,9 @@
 // This index is purely in-memory; its persistent, file-backed twin is
 // storage::SfcTable (storage/sfc_table.h), which serves the same queries
 // from on-disk segments through a buffer pool and reports measured I/O.
+// Both expose the same streaming Cursor interface (storage/cursor.h) —
+// NewBoxCursor / NewScanCursor / Get — so the in-memory and on-disk paths
+// are drop-in interchangeable; SpatialEntry itself lives in cursor.h.
 
 #ifndef ONION_INDEX_SPATIAL_INDEX_H_
 #define ONION_INDEX_SPATIAL_INDEX_H_
@@ -17,6 +20,7 @@
 #include "index/bptree.h"
 #include "index/decompose.h"
 #include "sfc/curve.h"
+#include "storage/cursor.h"
 
 namespace onion {
 
@@ -27,12 +31,6 @@ struct QueryStats {
   TreeStats tree;       ///< physical B+-tree work
 
   void Reset() { *this = QueryStats{}; }
-};
-
-/// A spatial point with an opaque payload id.
-struct SpatialEntry {
-  Cell cell;
-  uint64_t payload = 0;
 };
 
 class SpatialIndex {
@@ -62,7 +60,24 @@ class SpatialIndex {
     return tree_.Lookup(curve_->IndexOf(cell));
   }
 
+  /// Status-returning point lookup, interface-compatible with
+  /// SfcTable::Get: OutOfRange for a cell outside the universe.
+  Result<std::vector<uint64_t>> Get(const Cell& cell) const;
+
+  /// Streams every entry inside `box` in (curve key, payload) order.
+  /// Same interface as SfcTable::NewBoxCursor: an out-of-universe box
+  /// arrives as a cursor whose status() is not OK, and options.limit caps
+  /// delivered entries (the page/byte bounds have no meaning in memory).
+  /// Updates stats(); the cursor must not outlive this index.
+  std::unique_ptr<Cursor> NewBoxCursor(const Box& box,
+                                       const ReadOptions& options = {}) const;
+
+  /// Streams the whole index in (curve key, payload) order.
+  std::unique_ptr<Cursor> NewScanCursor(const ReadOptions& options = {}) const;
+
   /// All entries inside `box`, in curve-key order. Updates `stats_`.
+  /// (The materializing twin of NewBoxCursor; kept as the convenience
+  /// API for in-memory use, where results were always materialized.)
   std::vector<SpatialEntry> Query(const Box& box) const;
 
   /// Statistics accumulated by Query calls since the last Reset.
@@ -70,6 +85,9 @@ class SpatialIndex {
   void ResetStats() { stats_.Reset(); }
 
  private:
+  std::vector<SpatialEntry> Materialize(const std::vector<KeyRange>& ranges,
+                                        uint64_t limit) const;
+
   std::unique_ptr<SpaceFillingCurve> curve_;
   BPlusTree<uint64_t> tree_;
   mutable QueryStats stats_;

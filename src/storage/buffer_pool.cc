@@ -9,12 +9,15 @@ BufferPool::BufferPool(uint64_t capacity_pages) : capacity_(capacity_pages) {
 }
 
 std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
-    const PageSource& source, uint64_t page) {
+    const PageSource& source, uint64_t page, AtomicIoStats* attribution) {
   const FrameKey key{source.source_id(), page};
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = resident_.find(key);
   if (it != resident_.end()) {
     ++stats_.cache_hits;
+    if (attribution != nullptr) {
+      attribution->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
     return lru_.front().data;
   }
@@ -22,9 +25,12 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
   // release the lock for the actual I/O so concurrent readers of other
   // pages are not held up behind this one.
   ++stats_.page_reads;
-  if (source.source_id() != last_disk_source_ ||
-      page != last_disk_page_ + 1) {
-    ++stats_.seeks;
+  const bool seek = source.source_id() != last_disk_source_ ||
+                    page != last_disk_page_ + 1;
+  if (seek) ++stats_.seeks;
+  if (attribution != nullptr) {
+    attribution->page_reads.fetch_add(1, std::memory_order_relaxed);
+    if (seek) attribution->seeks.fetch_add(1, std::memory_order_relaxed);
   }
   last_disk_source_ = source.source_id();
   last_disk_page_ = page;
@@ -83,7 +89,11 @@ uint64_t BufferPool::resident_pages() const {
   return lru_.size();
 }
 
-void BufferPool::AddEntriesRead(uint64_t count) {
+void BufferPool::AddEntriesRead(uint64_t count, AtomicIoStats* attribution) {
+  if (count == 0) return;
+  if (attribution != nullptr) {
+    attribution->entries_read.fetch_add(count, std::memory_order_relaxed);
+  }
   std::unique_lock<std::shared_mutex> lock(mu_);
   stats_.entries_read += count;
 }

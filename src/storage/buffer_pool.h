@@ -42,22 +42,26 @@ class BufferPool {
 
   /// Ensures the page is resident and returns its entries. The returned
   /// data stays valid for as long as the caller holds the pointer, even if
-  /// the frame is evicted or its source is Drop()ped meanwhile.
-  std::shared_ptr<const std::vector<Entry>> Fetch(const PageSource& source,
-                                                  uint64_t page);
+  /// the frame is evicted or its source is Drop()ped meanwhile. When
+  /// `attribution` is non-null the same counter increments land there too
+  /// (relaxed atomics), attributing the I/O to one client of a shared pool.
+  std::shared_ptr<const std::vector<Entry>> Fetch(
+      const PageSource& source, uint64_t page,
+      AtomicIoStats* attribution = nullptr);
 
   /// Scans all entries of `source` with lo <= key <= hi through the pool,
   /// invoking fn(key, payload). Page selection and loop termination use the
   /// fence index only; pages are read exclusively via Fetch().
   template <typename Fn>
-  void ScanRange(const PageSource& source, Key lo, Key hi, Fn&& fn) {
+  void ScanRange(const PageSource& source, Key lo, Key hi, Fn&& fn,
+                 AtomicIoStats* attribution = nullptr) {
     const uint64_t pages = source.num_pages();
     uint64_t delivered = 0;
     for (uint64_t page = source.PageOf(lo); page < pages; ++page) {
       // Fence test: this page starts past the range, so neither it nor any
       // later page can contribute — stop without I/O.
       if (source.first_key(page) > hi) break;
-      const auto data = Fetch(source, page);
+      const auto data = Fetch(source, page, attribution);
       for (const Entry& entry : *data) {
         if (entry.key < lo) continue;
         if (entry.key > hi) break;
@@ -65,8 +69,13 @@ class BufferPool {
         fn(entry.key, entry.payload);
       }
     }
-    AddEntriesRead(delivered);
+    AddEntriesRead(delivered, attribution);
   }
+
+  /// Credits entries delivered to a caller that fetches pages itself (the
+  /// streaming cursor does) so `entries_read` stays comparable between the
+  /// scan and cursor paths.
+  void AddEntriesRead(uint64_t count, AtomicIoStats* attribution = nullptr);
 
   /// Discards all frames of `source` (used when a segment is retired by
   /// compaction). Does not count as I/O.
@@ -94,8 +103,6 @@ class BufferPool {
       return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
     }
   };
-
-  void AddEntriesRead(uint64_t count);
 
   const uint64_t capacity_;
   mutable std::shared_mutex mu_;

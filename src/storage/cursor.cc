@@ -1,0 +1,368 @@
+#include "storage/cursor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/clustering.h"
+#include "common/macros.h"
+#include "sfc/curve.h"
+#include "storage/buffer_pool.h"
+#include "storage/segment.h"
+
+namespace onion {
+
+std::vector<SpatialEntry> DrainCursor(Cursor* cursor) {
+  std::vector<SpatialEntry> out;
+  for (; cursor->Valid(); cursor->Next()) out.push_back(cursor->entry());
+  return out;
+}
+
+namespace {
+
+/// Iterates an eagerly-materialized result vector; `limit` is the only
+/// ReadOptions bound that applies (there are no pages to budget).
+class VectorCursor final : public Cursor {
+ public:
+  VectorCursor(std::vector<SpatialEntry> entries, const ReadOptions& options)
+      : entries_(std::move(entries)), limit_(options.limit) {}
+
+  bool Valid() const override {
+    return pos_ < entries_.size() && (limit_ == 0 || pos_ < limit_);
+  }
+  void Next() override {
+    ONION_CHECK(Valid());
+    ++pos_;
+  }
+  const SpatialEntry& entry() const override {
+    ONION_CHECK(Valid());
+    return entries_[pos_];
+  }
+  Status status() const override { return Status::OK(); }
+  bool hit_read_budget() const override {
+    return limit_ != 0 && pos_ >= limit_ && pos_ < entries_.size();
+  }
+
+ private:
+  const std::vector<SpatialEntry> entries_;
+  const uint64_t limit_;
+  size_t pos_ = 0;
+};
+
+/// Invalid from birth; carries the error that prevented iteration.
+class ErrorCursor final : public Cursor {
+ public:
+  explicit ErrorCursor(Status status) : status_(std::move(status)) {
+    ONION_CHECK_MSG(!status_.ok(), "error cursor needs a non-OK status");
+  }
+
+  bool Valid() const override { return false; }
+  void Next() override { ONION_CHECK_MSG(false, "Next() on an error cursor"); }
+  const SpatialEntry& entry() const override {
+    ONION_CHECK_MSG(false, "entry() on an error cursor");
+    return entry_;  // unreachable
+  }
+  Status status() const override { return status_; }
+
+ private:
+  const Status status_;
+  const SpatialEntry entry_{};
+};
+
+}  // namespace
+
+std::unique_ptr<Cursor> NewVectorCursor(std::vector<SpatialEntry> entries,
+                                        const ReadOptions& options) {
+  return std::make_unique<VectorCursor>(std::move(entries), options);
+}
+
+std::unique_ptr<Cursor> NewErrorCursor(Status status) {
+  return std::make_unique<ErrorCursor>(std::move(status));
+}
+
+namespace storage {
+namespace {
+
+/// The streaming k-way merge behind SfcTable::NewBoxCursor/NewScanCursor.
+///
+/// Work proceeds range by range (ranges are sorted and disjoint, so
+/// concatenating per-range merges yields global key order). Within a range
+/// the merge sources are: the memtable snapshot (one source), every
+/// overlapping L0 run (one source each — L0 runs may overlap each other),
+/// and per deeper level the contiguous run of disjoint segments the range
+/// spans (one source per level, advancing segment to segment). Pages are
+/// fetched one at a time through the buffer pool, so stopping the cursor
+/// early really does skip the remaining I/O.
+class SnapshotCursor final : public Cursor {
+ public:
+  SnapshotCursor(const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
+                 std::vector<Entry> memtable_entries, SegmentSnapshot segments,
+                 std::shared_ptr<BufferPool> pool, AtomicIoStats* io_stats,
+                 const ReadOptions& options)
+      : curve_(curve),
+        ranges_(std::move(ranges)),
+        mem_(std::move(memtable_entries)),
+        snapshot_(std::move(segments)),
+        pool_(std::move(pool)),
+        io_stats_(io_stats),
+        options_(options) {
+    if (!ranges_.empty() && BeginRange()) FindNext();
+    else valid_ = false;
+  }
+
+  ~SnapshotCursor() override {
+    // Pool-global entries_read is batched here (per-entry attribution went
+    // to io_stats_ immediately); the pool outlives the cursor by contract.
+    if (pool_ != nullptr && pending_entries_read_ > 0) {
+      pool_->AddEntriesRead(pending_entries_read_, nullptr);
+    }
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void Next() override {
+    ONION_CHECK_MSG(valid_, "Next() on an invalid cursor");
+    valid_ = false;
+    AdvanceSource(&sources_[current_src_], ranges_[range_idx_].hi);
+    FindNext();
+  }
+
+  const SpatialEntry& entry() const override {
+    ONION_CHECK_MSG(valid_, "entry() on an invalid cursor");
+    return current_;
+  }
+
+  Status status() const override { return status_; }
+  bool hit_read_budget() const override { return budget_hit_; }
+
+ private:
+  /// One merge source of the current range. Either the memtable snapshot
+  /// (is_mem, pos indexes mem_) or a chain of segments scanned in order
+  /// (a single L0 run, or a level's contiguous overlapping group).
+  struct Source {
+    std::vector<const SegmentReader*> chain;
+    size_t chain_idx = 0;
+    std::shared_ptr<const std::vector<Entry>> page;
+    uint64_t page_no = 0;
+    size_t pos = 0;  // index into *page, or into mem_ for the mem source
+    Entry head{};
+    bool valid = false;
+    bool is_mem = false;
+  };
+
+  static bool EntryLess(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.payload < b.payload;
+  }
+
+  /// Fetches one page through the pool unless a page/byte bound says stop.
+  /// Returns false (and flags budget_hit_) without fetching when a bound
+  /// is reached.
+  bool FetchPage(const SegmentReader& segment, uint64_t page_no,
+                 std::shared_ptr<const std::vector<Entry>>* out) {
+    if ((options_.max_pages != 0 && pages_touched_ >= options_.max_pages) ||
+        (options_.max_bytes != 0 && bytes_fetched_ >= options_.max_bytes)) {
+      budget_hit_ = true;
+      return false;
+    }
+    *out = pool_->Fetch(segment, page_no, io_stats_);
+    ++pages_touched_;
+    bytes_fetched_ +=
+        static_cast<uint64_t>(segment.entries_per_page()) * kEntryBytes;
+    return true;
+  }
+
+  /// Positions `s` at its first entry with lo <= key <= hi, starting from
+  /// s->chain_idx. Returns false only on a budget stop; otherwise s->valid
+  /// says whether an entry was found.
+  bool SeekChain(Source* s, Key lo, Key hi) {
+    for (; s->chain_idx < s->chain.size(); ++s->chain_idx) {
+      const SegmentReader& segment = *s->chain[s->chain_idx];
+      if (segment.num_entries() == 0 || segment.max_key() < lo) continue;
+      if (segment.min_key() > hi) break;  // chain ascends: nothing further
+      const uint64_t pages = segment.num_pages();
+      bool past_hi = false;
+      for (uint64_t page_no = segment.PageOf(lo);
+           page_no < pages && segment.first_key(page_no) <= hi; ++page_no) {
+        if (!FetchPage(segment, page_no, &s->page)) return false;
+        const auto& data = *s->page;
+        const size_t pos = static_cast<size_t>(
+            std::lower_bound(data.begin(), data.end(), lo,
+                             [](const Entry& e, Key k) { return e.key < k; }) -
+            data.begin());
+        if (pos == data.size()) continue;  // whole page below lo
+        if (data[pos].key > hi) {
+          past_hi = true;  // rest of this segment (and the chain) is past hi
+          break;
+        }
+        s->page_no = page_no;
+        s->pos = pos;
+        s->head = data[pos];
+        s->valid = true;
+        return true;
+      }
+      if (past_hi) break;
+    }
+    s->valid = false;
+    return true;
+  }
+
+  /// Steps `s` past its current head, staying within key <= hi. Returns
+  /// false only on a budget stop.
+  bool AdvanceSource(Source* s, Key hi) {
+    if (s->is_mem) {
+      ++s->pos;
+      if (s->pos < mem_.size() && mem_[s->pos].key <= hi) {
+        s->head = mem_[s->pos];
+      } else {
+        s->valid = false;
+      }
+      return true;
+    }
+    ++s->pos;
+    if (s->pos < s->page->size()) {
+      const Entry& e = (*s->page)[s->pos];
+      if (e.key <= hi) {
+        s->head = e;
+        return true;
+      }
+      s->valid = false;
+      return true;
+    }
+    const SegmentReader& segment = *s->chain[s->chain_idx];
+    ++s->page_no;
+    if (s->page_no < segment.num_pages() &&
+        segment.first_key(s->page_no) <= hi) {
+      if (!FetchPage(segment, s->page_no, &s->page)) return false;
+      s->pos = 0;
+      s->head = (*s->page)[0];  // first_key <= hi, and pages are non-empty
+      return true;
+    }
+    // Segment exhausted for this range; the next chain segment (if any)
+    // starts strictly above every key consumed so far.
+    ++s->chain_idx;
+    return SeekChain(s, s->head.key, hi);
+  }
+
+  /// Builds the merge sources of ranges_[range_idx_]. Returns false only
+  /// on a budget stop.
+  bool BeginRange() {
+    sources_.clear();
+    const KeyRange& range = ranges_[range_idx_];
+    if (!mem_.empty()) {
+      Source s;
+      s.is_mem = true;
+      s.pos = static_cast<size_t>(
+          std::lower_bound(mem_.begin(), mem_.end(), range.lo,
+                           [](const Entry& e, Key k) { return e.key < k; }) -
+          mem_.begin());
+      if (s.pos < mem_.size() && mem_[s.pos].key <= range.hi) {
+        s.head = mem_[s.pos];
+        s.valid = true;
+        sources_.push_back(std::move(s));
+      }
+    }
+    for (const auto& segment : snapshot_.l0) {
+      if (segment->num_entries() == 0 || range.hi < segment->min_key() ||
+          range.lo > segment->max_key()) {
+        continue;
+      }
+      Source s;
+      s.chain = {segment.get()};
+      if (!SeekChain(&s, range.lo, range.hi)) return false;
+      if (s.valid) sources_.push_back(std::move(s));
+    }
+    for (const auto& level : snapshot_.levels) {
+      // Disjoint sorted level: binary search to the first segment that can
+      // overlap, then take the contiguous overlapping run as one chain.
+      auto it = std::lower_bound(
+          level.begin(), level.end(), range.lo,
+          [](const std::shared_ptr<SegmentReader>& segment, Key lo) {
+            return segment->max_key() < lo;
+          });
+      Source s;
+      for (; it != level.end() && (*it)->min_key() <= range.hi; ++it) {
+        s.chain.push_back(it->get());
+      }
+      if (s.chain.empty()) continue;
+      if (!SeekChain(&s, range.lo, range.hi)) return false;
+      if (s.valid) sources_.push_back(std::move(s));
+    }
+    return true;
+  }
+
+  /// Establishes the next current entry (smallest head across sources,
+  /// advancing through ranges as they drain) or ends the cursor.
+  void FindNext() {
+    for (;;) {
+      if (budget_hit_ || !status_.ok()) return;  // valid_ stays false
+      int best = -1;
+      for (size_t i = 0; i < sources_.size(); ++i) {
+        if (!sources_[i].valid) continue;
+        if (best < 0 || EntryLess(sources_[i].head, sources_[best].head)) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        ++range_idx_;
+        if (range_idx_ >= ranges_.size()) return;  // exhausted: clean end
+        if (!BeginRange()) return;                 // budget stop mid-build
+        continue;
+      }
+      // The limit check sits AFTER the next entry was found: when the
+      // data runs out exactly at the limit, the cursor ends as exhausted
+      // (hit_read_budget() false), matching the contract that the flag
+      // means "stopped early", not "delivered exactly limit".
+      if (options_.limit != 0 && delivered_ >= options_.limit) {
+        budget_hit_ = true;
+        return;
+      }
+      current_src_ = static_cast<size_t>(best);
+      const Entry& e = sources_[current_src_].head;
+      current_ = SpatialEntry{curve_->CellAt(e.key), e.payload};
+      ++delivered_;
+      if (!sources_[current_src_].is_mem) {
+        ++pending_entries_read_;
+        if (io_stats_ != nullptr) {
+          io_stats_->entries_read.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      valid_ = true;
+      return;
+    }
+  }
+
+  const SpaceFillingCurve* const curve_;
+  const std::vector<KeyRange> ranges_;
+  const std::vector<Entry> mem_;  // sorted by (key, payload)
+  const SegmentSnapshot snapshot_;
+  const std::shared_ptr<BufferPool> pool_;
+  AtomicIoStats* const io_stats_;
+  const ReadOptions options_;
+
+  std::vector<Source> sources_;
+  size_t range_idx_ = 0;
+  size_t current_src_ = 0;
+  SpatialEntry current_{};
+  bool valid_ = false;
+  bool budget_hit_ = false;
+  uint64_t delivered_ = 0;
+  uint64_t pages_touched_ = 0;
+  uint64_t bytes_fetched_ = 0;
+  uint64_t pending_entries_read_ = 0;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Cursor> NewSnapshotCursor(
+    const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
+    std::vector<Entry> memtable_entries, SegmentSnapshot segments,
+    std::shared_ptr<BufferPool> pool, AtomicIoStats* io_stats,
+    const ReadOptions& options) {
+  return std::make_unique<SnapshotCursor>(
+      curve, std::move(ranges), std::move(memtable_entries),
+      std::move(segments), std::move(pool), io_stats, options);
+}
+
+}  // namespace storage
+}  // namespace onion

@@ -1,0 +1,148 @@
+// The streaming query primitive shared by the in-memory SpatialIndex and
+// the persistent SfcTable.
+//
+// A Cursor is a pull-based iterator over the entries of one box query (or a
+// full scan): the caller drives it with Valid()/Next()/entry() and may stop
+// at any point, so a query over a huge region no longer materializes its
+// whole result set before the first entry is seen. Both engines hand out
+// the same interface — SfcTable::NewBoxCursor() streams from a consistent
+// snapshot of segment files and frozen memtables through the buffer pool,
+// SpatialIndex::NewBoxCursor() streams from the B+-tree — so callers can
+// swap the in-memory and on-disk paths without code changes.
+//
+// Errors travel through status() instead of silently-empty results: a
+// cursor over an invalid box (or a table with a background error) is
+// !Valid() with a non-OK status from the start.
+//
+// ReadOptions bound the work a cursor may do: `limit` caps delivered
+// entries, `max_pages` and `max_bytes` cap page fetches (storage cursors
+// only). A cursor that stops because a bound was hit reports
+// hit_read_budget() == true with an OK status — truncation is not an
+// error, but it is observable.
+//
+// SpatialEntry and the cursor vocabulary live in the top-level onion
+// namespace (like IoStats) because they are shared between src/index and
+// src/storage; the storage-snapshot cursor factory lives in onion::storage.
+// This header deliberately stays lightweight — the storage machinery
+// (SegmentReader, BufferPool, the curve) is only forward-declared, so the
+// purely in-memory index layer does not transitively include the disk
+// engine's headers.
+//
+// Lifetime: a cursor snapshots immutable state (segment readers are kept
+// alive via shared_ptr even across compaction; matching memtable entries
+// are copied at creation), but it borrows its engine's curve, buffer pool,
+// and stats sinks — a cursor must not outlive the SfcTable / SpatialIndex
+// that produced it.
+
+#ifndef ONION_STORAGE_CURSOR_H_
+#define ONION_STORAGE_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "sfc/types.h"
+#include "storage/io_stats.h"
+
+namespace onion {
+
+class SpaceFillingCurve;
+struct KeyRange;
+
+/// A spatial point with an opaque payload id (the unit every query
+/// interface returns; historically defined in index/spatial_index.h).
+struct SpatialEntry {
+  Cell cell;
+  uint64_t payload = 0;
+};
+
+/// Per-read knobs honored by every cursor. Zero means "unbounded".
+struct ReadOptions {
+  /// Stop after this many entries have been delivered.
+  uint64_t limit = 0;
+  /// Stop before touching more than this many pages (buffer-pool fetches,
+  /// resident or not). Storage cursors only; ignored in memory.
+  uint64_t max_pages = 0;
+  /// Stop before fetching more than this many bytes of page data.
+  /// Storage cursors only; ignored in memory.
+  uint64_t max_bytes = 0;
+};
+
+/// Pull-based streaming iterator over query results, delivered in
+/// nondecreasing curve-key order (ties between equal keys are in
+/// unspecified order; sort by (key, payload) if you need the historical
+/// Query() ordering).
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  /// True while a current entry exists. A cursor that starts in an error
+  /// state, exhausts its data, hits a ReadOptions bound, or fails mid-read
+  /// becomes permanently invalid.
+  virtual bool Valid() const = 0;
+
+  /// Advances to the next entry. Requires Valid().
+  virtual void Next() = 0;
+
+  /// The current entry. Requires Valid(); the reference is stable until
+  /// the next Next() call.
+  virtual const SpatialEntry& entry() const = 0;
+
+  /// OK unless the cursor failed (invalid box, background error, ...).
+  /// Check after the cursor goes !Valid() to distinguish exhaustion from
+  /// failure.
+  virtual Status status() const = 0;
+
+  /// True when iteration stopped early because a ReadOptions bound
+  /// (limit / max_pages / max_bytes) was reached, not because the data ran
+  /// out. status() stays OK in that case.
+  virtual bool hit_read_budget() const { return false; }
+};
+
+/// Drains `cursor` into a vector (entries in cursor order). A convenience
+/// for callers that do want full materialization.
+std::vector<SpatialEntry> DrainCursor(Cursor* cursor);
+
+/// A cursor over an already-materialized result vector (sorted by the
+/// producer); honors options.limit. The in-memory SpatialIndex uses this.
+std::unique_ptr<Cursor> NewVectorCursor(std::vector<SpatialEntry> entries,
+                                        const ReadOptions& options);
+
+/// An immediately-invalid cursor carrying `status` (must not be OK).
+std::unique_ptr<Cursor> NewErrorCursor(Status status);
+
+namespace storage {
+
+class BufferPool;
+class SegmentReader;
+struct Entry;
+
+/// A consistent read snapshot of an SfcTable's segment structure, taken
+/// under the table lock. The shared_ptrs keep retired segments readable
+/// for as long as the cursor lives, even across compaction.
+struct SegmentSnapshot {
+  /// Level-0 runs, oldest first; key ranges may overlap.
+  std::vector<std::shared_ptr<SegmentReader>> l0;
+  /// levels[i] is level i+1: sorted by min_key, pairwise disjoint.
+  std::vector<std::vector<std::shared_ptr<SegmentReader>>> levels;
+};
+
+/// Streaming k-way-merge cursor over one query's decomposed key ranges:
+/// for each range (in order) it lazily merges the memtable hits with every
+/// overlapping L0 run and at most one contiguous group of segments per
+/// deeper level, fetching pages through `pool` one at a time and
+/// attributing the I/O to `io_stats` (may be null). `memtable_entries`
+/// are the snapshot-time matches from the active + pending memtables,
+/// sorted by (key, payload). `curve` maps keys back to cells and must
+/// outlive the cursor.
+std::unique_ptr<Cursor> NewSnapshotCursor(
+    const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
+    std::vector<Entry> memtable_entries, SegmentSnapshot segments,
+    std::shared_ptr<BufferPool> pool, AtomicIoStats* io_stats,
+    const ReadOptions& options);
+
+}  // namespace storage
+}  // namespace onion
+
+#endif  // ONION_STORAGE_CURSOR_H_

@@ -7,6 +7,7 @@
 #ifndef ONION_STORAGE_IO_STATS_H_
 #define ONION_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace onion {
@@ -19,6 +20,35 @@ struct IoStats {
   uint64_t entries_read = 0; ///< entries delivered to the caller
 
   void Reset() { *this = IoStats{}; }
+};
+
+/// Lock-free I/O counters for per-table attribution on a SHARED buffer
+/// pool: every table passes its own AtomicIoStats into the pool's
+/// Fetch/ScanRange calls, so "who caused this I/O" survives many tables
+/// sharing one pool (the pool's own IoStats stays the physical aggregate).
+/// All updates are relaxed — the counters are statistics, not
+/// synchronization.
+struct AtomicIoStats {
+  std::atomic<uint64_t> page_reads{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> seeks{0};
+  std::atomic<uint64_t> entries_read{0};
+
+  IoStats Snapshot() const {
+    IoStats out;
+    out.page_reads = page_reads.load(std::memory_order_relaxed);
+    out.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    out.seeks = seeks.load(std::memory_order_relaxed);
+    out.entries_read = entries_read.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void Reset() {
+    page_reads.store(0, std::memory_order_relaxed);
+    cache_hits.store(0, std::memory_order_relaxed);
+    seeks.store(0, std::memory_order_relaxed);
+    entries_read.store(0, std::memory_order_relaxed);
+  }
 };
 
 }  // namespace onion

@@ -1,0 +1,287 @@
+#include "storage/sfc_db.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "storage/fs_util.h"
+
+namespace onion::storage {
+namespace {
+
+constexpr char kCatalogName[] = "CATALOG";
+constexpr char kCatalogFormat[] = "onion-sfc-db";
+constexpr int kCatalogVersion = 1;
+
+Status ValidateDbOptions(const SfcDbOptions& options) {
+  if (options.pool_pages < 1) {
+    return Status::InvalidArgument("pool_pages must be positive");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  return Status::OK();
+}
+
+/// Table names double as directory names: letters, digits, '_', '-' only,
+/// so they can never escape the database directory or collide with the
+/// CATALOG file.
+bool ValidTableName(const std::string& name) {
+  if (name.empty() || name.size() > 255) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SfcDb::SfcDb(std::string dir, const SfcDbOptions& options)
+    : dir_(std::move(dir)),
+      options_(options),
+      pool_(std::make_shared<BufferPool>(options.pool_pages)),
+      workers_(std::make_unique<WorkerPool>(options.num_workers)) {}
+
+SfcDb::~SfcDb() = default;
+
+std::string SfcDb::TablePath(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::string SfcDb::CatalogPath() const { return dir_ + "/" + kCatalogName; }
+
+Status SfcDb::WriteCatalogLocked() const {
+  std::string text;
+  text += std::string(kCatalogFormat) + " " + std::to_string(kCatalogVersion) +
+          "\n";
+  for (const std::string& name : catalog_) text += "table " + name + "\n";
+  const std::string tmp_path = CatalogPath() + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Internal("cannot write catalog: " + tmp_path);
+  }
+  Status status;
+  if (std::fwrite(text.data(), 1, text.size(), out) != text.size()) {
+    status = Status::Internal("cannot write catalog: " + tmp_path);
+  }
+  if (status.ok()) status = SyncFile(out, tmp_path);
+  std::fclose(out);
+  if (!status.ok()) {
+    std::remove(tmp_path.c_str());
+    return status;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, CatalogPath(), ec);
+  if (ec) {
+    return Status::Internal("cannot install catalog: " + ec.message());
+  }
+  return SyncDir(dir_);
+}
+
+Result<std::unique_ptr<SfcDb>> SfcDb::Open(const std::string& dir,
+                                           const SfcDbOptions& options) {
+  const Status valid = ValidateDbOptions(options);
+  if (!valid.ok()) return valid;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create database directory " + dir + ": " +
+                            ec.message());
+  }
+  std::unique_ptr<SfcDb> db(new SfcDb(dir, options));
+  std::ifstream in(db->CatalogPath());
+  if (in) {
+    std::string format;
+    int version = 0;
+    in >> format >> version;
+    if (!in || format != kCatalogFormat) {
+      return Status::InvalidArgument("bad catalog format in " + dir);
+    }
+    if (version != kCatalogVersion) {
+      return Status::InvalidArgument("unsupported catalog version " +
+                                     std::to_string(version) + " in " + dir);
+    }
+    std::string field;
+    while (in >> field) {
+      if (field != "table") {
+        return Status::InvalidArgument("unknown catalog field '" + field +
+                                       "' in " + dir);
+      }
+      std::string name;
+      in >> name;
+      if (!ValidTableName(name)) {
+        return Status::InvalidArgument("invalid table name '" + name +
+                                       "' in catalog of " + dir);
+      }
+      db->catalog_.push_back(name);
+    }
+    std::sort(db->catalog_.begin(), db->catalog_.end());
+    const auto dup =
+        std::adjacent_find(db->catalog_.begin(), db->catalog_.end());
+    if (dup != db->catalog_.end()) {
+      return Status::InvalidArgument("duplicate table '" + *dup +
+                                     "' in catalog of " + dir);
+    }
+  } else {
+    const Status status = db->WriteCatalogLocked();  // empty catalog
+    if (!status.ok()) return status;
+  }
+  // GC: a crash between "create table dir" and "catalog it" (or between
+  // "uncatalog it" and "delete the dir") leaves an orphaned table
+  // directory. The catalog is the source of truth, so any directory
+  // holding a table MANIFEST but missing from the catalog is dead.
+  // Collect first, delete after — removing entries mid-iteration is
+  // unspecified — and keep the removal error separate so one stubborn
+  // orphan cannot silently abort the sweep (survivors are retried on the
+  // next Open anyway).
+  std::vector<std::filesystem::path> orphans;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (std::binary_search(db->catalog_.begin(), db->catalog_.end(), name)) {
+      continue;
+    }
+    if (std::filesystem::exists(entry.path() / "MANIFEST")) {
+      orphans.push_back(entry.path());
+    }
+  }
+  for (const auto& orphan : orphans) {
+    std::error_code remove_ec;
+    std::filesystem::remove_all(orphan, remove_ec);
+  }
+  return db;
+}
+
+Result<SfcTable*> SfcDb::CreateTable(const std::string& name,
+                                     const std::string& curve_name,
+                                     const Universe& universe) {
+  return CreateTable(name, curve_name, universe, options_.table_options);
+}
+
+Result<SfcTable*> SfcDb::CreateTable(const std::string& name,
+                                     const std::string& curve_name,
+                                     const Universe& universe,
+                                     const SfcTableOptions& options) {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  if (!ValidTableName(name)) {
+    return Status::InvalidArgument("invalid table name '" + name +
+                                   "' (use letters, digits, '_', '-')");
+  }
+  if (std::binary_search(catalog_.begin(), catalog_.end(), name)) {
+    return Status::InvalidArgument("table '" + name + "' already exists in " +
+                                   dir_);
+  }
+  auto table = SfcTable::CreateWithShared(
+      TablePath(name), curve_name, universe, options,
+      SfcTable::SharedResources{pool_, workers_.get()});
+  if (!table.ok()) return table.status();
+  catalog_.insert(
+      std::upper_bound(catalog_.begin(), catalog_.end(), name), name);
+  const Status status = WriteCatalogLocked();
+  if (!status.ok()) {
+    // Roll back: uncatalog and remove the just-created directory (the
+    // durable catalog still has the old list, so this directory is an
+    // orphan either way).
+    catalog_.erase(std::find(catalog_.begin(), catalog_.end(), name));
+    table = Status::Internal("rollback");  // destroy the table object first
+    std::error_code ec;
+    std::filesystem::remove_all(TablePath(name), ec);
+    return status;
+  }
+  SfcTable* raw = table.value().get();
+  open_tables_[name] = std::move(table).value();
+  return raw;
+}
+
+Result<SfcTable*> SfcDb::OpenTable(const std::string& name) {
+  return OpenTable(name, options_.table_options);
+}
+
+Result<SfcTable*> SfcDb::OpenTable(const std::string& name,
+                                   const SfcTableOptions& options) {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return OpenTableLocked(name, options);
+}
+
+Result<SfcTable*> SfcDb::OpenTableLocked(const std::string& name,
+                                         const SfcTableOptions& options) {
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  const auto it = open_tables_.find(name);
+  if (it != open_tables_.end()) return it->second.get();
+  if (!std::binary_search(catalog_.begin(), catalog_.end(), name)) {
+    return Status::NotFound("no table '" + name + "' in " + dir_);
+  }
+  auto table =
+      SfcTable::OpenWithShared(TablePath(name), options,
+                               SfcTable::SharedResources{pool_, workers_.get()});
+  if (!table.ok()) return table.status();
+  SfcTable* raw = table.value().get();
+  open_tables_[name] = std::move(table).value();
+  return raw;
+}
+
+SfcTable* SfcDb::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  const auto it = open_tables_.find(name);
+  return it != open_tables_.end() ? it->second.get() : nullptr;
+}
+
+Status SfcDb::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  const auto catalog_it =
+      std::lower_bound(catalog_.begin(), catalog_.end(), name);
+  if (catalog_it == catalog_.end() || *catalog_it != name) {
+    return Status::NotFound("no table '" + name + "' in " + dir_);
+  }
+  // Quiesce and destroy the open handle first so no background work (or
+  // caller, per the handle-lifetime contract) touches files mid-delete.
+  const auto open_it = open_tables_.find(name);
+  if (open_it != open_tables_.end()) {
+    open_it->second->Close();  // drop discards data; a close error is moot
+    open_tables_.erase(open_it);
+  }
+  catalog_.erase(catalog_it);
+  const Status status = WriteCatalogLocked();
+  if (!status.ok()) {
+    // Catalog unchanged on disk: re-catalog in memory; the table can be
+    // reopened via OpenTable.
+    catalog_.insert(std::upper_bound(catalog_.begin(), catalog_.end(), name),
+                    name);
+    return status;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(TablePath(name), ec);
+  if (ec) {
+    return Status::Internal("table '" + name + "' uncataloged but its " +
+                            "directory could not be removed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SfcDb::ListTables() const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  return catalog_;
+}
+
+Status SfcDb::Close() {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  if (closed_) return Status::OK();
+  closed_ = true;
+  Status first;
+  for (auto& [name, table] : open_tables_) {
+    const Status status = table->Close();
+    if (first.ok() && !status.ok()) first = status;
+  }
+  open_tables_.clear();  // destroy handles while workers_ is still alive
+  workers_.reset();      // join the shared background threads
+  return first;
+}
+
+}  // namespace onion::storage

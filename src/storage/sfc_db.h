@@ -1,0 +1,150 @@
+// SfcDb: a catalog of named SfcTables sharing one buffer pool and one
+// background worker pool — the multi-table face of the storage engine.
+//
+// One process serving many spatial tables should not pay one page cache
+// and one background thread PER table: SfcDb owns a single BufferPool
+// (sized by SfcDbOptions::pool_pages, arbitrating memory across every
+// table's segments — frames are keyed by process-unique source ids, so
+// tables can never alias each other's pages) and a single WorkerPool of
+// `num_workers` threads draining all tables' flush/compaction work with
+// per-table fairness (storage/worker_pool.h). Per-table I/O attribution
+// survives the sharing: each table's io_stats() counts only its own
+// fetches (AtomicIoStats plumbed through every pool call), while
+// pool_stats() reports the physical aggregate.
+//
+// On-disk layout of a database directory:
+//   CATALOG         text file: format line ("onion-sfc-db 1") followed by
+//                   one "table <name>" line per table, sorted by name
+//   <name>/         one SfcTable directory per cataloged table (MANIFEST,
+//                   seg_*.sfc, wal_*.log — see docs/storage_format.md)
+//
+// The CATALOG is rewritten atomically (tmp + fsync + rename + dir fsync)
+// on every CreateTable/DropTable, and is the source of truth: a table
+// directory is live only while the catalog names it. Creation writes the
+// table directory FIRST and the catalog second; a crash in between leaves
+// an orphan directory that the next Open() garbage-collects. Dropping
+// rewrites the catalog FIRST and deletes the directory second; a crash in
+// between leaves the same kind of orphan. Either way Open() converges to
+// exactly the cataloged tables.
+//
+// Thread safety: all catalog operations (Create/Open/Drop/List/Close) are
+// serialized by an internal mutex. The SfcTable* handles returned remain
+// valid until that table is dropped or the database is closed/destroyed;
+// table operations themselves (Insert/cursors/Flush/...) are concurrent
+// as documented in storage/sfc_table.h. Destroying an SfcDb without
+// Close() has crash semantics, exactly like destroying an unclosed
+// SfcTable: nothing is flushed, WALs keep unflushed data recoverable.
+
+#ifndef ONION_STORAGE_SFC_DB_H_
+#define ONION_STORAGE_SFC_DB_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/sfc_table.h"
+#include "storage/worker_pool.h"
+
+namespace onion::storage {
+
+struct SfcDbOptions {
+  /// Capacity of the SHARED buffer pool, in pages, arbitrating cache
+  /// memory across all tables (SfcTableOptions::pool_pages is ignored for
+  /// tables served by a db).
+  uint64_t pool_pages = 4096;
+  /// Background worker threads shared by all tables' flushes and
+  /// compactions (round-robin per-table fairness).
+  size_t num_workers = 2;
+  /// Defaults applied by CreateTable/OpenTable overloads that take no
+  /// per-table options.
+  SfcTableOptions table_options;
+};
+
+class SfcDb {
+ public:
+  /// Opens the database at `dir`, creating the directory and an empty
+  /// CATALOG when absent. Orphaned table directories (from a crash
+  /// between a catalog rewrite and the matching directory create/delete)
+  /// are garbage-collected here. Tables are NOT opened eagerly — use
+  /// OpenTable.
+  static Result<std::unique_ptr<SfcDb>> Open(const std::string& dir,
+                                             const SfcDbOptions& options = {});
+
+  /// Crash semantics when Close() was not called first: stops background
+  /// work without flushing (WALs keep unflushed entries recoverable).
+  ~SfcDb();
+
+  SfcDb(const SfcDb&) = delete;
+  SfcDb& operator=(const SfcDb&) = delete;
+
+  /// Creates a table named `name` (letters, digits, '_', '-') keyed by the
+  /// named curve over `universe`, catalogs it, and returns the open
+  /// handle. The handle stays valid until DropTable(name) or Close().
+  Result<SfcTable*> CreateTable(const std::string& name,
+                                const std::string& curve_name,
+                                const Universe& universe);
+  Result<SfcTable*> CreateTable(const std::string& name,
+                                const std::string& curve_name,
+                                const Universe& universe,
+                                const SfcTableOptions& options);
+
+  /// Opens a cataloged table (WAL replay included), or returns the
+  /// already-open handle. NotFound for names not in the catalog.
+  Result<SfcTable*> OpenTable(const std::string& name);
+  Result<SfcTable*> OpenTable(const std::string& name,
+                              const SfcTableOptions& options);
+
+  /// The open handle for `name`, or nullptr when the table is not
+  /// currently open (or not cataloged).
+  SfcTable* GetTable(const std::string& name) const;
+
+  /// Uncatalogs `name` (atomic CATALOG rewrite), closes its open handle
+  /// if any, and deletes the table directory. NotFound for unknown names.
+  Status DropTable(const std::string& name);
+
+  /// Cataloged table names, sorted.
+  std::vector<std::string> ListTables() const;
+
+  /// Clean shutdown: Close()s every open table (flush + quiesce), then
+  /// stops the shared workers. Idempotent; returns the first table error.
+  /// After Close() every catalog operation fails and previously returned
+  /// SfcTable* handles are invalid.
+  Status Close();
+
+  const std::string& dir() const { return dir_; }
+  size_t num_workers() const { return options_.num_workers; }
+  /// Physical aggregate over all tables (per-table shares live in each
+  /// table's io_stats()).
+  IoStats pool_stats() const { return pool_->stats(); }
+  uint64_t pool_resident_pages() const { return pool_->resident_pages(); }
+
+ private:
+  SfcDb(std::string dir, const SfcDbOptions& options);
+
+  std::string TablePath(const std::string& name) const;
+  std::string CatalogPath() const;
+  /// Atomically rewrites CATALOG from catalog_. Requires db_mu_ held.
+  Status WriteCatalogLocked() const;
+  Result<SfcTable*> OpenTableLocked(const std::string& name,
+                                    const SfcTableOptions& options);
+
+  const std::string dir_;
+  const SfcDbOptions options_;
+  std::shared_ptr<BufferPool> pool_;
+  std::unique_ptr<WorkerPool> workers_;
+
+  mutable std::mutex db_mu_;
+  std::vector<std::string> catalog_;  // sorted table names
+  // Declared after workers_/pool_ so tables are destroyed first (their
+  // destructors unregister from the worker pool).
+  std::map<std::string, std::unique_ptr<SfcTable>> open_tables_;
+  bool closed_ = false;
+};
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_SFC_DB_H_

@@ -72,20 +72,22 @@ bool ParseWalFileName(const std::string& name, uint64_t* id) {
 }  // namespace
 
 SfcTable::SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
-                   const SfcTableOptions& options)
+                   const SfcTableOptions& options,
+                   const SharedResources& shared)
     : dir_(std::move(dir)),
       curve_(std::move(curve)),
       curve_name_(curve_->name()),
       options_(options),
-      pool_(options.pool_pages) {}
+      workers_(shared.workers),
+      pool_(shared.pool != nullptr
+                ? shared.pool
+                : std::make_shared<BufferPool>(options.pool_pages)) {}
 
 SfcTable::~SfcTable() {
-  {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    stop_ = true;
-    cv_.notify_all();
-  }
-  if (worker_.joinable()) worker_.join();
+  // Deliberately no Flush(): destroying an unclosed table has crash
+  // semantics — the WAL is the durable copy of anything unflushed, and
+  // Open() will replay it. Call Close() first for a clean shutdown.
+  StopWorker();
   // Last chance to collect retired files whose earlier unlink failed.
   for (const std::string& path : garbage_files_) {
     std::remove(path.c_str());
@@ -187,12 +189,61 @@ Status SfcTable::InstallManifest(std::unique_lock<std::shared_mutex>& lock) {
 }
 
 void SfcTable::StartWorker() {
-  worker_ = std::thread(&SfcTable::BackgroundMain, this);
+  if (workers_ == nullptr) {
+    owned_workers_ = std::make_unique<WorkerPool>(1);
+    workers_ = owned_workers_.get();
+  }
+  worker_client_ = workers_->Register([this] { return RunBackgroundWork(); });
+}
+
+void SfcTable::StopWorker() {
+  WorkerPool::ClientId client = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    client = worker_client_;
+    worker_client_ = 0;
+  }
+  // Unregister blocks until in-flight work completes; it must run without
+  // mu_ (the worker's callback takes mu_ itself).
+  if (client != 0 && workers_ != nullptr) workers_->Unregister(client);
+}
+
+void SfcTable::NotifyWorkerLocked() {
+  if (workers_ != nullptr && worker_client_ != 0) {
+    workers_->Notify(worker_client_);
+  }
+}
+
+bool SfcTable::RunBackgroundWork() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!background_error_.ok()) return false;
+  if (!pending_.empty()) {
+    FlushPendingLocked(lock);
+  } else if (compaction_pending_) {
+    RunCompactionLocked(lock);
+  } else {
+    return false;
+  }
+  return background_error_.ok() &&
+         (!pending_.empty() || compaction_pending_);
 }
 
 Result<std::unique_ptr<SfcTable>> SfcTable::Create(
     const std::string& dir, const std::string& curve_name,
     const Universe& universe, const SfcTableOptions& options) {
+  return CreateWithShared(dir, curve_name, universe, options,
+                          SharedResources{});
+}
+
+Result<std::unique_ptr<SfcTable>> SfcTable::Open(
+    const std::string& dir, const SfcTableOptions& options) {
+  return OpenWithShared(dir, options, SharedResources{});
+}
+
+Result<std::unique_ptr<SfcTable>> SfcTable::CreateWithShared(
+    const std::string& dir, const std::string& curve_name,
+    const Universe& universe, const SfcTableOptions& options,
+    const SharedResources& shared) {
   const Status valid = ValidateOptions(options);
   if (!valid.ok()) return valid;
   std::error_code ec;
@@ -207,14 +258,16 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Create(
   auto curve = MakeCurve(curve_name, universe);
   if (!curve.ok()) return curve.status();
   std::unique_ptr<SfcTable> table(
-      new SfcTable(dir, std::move(curve).value(), options));
+      new SfcTable(dir, std::move(curve).value(), options, shared));
   Status status;
   {
     std::unique_lock<std::shared_mutex> lock(table->mu_);
     status = table->InstallManifest(lock);
   }
   if (!status.ok()) return status;
-  auto wal = WalWriter::Create(table->WalPath(0), options.wal_fsync);
+  // The table group-commits fsyncs itself (see Insert), so the writer is
+  // always created in flush-to-OS mode.
+  auto wal = WalWriter::Create(table->WalPath(0), /*fsync_each_append=*/false);
   if (!wal.ok()) return wal.status();
   table->wal_ = std::move(wal).value();
   table->wal_files_ = {table->WalFileName(0)};
@@ -224,8 +277,9 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Create(
   return table;
 }
 
-Result<std::unique_ptr<SfcTable>> SfcTable::Open(
-    const std::string& dir, const SfcTableOptions& options) {
+Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
+    const std::string& dir, const SfcTableOptions& options,
+    const SharedResources& shared) {
   const Status valid = ValidateOptions(options);
   if (!valid.ok()) return valid;
   std::ifstream in(dir + "/" + kManifestName);
@@ -287,7 +341,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Open(
   // Page geometry is a property of the files on disk, not of the caller.
   effective.entries_per_page = entries_per_page;
   std::unique_ptr<SfcTable> table(
-      new SfcTable(dir, std::move(curve).value(), effective));
+      new SfcTable(dir, std::move(curve).value(), effective, shared));
   table->next_segment_id_ = next_segment_id;
   table->wal_floor_ = wal_floor;
   for (const auto& [level, file] : segment_files) {
@@ -357,7 +411,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::Open(
 
   const uint64_t active_id = table->next_wal_id_++;
   auto wal = WalWriter::Create(table->WalPath(active_id),
-                               effective.wal_fsync);
+                               /*fsync_each_append=*/false);
   if (!wal.ok()) return wal.status();
   table->wal_ = std::move(wal).value();
   table->wal_files_.push_back(table->WalFileName(active_id));
@@ -426,25 +480,39 @@ Status SfcTable::Insert(const Cell& cell, uint64_t payload) {
                               cell.ToString());
   }
   const Key key = curve_->IndexOf(cell);
-  // wal_mu_ serializes writers and pins the active WAL for the duration of
-  // this insert, which lets the WAL file I/O below run with mu_ RELEASED —
-  // readers are never stalled behind a record's fflush/fsync.
-  std::lock_guard<std::mutex> wal_lock(wal_mu_);
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (!background_error_.ok()) return background_error_;
-  // Rotate BEFORE buffering so a failed Insert has not retained the entry —
-  // callers can retry it without creating a duplicate.
-  if (memtable_.size() >= options_.memtable_flush_entries) {
-    const Status status =
-        RotateMemtableLocked(lock, options_.memtable_flush_entries);
-    if (!status.ok()) return status;
+  std::shared_ptr<WalWriter> wal;
+  uint64_t seq = 0;
+  {
+    // wal_mu_ serializes writers and pins the active WAL for the duration
+    // of this insert, which lets the WAL file I/O below run with mu_
+    // RELEASED — readers are never stalled behind a record's fflush.
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (closed_) {
+      return Status::InvalidArgument("table is closed: " + dir_);
+    }
+    if (!background_error_.ok()) return background_error_;
+    // Rotate BEFORE buffering so a failed WAL append has not retained the
+    // entry — callers can retry it without creating a duplicate. (This
+    // retry-safety covers the append path only: with wal_fsync, a failed
+    // GROUP-COMMIT fsync below reports an error for an entry that is
+    // already buffered — see the wal_fsync caveat in sfc_table.h.)
+    if (memtable_.size() >= options_.memtable_flush_entries) {
+      const Status status =
+          RotateMemtableLocked(lock, options_.memtable_flush_entries);
+      if (!status.ok()) return status;
+    }
+    wal = wal_;  // stable: wal_mu_ excludes rotation
+    lock.unlock();
+    const Status status = wal->Append(key, payload, &seq);
+    if (!status.ok()) return status;  // nothing buffered: retry-safe
+    lock.lock();
+    memtable_.Insert(key, payload);
   }
-  WalWriter* const wal = wal_.get();  // stable: wal_mu_ excludes rotation
-  lock.unlock();
-  const Status status = wal->Append(key, payload);
-  if (!status.ok()) return status;  // nothing buffered: retry-safe
-  lock.lock();
-  memtable_.Insert(key, payload);
+  // Group commit OUTSIDE every lock: concurrent inserters pile up behind
+  // one leader fsync instead of serializing a disk flush each (the shared
+  // wal_ pointer keeps the writer alive across a concurrent rotation).
+  if (options_.wal_fsync) return wal->SyncUpTo(seq);
   return Status::OK();
 }
 
@@ -463,7 +531,7 @@ Status SfcTable::RotateMemtableLocked(
   // Open the next WAL first: if that fails, the current generation stays
   // fully intact and writable.
   const uint64_t id = next_wal_id_;
-  auto wal = WalWriter::Create(WalPath(id), options_.wal_fsync);
+  auto wal = WalWriter::Create(WalPath(id), /*fsync_each_append=*/false);
   if (!wal.ok()) return wal.status();
   ++next_wal_id_;
   PendingMemtable batch;
@@ -475,6 +543,7 @@ Status SfcTable::RotateMemtableLocked(
   wal_ = std::move(wal).value();
   wal_files_ = {WalFileName(id)};
   max_wal_id_ = id;
+  NotifyWorkerLocked();
   cv_.notify_all();
   return Status::OK();
 }
@@ -499,20 +568,39 @@ Status SfcTable::Flush() {
   return background_error_;
 }
 
-void SfcTable::BackgroundMain() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  while (!stop_) {
-    cv_.wait(lock, [&] {
-      return stop_ || (background_error_.ok() &&
-                       (!pending_.empty() || compaction_pending_));
-    });
-    if (stop_) break;
-    if (!pending_.empty()) {
-      FlushPendingLocked(lock);
-    } else if (compaction_pending_) {
-      RunCompactionLocked(lock);
+Status SfcTable::Close() {
+  Status rotate_status;
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // No early return when already closed: EVERY Close() call falls
+    // through to the quiesce barrier below, so a second (possibly
+    // concurrent) Close() cannot report "flushed and stopped" while the
+    // first one's final segment/MANIFEST install is still in flight.
+    if (!closed_) {
+      closed_ = true;  // writers arriving from here on are refused
+      if (background_error_.ok() && !memtable_.empty()) {
+        rotate_status = RotateMemtableLocked(lock, 1);
+      }
     }
   }
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // The predicate includes manual_compaction_: a Compact() that passed
+    // its closed_ check before we flipped the flag must finish (and any
+    // compaction it re-armed must drain) before the worker is stopped,
+    // or it would install manifests into a "closed" table.
+    cv_.wait(lock, [&] {
+      return !background_error_.ok() ||
+             (pending_.empty() && !compaction_pending_ &&
+              !compaction_inflight_ && !manual_compaction_);
+    });
+    if (rotate_status.ok()) rotate_status = background_error_;
+  }
+  // Quiesced (or failed): stop background processing either way. Reads
+  // stay valid; anything unflushed due to an error is still WAL-durable.
+  StopWorker();
+  return rotate_status;
 }
 
 void SfcTable::SetBackgroundErrorLocked(const Status& status) {
@@ -521,8 +609,9 @@ void SfcTable::SetBackgroundErrorLocked(const Status& status) {
 }
 
 void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
-  // The front reference stays valid while unlocked: only this thread pops,
-  // and deque growth does not invalidate references.
+  // The front reference stays valid while unlocked: only one worker runs
+  // this table's background work at a time (WorkerPool guarantee), only
+  // that worker pops, and deque growth does not invalidate references.
   PendingMemtable& batch = pending_.front();
   Status status;
   TableSegment installed;
@@ -787,7 +876,7 @@ std::vector<std::string> SfcTable::DetachSegmentsLocked(
   std::vector<std::string> doomed = std::move(garbage_files_);
   garbage_files_.clear();
   for (TableSegment& segment : retired) {
-    pool_.Drop(segment.reader.get());
+    pool_->Drop(segment.reader.get());
     doomed.push_back(SegmentPath(segment.file));
     // In-flight queries may still hold the reader via shared_ptr; on POSIX
     // the open descriptor keeps the unlinked data readable until they
@@ -822,6 +911,10 @@ std::vector<SfcTable::TableSegment> SfcTable::AllSegmentsLocked() const {
 }
 
 Status SfcTable::Compact() {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (closed_) return Status::InvalidArgument("table is closed: " + dir_);
+  }
   Status status = Flush();
   if (!status.ok()) return status;
 
@@ -835,6 +928,10 @@ Status SfcTable::Compact() {
             !manual_compaction_);
   });
   if (!background_error_.ok()) return background_error_;
+  // Re-check under the exclusive lock: a Close() may have slipped in
+  // between the screening check above and here (its barrier would then
+  // wait on manual_compaction_, but refusing is the cleaner outcome).
+  if (closed_) return Status::InvalidArgument("table is closed: " + dir_);
   const std::vector<TableSegment> inputs = AllSegmentsLocked();
   if (inputs.size() <= 1) return Status::OK();
   // Deep enough that the single output does not overflow its level's size
@@ -924,26 +1021,43 @@ Status SfcTable::Compact() {
   // Re-arm background compaction: flushes that arrived during this manual
   // compaction skipped scheduling (manual_compaction_ was set), so L0 may
   // already be over the trigger.
-  if (HasAutoCompactionWorkLocked()) compaction_pending_ = true;
+  if (HasAutoCompactionWorkLocked()) {
+    compaction_pending_ = true;
+    NotifyWorkerLocked();
+  }
   cv_.notify_all();
   return Status::OK();
 }
 
-std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
-  ONION_CHECK(curve_->universe().Contains(box));
-  const std::vector<KeyRange> ranges = DecomposeBox(*curve_, box);
+std::unique_ptr<Cursor> SfcTable::NewBoxCursor(const Box& box,
+                                               const ReadOptions& options) {
+  if (!curve_->universe().Contains(box)) {
+    return NewErrorCursor(Status::InvalidArgument(
+        "query box outside the table's universe: " + box.ToString()));
+  }
+  return NewRangesCursor(DecomposeBox(*curve_, box), options);
+}
+
+std::unique_ptr<Cursor> SfcTable::NewScanCursor(const ReadOptions& options) {
+  const Key num_cells = curve_->universe().num_cells();
+  std::vector<KeyRange> ranges;
+  if (num_cells > 0) ranges.push_back(KeyRange{0, num_cells - 1});
+  return NewRangesCursor(std::move(ranges), options);
+}
+
+std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
+                                                  const ReadOptions& options) {
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++read_stats_.queries;
     read_stats_.ranges += ranges.size();
   }
 
-  std::vector<Entry> hits;
-  uint64_t memtable_hits = 0;
-  std::vector<std::shared_ptr<SegmentReader>> l0_snapshot;
-  std::vector<std::vector<std::shared_ptr<SegmentReader>>> level_snapshot;
+  std::vector<Entry> mem_hits;
+  SegmentSnapshot snapshot;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!background_error_.ok()) return NewErrorCursor(background_error_);
     // One pass over each memtable for the whole query (not one per range):
     // the ranges are sorted and disjoint, so membership is a binary search.
     if (!ranges.empty()) {
@@ -956,8 +1070,7 @@ std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
                               return range.hi < k;
                             });
                         if (it != ranges.end() && it->lo <= key) {
-                          ++memtable_hits;
-                          hits.push_back(Entry{key, payload});
+                          mem_hits.push_back(Entry{key, payload});
                         }
                       });
       };
@@ -966,66 +1079,72 @@ std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
         if (!batch.installed) scan_memtable(batch.mem);
       }
     }
-    l0_snapshot.reserve(l0_.size());
+    snapshot.l0.reserve(l0_.size());
     for (const TableSegment& segment : l0_) {
-      l0_snapshot.push_back(segment.reader);
+      snapshot.l0.push_back(segment.reader);
     }
-    level_snapshot.reserve(levels_.size());
+    snapshot.levels.reserve(levels_.size());
     for (const auto& level_segments : levels_) {
-      std::vector<std::shared_ptr<SegmentReader>> snapshot;
-      snapshot.reserve(level_segments.size());
+      std::vector<std::shared_ptr<SegmentReader>> level;
+      level.reserve(level_segments.size());
       for (const TableSegment& segment : level_segments) {
-        snapshot.push_back(segment.reader);
+        level.push_back(segment.reader);
       }
-      level_snapshot.push_back(std::move(snapshot));
+      snapshot.levels.push_back(std::move(level));
     }
   }
-  // Segment I/O runs WITHOUT the table lock: flush and compaction proceed
-  // concurrently, and the snapshot's shared_ptrs keep retired segments
-  // readable until this query finishes.
-  for (const KeyRange& range : ranges) {
-    for (const auto& segment : l0_snapshot) {
-      if (segment->num_entries() == 0 || range.hi < segment->min_key() ||
-          range.lo > segment->max_key()) {
-        continue;
-      }
-      pool_.ScanRange(*segment, range.lo, range.hi,
-                      [&](Key key, uint64_t payload) {
-                        hits.push_back(Entry{key, payload});
-                      });
-    }
-    for (const auto& level_segments : level_snapshot) {
-      // Non-overlapping level: binary search to the first candidate, then
-      // scan the (usually single) segment(s) the range spans.
-      auto it = std::lower_bound(
-          level_segments.begin(), level_segments.end(), range.lo,
-          [](const std::shared_ptr<SegmentReader>& segment, Key lo) {
-            return segment->max_key() < lo;
-          });
-      for (; it != level_segments.end() && (*it)->min_key() <= range.hi;
-           ++it) {
-        pool_.ScanRange(**it, range.lo, range.hi,
-                        [&](Key key, uint64_t payload) {
-                          hits.push_back(Entry{key, payload});
-                        });
-      }
-    }
-  }
-  std::sort(hits.begin(), hits.end(), [](const Entry& a, const Entry& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return a.payload < b.payload;
-  });
-  if (memtable_hits > 0) {
+  // Everything below runs WITHOUT the table lock: the cursor owns the
+  // snapshot and later flushes/compactions cannot disturb it.
+  if (!mem_hits.empty()) {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    read_stats_.memtable_entries += memtable_hits;
+    read_stats_.memtable_entries += mem_hits.size();
   }
+  std::sort(mem_hits.begin(), mem_hits.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.payload < b.payload;
+            });
+  return NewSnapshotCursor(curve_.get(), std::move(ranges),
+                           std::move(mem_hits), std::move(snapshot), pool_,
+                           &io_stats_, options);
+}
 
+Result<std::vector<uint64_t>> SfcTable::Get(const Cell& cell) {
+  if (!curve_->universe().Contains(cell)) {
+    return Status::OutOfRange("cell outside the table's universe: " +
+                              cell.ToString());
+  }
+  const Key key = curve_->IndexOf(cell);
+  const auto cursor = NewRangesCursor({KeyRange{key, key}}, ReadOptions{});
+  std::vector<uint64_t> payloads;
+  for (; cursor->Valid(); cursor->Next()) {
+    payloads.push_back(cursor->entry().payload);
+  }
+  if (!cursor->status().ok()) return cursor->status();
+  return payloads;
+}
+
+std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
+  ONION_CHECK(curve_->universe().Contains(box));
+  const auto cursor = NewBoxCursor(box, ReadOptions{});
   std::vector<SpatialEntry> results;
-  results.reserve(hits.size());
-  for (const Entry& hit : hits) {
-    const Cell cell = curve_->CellAt(hit.key);
-    ONION_DCHECK(box.Contains(cell));
-    results.push_back(SpatialEntry{cell, hit.payload});
+  for (; cursor->Valid(); cursor->Next()) {
+    results.push_back(cursor->entry());
+    ONION_DCHECK(box.Contains(results.back().cell));
+  }
+  // The merge yields key order but leaves equal-key ties unspecified;
+  // restore the historical (key, payload) contract group by group. The
+  // curve is a bijection, so equal keys show up as equal cells — no need
+  // to recompute any key.
+  size_t group_begin = 0;
+  for (size_t i = 1; i <= results.size(); ++i) {
+    if (i == results.size() || !(results[i].cell == results[group_begin].cell)) {
+      std::sort(results.begin() + group_begin, results.begin() + i,
+                [](const SpatialEntry& a, const SpatialEntry& b) {
+                  return a.payload < b.payload;
+                });
+      group_begin = i;
+    }
   }
   return results;
 }
@@ -1040,7 +1159,7 @@ void SfcTable::ResetStats() {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     read_stats_.Reset();
   }
-  pool_.ResetStats();
+  io_stats_.Reset();
 }
 
 }  // namespace onion::storage

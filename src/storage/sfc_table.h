@@ -7,10 +7,11 @@
 // background worker into sorted level-0 segment files, and leveled by
 // background compaction into non-overlapping runs per level. Queries
 // decompose a box into exact curve-key ranges (index/decompose.h) that are
-// scanned through a shared buffer pool. Every query's cost is observable:
-// the pool counts real page reads, cache hits, and seeks, and DiskModel
-// converts them to estimated latency — turning the paper's "clustering
-// number == seeks" claim into a measurement against actual files.
+// streamed through a buffer pool by pull-based cursors (storage/cursor.h).
+// Every query's cost is observable: the pool counts real page reads, cache
+// hits, and seeks per table, and DiskModel converts them to estimated
+// latency — turning the paper's "clustering number == seeks" claim into a
+// measurement against actual files.
 //
 // On-disk layout of a table directory (byte-level spec in
 // docs/storage_format.md):
@@ -28,17 +29,23 @@
 // nothing. The manifest is rewritten atomically (write + fsync + rename +
 // directory fsync) after every flush and compaction.
 //
-// Concurrency: one background worker owns flushing and compaction. A
-// shared_mutex guards the table's in-memory state — writers and state
-// changes take it exclusively, queries take it only long enough to scan
-// the (immutable while shared-locked) memtables and snapshot the segment
-// list; segment I/O then proceeds WITHOUT the table lock, so readers keep
-// reading while a flush writes the next segment or a compaction merges
-// runs. Retired segments stay alive (shared_ptr) until the last in-flight
-// query drops them. Insert() blocks only when `max_pending_memtables`
-// generations are already waiting to flush (bounded queue backpressure).
-// Flush() and Close() are barriers: they return once all buffered data is
-// durable and background work has quiesced.
+// Concurrency: background flushing and compaction run on a WorkerPool
+// (storage/worker_pool.h) — a private single-thread pool for a standalone
+// table, or the owning SfcDb's shared pool (storage/sfc_db.h), which also
+// supplies a shared BufferPool; per-table I/O attribution survives the
+// sharing via AtomicIoStats. A shared_mutex guards the table's in-memory
+// state — writers and state changes take it exclusively, queries take it
+// only long enough to scan the (immutable while shared-locked) memtables
+// and snapshot the segment list; segment I/O then proceeds WITHOUT the
+// table lock, so readers keep reading while a flush writes the next
+// segment or a compaction merges runs. Retired segments stay alive
+// (shared_ptr) until the last in-flight query or cursor drops them.
+// Insert() blocks only when `max_pending_memtables` generations are
+// already waiting to flush (bounded queue backpressure). Flush() is a
+// barrier: it returns once all buffered data is durable and background
+// work has quiesced. Close() is Flush() plus shutdown: it additionally
+// stops the table's background processing and refuses further writes
+// (idempotent; reads stay valid).
 //
 // Leveling: freshly flushed segments form level 0 (overlapping, newest
 // last). When L0 reaches `l0_compaction_trigger` runs, the worker merges
@@ -57,7 +64,6 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -65,16 +71,20 @@
 #include "index/spatial_index.h"
 #include "sfc/curve.h"
 #include "storage/buffer_pool.h"
+#include "storage/cursor.h"
 #include "storage/memtable.h"
 #include "storage/segment.h"
 #include "storage/wal.h"
+#include "storage/worker_pool.h"
 
 namespace onion::storage {
 
 struct SfcTableOptions {
   /// Entries per page of every segment written by this table.
   uint32_t entries_per_page = 256;
-  /// Capacity of the table's buffer pool, in pages.
+  /// Capacity of the table's private buffer pool, in pages. Ignored when
+  /// the table is served by an SfcDb, whose shared pool is sized by
+  /// SfcDbOptions::pool_pages instead.
   uint64_t pool_pages = 256;
   /// Inserts accumulate in the memtable until it reaches this size, then
   /// rotate to the background flush queue automatically.
@@ -93,9 +103,16 @@ struct SfcTableOptions {
   uint64_t level_base_entries = 0;
   /// Geometric growth of per-level size targets.
   uint64_t level_growth_factor = 8;
-  /// Fsync the WAL on every Append (power-loss durability). Off by
-  /// default: appends are still flushed to the OS per record, which
-  /// already survives any process crash.
+  /// Fsync the WAL before acknowledging every Insert (power-loss
+  /// durability). Concurrent inserters group-commit: they share one
+  /// leader fsync (WalWriter::SyncUpTo) instead of paying one each. Off
+  /// by default: appends are still flushed to the OS per record, which
+  /// already survives any process crash. An fsync failure is sticky — the
+  /// affected insert is acknowledged to have FAILED but its entry may
+  /// still surface in queries (and after recovery) like any other
+  /// unacknowledged write; do NOT blindly retry such a failure (unlike an
+  /// append failure, which is retry-safe), or the entry may be stored
+  /// twice.
   bool wal_fsync = false;
 };
 
@@ -130,9 +147,10 @@ class SfcTable {
   static Result<std::unique_ptr<SfcTable>> Open(
       const std::string& dir, const SfcTableOptions& options = {});
 
-  /// Stops the background worker WITHOUT flushing: buffered entries stay
-  /// recoverable from the WAL, exactly as after a crash. Call Close()
-  /// first for a clean shutdown.
+  /// Stops background processing WITHOUT flushing: buffered entries stay
+  /// recoverable from the WAL, exactly as after a crash. This is the
+  /// deliberate "crash semantics" path — call Close() first when you want
+  /// a clean, fully-flushed shutdown.
   ~SfcTable();
 
   SfcTable(const SfcTable&) = delete;
@@ -152,6 +170,7 @@ class SfcTable {
 
   /// Logs and buffers a point; rotates the memtable to the background
   /// flush queue at the threshold (blocking only on queue backpressure).
+  /// Fails with InvalidArgument after Close().
   Status Insert(const Cell& cell, uint64_t payload);
 
   /// Barrier: rotates any buffered entries and returns once every pending
@@ -159,20 +178,44 @@ class SfcTable {
   Status Flush();
 
   /// Flushes, then merges ALL segments into a single sorted run, retiring
-  /// and deleting the inputs. Readers proceed throughout.
+  /// and deleting the inputs. Readers proceed throughout. Fails with
+  /// InvalidArgument after Close().
   Status Compact();
 
-  /// All entries inside `box`, sorted by (curve key, payload). Serves
-  /// flushed data through the buffer pool and unflushed data from the
-  /// memtables; updates read_stats() and io_stats(). Safe to call from any
-  /// number of threads, concurrently with Insert/Flush/Compact.
+  /// Streams every entry inside `box` in nondecreasing curve-key order
+  /// from a consistent snapshot (segment list + frozen memtable contents
+  /// taken now; later inserts/flushes/compactions do not affect it).
+  /// `options` bounds the work (see storage/cursor.h); errors — an
+  /// out-of-universe box, a table background error — arrive as a cursor
+  /// whose status() is not OK. The cursor must not outlive this table.
+  std::unique_ptr<Cursor> NewBoxCursor(const Box& box,
+                                       const ReadOptions& options = {});
+
+  /// Streams the whole table in curve-key order (same semantics as
+  /// NewBoxCursor over the full universe, without the decomposition cost).
+  std::unique_ptr<Cursor> NewScanCursor(const ReadOptions& options = {});
+
+  /// Point lookup: payloads stored exactly at `cell`, in unspecified
+  /// order. OutOfRange if the cell lies outside the universe.
+  Result<std::vector<uint64_t>> Get(const Cell& cell);
+
+  /// DEPRECATED: materializing wrapper over NewBoxCursor(), kept for
+  /// callers that want the full result set as a vector sorted by
+  /// (curve key, payload). Aborts on an out-of-universe box and returns
+  /// an empty vector on background errors — prefer the cursor API, which
+  /// reports both through Status. Safe to call from any number of
+  /// threads, concurrently with Insert/Flush/Compact.
   std::vector<SpatialEntry> Query(const Box& box);
 
-  /// Flushes buffered writes (full barrier); the table remains usable.
-  Status Close() { return Flush(); }
+  /// Clean shutdown: Flush() barrier, then stops the table's background
+  /// processing and marks the table closed — further Insert/Compact calls
+  /// fail with InvalidArgument while reads (cursors, Query, Get) remain
+  /// valid. Idempotent: repeated calls return OK. Contrast with the
+  /// destructor, which deliberately does NOT flush (crash semantics).
+  Status Close();
 
   TableReadStats read_stats() const;
-  IoStats io_stats() const { return pool_.stats(); }
+  IoStats io_stats() const { return io_stats_.Snapshot(); }
   void ResetStats();
 
   /// Estimated latency of the I/O accumulated since the last ResetStats().
@@ -182,6 +225,23 @@ class SfcTable {
   }
 
  private:
+  friend class SfcDb;  // uses the *WithShared factories below
+
+  /// Resources provided by an owning SfcDb; default-constructed means the
+  /// table provisions its own (private pool, private 1-thread worker).
+  struct SharedResources {
+    std::shared_ptr<BufferPool> pool;
+    WorkerPool* workers = nullptr;
+  };
+
+  static Result<std::unique_ptr<SfcTable>> CreateWithShared(
+      const std::string& dir, const std::string& curve_name,
+      const Universe& universe, const SfcTableOptions& options,
+      const SharedResources& shared);
+  static Result<std::unique_ptr<SfcTable>> OpenWithShared(
+      const std::string& dir, const SfcTableOptions& options,
+      const SharedResources& shared);
+
   /// One live segment and its placement in the level structure.
   struct TableSegment {
     std::shared_ptr<SegmentReader> reader;
@@ -202,7 +262,7 @@ class SfcTable {
   };
 
   SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
-           const SfcTableOptions& options);
+           const SfcTableOptions& options, const SharedResources& shared);
 
   std::string SegmentPath(const std::string& file) const;
   std::string WalFileName(uint64_t id) const;
@@ -211,7 +271,19 @@ class SfcTable {
   uint64_t LevelTargetEntries(int level) const;
 
   void StartWorker();
-  void BackgroundMain();
+  /// Unregisters from the worker pool, blocking until in-flight background
+  /// work finishes. Safe to call repeatedly; never called with mu_ held.
+  void StopWorker();
+  /// One unit of background work (a flush or a compaction round); returns
+  /// whether more work remains. Runs on a WorkerPool thread.
+  bool RunBackgroundWork();
+  void NotifyWorkerLocked();
+
+  /// Shared cursor factory: counts the query, snapshots memtables and
+  /// segments, and hands off to the streaming merge cursor.
+  std::unique_ptr<Cursor> NewRangesCursor(std::vector<KeyRange> ranges,
+                                          const ReadOptions& options);
+
   // All *Locked methods require mu_ held exclusively; those taking the
   // lock by reference release it around file I/O and reacquire it.
   // RotateMemtableLocked additionally requires wal_mu_ held (it swaps the
@@ -253,7 +325,9 @@ class SfcTable {
   mutable std::shared_mutex mu_;
   std::condition_variable_any cv_;
   MemTable memtable_;
-  std::unique_ptr<WalWriter> wal_;
+  // shared_ptr so a group-commit fsync (outside all locks) can outlive a
+  // concurrent rotation that retires this writer object.
+  std::shared_ptr<WalWriter> wal_;
   std::vector<std::string> wal_files_;  // backing the active memtable
   uint64_t max_wal_id_ = 0;
   uint64_t next_wal_id_ = 0;
@@ -267,7 +341,7 @@ class SfcTable {
   // retirements and in the destructor.
   std::vector<std::string> garbage_files_;
   uint64_t next_segment_id_ = 0;
-  bool stop_ = false;
+  bool closed_ = false;
   bool compaction_pending_ = false;
   bool compaction_inflight_ = false;
   bool manual_compaction_ = false;
@@ -277,8 +351,15 @@ class SfcTable {
   // always acquired while mu_ is NOT held (see InstallManifest).
   std::mutex manifest_mu_;
 
-  std::thread worker_;
-  BufferPool pool_;
+  // Background execution: either the private pool below or an SfcDb's.
+  std::unique_ptr<WorkerPool> owned_workers_;
+  WorkerPool* workers_ = nullptr;
+  WorkerPool::ClientId worker_client_ = 0;  // guarded by mu_
+
+  // Page cache: private, or shared across an SfcDb's tables. Per-table
+  // I/O attribution flows into io_stats_ on every pool call.
+  std::shared_ptr<BufferPool> pool_;
+  mutable AtomicIoStats io_stats_;
 
   mutable std::mutex stats_mu_;
   TableReadStats read_stats_;

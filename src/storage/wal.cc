@@ -49,7 +49,7 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(std::string path,
       new WalWriter(std::move(path), file, fsync_each_append));
 }
 
-Status WalWriter::Append(Key key, uint64_t payload) {
+Status WalWriter::Append(Key key, uint64_t payload, uint64_t* out_seq) {
   // Sticky failure: a failed write may have left a partial record at the
   // tail, and replay stops at the first torn record — so anything appended
   // after it would be acknowledged yet unrecoverable. Refuse instead.
@@ -67,10 +67,42 @@ Status WalWriter::Append(Key key, uint64_t payload) {
     if (!status.ok()) return status_ = status;
   }
   ++num_records_;
+  // Publish for SyncUpTo: record num_records_ has reached the OS.
+  appended_seq_.store(num_records_, std::memory_order_release);
+  if (out_seq != nullptr) *out_seq = num_records_;
   return Status::OK();
 }
 
 Status WalWriter::Sync() { return SyncFile(file_, path_); }
+
+Status WalWriter::SyncUpTo(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  for (;;) {
+    // Durability first: a record covered by an earlier successful leader
+    // fsync IS durable, even if a later fsync failed — only callers whose
+    // records are genuinely not synced see the sticky error.
+    if (synced_seq_ >= seq) return Status::OK();
+    if (!sync_status_.ok()) return sync_status_;
+    if (!sync_inflight_) break;  // become the leader
+    sync_cv_.wait(lock);
+  }
+  sync_inflight_ = true;
+  // Everything appended (and stdio-flushed) so far rides this one fsync —
+  // including records of followers currently blocking on sync_mu_.
+  const uint64_t target = appended_seq_.load(std::memory_order_acquire);
+  lock.unlock();
+  const Status status = SyncFile(file_, path_);
+  lock.lock();
+  sync_inflight_ = false;
+  if (status.ok()) {
+    synced_seq_ = std::max(synced_seq_, target);
+    num_syncs_.fetch_add(1, std::memory_order_relaxed);
+  } else if (sync_status_.ok()) {
+    sync_status_ = status;
+  }
+  sync_cv_.notify_all();
+  return status;
+}
 
 Result<uint64_t> ReplayWal(const std::string& path,
                            const std::function<void(Key, uint64_t)>& fn) {

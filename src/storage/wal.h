@@ -22,16 +22,22 @@
 // Replay validates each record's checksum and treats the first short or
 // corrupt record as the torn tail of an interrupted append: everything
 // before it is recovered, everything from it on is discarded. Appends are
-// fflush()ed to the OS on every record (survives process death); Sync()
-// additionally fsyncs (survives power loss) and is governed by
-// SfcTableOptions::wal_fsync.
+// fflush()ed to the OS on every record (survives process death); fsync
+// (survives power loss) is either per-append (`fsync_each_append`) or — the
+// path SfcTable uses under SfcTableOptions::wal_fsync — group-committed
+// via SyncUpTo(): concurrent committers pile up behind one leader whose
+// single fsync covers every record appended so far, so N threads pay ~1
+// fsync instead of N.
 
 #ifndef ONION_STORAGE_WAL_H_
 #define ONION_STORAGE_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -42,7 +48,9 @@ namespace onion::storage {
 class WalWriter {
  public:
   /// Creates a new WAL file at `path` (truncating any stale one) and writes
-  /// the header. When `fsync_each_append` is set every Append() is fsynced.
+  /// the header. When `fsync_each_append` is set every Append() is fsynced
+  /// inline (simple, but serializes committers; prefer Append + SyncUpTo
+  /// for concurrent writers).
   static Result<std::unique_ptr<WalWriter>> Create(std::string path,
                                                    bool fsync_each_append);
 
@@ -52,16 +60,33 @@ class WalWriter {
 
   /// Appends one record and flushes it to the OS (plus fsync when
   /// configured). The record is replayable as soon as this returns OK.
+  /// Callers must serialize Append() externally (SfcTable uses its writer
+  /// mutex); `out_seq`, when non-null, receives the record's 1-based
+  /// sequence number for a later SyncUpTo().
   /// A failed append poisons the writer: every later Append() fails too.
   /// A partial record may now sit at the file's tail, so acknowledging
   /// anything written after it would be unrecoverable — replay stops at
   /// the first torn record.
-  Status Append(Key key, uint64_t payload);
+  Status Append(Key key, uint64_t payload, uint64_t* out_seq = nullptr);
 
   /// Forces everything appended so far to stable storage.
   Status Sync();
 
+  /// Group commit: returns once record `seq` (from Append) is fsynced.
+  /// One caller at a time becomes the leader and fsyncs everything
+  /// appended so far; the rest wait and usually find their record already
+  /// covered by the leader's fsync. Safe to call concurrently from any
+  /// number of threads, and concurrently with further Append()s. A failed
+  /// fsync is sticky: the writer refuses all later syncs (the tail's
+  /// durability would be unknown).
+  Status SyncUpTo(uint64_t seq);
+
   uint64_t num_records() const { return num_records_; }
+  /// Physical fsyncs performed by SyncUpTo (group commit observability:
+  /// with concurrent committers this stays well below num_records()).
+  uint64_t num_syncs() const {
+    return num_syncs_.load(std::memory_order_relaxed);
+  }
   const std::string& path() const { return path_; }
 
  private:
@@ -72,6 +97,16 @@ class WalWriter {
   bool fsync_each_append_;
   uint64_t num_records_ = 0;
   Status status_;  // first append error, sticky
+
+  // Group-commit state (SyncUpTo). appended_seq_ is published by Append
+  // (externally serialized); the rest is guarded by sync_mu_.
+  std::atomic<uint64_t> appended_seq_{0};
+  std::atomic<uint64_t> num_syncs_{0};
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  uint64_t synced_seq_ = 0;
+  bool sync_inflight_ = false;
+  Status sync_status_;  // first fsync error, sticky
 };
 
 /// Replays the complete records of the WAL at `path` into `fn`, in append

@@ -1,0 +1,86 @@
+#include "storage/worker_pool.h"
+
+#include <utility>
+
+namespace onion::storage {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back(&WorkerPool::WorkerMain, this);
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+WorkerPool::ClientId WorkerPool::Register(std::function<bool()> run_one) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ClientId id = next_id_++;
+  clients_.emplace(id, Client{std::move(run_one), false, false, false});
+  return id;
+}
+
+void WorkerPool::Unregister(ClientId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = clients_.find(id);
+  if (it == clients_.end()) return;
+  it->second.removed = true;  // no worker will pick it from now on
+  idle_cv_.wait(lock, [&] { return !it->second.running; });
+  clients_.erase(it);
+}
+
+void WorkerPool::Notify(ClientId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = clients_.find(id);
+    if (it == clients_.end() || it->second.removed) return;
+    if (it->second.armed) return;  // already scheduled
+    it->second.armed = true;
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // Round-robin: first armed schedulable client strictly after the last
+    // scheduled id, wrapping around.
+    auto runnable = [](const Client& client) {
+      return client.armed && !client.running && !client.removed;
+    };
+    auto it = clients_.upper_bound(rr_cursor_);
+    for (size_t step = 0; step < clients_.size(); ++step) {
+      if (it == clients_.end()) it = clients_.begin();
+      if (runnable(it->second)) break;
+      ++it;
+    }
+    if (it == clients_.end() || !runnable(it->second)) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    rr_cursor_ = it->first;
+    it->second.armed = false;
+    it->second.running = true;
+    lock.unlock();
+    // The map node is stable and Unregister blocks on `running`, so
+    // calling through the iterator without the lock is safe.
+    const bool more = it->second.run_one();
+    lock.lock();
+    it->second.running = false;
+    if (more && !it->second.removed) {
+      it->second.armed = true;
+      work_cv_.notify_one();  // another worker may take it (or this one)
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace onion::storage

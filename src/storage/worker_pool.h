@@ -1,0 +1,88 @@
+// A shared pool of background worker threads with per-client fairness.
+//
+// One SfcDb owns one WorkerPool; every table it serves registers as a
+// client with a `run_one` callback that performs ONE unit of background
+// work (one memtable flush or one compaction round) and returns whether
+// more work remains. Workers pick armed clients round-robin, so a table
+// with a deep backlog cannot starve its neighbors: each pass over the ring
+// gives every armed table at most one unit. A standalone SfcTable owns a
+// private single-thread pool, so the table code has exactly one
+// background-execution path.
+//
+// Guarantees:
+//   * at most one worker runs a given client's callback at a time (table
+//     background work is internally single-threaded by design);
+//   * Notify() is cheap and may be called with arbitrary other locks held
+//     (the pool never calls back into a client while holding its own
+//     mutex);
+//   * Unregister() blocks until the client's callback is not running and
+//     never will run again — after it returns the client may be destroyed.
+
+#ifndef ONION_STORAGE_WORKER_POOL_H_
+#define ONION_STORAGE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace onion::storage {
+
+class WorkerPool {
+ public:
+  using ClientId = uint64_t;
+
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit WorkerPool(size_t num_threads);
+
+  /// Stops and joins all workers. Clients should already be unregistered;
+  /// any that are not will simply never run again.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Registers a client. `run_one` performs one unit of work and returns
+  /// true when more work may remain (the client is then re-armed
+  /// immediately). The client starts un-armed; call Notify() when work
+  /// appears.
+  ClientId Register(std::function<bool()> run_one);
+
+  /// Blocks until `id`'s callback is not executing, then removes it. After
+  /// this returns the callback will never be invoked again. No-op for
+  /// unknown ids.
+  void Unregister(ClientId id);
+
+  /// Arms `id`: some worker will call its run_one soon. No-op for unknown
+  /// or unregistering ids. Safe to call from inside the client's own
+  /// run_one.
+  void Notify(ClientId id);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  struct Client {
+    std::function<bool()> run_one;
+    bool armed = false;
+    bool running = false;
+    bool removed = false;  // Unregister() in progress: stop scheduling
+  };
+
+  void WorkerMain();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for armed clients
+  std::condition_variable idle_cv_;  // Unregister waits for !running
+  std::map<ClientId, Client> clients_;
+  ClientId next_id_ = 1;
+  ClientId rr_cursor_ = 0;  // last client id scheduled (round-robin point)
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_WORKER_POOL_H_

@@ -1,0 +1,355 @@
+// Streaming-cursor tests: box-cursor vs Query() equivalence on mixed
+// memtable + L0 + deeper-level state, SfcTable vs SpatialIndex cursor
+// interchangeability, limit / page-budget early exit with page accounting,
+// snapshot isolation, and cursor-outlives-compaction safety (also run
+// under the CI TSan job).
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/spatial_index.h"
+#include "sfc/registry.h"
+#include "storage/sfc_table.h"
+#include "workloads/generators.h"
+
+namespace onion::storage {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/cursor_test/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Canonical form for comparing result sets: sorted (key, payload) pairs
+/// under the producing curve.
+std::vector<std::pair<Key, uint64_t>> Canonical(
+    const SpaceFillingCurve& curve, const std::vector<SpatialEntry>& entries) {
+  std::vector<std::pair<Key, uint64_t>> out;
+  out.reserve(entries.size());
+  for (const SpatialEntry& entry : entries) {
+    out.emplace_back(curve.IndexOf(entry.cell), entry.payload);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Pages touched since the last ResetStats (resident or not).
+uint64_t PagesTouched(const SfcTable& table) {
+  const IoStats io = table.io_stats();
+  return io.page_reads + io.cache_hits;
+}
+
+TEST(CursorTest, BoxCursorMatchesQueryOnMixedState) {
+  // Small thresholds force several background flushes and at least one
+  // leveling round while half the data is still unflushed: the cursor
+  // must merge memtable + overlapping L0 runs + disjoint deeper levels.
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 5000, 211);
+  const auto boxes = RandomCubes(universe, 14, 25, 223);
+  for (const std::string name : {"onion", "hilbert", "zorder"}) {
+    SfcTableOptions options;
+    options.entries_per_page = 32;
+    options.pool_pages = 16;
+    options.memtable_flush_entries = 400;
+    options.l0_compaction_trigger = 3;
+    auto table_result =
+        SfcTable::Create(FreshDir("mixed_" + name), name, universe, options);
+    ASSERT_TRUE(table_result.ok()) << table_result.status().ToString();
+    auto& table = *table_result.value();
+    for (size_t i = 0; i < points.size(); ++i) {
+      ASSERT_TRUE(table.Insert(points[i], i).ok());
+    }
+    // No Flush(): queries hit the mixed state on purpose.
+    EXPECT_GT(table.memtable_entries(), 0u);
+    for (const Box& box : boxes) {
+      auto cursor = table.NewBoxCursor(box);
+      std::vector<SpatialEntry> streamed;
+      Key last_key = 0;
+      for (; cursor->Valid(); cursor->Next()) {
+        const SpatialEntry& entry = cursor->entry();
+        const Key key = table.curve().IndexOf(entry.cell);
+        EXPECT_GE(key, last_key) << "cursor must be key-ordered";
+        last_key = key;
+        EXPECT_TRUE(box.Contains(entry.cell));
+        streamed.push_back(entry);
+      }
+      EXPECT_TRUE(cursor->status().ok());
+      EXPECT_FALSE(cursor->hit_read_budget());
+      EXPECT_EQ(Canonical(table.curve(), streamed),
+                Canonical(table.curve(), table.Query(box)))
+          << name << " " << box.ToString();
+    }
+  }
+}
+
+TEST(CursorTest, SfcTableAndSpatialIndexCursorsAgree) {
+  const Universe universe(2, 64);
+  const auto points = ClusteredPoints(universe, 3000, 5, 8, 227);
+  const auto boxes = RandomCubes(universe, 16, 20, 229);
+  SfcTableOptions options;
+  options.memtable_flush_entries = 500;
+  auto table_result =
+      SfcTable::Create(FreshDir("vs_index"), "hilbert", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  SpatialIndex index(MakeCurve("hilbert", universe).value());
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+    index.Insert(points[i], i);
+  }
+  ASSERT_TRUE(table.Flush().ok());
+  for (const Box& box : boxes) {
+    // The two engines expose the same cursor interface; drive them
+    // identically and compare.
+    auto table_cursor = table.NewBoxCursor(box);
+    auto index_cursor = index.NewBoxCursor(box);
+    EXPECT_EQ(Canonical(table.curve(), DrainCursor(table_cursor.get())),
+              Canonical(index.curve(), DrainCursor(index_cursor.get())))
+        << box.ToString();
+    EXPECT_TRUE(table_cursor->status().ok());
+    EXPECT_TRUE(index_cursor->status().ok());
+  }
+  // Full scans agree too (and match size()).
+  auto table_scan = table.NewScanCursor();
+  auto index_scan = index.NewScanCursor();
+  const auto table_all = DrainCursor(table_scan.get());
+  EXPECT_EQ(table_all.size(), points.size());
+  EXPECT_EQ(Canonical(table.curve(), table_all),
+            Canonical(index.curve(), DrainCursor(index_scan.get())));
+}
+
+TEST(CursorTest, GetMatchesBetweenEngines) {
+  const Universe universe(2, 32);
+  auto table_result = SfcTable::Create(FreshDir("get"), "onion", universe,
+                                       SfcTableOptions{});
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  SpatialIndex index(MakeCurve("onion", universe).value());
+  const Cell cell(7, 9);
+  for (uint64_t payload : {3u, 1u, 4u}) {
+    ASSERT_TRUE(table.Insert(cell, payload).ok());
+    index.Insert(cell, payload);
+  }
+  ASSERT_TRUE(table.Flush().ok());
+  auto from_table = table.Get(cell);
+  auto from_index = index.Get(cell);
+  ASSERT_TRUE(from_table.ok());
+  ASSERT_TRUE(from_index.ok());
+  auto table_payloads = from_table.value();
+  auto index_payloads = from_index.value();
+  std::sort(table_payloads.begin(), table_payloads.end());
+  std::sort(index_payloads.begin(), index_payloads.end());
+  EXPECT_EQ(table_payloads, (std::vector<uint64_t>{1, 3, 4}));
+  EXPECT_EQ(table_payloads, index_payloads);
+  EXPECT_TRUE(table.Get(Cell(5, 5)).ok());
+  EXPECT_TRUE(table.Get(Cell(5, 5)).value().empty());
+  // Outside the universe: a Status, not a crash or an empty vector.
+  EXPECT_EQ(table.Get(Cell(32, 0)).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(index.Get(Cell(32, 0)).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CursorTest, InvalidBoxYieldsErrorCursorNotEmptyResult) {
+  const Universe universe(2, 32);
+  auto table_result = SfcTable::Create(FreshDir("bad_box"), "hilbert",
+                                       universe, SfcTableOptions{});
+  ASSERT_TRUE(table_result.ok());
+  const Box outside(Cell(0, 0), Cell(40, 40));
+  auto cursor = table_result.value()->NewBoxCursor(outside);
+  EXPECT_FALSE(cursor->Valid());
+  EXPECT_EQ(cursor->status().code(), StatusCode::kInvalidArgument);
+
+  SpatialIndex index(MakeCurve("hilbert", universe).value());
+  auto index_cursor = index.NewBoxCursor(outside);
+  EXPECT_FALSE(index_cursor->Valid());
+  EXPECT_EQ(index_cursor->status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CursorTest, LimitStopsEarlyAndReadsFewerPages) {
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 6000, 233);
+  SfcTableOptions options;
+  options.entries_per_page = 16;  // many pages per query
+  options.pool_pages = 4;         // tiny pool: fetches really happen
+  options.memtable_flush_entries = 1000;
+  auto table_result =
+      SfcTable::Create(FreshDir("limit"), "hilbert", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(table.Compact().ok());
+
+  const Box big(Cell(0, 0), Cell(63, 63));
+  table.ResetStats();
+  const auto full = table.Query(big);
+  const uint64_t full_pages = PagesTouched(table);
+  ASSERT_EQ(full.size(), points.size());
+  ASSERT_GT(full_pages, 10u);
+
+  ReadOptions limited;
+  limited.limit = 8;
+  table.ResetStats();
+  auto cursor = table.NewBoxCursor(big, limited);
+  const auto some = DrainCursor(cursor.get());
+  const uint64_t limited_pages = PagesTouched(table);
+  EXPECT_EQ(some.size(), 8u);
+  EXPECT_TRUE(cursor->hit_read_budget());
+  EXPECT_TRUE(cursor->status().ok());
+  // The whole point of streaming: a bounded read touches a fraction of
+  // the pages full materialization does.
+  EXPECT_LT(limited_pages, full_pages / 2);
+}
+
+TEST(CursorTest, MaxPagesBudgetBoundsFetches) {
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 4000, 239);
+  SfcTableOptions options;
+  options.entries_per_page = 16;
+  options.pool_pages = 4;
+  options.memtable_flush_entries = 1000;
+  auto table_result =
+      SfcTable::Create(FreshDir("max_pages"), "zorder", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(table.Compact().ok());
+
+  ReadOptions bounded;
+  bounded.max_pages = 3;
+  table.ResetStats();
+  auto cursor = table.NewBoxCursor(Box(Cell(0, 0), Cell(63, 63)), bounded);
+  const auto entries = DrainCursor(cursor.get());
+  EXPECT_TRUE(cursor->status().ok());
+  EXPECT_TRUE(cursor->hit_read_budget());
+  EXPECT_LE(PagesTouched(table), 3u);
+  EXPECT_FALSE(entries.empty());  // it did stream what the budget allowed
+  EXPECT_LT(entries.size(), points.size());
+
+  // Byte budgets behave the same way (one page = entries_per_page * 16B).
+  ReadOptions bytes;
+  bytes.max_bytes = 16 * kEntryBytes * 2;  // two pages worth
+  table.ResetStats();
+  auto byte_cursor =
+      table.NewBoxCursor(Box(Cell(0, 0), Cell(63, 63)), bytes);
+  DrainCursor(byte_cursor.get());
+  EXPECT_TRUE(byte_cursor->hit_read_budget());
+  EXPECT_LE(PagesTouched(table), 3u);
+}
+
+TEST(CursorTest, HitReadBudgetDistinguishesTruncationFromExhaustion) {
+  // The flag must mean "stopped early", never "delivered exactly limit":
+  // limit == result count reads as clean exhaustion on both engines.
+  const Universe universe(2, 32);
+  auto table_result = SfcTable::Create(FreshDir("budget_flag"), "hilbert",
+                                       universe, SfcTableOptions{});
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  SpatialIndex index(MakeCurve("hilbert", universe).value());
+  const Box box(Cell(0, 0), Cell(7, 7));
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(table.Insert(Cell(i, i), i).ok());
+    index.Insert(Cell(i, i), i);
+  }
+  ASSERT_TRUE(table.Flush().ok());
+
+  const auto check = [&](Cursor* cursor, uint64_t expect_count,
+                         bool expect_budget_hit, const char* label) {
+    EXPECT_EQ(DrainCursor(cursor).size(), expect_count) << label;
+    EXPECT_EQ(cursor->hit_read_budget(), expect_budget_hit) << label;
+    EXPECT_TRUE(cursor->status().ok()) << label;
+  };
+  ReadOptions exact;
+  exact.limit = 5;
+  ReadOptions truncating;
+  truncating.limit = 3;
+  check(table.NewBoxCursor(box, exact).get(), 5, false, "table exact");
+  check(table.NewBoxCursor(box, truncating).get(), 3, true,
+        "table truncated");
+  check(index.NewBoxCursor(box, exact).get(), 5, false, "index exact");
+  check(index.NewBoxCursor(box, truncating).get(), 3, true,
+        "index truncated");
+  check(table.NewBoxCursor(box).get(), 5, false, "table unbounded");
+  check(index.NewBoxCursor(box).get(), 5, false, "index unbounded");
+}
+
+TEST(CursorTest, CursorOutlivesCompaction) {
+  // Snapshot isolation under structural churn: a cursor opened before
+  // Compact() keeps streaming the retired segments (shared_ptr-pinned)
+  // and must deliver exactly the pre-compaction result.
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 4000, 241);
+  SfcTableOptions options;
+  options.entries_per_page = 32;
+  options.pool_pages = 8;
+  options.memtable_flush_entries = 500;
+  options.l0_compaction_trigger = 100;  // stay fragmented until Compact()
+  auto table_result =
+      SfcTable::Create(FreshDir("outlive"), "onion", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(table.Flush().ok());
+  ASSERT_GT(table.num_segments(), 1u);
+
+  const Box box(Cell(0, 0), Cell(63, 63));
+  const auto expected = Canonical(table.curve(), table.Query(box));
+
+  auto cursor = table.NewBoxCursor(box);
+  std::vector<SpatialEntry> streamed;
+  for (int i = 0; i < 100 && cursor->Valid(); ++i) {
+    streamed.push_back(cursor->entry());
+    cursor->Next();
+  }
+  ASSERT_TRUE(table.Compact().ok());  // retires every snapshotted segment
+  EXPECT_EQ(table.num_segments(), 1u);
+  for (; cursor->Valid(); cursor->Next()) streamed.push_back(cursor->entry());
+  EXPECT_TRUE(cursor->status().ok());
+  EXPECT_EQ(Canonical(table.curve(), streamed), expected);
+}
+
+TEST(CursorTest, SnapshotIgnoresConcurrentInserts) {
+  // A cursor is a consistent snapshot: entries inserted (and flushed)
+  // after creation must not leak into its stream. Runs with a live
+  // background worker, so TSan also gets a workout here.
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 3000, 251);
+  const auto extra = RandomPoints(universe, 3000, 257);
+  SfcTableOptions options;
+  options.memtable_flush_entries = 300;
+  options.l0_compaction_trigger = 3;
+  auto table_result =
+      SfcTable::Create(FreshDir("snapshot"), "hilbert", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(table.Flush().ok());
+
+  const Box box(Cell(0, 0), Cell(63, 63));
+  const auto before = Canonical(table.curve(), table.Query(box));
+  auto cursor = table.NewBoxCursor(box);
+  std::thread writer([&] {
+    for (size_t i = 0; i < extra.size(); ++i) {
+      ASSERT_TRUE(table.Insert(extra[i], points.size() + i).ok());
+    }
+  });
+  const auto streamed = DrainCursor(cursor.get());
+  writer.join();
+  EXPECT_EQ(Canonical(table.curve(), streamed), before);
+}
+
+}  // namespace
+}  // namespace onion::storage

@@ -1,0 +1,250 @@
+// SfcDb catalog tests: create/open/drop/list lifecycle, catalog
+// persistence across reopen, shared-pool I/O attribution staying
+// per-table, the shared worker pool flushing many tables, orphan GC, and
+// option/name validation.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/sfc_db.h"
+#include "workloads/generators.h"
+
+namespace onion::storage {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/sfc_db_test/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(SfcDbTest, CreateListGetDropLifecycle) {
+  const std::string dir = FreshDir("lifecycle");
+  auto db_result = SfcDb::Open(dir);
+  ASSERT_TRUE(db_result.ok()) << db_result.status().ToString();
+  auto& db = *db_result.value();
+  EXPECT_TRUE(db.ListTables().empty());
+
+  const Universe universe(2, 32);
+  auto beta = db.CreateTable("beta", "hilbert", universe);
+  auto alpha = db.CreateTable("alpha", "onion", universe);
+  ASSERT_TRUE(beta.ok()) << beta.status().ToString();
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(db.ListTables(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(db.GetTable("alpha"), alpha.value());
+  EXPECT_EQ(db.GetTable("beta"), beta.value());
+  EXPECT_EQ(db.GetTable("gamma"), nullptr);
+  EXPECT_EQ(alpha.value()->curve().name(), "onion");
+
+  // Same name twice is refused; the original handle stays valid.
+  auto dup = db.CreateTable("alpha", "zorder", universe);
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(db.DropTable("alpha").ok());
+  EXPECT_EQ(db.ListTables(), (std::vector<std::string>{"beta"}));
+  EXPECT_EQ(db.GetTable("alpha"), nullptr);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/alpha"));
+  EXPECT_EQ(db.DropTable("alpha").code(), StatusCode::kNotFound);
+  // The name is reusable after a drop.
+  EXPECT_TRUE(db.CreateTable("alpha", "zorder", universe).ok());
+}
+
+TEST(SfcDbTest, CatalogSurvivesReopen) {
+  const std::string dir = FreshDir("reopen");
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 2000, 311);
+  {
+    auto db_result = SfcDb::Open(dir);
+    ASSERT_TRUE(db_result.ok());
+    auto& db = *db_result.value();
+    SfcTableOptions options;
+    options.memtable_flush_entries = 300;
+    auto table = db.CreateTable("points", "hilbert", universe, options);
+    ASSERT_TRUE(table.ok());
+    for (size_t i = 0; i < points.size(); ++i) {
+      ASSERT_TRUE(table.value()->Insert(points[i], i).ok());
+    }
+    ASSERT_TRUE(db.Close().ok());
+  }
+  auto db_result = SfcDb::Open(dir);
+  ASSERT_TRUE(db_result.ok()) << db_result.status().ToString();
+  auto& db = *db_result.value();
+  EXPECT_EQ(db.ListTables(), (std::vector<std::string>{"points"}));
+  EXPECT_EQ(db.GetTable("points"), nullptr);  // not opened eagerly
+  auto table = db.OpenTable("points");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table.value()->size(), points.size());
+  EXPECT_EQ(table.value()->curve().name(), "hilbert");
+  // OpenTable is idempotent: same handle back.
+  EXPECT_EQ(db.OpenTable("points").value(), table.value());
+  EXPECT_EQ(db.OpenTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SfcDbTest, SharedPoolKeepsPerTableIoStatsIsolated) {
+  const std::string dir = FreshDir("io_isolation");
+  SfcDbOptions db_options;
+  db_options.pool_pages = 64;  // one pool for both tables
+  auto db_result = SfcDb::Open(dir, db_options);
+  ASSERT_TRUE(db_result.ok());
+  auto& db = *db_result.value();
+
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 4000, 331);
+  SfcTableOptions options;
+  options.entries_per_page = 32;
+  options.memtable_flush_entries = 1000;
+  auto hot = db.CreateTable("hot", "hilbert", universe, options);
+  auto cold = db.CreateTable("cold", "hilbert", universe, options);
+  ASSERT_TRUE(hot.ok());
+  ASSERT_TRUE(cold.ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(hot.value()->Insert(points[i], i).ok());
+    ASSERT_TRUE(cold.value()->Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(hot.value()->Flush().ok());
+  ASSERT_TRUE(cold.value()->Flush().ok());
+
+  hot.value()->ResetStats();
+  cold.value()->ResetStats();
+  const Box box(Cell(0, 0), Cell(40, 40));
+  const auto results = hot.value()->Query(box);
+  EXPECT_FALSE(results.empty());
+
+  // Attribution: the queried table saw I/O, its neighbor saw none, and
+  // the pool's physical aggregate covers at least the queried share.
+  const IoStats hot_io = hot.value()->io_stats();
+  const IoStats cold_io = cold.value()->io_stats();
+  EXPECT_GT(hot_io.page_reads + hot_io.cache_hits, 0u);
+  EXPECT_GT(hot_io.entries_read, 0u);
+  EXPECT_EQ(cold_io.page_reads, 0u);
+  EXPECT_EQ(cold_io.cache_hits, 0u);
+  EXPECT_EQ(cold_io.entries_read, 0u);
+  const IoStats pool = db.pool_stats();
+  EXPECT_GE(pool.page_reads, hot_io.page_reads);
+}
+
+TEST(SfcDbTest, SharedWorkersServeManyTables) {
+  const std::string dir = FreshDir("shared_workers");
+  SfcDbOptions db_options;
+  db_options.num_workers = 2;
+  auto db_result = SfcDb::Open(dir, db_options);
+  ASSERT_TRUE(db_result.ok());
+  auto& db = *db_result.value();
+
+  const Universe universe(2, 64);
+  constexpr int kTables = 4;
+  constexpr size_t kPerTable = 2000;
+  SfcTableOptions options;
+  options.memtable_flush_entries = 250;  // many background flushes each
+  options.l0_compaction_trigger = 3;     // and background leveling
+  std::vector<SfcTable*> tables;
+  for (int t = 0; t < kTables; ++t) {
+    auto table = db.CreateTable("t" + std::to_string(t), "onion", universe,
+                                options);
+    ASSERT_TRUE(table.ok());
+    tables.push_back(table.value());
+  }
+  // Concurrent writers, one per table, all feeding the two shared workers.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kTables; ++t) {
+    writers.emplace_back([&, t] {
+      const auto points = RandomPoints(universe, kPerTable, 400 + t);
+      for (size_t i = 0; i < points.size(); ++i) {
+        ASSERT_TRUE(tables[t]->Insert(points[i], i).ok());
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  for (SfcTable* table : tables) {
+    ASSERT_TRUE(table->Flush().ok());
+    EXPECT_EQ(table->size(), kPerTable);
+    EXPECT_EQ(table->memtable_entries(), 0u);
+    EXPECT_GT(table->num_segments(), 0u);
+    auto cursor = table->NewScanCursor();
+    EXPECT_EQ(DrainCursor(cursor.get()).size(), kPerTable);
+  }
+  ASSERT_TRUE(db.Close().ok());
+}
+
+TEST(SfcDbTest, OrphanTableDirectoriesAreCollectedOnOpen) {
+  const std::string dir = FreshDir("orphan_gc");
+  {
+    auto db = SfcDb::Open(dir);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(
+        db.value()->CreateTable("keep", "onion", Universe(2, 32)).ok());
+    ASSERT_TRUE(db.value()->Close().ok());
+  }
+  // Simulate a crash between catalog rewrite and directory removal: a
+  // table directory (with a MANIFEST) the catalog does not name.
+  std::filesystem::create_directories(dir + "/ghost");
+  std::ofstream(dir + "/ghost/MANIFEST") << "onion-sfc-table 2\n";
+  // And a random non-table directory, which must be left alone.
+  std::filesystem::create_directories(dir + "/not_a_table");
+
+  auto db = SfcDb::Open(dir);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db.value()->ListTables(), (std::vector<std::string>{"keep"}));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/ghost"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/not_a_table"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/keep/MANIFEST"));
+}
+
+TEST(SfcDbTest, RejectsBadNamesAndOptions) {
+  const Universe universe(2, 32);
+  {
+    SfcDbOptions bad;
+    bad.pool_pages = 0;
+    EXPECT_EQ(SfcDb::Open(FreshDir("bad_pool"), bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    SfcDbOptions bad;
+    bad.num_workers = 0;
+    EXPECT_EQ(SfcDb::Open(FreshDir("bad_workers"), bad).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  auto db = SfcDb::Open(FreshDir("bad_names"));
+  ASSERT_TRUE(db.ok());
+  for (const std::string name :
+       {"", "has/slash", "has space", "..", "dot.dot", "a\tb"}) {
+    auto result = db.value()->CreateTable(name, "onion", universe);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << name;
+  }
+  // A bad curve or bad per-table options must not catalog anything.
+  EXPECT_FALSE(db.value()->CreateTable("t", "no_such_curve", universe).ok());
+  SfcTableOptions bad_table;
+  bad_table.l0_compaction_trigger = 1;
+  EXPECT_EQ(db.value()
+                ->CreateTable("t", "onion", universe, bad_table)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.value()->ListTables().empty());
+  EXPECT_TRUE(db.value()->CreateTable("t", "onion", universe).ok());
+}
+
+TEST(SfcDbTest, CloseIsIdempotentAndFinal) {
+  auto db = SfcDb::Open(FreshDir("close"));
+  ASSERT_TRUE(db.ok());
+  const Universe universe(2, 32);
+  auto table = db.value()->CreateTable("t", "onion", universe);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table.value()->Insert(Cell(1, 2), 3).ok());
+  ASSERT_TRUE(db.value()->Close().ok());
+  ASSERT_TRUE(db.value()->Close().ok());  // idempotent
+  EXPECT_EQ(db.value()->CreateTable("u", "onion", universe).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.value()->OpenTable("t").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.value()->DropTable("t").code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace onion::storage

@@ -333,6 +333,74 @@ TEST(SfcTableTest, LeveledCompactionKeepsLevelsDisjoint) {
             Canonical(reference.curve(), reference.Query(everything)));
 }
 
+TEST(SfcTableTest, CloseQuiescesStopsWritesAndIsIdempotent) {
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 2000, 91);
+  SfcTableOptions options;
+  options.memtable_flush_entries = 300;
+  auto table_result =
+      SfcTable::Create(FreshDir("close"), "hilbert", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(table.Close().ok());
+  // Close is a full barrier: everything buffered reached segments.
+  EXPECT_EQ(table.memtable_entries(), 0u);
+  EXPECT_EQ(table.pending_memtables(), 0u);
+  EXPECT_EQ(table.size(), points.size());
+  // Idempotent, and write paths are refused from now on...
+  EXPECT_TRUE(table.Close().ok());
+  EXPECT_EQ(table.Insert(Cell(1, 1), 99).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.Compact().code(), StatusCode::kInvalidArgument);
+  // ...while reads stay fully valid.
+  const Box everything(Cell(0, 0), Cell(63, 63));
+  EXPECT_EQ(table.Query(everything).size(), points.size());
+  auto cursor = table.NewBoxCursor(everything);
+  EXPECT_EQ(DrainCursor(cursor.get()).size(), points.size());
+}
+
+TEST(SfcTableTest, OptionValidationRejectsBadValues) {
+  const Universe universe(2, 32);
+  const auto expect_invalid = [&](const SfcTableOptions& options,
+                                  const std::string& label) {
+    auto created =
+        SfcTable::Create(FreshDir("bad_options_" + label), "onion", universe,
+                         options);
+    EXPECT_FALSE(created.ok()) << label;
+    EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument) << label;
+  };
+  SfcTableOptions options;
+  options.entries_per_page = 0;
+  expect_invalid(options, "entries_per_page");
+  options = SfcTableOptions{};
+  options.pool_pages = 0;
+  expect_invalid(options, "pool_pages");
+  options = SfcTableOptions{};
+  options.memtable_flush_entries = 0;
+  expect_invalid(options, "memtable_flush_entries");
+  options = SfcTableOptions{};
+  options.max_pending_memtables = 0;
+  expect_invalid(options, "max_pending_memtables");
+  options = SfcTableOptions{};
+  options.l0_compaction_trigger = 1;
+  expect_invalid(options, "l0_compaction_trigger");
+  options = SfcTableOptions{};
+  options.level_growth_factor = 1;
+  expect_invalid(options, "level_growth_factor");
+
+  // Open validates too: create a good table, then reopen with bad options.
+  const std::string dir = FreshDir("bad_options_open");
+  ASSERT_TRUE(SfcTable::Create(dir, "onion", universe).ok());
+  SfcTableOptions bad;
+  bad.level_growth_factor = 0;
+  auto reopened = SfcTable::Open(dir, bad);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SfcTableTest, ReopenedTableAcceptsMoreInserts) {
   const Universe universe(2, 32);
   const std::string dir = FreshDir("append");

@@ -169,6 +169,41 @@ TEST(StorageConcurrencyTest, ManualCompactionUnderReaders) {
   EXPECT_EQ(table.Query(everything).size(), expected);
 }
 
+// Close() racing a manual Compact(): Close must not report quiesced while
+// the compaction is still installing manifests. Whatever interleaving
+// happens, both calls return, the data survives intact, and the table is
+// cleanly closed afterwards.
+TEST(StorageConcurrencyTest, CloseDuringManualCompactionQuiesces) {
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 4000, 107);
+  SfcTableOptions options;
+  options.memtable_flush_entries = 400;
+  options.l0_compaction_trigger = 100;  // fragmented until Compact
+  auto table_result = SfcTable::Create(FreshDir("close_vs_compact"),
+                                       "hilbert", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(table.Flush().ok());
+  ASSERT_GT(table.num_segments(), 1u);
+
+  std::thread compactor([&] {
+    const Status status = table.Compact();
+    // Either it won the race and compacted, or Close() got there first.
+    EXPECT_TRUE(status.ok() ||
+                status.code() == StatusCode::kInvalidArgument)
+        << status.ToString();
+  });
+  ASSERT_TRUE(table.Close().ok());
+  compactor.join();
+  EXPECT_TRUE(table.Close().ok());  // still idempotent after the race
+  EXPECT_EQ(table.size(), points.size());
+  EXPECT_EQ(table.Query(Box(Cell(0, 0), Cell(63, 63))).size(),
+            points.size());
+}
+
 // The shared buffer pool itself: many threads scanning two segments with
 // a pool too small to hold them, so fetches, evictions, and the stats
 // counters race as hard as possible.
