@@ -1,24 +1,31 @@
 // End-to-end storage-engine benchmark on REAL files: for each curve, build
-// a persistent SfcTable over the same point set, compact it to a single
-// on-disk run, and replay box-query workloads through the buffer pool.
-// Reports measured page reads, disk seeks, cache hits, and modeled HDD
-// latency next to the analytic average clustering number — the paper's
-// claim is that the measured seek ranking follows the clustering ranking,
-// and here it is checked against actual file I/O rather than a simulation.
+// persistent SfcTables over the same point set — one per segment-format
+// configuration (raw pages without filters vs delta-varint pages with
+// bloom + zone filters) — compact them to a single on-disk run, and replay
+// box-query workloads through the buffer pool. Reports measured page
+// reads, disk seeks, cache hits, on-disk bytes, and modeled HDD latency
+// next to the analytic average clustering number — the paper's claim is
+// that the measured seek ranking follows the clustering ranking, and here
+// it is checked against actual file I/O rather than a simulation. The
+// codec comparison shows how compression multiplies the clustering win:
+// fewer runs touched (clustering) times fewer bytes per run (codec).
 //
 // Two table populations:
 //   --mode=grid (default)  every cell of the universe is stored and each
 //       page holds one cell — the paper's model, where a grid cell IS a
 //       disk block. Measured seeks then equal the clustering number.
 //   --mode=random          `--points` uniform random points with multi-entry
-//       pages — adds the sparsity effects a real table sees: short key gaps
-//       are absorbed inside pages, which systematically flatters the curves
-//       whose jumps are short-range (Z-order, Hilbert) relative to onion's
-//       cross-layer jumps.
+//       pages — adds the sparsity effects a real table sees.
 //
-// --page=0 (auto) picks 1 entry/page in grid mode and 256 in random mode;
-// setting it explicitly exposes the granularity ablation above.
+// Grid mode additionally runs a point-Get phase over a half-populated
+// ("checkerboard") grid, where every segment's key span covers the whole
+// universe: fence pruning cannot help, so the bloom filter is what saves
+// the absent probes. The bench FAILS (nonzero exit) if the filtered+
+// compressed configuration does not beat raw+unfiltered on both on-disk
+// bytes and pages fetched for point Gets — CI smoke-runs this as a
+// regression gate.
 //
+// --page=0 (auto) picks 1 entry/page in grid mode and 256 in random mode.
 // --quick shrinks the defaults (side 64, 10 queries) so CI can smoke-run
 // the whole bench in seconds; explicit flags still win.
 //
@@ -28,6 +35,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,8 +47,48 @@
 #include "storage/sfc_table.h"
 #include "workloads/generators.h"
 
+namespace {
+
+using namespace onion;
+
+/// One segment-format configuration under comparison.
+struct FormatConfig {
+  std::string tag;
+  storage::PageCodec codec;
+  uint32_t filter_bits_per_key;
+};
+
+uint64_t TableDiskBytes(storage::SfcTable& table) {
+  uint64_t total = 0;
+  for (const storage::SegmentInfo& info : table.SegmentInfos()) {
+    total += info.disk_bytes;
+  }
+  return total;
+}
+
+std::unique_ptr<storage::SfcTable> BuildTable(
+    const std::string& dir, const std::string& curve_name,
+    const Universe& universe, const storage::SfcTableOptions& options,
+    const std::vector<Cell>& points) {
+  std::filesystem::remove_all(dir);
+  auto table_result =
+      storage::SfcTable::Create(dir, curve_name, universe, options);
+  ONION_CHECK_MSG(table_result.ok(),
+                  table_result.status().ToString().c_str());
+  auto table = std::move(table_result).value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Status status = table->Insert(points[i], i);
+    ONION_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+  // One sorted run on disk: seeks now mirror the clustering number.
+  const Status compacted = table->Compact();
+  ONION_CHECK_MSG(compacted.ok(), compacted.ToString().c_str());
+  return table;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace onion;
   const CommandLine cli(argc, argv);
   const bool quick = cli.GetBool("quick", false);
   const auto side = static_cast<Coord>(cli.GetInt("side", quick ? 64 : 256));
@@ -82,6 +130,10 @@ int main(int argc, char** argv) {
       {"corner_rects", RandomCornerBoxes(universe, num_queries, 31)},
   };
   const std::vector<std::string> names = {"onion", "hilbert", "zorder"};
+  const std::vector<FormatConfig> configs = {
+      {"raw", storage::PageCodec::kRaw, 0},
+      {"delta+filter", storage::PageCodec::kDeltaVarint, 10},
+  };
 
   std::printf("=== storage engine on real files: %zu points (%s) on %ux%u, "
               "%u entries/page, %llu-page pool ===\n\n",
@@ -89,34 +141,53 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(pool_pages));
   if (csv) bench::PrintIoCsvHeader();
 
-  for (const Workload& workload : workloads) {
-    std::printf("--- workload %s, %zu queries ---\n", workload.tag.c_str(),
-                workload.queries.size());
-    std::printf("%-10s %12s %12s %12s %12s %14s %12s\n", "curve",
-                "avg seeks", "page reads", "cache hits", "entries/q",
-                "avg clustering", "HDD ms/q");
-    for (const std::string& name : names) {
-      const std::string dir = base_dir + "/" + name;
-      std::filesystem::remove_all(dir);
+  // Build every (curve, format) table once; the box workloads and the
+  // byte comparison reuse them.
+  struct BenchTable {
+    std::string curve;
+    std::string config;
+    std::unique_ptr<storage::SfcTable> table;
+  };
+  std::vector<BenchTable> tables;
+  for (const std::string& name : names) {
+    for (const FormatConfig& config : configs) {
       storage::SfcTableOptions options;
       options.entries_per_page = page;
       options.pool_pages = pool_pages;
-      auto table_result = storage::SfcTable::Create(dir, name, universe,
-                                                    options);
-      if (!table_result.ok()) {
-        std::printf("%-10s skipped (%s)\n", name.c_str(),
-                    table_result.status().ToString().c_str());
-        continue;
-      }
-      auto& table = *table_result.value();
-      for (size_t i = 0; i < points.size(); ++i) {
-        const Status status = table.Insert(points[i], i);
-        ONION_CHECK_MSG(status.ok(), status.ToString().c_str());
-      }
-      // One sorted run on disk: seeks now mirror the clustering number.
-      const Status compacted = table.Compact();
-      ONION_CHECK_MSG(compacted.ok(), compacted.ToString().c_str());
+      options.codec = config.codec;
+      options.filter_bits_per_key = config.filter_bits_per_key;
+      tables.push_back(BenchTable{
+          name, config.tag,
+          BuildTable(base_dir + "/" + name + "_" + config.tag, name,
+                     universe, options, points)});
+    }
+  }
 
+  std::printf("--- on-disk footprint (segment format v2 codecs) ---\n");
+  std::printf("%-10s %-14s %14s %14s\n", "curve", "config", "disk KB",
+              "filter KB");
+  for (const BenchTable& bench_table : tables) {
+    uint64_t filter_bytes = 0;
+    for (const auto& info : bench_table.table->SegmentInfos()) {
+      filter_bytes += info.filter_bytes;
+    }
+    std::printf("%-10s %-14s %14.1f %14.1f\n", bench_table.curve.c_str(),
+                bench_table.config.c_str(),
+                static_cast<double>(TableDiskBytes(*bench_table.table)) /
+                    1024.0,
+                static_cast<double>(filter_bytes) / 1024.0);
+  }
+  std::printf("\n");
+
+  for (const Workload& workload : workloads) {
+    std::printf("--- workload %s, %zu queries ---\n", workload.tag.c_str(),
+                workload.queries.size());
+    std::printf("%-10s %-14s %10s %10s %10s %10s %12s %10s\n", "curve",
+                "config", "avg seeks", "page reads", "cache hits",
+                "entries/q", "avg cluster", "HDD ms/q");
+    uint64_t raw_results = 0;
+    for (const BenchTable& bench_table : tables) {
+      auto& table = *bench_table.table;
       table.ResetStats();
       uint64_t results = 0;
       for (const Box& query : workload.queries) {
@@ -127,7 +198,15 @@ int main(int argc, char** argv) {
         ONION_CHECK_MSG(cursor->status().ok(),
                         cursor->status().ToString().c_str());
       }
-      const IoStats& io = table.io_stats();
+      // Equivalence gate: every format configuration must produce the
+      // same result count for the same workload on the same curve.
+      if (bench_table.config == configs.front().tag) {
+        raw_results = results;
+      } else {
+        ONION_CHECK_MSG(results == raw_results,
+                        "codec changed query results");
+      }
+      const IoStats io = table.io_stats();
       const ClusteringEvaluator evaluator(&table.curve());
       double clustering_sum = 0;
       for (const Box& query : workload.queries) {
@@ -135,19 +214,102 @@ int main(int argc, char** argv) {
       }
       const double q = static_cast<double>(workload.queries.size());
       const double est_ms = table.EstimateCostMs(DiskModel::Hdd());
-      std::printf("%-10s %12.1f %12.1f %12.1f %12.1f %14.1f %12.2f\n",
-                  name.c_str(), static_cast<double>(io.seeks) / q,
+      std::printf("%-10s %-14s %10.1f %10.1f %10.1f %10.1f %12.1f %10.2f\n",
+                  bench_table.curve.c_str(), bench_table.config.c_str(),
+                  static_cast<double>(io.seeks) / q,
                   static_cast<double>(io.page_reads) / q,
                   static_cast<double>(io.cache_hits) / q,
                   static_cast<double>(results) / q, clustering_sum / q,
                   est_ms / q);
       if (csv) {
-        bench::PrintIoCsvRow(workload.tag, name, workload.queries.size(), io,
-                             clustering_sum / q, est_ms / q);
+        bench::PrintIoCsvRow(workload.tag,
+                             bench_table.curve + ":" + bench_table.config,
+                             workload.queries.size(), io, clustering_sum / q,
+                             est_ms / q);
       }
     }
     std::printf("\n");
   }
+
+  // Point-Get phase (grid mode): a checkerboard table, where every
+  // segment's [min_key, max_key] span covers the whole universe, so fence
+  // pruning never helps and absent probes are saved by the bloom filter
+  // alone. Present and absent cells interleave 50/50.
+  if (mode == "grid") {
+    std::printf("--- point Gets on a checkerboard half-grid "
+                "(fences can't prune; blooms can) ---\n");
+    std::printf("%-10s %-14s %12s %12s %14s %12s\n", "curve", "config",
+                "gets", "pages/get", "filter skips", "disk KB");
+    std::vector<Cell> checker;
+    for (Coord y = 0; y < side; ++y) {
+      for (Coord x = 0; x < side; ++x) {
+        if ((x + y) % 2 == 0) checker.push_back(Cell(x, y));
+      }
+    }
+    for (const std::string& name : names) {
+      uint64_t raw_pages = 0;
+      uint64_t raw_bytes = 0;
+      for (const FormatConfig& config : configs) {
+        storage::SfcTableOptions options;
+        options.entries_per_page = 16;  // realistic multi-entry pages
+        options.pool_pages = pool_pages;
+        options.codec = config.codec;
+        options.filter_bits_per_key = config.filter_bits_per_key;
+        auto table =
+            BuildTable(base_dir + "/get_" + name + "_" + config.tag, name,
+                       universe, options, checker);
+        table->ResetStats();
+        uint64_t gets = 0;
+        uint64_t hits = 0;
+        const Key num_cells = universe.num_cells();
+        uint64_t stride = num_cells / 2048;
+        if (stride % 2 == 0) ++stride;  // odd: probes alternate parity
+        for (Key i = 0; i < num_cells; i += stride) {
+          const Cell cell(static_cast<Coord>(i % side),
+                          static_cast<Coord>(i / side));
+          auto payloads = table->Get(cell);
+          ONION_CHECK_MSG(payloads.ok(),
+                          payloads.status().ToString().c_str());
+          ++gets;
+          hits += payloads.value().empty() ? 0 : 1;
+        }
+        const IoStats io = table->io_stats();
+        const uint64_t pages_touched = io.page_reads + io.cache_hits;
+        const uint64_t disk_bytes = TableDiskBytes(*table);
+        std::printf("%-10s %-14s %12llu %12.2f %14llu %12.1f\n",
+                    name.c_str(), config.tag.c_str(),
+                    static_cast<unsigned long long>(gets),
+                    static_cast<double>(pages_touched) /
+                        static_cast<double>(gets),
+                    static_cast<unsigned long long>(
+                        io.pages_skipped_by_filter),
+                    static_cast<double>(disk_bytes) / 1024.0);
+        if (csv) {
+          bench::PrintIoCsvRow("point_get", name + ":" + config.tag, gets,
+                               io, 0.0, 0.0);
+        }
+        if (config.filter_bits_per_key == 0) {
+          raw_pages = pages_touched;
+          raw_bytes = disk_bytes;
+        } else {
+          // The acceptance contract of segment format v2, enforced at
+          // bench time: compression shrinks the table AND filters cut the
+          // pages point lookups touch.
+          ONION_CHECK_MSG(disk_bytes < raw_bytes,
+                          "delta codec failed to shrink on-disk bytes");
+          ONION_CHECK_MSG(pages_touched < raw_pages,
+                          "filters failed to cut pages fetched for Gets");
+          ONION_CHECK_MSG(io.pages_skipped_by_filter > 0,
+                          "bloom filter never skipped a probe");
+        }
+        // Sanity: the probe sweep really mixes present and absent cells.
+        ONION_CHECK_MSG(hits * 4 > gets && hits * 4 < gets * 3,
+                        "checkerboard probe mix is off");
+      }
+    }
+    std::printf("\n");
+  }
+
   std::printf("(seeks are measured non-sequential page fetches against "
               "segment files;\n the curve ranking should match the analytic "
               "clustering-number ranking.)\n");

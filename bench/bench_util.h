@@ -45,9 +45,13 @@ inline void PrintCsvRow(const std::string& tag, const std::string& label,
 }
 
 /// Header line for the I/O-metric CSV rows below (perf-trajectory files).
+/// disk_bytes / decoded_bytes / pages_skipped_by_filter follow the
+/// accounting rules of storage/io_stats.h: on-disk (encoded) bytes,
+/// decoded page bytes, and page fetches avoided by bloom/zone filters.
 inline void PrintIoCsvHeader() {
   std::printf("CSVIO,tag,label,queries,seeks,page_reads,cache_hits,"
-              "entries_read,avg_clustering,est_ms\n");
+              "entries_read,disk_bytes,decoded_bytes,"
+              "pages_skipped_by_filter,avg_clustering,est_ms\n");
 }
 
 /// Prints one I/O-metric CSV row: per-workload physical counters from a
@@ -56,12 +60,17 @@ inline void PrintIoCsvHeader() {
 inline void PrintIoCsvRow(const std::string& tag, const std::string& label,
                           uint64_t queries, const IoStats& io,
                           double avg_clustering, double est_ms) {
-  std::printf("CSVIO,%s,%s,%llu,%llu,%llu,%llu,%llu,%.3f,%.3f\n", tag.c_str(),
-              label.c_str(), static_cast<unsigned long long>(queries),
+  std::printf("CSVIO,%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.3f,"
+              "%.3f\n",
+              tag.c_str(), label.c_str(),
+              static_cast<unsigned long long>(queries),
               static_cast<unsigned long long>(io.seeks),
               static_cast<unsigned long long>(io.page_reads),
               static_cast<unsigned long long>(io.cache_hits),
               static_cast<unsigned long long>(io.entries_read),
+              static_cast<unsigned long long>(io.disk_bytes),
+              static_cast<unsigned long long>(io.decoded_bytes),
+              static_cast<unsigned long long>(io.pages_skipped_by_filter),
               avg_clustering, est_ms);
 }
 

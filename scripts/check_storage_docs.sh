@@ -18,7 +18,10 @@ for path in src/storage/*; do
   fi
 done
 for symbol in SfcDb SfcTable Cursor ReadOptions NewBoxCursor NewScanCursor \
-              DrainCursor SyncUpTo CreateTable DropTable hit_read_budget; do
+              DrainCursor SyncUpTo CreateTable DropTable hit_read_budget \
+              PageCodec kDeltaVarint filter_bits_per_key ProbeFilter \
+              pages_skipped_by_filter disk_bytes decoded_bytes \
+              SegmentInfos; do
   if ! grep -q "$symbol" docs/api.md; then
     echo "UNDOCUMENTED API: $symbol (document it in docs/api.md)"
     fail=1

@@ -23,14 +23,24 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
   }
   // Disk read. Account for it while the decision is still serialized, then
   // release the lock for the actual I/O so concurrent readers of other
-  // pages are not held up behind this one.
+  // pages are not held up behind this one. Both byte counters are known
+  // before the read: encoded size from the page index, decoded size from
+  // the page geometry.
   ++stats_.page_reads;
   const bool seek = source.source_id() != last_disk_source_ ||
                     page != last_disk_page_ + 1;
   if (seek) ++stats_.seeks;
+  const uint64_t disk_bytes = source.PageDiskBytes(page);
+  const uint64_t decoded_bytes =
+      (source.PageEnd(page) - source.PageBegin(page)) * kEntryBytes;
+  stats_.disk_bytes += disk_bytes;
+  stats_.decoded_bytes += decoded_bytes;
   if (attribution != nullptr) {
     attribution->page_reads.fetch_add(1, std::memory_order_relaxed);
     if (seek) attribution->seeks.fetch_add(1, std::memory_order_relaxed);
+    attribution->disk_bytes.fetch_add(disk_bytes, std::memory_order_relaxed);
+    attribution->decoded_bytes.fetch_add(decoded_bytes,
+                                         std::memory_order_relaxed);
   }
   last_disk_source_ = source.source_id();
   last_disk_page_ = page;
@@ -56,6 +66,20 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
     lru_.pop_back();
   }
   return lru_.front().data;
+}
+
+bool BufferPool::ProbeFilter(const PageSource& source, Key key,
+                             AtomicIoStats* attribution) {
+  if (source.MayContainKey(key)) return true;
+  // Filter hit: the one page a point probe would have fetched never
+  // happens — no frame, no I/O, just the skip counter.
+  if (attribution != nullptr) {
+    attribution->pages_skipped_by_filter.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ++stats_.pages_skipped_by_filter;
+  return false;
 }
 
 void BufferPool::Drop(const PageSource* source) {
@@ -96,6 +120,16 @@ void BufferPool::AddEntriesRead(uint64_t count, AtomicIoStats* attribution) {
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
   stats_.entries_read += count;
+}
+
+void BufferPool::AddFilterSkips(uint64_t count, AtomicIoStats* attribution) {
+  if (count == 0) return;
+  if (attribution != nullptr) {
+    attribution->pages_skipped_by_filter.fetch_add(count,
+                                                   std::memory_order_relaxed);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_.pages_skipped_by_filter += count;
 }
 
 }  // namespace onion::storage

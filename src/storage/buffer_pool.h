@@ -49,6 +49,14 @@ class BufferPool {
       const PageSource& source, uint64_t page,
       AtomicIoStats* attribution = nullptr);
 
+  /// Filter fast path: returns false when `source`'s filter proves no
+  /// entry has key `key` — the page fetch a point probe would have done is
+  /// skipped WITHOUT allocating or touching any frame, and counted as
+  /// pages_skipped_by_filter. Returns true ("maybe present", including for
+  /// sources without a filter) otherwise, counting nothing.
+  bool ProbeFilter(const PageSource& source, Key key,
+                   AtomicIoStats* attribution = nullptr);
+
   /// Scans all entries of `source` with lo <= key <= hi through the pool,
   /// invoking fn(key, payload). Page selection and loop termination use the
   /// fence index only; pages are read exclusively via Fetch().
@@ -76,6 +84,11 @@ class BufferPool {
   /// streaming cursor does) so `entries_read` stays comparable between the
   /// scan and cursor paths.
   void AddEntriesRead(uint64_t count, AtomicIoStats* attribution = nullptr);
+
+  /// Credits page fetches a caller avoided through zone-map checks of its
+  /// own (the cursor consults PageMayIntersect before scheduling fetches),
+  /// keeping pages_skipped_by_filter complete in the pool aggregate.
+  void AddFilterSkips(uint64_t count, AtomicIoStats* attribution = nullptr);
 
   /// Discards all frames of `source` (used when a segment is retired by
   /// compaction). Does not count as I/O.

@@ -95,11 +95,13 @@ namespace {
 class SnapshotCursor final : public Cursor {
  public:
   SnapshotCursor(const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
-                 std::vector<Entry> memtable_entries, SegmentSnapshot segments,
-                 std::shared_ptr<BufferPool> pool, AtomicIoStats* io_stats,
-                 const ReadOptions& options)
+                 const Box* query_box, std::vector<Entry> memtable_entries,
+                 SegmentSnapshot segments, std::shared_ptr<BufferPool> pool,
+                 AtomicIoStats* io_stats, const ReadOptions& options)
       : curve_(curve),
         ranges_(std::move(ranges)),
+        has_box_(query_box != nullptr),
+        box_(query_box != nullptr ? *query_box : Box{}),
         mem_(std::move(memtable_entries)),
         snapshot_(std::move(segments)),
         pool_(std::move(pool)),
@@ -110,10 +112,16 @@ class SnapshotCursor final : public Cursor {
   }
 
   ~SnapshotCursor() override {
-    // Pool-global entries_read is batched here (per-entry attribution went
-    // to io_stats_ immediately); the pool outlives the cursor by contract.
-    if (pool_ != nullptr && pending_entries_read_ > 0) {
-      pool_->AddEntriesRead(pending_entries_read_, nullptr);
+    // Pool-global entries_read and zone-map skips are batched here
+    // (per-event attribution went to io_stats_ immediately); the pool
+    // outlives the cursor by contract.
+    if (pool_ != nullptr) {
+      if (pending_entries_read_ > 0) {
+        pool_->AddEntriesRead(pending_entries_read_, nullptr);
+      }
+      if (pending_filter_skips_ > 0) {
+        pool_->AddFilterSkips(pending_filter_skips_, nullptr);
+      }
     }
   }
 
@@ -133,6 +141,7 @@ class SnapshotCursor final : public Cursor {
 
   Status status() const override { return status_; }
   bool hit_read_budget() const override { return budget_hit_; }
+  uint64_t pages_skipped_by_filter() const override { return skipped_; }
 
  private:
   /// One merge source of the current range. Either the memtable snapshot
@@ -154,9 +163,30 @@ class SnapshotCursor final : public Cursor {
     return a.payload < b.payload;
   }
 
+  /// Counts one page fetch avoided by a zone-map check: locally (for the
+  /// accessor), per-table (io_stats_, immediate), and pool-global
+  /// (batched in the destructor).
+  void CountZoneSkip() {
+    ++skipped_;
+    ++pending_filter_skips_;
+    if (io_stats_ != nullptr) {
+      io_stats_->pages_skipped_by_filter.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
+  }
+
+  /// Zone-map test for one candidate page: true when the page can be
+  /// skipped without I/O. Sound only because the ranges are an exact
+  /// decomposition of box_ — a page whose cell bounding box misses the box
+  /// holds no key of ANY range of this query.
+  bool ZoneSkips(const SegmentReader& segment, uint64_t page_no) {
+    return has_box_ && !segment.PageMayIntersect(page_no, box_);
+  }
+
   /// Fetches one page through the pool unless a page/byte bound says stop.
   /// Returns false (and flags budget_hit_) without fetching when a bound
-  /// is reached.
+  /// is reached. The byte budget counts ON-DISK (encoded) page bytes, the
+  /// same unit as IoStats::disk_bytes.
   bool FetchPage(const SegmentReader& segment, uint64_t page_no,
                  std::shared_ptr<const std::vector<Entry>>* out) {
     if ((options_.max_pages != 0 && pages_touched_ >= options_.max_pages) ||
@@ -166,8 +196,7 @@ class SnapshotCursor final : public Cursor {
     }
     *out = pool_->Fetch(segment, page_no, io_stats_);
     ++pages_touched_;
-    bytes_fetched_ +=
-        static_cast<uint64_t>(segment.entries_per_page()) * kEntryBytes;
+    bytes_fetched_ += segment.PageDiskBytes(page_no);
     return true;
   }
 
@@ -179,10 +208,20 @@ class SnapshotCursor final : public Cursor {
       const SegmentReader& segment = *s->chain[s->chain_idx];
       if (segment.num_entries() == 0 || segment.max_key() < lo) continue;
       if (segment.min_key() > hi) break;  // chain ascends: nothing further
+      // Point probe: one bloom test can rule out the whole segment
+      // before any page is scheduled (ProbeFilter counts the skip).
+      if (lo == hi && !pool_->ProbeFilter(segment, lo, io_stats_)) {
+        ++skipped_;
+        continue;
+      }
       const uint64_t pages = segment.num_pages();
       bool past_hi = false;
       for (uint64_t page_no = segment.PageOf(lo);
            page_no < pages && segment.first_key(page_no) <= hi; ++page_no) {
+        if (ZoneSkips(segment, page_no)) {
+          CountZoneSkip();
+          continue;
+        }
         if (!FetchPage(segment, page_no, &s->page)) return false;
         const auto& data = *s->page;
         const size_t pos = static_cast<size_t>(
@@ -230,6 +269,14 @@ class SnapshotCursor final : public Cursor {
     }
     const SegmentReader& segment = *s->chain[s->chain_idx];
     ++s->page_no;
+    // Zone maps may rule out whole pages between here and the next page
+    // that can actually contribute — skipped pages cost no I/O.
+    while (s->page_no < segment.num_pages() &&
+           segment.first_key(s->page_no) <= hi &&
+           ZoneSkips(segment, s->page_no)) {
+      CountZoneSkip();
+      ++s->page_no;
+    }
     if (s->page_no < segment.num_pages() &&
         segment.first_key(s->page_no) <= hi) {
       if (!FetchPage(segment, s->page_no, &s->page)) return false;
@@ -333,6 +380,8 @@ class SnapshotCursor final : public Cursor {
 
   const SpaceFillingCurve* const curve_;
   const std::vector<KeyRange> ranges_;
+  const bool has_box_;  // zone-map skipping needs the originating box
+  const Box box_;
   const std::vector<Entry> mem_;  // sorted by (key, payload)
   const SegmentSnapshot snapshot_;
   const std::shared_ptr<BufferPool> pool_;
@@ -347,8 +396,10 @@ class SnapshotCursor final : public Cursor {
   bool budget_hit_ = false;
   uint64_t delivered_ = 0;
   uint64_t pages_touched_ = 0;
-  uint64_t bytes_fetched_ = 0;
+  uint64_t bytes_fetched_ = 0;  // on-disk bytes, the max_bytes unit
   uint64_t pending_entries_read_ = 0;
+  uint64_t pending_filter_skips_ = 0;
+  uint64_t skipped_ = 0;  // bloom + zone-map page fetches avoided
   Status status_;
 };
 
@@ -356,11 +407,11 @@ class SnapshotCursor final : public Cursor {
 
 std::unique_ptr<Cursor> NewSnapshotCursor(
     const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
-    std::vector<Entry> memtable_entries, SegmentSnapshot segments,
-    std::shared_ptr<BufferPool> pool, AtomicIoStats* io_stats,
-    const ReadOptions& options) {
+    const Box* query_box, std::vector<Entry> memtable_entries,
+    SegmentSnapshot segments, std::shared_ptr<BufferPool> pool,
+    AtomicIoStats* io_stats, const ReadOptions& options) {
   return std::make_unique<SnapshotCursor>(
-      curve, std::move(ranges), std::move(memtable_entries),
+      curve, std::move(ranges), query_box, std::move(memtable_entries),
       std::move(segments), std::move(pool), io_stats, options);
 }
 

@@ -64,7 +64,9 @@ struct ReadOptions {
   /// Stop before touching more than this many pages (buffer-pool fetches,
   /// resident or not). Storage cursors only; ignored in memory.
   uint64_t max_pages = 0;
-  /// Stop before fetching more than this many bytes of page data.
+  /// Stop before fetching more than this many bytes of page data, counted
+  /// in ON-DISK (encoded) bytes — the same unit as IoStats::disk_bytes, so
+  /// the budget bounds real I/O regardless of the segment codec.
   /// Storage cursors only; ignored in memory.
   uint64_t max_bytes = 0;
 };
@@ -98,6 +100,11 @@ class Cursor {
   /// (limit / max_pages / max_bytes) was reached, not because the data ran
   /// out. status() stays OK in that case.
   virtual bool hit_read_budget() const { return false; }
+
+  /// Page fetches this cursor avoided through segment filters: bloom
+  /// negatives on point ranges and zone-map-excluded pages. 0 for
+  /// in-memory cursors (nothing to skip).
+  virtual uint64_t pages_skipped_by_filter() const { return 0; }
 };
 
 /// Drains `cursor` into a vector (entries in cursor order). A convenience
@@ -136,11 +143,19 @@ struct SegmentSnapshot {
 /// are the snapshot-time matches from the active + pending memtables,
 /// sorted by (key, payload). `curve` maps keys back to cells and must
 /// outlive the cursor.
+///
+/// `query_box` (may be null) is the spatial box the ranges decompose —
+/// when given, it must be the EXACT decomposition source (every key in
+/// every range maps into the box), which is what makes zone-map page
+/// skipping lossless: a page whose cell bounding box misses the box can
+/// hold no key of any range. Point ranges (lo == hi) additionally probe
+/// each candidate segment's bloom filter through the pool before touching
+/// any page.
 std::unique_ptr<Cursor> NewSnapshotCursor(
     const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
-    std::vector<Entry> memtable_entries, SegmentSnapshot segments,
-    std::shared_ptr<BufferPool> pool, AtomicIoStats* io_stats,
-    const ReadOptions& options);
+    const Box* query_box, std::vector<Entry> memtable_entries,
+    SegmentSnapshot segments, std::shared_ptr<BufferPool> pool,
+    AtomicIoStats* io_stats, const ReadOptions& options);
 
 }  // namespace storage
 }  // namespace onion

@@ -13,11 +13,24 @@
 namespace onion {
 
 /// Physical I/O counters.
+///
+/// Byte accounting rule: `disk_bytes` counts ON-DISK (encoded) bytes —
+/// exactly what a page read transfers from the file, after compression —
+/// and is the unit of ReadOptions::max_bytes budgets. `decoded_bytes`
+/// counts the decoded entry bytes those same reads materialized in the
+/// buffer pool. For uncompressed pages the two are equal (modulo format-v1
+/// padding); for compressed codecs disk_bytes < decoded_bytes, and the
+/// ratio is the measured compression win.
 struct IoStats {
   uint64_t page_reads = 0;   ///< pages fetched from disk (or the simulated one)
   uint64_t cache_hits = 0;   ///< pages served by the buffer pool
   uint64_t seeks = 0;        ///< non-sequential disk reads
   uint64_t entries_read = 0; ///< entries delivered to the caller
+  uint64_t disk_bytes = 0;   ///< on-disk (encoded) bytes fetched
+  uint64_t decoded_bytes = 0;  ///< decoded page bytes those fetches produced
+  /// Page fetches avoided by a segment filter: bloom-negative point probes
+  /// and zone-map-excluded pages. These cost neither I/O nor a pool frame.
+  uint64_t pages_skipped_by_filter = 0;
 
   void Reset() { *this = IoStats{}; }
 };
@@ -33,6 +46,9 @@ struct AtomicIoStats {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> seeks{0};
   std::atomic<uint64_t> entries_read{0};
+  std::atomic<uint64_t> disk_bytes{0};
+  std::atomic<uint64_t> decoded_bytes{0};
+  std::atomic<uint64_t> pages_skipped_by_filter{0};
 
   IoStats Snapshot() const {
     IoStats out;
@@ -40,6 +56,10 @@ struct AtomicIoStats {
     out.cache_hits = cache_hits.load(std::memory_order_relaxed);
     out.seeks = seeks.load(std::memory_order_relaxed);
     out.entries_read = entries_read.load(std::memory_order_relaxed);
+    out.disk_bytes = disk_bytes.load(std::memory_order_relaxed);
+    out.decoded_bytes = decoded_bytes.load(std::memory_order_relaxed);
+    out.pages_skipped_by_filter =
+        pages_skipped_by_filter.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -48,6 +68,9 @@ struct AtomicIoStats {
     cache_hits.store(0, std::memory_order_relaxed);
     seeks.store(0, std::memory_order_relaxed);
     entries_read.store(0, std::memory_order_relaxed);
+    disk_bytes.store(0, std::memory_order_relaxed);
+    decoded_bytes.store(0, std::memory_order_relaxed);
+    pages_skipped_by_filter.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -1,0 +1,135 @@
+#include "storage/page_codec.h"
+
+#include "common/macros.h"
+#include "storage/codec.h"
+
+namespace onion::storage {
+namespace {
+
+void PutVarint64(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Advances *p past one varint; false on truncation or a value that would
+/// not fit in 64 bits.
+bool GetVarint64(const uint8_t** p, const uint8_t* end, uint64_t* v) {
+  uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*p == end) return false;
+    const uint8_t byte = *(*p)++;
+    // The 10th byte carries bits 63.. only; more than one payload bit there
+    // means the value overflows a u64.
+    if (shift == 63 && byte > 1) return false;
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PageCodecValid(uint32_t id) {
+  return id == static_cast<uint32_t>(PageCodec::kRaw) ||
+         id == static_cast<uint32_t>(PageCodec::kDeltaVarint);
+}
+
+const char* PageCodecName(PageCodec codec) {
+  switch (codec) {
+    case PageCodec::kRaw:
+      return "raw";
+    case PageCodec::kDeltaVarint:
+      return "delta_varint";
+  }
+  return "unknown";
+}
+
+bool ParsePageCodec(const std::string& name, PageCodec* out) {
+  if (name == "raw") {
+    *out = PageCodec::kRaw;
+    return true;
+  }
+  if (name == "delta_varint") {
+    *out = PageCodec::kDeltaVarint;
+    return true;
+  }
+  return false;
+}
+
+void EncodePage(PageCodec codec, const std::vector<Entry>& entries,
+                std::vector<uint8_t>* out) {
+  switch (codec) {
+    case PageCodec::kRaw: {
+      const size_t base = out->size();
+      out->resize(base + entries.size() * kEntryBytes);
+      for (size_t i = 0; i < entries.size(); ++i) {
+        PutU64(out->data() + base + i * kEntryBytes, entries[i].key);
+        PutU64(out->data() + base + i * kEntryBytes + 8, entries[i].payload);
+      }
+      return;
+    }
+    case PageCodec::kDeltaVarint: {
+      Key prev = 0;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (i == 0) {
+          PutVarint64(out, entries[i].key);
+        } else {
+          ONION_CHECK_MSG(entries[i].key >= prev,
+                          "delta codec requires sorted keys");
+          PutVarint64(out, entries[i].key - prev);
+        }
+        PutVarint64(out, entries[i].payload);
+        prev = entries[i].key;
+      }
+      return;
+    }
+  }
+  ONION_CHECK_MSG(false, "unknown page codec");
+}
+
+bool DecodePage(PageCodec codec, const uint8_t* data, size_t size,
+                uint64_t count, std::vector<Entry>* out) {
+  out->clear();
+  out->reserve(count);
+  switch (codec) {
+    case PageCodec::kRaw: {
+      // Tolerates trailing bytes: format-v1 pages are zero-padded to a
+      // fixed length but hold exactly `count` live entries.
+      if (size < count * kEntryBytes) return false;
+      for (uint64_t i = 0; i < count; ++i) {
+        out->push_back(Entry{GetU64(data + i * kEntryBytes),
+                             GetU64(data + i * kEntryBytes + 8)});
+      }
+      return true;
+    }
+    case PageCodec::kDeltaVarint: {
+      const uint8_t* p = data;
+      const uint8_t* const end = data + size;
+      Key key = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t delta = 0;
+        uint64_t payload = 0;
+        if (!GetVarint64(&p, end, &delta) || !GetVarint64(&p, end, &payload)) {
+          return false;
+        }
+        if (i == 0) {
+          key = delta;
+        } else {
+          if (delta > ~key) return false;  // key would wrap past 2^64
+          key += delta;
+        }
+        out->push_back(Entry{key, payload});
+      }
+      return p == end;  // trailing garbage means corruption
+    }
+  }
+  return false;
+}
+
+}  // namespace onion::storage

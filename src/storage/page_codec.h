@@ -1,0 +1,66 @@
+// Pluggable page codecs for segment format version 2.
+//
+// A codec maps one page of sorted (key, payload) entries to a byte string
+// and back. Segments record their codec in the header, so readers always
+// decode with the codec the file was written with, and every layer above
+// the segment (buffer pool, cursors, compaction) only ever sees decoded
+// entries — the codec is invisible outside segment.{h,cc} except as a
+// table option and an on-disk byte count.
+//
+//   kRaw          count * 16 bytes: u64 key, u64 payload per entry,
+//                 little-endian, no padding (segment v2 pages are
+//                 variable-length; the fixed-size padding of format v1 is
+//                 gone).
+//   kDeltaVarint  exploits the sort order: the first entry is
+//                 varint(key) varint(payload); every following entry is
+//                 varint(key - previous key) varint(payload). Dense key
+//                 runs (exactly what a well-clustered curve produces)
+//                 shrink to ~2-3 bytes per entry.
+//
+// Varints are LEB128: 7 payload bits per byte, high bit set on every byte
+// but the last, at most 10 bytes for a u64.
+
+#ifndef ONION_STORAGE_PAGE_CODEC_H_
+#define ONION_STORAGE_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page_source.h"
+
+namespace onion::storage {
+
+/// On-disk page encoding of a v2 segment. The numeric values are part of
+/// the file format (header field `codec_id`) — never renumber.
+enum class PageCodec : uint32_t {
+  kRaw = 0,
+  kDeltaVarint = 1,
+};
+
+/// True for codec ids this build can decode.
+bool PageCodecValid(uint32_t id);
+
+/// Stable lowercase name, used by the table MANIFEST ("raw",
+/// "delta_varint").
+const char* PageCodecName(PageCodec codec);
+
+/// Inverse of PageCodecName; returns false for unknown names.
+bool ParsePageCodec(const std::string& name, PageCodec* out);
+
+/// Appends the encoding of `entries` (sorted by key — checked for
+/// kDeltaVarint) to `*out`.
+void EncodePage(PageCodec codec, const std::vector<Entry>& entries,
+                std::vector<uint8_t>* out);
+
+/// Decodes exactly `count` entries from `[data, data + size)` into `*out`
+/// (replacing its contents). Returns false on malformed input (truncated
+/// buffer, varint overflow, or — for kDeltaVarint — trailing garbage).
+/// kRaw tolerates extra trailing bytes so the zero-padded pages of format
+/// v1 decode through the same path.
+bool DecodePage(PageCodec codec, const uint8_t* data, size_t size,
+                uint64_t count, std::vector<Entry>* out);
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_PAGE_CODEC_H_

@@ -61,6 +61,34 @@ class PageSource {
   /// sources it performs real file I/O.
   virtual void ReadPage(uint64_t page, std::vector<Entry>* out) const = 0;
 
+  /// On-disk (encoded) bytes ReadPage(page) transfers. For in-memory and
+  /// uncompressed sources this equals the decoded entry bytes; compressed
+  /// segment pages report their real encoded size. Byte budgets
+  /// (ReadOptions::max_bytes) and IoStats::disk_bytes count THIS number.
+  virtual uint64_t PageDiskBytes(uint64_t page) const {
+    return (PageEnd(page) - PageBegin(page)) * kEntryBytes;
+  }
+
+  /// Filter probe: false proves no entry of this source has key `key`.
+  /// The default (no filter) answers "maybe" — true never lies, false is
+  /// authoritative. Sources with a bloom filter (segment format v2)
+  /// override this; BufferPool::ProbeFilter turns a false into a skipped
+  /// page fetch.
+  virtual bool MayContainKey(Key key) const {
+    (void)key;
+    return true;
+  }
+
+  /// Zone-map probe: false proves no entry of page `page` lies inside
+  /// `box`. The default (no zone maps) answers "maybe". Cursors consult
+  /// this before scheduling a page fetch, so pages whose cell bounding box
+  /// misses the query box cost no I/O at all.
+  virtual bool PageMayIntersect(uint64_t page, const Box& box) const {
+    (void)page;
+    (void)box;
+    return true;
+  }
+
   uint64_t num_pages() const {
     return (num_entries() + entries_per_page() - 1) / entries_per_page();
   }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "sfc/curve.h"
 #include "storage/codec.h"
 #include "storage/fs_util.h"
 
@@ -10,26 +11,42 @@ namespace onion::storage {
 namespace {
 
 constexpr char kMagic[8] = {'O', 'S', 'F', 'C', 'S', 'E', 'G', '1'};
-constexpr uint32_t kFormatVersion = 1;
-constexpr uint64_t kHeaderBytes = 64;
+constexpr uint32_t kFormatVersion = 2;     // what SegmentWriter emits
+constexpr uint64_t kHeaderBytesV1 = 64;
+constexpr uint64_t kHeaderBytesV2 = 96;
+constexpr uint64_t kPageIndexRecordBytes = 32;
+/// Bytes one page contributes to the zone-map block: (lo, hi) u32 per dim.
+constexpr uint64_t kZoneBytesPerDim = 8;
 
-uint64_t HeaderChecksum(uint32_t entries_per_page, uint64_t num_entries,
-                        uint64_t num_pages, uint64_t min_key, uint64_t max_key,
-                        uint64_t fence_offset) {
-  // xor-fold with distinct rotations so field swaps change the sum.
+uint64_t HeaderChecksum(uint32_t version, uint32_t entries_per_page,
+                        uint64_t num_entries, uint64_t num_pages,
+                        uint64_t min_key, uint64_t max_key,
+                        uint64_t index_offset, uint32_t codec_id,
+                        uint32_t filter_bits, uint64_t filter_offset,
+                        uint64_t filter_bytes, uint32_t zone_dims) {
+  // xor-fold with distinct rotations so field swaps change the sum. The
+  // v2-only fields are zero for version-1 headers, which keeps this
+  // function byte-compatible with the checksums already on disk.
   uint64_t sum = 0x0410105fc5e671ULL;  // salt
-  sum ^= Rotl64(
-      static_cast<uint64_t>(kFormatVersion) << 32 | entries_per_page, 1);
+  sum ^= Rotl64(static_cast<uint64_t>(version) << 32 | entries_per_page, 1);
   sum ^= Rotl64(num_entries, 7);
   sum ^= Rotl64(num_pages, 13);
   sum ^= Rotl64(min_key, 19);
   sum ^= Rotl64(max_key, 29);
-  sum ^= Rotl64(fence_offset, 37);
+  sum ^= Rotl64(index_offset, 37);
+  sum ^= Rotl64(static_cast<uint64_t>(codec_id) << 32 | filter_bits, 43);
+  sum ^= Rotl64(filter_offset, 47);
+  sum ^= Rotl64(filter_bytes, 53);
+  sum ^= Rotl64(zone_dims, 59);
   return sum;
 }
 
 Status IoError(const std::string& path, const char* what) {
   return Status::Internal(std::string(what) + ": " + path);
+}
+
+Status CorruptError(const std::string& path, const char* what) {
+  return Status::InvalidArgument(std::string(what) + ": " + path);
 }
 
 /// 64-bit-safe absolute seek (plain fseek takes a long, which is 32 bits on
@@ -48,19 +65,32 @@ bool SeekTo(std::FILE* file, uint64_t offset) {
 // SegmentWriter
 
 SegmentWriter::SegmentWriter(std::string path, uint32_t entries_per_page)
-    : path_(std::move(path)), entries_per_page_(entries_per_page) {
-  ONION_CHECK_MSG(entries_per_page_ >= 1, "page size must be positive");
+    : SegmentWriter(std::move(path),
+                    SegmentWriterOptions{entries_per_page, PageCodec::kRaw,
+                                         /*filter_bits_per_key=*/10,
+                                         /*curve=*/nullptr}) {}
+
+SegmentWriter::SegmentWriter(std::string path,
+                             const SegmentWriterOptions& options)
+    : path_(std::move(path)),
+      options_(options),
+      bloom_(options.filter_bits_per_key) {
+  ONION_CHECK_MSG(options_.entries_per_page >= 1,
+                  "page size must be positive");
+  ONION_CHECK_MSG(PageCodecValid(static_cast<uint32_t>(options_.codec)),
+                  "unknown page codec");
   file_ = std::fopen(path_.c_str(), "wb");
   if (file_ == nullptr) {
     status_ = IoError(path_, "cannot create segment file");
     return;
   }
   // Header placeholder, overwritten by Finish().
-  const std::vector<uint8_t> zeros(kHeaderBytes, 0);
+  const std::vector<uint8_t> zeros(kHeaderBytesV2, 0);
   if (std::fwrite(zeros.data(), 1, zeros.size(), file_) != zeros.size()) {
     status_ = IoError(path_, "write failed");
   }
-  page_buf_.reserve(entries_per_page_);
+  next_offset_ = kHeaderBytesV2;
+  page_buf_.reserve(options_.entries_per_page);
 }
 
 SegmentWriter::~SegmentWriter() {
@@ -72,16 +102,32 @@ SegmentWriter::~SegmentWriter() {
 }
 
 Status SegmentWriter::WritePage() {
-  std::vector<uint8_t> bytes(static_cast<size_t>(entries_per_page_) *
-                             kEntryBytes, 0);
-  for (size_t i = 0; i < page_buf_.size(); ++i) {
-    PutU64(&bytes[i * kEntryBytes], page_buf_[i].key);
-    PutU64(&bytes[i * kEntryBytes + 8], page_buf_[i].payload);
-  }
+  std::vector<uint8_t> bytes;
+  EncodePage(options_.codec, page_buf_, &bytes);
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
     return IoError(path_, "write failed");
   }
-  fences_.emplace_back(page_buf_.front().key, page_buf_.back().key);
+  PageMeta meta;
+  meta.offset = next_offset_;
+  meta.bytes = bytes.size();
+  meta.first_key = page_buf_.front().key;
+  meta.last_key = page_buf_.back().key;
+  if (options_.curve != nullptr) {
+    const int dims = options_.curve->universe().dims();
+    for (size_t i = 0; i < page_buf_.size(); ++i) {
+      const Cell cell = options_.curve->CellAt(page_buf_[i].key);
+      for (int d = 0; d < dims; ++d) {
+        if (i == 0 || cell[d] < meta.cell_lo[static_cast<size_t>(d)]) {
+          meta.cell_lo[static_cast<size_t>(d)] = cell[d];
+        }
+        if (i == 0 || cell[d] > meta.cell_hi[static_cast<size_t>(d)]) {
+          meta.cell_hi[static_cast<size_t>(d)] = cell[d];
+        }
+      }
+    }
+  }
+  next_offset_ += meta.bytes;
+  pages_.push_back(meta);
   page_buf_.clear();
   return Status::OK();
 }
@@ -95,8 +141,9 @@ Status SegmentWriter::Add(Key key, uint64_t payload) {
   max_key_ = key;
   last_key_ = key;
   ++num_entries_;
+  bloom_.AddKey(key);
   page_buf_.push_back(Entry{key, payload});
-  if (page_buf_.size() == entries_per_page_) status_ = WritePage();
+  if (page_buf_.size() == options_.entries_per_page) status_ = WritePage();
   return status_;
 }
 
@@ -107,34 +154,76 @@ Status SegmentWriter::Finish() {
     status_ = WritePage();
     if (!status_.ok()) return status_;
   }
-  const uint64_t num_pages = fences_.size();
-  const uint64_t fence_offset =
-      kHeaderBytes + num_pages * entries_per_page_ * kEntryBytes;
-  std::vector<uint8_t> fence_bytes(num_pages * kEntryBytes);
-  for (uint64_t i = 0; i < num_pages; ++i) {
-    PutU64(&fence_bytes[i * kEntryBytes], fences_[i].first);
-    PutU64(&fence_bytes[i * kEntryBytes + 8], fences_[i].second);
-  }
-  if (!fence_bytes.empty() &&
-      std::fwrite(fence_bytes.data(), 1, fence_bytes.size(), file_) !=
-          fence_bytes.size()) {
+  const uint64_t num_pages = pages_.size();
+
+  // Footer block 1: the bloom filter (may be empty).
+  const std::vector<uint8_t> filter = bloom_.Finish();
+  const uint64_t filter_offset = filter.empty() ? 0 : next_offset_;
+  if (!filter.empty() &&
+      std::fwrite(filter.data(), 1, filter.size(), file_) != filter.size()) {
     return status_ = IoError(path_, "write failed");
   }
 
-  uint8_t header[kHeaderBytes] = {};
+  // Footer block 2: zone maps, page-major, (lo, hi) u32 per dimension.
+  const uint32_t zone_dims =
+      options_.curve != nullptr && num_pages > 0
+          ? static_cast<uint32_t>(options_.curve->universe().dims())
+          : 0;
+  if (zone_dims > 0) {
+    std::vector<uint8_t> zone_bytes(num_pages * zone_dims * kZoneBytesPerDim);
+    for (uint64_t i = 0; i < num_pages; ++i) {
+      uint8_t* record = &zone_bytes[i * zone_dims * kZoneBytesPerDim];
+      for (uint32_t d = 0; d < zone_dims; ++d) {
+        PutU32(record + d * 8, pages_[i].cell_lo[d]);
+        PutU32(record + d * 8 + 4, pages_[i].cell_hi[d]);
+      }
+    }
+    if (std::fwrite(zone_bytes.data(), 1, zone_bytes.size(), file_) !=
+        zone_bytes.size()) {
+      return status_ = IoError(path_, "write failed");
+    }
+  }
+
+  // Footer block 3: the page index.
+  const uint64_t index_offset = next_offset_ + filter.size() +
+                                num_pages * zone_dims * kZoneBytesPerDim;
+  std::vector<uint8_t> index_bytes(num_pages * kPageIndexRecordBytes);
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    uint8_t* record = &index_bytes[i * kPageIndexRecordBytes];
+    PutU64(record, pages_[i].offset);
+    PutU64(record + 8, pages_[i].bytes);
+    PutU64(record + 16, pages_[i].first_key);
+    PutU64(record + 24, pages_[i].last_key);
+  }
+  if (!index_bytes.empty() &&
+      std::fwrite(index_bytes.data(), 1, index_bytes.size(), file_) !=
+          index_bytes.size()) {
+    return status_ = IoError(path_, "write failed");
+  }
+
+  const auto codec_id = static_cast<uint32_t>(options_.codec);
+  uint8_t header[kHeaderBytesV2] = {};
   std::memcpy(header, kMagic, sizeof(kMagic));
   PutU32(header + 8, kFormatVersion);
-  PutU32(header + 12, entries_per_page_);
+  PutU32(header + 12, options_.entries_per_page);
   PutU64(header + 16, num_entries_);
   PutU64(header + 24, num_pages);
   PutU64(header + 32, min_key_);
   PutU64(header + 40, max_key_);
-  PutU64(header + 48, fence_offset);
-  PutU64(header + 56, HeaderChecksum(entries_per_page_, num_entries_,
-                                     num_pages, min_key_, max_key_,
-                                     fence_offset));
+  PutU64(header + 48, index_offset);
+  PutU32(header + 56, codec_id);
+  PutU32(header + 60, options_.filter_bits_per_key);
+  PutU64(header + 64, filter_offset);
+  PutU64(header + 72, filter.size());
+  PutU32(header + 80, zone_dims);
+  PutU32(header + 84, 0);  // reserved
+  PutU64(header + 88,
+         HeaderChecksum(kFormatVersion, options_.entries_per_page,
+                        num_entries_, num_pages, min_key_, max_key_,
+                        index_offset, codec_id, options_.filter_bits_per_key,
+                        filter_offset, filter.size(), zone_dims));
   if (!SeekTo(file_, 0) ||
-      std::fwrite(header, 1, kHeaderBytes, file_) != kHeaderBytes) {
+      std::fwrite(header, 1, kHeaderBytesV2, file_) != kHeaderBytesV2) {
     return status_ = IoError(path_, "write failed");
   }
   // Durability before publication: fsync the data, then the directory
@@ -169,97 +258,214 @@ Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(std::string path) {
   std::unique_ptr<SegmentReader> reader(
       new SegmentReader(std::move(path), file));
 
-  uint8_t header[kHeaderBytes];
-  if (std::fread(header, 1, kHeaderBytes, file) != kHeaderBytes) {
-    return Status::InvalidArgument("segment too short: " + reader->path_);
+  // Both versions share the first 64 bytes of header layout; version 2
+  // extends it to 96. Read the common prefix, dispatch on the version.
+  uint8_t header[kHeaderBytesV2];
+  if (std::fread(header, 1, kHeaderBytesV1, file) != kHeaderBytesV1) {
+    return CorruptError(reader->path_, "segment too short");
   }
   if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("bad segment magic: " + reader->path_);
+    return CorruptError(reader->path_, "bad segment magic");
   }
   const uint32_t version = GetU32(header + 8);
-  if (version != kFormatVersion) {
-    return Status::InvalidArgument("unsupported segment version " +
-                                   std::to_string(version) + ": " +
-                                   reader->path_);
+  Status status;
+  if (version == 1) {
+    status = reader->LoadV1(header);
+  } else if (version == 2) {
+    if (std::fread(header + kHeaderBytesV1, 1,
+                   kHeaderBytesV2 - kHeaderBytesV1,
+                   file) != kHeaderBytesV2 - kHeaderBytesV1) {
+      return CorruptError(reader->path_, "segment too short");
+    }
+    status = reader->LoadV2(header);
+  } else {
+    return Status::InvalidArgument(
+        "unsupported segment format version " + std::to_string(version) +
+        " (this build reads versions 1 and 2): " + reader->path_);
   }
-  reader->entries_per_page_ = GetU32(header + 12);
-  reader->num_entries_ = GetU64(header + 16);
+  if (!status.ok()) return status;
+  return reader;
+}
+
+Status SegmentReader::LoadV1(const uint8_t* header) {
+  version_ = 1;
+  codec_ = PageCodec::kRaw;
+  entries_per_page_ = GetU32(header + 12);
+  num_entries_ = GetU64(header + 16);
   const uint64_t num_pages = GetU64(header + 24);
-  reader->min_key_ = GetU64(header + 32);
-  reader->max_key_ = GetU64(header + 40);
+  min_key_ = GetU64(header + 32);
+  max_key_ = GetU64(header + 40);
   const uint64_t fence_offset = GetU64(header + 48);
   const uint64_t checksum = GetU64(header + 56);
-  if (reader->entries_per_page_ < 1) {
-    return Status::InvalidArgument("segment page size is zero: " +
-                                   reader->path_);
+  if (entries_per_page_ < 1) {
+    return CorruptError(path_, "segment page size is zero");
   }
-  if (checksum != HeaderChecksum(reader->entries_per_page_,
-                                 reader->num_entries_, num_pages,
-                                 reader->min_key_, reader->max_key_,
-                                 fence_offset)) {
-    return Status::InvalidArgument("segment header checksum mismatch: " +
-                                   reader->path_);
+  if (checksum != HeaderChecksum(1, entries_per_page_, num_entries_,
+                                 num_pages, min_key_, max_key_, fence_offset,
+                                 0, 0, 0, 0, 0)) {
+    return CorruptError(path_, "segment header checksum mismatch");
   }
+  const uint64_t page_bytes =
+      static_cast<uint64_t>(entries_per_page_) * kEntryBytes;
   const uint64_t expected_pages =
-      (reader->num_entries_ + reader->entries_per_page_ - 1) /
-      reader->entries_per_page_;
+      (num_entries_ + entries_per_page_ - 1) / entries_per_page_;
   const uint64_t expected_fence_offset =
-      kHeaderBytes + num_pages * reader->entries_per_page_ * kEntryBytes;
+      kHeaderBytesV1 + num_pages * page_bytes;
   if (num_pages != expected_pages || fence_offset != expected_fence_offset) {
-    return Status::InvalidArgument("segment geometry corrupt: " +
-                                   reader->path_);
+    return CorruptError(path_, "segment geometry corrupt");
   }
 
   std::vector<uint8_t> fence_bytes(num_pages * kEntryBytes);
-  if (!SeekTo(file, fence_offset) ||
+  if (!SeekTo(file_, fence_offset) ||
       (!fence_bytes.empty() &&
-       std::fread(fence_bytes.data(), 1, fence_bytes.size(), file) !=
+       std::fread(fence_bytes.data(), 1, fence_bytes.size(), file_) !=
            fence_bytes.size())) {
-    return Status::InvalidArgument("segment fence block truncated: " +
-                                   reader->path_);
+    return CorruptError(path_, "segment fence block truncated");
   }
-  reader->fences_.reserve(num_pages);
+  pages_.reserve(num_pages);
   for (uint64_t i = 0; i < num_pages; ++i) {
-    const Key first = GetU64(&fence_bytes[i * kEntryBytes]);
-    const Key last = GetU64(&fence_bytes[i * kEntryBytes + 8]);
-    if (first > last ||
-        (i > 0 && first < reader->fences_.back().second)) {
-      return Status::InvalidArgument("segment fence index not sorted: " +
-                                     reader->path_);
+    PageMeta meta;
+    meta.offset = kHeaderBytesV1 + i * page_bytes;
+    meta.bytes = page_bytes;  // v1 pages are fixed-size (zero-padded)
+    meta.first_key = GetU64(&fence_bytes[i * kEntryBytes]);
+    meta.last_key = GetU64(&fence_bytes[i * kEntryBytes + 8]);
+    if (meta.first_key > meta.last_key ||
+        (i > 0 && meta.first_key < pages_.back().last_key)) {
+      return CorruptError(path_, "segment fence index not sorted");
     }
-    reader->fences_.emplace_back(first, last);
+    pages_.push_back(meta);
   }
-  return reader;
+  file_bytes_ = kHeaderBytesV1 + num_pages * (page_bytes + kEntryBytes);
+  return Status::OK();
+}
+
+Status SegmentReader::LoadV2(const uint8_t* header) {
+  version_ = 2;
+  entries_per_page_ = GetU32(header + 12);
+  num_entries_ = GetU64(header + 16);
+  const uint64_t num_pages = GetU64(header + 24);
+  min_key_ = GetU64(header + 32);
+  max_key_ = GetU64(header + 40);
+  const uint64_t index_offset = GetU64(header + 48);
+  const uint32_t codec_id = GetU32(header + 56);
+  const uint32_t filter_bits = GetU32(header + 60);
+  const uint64_t filter_offset = GetU64(header + 64);
+  const uint64_t filter_bytes = GetU64(header + 72);
+  zone_dims_ = GetU32(header + 80);
+  const uint64_t checksum = GetU64(header + 88);
+  if (entries_per_page_ < 1) {
+    return CorruptError(path_, "segment page size is zero");
+  }
+  if (!PageCodecValid(codec_id)) {
+    return Status::InvalidArgument("unknown segment page codec id " +
+                                   std::to_string(codec_id) + ": " + path_);
+  }
+  codec_ = static_cast<PageCodec>(codec_id);
+  if (checksum != HeaderChecksum(2, entries_per_page_, num_entries_,
+                                 num_pages, min_key_, max_key_, index_offset,
+                                 codec_id, filter_bits, filter_offset,
+                                 filter_bytes, zone_dims_)) {
+    return CorruptError(path_, "segment header checksum mismatch");
+  }
+  const uint64_t expected_pages =
+      (num_entries_ + entries_per_page_ - 1) / entries_per_page_;
+  if (num_pages != expected_pages || zone_dims_ > kMaxDims ||
+      (filter_bytes == 0) != (filter_offset == 0) ||
+      filter_bytes % kBloomBlockBytes != 0) {
+    return CorruptError(path_, "segment geometry corrupt");
+  }
+
+  std::vector<uint8_t> index_bytes(num_pages * kPageIndexRecordBytes);
+  if (!SeekTo(file_, index_offset) ||
+      (!index_bytes.empty() &&
+       std::fread(index_bytes.data(), 1, index_bytes.size(), file_) !=
+           index_bytes.size())) {
+    return CorruptError(path_, "segment page index truncated");
+  }
+  pages_.reserve(num_pages);
+  uint64_t expected_offset = kHeaderBytesV2;
+  for (uint64_t i = 0; i < num_pages; ++i) {
+    const uint8_t* record = &index_bytes[i * kPageIndexRecordBytes];
+    PageMeta meta;
+    meta.offset = GetU64(record);
+    meta.bytes = GetU64(record + 8);
+    meta.first_key = GetU64(record + 16);
+    meta.last_key = GetU64(record + 24);
+    // Pages are written back to back, so the index offsets are fully
+    // determined — any deviation is corruption.
+    if (meta.offset != expected_offset || meta.bytes == 0) {
+      return CorruptError(path_, "segment page index not contiguous");
+    }
+    expected_offset += meta.bytes;
+    if (meta.first_key > meta.last_key ||
+        (i > 0 && meta.first_key < pages_.back().last_key)) {
+      return CorruptError(path_, "segment fence index not sorted");
+    }
+    pages_.push_back(meta);
+  }
+  const uint64_t data_end = expected_offset;
+  if (filter_bytes > 0 && filter_offset != data_end) {
+    return CorruptError(path_, "segment filter block misplaced");
+  }
+  const uint64_t zone_offset = data_end + filter_bytes;
+  const uint64_t zone_bytes = num_pages * zone_dims_ * kZoneBytesPerDim;
+  if (index_offset != zone_offset + zone_bytes) {
+    return CorruptError(path_, "segment footer geometry corrupt");
+  }
+
+  if (filter_bytes > 0) {
+    filter_.resize(filter_bytes);
+    if (!SeekTo(file_, filter_offset) ||
+        std::fread(filter_.data(), 1, filter_.size(), file_) !=
+            filter_.size()) {
+      return CorruptError(path_, "segment filter block truncated");
+    }
+  }
+  if (zone_bytes > 0) {
+    std::vector<uint8_t> raw(zone_bytes);
+    if (!SeekTo(file_, zone_offset) ||
+        std::fread(raw.data(), 1, raw.size(), file_) != raw.size()) {
+      return CorruptError(path_, "segment zone maps truncated");
+    }
+    zones_.resize(num_pages * zone_dims_ * 2);
+    for (size_t i = 0; i < zones_.size(); ++i) {
+      zones_[i] = GetU32(&raw[i * 4]);
+    }
+  }
+  file_bytes_ = index_offset + num_pages * kPageIndexRecordBytes;
+  return Status::OK();
 }
 
 void SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
   ONION_CHECK_MSG(page < num_pages(), "page out of range");
-  const uint64_t page_bytes =
-      static_cast<uint64_t>(entries_per_page_) * kEntryBytes;
-  const uint64_t offset = kHeaderBytes + page * page_bytes;
-  std::vector<uint8_t> bytes(page_bytes);
+  const PageMeta& meta = pages_[page];
+  std::vector<uint8_t> bytes(meta.bytes);
   {
     // The seek+read pair must be atomic: concurrent readers (queries
     // through the buffer pool, a background compaction cursor) share file_.
     std::lock_guard<std::mutex> lock(io_mu_);
-    ONION_CHECK_MSG(SeekTo(file_, offset), "segment seek failed");
+    ONION_CHECK_MSG(SeekTo(file_, meta.offset), "segment seek failed");
     ONION_CHECK_MSG(
         std::fread(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
         "segment page read truncated");
   }
   const uint64_t count = PageEnd(page) - PageBegin(page);
-  out->clear();
-  out->reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    out->push_back(Entry{GetU64(&bytes[i * kEntryBytes]),
-                         GetU64(&bytes[i * kEntryBytes + 8])});
-  }
+  ONION_CHECK_MSG(DecodePage(codec_, bytes.data(), bytes.size(), count, out),
+                  "segment page decode failed (corrupt page data)");
 }
 
-uint64_t SegmentReader::file_bytes() const {
-  const uint64_t page_bytes =
-      static_cast<uint64_t>(entries_per_page_) * kEntryBytes;
-  return kHeaderBytes + num_pages() * (page_bytes + kEntryBytes);
+bool SegmentReader::PageMayIntersect(uint64_t page, const Box& box) const {
+  ONION_CHECK_MSG(page < num_pages(), "page out of range");
+  if (zone_dims_ == 0) return true;
+  if (box.dims() != static_cast<int>(zone_dims_)) return true;
+  const Coord* record = &zones_[page * zone_dims_ * 2];
+  for (uint32_t d = 0; d < zone_dims_; ++d) {
+    const int axis = static_cast<int>(d);
+    if (record[2 * d] > box.hi[axis] || record[2 * d + 1] < box.lo[axis]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace onion::storage

@@ -1,29 +1,42 @@
 // Persistent sorted segments: the on-disk unit of the storage engine.
 //
 // A segment file holds one immutable sorted run of (key, payload) entries,
-// packed into fixed-size pages exactly like MemPageSource packs its vector,
-// so the clustering-number arithmetic of the paper carries over unchanged —
-// one key range of a decomposed query is one contiguous byte range of the
-// file, and entering it costs one seek.
+// packed into pages, so the clustering-number arithmetic of the paper
+// carries over unchanged — one key range of a decomposed query is one
+// contiguous byte range of the file, and entering it costs one seek.
 //
-// File layout (all integers little-endian):
+// Format version 2 (the version SegmentWriter emits; byte-level spec in
+// docs/storage_format.md):
 //
-//   offset 0   header, 64 bytes:
-//     [0]  magic "OSFCSEG1"
-//     [8]  u32 format version (currently 1)
-//     [12] u32 entries_per_page
-//     [16] u64 num_entries
-//     [24] u64 num_pages
-//     [32] u64 min_key
-//     [40] u64 max_key
-//     [48] u64 fence_offset  (byte offset of the fence block)
-//     [56] u64 header checksum (xor-fold of the fields above)
-//   offset 64  pages: page i occupies entries_per_page * 16 bytes starting
-//              at 64 + i * page_bytes; each entry is key(8) + payload(8);
-//              the final page is zero-padded to full size.
-//   fence_offset  fence block: num_pages records of (first_key, last_key),
-//              16 bytes each — loaded into memory on open so that PageOf()
-//              and scan termination never touch page data.
+//   offset 0   header, 96 bytes: magic "OSFCSEG1", u32 version (2), page
+//              geometry, key bounds, the page codec id
+//              (storage/page_codec.h), filter geometry, and a checksum.
+//   offset 96  pages, back to back: page i holds the entries
+//              [i*entries_per_page, ...) encoded by the segment's codec —
+//              variable length, located through the page index.
+//   footer     three blocks, in order:
+//                filter block  — split-block bloom filter over every key
+//                                (storage/filter_block.h); may be absent.
+//                zone maps     — per page, per dimension, the (lo, hi)
+//                                cell-coordinate bounds of the page's
+//                                entries; may be absent (written when the
+//                                writer was given a curve).
+//                page index    — per page: byte offset, encoded length,
+//                                first key, last key. The fence index of
+//                                format v1, now carrying offsets too.
+//
+// The filter block and zone maps are loaded into memory on open and
+// answer MayContainKey / PageMayIntersect probes without page I/O: a
+// negative bloom probe skips a whole run for a point lookup, a negative
+// zone-map probe skips one page of a box query. Both are conservative —
+// false never lies.
+//
+// Format version 1 (fixed-size raw pages + fence block) opens read-only
+// through the same SegmentReader: its fences load as a page index with
+// computed offsets, its pages decode through the kRaw codec, and it simply
+// has no filters. Unknown versions are rejected with a clear Status.
+// Compaction rewrites every segment it touches with the current writer,
+// so v1 files upgrade to v2 on their next compaction.
 //
 // SegmentWriter streams sorted entries to a new file; SegmentReader opens
 // and validates an existing file and serves pages through the PageSource
@@ -32,6 +45,7 @@
 #ifndef ONION_STORAGE_SEGMENT_H_
 #define ONION_STORAGE_SEGMENT_H_
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -41,9 +55,27 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/filter_block.h"
+#include "storage/page_codec.h"
 #include "storage/page_source.h"
 
+namespace onion {
+class SpaceFillingCurve;
+}  // namespace onion
+
 namespace onion::storage {
+
+/// How a SegmentWriter encodes pages and filters.
+struct SegmentWriterOptions {
+  uint32_t entries_per_page = 256;
+  PageCodec codec = PageCodec::kRaw;
+  /// Bloom filter budget; 0 writes no filter block.
+  uint32_t filter_bits_per_key = 10;
+  /// When set, per-page zone maps (cell bounding boxes) are computed by
+  /// mapping every key back through this curve; must outlive the writer.
+  /// When null, no zone maps are written.
+  const SpaceFillingCurve* curve = nullptr;
+};
 
 /// Streams a sorted run of entries into a new segment file. Usage:
 /// construct, Add() entries in nondecreasing key order, Finish().
@@ -51,7 +83,10 @@ namespace onion::storage {
 /// removed by the destructor.
 class SegmentWriter {
  public:
+  /// Raw codec, default filter budget, no zone maps — the legacy
+  /// convenience constructor.
   SegmentWriter(std::string path, uint32_t entries_per_page);
+  SegmentWriter(std::string path, const SegmentWriterOptions& options);
   ~SegmentWriter();
 
   SegmentWriter(const SegmentWriter&) = delete;
@@ -60,8 +95,8 @@ class SegmentWriter {
   /// Appends one entry. Keys must be nondecreasing (checked).
   Status Add(Key key, uint64_t payload);
 
-  /// Flushes the last page, writes the fence block and header, fsyncs the
-  /// file AND its directory, and closes the file. Only after Finish()
+  /// Flushes the last page, writes the footer blocks and header, fsyncs
+  /// the file AND its directory, and closes the file. Only after Finish()
   /// returns OK may the segment be referenced by a MANIFEST — the sync
   /// ordering guarantees a crash can never leave a manifest pointing at a
   /// torn or unlinked segment. No further Add() calls are allowed.
@@ -71,14 +106,25 @@ class SegmentWriter {
   const std::string& path() const { return path_; }
 
  private:
-  Status WritePage();  // writes page_buf_ (padded) and records its fences
+  struct PageMeta {
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    Key first_key = 0;
+    Key last_key = 0;
+    std::array<Coord, kMaxDims> cell_lo = {};
+    std::array<Coord, kMaxDims> cell_hi = {};
+  };
+
+  Status WritePage();  // encodes page_buf_ and records its metadata
 
   std::string path_;
-  uint32_t entries_per_page_;
+  SegmentWriterOptions options_;
   std::FILE* file_ = nullptr;
   Status status_;  // first error encountered, sticky
   std::vector<Entry> page_buf_;
-  std::vector<std::pair<Key, Key>> fences_;
+  std::vector<PageMeta> pages_;
+  BloomFilterBuilder bloom_;
+  uint64_t next_offset_ = 0;  // where the next page's bytes land
   uint64_t num_entries_ = 0;
   Key min_key_ = 0;
   Key max_key_ = 0;
@@ -86,11 +132,11 @@ class SegmentWriter {
   bool finished_ = false;
 };
 
-/// Read side of a segment file. Validates the header and fence block on
-/// open, keeps the fences in memory, and reads pages with positioned file
-/// I/O on demand. ReadPage() is safe to call from multiple threads (the
-/// seek+read pair is serialized internally); all other accessors touch
-/// immutable state only.
+/// Read side of a segment file (format v1 or v2). Validates the header and
+/// footer blocks on open, keeps the page index, filter, and zone maps in
+/// memory, and reads pages with positioned file I/O on demand. ReadPage()
+/// is safe to call from multiple threads (the seek+read pair is serialized
+/// internally); all other accessors touch immutable state only.
 class SegmentReader final : public PageSource {
  public:
   static Result<std::unique_ptr<SegmentReader>> Open(std::string path);
@@ -101,28 +147,65 @@ class SegmentReader final : public PageSource {
 
   uint64_t num_entries() const override { return num_entries_; }
   uint32_t entries_per_page() const override { return entries_per_page_; }
-  Key first_key(uint64_t page) const override { return fences_[page].first; }
-  Key last_key(uint64_t page) const override { return fences_[page].second; }
+  Key first_key(uint64_t page) const override {
+    return pages_[page].first_key;
+  }
+  Key last_key(uint64_t page) const override { return pages_[page].last_key; }
   void ReadPage(uint64_t page, std::vector<Entry>* out) const override;
+
+  /// Encoded size of page `page` on disk — what ReadPage really transfers.
+  uint64_t PageDiskBytes(uint64_t page) const override {
+    ONION_CHECK_MSG(page < num_pages(), "page out of range");
+    return pages_[page].bytes;
+  }
+  /// Bloom probe; always true for v1 segments (no filter block).
+  bool MayContainKey(Key key) const override {
+    return BloomMayContain(filter_.data(), filter_.size(), key);
+  }
+  /// Zone-map probe; always true for segments without zone maps or when
+  /// the box dimensionality does not match.
+  bool PageMayIntersect(uint64_t page, const Box& box) const override;
 
   /// Smallest / largest key stored (only meaningful when num_entries() > 0).
   Key min_key() const { return min_key_; }
   Key max_key() const { return max_key_; }
   const std::string& path() const { return path_; }
+  /// On-disk format version this file was written with (1 or 2).
+  uint32_t format_version() const { return version_; }
+  /// Codec its pages are encoded with (kRaw for v1 files).
+  PageCodec codec() const { return codec_; }
+  /// Bytes of the in-file bloom filter block (0 when absent).
+  uint64_t filter_bytes() const { return filter_.size(); }
   /// Total bytes of the file as recorded by the header geometry.
-  uint64_t file_bytes() const;
+  uint64_t file_bytes() const { return file_bytes_; }
 
  private:
+  struct PageMeta {
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    Key first_key = 0;
+    Key last_key = 0;
+  };
+
   SegmentReader(std::string path, std::FILE* file);
+  Status LoadV1(const uint8_t* header);
+  Status LoadV2(const uint8_t* header);
 
   std::string path_;
   mutable std::FILE* file_;
   mutable std::mutex io_mu_;  // serializes the seek+read pair on file_
+  uint32_t version_ = 1;
+  PageCodec codec_ = PageCodec::kRaw;
   uint32_t entries_per_page_ = 1;
   uint64_t num_entries_ = 0;
   Key min_key_ = 0;
   Key max_key_ = 0;
-  std::vector<std::pair<Key, Key>> fences_;
+  uint64_t file_bytes_ = 0;
+  uint32_t zone_dims_ = 0;
+  std::vector<PageMeta> pages_;
+  std::vector<uint8_t> filter_;
+  /// num_pages * zone_dims_ * 2 coords: page-major, per dimension (lo, hi).
+  std::vector<Coord> zones_;
 };
 
 }  // namespace onion::storage

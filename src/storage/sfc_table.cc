@@ -16,10 +16,13 @@ namespace {
 
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestFormat[] = "onion-sfc-table";
-// Version 2 adds the per-segment level and the WAL floor; version 1
-// manifests (no levels, no WALs) are still readable — their segments all
-// load as level 0.
-constexpr int kManifestVersion = 2;
+// Version 3 adds the `codec` and `filter_bits_per_key` lines (segment
+// format v2). Version 2 added the per-segment level and the WAL floor;
+// version 1 manifests (no levels, no WALs) are still readable — their
+// segments all load as level 0. Older versions lacking the codec lines
+// default to the caller's options and are rewritten as version 3 on the
+// next flush or compaction.
+constexpr int kManifestVersion = 3;
 
 constexpr char kWalPrefix[] = "wal_";
 constexpr char kWalSuffix[] = ".log";
@@ -47,6 +50,12 @@ Status ValidateOptions(const SfcTableOptions& options) {
   }
   if (options.level_growth_factor < 2) {
     return Status::InvalidArgument("level_growth_factor must be >= 2");
+  }
+  if (!PageCodecValid(static_cast<uint32_t>(options.codec))) {
+    return Status::InvalidArgument("unknown page codec");
+  }
+  if (options.filter_bits_per_key > 64) {
+    return Status::InvalidArgument("filter_bits_per_key must be <= 64");
   }
   return Status::OK();
 }
@@ -106,6 +115,17 @@ std::string SfcTable::WalPath(uint64_t id) const {
   return dir_ + "/" + WalFileName(id);
 }
 
+SegmentWriterOptions SfcTable::WriterOptions() const {
+  // options_ and curve_ are immutable after Create/Open, so this needs no
+  // lock even though flush and compaction call it from the worker thread.
+  SegmentWriterOptions writer_options;
+  writer_options.entries_per_page = options_.entries_per_page;
+  writer_options.codec = options_.codec;
+  writer_options.filter_bits_per_key = options_.filter_bits_per_key;
+  writer_options.curve = curve_.get();
+  return writer_options;
+}
+
 uint64_t SfcTable::EffectiveLevelSegmentEntries() const {
   return options_.level_segment_entries > 0 ? options_.level_segment_entries
                                             : options_.memtable_flush_entries;
@@ -129,6 +149,9 @@ std::string SfcTable::ManifestTextLocked() const {
   text += "side " + std::to_string(curve_->universe().side()) + "\n";
   text += "entries_per_page " + std::to_string(options_.entries_per_page) +
           "\n";
+  text += "codec " + std::string(PageCodecName(options_.codec)) + "\n";
+  text += "filter_bits_per_key " +
+          std::to_string(options_.filter_bits_per_key) + "\n";
   text += "next_segment_id " + std::to_string(next_segment_id_) + "\n";
   text += "wal_floor " + std::to_string(wal_floor_) + "\n";
   for (const TableSegment& segment : l0_) {
@@ -292,7 +315,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
   if (!in || format != kManifestFormat) {
     return Status::InvalidArgument("bad manifest format in " + dir);
   }
-  if (version != 1 && version != kManifestVersion) {
+  if (version < 1 || version > kManifestVersion) {
     return Status::InvalidArgument("unsupported manifest version " +
                                    std::to_string(version) + " in " + dir);
   }
@@ -302,6 +325,10 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
   uint32_t entries_per_page = 0;
   uint64_t next_segment_id = 0;
   uint64_t wal_floor = 0;
+  PageCodec codec = PageCodec::kRaw;
+  bool has_codec = false;
+  uint32_t filter_bits_per_key = 0;
+  bool has_filter_bits = false;
   std::vector<std::pair<int, std::string>> segment_files;  // (level, file)
   std::string field;
   while (in >> field) {
@@ -313,6 +340,17 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
       in >> side;
     } else if (field == "entries_per_page") {
       in >> entries_per_page;
+    } else if (field == "codec") {
+      std::string codec_name;
+      in >> codec_name;
+      if (!ParsePageCodec(codec_name, &codec)) {
+        return Status::InvalidArgument("unknown manifest codec '" +
+                                       codec_name + "' in " + dir);
+      }
+      has_codec = true;
+    } else if (field == "filter_bits_per_key") {
+      in >> filter_bits_per_key;
+      has_filter_bits = true;
     } else if (field == "next_segment_id") {
       in >> next_segment_id;
     } else if (field == "wal_floor") {
@@ -338,8 +376,15 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
   auto curve = MakeCurve(curve_name, Universe(dims, side));
   if (!curve.ok()) return curve.status();
   SfcTableOptions effective = options;
-  // Page geometry is a property of the files on disk, not of the caller.
+  // Page geometry — and, since manifest v3, the codec and filter budget —
+  // are properties of the table on disk, not of the caller. Manifests
+  // older than v3 lack the codec lines; those tables adopt the caller's
+  // options and record them on the next manifest write.
   effective.entries_per_page = entries_per_page;
+  if (has_codec) effective.codec = codec;
+  if (has_filter_bits) effective.filter_bits_per_key = filter_bits_per_key;
+  const Status revalid = ValidateOptions(effective);
+  if (!revalid.ok()) return revalid;
   std::unique_ptr<SfcTable> table(
       new SfcTable(dir, std::move(curve).value(), effective, shared));
   table->next_segment_id_ = next_segment_id;
@@ -465,7 +510,11 @@ std::vector<SegmentInfo> SfcTable::SegmentInfos() const {
     infos.push_back(SegmentInfo{segment.file, segment.level,
                                 segment.reader->min_key(),
                                 segment.reader->max_key(),
-                                segment.reader->num_entries()});
+                                segment.reader->num_entries(),
+                                segment.reader->file_bytes(),
+                                segment.reader->format_version(),
+                                segment.reader->codec(),
+                                segment.reader->filter_bytes()});
   };
   for (const TableSegment& segment : l0_) add(segment);
   for (const auto& level_segments : levels_) {
@@ -621,7 +670,7 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
     std::shared_ptr<SegmentReader> reader;
     lock.unlock();
     {
-      SegmentWriter writer(path, options_.entries_per_page);
+      SegmentWriter writer(path, WriterOptions());
       status = batch.mem.FlushTo(&writer);
       if (status.ok()) status = writer.Finish();  // fsyncs file + directory
     }
@@ -787,7 +836,7 @@ void SfcTable::RunCompactionLocked(
     }
     out_files.push_back(SegmentFileName(id));
     return std::make_unique<SegmentWriter>(SegmentPath(out_files.back()),
-                                           options_.entries_per_page);
+                                           WriterOptions());
   };
   Status status =
       MergeSegmentsLeveled(raw, max_output_entries, open_output, &outs);
@@ -957,7 +1006,7 @@ Status SfcTable::Compact() {
 
   std::shared_ptr<SegmentReader> reader;
   {
-    SegmentWriter writer(path, options_.entries_per_page);
+    SegmentWriter writer(path, WriterOptions());
     status = MergeSegments(raw, &writer);
     if (status.ok()) status = writer.Finish();
   }
@@ -1035,17 +1084,21 @@ std::unique_ptr<Cursor> SfcTable::NewBoxCursor(const Box& box,
     return NewErrorCursor(Status::InvalidArgument(
         "query box outside the table's universe: " + box.ToString()));
   }
-  return NewRangesCursor(DecomposeBox(*curve_, box), options);
+  // DecomposeBox is exact (every key of every range maps into the box),
+  // which is the precondition for handing the box to the cursor as a
+  // zone-map filter.
+  return NewRangesCursor(DecomposeBox(*curve_, box), &box, options);
 }
 
 std::unique_ptr<Cursor> SfcTable::NewScanCursor(const ReadOptions& options) {
   const Key num_cells = curve_->universe().num_cells();
   std::vector<KeyRange> ranges;
   if (num_cells > 0) ranges.push_back(KeyRange{0, num_cells - 1});
-  return NewRangesCursor(std::move(ranges), options);
+  return NewRangesCursor(std::move(ranges), nullptr, options);
 }
 
 std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
+                                                  const Box* query_box,
                                                   const ReadOptions& options) {
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -1104,7 +1157,7 @@ std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
               if (a.key != b.key) return a.key < b.key;
               return a.payload < b.payload;
             });
-  return NewSnapshotCursor(curve_.get(), std::move(ranges),
+  return NewSnapshotCursor(curve_.get(), std::move(ranges), query_box,
                            std::move(mem_hits), std::move(snapshot), pool_,
                            &io_stats_, options);
 }
@@ -1115,7 +1168,8 @@ Result<std::vector<uint64_t>> SfcTable::Get(const Cell& cell) {
                               cell.ToString());
   }
   const Key key = curve_->IndexOf(cell);
-  const auto cursor = NewRangesCursor({KeyRange{key, key}}, ReadOptions{});
+  const auto cursor =
+      NewRangesCursor({KeyRange{key, key}}, nullptr, ReadOptions{});
   std::vector<uint64_t> payloads;
   for (; cursor->Valid(); cursor->Next()) {
     payloads.push_back(cursor->entry().payload);

@@ -282,6 +282,167 @@ TEST(CursorTest, HitReadBudgetDistinguishesTruncationFromExhaustion) {
   check(index.NewBoxCursor(box).get(), 5, false, "index unbounded");
 }
 
+TEST(CursorTest, MaxBytesBudgetCountsOnDiskBytes) {
+  // The documented rule: ReadOptions::max_bytes and IoStats::disk_bytes
+  // both count ON-DISK (encoded) bytes. With the delta codec the decoded
+  // bytes are several times larger — a budget equal to the total on-disk
+  // page bytes must therefore complete the scan (an implementation that
+  // wrongly counted decoded bytes would truncate it).
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 6000, 271);
+  SfcTableOptions options;
+  options.entries_per_page = 64;
+  options.pool_pages = 4;  // cold pool: every page is a real fetch
+  options.memtable_flush_entries = 2000;
+  options.codec = PageCodec::kDeltaVarint;
+  auto table_result =
+      SfcTable::Create(FreshDir("disk_bytes"), "hilbert", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(table.Insert(points[i], i).ok());
+  }
+  ASSERT_TRUE(table.Compact().ok());
+
+  // Measure the true on-disk page bytes of a full scan (cold pool, every
+  // page missed exactly once).
+  table.ResetStats();
+  {
+    auto cursor = table.NewScanCursor();
+    EXPECT_EQ(DrainCursor(cursor.get()).size(), points.size());
+  }
+  const IoStats full = table.io_stats();
+  ASSERT_GT(full.disk_bytes, 0u);
+  // The codec really compresses: decoded bytes dwarf on-disk bytes.
+  EXPECT_GT(full.decoded_bytes, 2 * full.disk_bytes);
+
+  // Budget == total on-disk bytes: the whole scan fits.
+  ReadOptions exact;
+  exact.max_bytes = full.disk_bytes;
+  auto fits = table.NewScanCursor(exact);
+  EXPECT_EQ(DrainCursor(fits.get()).size(), points.size());
+  EXPECT_FALSE(fits->hit_read_budget());
+
+  // Budget == a quarter: truncation, with the counted bytes staying near
+  // the budget (one page of overshoot at most).
+  ReadOptions quarter;
+  quarter.max_bytes = full.disk_bytes / 4;
+  table.ResetStats();
+  auto truncated = table.NewScanCursor(quarter);
+  const auto some = DrainCursor(truncated.get());
+  EXPECT_TRUE(truncated->hit_read_budget());
+  EXPECT_LT(some.size(), points.size());
+  const IoStats bounded = table.io_stats();
+  EXPECT_LE(bounded.disk_bytes,
+            quarter.max_bytes + full.disk_bytes);  // sanity ceiling
+  EXPECT_LT(bounded.disk_bytes, full.disk_bytes / 2);
+}
+
+TEST(CursorTest, BloomFilterSkipsAbsentPointLookups) {
+  // Checkerboard data: every segment's key span covers the whole universe,
+  // so fences cannot prune an absent Get — only the bloom filter can.
+  const Universe universe(2, 32);
+  SfcTableOptions options;
+  options.entries_per_page = 16;
+  options.codec = PageCodec::kDeltaVarint;
+  options.filter_bits_per_key = 10;
+  auto table_result =
+      SfcTable::Create(FreshDir("bloom_get"), "zorder", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  uint64_t payload = 0;
+  for (Coord y = 0; y < 32; ++y) {
+    for (Coord x = 0; x < 32; ++x) {
+      if ((x + y) % 2 == 0) {
+        ASSERT_TRUE(table.Insert(Cell(x, y), ++payload).ok());
+      }
+    }
+  }
+  ASSERT_TRUE(table.Compact().ok());
+
+  table.ResetStats();
+  uint64_t absent_probes = 0;
+  for (Coord y = 0; y < 32; ++y) {
+    for (Coord x = (y % 2 == 0) ? 1 : 0; x < 32; x += 2) {  // absent cells
+      auto got = table.Get(Cell(x, y));
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(got.value().empty());
+      ++absent_probes;
+    }
+  }
+  const IoStats io = table.io_stats();
+  // The overwhelming majority of absent probes must be answered by the
+  // filter (~1% false positives), never touching a page.
+  EXPECT_GT(io.pages_skipped_by_filter, absent_probes * 9 / 10);
+  EXPECT_LT(io.page_reads + io.cache_hits, absent_probes / 2);
+
+  // The same skip is observable per cursor: a one-cell box over an absent
+  // cell decomposes to a point range and reports its filter skip.
+  table.ResetStats();
+  auto cursor = table.NewBoxCursor(Box(Cell(1, 0), Cell(1, 0)));
+  EXPECT_TRUE(DrainCursor(cursor.get()).empty());
+  EXPECT_TRUE(cursor->status().ok());
+  EXPECT_EQ(cursor->pages_skipped_by_filter(), 1u);
+  // Present cells still arrive exactly (no false negatives, ever).
+  for (Coord y = 0; y < 32; ++y) {
+    auto got = table.Get(Cell(y % 2 == 0 ? 0 : 1, y));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().size(), 1u);
+  }
+}
+
+TEST(CursorTest, ZoneMapsSkipPagesOutsideTheQueryBox) {
+  // Data fills the left strip (x < 16); queries hit the adjacent strip
+  // (16 <= x < 32). Under z-order the data keys jump over the query
+  // strip's key subtrees at every y-group boundary, so pages straddling a
+  // jump have fences that overlap the decomposed ranges while containing
+  // nothing — exactly what the per-page cell bounding boxes prove
+  // skippable without I/O.
+  const Universe universe(2, 64);
+  SfcTableOptions options;
+  // Deliberately NOT a divisor of the dense 256-key z-order subtrees the
+  // left strip fills: pages must straddle the key jumps, or fences alone
+  // would prune everything and the zone maps would have nothing to do.
+  options.entries_per_page = 48;
+  auto table_result =
+      SfcTable::Create(FreshDir("zone_skip"), "zorder", universe, options);
+  ASSERT_TRUE(table_result.ok());
+  auto& table = *table_result.value();
+  SpatialIndex reference(MakeCurve("zorder", universe).value());
+  uint64_t payload = 0;
+  for (Coord y = 0; y < 64; ++y) {
+    for (Coord x = 0; x < 16; ++x) {
+      const Cell cell(x, y);
+      ASSERT_TRUE(table.Insert(cell, payload).ok());
+      reference.Insert(cell, payload);
+      ++payload;
+    }
+  }
+  ASSERT_TRUE(table.Compact().ok());
+
+  uint64_t skipped = 0;
+  for (Coord y = 0; y + 8 < 64; y += 7) {
+    const Box box(Cell(16, y), Cell(31, y + 8));
+    auto cursor = table.NewBoxCursor(box);
+    auto index_cursor = reference.NewBoxCursor(box);
+    EXPECT_EQ(Canonical(table.curve(), DrainCursor(cursor.get())),
+              Canonical(reference.curve(), DrainCursor(index_cursor.get())));
+    EXPECT_TRUE(cursor->status().ok());
+    skipped += cursor->pages_skipped_by_filter();
+  }
+  EXPECT_GT(skipped, 0u);
+  EXPECT_EQ(table.io_stats().pages_skipped_by_filter, skipped);
+
+  // And skipping loses nothing on boxes that DO contain data.
+  for (const Box& box : RandomCubes(Universe(2, 16), 6, 15, 283)) {
+    auto cursor = table.NewBoxCursor(box);
+    auto index_cursor = reference.NewBoxCursor(box);
+    EXPECT_EQ(Canonical(table.curve(), DrainCursor(cursor.get())),
+              Canonical(reference.curve(), DrainCursor(index_cursor.get())))
+        << box.ToString();
+  }
+}
+
 TEST(CursorTest, CursorOutlivesCompaction) {
   // Snapshot isolation under structural churn: a cursor opened before
   // Compact() keeps streaming the retired segments (shared_ptr-pinned)

@@ -1,18 +1,24 @@
 // Tests for the on-disk segment format: write -> reopen round trips
 // (including empty and single-page segments), fence-index correctness,
-// header validation of corrupted files, and agreement with the in-memory
-// page source on identical data.
+// header validation of corrupted files, agreement with the in-memory page
+// source on identical data, and — for format version 2 — codec round
+// trips, bloom-filter probes, zone-map pruning, and backward compat with
+// handcrafted format-v1 files.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "sfc/registry.h"
+#include "storage/codec.h"
 #include "storage/mem_source.h"
 #include "storage/segment.h"
+#include "v1_segment_fixture.h"
 
 namespace onion::storage {
 namespace {
@@ -151,6 +157,190 @@ TEST(SegmentTest, AbandonedWriterLeavesNoFile) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   EXPECT_EQ(f, nullptr);
   if (f != nullptr) std::fclose(f);
+}
+
+TEST(SegmentTest, DeltaVarintSegmentRoundTripsAndShrinks) {
+  Rng rng(13);
+  std::vector<Entry> entries;
+  Key key = 0;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    key += rng.UniformInclusive(5);  // dense, with duplicates
+    entries.push_back({key, i});
+  }
+  const std::string raw_path = TempPath("seg_codec_raw.sfc");
+  const std::string delta_path = TempPath("seg_codec_delta.sfc");
+  for (const auto& [path, codec] :
+       {std::pair<std::string, PageCodec>{raw_path, PageCodec::kRaw},
+        {delta_path, PageCodec::kDeltaVarint}}) {
+    std::remove(path.c_str());
+    SegmentWriterOptions options;
+    options.entries_per_page = 64;
+    options.codec = codec;
+    SegmentWriter writer(path, options);
+    for (const Entry& entry : entries) {
+      ASSERT_TRUE(writer.Add(entry.key, entry.payload).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto raw = SegmentReader::Open(raw_path);
+  auto delta = SegmentReader::Open(delta_path);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(raw.value()->format_version(), 2u);
+  EXPECT_EQ(delta.value()->codec(), PageCodec::kDeltaVarint);
+  // Byte-identical decoded entries, strictly fewer bytes on disk.
+  EXPECT_EQ(ReadAll(*raw.value()), entries);
+  EXPECT_EQ(ReadAll(*delta.value()), entries);
+  EXPECT_LT(delta.value()->file_bytes(), raw.value()->file_bytes());
+  for (uint64_t p = 0; p < delta.value()->num_pages(); ++p) {
+    EXPECT_LT(delta.value()->PageDiskBytes(p),
+              raw.value()->PageDiskBytes(p));
+  }
+}
+
+TEST(SegmentTest, BloomFilterProbesHaveNoFalseNegatives) {
+  std::vector<Entry> entries;
+  for (uint64_t i = 0; i < 1000; ++i) entries.push_back({i * 7, i});
+  auto reader = WriteAndOpen("seg_bloom.sfc", entries, 32);
+  EXPECT_GT(reader->filter_bytes(), 0u);
+  uint64_t negatives = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(reader->MayContainKey(i * 7));  // present: never negative
+    if (!reader->MayContainKey(i * 7 + 3)) ++negatives;  // absent
+  }
+  // ~1% FPR at 10 bits/key: the overwhelming majority of absent probes
+  // must be filtered out.
+  EXPECT_GT(negatives, 900u);
+}
+
+TEST(SegmentTest, FilterDisabledWritesNoBloomBlock) {
+  const std::string path = TempPath("seg_nofilter.sfc");
+  std::remove(path.c_str());
+  SegmentWriterOptions options;
+  options.entries_per_page = 8;
+  options.filter_bits_per_key = 0;
+  SegmentWriter writer(path, options);
+  for (uint64_t i = 0; i < 100; ++i) ASSERT_TRUE(writer.Add(i, i).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = SegmentReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value()->filter_bytes(), 0u);
+  EXPECT_TRUE(reader.value()->MayContainKey(9999));  // no filter: maybe
+}
+
+TEST(SegmentTest, ZoneMapsPruneDisjointBoxes) {
+  // Zone maps need a curve to map keys back to cells; brute-force check
+  // PageMayIntersect against the actual page contents for random boxes.
+  const Universe universe(2, 32);
+  auto curve = MakeCurve("hilbert", universe).value();
+  std::vector<Entry> entries;
+  for (Key key = 0; key < universe.num_cells(); key += 3) {
+    entries.push_back({key, key});
+  }
+  const std::string path = TempPath("seg_zones.sfc");
+  std::remove(path.c_str());
+  SegmentWriterOptions options;
+  options.entries_per_page = 16;
+  options.curve = curve.get();
+  SegmentWriter writer(path, options);
+  for (const Entry& entry : entries) {
+    ASSERT_TRUE(writer.Add(entry.key, entry.payload).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  auto opened = SegmentReader::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const auto& reader = *opened.value();
+
+  Rng rng(77);
+  uint64_t pruned = 0;
+  std::vector<Entry> page;
+  for (int round = 0; round < 200; ++round) {
+    const auto x = static_cast<Coord>(rng.UniformInclusive(31));
+    const auto y = static_cast<Coord>(rng.UniformInclusive(31));
+    const auto w = static_cast<Coord>(rng.UniformInclusive(7));
+    const auto h = static_cast<Coord>(rng.UniformInclusive(7));
+    const Box box(Cell(x, y), Cell(std::min<Coord>(31, x + w),
+                                   std::min<Coord>(31, y + h)));
+    for (uint64_t p = 0; p < reader.num_pages(); ++p) {
+      if (reader.PageMayIntersect(p, box)) continue;
+      ++pruned;
+      // "Skippable" must be sound: no entry of the page is in the box.
+      reader.ReadPage(p, &page);
+      for (const Entry& entry : page) {
+        EXPECT_FALSE(box.Contains(curve->CellAt(entry.key)))
+            << "zone map pruned a page containing a box entry";
+      }
+    }
+  }
+  EXPECT_GT(pruned, 0u);  // the maps actually prune something
+  // A mismatched dimensionality must disable pruning, not misprune.
+  EXPECT_TRUE(reader.PageMayIntersect(0, Box(Cell(0, 0, 0), Cell(1, 1, 1))));
+}
+
+TEST(SegmentTest, OpensHandcraftedV1File) {
+  Rng rng(31);
+  std::vector<Entry> entries;
+  Key key = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    key += rng.UniformInclusive(9);
+    entries.push_back({key, i});
+  }
+  const std::string path = TempPath("seg_v1_fixture.sfc");
+  std::remove(path.c_str());
+  WriteV1SegmentFixture(path, entries, 16);
+  auto opened = SegmentReader::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const auto& reader = *opened.value();
+  EXPECT_EQ(reader.format_version(), 1u);
+  EXPECT_EQ(reader.codec(), PageCodec::kRaw);
+  EXPECT_EQ(reader.filter_bytes(), 0u);
+  EXPECT_EQ(reader.num_entries(), entries.size());
+  EXPECT_EQ(reader.min_key(), entries.front().key);
+  EXPECT_EQ(reader.max_key(), entries.back().key);
+  EXPECT_EQ(ReadAll(reader), entries);
+  // No filter, no zone maps: probes answer "maybe", never "no".
+  EXPECT_TRUE(reader.MayContainKey(entries.back().key + 1234));
+  EXPECT_TRUE(reader.PageMayIntersect(0, Box(Cell(0, 0), Cell(1, 1))));
+  // v1 pages are fixed-size on disk.
+  EXPECT_EQ(reader.PageDiskBytes(0), 16 * kEntryBytes);
+}
+
+TEST(SegmentTest, OpenRejectsUnknownFutureVersion) {
+  const std::vector<Entry> entries = {{1, 1}, {2, 2}};
+  const std::string path = TempPath("seg_future.sfc");
+  std::remove(path.c_str());
+  WriteV1SegmentFixture(path, entries, 4);
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 8, SEEK_SET);
+  uint8_t version_bytes[4];
+  PutU32(version_bytes, 7);
+  std::fwrite(version_bytes, 1, 4, f);
+  std::fclose(f);
+  auto result = SegmentReader::Open(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The message must tell the operator what happened, not just "bad file".
+  EXPECT_NE(result.status().ToString().find("unsupported segment format"),
+            std::string::npos);
+  EXPECT_NE(result.status().ToString().find("7"), std::string::npos);
+}
+
+TEST(SegmentTest, OpenRejectsCorruptedV2Header) {
+  const std::vector<Entry> entries = {{1, 1}, {2, 2}, {3, 3}};
+  auto reader = WriteAndOpen("seg_corrupt_v2.sfc", entries, 2);
+  ASSERT_EQ(reader->format_version(), 2u);
+  reader.reset();
+  const std::string path = TempPath("seg_corrupt_v2.sfc");
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 56, SEEK_SET);  // codec id field of the v2 header
+  const uint8_t bogus = 0x5a;
+  std::fwrite(&bogus, 1, 1, f);
+  std::fclose(f);
+  auto result = SegmentReader::Open(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

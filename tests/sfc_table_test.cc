@@ -3,8 +3,11 @@
 // compaction, unflushed-memtable reads, and manifest/I/O failure modes.
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,7 +16,9 @@
 
 #include "index/spatial_index.h"
 #include "sfc/registry.h"
+#include "storage/codec.h"
 #include "storage/sfc_table.h"
+#include "v1_segment_fixture.h"
 #include "workloads/generators.h"
 
 namespace onion::storage {
@@ -390,6 +395,12 @@ TEST(SfcTableTest, OptionValidationRejectsBadValues) {
   options = SfcTableOptions{};
   options.level_growth_factor = 1;
   expect_invalid(options, "level_growth_factor");
+  options = SfcTableOptions{};
+  options.codec = static_cast<PageCodec>(99);
+  expect_invalid(options, "codec");
+  options = SfcTableOptions{};
+  options.filter_bits_per_key = 65;
+  expect_invalid(options, "filter_bits_per_key");
 
   // Open validates too: create a good table, then reopen with bad options.
   const std::string dir = FreshDir("bad_options_open");
@@ -422,6 +433,190 @@ TEST(SfcTableTest, ReopenedTableAcceptsMoreInserts) {
   const auto results =
       table.value()->Query(Box(Cell(0, 0), Cell(31, 31)));
   EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(SfcTableTest, QueryResultsIdenticalAcrossCodecs) {
+  // The acceptance bar of segment format v2: byte-identical query results
+  // whatever the codec/filter configuration, on mixed multi-segment state.
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 5000, 61);
+  const auto boxes = RandomCubes(universe, 14, 30, 67);
+  struct Config {
+    PageCodec codec;
+    uint32_t filter_bits;
+    const char* tag;
+  };
+  const Config configs[] = {{PageCodec::kRaw, 0, "raw0"},
+                            {PageCodec::kRaw, 10, "raw10"},
+                            {PageCodec::kDeltaVarint, 0, "delta0"},
+                            {PageCodec::kDeltaVarint, 10, "delta10"}};
+  std::vector<std::unique_ptr<SfcTable>> tables;
+  for (const Config& config : configs) {
+    SfcTableOptions options;
+    options.entries_per_page = 32;
+    options.pool_pages = 16;
+    options.memtable_flush_entries = 700;
+    options.l0_compaction_trigger = 3;
+    options.codec = config.codec;
+    options.filter_bits_per_key = config.filter_bits;
+    auto table = SfcTable::Create(FreshDir(std::string("codec_equiv_") +
+                                           config.tag),
+                                  "hilbert", universe, options);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    for (size_t i = 0; i < points.size(); ++i) {
+      ASSERT_TRUE(table.value()->Insert(points[i], i).ok());
+    }
+    tables.push_back(std::move(table).value());
+  }
+  for (const Box& box : boxes) {
+    const auto expected = Canonical(tables[0]->curve(),
+                                    tables[0]->Query(box));
+    for (size_t t = 1; t < tables.size(); ++t) {
+      EXPECT_EQ(Canonical(tables[t]->curve(), tables[t]->Query(box)),
+                expected)
+          << configs[t].tag << " " << box.ToString();
+    }
+  }
+  // Point lookups agree too (present and absent cells; absent ones take
+  // the bloom fast path in the filtered configs).
+  for (uint64_t i = 0; i < 200; ++i) {
+    const Cell cell(static_cast<Coord>((i * 13) % 64),
+                    static_cast<Coord>((i * 29) % 64));
+    auto expected = tables[0]->Get(cell);
+    ASSERT_TRUE(expected.ok());
+    std::sort(expected.value().begin(), expected.value().end());
+    for (size_t t = 1; t < tables.size(); ++t) {
+      auto got = tables[t]->Get(cell);
+      ASSERT_TRUE(got.ok());
+      std::sort(got.value().begin(), got.value().end());
+      EXPECT_EQ(got.value(), expected.value()) << configs[t].tag;
+    }
+  }
+}
+
+TEST(SfcTableTest, ManifestRecordsCodecAcrossReopen) {
+  const Universe universe(2, 32);
+  const std::string dir = FreshDir("manifest_codec");
+  {
+    SfcTableOptions options;
+    options.codec = PageCodec::kDeltaVarint;
+    options.filter_bits_per_key = 6;
+    auto table = SfcTable::Create(dir, "onion", universe, options);
+    ASSERT_TRUE(table.ok());
+    for (uint64_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          table.value()->Insert(Cell(i % 32, (i / 32) % 32), i).ok());
+    }
+    ASSERT_TRUE(table.value()->Close().ok());
+  }
+  // Reopen with DEFAULT options (raw codec): the manifest must win, so
+  // segments flushed after reopen still use delta_varint.
+  auto table = SfcTable::Open(dir);
+  ASSERT_TRUE(table.ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        table.value()->Insert(Cell((i * 7) % 32, (i * 3) % 32), 1000 + i)
+            .ok());
+  }
+  ASSERT_TRUE(table.value()->Flush().ok());
+  const auto infos = table.value()->SegmentInfos();
+  ASSERT_FALSE(infos.empty());
+  for (const SegmentInfo& info : infos) {
+    EXPECT_EQ(info.codec, PageCodec::kDeltaVarint) << info.file;
+    EXPECT_EQ(info.format_version, 2u) << info.file;
+    EXPECT_GT(info.filter_bytes, 0u) << info.file;
+    EXPECT_GT(info.disk_bytes, 0u) << info.file;
+  }
+}
+
+/// Builds a table directory whose MANIFEST (version 2, pre-codec) names
+/// one handcrafted v1 segment — exactly what a table left behind by the
+/// previous release looks like. The segment bytes come from the shared
+/// byte-exact fixture in v1_segment_fixture.h.
+void BuildV1FixtureTable(const std::string& dir,
+                         const std::vector<Entry>& entries) {
+  std::filesystem::create_directories(dir);
+  WriteV1SegmentFixture(dir + "/seg_0.sfc", entries, 16);
+  std::FILE* f = std::fopen((dir + "/MANIFEST").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string manifest =
+      "onion-sfc-table 2\n"
+      "curve hilbert\n"
+      "dims 2\n"
+      "side 32\n"
+      "entries_per_page 16\n"
+      "next_segment_id 1\n"
+      "wal_floor 0\n"
+      "segment 0 seg_0.sfc\n";
+  ASSERT_EQ(std::fwrite(manifest.data(), 1, manifest.size(), f),
+            manifest.size());
+  std::fclose(f);
+}
+
+TEST(SfcTableTest, V1FixtureOpensQueriesAndUpgradesOnCompaction) {
+  const Universe universe(2, 32);
+  auto curve = MakeCurve("hilbert", universe).value();
+  std::vector<Entry> v1_entries;
+  for (Key key = 0; key < universe.num_cells(); key += 3) {
+    v1_entries.push_back({key, key * 2});
+  }
+  const std::string dir = FreshDir("v1_fixture");
+  BuildV1FixtureTable(dir, v1_entries);
+
+  SfcTableOptions options;
+  options.codec = PageCodec::kDeltaVarint;  // the upgrade target
+  auto opened = SfcTable::Open(dir, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& table = *opened.value();
+  EXPECT_EQ(table.size(), v1_entries.size());
+  {
+    const auto infos = table.SegmentInfos();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos[0].format_version, 1u);
+    EXPECT_EQ(infos[0].codec, PageCodec::kRaw);
+  }
+  // Queries read v1 pages through the same cursor path as v2.
+  const auto everything = table.Query(universe.Bounds());
+  ASSERT_EQ(everything.size(), v1_entries.size());
+  for (const SpatialEntry& entry : everything) {
+    EXPECT_EQ(entry.payload, curve->IndexOf(entry.cell) * 2);
+  }
+  // New data + compaction: the merged output is format v2 with the
+  // table's codec — the v1 file is upgraded out of existence.
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table.Insert(Cell(i % 32, 31 - i % 32), 900000 + i).ok());
+  }
+  ASSERT_TRUE(table.Flush().ok());
+  ASSERT_TRUE(table.Compact().ok());
+  const auto infos = table.SegmentInfos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].format_version, 2u);
+  EXPECT_EQ(infos[0].codec, PageCodec::kDeltaVarint);
+  EXPECT_GT(infos[0].filter_bytes, 0u);
+  EXPECT_EQ(table.size(), v1_entries.size() + 50);
+  EXPECT_EQ(table.Query(universe.Bounds()).size(), v1_entries.size() + 50);
+}
+
+TEST(SfcTableTest, UnknownSegmentVersionRejectedAtOpenWithClearStatus) {
+  const Universe universe(2, 32);
+  std::vector<Entry> entries;
+  for (Key key = 0; key < 100; ++key) entries.push_back({key, key});
+  const std::string dir = FreshDir("future_segment");
+  BuildV1FixtureTable(dir, entries);
+  // Stamp a from-the-future format version into the segment header.
+  std::FILE* f = std::fopen((dir + "/seg_0.sfc").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  uint8_t version_bytes[4];
+  PutU32(version_bytes, 9);
+  std::fseek(f, 8, SEEK_SET);
+  std::fwrite(version_bytes, 1, 4, f);
+  std::fclose(f);
+  auto opened = SfcTable::Open(dir);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(opened.status().ToString().find("unsupported segment format"),
+            std::string::npos)
+      << opened.status().ToString();
 }
 
 }  // namespace

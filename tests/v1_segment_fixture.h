@@ -1,0 +1,77 @@
+// Shared backward-compat fixture: a byte-exact writer of the segment
+// format version 1 layout (the fixed-page format shipped before segment
+// format v2, specified in docs/storage_format.md). It reproduces the v1
+// header checksum independently of segment.cc, so these tests prove the
+// current reader opens REAL v1 bytes — not whatever today's writer
+// happens to emit. Used by segment_test.cc (file-level round trip) and
+// sfc_table_test.cc (a whole v1 table directory that must open, serve
+// queries, and upgrade on compaction).
+
+#ifndef ONION_TESTS_V1_SEGMENT_FIXTURE_H_
+#define ONION_TESTS_V1_SEGMENT_FIXTURE_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/codec.h"
+#include "storage/page_source.h"
+
+namespace onion::storage {
+
+/// Writes a format-v1 segment file: 64-byte header, fixed-size
+/// zero-padded raw pages, fence block, v1 checksum. `entries` must be
+/// sorted by key and non-empty.
+inline void WriteV1SegmentFixture(const std::string& path,
+                                  const std::vector<Entry>& entries,
+                                  uint32_t entries_per_page) {
+  ASSERT_FALSE(entries.empty());
+  const uint64_t num_pages =
+      (entries.size() + entries_per_page - 1) / entries_per_page;
+  const uint64_t page_bytes =
+      static_cast<uint64_t>(entries_per_page) * kEntryBytes;
+  const uint64_t fence_offset = 64 + num_pages * page_bytes;
+  std::vector<uint8_t> bytes(fence_offset + num_pages * kEntryBytes, 0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    uint8_t* at = &bytes[64 + (i / entries_per_page) * page_bytes +
+                         (i % entries_per_page) * kEntryBytes];
+    PutU64(at, entries[i].key);
+    PutU64(at + 8, entries[i].payload);
+  }
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    const size_t begin = p * entries_per_page;
+    const size_t end =
+        std::min<size_t>(begin + entries_per_page, entries.size());
+    PutU64(&bytes[fence_offset + p * kEntryBytes], entries[begin].key);
+    PutU64(&bytes[fence_offset + p * kEntryBytes + 8], entries[end - 1].key);
+  }
+  std::memcpy(bytes.data(), "OSFCSEG1", 8);
+  PutU32(&bytes[8], 1);  // format version 1
+  PutU32(&bytes[12], entries_per_page);
+  PutU64(&bytes[16], entries.size());
+  PutU64(&bytes[24], num_pages);
+  PutU64(&bytes[32], entries.front().key);
+  PutU64(&bytes[40], entries.back().key);
+  PutU64(&bytes[48], fence_offset);
+  // The v1 header checksum, reproduced independently of segment.cc.
+  uint64_t sum = 0x0410105fc5e671ULL;
+  sum ^= Rotl64(static_cast<uint64_t>(1) << 32 | entries_per_page, 1);
+  sum ^= Rotl64(entries.size(), 7);
+  sum ^= Rotl64(num_pages, 13);
+  sum ^= Rotl64(entries.front().key, 19);
+  sum ^= Rotl64(entries.back().key, 29);
+  sum ^= Rotl64(fence_offset, 37);
+  PutU64(&bytes[56], sum);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+}  // namespace onion::storage
+
+#endif  // ONION_TESTS_V1_SEGMENT_FIXTURE_H_
