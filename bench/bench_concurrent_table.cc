@@ -77,7 +77,8 @@ int main(int argc, char** argv) {
       threads.emplace_back([&, t] {
         size_t i = static_cast<size_t>(t);
         while (!done.load(std::memory_order_relaxed)) {
-          table.Query(boxes[i++ % boxes.size()]);
+          auto cursor = table.NewBoxCursor(boxes[i++ % boxes.size()]);
+          while (cursor->Valid()) cursor->Next();
           queries_run.fetch_add(1, std::memory_order_relaxed);
         }
       });
@@ -177,12 +178,15 @@ int main(int argc, char** argv) {
         for (;;) {
           const uint64_t i = next.fetch_add(1);
           if (i >= fsync_records) return;
-          uint64_t seq = 0;
+          uint64_t record = 0;
           {
             std::lock_guard<std::mutex> lock(append_mu);
-            if (!wal.value()->Append(i, i, &seq).ok()) std::exit(1);
+            const storage::WalOp op{i, i, false};
+            if (!wal.value()->AppendBatch(&op, 1, i + 1, &record).ok()) {
+              std::exit(1);
+            }
           }
-          if (!wal.value()->SyncUpTo(seq).ok()) std::exit(1);
+          if (!wal.value()->SyncUpTo(record).ok()) std::exit(1);
         }
       });
     }

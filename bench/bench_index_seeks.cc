@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
         index.Insert(points[i], i);
       }
       for (const Box& query : queries) {
-        index.Query(query);
+        auto cursor = index.NewBoxCursor(query);
+        while (cursor->Valid()) cursor->Next();  // drain: count the scan
       }
       const QueryStats& stats = index.stats();
       const double q = static_cast<double>(stats.queries);

@@ -9,9 +9,14 @@
 //     demonstrably separated even though the pool is shared (the summed
 //     per-table page counts equal the pool's physical aggregate);
 //   * the streaming payoff: a limit-bounded cursor touches a small
-//     fraction of the pages full materialization reads. The process exits
-//     nonzero if the bounded cursor fails to read fewer pages, so CI can
-//     run this as a smoke check.
+//     fraction of the pages full materialization reads;
+//   * snapshot reads: a db-wide snapshot pin taken before heavy churn
+//     (inserts + flush + compaction) must reproduce the pre-churn result
+//     exactly while latest reads see the new state, emitted as a CSVSNAP
+//     row (reads-under-snapshot vs latest) for the perf tooling.
+//   The process exits nonzero if the bounded cursor fails to read fewer
+//   pages or the snapshot fails repeatable reads, so CI can run this as a
+//   smoke check.
 //
 //   build/bench/bench_multi_db [--tables=4] [--side=128] [--points=60000]
 //       [--pool_pages=256] [--workers=2] [--limit=16] [--quick=false]
@@ -142,7 +147,13 @@ int main(int argc, char** argv) {
   storage::SfcTable* probe = tables[0];
   const Box big(Cell(0, 0), Cell(side - 1, side - 1));
   probe->ResetStats();
-  const size_t full_count = probe->Query(big).size();
+  size_t full_count = 0;
+  {
+    auto full_cursor = probe->NewBoxCursor(big);
+    for (; full_cursor->Valid(); full_cursor->Next()) ++full_count;
+    ONION_CHECK_MSG(full_cursor->status().ok(),
+                    full_cursor->status().ToString().c_str());
+  }
   const IoStats full_io = probe->io_stats();
   const uint64_t full_pages = full_io.page_reads + full_io.cache_hits;
 
@@ -168,8 +179,68 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(full_pages) / bounded_pages
                   : 0.0);
 
+  // --- Snapshot phase: reads-under-snapshot vs latest ------------------
+  // Pin the whole database, then churn the probe table hard (inserts +
+  // deletes + Flush + Compact). A cursor on the pin must still deliver
+  // exactly the pre-churn result while a latest cursor sees the new
+  // state — the repeatable-read contract, exercised on real segments
+  // across a compaction that rewrites every file.
+  auto db_snapshot_result = db.GetSnapshot();
+  ONION_CHECK_MSG(db_snapshot_result.ok(),
+                  db_snapshot_result.status().ToString().c_str());
+  // The pin must be released before db.Close() (it must not outlive the
+  // tables it pins) — hence a resettable local.
+  std::shared_ptr<const storage::DbSnapshot> db_snapshot =
+      std::move(db_snapshot_result).value();
+  const uint64_t snapshot_seq = probe->last_sequence();
+  const auto churn = RandomPoints(universe, quick ? 4000 : 20000, 4242);
+  for (size_t i = 0; i < churn.size(); ++i) {
+    if (!probe->Insert(churn[i], 1000000 + i).ok()) std::exit(1);
+  }
+  if (!probe->Flush().ok() || !probe->Compact().ok()) std::exit(1);
+
+  ReadOptions pinned;
+  pinned.snapshot = db_snapshot->ForTable(probe);
+  probe->ResetStats();
+  size_t snapshot_count = 0;
+  {
+    auto cursor_at_pin = probe->NewBoxCursor(big, pinned);
+    for (; cursor_at_pin->Valid(); cursor_at_pin->Next()) ++snapshot_count;
+    ONION_CHECK_MSG(cursor_at_pin->status().ok(),
+                    cursor_at_pin->status().ToString().c_str());
+  }
+  const IoStats snap_io = probe->io_stats();
+  probe->ResetStats();
+  size_t latest_count = 0;
+  {
+    auto latest_cursor = probe->NewBoxCursor(big);
+    for (; latest_cursor->Valid(); latest_cursor->Next()) ++latest_count;
+    ONION_CHECK_MSG(latest_cursor->status().ok(),
+                    latest_cursor->status().ToString().c_str());
+  }
+  const IoStats latest_io = probe->io_stats();
+  std::printf("\nsnapshot reads            : pinned seq %llu -> %zu entries "
+              "(latest: %zu) across flush+compaction churn\n",
+              static_cast<unsigned long long>(snapshot_seq), snapshot_count,
+              latest_count);
+  std::printf("CSVSNAP,tag,snapshot_seq,snapshot_entries,latest_entries,"
+              "snapshot_pages,latest_pages\n");
+  std::printf("CSVSNAP,multi_db,%llu,%zu,%zu,%llu,%llu\n",
+              static_cast<unsigned long long>(snapshot_seq), snapshot_count,
+              latest_count,
+              static_cast<unsigned long long>(snap_io.page_reads +
+                                              snap_io.cache_hits),
+              static_cast<unsigned long long>(latest_io.page_reads +
+                                              latest_io.cache_hits));
+
+  db_snapshot.reset();  // release the pins before the tables shut down
   if (!db.Close().ok()) return 1;
   std::filesystem::remove_all(dir);
-  // Smoke-check contract: early termination must actually save I/O.
-  return bounded_count == limit && bounded_pages < full_pages ? 0 : 1;
+  // Smoke-check contract: early termination must actually save I/O, and
+  // the snapshot must have pinned exactly the pre-churn state.
+  return bounded_count == limit && bounded_pages < full_pages &&
+                 snapshot_count == full_count &&
+                 latest_count == full_count + churn.size()
+             ? 0
+             : 1;
 }

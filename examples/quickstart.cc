@@ -47,7 +47,8 @@ int main() {
   const auto points = RandomPoints(universe, 10000, /*seed=*/1);
   for (size_t i = 0; i < points.size(); ++i) index.Insert(points[i], i);
 
-  const auto results = index.Query(query);
+  auto cursor = index.NewBoxCursor(query);
+  const auto results = DrainCursor(cursor.get());
   std::printf("\nspatial index: %zu points in %s, %llu seeks\n",
               results.size(), query.ToString().c_str(),
               static_cast<unsigned long long>(index.stats().ranges));
@@ -57,7 +58,8 @@ int main() {
   for (size_t i = 0; i < points.size(); ++i) {
     hilbert_index.Insert(points[i], i);
   }
-  const auto hilbert_results = hilbert_index.Query(query);
+  auto hilbert_cursor = hilbert_index.NewBoxCursor(query);
+  const auto hilbert_results = DrainCursor(hilbert_cursor.get());
   std::printf("hilbert index: %zu points, %llu seeks\n",
               hilbert_results.size(),
               static_cast<unsigned long long>(hilbert_index.stats().ranges));

@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
 
       uint64_t results = 0;
       for (const Box& query : queries) {
-        results += index.Query(query).size();
+        auto cursor = index.NewBoxCursor(query);
+        for (; cursor->Valid(); cursor->Next()) ++results;
       }
       const QueryStats& stats = index.stats();
       const double q = static_cast<double>(stats.queries);

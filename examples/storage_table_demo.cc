@@ -89,7 +89,12 @@ int main(int argc, char** argv) {
   const Status compacted = table.Compact();
   ONION_CHECK_MSG(compacted.ok(), compacted.ToString().c_str());
   table.ResetStats();
-  results = table.Query(query);
+  {
+    auto compacted_cursor = table.NewBoxCursor(query);
+    results = DrainCursor(compacted_cursor.get());
+    ONION_CHECK_MSG(compacted_cursor->status().ok(),
+                    compacted_cursor->status().ToString().c_str());
+  }
   std::printf("same query after compaction -> %zu entries, %llu seeks\n",
               results.size(),
               static_cast<unsigned long long>(table.io_stats().seeks));
@@ -100,7 +105,10 @@ int main(int argc, char** argv) {
   table_result.value().reset();
   auto reopened = storage::SfcTable::Open(dir);
   ONION_CHECK_MSG(reopened.ok(), reopened.status().ToString().c_str());
-  const auto again = reopened.value()->Query(query);
+  auto reopened_cursor = reopened.value()->NewBoxCursor(query);
+  const auto again = DrainCursor(reopened_cursor.get());
+  ONION_CHECK_MSG(reopened_cursor->status().ok(),
+                  reopened_cursor->status().ToString().c_str());
   std::printf("\nreopened table from %s: same query -> %zu entries (%s)\n",
               dir.c_str(), again.size(),
               again.size() == results.size() ? "match" : "MISMATCH");

@@ -21,7 +21,8 @@ for symbol in SfcDb SfcTable Cursor ReadOptions NewBoxCursor NewScanCursor \
               DrainCursor SyncUpTo CreateTable DropTable hit_read_budget \
               PageCodec kDeltaVarint filter_bits_per_key ProbeFilter \
               pages_skipped_by_filter disk_bytes decoded_bytes \
-              SegmentInfos; do
+              SegmentInfos WriteBatch GetSnapshot Snapshot DbSnapshot \
+              Delete last_sequence Corruption CRC32C; do
   if ! grep -q "$symbol" docs/api.md; then
     echo "UNDOCUMENTED API: $symbol (document it in docs/api.md)"
     fail=1

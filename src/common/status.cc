@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

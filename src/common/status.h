@@ -21,6 +21,7 @@ enum class StatusCode {
   kNotFound = 3,
   kUnimplemented = 4,
   kInternal = 5,
+  kCorruption = 6,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -50,6 +51,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

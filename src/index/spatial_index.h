@@ -75,9 +75,14 @@ class SpatialIndex {
   /// Streams the whole index in (curve key, payload) order.
   std::unique_ptr<Cursor> NewScanCursor(const ReadOptions& options = {}) const;
 
-  /// All entries inside `box`, in curve-key order. Updates `stats_`.
-  /// (The materializing twin of NewBoxCursor; kept as the convenience
-  /// API for in-memory use, where results were always materialized.)
+  /// DEPRECATED: all entries inside `box`, in curve-key order. Updates
+  /// `stats_`. The materializing twin of NewBoxCursor, kept for
+  /// compatibility — it aborts on an out-of-universe box instead of
+  /// reporting a Status and cannot bound its work; prefer the cursor,
+  /// which is drop-in interchangeable with the on-disk SfcTable's.
+  [[deprecated(
+      "materializes the whole result and aborts on bad input; use "
+      "NewBoxCursor")]]
   std::vector<SpatialEntry> Query(const Box& box) const;
 
   /// Statistics accumulated by Query calls since the last Reset.

@@ -9,7 +9,9 @@ BufferPool::BufferPool(uint64_t capacity_pages) : capacity_(capacity_pages) {
 }
 
 std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
-    const PageSource& source, uint64_t page, AtomicIoStats* attribution) {
+    const PageSource& source, uint64_t page, AtomicIoStats* attribution,
+    Status* status) {
+  if (status != nullptr) *status = Status::OK();
   const FrameKey key{source.source_id(), page};
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = resident_.find(key);
@@ -32,7 +34,7 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
   if (seek) ++stats_.seeks;
   const uint64_t disk_bytes = source.PageDiskBytes(page);
   const uint64_t decoded_bytes =
-      (source.PageEnd(page) - source.PageBegin(page)) * kEntryBytes;
+      (source.PageEnd(page) - source.PageBegin(page)) * kDecodedEntryBytes;
   stats_.disk_bytes += disk_bytes;
   stats_.decoded_bytes += decoded_bytes;
   if (attribution != nullptr) {
@@ -47,7 +49,15 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
   lock.unlock();
 
   auto data = std::make_shared<std::vector<Entry>>();
-  source.ReadPage(page, data.get());
+  const Status read_status = source.ReadPage(page, data.get());
+  if (!read_status.ok()) {
+    // The physical read attempt stays counted (it happened); the page just
+    // never becomes resident. Callers with a status sink turn this into a
+    // query error, everyone else treats it as fatal.
+    ONION_CHECK_MSG(status != nullptr, read_status.ToString().c_str());
+    *status = read_status;
+    return nullptr;
+  }
 
   lock.lock();
   // Another thread may have read the same page while the lock was free;

@@ -45,9 +45,13 @@ class BufferPool {
   /// the frame is evicted or its source is Drop()ped meanwhile. When
   /// `attribution` is non-null the same counter increments land there too
   /// (relaxed atomics), attributing the I/O to one client of a shared pool.
+  /// A failed page read (e.g. Status::Corruption from a checksum mismatch)
+  /// returns nullptr with the error in `*status` when given; with no
+  /// status sink the failure is fatal (CHECK), preserving the legacy
+  /// simulation contract.
   std::shared_ptr<const std::vector<Entry>> Fetch(
       const PageSource& source, uint64_t page,
-      AtomicIoStats* attribution = nullptr);
+      AtomicIoStats* attribution = nullptr, Status* status = nullptr);
 
   /// Filter fast path: returns false when `source`'s filter proves no
   /// entry has key `key` — the page fetch a point probe would have done is
@@ -69,7 +73,7 @@ class BufferPool {
       // Fence test: this page starts past the range, so neither it nor any
       // later page can contribute — stop without I/O.
       if (source.first_key(page) > hi) break;
-      const auto data = Fetch(source, page, attribution);
+      const auto data = Fetch(source, page, attribution);  // CHECKs on error
       for (const Entry& entry : *data) {
         if (entry.key < lo) continue;
         if (entry.key > hi) break;

@@ -1,5 +1,6 @@
 #include "storage/compaction.h"
 
+#include <algorithm>
 #include <queue>
 
 #include "common/macros.h"
@@ -7,23 +8,28 @@
 namespace onion::storage {
 namespace {
 
-/// Sequential page-at-a-time cursor over one segment.
+/// Sequential page-at-a-time cursor over one segment. A failed page read
+/// (e.g. a checksum mismatch) parks its error in `status` and ends the
+/// cursor; the merge loop surfaces it.
 struct Cursor {
   const SegmentReader* reader;
   uint64_t page = 0;
   size_t offset = 0;
   std::vector<Entry> buf;
+  Status status;
 
   bool LoadPage() {
     if (page >= reader->num_pages()) return false;
-    reader->ReadPage(page, &buf);
+    status = reader->ReadPage(page, &buf);
+    if (!status.ok()) return false;
     offset = 0;
     return true;
   }
 
   const Entry& Current() const { return buf[offset]; }
 
-  /// Advances to the next entry; returns false at end of segment.
+  /// Advances to the next entry; returns false at end of segment (or on a
+  /// read error — check `status`).
   bool Advance() {
     if (++offset < buf.size()) return true;
     ++page;
@@ -45,62 +51,135 @@ using MergeHeap =
     std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>;
 
 /// Seeds cursors and the heap from the non-empty inputs.
-void InitMerge(const std::vector<const SegmentReader*>& inputs,
-               std::vector<Cursor>* cursors, MergeHeap* heap) {
+Status InitMerge(const std::vector<const SegmentReader*>& inputs,
+                 std::vector<Cursor>* cursors, MergeHeap* heap) {
   cursors->reserve(inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {
     ONION_CHECK(inputs[i] != nullptr);
-    cursors->push_back(Cursor{inputs[i], 0, 0, {}});
+    cursors->push_back(Cursor{inputs[i], 0, 0, {}, Status::OK()});
     if (cursors->back().LoadPage()) {
       heap->push(HeapItem{cursors->back().Current().key, i});
+    } else if (!cursors->back().status.ok()) {
+      return cursors->back().status;
     }
   }
+  return Status::OK();
+}
+
+/// Pops every entry of the smallest pending key into `*group`, in input
+/// order (so same-key versions keep a deterministic order). Returns false
+/// when the heap is empty; a read error surfaces through `*status`.
+bool NextKeyGroup(std::vector<Cursor>* cursors, MergeHeap* heap,
+                  std::vector<Entry>* group, Status* status) {
+  group->clear();
+  if (heap->empty()) return false;
+  const Key key = heap->top().key;
+  while (!heap->empty() && heap->top().key == key) {
+    const HeapItem top = heap->top();
+    heap->pop();
+    Cursor& cursor = (*cursors)[top.input];
+    group->push_back(cursor.Current());
+    if (cursor.Advance()) {
+      heap->push(HeapItem{cursor.Current().key, top.input});
+    } else if (!cursor.status.ok()) {
+      *status = cursor.status;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True when no snapshot sequence S satisfies lo <= S < hi — i.e. the two
+/// versions sit in the same snapshot stratum and the newer one fully
+/// shadows the older.
+bool NoSnapshotIn(const std::vector<uint64_t>& snapshots, uint64_t lo,
+                  uint64_t hi) {
+  const auto it = std::lower_bound(snapshots.begin(), snapshots.end(), lo);
+  return it == snapshots.end() || *it >= hi;
+}
+
+/// MVCC garbage collection over one key's versions: removes puts shadowed
+/// by a tombstone with no snapshot in between, tombstones shadowed by a
+/// newer tombstone the same way, and — at the bottom level only —
+/// tombstones that no snapshot predates (everything they shadow dies in
+/// this same merge, so nothing can resurrect).
+void CollectKeyGroup(std::vector<Entry>* group,
+                     const CompactionOptions& options) {
+  std::vector<uint64_t> tombstones;
+  for (const Entry& entry : *group) {
+    if (IsTombstone(entry.seq)) tombstones.push_back(SequenceOf(entry.seq));
+  }
+  if (tombstones.empty()) return;
+  std::sort(tombstones.begin(), tombstones.end());
+  const auto shadowed = [&](uint64_t sequence) {
+    // Any in-merge tombstone newer than `sequence` with no snapshot
+    // between them makes this version unreachable by every reader.
+    const auto it = std::upper_bound(tombstones.begin(), tombstones.end(),
+                                     sequence);
+    for (auto t = it; t != tombstones.end(); ++t) {
+      if (NoSnapshotIn(options.snapshots, sequence, *t)) return true;
+    }
+    return false;
+  };
+  group->erase(
+      std::remove_if(group->begin(), group->end(),
+                     [&](const Entry& entry) {
+                       const uint64_t sequence = SequenceOf(entry.seq);
+                       if (shadowed(sequence)) return true;
+                       if (!IsTombstone(entry.seq)) return false;
+                       // A surviving tombstone can itself be dropped only
+                       // at the bottom level, and only when no snapshot
+                       // predates it (otherwise a pinned older put could
+                       // resurrect for latest reads).
+                       return options.bottom_level &&
+                              (options.snapshots.empty() ||
+                               options.snapshots.front() >= sequence);
+                     }),
+      group->end());
 }
 
 }  // namespace
 
 Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
-                     SegmentWriter* out) {
+                     SegmentWriter* out, const CompactionOptions& options) {
   std::vector<Cursor> cursors;
   MergeHeap heap;
-  InitMerge(inputs, &cursors, &heap);
-  while (!heap.empty()) {
-    const HeapItem top = heap.top();
-    heap.pop();
-    Cursor& cursor = cursors[top.input];
-    const Entry& entry = cursor.Current();
-    const Status status = out->Add(entry.key, entry.payload);
-    if (!status.ok()) return status;
-    if (cursor.Advance()) {
-      heap.push(HeapItem{cursor.Current().key, top.input});
+  Status status = InitMerge(inputs, &cursors, &heap);
+  if (!status.ok()) return status;
+  std::vector<Entry> group;
+  while (NextKeyGroup(&cursors, &heap, &group, &status)) {
+    CollectKeyGroup(&group, options);
+    for (const Entry& entry : group) {
+      status = out->Add(entry.key, entry.payload, entry.seq);
+      if (!status.ok()) return status;
     }
   }
-  return Status::OK();
+  return status;
 }
 
 Status MergeSegmentsLeveled(
     const std::vector<const SegmentReader*>& inputs,
     uint64_t max_output_entries,
     const std::function<std::unique_ptr<SegmentWriter>()>& open_output,
-    std::vector<std::unique_ptr<SegmentWriter>>* outputs) {
+    std::vector<std::unique_ptr<SegmentWriter>>* outputs,
+    const CompactionOptions& options) {
   ONION_CHECK_MSG(max_output_entries >= 1, "output size must be positive");
   std::vector<Cursor> cursors;
   MergeHeap heap;
-  InitMerge(inputs, &cursors, &heap);
+  Status status = InitMerge(inputs, &cursors, &heap);
+  if (!status.ok()) return status;
 
   SegmentWriter* out = nullptr;
-  Key last_written = 0;
-  while (!heap.empty()) {
-    const HeapItem top = heap.top();
-    heap.pop();
-    Cursor& cursor = cursors[top.input];
-    const Entry& entry = cursor.Current();
-    // Cut only between strictly increasing keys: equal keys split across
-    // two outputs would make their fence ranges touch, and the level would
-    // no longer be probe-one-segment-per-range.
-    if (out != nullptr && out->num_entries() >= max_output_entries &&
-        entry.key > last_written) {
-      const Status status = out->Finish();
+  std::vector<Entry> group;
+  while (NextKeyGroup(&cursors, &heap, &group, &status)) {
+    CollectKeyGroup(&group, options);
+    if (group.empty()) continue;  // the whole key died in this merge
+    // Cut only between key groups: equal keys split across two outputs
+    // would make their fence ranges touch, and the level would no longer
+    // be probe-one-segment-per-range. The group's key is strictly greater
+    // than everything already written.
+    if (out != nullptr && out->num_entries() >= max_output_entries) {
+      status = out->Finish();
       if (!status.ok()) return status;
       out = nullptr;
     }
@@ -108,15 +187,14 @@ Status MergeSegmentsLeveled(
       outputs->push_back(open_output());
       out = outputs->back().get();
     }
-    const Status status = out->Add(entry.key, entry.payload);
-    if (!status.ok()) return status;
-    last_written = entry.key;
-    if (cursor.Advance()) {
-      heap.push(HeapItem{cursor.Current().key, top.input});
+    for (const Entry& entry : group) {
+      status = out->Add(entry.key, entry.payload, entry.seq);
+      if (!status.ok()) return status;
     }
   }
+  if (!status.ok()) return status;
   if (out != nullptr) {
-    const Status status = out->Finish();
+    status = out->Finish();
     if (!status.ok()) return status;
   }
   return Status::OK();

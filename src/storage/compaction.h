@@ -4,6 +4,13 @@
 // compaction is how the engine converges back to the paper's one-run model
 // where a query's seek count equals its clustering number.
 //
+// The merge is also where MVCC garbage collection happens: entries
+// shadowed by a tombstone are dropped unless a live snapshot still pins
+// the shadowed version, and tombstones themselves are dropped once the
+// merge is bottom-most (no older data for the key below the output) and
+// no snapshot predates them. The rules are conservative — when in doubt an
+// entry is kept, and a later compaction collects it.
+//
 // Two entry points:
 //   MergeSegments        — everything into ONE output (major compaction).
 //   MergeSegmentsLeveled — into a sequence of bounded, key-disjoint
@@ -17,6 +24,7 @@
 #ifndef ONION_STORAGE_COMPACTION_H_
 #define ONION_STORAGE_COMPACTION_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -26,26 +34,43 @@
 
 namespace onion::storage {
 
-/// Merges the sorted inputs into `out` (which must be fresh). Reads every
-/// input sequentially page by page; ties between inputs are broken by input
-/// order, so earlier inputs' entries come first among equal keys. The
-/// caller still owns out->Finish().
-Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
-                     SegmentWriter* out);
+/// MVCC inputs of a merge: which versions may be garbage-collected.
+struct CompactionOptions {
+  /// Sequence numbers of every live snapshot, sorted ascending. A put
+  /// shadowed by a tombstone survives while any snapshot falls between
+  /// the put and the tombstone (that snapshot still sees the put).
+  std::vector<uint64_t> snapshots;
+  /// True when no data older than these inputs exists below the output
+  /// (the merge covers the deepest level holding its key range). Only
+  /// then may tombstones be dropped — and only those no snapshot
+  /// predates — because everything they shadow dies in the same merge.
+  bool bottom_level = false;
+};
 
-/// Merges the sorted inputs into one or more key-disjoint outputs. A new
-/// output is started once the current one holds at least
-/// `max_output_entries` entries AND the next key is strictly greater than
-/// the last written key (so a run of duplicate keys never straddles two
-/// outputs — the outputs' [min_key, max_key] ranges stay disjoint).
-/// `open_output` must return a fresh writer each time it is called; every
-/// writer is Finish()ed (and therefore durably synced) here and appended to
-/// `*outputs`. With all-empty inputs no output is opened at all.
+/// Merges the sorted inputs into `out` (which must be fresh), applying the
+/// MVCC retention rules of `options`. Reads every input sequentially page
+/// by page; ties between equal keys keep each version (versions are
+/// distinct entries), so nothing is lost that a snapshot or latest read
+/// could still see. The caller still owns out->Finish().
+Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
+                     SegmentWriter* out,
+                     const CompactionOptions& options = {});
+
+/// Merges the sorted inputs into one or more key-disjoint outputs under
+/// the same MVCC retention rules. A new output is started once the current
+/// one holds at least `max_output_entries` entries AND the next key is
+/// strictly greater than the last written key (so a run of equal keys
+/// never straddles two outputs — the outputs' [min_key, max_key] ranges
+/// stay disjoint). `open_output` must return a fresh writer each time it
+/// is called; every writer is Finish()ed (and therefore durably synced)
+/// here and appended to `*outputs`. With all-empty (or fully collected)
+/// inputs no output is opened at all.
 Status MergeSegmentsLeveled(
     const std::vector<const SegmentReader*>& inputs,
     uint64_t max_output_entries,
     const std::function<std::unique_ptr<SegmentWriter>()>& open_output,
-    std::vector<std::unique_ptr<SegmentWriter>>* outputs);
+    std::vector<std::unique_ptr<SegmentWriter>>* outputs,
+    const CompactionOptions& options = {});
 
 }  // namespace onion::storage
 

@@ -1,0 +1,34 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace onion::storage {
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const uint8_t* data, size_t n) {
+  // Built once, thread-safe per the C++ static-initialization rules.
+  static const std::array<uint32_t, 256> table = BuildTable();
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace onion::storage

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// block checksum of segment format v3 pages, WAL format v2 records, and
+// the SfcDb batch journal. A table-driven software implementation — no
+// SSE4.2 dependency — whose output matches the widely deployed CRC32C
+// (iSCSI / RocksDB / LevelDB unmasked) bitstream, so fixtures written by
+// hand in tests validate the real on-disk rule.
+
+#ifndef ONION_STORAGE_CRC32C_H_
+#define ONION_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace onion::storage {
+
+/// CRC of [data, data + n), starting from `crc` (pass 0 for a fresh sum;
+/// feed a previous result to extend it over concatenated buffers).
+uint32_t Crc32c(uint32_t crc, const uint8_t* data, size_t n);
+
+inline uint32_t Crc32c(const uint8_t* data, size_t n) {
+  return Crc32c(0, data, n);
+}
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_CRC32C_H_

@@ -92,6 +92,12 @@ namespace {
 /// spans (one source per level, advancing segment to segment). Pages are
 /// fetched one at a time through the buffer pool, so stopping the cursor
 /// early really does skip the remaining I/O.
+///
+/// MVCC: the merge works one key-group at a time. All versions of the
+/// smallest pending key are drained from every source, entries above the
+/// read sequence (ReadOptions::snapshot) are dropped, and the surviving
+/// puts are those newer than the newest visible tombstone of the key —
+/// Delete hides every older version, a later Put resurrects the key.
 class SnapshotCursor final : public Cursor {
  public:
   SnapshotCursor(const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
@@ -106,7 +112,9 @@ class SnapshotCursor final : public Cursor {
         snapshot_(std::move(segments)),
         pool_(std::move(pool)),
         io_stats_(io_stats),
-        options_(options) {
+        options_(options),
+        visible_seq_(options.snapshot != nullptr ? options.snapshot->sequence
+                                                 : kMaxSequence) {
     if (!ranges_.empty() && BeginRange()) FindNext();
     else valid_ = false;
   }
@@ -130,7 +138,6 @@ class SnapshotCursor final : public Cursor {
   void Next() override {
     ONION_CHECK_MSG(valid_, "Next() on an invalid cursor");
     valid_ = false;
-    AdvanceSource(&sources_[current_src_], ranges_[range_idx_].hi);
     FindNext();
   }
 
@@ -158,10 +165,13 @@ class SnapshotCursor final : public Cursor {
     bool is_mem = false;
   };
 
-  static bool EntryLess(const Entry& a, const Entry& b) {
-    if (a.key != b.key) return a.key < b.key;
-    return a.payload < b.payload;
-  }
+  /// One version of the current key-group, tagged with its origin so
+  /// delivered entries from segments (not the memtable) count as
+  /// entries_read.
+  struct GroupEntry {
+    Entry entry;
+    bool from_mem = false;
+  };
 
   /// Counts one page fetch avoided by a zone-map check: locally (for the
   /// accessor), per-table (io_stats_, immediate), and pool-global
@@ -184,8 +194,9 @@ class SnapshotCursor final : public Cursor {
   }
 
   /// Fetches one page through the pool unless a page/byte bound says stop.
-  /// Returns false (and flags budget_hit_) without fetching when a bound
-  /// is reached. The byte budget counts ON-DISK (encoded) page bytes, the
+  /// Returns false without fetching when a bound is reached (flags
+  /// budget_hit_) or when the read fails (status_ carries the corruption
+  /// error). The byte budget counts ON-DISK (encoded) page bytes, the
   /// same unit as IoStats::disk_bytes.
   bool FetchPage(const SegmentReader& segment, uint64_t page_no,
                  std::shared_ptr<const std::vector<Entry>>* out) {
@@ -194,7 +205,12 @@ class SnapshotCursor final : public Cursor {
       budget_hit_ = true;
       return false;
     }
-    *out = pool_->Fetch(segment, page_no, io_stats_);
+    Status fetch_status;
+    *out = pool_->Fetch(segment, page_no, io_stats_, &fetch_status);
+    if (*out == nullptr) {
+      status_ = fetch_status;  // e.g. a page checksum mismatch
+      return false;
+    }
     ++pages_touched_;
     bytes_fetched_ += segment.PageDiskBytes(page_no);
     return true;
@@ -337,44 +353,91 @@ class SnapshotCursor final : public Cursor {
     return true;
   }
 
-  /// Establishes the next current entry (smallest head across sources,
-  /// advancing through ranges as they drain) or ends the cursor.
+  /// Drains every version of the smallest pending key into group_ and
+  /// resolves MVCC visibility: versions above the read sequence are
+  /// invisible, and visible puts survive only when newer than the newest
+  /// visible tombstone of the key. Survivors are ordered by (payload,
+  /// seq) for deterministic equal-key delivery. Returns false when the
+  /// current range has no further key, or on a budget/error stop
+  /// (budget_hit_ / status_ say which).
+  bool BuildNextGroup() {
+    group_.clear();
+    group_pos_ = 0;
+    int first = -1;
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      if (!sources_[i].valid) continue;
+      if (first < 0 || sources_[i].head.key < sources_[first].head.key) {
+        first = static_cast<int>(i);
+      }
+    }
+    if (first < 0) return false;  // range exhausted
+    const Key group_key = sources_[static_cast<size_t>(first)].head.key;
+    const Key hi = ranges_[range_idx_].hi;
+    raw_.clear();
+    for (Source& source : sources_) {
+      while (source.valid && source.head.key == group_key) {
+        raw_.push_back(GroupEntry{source.head, source.is_mem});
+        if (!AdvanceSource(&source, hi)) return false;  // budget/error stop
+      }
+    }
+    uint64_t max_tombstone = 0;
+    bool has_tombstone = false;
+    for (const GroupEntry& e : raw_) {
+      if (SequenceOf(e.entry.seq) > visible_seq_) continue;
+      if (IsTombstone(e.entry.seq)) {
+        has_tombstone = true;
+        max_tombstone = std::max(max_tombstone, SequenceOf(e.entry.seq));
+      }
+    }
+    for (const GroupEntry& e : raw_) {
+      if (SequenceOf(e.entry.seq) > visible_seq_) continue;
+      if (IsTombstone(e.entry.seq)) continue;
+      if (has_tombstone && SequenceOf(e.entry.seq) <= max_tombstone) continue;
+      group_.push_back(e);
+    }
+    std::sort(group_.begin(), group_.end(),
+              [](const GroupEntry& a, const GroupEntry& b) {
+                if (a.entry.payload != b.entry.payload) {
+                  return a.entry.payload < b.entry.payload;
+                }
+                return a.entry.seq < b.entry.seq;
+              });
+    return true;
+  }
+
+  /// Establishes the next current entry (the next survivor of the current
+  /// key-group, building new groups and advancing through ranges as they
+  /// drain) or ends the cursor.
   void FindNext() {
     for (;;) {
       if (budget_hit_ || !status_.ok()) return;  // valid_ stays false
-      int best = -1;
-      for (size_t i = 0; i < sources_.size(); ++i) {
-        if (!sources_[i].valid) continue;
-        if (best < 0 || EntryLess(sources_[i].head, sources_[best].head)) {
-          best = static_cast<int>(i);
+      if (group_pos_ < group_.size()) {
+        // The limit check sits where a further entry provably exists: when
+        // the data runs out exactly at the limit, the cursor ends as
+        // exhausted (hit_read_budget() false), matching the contract that
+        // the flag means "stopped early", not "delivered exactly limit".
+        if (options_.limit != 0 && delivered_ >= options_.limit) {
+          budget_hit_ = true;
+          return;
         }
-      }
-      if (best < 0) {
-        ++range_idx_;
-        if (range_idx_ >= ranges_.size()) return;  // exhausted: clean end
-        if (!BeginRange()) return;                 // budget stop mid-build
-        continue;
-      }
-      // The limit check sits AFTER the next entry was found: when the
-      // data runs out exactly at the limit, the cursor ends as exhausted
-      // (hit_read_budget() false), matching the contract that the flag
-      // means "stopped early", not "delivered exactly limit".
-      if (options_.limit != 0 && delivered_ >= options_.limit) {
-        budget_hit_ = true;
+        const GroupEntry& e = group_[group_pos_++];
+        current_ = SpatialEntry{curve_->CellAt(e.entry.key), e.entry.payload,
+                                SequenceOf(e.entry.seq)};
+        ++delivered_;
+        if (!e.from_mem) {
+          ++pending_entries_read_;
+          if (io_stats_ != nullptr) {
+            io_stats_->entries_read.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        valid_ = true;
         return;
       }
-      current_src_ = static_cast<size_t>(best);
-      const Entry& e = sources_[current_src_].head;
-      current_ = SpatialEntry{curve_->CellAt(e.key), e.payload};
-      ++delivered_;
-      if (!sources_[current_src_].is_mem) {
-        ++pending_entries_read_;
-        if (io_stats_ != nullptr) {
-          io_stats_->entries_read.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-      valid_ = true;
-      return;
+      if (BuildNextGroup()) continue;  // a group (possibly fully hidden)
+      if (budget_hit_ || !status_.ok()) return;
+      ++range_idx_;
+      if (range_idx_ >= ranges_.size()) return;  // exhausted: clean end
+      if (!BeginRange()) return;                 // budget/error mid-build
     }
   }
 
@@ -387,10 +450,13 @@ class SnapshotCursor final : public Cursor {
   const std::shared_ptr<BufferPool> pool_;
   AtomicIoStats* const io_stats_;
   const ReadOptions options_;
+  const uint64_t visible_seq_;  // read sequence: snapshot or "latest"
 
   std::vector<Source> sources_;
+  std::vector<GroupEntry> raw_;    // scratch: all versions of one key
+  std::vector<GroupEntry> group_;  // survivors being delivered
+  size_t group_pos_ = 0;
   size_t range_idx_ = 0;
-  size_t current_src_ = 0;
   SpatialEntry current_{};
   bool valid_ = false;
   bool budget_hit_ = false;

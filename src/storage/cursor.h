@@ -52,9 +52,22 @@ struct KeyRange;
 
 /// A spatial point with an opaque payload id (the unit every query
 /// interface returns; historically defined in index/spatial_index.h).
+/// `seq` is the sequence number the write carried (0 for pre-versioning
+/// data and for the in-memory SpatialIndex, which has no versions).
 struct SpatialEntry {
   Cell cell;
   uint64_t payload = 0;
+  uint64_t seq = 0;
+};
+
+/// A pinned read view of an SfcTable: every entry whose sequence number is
+/// <= `sequence` is visible, everything written later is not. Obtain one
+/// via SfcTable::GetSnapshot() / SfcDb::GetSnapshot() — the returned
+/// shared_ptr is the pin; while it lives, compaction retains the versions
+/// the snapshot can see. A Snapshot must not outlive the table that
+/// produced it.
+struct Snapshot {
+  uint64_t sequence = 0;
 };
 
 /// Per-read knobs honored by every cursor. Zero means "unbounded".
@@ -69,6 +82,14 @@ struct ReadOptions {
   /// the budget bounds real I/O regardless of the segment codec.
   /// Storage cursors only; ignored in memory.
   uint64_t max_bytes = 0;
+  /// Read at this pinned sequence instead of "latest": entries (and
+  /// tombstones) with a higher sequence are invisible, so any number of
+  /// cursors created with the same snapshot see byte-identical data no
+  /// matter how many inserts, deletes, flushes, or compactions run in
+  /// between (repeatable reads). Null reads the latest state. The
+  /// snapshot must stay pinned (its shared_ptr alive) while this read
+  /// runs. Ignored by the in-memory SpatialIndex, which is unversioned.
+  const Snapshot* snapshot = nullptr;
 };
 
 /// Pull-based streaming iterator over query results, delivered in

@@ -16,10 +16,11 @@ MemPageSource::MemPageSource(std::vector<Entry> entries,
   }
 }
 
-void MemPageSource::ReadPage(uint64_t page, std::vector<Entry>* out) const {
+Status MemPageSource::ReadPage(uint64_t page, std::vector<Entry>* out) const {
   ONION_CHECK_MSG(page < num_pages(), "page out of range");
   out->assign(entries_.begin() + static_cast<ptrdiff_t>(PageBegin(page)),
               entries_.begin() + static_cast<ptrdiff_t>(PageEnd(page)));
+  return Status::OK();
 }
 
 }  // namespace onion::storage

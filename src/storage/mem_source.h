@@ -29,7 +29,7 @@ class MemPageSource : public PageSource {
   Key last_key(uint64_t page) const override {
     return entries_[PageEnd(page) - 1].key;
   }
-  void ReadPage(uint64_t page, std::vector<Entry>* out) const override;
+  Status ReadPage(uint64_t page, std::vector<Entry>* out) const override;
 
   /// Direct entry access (memory-resident data only; disk-backed sources
   /// intentionally have no equivalent).

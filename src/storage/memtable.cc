@@ -9,7 +9,7 @@ Status MemTable::FlushTo(SegmentWriter* writer) const {
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const Entry& a, const Entry& b) { return a.key < b.key; });
   for (const Entry& entry : sorted) {
-    const Status status = writer->Add(entry.key, entry.payload);
+    const Status status = writer->Add(entry.key, entry.payload, entry.seq);
     if (!status.ok()) return status;
   }
   return Status::OK();

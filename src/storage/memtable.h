@@ -1,7 +1,8 @@
 // The write buffer of the storage engine: an unsorted in-memory batch of
-// (key, payload) entries that is sorted once when flushed into a segment.
-// Reads against unflushed data are a linear scan — the memtable is bounded
-// by the flush threshold, so this stays cheap, and it keeps inserts O(1).
+// (key, payload, seq) entries — puts and tombstones alike — that is sorted
+// once when flushed into a segment. Reads against unflushed data are a
+// linear scan — the memtable is bounded by the flush threshold, so this
+// stays cheap, and it keeps inserts O(1).
 //
 // Thread safety: none of its own. SfcTable mutates the active memtable
 // only under its exclusive table lock; once a memtable rotates into the
@@ -12,6 +13,7 @@
 #ifndef ONION_STORAGE_MEMTABLE_H_
 #define ONION_STORAGE_MEMTABLE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -23,31 +25,53 @@ namespace onion::storage {
 
 class MemTable {
  public:
-  void Insert(Key key, uint64_t payload) {
-    entries_.push_back(Entry{key, payload});
+  /// Buffers one entry. `seq` is the packed MVCC stamp (page_source.h):
+  /// sequence number plus the tombstone flag for Deletes.
+  void Insert(Key key, uint64_t payload, uint64_t seq) {
+    entries_.push_back(Entry{key, payload, seq});
+    max_sequence_ = std::max(max_sequence_, SequenceOf(seq));
   }
 
   uint64_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    max_sequence_ = 0;
+  }
 
-  /// Invokes fn(key, payload) for every entry with lo <= key <= hi, in
-  /// insertion order (not key order).
+  /// Largest sequence number buffered (0 when empty): the manifest's
+  /// `last_sequence` advances to this when the memtable's segment lands.
+  uint64_t max_sequence() const { return max_sequence_; }
+
+  /// Whether any buffered entry carries exactly `sequence` (linear; used
+  /// by open-time batch-journal recovery, never on a hot path).
+  bool ContainsSequence(uint64_t sequence) const {
+    for (const Entry& entry : entries_) {
+      if (SequenceOf(entry.seq) == sequence) return true;
+    }
+    return false;
+  }
+
+  /// Invokes fn(entry) for every entry with lo <= key <= hi, in insertion
+  /// order (not key order). Tombstones are delivered too — visibility and
+  /// delete resolution belong to the cursor merge.
   template <typename Fn>
   void ScanRange(Key lo, Key hi, Fn&& fn) const {
     for (const Entry& entry : entries_) {
-      if (entry.key >= lo && entry.key <= hi) fn(entry.key, entry.payload);
+      if (entry.key >= lo && entry.key <= hi) fn(entry);
     }
   }
 
   /// Streams the buffered entries into `writer` in key order (stable, so
-  /// same-key entries keep insertion order). Sorts a copy — the memtable
-  /// itself is not modified, so concurrent readers holding a shared table
-  /// lock are undisturbed. The caller still owns writer->Finish().
+  /// same-key entries keep insertion order == sequence order). Sorts a
+  /// copy — the memtable itself is not modified, so concurrent readers
+  /// holding a shared table lock are undisturbed. The caller still owns
+  /// writer->Finish().
   Status FlushTo(SegmentWriter* writer) const;
 
  private:
   std::vector<Entry> entries_;
+  uint64_t max_sequence_ = 0;
 };
 
 }  // namespace onion::storage

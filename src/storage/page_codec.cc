@@ -63,14 +63,17 @@ bool ParsePageCodec(const std::string& name, PageCodec* out) {
 }
 
 void EncodePage(PageCodec codec, const std::vector<Entry>& entries,
-                std::vector<uint8_t>* out) {
+                bool with_seqs, std::vector<uint8_t>* out) {
   switch (codec) {
     case PageCodec::kRaw: {
+      const uint64_t stride = with_seqs ? kEntryBytesV3 : kEntryBytes;
       const size_t base = out->size();
-      out->resize(base + entries.size() * kEntryBytes);
+      out->resize(base + entries.size() * stride);
       for (size_t i = 0; i < entries.size(); ++i) {
-        PutU64(out->data() + base + i * kEntryBytes, entries[i].key);
-        PutU64(out->data() + base + i * kEntryBytes + 8, entries[i].payload);
+        uint8_t* at = out->data() + base + i * stride;
+        PutU64(at, entries[i].key);
+        PutU64(at + 8, entries[i].payload);
+        if (with_seqs) PutU64(at + 16, entries[i].seq);
       }
       return;
     }
@@ -85,6 +88,7 @@ void EncodePage(PageCodec codec, const std::vector<Entry>& entries,
           PutVarint64(out, entries[i].key - prev);
         }
         PutVarint64(out, entries[i].payload);
+        if (with_seqs) PutVarint64(out, entries[i].seq);
         prev = entries[i].key;
       }
       return;
@@ -94,17 +98,19 @@ void EncodePage(PageCodec codec, const std::vector<Entry>& entries,
 }
 
 bool DecodePage(PageCodec codec, const uint8_t* data, size_t size,
-                uint64_t count, std::vector<Entry>* out) {
+                uint64_t count, bool with_seqs, std::vector<Entry>* out) {
   out->clear();
   out->reserve(count);
   switch (codec) {
     case PageCodec::kRaw: {
       // Tolerates trailing bytes: format-v1 pages are zero-padded to a
       // fixed length but hold exactly `count` live entries.
-      if (size < count * kEntryBytes) return false;
+      const uint64_t stride = with_seqs ? kEntryBytesV3 : kEntryBytes;
+      if (size < count * stride) return false;
       for (uint64_t i = 0; i < count; ++i) {
-        out->push_back(Entry{GetU64(data + i * kEntryBytes),
-                             GetU64(data + i * kEntryBytes + 8)});
+        const uint8_t* at = data + i * stride;
+        out->push_back(Entry{GetU64(at), GetU64(at + 8),
+                             with_seqs ? GetU64(at + 16) : 0});
       }
       return true;
     }
@@ -115,16 +121,18 @@ bool DecodePage(PageCodec codec, const uint8_t* data, size_t size,
       for (uint64_t i = 0; i < count; ++i) {
         uint64_t delta = 0;
         uint64_t payload = 0;
+        uint64_t seq = 0;
         if (!GetVarint64(&p, end, &delta) || !GetVarint64(&p, end, &payload)) {
           return false;
         }
+        if (with_seqs && !GetVarint64(&p, end, &seq)) return false;
         if (i == 0) {
           key = delta;
         } else {
           if (delta > ~key) return false;  // key would wrap past 2^64
           key += delta;
         }
-        out->push_back(Entry{key, payload});
+        out->push_back(Entry{key, payload, seq});
       }
       return p == end;  // trailing garbage means corruption
     }

@@ -7,18 +7,21 @@
 // entries — the codec is invisible outside segment.{h,cc} except as a
 // table option and an on-disk byte count.
 //
-//   kRaw          count * 16 bytes: u64 key, u64 payload per entry,
-//                 little-endian, no padding (segment v2 pages are
-//                 variable-length; the fixed-size padding of format v1 is
-//                 gone).
+//   kRaw          without seqs (v1/v2 pages): count * 16 bytes — u64 key,
+//                 u64 payload per entry, little-endian, no padding. With
+//                 seqs (v3 pages): count * 24 bytes — u64 key, u64
+//                 payload, u64 packed seq (see page_source.h).
 //   kDeltaVarint  exploits the sort order: the first entry is
 //                 varint(key) varint(payload); every following entry is
-//                 varint(key - previous key) varint(payload). Dense key
-//                 runs (exactly what a well-clustered curve produces)
-//                 shrink to ~2-3 bytes per entry.
+//                 varint(key - previous key) varint(payload). With seqs a
+//                 varint(packed seq) follows each payload. Dense key runs
+//                 (exactly what a well-clustered curve produces) shrink
+//                 to a few bytes per entry.
 //
 // Varints are LEB128: 7 payload bits per byte, high bit set on every byte
-// but the last, at most 10 bytes for a u64.
+// but the last, at most 10 bytes for a u64. Whether a page carries seqs is
+// a property of the SEGMENT format version (v3 pages do, v1/v2 pages do
+// not), passed in by the caller — the codec id alone does not change.
 
 #ifndef ONION_STORAGE_PAGE_CODEC_H_
 #define ONION_STORAGE_PAGE_CODEC_H_
@@ -49,17 +52,19 @@ const char* PageCodecName(PageCodec codec);
 bool ParsePageCodec(const std::string& name, PageCodec* out);
 
 /// Appends the encoding of `entries` (sorted by key — checked for
-/// kDeltaVarint) to `*out`.
+/// kDeltaVarint) to `*out`. `with_seqs` selects the v3 triple layout
+/// (key, payload, packed seq) over the v1/v2 pair layout.
 void EncodePage(PageCodec codec, const std::vector<Entry>& entries,
-                std::vector<uint8_t>* out);
+                bool with_seqs, std::vector<uint8_t>* out);
 
 /// Decodes exactly `count` entries from `[data, data + size)` into `*out`
-/// (replacing its contents). Returns false on malformed input (truncated
-/// buffer, varint overflow, or — for kDeltaVarint — trailing garbage).
-/// kRaw tolerates extra trailing bytes so the zero-padded pages of format
-/// v1 decode through the same path.
+/// (replacing its contents); entries of a page without seqs decode with
+/// seq 0. Returns false on malformed input (truncated buffer, varint
+/// overflow, or — for kDeltaVarint — trailing garbage). kRaw tolerates
+/// extra trailing bytes so the zero-padded pages of format v1 decode
+/// through the same path.
 bool DecodePage(PageCodec codec, const uint8_t* data, size_t size,
-                uint64_t count, std::vector<Entry>* out);
+                uint64_t count, bool with_seqs, std::vector<Entry>* out);
 
 }  // namespace onion::storage
 

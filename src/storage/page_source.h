@@ -18,23 +18,48 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "sfc/types.h"
 #include "storage/io_stats.h"
 
 namespace onion::storage {
 
-/// One stored record: a curve key and an opaque payload id.
+/// One stored record: a curve key, an opaque payload id, and the packed
+/// version stamp of the MVCC write path (see PackSeq below). Entries
+/// predating the versioned API — format-v1/v2 segment pages, WAL-v1
+/// records — carry seq 0: sequence number 0, not a tombstone, visible to
+/// every snapshot.
 struct Entry {
   Key key;
   uint64_t payload;
+  uint64_t seq = 0;
 
   bool operator==(const Entry& other) const {
-    return key == other.key && payload == other.payload;
+    return key == other.key && payload == other.payload && seq == other.seq;
   }
 };
 
-/// Number of bytes an Entry occupies in the on-disk segment format.
+/// Packs a sequence number and the tombstone flag into Entry::seq. The
+/// sequence lives in the high 63 bits so packed stamps of the same kind
+/// compare like their sequences; the low bit marks a Delete.
+inline constexpr uint64_t PackSeq(uint64_t sequence, bool tombstone) {
+  return (sequence << 1) | (tombstone ? 1u : 0u);
+}
+/// Sequence number of a packed stamp.
+inline constexpr uint64_t SequenceOf(uint64_t seq) { return seq >> 1; }
+/// Whether a packed stamp marks a tombstone (a Delete of its key).
+inline constexpr bool IsTombstone(uint64_t seq) { return (seq & 1) != 0; }
+/// Largest storable sequence number (63 usable bits).
+inline constexpr uint64_t kMaxSequence = ~0ull >> 1;
+
+/// Bytes of a (key, payload) pair in the v1/v2 on-disk segment formats;
+/// also the per-entry unit of the legacy in-memory disk simulation.
 inline constexpr uint64_t kEntryBytes = 16;
+/// Bytes of a raw-encoded (key, payload, seq) triple in segment format v3.
+inline constexpr uint64_t kEntryBytesV3 = 24;
+/// Bytes one decoded Entry occupies in a buffer-pool frame (the unit of
+/// IoStats::decoded_bytes).
+inline constexpr uint64_t kDecodedEntryBytes = 24;
 
 class PageSource {
  public:
@@ -58,8 +83,10 @@ class PageSource {
 
   /// Reads the entries of page `page` into `*out` (replacing its contents).
   /// This is the only operation that touches entry data; for disk-backed
-  /// sources it performs real file I/O.
-  virtual void ReadPage(uint64_t page, std::vector<Entry>* out) const = 0;
+  /// sources it performs real file I/O and may fail with
+  /// Status::Corruption when the page's block checksum or encoding does
+  /// not validate (in-memory sources always succeed).
+  virtual Status ReadPage(uint64_t page, std::vector<Entry>* out) const = 0;
 
   /// On-disk (encoded) bytes ReadPage(page) transfers. For in-memory and
   /// uncompressed sources this equals the decoded entry bytes; compressed

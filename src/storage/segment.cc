@@ -5,16 +5,19 @@
 #include "common/macros.h"
 #include "sfc/curve.h"
 #include "storage/codec.h"
+#include "storage/crc32c.h"
 #include "storage/fs_util.h"
 
 namespace onion::storage {
 namespace {
 
 constexpr char kMagic[8] = {'O', 'S', 'F', 'C', 'S', 'E', 'G', '1'};
-constexpr uint32_t kFormatVersion = 2;     // what SegmentWriter emits
+constexpr uint32_t kFormatVersion = 3;     // what SegmentWriter emits
 constexpr uint64_t kHeaderBytesV1 = 64;
-constexpr uint64_t kHeaderBytesV2 = 96;
+constexpr uint64_t kHeaderBytesV2 = 96;    // v3 shares the v2 layout
 constexpr uint64_t kPageIndexRecordBytes = 32;
+/// Trailing CRC32C of every v3 page's encoded bytes.
+constexpr uint64_t kPageCrcBytes = 4;
 /// Bytes one page contributes to the zone-map block: (lo, hi) u32 per dim.
 constexpr uint64_t kZoneBytesPerDim = 8;
 
@@ -103,7 +106,13 @@ SegmentWriter::~SegmentWriter() {
 
 Status SegmentWriter::WritePage() {
   std::vector<uint8_t> bytes;
-  EncodePage(options_.codec, page_buf_, &bytes);
+  EncodePage(options_.codec, page_buf_, /*with_seqs=*/true, &bytes);
+  // Per-page block checksum: decoders verify it before touching the
+  // encoding, so a flipped bit surfaces as Status::Corruption instead of
+  // silently wrong entries.
+  const uint32_t crc = Crc32c(bytes.data(), bytes.size());
+  bytes.resize(bytes.size() + kPageCrcBytes);
+  PutU32(bytes.data() + bytes.size() - kPageCrcBytes, crc);
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
     return IoError(path_, "write failed");
   }
@@ -132,7 +141,7 @@ Status SegmentWriter::WritePage() {
   return Status::OK();
 }
 
-Status SegmentWriter::Add(Key key, uint64_t payload) {
+Status SegmentWriter::Add(Key key, uint64_t payload, uint64_t seq) {
   if (!status_.ok()) return status_;
   ONION_CHECK_MSG(!finished_, "Add after Finish");
   ONION_CHECK_MSG(num_entries_ == 0 || key >= last_key_,
@@ -142,7 +151,7 @@ Status SegmentWriter::Add(Key key, uint64_t payload) {
   last_key_ = key;
   ++num_entries_;
   bloom_.AddKey(key);
-  page_buf_.push_back(Entry{key, payload});
+  page_buf_.push_back(Entry{key, payload, seq});
   if (page_buf_.size() == options_.entries_per_page) status_ = WritePage();
   return status_;
 }
@@ -258,8 +267,9 @@ Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(std::string path) {
   std::unique_ptr<SegmentReader> reader(
       new SegmentReader(std::move(path), file));
 
-  // Both versions share the first 64 bytes of header layout; version 2
-  // extends it to 96. Read the common prefix, dispatch on the version.
+  // All versions share the first 64 bytes of header layout; versions 2
+  // and 3 extend it to 96. Read the common prefix, dispatch on the
+  // version.
   uint8_t header[kHeaderBytesV2];
   if (std::fread(header, 1, kHeaderBytesV1, file) != kHeaderBytesV1) {
     return CorruptError(reader->path_, "segment too short");
@@ -271,17 +281,17 @@ Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(std::string path) {
   Status status;
   if (version == 1) {
     status = reader->LoadV1(header);
-  } else if (version == 2) {
+  } else if (version == 2 || version == 3) {
     if (std::fread(header + kHeaderBytesV1, 1,
                    kHeaderBytesV2 - kHeaderBytesV1,
                    file) != kHeaderBytesV2 - kHeaderBytesV1) {
       return CorruptError(reader->path_, "segment too short");
     }
-    status = reader->LoadV2(header);
+    status = reader->LoadV2(header, version);
   } else {
     return Status::InvalidArgument(
         "unsupported segment format version " + std::to_string(version) +
-        " (this build reads versions 1 and 2): " + reader->path_);
+        " (this build reads versions 1 through 3): " + reader->path_);
   }
   if (!status.ok()) return status;
   return reader;
@@ -339,8 +349,8 @@ Status SegmentReader::LoadV1(const uint8_t* header) {
   return Status::OK();
 }
 
-Status SegmentReader::LoadV2(const uint8_t* header) {
-  version_ = 2;
+Status SegmentReader::LoadV2(const uint8_t* header, uint32_t version) {
+  version_ = version;
   entries_per_page_ = GetU32(header + 12);
   num_entries_ = GetU64(header + 16);
   const uint64_t num_pages = GetU64(header + 24);
@@ -361,7 +371,7 @@ Status SegmentReader::LoadV2(const uint8_t* header) {
                                    std::to_string(codec_id) + ": " + path_);
   }
   codec_ = static_cast<PageCodec>(codec_id);
-  if (checksum != HeaderChecksum(2, entries_per_page_, num_entries_,
+  if (checksum != HeaderChecksum(version, entries_per_page_, num_entries_,
                                  num_pages, min_key_, max_key_, index_offset,
                                  codec_id, filter_bits, filter_offset,
                                  filter_bytes, zone_dims_)) {
@@ -436,7 +446,7 @@ Status SegmentReader::LoadV2(const uint8_t* header) {
   return Status::OK();
 }
 
-void SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
+Status SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
   ONION_CHECK_MSG(page < num_pages(), "page out of range");
   const PageMeta& meta = pages_[page];
   std::vector<uint8_t> bytes(meta.bytes);
@@ -444,14 +454,34 @@ void SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
     // The seek+read pair must be atomic: concurrent readers (queries
     // through the buffer pool, a background compaction cursor) share file_.
     std::lock_guard<std::mutex> lock(io_mu_);
-    ONION_CHECK_MSG(SeekTo(file_, meta.offset), "segment seek failed");
-    ONION_CHECK_MSG(
-        std::fread(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
-        "segment page read truncated");
+    if (!SeekTo(file_, meta.offset) ||
+        std::fread(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+      return Status::Corruption("segment page read truncated: page " +
+                                std::to_string(page) + " of " + path_);
+    }
+  }
+  size_t encoded_size = bytes.size();
+  if (version_ >= 3) {
+    // v3 pages end in a CRC32C over the encoded bytes; verify before
+    // decoding so a flipped bit can never produce silently wrong entries.
+    if (encoded_size < kPageCrcBytes) {
+      return Status::Corruption("segment page shorter than its checksum: " +
+                                path_);
+    }
+    encoded_size -= kPageCrcBytes;
+    const uint32_t stored = GetU32(bytes.data() + encoded_size);
+    if (stored != Crc32c(bytes.data(), encoded_size)) {
+      return Status::Corruption("segment page checksum mismatch: page " +
+                                std::to_string(page) + " of " + path_);
+    }
   }
   const uint64_t count = PageEnd(page) - PageBegin(page);
-  ONION_CHECK_MSG(DecodePage(codec_, bytes.data(), bytes.size(), count, out),
-                  "segment page decode failed (corrupt page data)");
+  if (!DecodePage(codec_, bytes.data(), encoded_size, count,
+                  /*with_seqs=*/version_ >= 3, out)) {
+    return Status::Corruption("segment page decode failed: page " +
+                              std::to_string(page) + " of " + path_);
+  }
+  return Status::OK();
 }
 
 bool SegmentReader::PageMayIntersect(uint64_t page, const Box& box) const {

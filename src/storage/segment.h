@@ -1,19 +1,22 @@
 // Persistent sorted segments: the on-disk unit of the storage engine.
 //
-// A segment file holds one immutable sorted run of (key, payload) entries,
-// packed into pages, so the clustering-number arithmetic of the paper
-// carries over unchanged — one key range of a decomposed query is one
-// contiguous byte range of the file, and entering it costs one seek.
+// A segment file holds one immutable sorted run of (key, payload, seq)
+// entries, packed into pages, so the clustering-number arithmetic of the
+// paper carries over unchanged — one key range of a decomposed query is
+// one contiguous byte range of the file, and entering it costs one seek.
 //
-// Format version 2 (the version SegmentWriter emits; byte-level spec in
+// Format version 3 (the version SegmentWriter emits; byte-level spec in
 // docs/storage_format.md):
 //
-//   offset 0   header, 96 bytes: magic "OSFCSEG1", u32 version (2), page
+//   offset 0   header, 96 bytes: magic "OSFCSEG1", u32 version (3), page
 //              geometry, key bounds, the page codec id
 //              (storage/page_codec.h), filter geometry, and a checksum.
 //   offset 96  pages, back to back: page i holds the entries
 //              [i*entries_per_page, ...) encoded by the segment's codec —
-//              variable length, located through the page index.
+//              now carrying each entry's packed seq (MVCC version stamp +
+//              tombstone flag) — followed by a u32 CRC32C block checksum
+//              over the encoded page bytes. Variable length, located
+//              through the page index.
 //   footer     three blocks, in order:
 //                filter block  — split-block bloom filter over every key
 //                                (storage/filter_block.h); may be absent.
@@ -31,12 +34,14 @@
 // zone-map probe skips one page of a box query. Both are conservative —
 // false never lies.
 //
-// Format version 1 (fixed-size raw pages + fence block) opens read-only
-// through the same SegmentReader: its fences load as a page index with
-// computed offsets, its pages decode through the kRaw codec, and it simply
-// has no filters. Unknown versions are rejected with a clear Status.
-// Compaction rewrites every segment it touches with the current writer,
-// so v1 files upgrade to v2 on their next compaction.
+// Older formats open read-only through the same SegmentReader: version 2
+// pages (same layout, no seqs, no page checksums) decode with seq 0;
+// version 1 (fixed-size raw pages + fence block) loads its fences as a
+// page index with computed offsets and decodes through the kRaw codec.
+// Unknown versions are rejected with a clear Status. Compaction rewrites
+// every segment it touches with the current writer, so old files upgrade
+// to v3 on their next compaction. A v3 page whose CRC32C or encoding does
+// not validate fails ReadPage with Status::Corruption.
 //
 // SegmentWriter streams sorted entries to a new file; SegmentReader opens
 // and validates an existing file and serves pages through the PageSource
@@ -92,8 +97,10 @@ class SegmentWriter {
   SegmentWriter(const SegmentWriter&) = delete;
   SegmentWriter& operator=(const SegmentWriter&) = delete;
 
-  /// Appends one entry. Keys must be nondecreasing (checked).
-  Status Add(Key key, uint64_t payload);
+  /// Appends one entry. Keys must be nondecreasing (checked). `seq` is the
+  /// packed MVCC stamp (page_source.h PackSeq); 0 — the default — is the
+  /// pre-versioning epoch.
+  Status Add(Key key, uint64_t payload, uint64_t seq = 0);
 
   /// Flushes the last page, writes the footer blocks and header, fsyncs
   /// the file AND its directory, and closes the file. Only after Finish()
@@ -151,7 +158,9 @@ class SegmentReader final : public PageSource {
     return pages_[page].first_key;
   }
   Key last_key(uint64_t page) const override { return pages_[page].last_key; }
-  void ReadPage(uint64_t page, std::vector<Entry>* out) const override;
+  /// Reads and decodes one page; Status::Corruption when the page's
+  /// CRC32C (format v3) or its encoding does not validate.
+  Status ReadPage(uint64_t page, std::vector<Entry>* out) const override;
 
   /// Encoded size of page `page` on disk — what ReadPage really transfers.
   uint64_t PageDiskBytes(uint64_t page) const override {
@@ -170,7 +179,7 @@ class SegmentReader final : public PageSource {
   Key min_key() const { return min_key_; }
   Key max_key() const { return max_key_; }
   const std::string& path() const { return path_; }
-  /// On-disk format version this file was written with (1 or 2).
+  /// On-disk format version this file was written with (1, 2, or 3).
   uint32_t format_version() const { return version_; }
   /// Codec its pages are encoded with (kRaw for v1 files).
   PageCodec codec() const { return codec_; }
@@ -189,7 +198,8 @@ class SegmentReader final : public PageSource {
 
   SegmentReader(std::string path, std::FILE* file);
   Status LoadV1(const uint8_t* header);
-  Status LoadV2(const uint8_t* header);
+  /// Shared loader for the v2/v3 header layout (identical fields).
+  Status LoadV2(const uint8_t* header, uint32_t version);
 
   std::string path_;
   mutable std::FILE* file_;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <utility>
+#include <vector>
 
+#include "storage/codec.h"
+#include "storage/crc32c.h"
 #include "storage/fs_util.h"
 
 namespace onion::storage {
@@ -14,6 +18,28 @@ namespace {
 constexpr char kCatalogName[] = "CATALOG";
 constexpr char kCatalogFormat[] = "onion-sfc-db";
 constexpr int kCatalogVersion = 1;
+
+// Batch journal (BATCHLOG) geometry; byte spec in docs/storage_format.md.
+constexpr char kBatchLogName[] = "BATCHLOG";
+constexpr char kBatchLogMagic[8] = {'O', 'S', 'F', 'C', 'D', 'B', 'W', '1'};
+constexpr uint32_t kBatchLogVersion = 1;
+constexpr uint64_t kBatchLogHeaderBytes = 16;
+/// Sanity cap on one record's body, validated BEFORE committing (an
+/// oversized record on disk reads as a torn tail, which must never
+/// happen to an acknowledged commit).
+constexpr uint32_t kMaxBatchRecordBytes = 64u << 20;
+/// The journal is truncated (all records are known-applied once their
+/// table WAL appends returned) whenever it grows past this between
+/// commits, bounding its size without a background job.
+constexpr uint64_t kBatchLogTruncateBytes = 1u << 20;
+
+/// Encoded size of one per-table journal section: u16 name length, the
+/// name, u64 first_sequence, u32 num_ops, the ops. The single source for
+/// both the phase-1 size validation and the phase-2 encoder of
+/// SfcDb::Write, so the two cannot drift.
+uint64_t JournalSectionBytes(const std::string& name, size_t num_ops) {
+  return 2 + name.size() + 12 + num_ops * kWalOpBytes;
+}
 
 Status ValidateDbOptions(const SfcDbOptions& options) {
   if (options.pool_pages < 1) {
@@ -46,13 +72,40 @@ SfcDb::SfcDb(std::string dir, const SfcDbOptions& options)
       pool_(std::make_shared<BufferPool>(options.pool_pages)),
       workers_(std::make_unique<WorkerPool>(options.num_workers)) {}
 
-SfcDb::~SfcDb() = default;
+SfcDb::~SfcDb() {
+  if (batch_log_ != nullptr) std::fclose(batch_log_);
+}
 
 std::string SfcDb::TablePath(const std::string& name) const {
   return dir_ + "/" + name;
 }
 
 std::string SfcDb::CatalogPath() const { return dir_ + "/" + kCatalogName; }
+
+std::string SfcDb::BatchLogPath() const { return dir_ + "/" + kBatchLogName; }
+
+Status SfcDb::ResetBatchLogLocked() {
+  if (batch_log_ != nullptr) {
+    std::fclose(batch_log_);
+    batch_log_ = nullptr;
+  }
+  std::FILE* file = std::fopen(BatchLogPath().c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot create batch journal: " + BatchLogPath());
+  }
+  uint8_t header[kBatchLogHeaderBytes] = {};
+  std::memcpy(header, kBatchLogMagic, sizeof(kBatchLogMagic));
+  PutU32(header + 8, kBatchLogVersion);
+  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header) ||
+      std::fflush(file) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot write batch journal header: " +
+                            BatchLogPath());
+  }
+  batch_log_ = file;
+  batch_log_bytes_ = kBatchLogHeaderBytes;
+  return Status::OK();
+}
 
 Status SfcDb::WriteCatalogLocked() const {
   std::string text;
@@ -154,7 +207,119 @@ Result<std::unique_ptr<SfcDb>> SfcDb::Open(const std::string& dir,
     std::error_code remove_ec;
     std::filesystem::remove_all(orphan, remove_ec);
   }
+  // Crash recovery for multi-table WriteBatches: re-apply any journaled
+  // batch slice a table's own WAL did not durably receive before the
+  // crash — this is what makes a batch atomic ACROSS tables.
+  const Status replayed = db->ReplayBatchLog();
+  if (!replayed.ok()) return replayed;
   return db;
+}
+
+Status SfcDb::ReplayBatchLog() {
+  std::FILE* file = std::fopen(BatchLogPath().c_str(), "rb");
+  if (file == nullptr) return Status::OK();  // no journal: nothing pending
+  uint8_t header[kBatchLogHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), file) != sizeof(header) ||
+      std::memcmp(header, kBatchLogMagic, sizeof(kBatchLogMagic)) != 0 ||
+      GetU32(header + 8) != kBatchLogVersion) {
+    // A torn header can only mean a crash during journal creation, before
+    // any record existed — nothing to recover.
+    std::fclose(file);
+    return ResetBatchLogLocked();
+  }
+  std::vector<uint8_t> body;
+  std::vector<SfcTable*> repaired;  // tables that received journal ops
+  Status status;
+  for (;;) {
+    uint8_t frame[4];
+    if (std::fread(frame, 1, 4, file) != 4) break;  // clean EOF / torn
+    const uint32_t body_bytes = GetU32(frame);
+    if (body_bytes < 4 || body_bytes > kMaxBatchRecordBytes) break;  // torn
+    body.resize(body_bytes + 4);  // + trailing crc
+    if (std::fread(body.data(), 1, body.size(), file) != body.size()) break;
+    if (GetU32(body.data() + body_bytes) != Crc32c(body.data(), body_bytes)) {
+      break;  // torn tail: this commit was never acknowledged
+    }
+    // The record is whole, so the commit may have been acknowledged and
+    // partially applied — walk its per-table sections and re-apply every
+    // slice the table does not already have (sequence comparison; each
+    // slice is one atomic WAL record, so it is wholly present or wholly
+    // absent).
+    const uint8_t* p = body.data();
+    const uint8_t* const end = body.data() + body_bytes;
+    const uint32_t num_tables = GetU32(p);
+    p += 4;
+    for (uint32_t t = 0; t < num_tables && status.ok(); ++t) {
+      if (end - p < 2) {
+        status = Status::Corruption("batch journal section");
+        break;
+      }
+      const uint16_t name_len = static_cast<uint16_t>(p[0] | p[1] << 8);
+      p += 2;
+      if (end - p < name_len + 12) {
+        status = Status::Corruption("batch journal section");
+        break;
+      }
+      const std::string name(reinterpret_cast<const char*>(p), name_len);
+      p += name_len;
+      const uint64_t first_seq = GetU64(p);
+      p += 8;
+      const uint32_t num_ops = GetU32(p);
+      p += 4;
+      if (num_ops > kMaxWalRecordOps ||
+          end - p < static_cast<ptrdiff_t>(num_ops * kWalOpBytes)) {
+        status = Status::Corruption("batch journal section");
+        break;
+      }
+      std::vector<WalOp> ops(num_ops);
+      for (uint32_t i = 0; i < num_ops; ++i) {
+        ops[i] = DecodeWalOp(p);
+        p += kWalOpBytes;
+      }
+      Result<SfcTable*> table = Status::Internal("unresolved");
+      {
+        std::lock_guard<std::mutex> lock(db_mu_);
+        table = OpenTableLocked(name, options_.table_options);
+      }
+      if (!table.ok()) {
+        // A dropped table's slice is moot; any other failure means we
+        // cannot prove the batch applied — refuse to open the database
+        // half-recovered.
+        if (table.status().code() == StatusCode::kNotFound) continue;
+        status = table.status();
+        break;
+      }
+      if (num_ops == 0) continue;
+      // Idempotency: skip only when the slice PROVABLY survived — in
+      // segments or the replayed memtable. (A bare last_sequence
+      // comparison would be fooled by a power loss that tore this slice's
+      // WAL record while a later record in a rotated WAL survived.)
+      if (table.value()->RecoveredStateCoversSequence(first_seq + num_ops -
+                                                      1)) {
+        continue;
+      }
+      status = table.value()->ReplayCommittedOps(ops.data(), num_ops,
+                                                 first_seq);
+      if (status.ok()) repaired.push_back(table.value());
+    }
+    if (!status.ok()) break;
+  }
+  std::fclose(file);
+  if (!status.ok()) return status;
+  // Before the journal — the only copy that could repair these slices
+  // again — is truncated, force the re-applied WAL records to stable
+  // storage (an fflush alone would not survive a power loss right after
+  // this Open).
+  std::sort(repaired.begin(), repaired.end());
+  repaired.erase(std::unique(repaired.begin(), repaired.end()),
+                 repaired.end());
+  for (SfcTable* table : repaired) {
+    const Status synced = table->SyncWalForRecovery();
+    if (!synced.ok()) return synced;
+  }
+  // Everything journaled is now durable in the tables' own WALs, so the
+  // journal restarts empty.
+  return ResetBatchLogLocked();
 }
 
 Result<SfcTable*> SfcDb::CreateTable(const std::string& name,
@@ -226,6 +391,224 @@ Result<SfcTable*> SfcDb::OpenTableLocked(const std::string& name,
   return raw;
 }
 
+Status SfcDb::Write(WriteBatch&& batch) {
+  if (batch.empty()) return Status::OK();
+  // Phase 1 — resolve and validate under db_mu_, before anything is
+  // logged: group the ops per table (preserving each table's op order),
+  // open tables on demand, map cells to curve keys. Any error here
+  // applies nothing. Dropping an involved table concurrently with this
+  // Write is caller error, exactly like using any dropped handle.
+  struct TableSlice {
+    SfcTable* table = nullptr;
+    std::string name;
+    std::vector<WalOp> ops;
+    uint64_t first_seq = 0;
+    std::shared_ptr<WalWriter> wal;
+    uint64_t record = 0;
+  };
+  std::vector<TableSlice> slices;
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+    for (const WriteBatch::Op& op : batch.ops()) {
+      auto table = OpenTableLocked(op.table, options_.table_options);
+      if (!table.ok()) return table.status();
+      if (!table.value()->curve().universe().Contains(op.cell)) {
+        return Status::OutOfRange("cell outside universe of table '" +
+                                  op.table + "': " + op.cell.ToString());
+      }
+      TableSlice* slice = nullptr;
+      for (TableSlice& candidate : slices) {
+        if (candidate.table == table.value()) {
+          slice = &candidate;
+          break;
+        }
+      }
+      if (slice == nullptr) {
+        slices.push_back(TableSlice{});
+        slice = &slices.back();
+        slice->table = table.value();
+        slice->name = op.table;
+      }
+      slice->ops.push_back(WalOp{table.value()->curve().IndexOf(op.cell),
+                                 op.tombstone ? 0 : op.payload,
+                                 op.tombstone});
+    }
+    // Size limits are validated here, where an error still applies
+    // NOTHING: a slice must fit one WAL record, and the whole journal
+    // record must stay under the replay-side sanity cap (an oversized
+    // record on disk would read back as a torn tail).
+    uint64_t body_bytes = 4;
+    for (const TableSlice& slice : slices) {
+      if (slice.ops.size() > kMaxWalRecordOps) {
+        return Status::InvalidArgument(
+            "WriteBatch has too many ops for table '" + slice.name + "' (" +
+            std::to_string(slice.ops.size()) + " > " +
+            std::to_string(kMaxWalRecordOps) + ")");
+      }
+      body_bytes += JournalSectionBytes(slice.name, slice.ops.size());
+    }
+    if (slices.size() > 1 && body_bytes > kMaxBatchRecordBytes) {
+      return Status::InvalidArgument(
+          "WriteBatch journal record would exceed " +
+          std::to_string(kMaxBatchRecordBytes) + " bytes");
+    }
+  }
+  // Phase 2 — commit under batch_mu_ (serializes multi-table commits and
+  // excludes GetSnapshot) with every involved table's writer lock held in
+  // a canonical order, so per-table sequence order equals WAL append
+  // order — the invariant the journal's idempotent replay stands on.
+  std::sort(slices.begin(), slices.end(),
+            [](const TableSlice& a, const TableSlice& b) {
+              return a.table < b.table;
+            });
+  bool want_fsync = false;
+  for (const TableSlice& slice : slices) {
+    want_fsync = want_fsync || slice.table->options_.wal_fsync;
+  }
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  if (slices.size() > 1 && batch_log_poisoned_) {
+    // A journal append failed while an earlier record was still
+    // un-applied: the torn tail blocks new records from ever being
+    // replayable, and truncating would lose the un-applied one. Only a
+    // reopen (which replays and resets the journal) can recover.
+    return Status::Internal(
+        "batch journal needs recovery (reopen the database): " +
+        BatchLogPath());
+  }
+  for (TableSlice& slice : slices) slice.table->LockWal();
+  Status status;
+  for (TableSlice& slice : slices) {
+    status = slice.table->PrecheckWritableWalLocked();
+    if (!status.ok()) break;
+  }
+  if (status.ok()) {
+    for (TableSlice& slice : slices) {
+      slice.first_seq =
+          slice.table->ReserveSequencesWalLocked(slice.ops.size());
+    }
+    // The journal record is the cross-table commit point: written (and
+    // OS-flushed) BEFORE any table sees the batch, so a crash between the
+    // per-table applies is repaired by replay. A single-table batch needs
+    // no journal — its one WAL record is already atomic.
+    if (slices.size() > 1) {
+      std::vector<uint8_t> body;
+      body.resize(4);
+      PutU32(body.data(), static_cast<uint32_t>(slices.size()));
+      for (const TableSlice& slice : slices) {
+        const size_t at = body.size();
+        body.resize(at + JournalSectionBytes(slice.name, slice.ops.size()));
+        uint8_t* p = body.data() + at;
+        p[0] = static_cast<uint8_t>(slice.name.size() & 0xFF);
+        p[1] = static_cast<uint8_t>(slice.name.size() >> 8);
+        p += 2;
+        std::memcpy(p, slice.name.data(), slice.name.size());
+        p += slice.name.size();
+        PutU64(p, slice.first_seq);
+        p += 8;
+        PutU32(p, static_cast<uint32_t>(slice.ops.size()));
+        p += 4;
+        for (const WalOp& op : slice.ops) {
+          EncodeWalOp(op, p);
+          p += kWalOpBytes;
+        }
+      }
+      // Bound the journal: every record already on disk is known-applied
+      // (its table WAL appends returned before its commit was
+      // acknowledged), so truncating between commits loses nothing —
+      // UNLESS a mid-batch apply failure left a journaled record
+      // un-applied, in which case that record is the only repair copy
+      // and truncation must wait for the next Open's replay.
+      if (batch_log_ != nullptr && !batch_log_needs_replay_ &&
+          batch_log_bytes_ > kBatchLogTruncateBytes) {
+        status = ResetBatchLogLocked();
+      }
+      if (status.ok() && batch_log_ == nullptr) {
+        status = ResetBatchLogLocked();
+      }
+      if (status.ok()) {
+        uint8_t frame[4];
+        PutU32(frame, static_cast<uint32_t>(body.size()));
+        uint8_t crc[4];
+        PutU32(crc, Crc32c(body.data(), body.size()));
+        if (std::fwrite(frame, 1, 4, batch_log_) != 4 ||
+            std::fwrite(body.data(), 1, body.size(), batch_log_) !=
+                body.size() ||
+            std::fwrite(crc, 1, 4, batch_log_) != 4 ||
+            std::fflush(batch_log_) != 0) {
+          status = Status::Internal("batch journal append failed: " +
+                                    BatchLogPath());
+          // The failed write may have left a torn record at the tail; a
+          // later acknowledged commit appended after it would be
+          // unreachable at recovery (replay stops at the first torn
+          // record). With every earlier record known-applied, dropping
+          // the handle is enough — the next commit re-creates the
+          // journal, truncating the torn tail. With an un-applied record
+          // present the journal must be preserved: poison multi-table
+          // commits until a reopen replays it.
+          if (batch_log_needs_replay_) {
+            batch_log_poisoned_ = true;
+          } else {
+            std::fclose(batch_log_);
+            batch_log_ = nullptr;
+          }
+        } else {
+          batch_log_bytes_ += 8 + body.size();
+          // The cross-table commit point must not be able to reach disk
+          // AFTER a table slice it repairs: under wal_fsync (power-loss
+          // durability) sync the journal record BEFORE any table WAL
+          // append — a concurrent committer's group fsync could
+          // otherwise persist a slice first.
+          if (want_fsync) status = SyncFile(batch_log_, BatchLogPath());
+        }
+      }
+    }
+  }
+  if (status.ok()) {
+    for (TableSlice& slice : slices) {
+      status = slice.table->ApplyOpsWalLocked(slice.ops.data(),
+                                              slice.ops.size(),
+                                              slice.first_seq, &slice.wal,
+                                              &slice.record);
+      // On a mid-batch failure the journal record (multi-table case)
+      // repairs the already-applied slices' counterparts on the next
+      // Open; the commit itself is reported failed. Until that replay,
+      // the record must survive every truncation path.
+      if (!status.ok()) {
+        if (slices.size() > 1) batch_log_needs_replay_ = true;
+        break;
+      }
+    }
+  }
+  for (auto it = slices.rbegin(); it != slices.rend(); ++it) {
+    it->table->UnlockWal();
+  }
+  if (!status.ok()) return status;
+  // Power-loss durability on request: the journal record was already
+  // fsynced above (before any table append); finish with each table's
+  // WAL via group commit, outside the writer locks.
+  if (want_fsync) {
+    for (const TableSlice& slice : slices) {
+      const Status synced = slice.wal->SyncUpTo(slice.record);
+      if (!synced.ok()) return synced;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const DbSnapshot>> SfcDb::GetSnapshot() {
+  // batch_mu_ first: no WriteBatch can commit between two tables' pins,
+  // so the per-table sequences agree on every batch (all or nothing).
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  std::lock_guard<std::mutex> lock(db_mu_);
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  auto snapshot = std::make_shared<DbSnapshot>();
+  for (auto& [name, table] : open_tables_) {
+    snapshot->pins_[table.get()] = table->GetSnapshot();
+  }
+  return std::shared_ptr<const DbSnapshot>(std::move(snapshot));
+}
+
 SfcTable* SfcDb::GetTable(const std::string& name) const {
   std::lock_guard<std::mutex> lock(db_mu_);
   const auto it = open_tables_.find(name);
@@ -271,6 +654,9 @@ std::vector<std::string> SfcDb::ListTables() const {
 }
 
 Status SfcDb::Close() {
+  // batch_mu_ before db_mu_ (the global order): no Write or GetSnapshot
+  // can be mid-commit while the tables shut down.
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
   std::lock_guard<std::mutex> lock(db_mu_);
   if (closed_) return Status::OK();
   closed_ = true;
@@ -281,6 +667,10 @@ Status SfcDb::Close() {
   }
   open_tables_.clear();  // destroy handles while workers_ is still alive
   workers_.reset();      // join the shared background threads
+  if (batch_log_ != nullptr) {
+    std::fclose(batch_log_);
+    batch_log_ = nullptr;
+  }
   return first;
 }
 

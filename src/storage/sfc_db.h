@@ -15,8 +15,21 @@
 // On-disk layout of a database directory:
 //   CATALOG         text file: format line ("onion-sfc-db 1") followed by
 //                   one "table <name>" line per table, sorted by name
+//   BATCHLOG        the batch journal: one checksummed record per
+//                   multi-table WriteBatch commit, the bridge that makes
+//                   a batch atomic ACROSS tables (within one table its
+//                   ops are a single WAL record already). Replayed —
+//                   idempotently, by per-table sequence comparison — and
+//                   truncated on Open.
 //   <name>/         one SfcTable directory per cataloged table (MANIFEST,
 //                   seg_*.sfc, wal_*.log — see docs/storage_format.md)
+//
+// Versioned writes and reads: Write(WriteBatch&&) commits any mix of
+// Put/Delete ops spanning any number of tables atomically — recovery
+// after a crash at any instant replays all of the batch or none of it.
+// GetSnapshot() pins every open table at its current sequence in one
+// atomic step (no batch can land in between), so a set of cursors over
+// several tables reads one consistent cross-table version.
 //
 // The CATALOG is rewritten atomically (tmp + fsync + rename + dir fsync)
 // on every CreateTable/DropTable, and is the source of truth: a table
@@ -38,6 +51,7 @@
 #ifndef ONION_STORAGE_SFC_DB_H_
 #define ONION_STORAGE_SFC_DB_H_
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,8 +62,27 @@
 #include "storage/buffer_pool.h"
 #include "storage/sfc_table.h"
 #include "storage/worker_pool.h"
+#include "storage/write_batch.h"
 
 namespace onion::storage {
+
+/// A consistent cross-table read pin: one per-table Snapshot for every
+/// table open at GetSnapshot() time, all taken with multi-table commits
+/// excluded, so the views agree on every WriteBatch (all-or-nothing).
+/// Feed ForTable() into ReadOptions::snapshot. Must not outlive the db.
+class DbSnapshot {
+ public:
+  /// The pin of `table`, or nullptr when the table was not open at
+  /// snapshot time (reads of such a table see latest state).
+  const Snapshot* ForTable(const SfcTable* table) const {
+    const auto it = pins_.find(table);
+    return it != pins_.end() ? it->second.get() : nullptr;
+  }
+
+ private:
+  friend class SfcDb;
+  std::map<const SfcTable*, std::shared_ptr<const Snapshot>> pins_;
+};
 
 struct SfcDbOptions {
   /// Capacity of the SHARED buffer pool, in pages, arbitrating cache
@@ -102,6 +135,24 @@ class SfcDb {
   /// currently open (or not cataloged).
   SfcTable* GetTable(const std::string& name) const;
 
+  /// Commits every op of `batch` atomically: per table the ops land as
+  /// one WAL record, and a batch spanning several tables is journaled in
+  /// BATCHLOG first, so crash recovery replays all of it or none of it.
+  /// Ops are validated (cataloged table, cell inside its universe) before
+  /// anything is written — a validation error applies nothing. Tables the
+  /// batch names are opened on demand. Concurrent Write calls are
+  /// serialized with each other and with GetSnapshot (single-table
+  /// Insert/Delete stay concurrent). When any involved table was opened
+  /// with wal_fsync, the journal and every table record are fsynced
+  /// before the commit is acknowledged.
+  Status Write(WriteBatch&& batch);
+
+  /// Pins every open table at its current sequence, atomically with
+  /// respect to Write (a WriteBatch is visible in all pins or in none).
+  /// Tables opened after the snapshot are not covered. The pins release
+  /// when the returned shared_ptr drops.
+  Result<std::shared_ptr<const DbSnapshot>> GetSnapshot();
+
   /// Uncatalogs `name` (atomic CATALOG rewrite), closes its open handle
   /// if any, and deletes the table directory. NotFound for unknown names.
   Status DropTable(const std::string& name);
@@ -127,15 +178,36 @@ class SfcDb {
 
   std::string TablePath(const std::string& name) const;
   std::string CatalogPath() const;
+  std::string BatchLogPath() const;
   /// Atomically rewrites CATALOG from catalog_. Requires db_mu_ held.
   Status WriteCatalogLocked() const;
   Result<SfcTable*> OpenTableLocked(const std::string& name,
                                     const SfcTableOptions& options);
+  /// (Re)creates an empty BATCHLOG (header only). Requires batch_mu_ held
+  /// (or exclusive access during Open/Close).
+  Status ResetBatchLogLocked();
+  /// Open-time recovery: applies every journaled batch op a table's own
+  /// WAL does not already cover (idempotent via per-table last_sequence),
+  /// then truncates the journal. Tolerates a torn tail.
+  Status ReplayBatchLog();
 
   const std::string dir_;
   const SfcDbOptions options_;
   std::shared_ptr<BufferPool> pool_;
   std::unique_ptr<WorkerPool> workers_;
+
+  // Serializes multi-table commits (and GetSnapshot against them) and
+  // guards the batch journal. Acquisition order: batch_mu_ strictly
+  // before db_mu_ and before any table's writer lock.
+  std::mutex batch_mu_;
+  std::FILE* batch_log_ = nullptr;  // lazily created on first use
+  uint64_t batch_log_bytes_ = 0;
+  // A journaled record failed to apply to every table: it is the only
+  // repair copy, so truncation is disabled until the next Open replays
+  // it. If the journal ALSO suffers an append failure in that state,
+  // multi-table commits are refused entirely (poisoned) until reopen.
+  bool batch_log_needs_replay_ = false;
+  bool batch_log_poisoned_ = false;
 
   mutable std::mutex db_mu_;
   std::vector<std::string> catalog_;  // sorted table names

@@ -16,13 +16,15 @@ namespace {
 
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestFormat[] = "onion-sfc-table";
-// Version 3 adds the `codec` and `filter_bits_per_key` lines (segment
-// format v2). Version 2 added the per-segment level and the WAL floor;
-// version 1 manifests (no levels, no WALs) are still readable — their
-// segments all load as level 0. Older versions lacking the codec lines
-// default to the caller's options and are rewritten as version 3 on the
-// next flush or compaction.
-constexpr int kManifestVersion = 3;
+// Version 4 adds the `last_sequence` line (the MVCC sequence fence: the
+// newest sequence number durably in segments). Version 3 added the
+// `codec` and `filter_bits_per_key` lines (segment format v2); version 2
+// added the per-segment level and the WAL floor; version 1 manifests (no
+// levels, no WALs) are still readable — their segments all load as level
+// 0. Older versions default the missing fields (last_sequence 0, the
+// caller's codec options) and are rewritten as version 4 on the next
+// flush or compaction.
+constexpr int kManifestVersion = 4;
 
 constexpr char kWalPrefix[] = "wal_";
 constexpr char kWalSuffix[] = ".log";
@@ -154,6 +156,7 @@ std::string SfcTable::ManifestTextLocked() const {
           std::to_string(options_.filter_bits_per_key) + "\n";
   text += "next_segment_id " + std::to_string(next_segment_id_) + "\n";
   text += "wal_floor " + std::to_string(wal_floor_) + "\n";
+  text += "last_sequence " + std::to_string(flushed_seq_) + "\n";
   for (const TableSegment& segment : l0_) {
     text += "segment 0 " + segment.file + "\n";
   }
@@ -325,6 +328,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
   uint32_t entries_per_page = 0;
   uint64_t next_segment_id = 0;
   uint64_t wal_floor = 0;
+  uint64_t last_sequence = 0;
   PageCodec codec = PageCodec::kRaw;
   bool has_codec = false;
   uint32_t filter_bits_per_key = 0;
@@ -355,6 +359,8 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
       in >> next_segment_id;
     } else if (field == "wal_floor") {
       in >> wal_floor;
+    } else if (field == "last_sequence") {
+      in >> last_sequence;
     } else if (field == "segment") {
       int level = 0;
       std::string file;
@@ -389,6 +395,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
       new SfcTable(dir, std::move(curve).value(), effective, shared));
   table->next_segment_id_ = next_segment_id;
   table->wal_floor_ = wal_floor;
+  table->flushed_seq_ = last_sequence;
   for (const auto& [level, file] : segment_files) {
     auto reader = SegmentReader::Open(table->SegmentPath(file));
     if (!reader.ok()) return reader.status();
@@ -429,6 +436,12 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
   }
   std::sort(wal_files.begin(), wal_files.end());
   uint64_t max_seen_id = 0;
+  // Recovered sequence watermark: starts at the manifest's last_sequence
+  // (everything in segments) and advances over replayed WAL ops. Ops of
+  // version-1 WALs carry no sequence (they surface as 0) and get fresh
+  // ones synthesized in replay order — they predate snapshots, so any
+  // assignment preserving order is correct.
+  uint64_t recovered_seq = last_sequence;
   for (size_t i = 0; i < wal_files.size(); ++i) {
     const auto& [id, name] = wal_files[i];
     max_seen_id = std::max(max_seen_id, id);
@@ -436,10 +449,13 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
       std::remove((dir + "/" + name).c_str());  // fenced: pure GC
       continue;
     }
-    auto replayed = ReplayWal(dir + "/" + name, [&](Key key,
-                                                    uint64_t payload) {
-      table->memtable_.Insert(key, payload);
-    });
+    auto replayed = ReplayWal(
+        dir + "/" + name,
+        [&](Key key, uint64_t payload, uint64_t sequence, bool tombstone) {
+          if (sequence == 0) sequence = recovered_seq + 1;  // synthesized
+          recovered_seq = std::max(recovered_seq, sequence);
+          table->memtable_.Insert(key, payload, PackSeq(sequence, tombstone));
+        });
     if (!replayed.ok()) {
       // A torn header can only happen to the newest WAL (crash during its
       // creation); anywhere else it means real corruption.
@@ -453,6 +469,8 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
   }
   table->max_wal_id_ = max_seen_id;
   table->next_wal_id_ = std::max(wal_floor, max_seen_id + 1);
+  table->next_seq_ = recovered_seq + 1;
+  table->last_applied_seq_.store(recovered_seq, std::memory_order_release);
 
   const uint64_t active_id = table->next_wal_id_++;
   auto wal = WalWriter::Create(table->WalPath(active_id),
@@ -528,41 +546,156 @@ Status SfcTable::Insert(const Cell& cell, uint64_t payload) {
     return Status::OutOfRange("cell outside the table's universe: " +
                               cell.ToString());
   }
-  const Key key = curve_->IndexOf(cell);
+  const WalOp op{curve_->IndexOf(cell), payload, /*tombstone=*/false};
+  return WriteOps(&op, 1);
+}
+
+Status SfcTable::Delete(const Cell& cell) {
+  if (!curve_->universe().Contains(cell)) {
+    return Status::OutOfRange("cell outside the table's universe: " +
+                              cell.ToString());
+  }
+  const WalOp op{curve_->IndexOf(cell), 0, /*tombstone=*/true};
+  return WriteOps(&op, 1);
+}
+
+Status SfcTable::PrecheckWritableWalLocked() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (closed_) return Status::InvalidArgument("table is closed: " + dir_);
+  return background_error_;
+}
+
+uint64_t SfcTable::ReserveSequencesWalLocked(uint64_t count) {
+  const uint64_t first = next_seq_;
+  next_seq_ += count;
+  return first;
+}
+
+Status SfcTable::ApplyOpsWalLocked(const WalOp* ops, size_t count,
+                                   uint64_t first_seq,
+                                   std::shared_ptr<WalWriter>* used_wal,
+                                   uint64_t* out_record) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (closed_) return Status::InvalidArgument("table is closed: " + dir_);
+  if (!background_error_.ok()) return background_error_;
+  // Rotate BEFORE buffering so a failed WAL append has not retained any
+  // entry — callers can retry without creating duplicates. (This
+  // retry-safety covers the append path only: with wal_fsync, a failed
+  // GROUP-COMMIT fsync later reports an error for entries that are
+  // already buffered — see the wal_fsync caveat in sfc_table.h.)
+  if (memtable_.size() >= options_.memtable_flush_entries) {
+    const Status status =
+        RotateMemtableLocked(lock, options_.memtable_flush_entries);
+    if (!status.ok()) return status;
+  }
+  *used_wal = wal_;  // stable: wal_mu_ (held by the caller) excludes rotation
+  lock.unlock();
+  // The WAL file I/O runs with mu_ RELEASED — readers are never stalled
+  // behind a record's fflush. One record per commit: replay is
+  // all-or-nothing for the whole op batch.
+  const Status status =
+      (*used_wal)->AppendBatch(ops, count, first_seq, out_record);
+  if (!status.ok()) return status;  // nothing buffered: retry-safe
+  lock.lock();
+  for (size_t i = 0; i < count; ++i) {
+    memtable_.Insert(ops[i].key, ops[i].payload,
+                     PackSeq(first_seq + i, ops[i].tombstone));
+  }
+  // Publish AFTER buffering: a snapshot at sequence S sees every write
+  // with sequence <= S, because applies happen in sequence order (the
+  // caller holds wal_mu_ from reservation through here). Monotonic:
+  // batch-journal recovery re-applies HISTORIC sequences below what WAL
+  // replay already published — regressing would let a post-recovery
+  // snapshot hide recovered writes. (Safe read-modify-write: wal_mu_
+  // serializes every store.)
+  const uint64_t last_seq = first_seq + count - 1;
+  if (last_seq > last_applied_seq_.load(std::memory_order_relaxed)) {
+    last_applied_seq_.store(last_seq, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Status SfcTable::WriteOps(const WalOp* ops, size_t count) {
   std::shared_ptr<WalWriter> wal;
-  uint64_t seq = 0;
+  uint64_t record = 0;
   {
     // wal_mu_ serializes writers and pins the active WAL for the duration
-    // of this insert, which lets the WAL file I/O below run with mu_
-    // RELEASED — readers are never stalled behind a record's fflush.
+    // of this commit; sequence order == append order == apply order.
     std::lock_guard<std::mutex> wal_lock(wal_mu_);
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    if (closed_) {
-      return Status::InvalidArgument("table is closed: " + dir_);
-    }
-    if (!background_error_.ok()) return background_error_;
-    // Rotate BEFORE buffering so a failed WAL append has not retained the
-    // entry — callers can retry it without creating a duplicate. (This
-    // retry-safety covers the append path only: with wal_fsync, a failed
-    // GROUP-COMMIT fsync below reports an error for an entry that is
-    // already buffered — see the wal_fsync caveat in sfc_table.h.)
-    if (memtable_.size() >= options_.memtable_flush_entries) {
-      const Status status =
-          RotateMemtableLocked(lock, options_.memtable_flush_entries);
-      if (!status.ok()) return status;
-    }
-    wal = wal_;  // stable: wal_mu_ excludes rotation
-    lock.unlock();
-    const Status status = wal->Append(key, payload, &seq);
-    if (!status.ok()) return status;  // nothing buffered: retry-safe
-    lock.lock();
-    memtable_.Insert(key, payload);
+    const Status status = PrecheckWritableWalLocked();
+    if (!status.ok()) return status;
+    const uint64_t first_seq = ReserveSequencesWalLocked(count);
+    const Status applied = ApplyOpsWalLocked(ops, count, first_seq, &wal,
+                                             &record);
+    if (!applied.ok()) return applied;
   }
-  // Group commit OUTSIDE every lock: concurrent inserters pile up behind
+  // Group commit OUTSIDE every lock: concurrent committers pile up behind
   // one leader fsync instead of serializing a disk flush each (the shared
-  // wal_ pointer keeps the writer alive across a concurrent rotation).
-  if (options_.wal_fsync) return wal->SyncUpTo(seq);
+  // wal pointer keeps the writer alive across a concurrent rotation).
+  if (options_.wal_fsync) return wal->SyncUpTo(record);
   return Status::OK();
+}
+
+Status SfcTable::ReplayCommittedOps(const WalOp* ops, size_t count,
+                                    uint64_t first_seq) {
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  const Status status = PrecheckWritableWalLocked();
+  if (!status.ok()) return status;
+  // The record's sequences are history — reuse them verbatim and move the
+  // allocator past them.
+  next_seq_ = std::max(next_seq_, first_seq + count);
+  std::shared_ptr<WalWriter> wal;
+  uint64_t record = 0;
+  return ApplyOpsWalLocked(ops, count, first_seq, &wal, &record);
+}
+
+bool SfcTable::RecoveredStateCoversSequence(uint64_t sequence) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Flushed generations hold strictly older sequences than anything
+  // unflushed, so the manifest fence is authoritative below it. (Residual
+  // caveat: a commit that RETURNED AN ERROR mid-batch burns its sequences
+  // without applying; once later writes flush past them this test reads
+  // "covered" — acceptable, the caller saw the failure.)
+  if (sequence <= flushed_seq_) return true;
+  if (memtable_.ContainsSequence(sequence)) return true;
+  for (const PendingMemtable& batch : pending_) {
+    if (batch.mem.ContainsSequence(sequence)) return true;
+  }
+  return false;
+}
+
+Status SfcTable::SyncWalForRecovery() {
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  return wal_->Sync();
+}
+
+std::shared_ptr<const Snapshot> SfcTable::GetSnapshot() {
+  auto* snapshot = new Snapshot{};
+  {
+    // Registering in the same hold that reads the sequence keeps the pin
+    // list consistent with what compaction may collect.
+    std::lock_guard<std::mutex> lock(snapshots_->mu);
+    snapshot->sequence = last_applied_seq_.load(std::memory_order_acquire);
+    snapshots_->sequences.insert(snapshot->sequence);
+  }
+  // The deleter owns the REGISTRY, not the table: releasing a pin after
+  // the table is closed or even destroyed unregisters safely (reading
+  // through such a pin is still invalid, like using any dangling cursor).
+  return std::shared_ptr<const Snapshot>(
+      snapshot, [registry = snapshots_](const Snapshot* released) {
+        {
+          std::lock_guard<std::mutex> lock(registry->mu);
+          const auto it = registry->sequences.find(released->sequence);
+          if (it != registry->sequences.end()) registry->sequences.erase(it);
+        }
+        delete released;
+      });
+}
+
+std::vector<uint64_t> SfcTable::PinnedSnapshotSequences() const {
+  std::lock_guard<std::mutex> lock(snapshots_->mu);
+  return std::vector<uint64_t>(snapshots_->sequences.begin(),
+                               snapshots_->sequences.end());
 }
 
 Status SfcTable::RotateMemtableLocked(
@@ -698,7 +831,12 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
     batch.installed = true;
   }
   const uint64_t old_floor = wal_floor_;
+  const uint64_t old_flushed = flushed_seq_;
   wal_floor_ = std::max(wal_floor_, batch.max_wal_id + 1);
+  // The manifest's last_sequence fence advances with the segment that
+  // makes these sequences durable — the same atomic install that fences
+  // the WAL files carrying them.
+  flushed_seq_ = std::max(flushed_seq_, batch.mem.max_sequence());
   status = InstallManifest(lock);
   if (!status.ok()) {
     if (installed.reader != nullptr) {
@@ -710,6 +848,7 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
       batch.installed = false;
     }
     wal_floor_ = old_floor;
+    flushed_seq_ = old_flushed;
     SetBackgroundErrorLocked(status);
     return;
   }
@@ -824,6 +963,19 @@ void SfcTable::RunCompactionLocked(
     raw.push_back(segment.reader.get());
   }
   const uint64_t max_output_entries = EffectiveLevelSegmentEntries();
+  // MVCC retention inputs. Bottom-most iff no level deeper than the
+  // output holds any segment: within one level key ranges are disjoint
+  // and the merge pulls every overlapping output-level segment, so the
+  // only place an older version of a merged key could hide is a deeper
+  // level. The snapshot list may gain members while the merge runs
+  // unlocked — harmless, because a snapshot taken later pins a sequence
+  // >= everything in these inputs, which never changes a drop decision.
+  CompactionOptions gc;
+  gc.snapshots = PinnedSnapshotSequences();
+  gc.bottom_level = true;
+  for (size_t i = static_cast<size_t>(out_level); i < levels_.size(); ++i) {
+    if (!levels_[i].empty()) gc.bottom_level = false;
+  }
   lock.unlock();
 
   std::vector<std::string> out_files;
@@ -839,7 +991,7 @@ void SfcTable::RunCompactionLocked(
                                            WriterOptions());
   };
   Status status =
-      MergeSegmentsLeveled(raw, max_output_entries, open_output, &outs);
+      MergeSegmentsLeveled(raw, max_output_entries, open_output, &outs, gc);
   std::vector<TableSegment> new_segments;
   if (status.ok()) {
     for (size_t i = 0; i < outs.size(); ++i) {
@@ -982,7 +1134,10 @@ Status SfcTable::Compact() {
   // wait on manual_compaction_, but refusing is the cleaner outcome).
   if (closed_) return Status::InvalidArgument("table is closed: " + dir_);
   const std::vector<TableSegment> inputs = AllSegmentsLocked();
-  if (inputs.size() <= 1) return Status::OK();
+  // A single segment is still rewritten: the manual Compact() is the
+  // explicit GC hook, and a just-released snapshot may have left
+  // collectable versions inside the one remaining run.
+  if (inputs.empty()) return Status::OK();
   // Deep enough that the single output does not overflow its level's size
   // target (which would just make the worker push it further down).
   uint64_t total_entries = 0;
@@ -1006,8 +1161,14 @@ Status SfcTable::Compact() {
 
   std::shared_ptr<SegmentReader> reader;
   {
+    // A manual compaction merges EVERY segment, so its output is
+    // bottom-most by construction: unpinned shadowed versions and
+    // tombstones no snapshot predates are collected here.
+    CompactionOptions gc;
+    gc.snapshots = PinnedSnapshotSequences();
+    gc.bottom_level = true;
     SegmentWriter writer(path, WriterOptions());
-    status = MergeSegments(raw, &writer);
+    status = MergeSegments(raw, &writer, gc);
     if (status.ok()) status = writer.Finish();
   }
   if (status.ok()) {
@@ -1106,6 +1267,12 @@ std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
     read_stats_.ranges += ranges.size();
   }
 
+  // Reads above the snapshot sequence are dropped at collection time
+  // (cheaper than filtering in the merge); tombstones at or below it are
+  // kept — the cursor needs them to hide older segment entries.
+  const uint64_t visible_seq = options.snapshot != nullptr
+                                   ? options.snapshot->sequence
+                                   : kMaxSequence;
   std::vector<Entry> mem_hits;
   SegmentSnapshot snapshot;
   {
@@ -1116,14 +1283,15 @@ std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
     if (!ranges.empty()) {
       const auto scan_memtable = [&](const MemTable& mem) {
         mem.ScanRange(ranges.front().lo, ranges.back().hi,
-                      [&](Key key, uint64_t payload) {
+                      [&](const Entry& entry) {
+                        if (SequenceOf(entry.seq) > visible_seq) return;
                         auto it = std::lower_bound(
-                            ranges.begin(), ranges.end(), key,
+                            ranges.begin(), ranges.end(), entry.key,
                             [](const KeyRange& range, Key k) {
                               return range.hi < k;
                             });
-                        if (it != ranges.end() && it->lo <= key) {
-                          mem_hits.push_back(Entry{key, payload});
+                        if (it != ranges.end() && it->lo <= entry.key) {
+                          mem_hits.push_back(entry);
                         }
                       });
       };
@@ -1162,14 +1330,14 @@ std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
                            &io_stats_, options);
 }
 
-Result<std::vector<uint64_t>> SfcTable::Get(const Cell& cell) {
+Result<std::vector<uint64_t>> SfcTable::Get(const Cell& cell,
+                                            const ReadOptions& options) {
   if (!curve_->universe().Contains(cell)) {
     return Status::OutOfRange("cell outside the table's universe: " +
                               cell.ToString());
   }
   const Key key = curve_->IndexOf(cell);
-  const auto cursor =
-      NewRangesCursor({KeyRange{key, key}}, nullptr, ReadOptions{});
+  const auto cursor = NewRangesCursor({KeyRange{key, key}}, nullptr, options);
   std::vector<uint64_t> payloads;
   for (; cursor->Valid(); cursor->Next()) {
     payloads.push_back(cursor->entry().payload);

@@ -21,13 +21,26 @@
 //   seg_<id>.sfc    immutable sorted segments (storage/segment.h)
 //   wal_<id>.log    write-ahead logs, one per memtable generation
 //
-// Crash safety: every Insert() is appended to the active WAL before it is
-// buffered, and a WAL file is deleted only after its memtable generation
-// is durably flushed (segment fsynced, directory fsynced, MANIFEST
-// renamed in place and fenced via `wal_floor`). Open() replays live WAL
-// files, so a process crash at ANY point loses nothing and duplicates
-// nothing. The manifest is rewritten atomically (write + fsync + rename +
-// directory fsync) after every flush and compaction.
+// Crash safety: every write — Insert(), Delete(), or one table's slice of
+// an SfcDb::Write batch — is appended to the active WAL as one atomic
+// record before it is buffered, and a WAL file is deleted only after its
+// memtable generation is durably flushed (segment fsynced, directory
+// fsynced, MANIFEST renamed in place and fenced via `wal_floor`). Open()
+// replays live WAL files, so a process crash at ANY point loses nothing
+// and duplicates nothing. The manifest is rewritten atomically (write +
+// fsync + rename + directory fsync) after every flush and compaction.
+//
+// Versioned reads (MVCC): every write is stamped with a monotonically
+// increasing per-table sequence number (persisted as the MANIFEST's
+// `last_sequence`, carried by WAL records and segment-v3 pages).
+// GetSnapshot() pins the current sequence: cursors and Gets given that
+// snapshot (ReadOptions::snapshot) see exactly the state as of the pin —
+// repeatable reads across any number of cursors, undisturbed by later
+// inserts, deletes, flushes, or compactions, because compaction consults
+// the live-snapshot list and retains every version a pin can still see.
+// Delete(cell) writes a tombstone that hides all older versions of the
+// cell; tombstones are garbage-collected by bottom-level compaction once
+// no snapshot predates them.
 //
 // Concurrency: background flushing and compaction run on a WorkerPool
 // (storage/worker_pool.h) — a private single-thread pool for a standalone
@@ -58,10 +71,12 @@
 #ifndef ONION_STORAGE_SFC_TABLE_H_
 #define ONION_STORAGE_SFC_TABLE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -189,12 +204,36 @@ class SfcTable {
   /// Fails with InvalidArgument after Close().
   Status Insert(const Cell& cell, uint64_t payload);
 
+  /// Logs and buffers a tombstone that deletes EVERY payload stored at
+  /// `cell` (all older versions become invisible to reads at or after this
+  /// write's sequence; snapshots taken earlier still see them). A later
+  /// Insert at the same cell is visible again. Same failure modes as
+  /// Insert.
+  Status Delete(const Cell& cell);
+
+  /// Pins the current state for repeatable reads: pass the result via
+  /// ReadOptions::snapshot to Get/NewBoxCursor/NewScanCursor and every
+  /// such read sees exactly the entries visible now, no matter what is
+  /// written, flushed, or compacted in between (compaction keeps the
+  /// pinned versions alive). The returned shared_ptr is the pin — release
+  /// it (drop all copies) to let compaction collect. Must not outlive the
+  /// table.
+  std::shared_ptr<const Snapshot> GetSnapshot();
+
+  /// Sequence number of the most recent applied write (0 for a fresh
+  /// table). A snapshot taken now pins exactly this sequence.
+  uint64_t last_sequence() const {
+    return last_applied_seq_.load(std::memory_order_acquire);
+  }
+
   /// Barrier: rotates any buffered entries and returns once every pending
   /// memtable is durably flushed and background compaction has quiesced.
   Status Flush();
 
   /// Flushes, then merges ALL segments into a single sorted run, retiring
-  /// and deleting the inputs. Readers proceed throughout. Fails with
+  /// and deleting the inputs; versions shadowed by tombstones (and the
+  /// tombstones themselves) are garbage-collected unless a live snapshot
+  /// still pins them. Readers proceed throughout. Fails with
   /// InvalidArgument after Close().
   Status Compact();
 
@@ -211,16 +250,24 @@ class SfcTable {
   /// NewBoxCursor over the full universe, without the decomposition cost).
   std::unique_ptr<Cursor> NewScanCursor(const ReadOptions& options = {});
 
-  /// Point lookup: payloads stored exactly at `cell`, in unspecified
-  /// order. OutOfRange if the cell lies outside the universe.
-  Result<std::vector<uint64_t>> Get(const Cell& cell);
+  /// Point lookup: payloads stored exactly at `cell` (post-delete state;
+  /// `options.snapshot` reads a pinned version), in unspecified order.
+  /// OutOfRange if the cell lies outside the universe.
+  Result<std::vector<uint64_t>> Get(const Cell& cell,
+                                    const ReadOptions& options);
+  Result<std::vector<uint64_t>> Get(const Cell& cell) {
+    return Get(cell, ReadOptions{});
+  }
 
   /// DEPRECATED: materializing wrapper over NewBoxCursor(), kept for
   /// callers that want the full result set as a vector sorted by
   /// (curve key, payload). Aborts on an out-of-universe box and returns
   /// an empty vector on background errors — prefer the cursor API, which
-  /// reports both through Status. Safe to call from any number of
-  /// threads, concurrently with Insert/Flush/Compact.
+  /// reports both through Status (and supports snapshots). Safe to call
+  /// from any number of threads, concurrently with Insert/Flush/Compact.
+  [[deprecated(
+      "materializes the whole result and swallows errors; use "
+      "NewBoxCursor")]]
   std::vector<SpatialEntry> Query(const Box& box);
 
   /// Clean shutdown: Flush() barrier, then stops the table's background
@@ -279,6 +326,48 @@ class SfcTable {
 
   SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
            const SfcTableOptions& options, const SharedResources& shared);
+
+  // --- Versioned write path (SfcDb::Write drives these as a friend; the
+  // table's own Insert/Delete go through WriteOps). All three *WalLocked
+  // helpers REQUIRE wal_mu_ held; holding it from reservation through
+  // apply is what makes per-table sequence order equal WAL append order,
+  // which the batch journal's idempotent replay depends on.
+  void LockWal() { wal_mu_.lock(); }
+  void UnlockWal() { wal_mu_.unlock(); }
+  /// Refuses writes on a closed or failed table (takes mu_ briefly).
+  Status PrecheckWritableWalLocked();
+  /// Allocates `count` consecutive sequence numbers; returns the first.
+  uint64_t ReserveSequencesWalLocked(uint64_t count);
+  /// Appends `ops` as ONE WAL record stamped first_seq.., buffers them in
+  /// the memtable, and publishes last_sequence. Rotates the memtable
+  /// first when full (so a failed WAL append retains nothing and is
+  /// retry-safe). `used_wal`/`out_record` feed a later group-commit
+  /// SyncUpTo outside all locks.
+  Status ApplyOpsWalLocked(const WalOp* ops, size_t count, uint64_t first_seq,
+                           std::shared_ptr<WalWriter>* used_wal,
+                           uint64_t* out_record);
+  /// The single-table commit: reserve + apply + (optionally) group-commit
+  /// fsync. Insert and Delete are one-op wrappers.
+  Status WriteOps(const WalOp* ops, size_t count);
+  /// Open-time only (no concurrent writers): re-applies a batch-journal
+  /// record slice with its ORIGINAL sequences after a crash lost this
+  /// table's own WAL record of it; bumps the sequence allocator past it.
+  Status ReplayCommittedOps(const WalOp* ops, size_t count,
+                            uint64_t first_seq);
+  /// Open-time only: whether the recovered state provably contains the
+  /// write stamped `sequence` — durably flushed into segments (covered by
+  /// the manifest's last_sequence fence) or sitting in the replayed
+  /// memtable. This is the batch-journal idempotency test: it stays
+  /// correct even when a LATER write's WAL record survived a power loss
+  /// that tore this one, because flushed generations hold strictly older
+  /// sequences than anything unflushed.
+  bool RecoveredStateCoversSequence(uint64_t sequence) const;
+  /// Open-time only: fsyncs the active WAL, making journal-replayed ops
+  /// power-loss durable before the journal that could repair them is
+  /// truncated.
+  Status SyncWalForRecovery();
+  /// Sequences of every live snapshot pin, sorted ascending.
+  std::vector<uint64_t> PinnedSnapshotSequences() const;
 
   std::string SegmentPath(const std::string& file) const;
   std::string WalFileName(uint64_t id) const;
@@ -343,6 +432,26 @@ class SfcTable {
   // readers snapshot state between any two inserts instead of stalling
   // behind disk latency. Acquisition order: wal_mu_ strictly before mu_.
   std::mutex wal_mu_;
+
+  // Sequence state. next_seq_ is the allocator, guarded by wal_mu_ (the
+  // writer lock); last_applied_seq_ publishes the newest buffered write
+  // (stored under mu_, read lock-free by GetSnapshot/last_sequence);
+  // flushed_seq_ is the newest sequence durably in segments, guarded by
+  // mu_ and persisted as the MANIFEST's `last_sequence`.
+  uint64_t next_seq_ = 1;
+  std::atomic<uint64_t> last_applied_seq_{0};
+  uint64_t flushed_seq_ = 0;
+
+  // Live snapshot pins, consulted by compaction's garbage collection.
+  // Held behind a shared_ptr so a pin's release (which must unregister
+  // its sequence) stays safe even when the pin outlives the table — the
+  // deleter owns the registry, never the table.
+  struct SnapshotRegistry {
+    std::mutex mu;
+    std::multiset<uint64_t> sequences;
+  };
+  const std::shared_ptr<SnapshotRegistry> snapshots_ =
+      std::make_shared<SnapshotRegistry>();
 
   mutable std::shared_mutex mu_;
   std::condition_variable_any cv_;

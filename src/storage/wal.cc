@@ -1,19 +1,28 @@
 #include "storage/wal.h"
 
 #include <cstring>
+#include <vector>
 
 #include "storage/codec.h"
+#include "storage/crc32c.h"
 #include "storage/fs_util.h"
 
 namespace onion::storage {
 namespace {
 
 constexpr char kWalMagic[8] = {'O', 'S', 'F', 'C', 'W', 'A', 'L', '1'};
-constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kWalVersion = 2;  // what WalWriter emits
 constexpr uint64_t kWalHeaderBytes = 16;
-constexpr uint64_t kWalRecordBytes = 24;
 
-uint64_t RecordChecksum(uint64_t key, uint64_t payload) {
+// Version-2 record geometry (per-op layout: kWalOpBytes in wal.h).
+constexpr uint64_t kRecordPrefixBytes = 12;  // u32 num_ops + u64 first_seq
+constexpr uint64_t kRecordCrcBytes = 4;
+
+// Version-1 record geometry (fixed single-put records).
+constexpr uint64_t kV1RecordBytes = 24;
+
+/// The version-1 record checksum, kept verbatim for replay compatibility.
+uint64_t V1RecordChecksum(uint64_t key, uint64_t payload) {
   uint64_t sum = 0x0410105fc5a10ULL;  // salt, distinct from the segment's
   sum ^= Rotl64(key, 17);
   sum ^= Rotl64(payload, 31);
@@ -21,6 +30,20 @@ uint64_t RecordChecksum(uint64_t key, uint64_t payload) {
 }
 
 }  // namespace
+
+void EncodeWalOp(const WalOp& op, uint8_t* out) {
+  out[0] = op.tombstone ? 1 : 0;
+  PutU64(out + 1, op.key);
+  PutU64(out + 9, op.tombstone ? 0 : op.payload);
+}
+
+WalOp DecodeWalOp(const uint8_t* in) {
+  WalOp op;
+  op.tombstone = in[0] != 0;
+  op.key = GetU64(in + 1);
+  op.payload = GetU64(in + 9);
+  return op;
+}
 
 WalWriter::WalWriter(std::string path, std::FILE* file, bool fsync_each_append)
     : path_(std::move(path)), file_(file),
@@ -49,16 +72,26 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(std::string path,
       new WalWriter(std::move(path), file, fsync_each_append));
 }
 
-Status WalWriter::Append(Key key, uint64_t payload, uint64_t* out_seq) {
+Status WalWriter::AppendBatch(const WalOp* ops, size_t count,
+                              uint64_t first_sequence, uint64_t* out_record) {
   // Sticky failure: a failed write may have left a partial record at the
   // tail, and replay stops at the first torn record — so anything appended
   // after it would be acknowledged yet unrecoverable. Refuse instead.
   if (!status_.ok()) return status_;
-  uint8_t record[kWalRecordBytes];
-  PutU64(record, key);
-  PutU64(record + 8, payload);
-  PutU64(record + 16, RecordChecksum(key, payload));
-  if (std::fwrite(record, 1, kWalRecordBytes, file_) != kWalRecordBytes ||
+  if (count == 0 || count > kMaxWalRecordOps) {
+    return Status::InvalidArgument("WAL record needs 1.." +
+                                   std::to_string(kMaxWalRecordOps) + " ops");
+  }
+  std::vector<uint8_t>& record = record_scratch_;
+  record.resize(kRecordPrefixBytes + count * kWalOpBytes + kRecordCrcBytes);
+  PutU32(record.data(), static_cast<uint32_t>(count));
+  PutU64(record.data() + 4, first_sequence);
+  for (size_t i = 0; i < count; ++i) {
+    EncodeWalOp(ops[i], record.data() + kRecordPrefixBytes + i * kWalOpBytes);
+  }
+  const size_t body = record.size() - kRecordCrcBytes;
+  PutU32(record.data() + body, Crc32c(record.data(), body));
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
       std::fflush(file_) != 0) {
     return status_ = Status::Internal("WAL append failed: " + path_);
   }
@@ -68,20 +101,20 @@ Status WalWriter::Append(Key key, uint64_t payload, uint64_t* out_seq) {
   }
   ++num_records_;
   // Publish for SyncUpTo: record num_records_ has reached the OS.
-  appended_seq_.store(num_records_, std::memory_order_release);
-  if (out_seq != nullptr) *out_seq = num_records_;
+  appended_record_.store(num_records_, std::memory_order_release);
+  if (out_record != nullptr) *out_record = num_records_;
   return Status::OK();
 }
 
 Status WalWriter::Sync() { return SyncFile(file_, path_); }
 
-Status WalWriter::SyncUpTo(uint64_t seq) {
+Status WalWriter::SyncUpTo(uint64_t record) {
   std::unique_lock<std::mutex> lock(sync_mu_);
   for (;;) {
     // Durability first: a record covered by an earlier successful leader
     // fsync IS durable, even if a later fsync failed — only callers whose
     // records are genuinely not synced see the sticky error.
-    if (synced_seq_ >= seq) return Status::OK();
+    if (synced_record_ >= record) return Status::OK();
     if (!sync_status_.ok()) return sync_status_;
     if (!sync_inflight_) break;  // become the leader
     sync_cv_.wait(lock);
@@ -89,13 +122,13 @@ Status WalWriter::SyncUpTo(uint64_t seq) {
   sync_inflight_ = true;
   // Everything appended (and stdio-flushed) so far rides this one fsync —
   // including records of followers currently blocking on sync_mu_.
-  const uint64_t target = appended_seq_.load(std::memory_order_acquire);
+  const uint64_t target = appended_record_.load(std::memory_order_acquire);
   lock.unlock();
   const Status status = SyncFile(file_, path_);
   lock.lock();
   sync_inflight_ = false;
   if (status.ok()) {
-    synced_seq_ = std::max(synced_seq_, target);
+    synced_record_ = std::max(synced_record_, target);
     num_syncs_.fetch_add(1, std::memory_order_relaxed);
   } else if (sync_status_.ok()) {
     sync_status_ = status;
@@ -104,8 +137,9 @@ Status WalWriter::SyncUpTo(uint64_t seq) {
   return status;
 }
 
-Result<uint64_t> ReplayWal(const std::string& path,
-                           const std::function<void(Key, uint64_t)>& fn) {
+Result<uint64_t> ReplayWal(
+    const std::string& path,
+    const std::function<void(Key, uint64_t, uint64_t, bool)>& fn) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::NotFound("cannot open WAL file: " + path);
@@ -117,21 +151,52 @@ Result<uint64_t> ReplayWal(const std::string& path,
     return Status::InvalidArgument("bad WAL header: " + path);
   }
   const uint32_t version = GetU32(header + 8);
-  if (version != kWalVersion) {
+  if (version != 1 && version != 2) {
     std::fclose(file);
     return Status::InvalidArgument("unsupported WAL version " +
                                    std::to_string(version) + ": " + path);
   }
   uint64_t replayed = 0;
-  uint8_t record[kWalRecordBytes];
-  while (std::fread(record, 1, kWalRecordBytes, file) == kWalRecordBytes) {
-    const uint64_t key = GetU64(record);
-    const uint64_t payload = GetU64(record + 8);
-    // A checksum mismatch means the record (and everything after it) is the
-    // torn tail of an interrupted append — stop, keeping what came before.
-    if (GetU64(record + 16) != RecordChecksum(key, payload)) break;
-    fn(key, payload);
-    ++replayed;
+  if (version == 1) {
+    // Legacy fixed-size single-put records; no sequence on disk — the
+    // caller synthesizes them in replay order.
+    uint8_t record[kV1RecordBytes];
+    while (std::fread(record, 1, kV1RecordBytes, file) == kV1RecordBytes) {
+      const uint64_t key = GetU64(record);
+      const uint64_t payload = GetU64(record + 8);
+      // A checksum mismatch means the record (and everything after it) is
+      // the torn tail of an interrupted append — stop, keeping what came
+      // before.
+      if (GetU64(record + 16) != V1RecordChecksum(key, payload)) break;
+      fn(key, payload, /*sequence=*/0, /*tombstone=*/false);
+      ++replayed;
+    }
+    std::fclose(file);
+    return replayed;
+  }
+  std::vector<uint8_t> record;
+  for (;;) {
+    uint8_t prefix[kRecordPrefixBytes];
+    if (std::fread(prefix, 1, kRecordPrefixBytes, file) !=
+        kRecordPrefixBytes) {
+      break;  // clean EOF or torn prefix
+    }
+    const uint32_t num_ops = GetU32(prefix);
+    if (num_ops == 0 || num_ops > kMaxWalRecordOps) break;  // torn/corrupt
+    const uint64_t first_sequence = GetU64(prefix + 4);
+    const size_t rest = num_ops * kWalOpBytes + kRecordCrcBytes;
+    record.resize(rest);
+    if (std::fread(record.data(), 1, rest, file) != rest) break;  // torn
+    const uint32_t crc =
+        Crc32c(Crc32c(prefix, kRecordPrefixBytes), record.data(),
+               rest - kRecordCrcBytes);
+    if (GetU32(record.data() + rest - kRecordCrcBytes) != crc) break;
+    // The record is whole: surface every op — the all-or-nothing unit.
+    for (uint32_t i = 0; i < num_ops; ++i) {
+      const WalOp op = DecodeWalOp(record.data() + i * kWalOpBytes);
+      fn(op.key, op.payload, first_sequence + i, op.tombstone);
+      ++replayed;
+    }
   }
   std::fclose(file);
   return replayed;

@@ -1,33 +1,43 @@
 // Write-ahead log: crash durability for the memtable.
 //
-// Every Insert() into an SfcTable is appended to the table's active WAL
-// file before it is buffered in memory, so a process crash loses nothing:
-// on Open(), the table replays every live WAL file back into the memtable.
-// A WAL file is paired with one memtable generation — when the memtable
-// rotates, the WAL rotates with it, and once that generation's segment is
-// durably on disk and referenced by the MANIFEST, the WAL file is obsolete
-// (the MANIFEST's `wal_floor` fences it off) and is deleted.
+// Every write into an SfcTable — a single Insert/Delete or one table's
+// slice of an SfcDb::Write batch — is appended to the table's active WAL
+// file as ONE record before it is buffered in memory, so a process crash
+// loses nothing and a multi-op record is all-or-nothing: on Open(), the
+// table replays every live WAL file back into the memtable, and a torn
+// record at the tail is discarded whole. A WAL file is paired with one
+// memtable generation — when the memtable rotates, the WAL rotates with
+// it, and once that generation's segment is durably on disk and
+// referenced by the MANIFEST, the WAL file is obsolete (the MANIFEST's
+// `wal_floor` fences it off) and is deleted.
 //
 // File layout (all integers little-endian; see docs/storage_format.md):
 //
 //   offset 0   header, 16 bytes:
 //     [0]  magic "OSFCWAL1"
-//     [8]  u32 format version (currently 1)
+//     [8]  u32 format version (currently 2)
 //     [12] u32 reserved (zero)
-//   offset 16  records, 24 bytes each, appended in insert order:
-//     [0]  u64 key
-//     [8]  u64 payload
-//     [16] u64 checksum (salted xor-rotate mix of key and payload)
+//   offset 16  variable-length records, appended in commit order:
+//     [0]  u32 num_ops (>= 1)
+//     [4]  u64 first_sequence   — op i carries sequence first_sequence + i
+//     [12] num_ops ops, 17 bytes each:
+//            u8 type (0 = put, 1 = delete), u64 key, u64 payload
+//     [..] u32 CRC32C over everything above (num_ops through the last op)
+//
+// Version-1 files (fixed 24-byte single-put records, xor-rotate checksum,
+// no sequence numbers) remain replayable forever: their ops surface with
+// sequence 0 and the caller synthesizes fresh sequences in replay order.
 //
 // Replay validates each record's checksum and treats the first short or
 // corrupt record as the torn tail of an interrupted append: everything
-// before it is recovered, everything from it on is discarded. Appends are
+// before it is recovered, everything from it on is discarded — which is
+// exactly what makes a multi-op record an atomic commit. Appends are
 // fflush()ed to the OS on every record (survives process death); fsync
-// (survives power loss) is either per-append (`fsync_each_append`) or — the
-// path SfcTable uses under SfcTableOptions::wal_fsync — group-committed
-// via SyncUpTo(): concurrent committers pile up behind one leader whose
-// single fsync covers every record appended so far, so N threads pay ~1
-// fsync instead of N.
+// (survives power loss) is either per-append (`fsync_each_append`) or —
+// the path SfcTable uses under SfcTableOptions::wal_fsync —
+// group-committed via SyncUpTo(): concurrent committers pile up behind
+// one leader whose single fsync covers every record appended so far, so N
+// threads pay ~1 fsync instead of N.
 
 #ifndef ONION_STORAGE_WAL_H_
 #define ONION_STORAGE_WAL_H_
@@ -39,18 +49,40 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "sfc/types.h"
 
 namespace onion::storage {
 
+/// One logical write of a WAL record (and of a WriteBatch): a put of
+/// (key, payload) or a tombstone deleting every older version of `key`.
+struct WalOp {
+  Key key = 0;
+  uint64_t payload = 0;  // 0 for tombstones
+  bool tombstone = false;
+};
+
+/// On-disk size of one encoded op: u8 type + u64 key + u64 payload. The
+/// SAME layout is used by WAL v2 records and the SfcDb batch journal —
+/// both go through the two helpers below, so the formats cannot drift.
+inline constexpr uint64_t kWalOpBytes = 17;
+/// Sanity cap on ops per record/journal slice; larger counts on disk are
+/// treated as torn records, so writers must refuse them up front.
+inline constexpr uint32_t kMaxWalRecordOps = 1u << 22;
+
+/// Encodes `op` into `out[0..kWalOpBytes)`. Tombstones store payload 0.
+void EncodeWalOp(const WalOp& op, uint8_t* out);
+/// Decodes one op from `in[0..kWalOpBytes)`.
+WalOp DecodeWalOp(const uint8_t* in);
+
 class WalWriter {
  public:
   /// Creates a new WAL file at `path` (truncating any stale one) and writes
-  /// the header. When `fsync_each_append` is set every Append() is fsynced
-  /// inline (simple, but serializes committers; prefer Append + SyncUpTo
-  /// for concurrent writers).
+  /// the header. When `fsync_each_append` is set every append is fsynced
+  /// inline (simple, but serializes committers; prefer AppendBatch +
+  /// SyncUpTo for concurrent writers).
   static Result<std::unique_ptr<WalWriter>> Create(std::string path,
                                                    bool fsync_each_append);
 
@@ -58,28 +90,31 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  /// Appends one record and flushes it to the OS (plus fsync when
-  /// configured). The record is replayable as soon as this returns OK.
-  /// Callers must serialize Append() externally (SfcTable uses its writer
-  /// mutex); `out_seq`, when non-null, receives the record's 1-based
-  /// sequence number for a later SyncUpTo().
-  /// A failed append poisons the writer: every later Append() fails too.
+  /// Appends `count` ops as ONE record — the atomic commit unit: replay
+  /// surfaces all of them or none — and flushes it to the OS (plus fsync
+  /// when configured). Op i carries sequence number `first_sequence + i`.
+  /// The record is replayable as soon as this returns OK. Callers must
+  /// serialize appends externally (SfcTable uses its writer mutex);
+  /// `out_record`, when non-null, receives the record's 1-based index for
+  /// a later SyncUpTo().
+  /// A failed append poisons the writer: every later append fails too.
   /// A partial record may now sit at the file's tail, so acknowledging
   /// anything written after it would be unrecoverable — replay stops at
   /// the first torn record.
-  Status Append(Key key, uint64_t payload, uint64_t* out_seq = nullptr);
+  Status AppendBatch(const WalOp* ops, size_t count, uint64_t first_sequence,
+                     uint64_t* out_record = nullptr);
 
   /// Forces everything appended so far to stable storage.
   Status Sync();
 
-  /// Group commit: returns once record `seq` (from Append) is fsynced.
-  /// One caller at a time becomes the leader and fsyncs everything
-  /// appended so far; the rest wait and usually find their record already
-  /// covered by the leader's fsync. Safe to call concurrently from any
-  /// number of threads, and concurrently with further Append()s. A failed
-  /// fsync is sticky: the writer refuses all later syncs (the tail's
-  /// durability would be unknown).
-  Status SyncUpTo(uint64_t seq);
+  /// Group commit: returns once record `record` (from AppendBatch) is
+  /// fsynced. One caller at a time becomes the leader and fsyncs
+  /// everything appended so far; the rest wait and usually find their
+  /// record already covered by the leader's fsync. Safe to call
+  /// concurrently from any number of threads, and concurrently with
+  /// further appends. A failed fsync is sticky: the writer refuses all
+  /// later syncs (the tail's durability would be unknown).
+  Status SyncUpTo(uint64_t record);
 
   uint64_t num_records() const { return num_records_; }
   /// Physical fsyncs performed by SyncUpTo (group commit observability:
@@ -97,23 +132,29 @@ class WalWriter {
   bool fsync_each_append_;
   uint64_t num_records_ = 0;
   Status status_;  // first append error, sticky
+  // Reused record buffer (appends are externally serialized), so a
+  // steady-state append allocates nothing.
+  std::vector<uint8_t> record_scratch_;
 
-  // Group-commit state (SyncUpTo). appended_seq_ is published by Append
-  // (externally serialized); the rest is guarded by sync_mu_.
-  std::atomic<uint64_t> appended_seq_{0};
+  // Group-commit state (SyncUpTo). appended_record_ is published by
+  // AppendBatch (externally serialized); the rest is guarded by sync_mu_.
+  std::atomic<uint64_t> appended_record_{0};
   std::atomic<uint64_t> num_syncs_{0};
   std::mutex sync_mu_;
   std::condition_variable sync_cv_;
-  uint64_t synced_seq_ = 0;
+  uint64_t synced_record_ = 0;
   bool sync_inflight_ = false;
   Status sync_status_;  // first fsync error, sticky
 };
 
-/// Replays the complete records of the WAL at `path` into `fn`, in append
-/// order, stopping silently at a torn tail. Returns the number of records
+/// Replays the complete records of the WAL at `path` into `fn` — invoked
+/// once per op as fn(key, payload, sequence, tombstone), in append order —
+/// stopping silently at a torn tail. Ops of version-1 files carry
+/// sequence 0 (the caller synthesizes). Returns the number of OPS
 /// replayed, or an error if the file is missing or its header is invalid.
-Result<uint64_t> ReplayWal(const std::string& path,
-                           const std::function<void(Key, uint64_t)>& fn);
+Result<uint64_t> ReplayWal(
+    const std::string& path,
+    const std::function<void(Key, uint64_t, uint64_t, bool)>& fn);
 
 }  // namespace onion::storage
 

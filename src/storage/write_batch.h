@@ -1,0 +1,55 @@
+// WriteBatch: an ordered buffer of Put/Delete operations across one or
+// more named tables of an SfcDb, committed atomically by SfcDb::Write —
+// after a crash at ANY point, recovery replays all of the batch or none
+// of it (per table the ops land as one WAL record; across tables the
+// database's batch journal closes the gap — see docs/storage_format.md).
+//
+// The batch itself is a plain value object: building one touches no lock
+// and no file. Validation (table exists, cells inside each table's
+// universe) happens in SfcDb::Write before anything is logged.
+
+#ifndef ONION_STORAGE_WRITE_BATCH_H_
+#define ONION_STORAGE_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sfc/types.h"
+
+namespace onion::storage {
+
+class WriteBatch {
+ public:
+  /// One buffered operation, in the order it was added.
+  struct Op {
+    std::string table;
+    Cell cell;
+    uint64_t payload = 0;
+    bool tombstone = false;
+  };
+
+  /// Buffers an insert of (cell, payload) into `table`.
+  void Put(std::string table, const Cell& cell, uint64_t payload) {
+    ops_.push_back(Op{std::move(table), cell, payload, false});
+  }
+
+  /// Buffers a delete of every payload stored at `cell` in `table`
+  /// (a tombstone; see SfcTable::Delete for the visibility rules).
+  void Delete(std::string table, const Cell& cell) {
+    ops_.push_back(Op{std::move(table), cell, 0, true});
+  }
+
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  void Clear() { ops_.clear(); }
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_WRITE_BATCH_H_

@@ -19,16 +19,23 @@ namespace onion::storage {
 namespace {
 
 const PageCodec kAllCodecs[] = {PageCodec::kRaw, PageCodec::kDeltaVarint};
+const bool kSeqModes[] = {false, true};
 
-std::vector<Entry> RoundTrip(PageCodec codec,
+std::vector<Entry> RoundTrip(PageCodec codec, bool with_seqs,
                              const std::vector<Entry>& entries) {
   std::vector<uint8_t> bytes;
-  EncodePage(codec, entries, &bytes);
+  EncodePage(codec, entries, with_seqs, &bytes);
   std::vector<Entry> decoded;
-  EXPECT_TRUE(
-      DecodePage(codec, bytes.data(), bytes.size(), entries.size(), &decoded))
-      << PageCodecName(codec);
+  EXPECT_TRUE(DecodePage(codec, bytes.data(), bytes.size(), entries.size(),
+                         with_seqs, &decoded))
+      << PageCodecName(codec) << " with_seqs=" << with_seqs;
   return decoded;
+}
+
+/// Strips seqs (the pair layout cannot round-trip them).
+std::vector<Entry> WithoutSeqs(std::vector<Entry> entries) {
+  for (Entry& entry : entries) entry.seq = 0;
+  return entries;
 }
 
 TEST(PageCodecTest, NamesRoundTrip) {
@@ -46,12 +53,14 @@ TEST(PageCodecTest, NamesRoundTrip) {
 TEST(PageCodecTest, RandomSortedPagesRoundTrip) {
   Rng rng(101);
   for (int round = 0; round < 200; ++round) {
-    // Mixed page shapes: tiny through "full" (256), keys with duplicates.
+    // Mixed page shapes: tiny through "full" (256), keys with duplicates,
+    // random seq stamps (tombstone bits included).
     const size_t count = 1 + rng.UniformInclusive(255);
     std::vector<Entry> entries;
     entries.reserve(count);
     for (size_t i = 0; i < count; ++i) {
       entries.push_back(Entry{rng.UniformInclusive(~0ull),
+                              rng.UniformInclusive(~0ull),
                               rng.UniformInclusive(~0ull)});
     }
     std::sort(entries.begin(), entries.end(),
@@ -63,72 +72,91 @@ TEST(PageCodecTest, RandomSortedPagesRoundTrip) {
                 [](const Entry& a, const Entry& b) { return a.key < b.key; });
     }
     for (const PageCodec codec : kAllCodecs) {
-      EXPECT_EQ(RoundTrip(codec, entries), entries);
+      EXPECT_EQ(RoundTrip(codec, true, entries), entries);
+      EXPECT_EQ(RoundTrip(codec, false, WithoutSeqs(entries)),
+                WithoutSeqs(entries));
     }
   }
 }
 
 TEST(PageCodecTest, EdgeShapedPagesRoundTrip) {
   const std::vector<std::vector<Entry>> pages = {
-      {},                      // empty page
-      {{0, 0}},                // single minimal entry
-      {{~0ull, ~0ull}},        // single max-u64 entry
-      {{~0ull, 1}, {~0ull, 2}, {~0ull, 3}},  // duplicate max keys
-      {{0, ~0ull}, {~0ull, 0}},              // full-range delta
-      {{5, 5}, {5, 6}, {5, 7}, {5, 8}},      // all-duplicate page
+      {},                            // empty page
+      {{0, 0, 0}},                   // single minimal entry
+      {{~0ull, ~0ull, ~0ull}},       // single max-u64 entry
+      {{~0ull, 1, PackSeq(1, false)},
+       {~0ull, 2, PackSeq(2, true)},
+       {~0ull, 3, PackSeq(3, false)}},       // duplicate max keys
+      {{0, ~0ull, 0}, {~0ull, 0, ~0ull}},    // full-range delta
+      {{5, 5, 2}, {5, 6, 4}, {5, 7, 7}, {5, 8, 9}},  // all-duplicate page
   };
   for (const auto& page : pages) {
     for (const PageCodec codec : kAllCodecs) {
-      EXPECT_EQ(RoundTrip(codec, page), page);
+      EXPECT_EQ(RoundTrip(codec, true, page), page);
+      EXPECT_EQ(RoundTrip(codec, false, WithoutSeqs(page)),
+                WithoutSeqs(page));
     }
   }
+  // Tombstone bits survive the packed stamp.
+  EXPECT_TRUE(IsTombstone(PackSeq(7, true)));
+  EXPECT_FALSE(IsTombstone(PackSeq(7, false)));
+  EXPECT_EQ(SequenceOf(PackSeq(7, true)), 7u);
 }
 
 TEST(PageCodecTest, DenseKeysCompress) {
   // The motivating case: consecutive curve keys (a perfectly clustered
   // run) shrink to a fraction of the raw 16 bytes per entry.
   std::vector<Entry> entries;
-  for (uint64_t i = 0; i < 256; ++i) entries.push_back({1000 + i, i});
+  for (uint64_t i = 0; i < 256; ++i) {
+    entries.push_back({1000 + i, i, PackSeq(i + 1, false)});
+  }
   std::vector<uint8_t> raw_bytes;
-  EncodePage(PageCodec::kRaw, entries, &raw_bytes);
+  EncodePage(PageCodec::kRaw, entries, /*with_seqs=*/true, &raw_bytes);
   std::vector<uint8_t> delta_bytes;
-  EncodePage(PageCodec::kDeltaVarint, entries, &delta_bytes);
-  EXPECT_EQ(raw_bytes.size(), 256 * kEntryBytes);
+  EncodePage(PageCodec::kDeltaVarint, entries, /*with_seqs=*/true,
+             &delta_bytes);
+  EXPECT_EQ(raw_bytes.size(), 256 * kEntryBytesV3);
   EXPECT_LT(delta_bytes.size() * 3, raw_bytes.size());
-  EXPECT_EQ(RoundTrip(PageCodec::kDeltaVarint, entries), entries);
+  EXPECT_EQ(RoundTrip(PageCodec::kDeltaVarint, true, entries), entries);
 }
 
 TEST(PageCodecTest, MalformedBuffersRejected) {
   std::vector<Entry> entries;
-  for (uint64_t i = 0; i < 16; ++i) entries.push_back({i * 1000, i});
+  for (uint64_t i = 0; i < 16; ++i) {
+    entries.push_back({i * 1000, i, PackSeq(i + 1, i % 5 == 0)});
+  }
   for (const PageCodec codec : kAllCodecs) {
-    std::vector<uint8_t> bytes;
-    EncodePage(codec, entries, &bytes);
-    std::vector<Entry> decoded;
-    // Truncation: every strict prefix must fail for the declared count.
-    EXPECT_FALSE(DecodePage(codec, bytes.data(), bytes.size() - 1,
-                            entries.size(), &decoded));
-    EXPECT_FALSE(DecodePage(codec, bytes.data(), 0, entries.size(),
-                            &decoded));
+    for (const bool with_seqs : kSeqModes) {
+      std::vector<uint8_t> bytes;
+      EncodePage(codec, entries, with_seqs, &bytes);
+      std::vector<Entry> decoded;
+      // Truncation: every strict prefix must fail for the declared count.
+      EXPECT_FALSE(DecodePage(codec, bytes.data(), bytes.size() - 1,
+                              entries.size(), with_seqs, &decoded));
+      EXPECT_FALSE(DecodePage(codec, bytes.data(), 0, entries.size(),
+                              with_seqs, &decoded));
+    }
   }
   // Delta decoding must also reject trailing garbage...
   std::vector<uint8_t> bytes;
-  EncodePage(PageCodec::kDeltaVarint, entries, &bytes);
+  EncodePage(PageCodec::kDeltaVarint, entries, /*with_seqs=*/true, &bytes);
   bytes.push_back(0x00);
   std::vector<Entry> decoded;
   EXPECT_FALSE(DecodePage(PageCodec::kDeltaVarint, bytes.data(),
-                          bytes.size(), entries.size(), &decoded));
+                          bytes.size(), entries.size(), /*with_seqs=*/true,
+                          &decoded));
   // ...and varints that run past 64 bits (11 continuation bytes).
   const std::vector<uint8_t> overflow(16, 0xff);
   EXPECT_FALSE(DecodePage(PageCodec::kDeltaVarint, overflow.data(),
-                          overflow.size(), 1, &decoded));
+                          overflow.size(), 1, /*with_seqs=*/true, &decoded));
   // Raw tolerates trailing padding (the v1 fixed-size page layout).
   std::vector<uint8_t> padded;
-  EncodePage(PageCodec::kRaw, entries, &padded);
+  const std::vector<Entry> pairs = WithoutSeqs(entries);
+  EncodePage(PageCodec::kRaw, pairs, /*with_seqs=*/false, &padded);
   padded.resize(padded.size() + 3 * kEntryBytes, 0);
   ASSERT_TRUE(DecodePage(PageCodec::kRaw, padded.data(), padded.size(),
-                         entries.size(), &decoded));
-  EXPECT_EQ(decoded, entries);
+                         pairs.size(), /*with_seqs=*/false, &decoded));
+  EXPECT_EQ(decoded, pairs);
 }
 
 TEST(FilterBlockTest, NoFalseNegatives) {

@@ -1,10 +1,14 @@
-// Write-ahead-log unit tests: append/replay round trips, torn-tail
-// tolerance (short and corrupt records), header validation, and
-// group-commit fsync (SyncUpTo leader/follower batching).
+// Write-ahead-log unit tests: append/replay round trips for single-op and
+// multi-op (batch) records with sequence stamps and tombstones, torn-tail
+// tolerance (short and corrupt records, whole batches discarded
+// atomically), version-1 backward compatibility from a handcrafted
+// fixture, header validation, and group-commit fsync (SyncUpTo
+// leader/follower batching).
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -13,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/codec.h"
 #include "storage/wal.h"
 
 namespace onion::storage {
@@ -24,35 +29,76 @@ std::string FreshPath(const std::string& name) {
   return path;
 }
 
-std::vector<std::pair<Key, uint64_t>> Replay(const std::string& path) {
-  std::vector<std::pair<Key, uint64_t>> records;
-  auto result = ReplayWal(path, [&](Key key, uint64_t payload) {
-    records.emplace_back(key, payload);
-  });
+struct ReplayedOp {
+  Key key = 0;
+  uint64_t payload = 0;
+  uint64_t sequence = 0;
+  bool tombstone = false;
+
+  bool operator==(const ReplayedOp& other) const {
+    return key == other.key && payload == other.payload &&
+           sequence == other.sequence && tombstone == other.tombstone;
+  }
+};
+
+std::vector<ReplayedOp> Replay(const std::string& path) {
+  std::vector<ReplayedOp> ops;
+  auto result = ReplayWal(
+      path, [&](Key key, uint64_t payload, uint64_t sequence, bool tombstone) {
+        ops.push_back(ReplayedOp{key, payload, sequence, tombstone});
+      });
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   if (result.ok()) {
-    EXPECT_EQ(result.value(), records.size());
+    EXPECT_EQ(result.value(), ops.size());
   }
-  return records;
+  return ops;
 }
 
-/// Byte length of the WAL file after `n` records (header + n * record).
-long FileBytes(uint64_t n) { return static_cast<long>(16 + 24 * n); }
+/// Byte length of a v2 record holding `ops` ops.
+long RecordBytes(uint64_t ops) { return static_cast<long>(12 + 17 * ops + 4); }
+
+/// Byte length of the WAL file after `n` single-op records.
+long FileBytes(uint64_t n) {
+  return static_cast<long>(16) + static_cast<long>(n) * RecordBytes(1);
+}
 
 TEST(WalTest, AppendReplayRoundTrip) {
   const std::string path = FreshPath("wal_roundtrip.log");
-  std::vector<std::pair<Key, uint64_t>> written;
+  std::vector<ReplayedOp> written;
   {
     auto wal = WalWriter::Create(path, /*fsync_each_append=*/false);
     ASSERT_TRUE(wal.ok()) << wal.status().ToString();
     for (uint64_t i = 0; i < 500; ++i) {
       const Key key = (i * 2654435761u) % 10000;  // unordered on purpose
-      ASSERT_TRUE(wal.value()->Append(key, i).ok());
-      written.emplace_back(key, i);
+      const bool tombstone = i % 7 == 0;
+      const WalOp op{key, tombstone ? 0 : i, tombstone};
+      ASSERT_TRUE(wal.value()->AppendBatch(&op, 1, /*first_sequence=*/i + 1)
+                      .ok());
+      written.push_back(ReplayedOp{key, tombstone ? 0 : i, i + 1, tombstone});
     }
     EXPECT_EQ(wal.value()->num_records(), 500u);
   }
-  EXPECT_EQ(Replay(path), written);  // order and duplicates preserved
+  EXPECT_EQ(Replay(path), written);  // order, seqs, and tombstones preserved
+}
+
+TEST(WalTest, MultiOpBatchRecordsRoundTrip) {
+  const std::string path = FreshPath("wal_batch.log");
+  {
+    auto wal = WalWriter::Create(path, false);
+    ASSERT_TRUE(wal.ok());
+    const WalOp ops[3] = {{10, 100, false}, {20, 0, true}, {30, 300, false}};
+    ASSERT_TRUE(wal.value()->AppendBatch(ops, 3, /*first_sequence=*/41).ok());
+    const WalOp one{99, 999, false};
+    ASSERT_TRUE(wal.value()->AppendBatch(&one, 1, /*first_sequence=*/44).ok());
+    EXPECT_EQ(wal.value()->num_records(), 2u);  // records, not ops
+  }
+  const auto ops = Replay(path);
+  ASSERT_EQ(ops.size(), 4u);
+  // Ops of one batch carry consecutive sequences from first_sequence.
+  EXPECT_EQ(ops[0], (ReplayedOp{10, 100, 41, false}));
+  EXPECT_EQ(ops[1], (ReplayedOp{20, 0, 42, true}));
+  EXPECT_EQ(ops[2], (ReplayedOp{30, 300, 43, false}));
+  EXPECT_EQ(ops[3], (ReplayedOp{99, 999, 44, false}));
 }
 
 TEST(WalTest, EmptyLogReplaysNothing) {
@@ -67,14 +113,36 @@ TEST(WalTest, TornTailIsDiscardedShortRecord) {
     auto wal = WalWriter::Create(path, false);
     ASSERT_TRUE(wal.ok());
     for (uint64_t i = 0; i < 10; ++i) {
-      ASSERT_TRUE(wal.value()->Append(i, i).ok());
+      const WalOp op{i, i, false};
+      ASSERT_TRUE(wal.value()->AppendBatch(&op, 1, i + 1).ok());
     }
   }
   // Simulate a crash mid-append: truncate into the middle of record 9.
   ASSERT_EQ(::truncate(path.c_str(), FileBytes(9) + 7), 0);
-  const auto records = Replay(path);
-  ASSERT_EQ(records.size(), 9u);
-  EXPECT_EQ(records.back().first, 8u);
+  const auto ops = Replay(path);
+  ASSERT_EQ(ops.size(), 9u);
+  EXPECT_EQ(ops.back().key, 8u);
+}
+
+TEST(WalTest, TornBatchIsDiscardedWhole) {
+  // The atomicity contract: a torn multi-op record must not replay ANY of
+  // its ops, even those whose bytes survived intact.
+  const std::string path = FreshPath("wal_torn_batch.log");
+  {
+    auto wal = WalWriter::Create(path, false);
+    ASSERT_TRUE(wal.ok());
+    const WalOp first{1, 1, false};
+    ASSERT_TRUE(wal.value()->AppendBatch(&first, 1, 1).ok());
+    const WalOp batch[4] = {{2, 2, false}, {3, 3, false}, {4, 0, true},
+                            {5, 5, false}};
+    ASSERT_TRUE(wal.value()->AppendBatch(batch, 4, 2).ok());
+  }
+  // Cut into the LAST op of the batch: three ops' bytes are fully present
+  // but the record (and its CRC) is torn — all four must vanish.
+  ASSERT_EQ(::truncate(path.c_str(), FileBytes(1) + RecordBytes(4) - 6), 0);
+  const auto ops = Replay(path);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0], (ReplayedOp{1, 1, 1, false}));
 }
 
 TEST(WalTest, CorruptChecksumStopsReplayThere) {
@@ -83,48 +151,82 @@ TEST(WalTest, CorruptChecksumStopsReplayThere) {
     auto wal = WalWriter::Create(path, false);
     ASSERT_TRUE(wal.ok());
     for (uint64_t i = 0; i < 10; ++i) {
-      ASSERT_TRUE(wal.value()->Append(i, i).ok());
+      const WalOp op{i, i, false};
+      ASSERT_TRUE(wal.value()->AppendBatch(&op, 1, i + 1).ok());
     }
   }
-  // Flip one payload byte of record 5; its checksum no longer matches, so
+  // Flip one payload byte of record 5; its CRC32C no longer matches, so
   // replay must stop after record 4 (torn-tail semantics).
   std::FILE* file = std::fopen(path.c_str(), "rb+");
   ASSERT_NE(file, nullptr);
-  ASSERT_EQ(std::fseek(file, FileBytes(5) + 8, SEEK_SET), 0);
+  ASSERT_EQ(std::fseek(file, FileBytes(5) + 12 + 9, SEEK_SET), 0);
   const unsigned char bad = 0xFF;
   ASSERT_EQ(std::fwrite(&bad, 1, 1, file), 1u);
   std::fclose(file);
-  const auto records = Replay(path);
-  ASSERT_EQ(records.size(), 5u);
-  EXPECT_EQ(records.back().first, 4u);
+  const auto ops = Replay(path);
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_EQ(ops.back().key, 4u);
+}
+
+TEST(WalTest, HandcraftedV1FileReplaysWithSequenceZero) {
+  // Byte-exact version-1 fixture (fixed 24-byte records, xor-rotate
+  // checksum), written independently of wal.cc: the current replay must
+  // surface its ops as puts with sequence 0 for the table to synthesize.
+  const std::string path = FreshPath("wal_v1_fixture.log");
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  uint8_t header[16] = {};
+  std::memcpy(header, "OSFCWAL1", 8);
+  PutU32(header + 8, 1);  // format version 1
+  ASSERT_EQ(std::fwrite(header, 1, sizeof(header), file), sizeof(header));
+  for (uint64_t i = 0; i < 20; ++i) {
+    const uint64_t key = i * 11;
+    const uint64_t payload = i + 7;
+    uint8_t record[24];
+    PutU64(record, key);
+    PutU64(record + 8, payload);
+    uint64_t sum = 0x0410105fc5a10ULL;  // the v1 checksum, reproduced
+    sum ^= Rotl64(key, 17);
+    sum ^= Rotl64(payload, 31);
+    PutU64(record + 16, sum);
+    ASSERT_EQ(std::fwrite(record, 1, sizeof(record), file), sizeof(record));
+  }
+  std::fclose(file);
+  const auto ops = Replay(path);
+  ASSERT_EQ(ops.size(), 20u);
+  for (uint64_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i], (ReplayedOp{i * 11, i + 7, 0, false})) << i;
+  }
 }
 
 TEST(WalTest, SyncUpToCoversEverythingAppendedSoFar) {
   const std::string path = FreshPath("wal_syncupto.log");
   auto wal = WalWriter::Create(path, /*fsync_each_append=*/false);
   ASSERT_TRUE(wal.ok());
-  uint64_t seq = 0;
+  uint64_t record = 0;
   for (uint64_t i = 0; i < 10; ++i) {
-    ASSERT_TRUE(wal.value()->Append(i, i, &seq).ok());
+    const WalOp op{i, i, false};
+    ASSERT_TRUE(wal.value()->AppendBatch(&op, 1, i + 1, &record).ok());
   }
-  EXPECT_EQ(seq, 10u);
+  EXPECT_EQ(record, 10u);
   EXPECT_EQ(wal.value()->num_syncs(), 0u);
   // One call syncs the whole tail...
-  ASSERT_TRUE(wal.value()->SyncUpTo(seq).ok());
+  ASSERT_TRUE(wal.value()->SyncUpTo(record).ok());
   EXPECT_EQ(wal.value()->num_syncs(), 1u);
   // ...so syncing any earlier record is already satisfied: no extra fsync.
   ASSERT_TRUE(wal.value()->SyncUpTo(3).ok());
   ASSERT_TRUE(wal.value()->SyncUpTo(10).ok());
   EXPECT_EQ(wal.value()->num_syncs(), 1u);
   // A new record needs a new fsync.
-  ASSERT_TRUE(wal.value()->Append(99, 99, &seq).ok());
-  ASSERT_TRUE(wal.value()->SyncUpTo(seq).ok());
+  const WalOp op{99, 99, false};
+  ASSERT_TRUE(wal.value()->AppendBatch(&op, 1, 11, &record).ok());
+  ASSERT_TRUE(wal.value()->SyncUpTo(record).ok());
   EXPECT_EQ(wal.value()->num_syncs(), 2u);
 }
 
 TEST(WalTest, GroupCommitBatchesConcurrentCommitters) {
   // The SfcTable insert pattern: appends serialized by a mutex, each
-  // thread then calling SyncUpTo(its seq) unlocked. Everything must be
+  // thread then calling SyncUpTo(its record) unlocked. Everything must be
   // durable and replayable, and the leader/follower protocol must issue
   // at most one fsync per committer (in practice far fewer — but that is
   // timing-dependent, so only the hard invariants are asserted).
@@ -135,18 +237,18 @@ TEST(WalTest, GroupCommitBatchesConcurrentCommitters) {
   constexpr int kThreads = 4;
   constexpr uint64_t kPerThread = 200;
   std::mutex append_mu;
+  uint64_t next_sequence = 1;
   std::vector<std::thread> committers;
   for (int t = 0; t < kThreads; ++t) {
     committers.emplace_back([&, t] {
       for (uint64_t i = 0; i < kPerThread; ++i) {
-        uint64_t seq = 0;
+        uint64_t record = 0;
         {
           std::lock_guard<std::mutex> lock(append_mu);
-          ASSERT_TRUE(
-              wal.Append(static_cast<uint64_t>(t) * kPerThread + i, i, &seq)
-                  .ok());
+          const WalOp op{static_cast<uint64_t>(t) * kPerThread + i, i, false};
+          ASSERT_TRUE(wal.AppendBatch(&op, 1, next_sequence++, &record).ok());
         }
-        ASSERT_TRUE(wal.SyncUpTo(seq).ok());
+        ASSERT_TRUE(wal.SyncUpTo(record).ok());
       }
     });
   }
@@ -158,7 +260,8 @@ TEST(WalTest, GroupCommitBatchesConcurrentCommitters) {
 }
 
 TEST(WalTest, MissingFileIsNotFound) {
-  auto result = ReplayWal(FreshPath("wal_missing.log"), [](Key, uint64_t) {});
+  auto result = ReplayWal(FreshPath("wal_missing.log"),
+                          [](Key, uint64_t, uint64_t, bool) {});
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
@@ -169,7 +272,7 @@ TEST(WalTest, BadHeaderIsRejected) {
   ASSERT_NE(file, nullptr);
   std::fputs("not a wal file at all", file);
   std::fclose(file);
-  auto result = ReplayWal(path, [](Key, uint64_t) {});
+  auto result = ReplayWal(path, [](Key, uint64_t, uint64_t, bool) {});
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
