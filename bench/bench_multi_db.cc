@@ -29,7 +29,9 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/cli.h"
+#include "obs/metrics.h"
 #include "storage/sfc_db.h"
 #include "workloads/generators.h"
 
@@ -108,8 +110,12 @@ int main(int argc, char** argv) {
   for (storage::SfcTable* table : tables) table->ResetStats();
   const auto start_query = Clock::now();
   uint64_t total_results = 0;
+  // Per-query drain latency for the BENCH json (per-query, not per-Next,
+  // so the numbers sit safely above the 1us clock floor).
+  obs::Histogram query_latency_us;
   for (storage::SfcTable* table : tables) {
     for (const Box& box : boxes) {
+      const obs::ScopedTimer query_timer(&query_latency_us);
       auto cursor = table->NewBoxCursor(box);
       for (; cursor->Valid(); cursor->Next()) ++total_results;
       ONION_CHECK_MSG(cursor->status().ok(),
@@ -232,6 +238,41 @@ int main(int argc, char** argv) {
                                               snap_io.cache_hits),
               static_cast<unsigned long long>(latest_io.page_reads +
                                               latest_io.cache_hits));
+
+  // Machine-readable perf trajectory — written BEFORE Close() because the
+  // table handles (cursor.next_us histograms) and the shared pool die with
+  // the db. CI uploads BENCH_multi_db.json and grep-gates its keys.
+  bench::BenchReport report("multi_db");
+  report.AddCount("tables", static_cast<uint64_t>(num_tables));
+  report.AddCount("side", side);
+  report.AddCount("points_per_table", points_per_table);
+  report.AddCount("pool_pages", pool_pages);
+  report.AddCount("workers", workers);
+  report.Add("load_inserts_per_sec",
+             load_secs > 0 ? total_points / load_secs : 0.0);
+  report.AddCount("queries", boxes.size() * num_tables);
+  report.Add("ops_per_sec", query_secs > 0
+                                ? boxes.size() * num_tables / query_secs
+                                : 0.0);
+  report.AddLatency("", query_latency_us.Snapshot());
+  obs::HistogramSnapshot next_us;
+  for (storage::SfcTable* table : tables) {
+    next_us += table->metrics().histogram("cursor.next_us")->Snapshot();
+  }
+  report.AddLatency("cursor_next", next_us);
+  const IoStats final_pool = db.pool_stats();  // cumulative, never reset
+  const uint64_t pool_touched = final_pool.page_reads + final_pool.cache_hits;
+  report.Add("pool_hit_ratio",
+             pool_touched == 0
+                 ? 0.0
+                 : static_cast<double>(final_pool.cache_hits) /
+                       static_cast<double>(pool_touched));
+  report.AddIoStats("pool_io", final_pool);
+  report.AddCount("full_scan_pages", full_pages);
+  report.AddCount("bounded_scan_pages", bounded_pages);
+  report.AddCount("snapshot_entries", snapshot_count);
+  report.AddCount("latest_entries", latest_count);
+  report.WriteFile();
 
   db_snapshot.reset();  // release the pins before the tables shut down
   if (!db.Close().ok()) return 1;

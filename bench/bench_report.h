@@ -1,0 +1,133 @@
+// BenchReport: the machine-readable perf-trajectory emitter shared by the
+// storage benchmark binaries. Each bench builds one report, records its
+// headline numbers (throughput, latency quantiles, cache efficiency,
+// physical I/O), and writes them as BENCH_<name>.json into the current
+// working directory — CI runs the benches from the repo root, uploads the
+// JSON as artifacts, and grep-gates the required keys (ops_per_sec,
+// p99_us, pool_hit_ratio) so a refactor that silently zeroes a metric
+// fails the build. Schema documented in docs/observability.md.
+//
+// Keys are written in insertion order; values are rendered at Add() time
+// so the report is a flat, append-only list of (key, rendered JSON value)
+// pairs. Run metadata (schema tag, bench name, git describe, unix time)
+// is added by the constructor.
+
+#ifndef ONION_BENCH_BENCH_REPORT_H_
+#define ONION_BENCH_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/io_stats.h"
+
+namespace onion::bench {
+
+/// `git describe --always --dirty` of the working tree the bench ran in,
+/// or "unknown" when git (or the .git directory) is unavailable — bench
+/// JSON files are compared across commits, so each must say which tree
+/// produced it.
+inline std::string GitDescribe() {
+  std::string out;
+  std::FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+    ::pclose(pipe);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    AddString("schema", "onion-bench-1");
+    AddString("bench", name_);
+    AddString("git", GitDescribe());
+    AddCount("timestamp_unix", static_cast<uint64_t>(std::time(nullptr)));
+  }
+
+  void Add(const std::string& key, double value) {
+    std::string rendered;
+    obs::AppendJsonDouble(&rendered, value);
+    entries_.emplace_back(key, std::move(rendered));
+  }
+
+  void AddCount(const std::string& key, uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+
+  void AddString(const std::string& key, const std::string& value) {
+    std::string rendered = "\"";
+    obs::AppendJsonEscaped(&rendered, value);
+    rendered += '"';
+    entries_.emplace_back(key, std::move(rendered));
+  }
+
+  /// Latency quantiles of a (merged) histogram snapshot as
+  /// <prefix>_count / <prefix>_p50_us / <prefix>_p99_us. When `prefix` is
+  /// empty the bare keys p50_us/p99_us are written — every report carries
+  /// exactly one such primary latency block (the CI-gated one).
+  void AddLatency(const std::string& prefix, const obs::HistogramSnapshot& h) {
+    const std::string p = prefix.empty() ? "" : prefix + "_";
+    AddCount(p + "count", h.count);
+    Add(p + "mean_us", h.mean());
+    Add(p + "p50_us", h.p50());
+    Add(p + "p99_us", h.p99());
+  }
+
+  /// Every IoStats field as <prefix>_<field> (X-macro visitor, so a new
+  /// field lands in every bench report automatically).
+  void AddIoStats(const std::string& prefix, const IoStats& io) {
+    io.ForEachField([&](const char* field, uint64_t value) {
+      AddCount(prefix + "_" + field, value);
+    });
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, rendered] : entries_) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      obs::AppendJsonEscaped(&out, key);
+      out += "\":";
+      out += rendered;
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into the current working directory and
+  /// prints the path; returns false (after a stderr note) on I/O failure
+  /// so a bench can keep its exit code meaningful.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  const std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace onion::bench
+
+#endif  // ONION_BENCH_BENCH_REPORT_H_

@@ -40,9 +40,11 @@
 #include <vector>
 
 #include "analysis/clustering.h"
+#include "bench_report.h"
 #include "bench_util.h"
 #include "common/cli.h"
 #include "index/disk_model.h"
+#include "obs/metrics.h"
 #include "sfc/registry.h"
 #include "storage/sfc_table.h"
 #include "workloads/generators.h"
@@ -179,6 +181,14 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // Perf-trajectory accumulators for BENCH_storage_engine.json: every box
+  // query's wall-clock drain latency (per-query, not per-Next, so the
+  // histogram stays meaningfully above the clock's 1us floor) and the
+  // physical I/O of every phase.
+  obs::Histogram query_latency_us;
+  uint64_t total_queries = 0;
+  IoStats agg_io;
+
   for (const Workload& workload : workloads) {
     std::printf("--- workload %s, %zu queries ---\n", workload.tag.c_str(),
                 workload.queries.size());
@@ -193,11 +203,13 @@ int main(int argc, char** argv) {
       for (const Box& query : workload.queries) {
         // Stream through the cursor API: same I/O pattern as Query(), but
         // nothing is materialized, which is how a server would read.
+        const obs::ScopedTimer query_timer(&query_latency_us);
         auto cursor = table.NewBoxCursor(query);
         for (; cursor->Valid(); cursor->Next()) ++results;
         ONION_CHECK_MSG(cursor->status().ok(),
                         cursor->status().ToString().c_str());
       }
+      total_queries += workload.queries.size();
       // Equivalence gate: every format configuration must produce the
       // same result count for the same workload on the same curve.
       if (bench_table.config == configs.front().tag) {
@@ -207,6 +219,7 @@ int main(int argc, char** argv) {
                         "codec changed query results");
       }
       const IoStats io = table.io_stats();
+      agg_io += io;
       const ClusteringEvaluator evaluator(&table.curve());
       double clustering_sum = 0;
       for (const Box& query : workload.queries) {
@@ -274,6 +287,7 @@ int main(int argc, char** argv) {
           hits += payloads.value().empty() ? 0 : 1;
         }
         const IoStats io = table->io_stats();
+        agg_io += io;
         const uint64_t pages_touched = io.page_reads + io.cache_hits;
         const uint64_t disk_bytes = TableDiskBytes(*table);
         std::printf("%-10s %-14s %12llu %12.2f %14llu %12.1f\n",
@@ -313,5 +327,43 @@ int main(int argc, char** argv) {
   std::printf("(seeks are measured non-sequential page fetches against "
               "segment files;\n the curve ranking should match the analytic "
               "clustering-number ranking.)\n");
+
+  // Machine-readable perf trajectory: BENCH_storage_engine.json in the
+  // current working directory (CI uploads it and grep-gates the keys).
+  bench::BenchReport report("storage_engine");
+  report.AddString("mode", mode);
+  report.AddCount("side", side);
+  report.AddCount("points", points.size());
+  report.AddCount("tables", tables.size());
+  report.AddCount("pool_pages", pool_pages);
+  report.AddCount("queries", total_queries);
+  const obs::HistogramSnapshot latency = query_latency_us.Snapshot();
+  report.Add("ops_per_sec",
+             latency.sum == 0
+                 ? 0.0
+                 : static_cast<double>(latency.count) * 1e6 /
+                       static_cast<double>(latency.sum));
+  report.AddLatency("", latency);
+  // The engine's own per-Next() histogram, merged over every table — the
+  // finer-grained series the JSON trajectory tracks alongside the
+  // per-query numbers above.
+  obs::HistogramSnapshot next_us;
+  for (const BenchTable& bench_table : tables) {
+    next_us +=
+        bench_table.table->metrics().histogram("cursor.next_us")->Snapshot();
+  }
+  report.AddLatency("cursor_next", next_us);
+  const uint64_t touched = agg_io.page_reads + agg_io.cache_hits;
+  report.Add("pool_hit_ratio",
+             touched == 0 ? 0.0
+                          : static_cast<double>(agg_io.cache_hits) /
+                                static_cast<double>(touched));
+  report.AddIoStats("io", agg_io);
+  uint64_t disk_total = 0;
+  for (const BenchTable& bench_table : tables) {
+    disk_total += TableDiskBytes(*bench_table.table);
+  }
+  report.AddCount("disk_bytes_total", disk_total);
+  report.WriteFile();
   return 0;
 }

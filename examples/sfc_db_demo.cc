@@ -94,10 +94,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(io.page_reads),
                 static_cast<unsigned long long>(io.seeks));
   }
-  const IoStats pool = db.pool_stats();
-  std::printf("pool aggregate: %llu page reads, %llu resident pages\n\n",
-              static_cast<unsigned long long>(pool.page_reads),
-              static_cast<unsigned long long>(db.pool_resident_pages()));
+  std::printf("(pool aggregate and per-table I/O appear in the DumpMetrics "
+              "JSON below)\n\n");
 
   // Versioned writes: pin a consistent cross-table snapshot, then commit
   // one WriteBatch spanning two tables (all-or-nothing, even across a
@@ -125,6 +123,17 @@ int main(int argc, char** argv) {
 
   // Drop one table; the catalog update is atomic and the name is free.
   ONION_CHECK(db.DropTable("zorder").ok());
+
+  // One engine-wide observability dump before shutdown: the db registry
+  // (batch-commit latency, worker queue), the shared pool's aggregate with
+  // its hit ratio, and every open table's WAL/flush/compaction/cursor
+  // histograms — the same JSON a server would expose on an admin endpoint
+  // (docs/observability.md documents the catalog).
+  std::printf("engine metrics at shutdown (SfcDb::DumpMetrics):\n%s\n",
+              db.DumpMetrics().c_str());
+  std::printf("\ntrace ring (flush/compaction/batch-commit events):\n%s\n",
+              db.DumpTrace().c_str());
+
   ONION_CHECK(db.Close().ok());
 
   // Reopen: the catalog (minus the dropped table) persisted.

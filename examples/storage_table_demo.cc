@@ -99,6 +99,13 @@ int main(int argc, char** argv) {
               results.size(),
               static_cast<unsigned long long>(table.io_stats().seeks));
 
+  // The table's observability dump: WAL append/fsync, memtable insert,
+  // flush and compaction durations, and cursor-step latency histograms,
+  // plus the I/O counters printed piecemeal above — one JSON object
+  // (docs/observability.md documents every metric).
+  std::printf("\ntable metrics at shutdown (SfcTable::DumpMetrics):\n%s\n",
+              table.DumpMetrics().c_str());
+
   // Clean shutdown (flush + stop background work), then reopen from disk:
   // nothing lives in memory but the manifest path.
   ONION_CHECK_MSG(table.Close().ok(), "close failed");

@@ -5,7 +5,10 @@
 #    format spec and the architecture map can never silently drift behind
 #    the code;
 # 2. the core query/catalog API names must appear in docs/api.md, so the
-#    cursor/catalog documentation cannot silently rot either.
+#    cursor/catalog documentation cannot silently rot either;
+# 3. every file under src/obs/ must be mentioned in
+#    docs/observability.md, and the observability surface (metric types,
+#    exporters, trace ring, bench report) must be documented there too.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,7 +31,25 @@ for symbol in SfcDb SfcTable Cursor ReadOptions NewBoxCursor NewScanCursor \
     fail=1
   fi
 done
+for path in src/obs/*; do
+  name="$(basename "$path")"
+  if ! grep -q "$name" docs/observability.md docs/api.md README.md; then
+    echo "UNDOCUMENTED: $path (mention it in docs/observability.md, docs/api.md, or README.md)"
+    fail=1
+  fi
+done
+for symbol in MetricsRegistry Counter Gauge Histogram HistogramSnapshot \
+              ScopedTimer kHistogramBuckets NowMicros DumpMetrics \
+              DumpTrace MetricsFormat kPrometheus TraceRing TraceEvent \
+              bench_report BENCH_ ops_per_sec p99_us pool_hit_ratio \
+              wal.fsync_us flush.us compaction.us cursor.next_us \
+              db.batch_commit_us; do
+  if ! grep -q "$symbol" docs/observability.md; then
+    echo "UNDOCUMENTED OBSERVABILITY: $symbol (document it in docs/observability.md)"
+    fail=1
+  fi
+done
 if [ "$fail" -eq 0 ]; then
-  echo "docs check OK: every src/storage/ file and core API name is documented"
+  echo "docs check OK: every src/storage/ and src/obs/ file and core API name is documented"
 fi
 exit "$fail"

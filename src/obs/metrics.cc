@@ -1,0 +1,235 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace onion::obs {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  // floor(log2(value)) + 1, clamped to the last bucket.
+  size_t bits = 64 - static_cast<size_t>(__builtin_clzll(value));
+  return bits < kHistogramBuckets ? bits : kHistogramBuckets - 1;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t b) {
+  return b == 0 ? 0 : uint64_t{1} << (b - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t b) {
+  if (b == 0) return 1;
+  if (b >= 63) return ~uint64_t{0};  // the top bucket is open-ended
+  return uint64_t{1} << b;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    out.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target value, 1-based: the smallest r with r >= q*count.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] >= rank) {
+      const double lo = static_cast<double>(Histogram::BucketLowerBound(b));
+      const double hi = static_cast<double>(Histogram::BucketUpperBound(b));
+      const double within =
+          static_cast<double>(rank - cumulative) / buckets[b];
+      return lo + within * (hi - lo);
+    }
+    cumulative += buckets[b];
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(kHistogramBuckets - 1));
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  return *this;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  *out += buf;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "onion_";
+  for (const char c : name) out += c == '.' ? '_' : c;
+  return out;
+}
+
+namespace {
+
+void AppendHistogramJson(std::string* out, const HistogramSnapshot& h) {
+  *out += "{\"count\":" + std::to_string(h.count);
+  *out += ",\"sum\":" + std::to_string(h.sum);
+  *out += ",\"mean\":";
+  AppendJsonDouble(out, h.mean());
+  *out += ",\"p50\":";
+  AppendJsonDouble(out, h.p50());
+  *out += ",\"p90\":";
+  AppendJsonDouble(out, h.p90());
+  *out += ",\"p99\":";
+  AppendJsonDouble(out, h.p99());
+  *out += ",\"p999\":";
+  AppendJsonDouble(out, h.p999());
+  *out += "}";
+}
+
+}  // namespace
+
+void MetricsRegistry::AppendJsonMembers(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\"";
+    AppendJsonEscaped(out, name);
+    *out += "\":" + std::to_string(counter->value());
+  }
+  *out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\"";
+    AppendJsonEscaped(out, name);
+    *out += "\":" + std::to_string(gauge->value());
+  }
+  *out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\"";
+    AppendJsonEscaped(out, name);
+    *out += "\":";
+    AppendHistogramJson(out, histogram->Snapshot());
+  }
+  *out += "}";
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  AppendJsonMembers(&out);
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::AppendPrometheus(std::string* out,
+                                       const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string plain_labels = labels.empty() ? "" : "{" + labels + "}";
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    *out += "# TYPE " + prom + " counter\n";
+    *out += prom + plain_labels + " " + std::to_string(counter->value()) +
+            "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    *out += "# TYPE " + prom + " gauge\n";
+    *out += prom + plain_labels + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot h = histogram->Snapshot();
+    const std::string prom = PrometheusName(name);
+    *out += "# TYPE " + prom + " histogram\n";
+    // Cumulative buckets up to the highest non-empty one, then +Inf.
+    size_t top = 0;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] != 0) top = b;
+    }
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b <= top; ++b) {
+      cumulative += h.buckets[b];
+      const std::string le =
+          std::to_string(Histogram::BucketUpperBound(b) - 1);
+      *out += prom + "_bucket{" + (labels.empty() ? "" : labels + ",") +
+              "le=\"" + le + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    *out += prom + "_bucket{" + (labels.empty() ? "" : labels + ",") +
+            "le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    *out += prom + "_sum" + plain_labels + " " + std::to_string(h.sum) + "\n";
+    *out += prom + "_count" + plain_labels + " " + std::to_string(h.count) +
+            "\n";
+  }
+}
+
+}  // namespace onion::obs

@@ -1,0 +1,192 @@
+// Engine-wide observability primitives: counters, gauges, and log-scale
+// latency histograms, grouped into a named MetricsRegistry that exports
+// both JSON and Prometheus text format.
+//
+// Design goals, in order:
+//   1. The hot path pays ONE relaxed atomic increment (two for a
+//      histogram: bucket + sum). No locks, no allocation, no branches
+//      beyond the bucket computation — cheap enough to leave on in every
+//      build, including the benches whose numbers we publish.
+//   2. Metric objects have STABLE addresses for the life of their
+//      registry: a subsystem looks its handles up once (a mutex-guarded
+//      map insert, cold path) and then records through raw pointers.
+//   3. Snapshots are plain values, mergeable with operator+= — so an
+//      SfcDb can aggregate its tables' histograms, and a bench can diff
+//      two snapshots to report a phase.
+//
+// Histogram bucket scheme (documented in docs/observability.md): 64
+// fixed power-of-two buckets. Bucket 0 holds the value 0; bucket b >= 1
+// holds values in [2^(b-1), 2^b). Values are unit-agnostic, but every
+// engine histogram records MICROSECONDS (the _us name suffix) unless the
+// name says otherwise (e.g. wal.commit_batch_records counts records).
+// Quantiles interpolate linearly inside the bucket, so a reported p99 is
+// exact to within a factor of 2 — plenty for a perf trajectory, at the
+// cost of 64 words per histogram.
+
+#ifndef ONION_OBS_METRICS_H_
+#define ONION_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace onion::obs {
+
+/// Monotonic wall-clock microseconds (steady_clock; origin unspecified).
+/// The single time source of every engine latency measurement.
+uint64_t NowMicros();
+
+/// Output format of the engine's DumpMetrics() exporters (SfcTable,
+/// SfcDb): one JSON object, or Prometheus text exposition.
+enum class MetricsFormat { kJson, kPrometheus };
+
+/// Monotonically increasing event count. Relaxed atomics: the counter is
+/// a statistic, not synchronization.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that goes up and down (queue depth, resident pages, pin age).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+inline constexpr size_t kHistogramBuckets = 64;
+
+/// A plain-value copy of a Histogram, safe to merge, diff, and render
+/// without touching the live (concurrently updated) object.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  /// Quantile estimate, q in [0, 1]: finds the bucket holding the q-th
+  /// recorded value and interpolates linearly inside it (exact to within
+  /// the bucket's factor-of-2 width). 0 when nothing was recorded.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p90() const { return Quantile(0.90); }
+  double p99() const { return Quantile(0.99); }
+  double p999() const { return Quantile(0.999); }
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket log-scale histogram. Record() is wait-free: one relaxed
+/// fetch_add on the bucket, one on count, one on sum.
+class Histogram {
+ public:
+  /// Bucket index of `value`: 0 for 0, otherwise floor(log2(value)) + 1,
+  /// clamped to the last bucket.
+  static size_t BucketIndex(uint64_t value);
+  /// Smallest value bucket `b` can hold (0 for bucket 0, else 2^(b-1)).
+  static uint64_t BucketLowerBound(size_t b);
+  /// One past the largest value bucket `b` can hold (2^b; saturates).
+  static uint64_t BucketUpperBound(size_t b);
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// Records NowMicros()-elapsed into a histogram on destruction. Stack
+/// only; `histogram` may be null (then nothing is recorded).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_us_(NowMicros()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(NowMicros() - start_us_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t start_us() const { return start_us_; }
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_us_;
+};
+
+/// Named metrics with stable addresses. Lookup (counter/gauge/histogram)
+/// takes a mutex and is meant for initialization; the returned pointers
+/// stay valid for the registry's lifetime and are what hot paths use.
+/// Metric names use dotted lower-case ("wal.fsync_us"); the Prometheus
+/// exporter rewrites dots to underscores and prefixes "onion_".
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-get by name. The same name always returns the same object.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Appends this registry's metrics as the MEMBERS of a JSON object —
+  /// no surrounding braces, so callers can splice in derived fields:
+  ///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+  ///    mean,p50,p90,p99,p999}}}  (minus the outer braces)
+  void AppendJsonMembers(std::string* out) const;
+  /// The registry alone as a complete JSON object.
+  std::string ToJson() const;
+
+  /// Appends Prometheus text-format samples. `labels` is the rendered
+  /// label set without braces (e.g. `table="left"`), empty for none.
+  /// Histograms emit cumulative _bucket{le=...} series plus _sum/_count.
+  void AppendPrometheus(std::string* out, const std::string& labels) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// --- small rendering helpers shared by every exporter (DumpMetrics,
+// bench_report.h, the trace ring) -----------------------------------
+
+/// Appends `s` JSON-escaped, without surrounding quotes.
+void AppendJsonEscaped(std::string* out, const std::string& s);
+/// Appends a double as a JSON number (fixed, 3 decimals; "0" for 0).
+void AppendJsonDouble(std::string* out, double value);
+/// "wal.fsync_us" -> "onion_wal_fsync_us" (Prometheus metric name).
+std::string PrometheusName(const std::string& name);
+
+}  // namespace onion::obs
+
+#endif  // ONION_OBS_METRICS_H_

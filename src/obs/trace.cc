@@ -1,0 +1,67 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace onion::obs {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFlush: return "flush";
+    case TraceKind::kCompaction: return "compaction";
+    case TraceKind::kBatchCommit: return "batch_commit";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceRing::Add(TraceEvent event) {
+  total_added_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ < capacity_) {
+    ring_[(start_ + size_) % capacity_] = std::move(event);
+    ++size_;
+  } else {
+    ring_[start_] = std::move(event);  // overwrite the oldest...
+    start_ = (start_ + 1) % capacity_;  // ...which shifts the window
+  }
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string TraceRing::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(event.id);
+    out += ",\"kind\":\"";
+    out += TraceKindName(event.kind);
+    out += "\",\"label\":\"";
+    AppendJsonEscaped(&out, event.label);
+    out += "\",\"start_us\":" + std::to_string(event.start_us);
+    out += ",\"dur_us\":" + std::to_string(event.dur_us);
+    out += ",\"bytes\":" + std::to_string(event.bytes);
+    out += ",\"entries\":" + std::to_string(event.entries);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace onion::obs

@@ -1,0 +1,82 @@
+// A bounded in-memory ring of structured trace events for post-mortem
+// debugging: every flush, compaction, and batch commit deposits one event
+// (id, kind, label, start time, duration, bytes, entries) on completion.
+// The ring keeps the most recent `capacity` events — old ones fall off —
+// so it can stay enabled forever at a fixed memory cost, and a crash
+// investigation (or a test) dumps it as JSON via ToJson().
+//
+// Events are RARE (background-work granularity, not per-operation), so a
+// plain mutex around a ring vector is plenty; the hot write path never
+// touches this.
+
+#ifndef ONION_OBS_TRACE_H_
+#define ONION_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace onion::obs {
+
+enum class TraceKind {
+  kFlush,        // one memtable generation written as an L0 segment
+  kCompaction,   // one merge (leveled round or full Compact())
+  kBatchCommit,  // one SfcDb::Write (single- or multi-table)
+};
+
+/// Stable lower-case name ("flush", "compaction", "batch_commit").
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  uint64_t id = 0;  // unique per ring, from TraceRing::NextId()
+  TraceKind kind = TraceKind::kFlush;
+  std::string label;     // e.g. the table name ("" when not applicable)
+  uint64_t start_us = 0; // NowMicros() at event start
+  uint64_t dur_us = 0;
+  uint64_t bytes = 0;    // on-disk bytes written (0 when not applicable)
+  uint64_t entries = 0;  // entries written / committed
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 256);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Allocates the next event id (events of concurrent producers get
+  /// distinct ids; ids are NOT ordered like completion times).
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Deposits one completed event, evicting the oldest when full.
+  void Add(TraceEvent event);
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// JSON array of the retained events:
+  ///   [{"id":1,"kind":"flush","label":"t","start_us":...,"dur_us":...,
+  ///     "bytes":...,"entries":...}, ...]
+  std::string ToJson() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Total events ever added (>= Snapshot().size(); the difference is how
+  /// many fell off the ring).
+  uint64_t total_added() const {
+    return total_added_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> total_added_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // ring_[(start_ + i) % size] is i-th oldest
+  size_t start_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace onion::obs
+
+#endif  // ONION_OBS_TRACE_H_

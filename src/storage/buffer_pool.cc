@@ -74,6 +74,7 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
     const Frame& victim = lru_.back();
     resident_.erase(FrameKey{victim.source_id, victim.page});
     lru_.pop_back();
+    ++evictions_;
   }
   return lru_.front().data;
 }
@@ -121,6 +122,11 @@ void BufferPool::ResetStats() {
 uint64_t BufferPool::resident_pages() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return lru_.size();
+}
+
+uint64_t BufferPool::evictions() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return evictions_;
 }
 
 void BufferPool::AddEntriesRead(uint64_t count, AtomicIoStats* attribution) {

@@ -101,6 +101,10 @@ class BufferPool {
   IoStats stats() const;
   void ResetStats();
   uint64_t resident_pages() const;
+  /// Frames discarded to make room since construction (not reset by
+  /// ResetStats — eviction pressure is a property of the pool, not of a
+  /// measurement window).
+  uint64_t evictions() const;
   uint64_t capacity() const { return capacity_; }
 
  private:
@@ -133,6 +137,7 @@ class BufferPool {
   uint64_t last_disk_source_ = 0;
   uint64_t last_disk_page_ = ~0ull - 1;
   IoStats stats_;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace onion::storage

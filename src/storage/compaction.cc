@@ -148,7 +148,9 @@ Status MergeSegments(const std::vector<const SegmentReader*>& inputs,
   if (!status.ok()) return status;
   std::vector<Entry> group;
   while (NextKeyGroup(&cursors, &heap, &group, &status)) {
+    if (options.stats != nullptr) options.stats->entries_in += group.size();
     CollectKeyGroup(&group, options);
+    if (options.stats != nullptr) options.stats->entries_out += group.size();
     for (const Entry& entry : group) {
       status = out->Add(entry.key, entry.payload, entry.seq);
       if (!status.ok()) return status;
@@ -172,7 +174,9 @@ Status MergeSegmentsLeveled(
   SegmentWriter* out = nullptr;
   std::vector<Entry> group;
   while (NextKeyGroup(&cursors, &heap, &group, &status)) {
+    if (options.stats != nullptr) options.stats->entries_in += group.size();
     CollectKeyGroup(&group, options);
+    if (options.stats != nullptr) options.stats->entries_out += group.size();
     if (group.empty()) continue;  // the whole key died in this merge
     // Cut only between key groups: equal keys split across two outputs
     // would make their fence ranges touch, and the level would no longer

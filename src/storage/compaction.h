@@ -34,6 +34,14 @@
 
 namespace onion::storage {
 
+/// What one merge did, for the compaction metrics (entries GC'd =
+/// entries_in - entries_out; bytes rewritten come from the finished
+/// output segments, which the caller owns).
+struct CompactionStats {
+  uint64_t entries_in = 0;   ///< entries read from the inputs
+  uint64_t entries_out = 0;  ///< entries surviving into the outputs
+};
+
 /// MVCC inputs of a merge: which versions may be garbage-collected.
 struct CompactionOptions {
   /// Sequence numbers of every live snapshot, sorted ascending. A put
@@ -45,6 +53,9 @@ struct CompactionOptions {
   /// then may tombstones be dropped — and only those no snapshot
   /// predates — because everything they shadow dies in the same merge.
   bool bottom_level = false;
+  /// When non-null, receives the merge's entry accounting (added to, not
+  /// reset — a caller can aggregate several merges).
+  CompactionStats* stats = nullptr;
 };
 
 /// Merges the sorted inputs into `out` (which must be fresh), applying the

@@ -5,6 +5,7 @@
 
 #include "analysis/clustering.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
 #include "sfc/curve.h"
 #include "storage/buffer_pool.h"
 #include "storage/segment.h"
@@ -103,7 +104,8 @@ class SnapshotCursor final : public Cursor {
   SnapshotCursor(const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
                  const Box* query_box, std::vector<Entry> memtable_entries,
                  SegmentSnapshot segments, std::shared_ptr<BufferPool> pool,
-                 AtomicIoStats* io_stats, const ReadOptions& options)
+                 AtomicIoStats* io_stats, const ReadOptions& options,
+                 obs::Histogram* next_latency_us)
       : curve_(curve),
         ranges_(std::move(ranges)),
         has_box_(query_box != nullptr),
@@ -113,10 +115,15 @@ class SnapshotCursor final : public Cursor {
         pool_(std::move(pool)),
         io_stats_(io_stats),
         options_(options),
+        next_us_(next_latency_us),
         visible_seq_(options.snapshot != nullptr ? options.snapshot->sequence
                                                  : kMaxSequence) {
-    if (!ranges_.empty() && BeginRange()) FindNext();
-    else valid_ = false;
+    if (!ranges_.empty()) {
+      const obs::ScopedTimer timer(next_us_);  // the initial seek
+      if (BeginRange()) FindNext();
+    } else {
+      valid_ = false;
+    }
   }
 
   ~SnapshotCursor() override {
@@ -138,6 +145,7 @@ class SnapshotCursor final : public Cursor {
   void Next() override {
     ONION_CHECK_MSG(valid_, "Next() on an invalid cursor");
     valid_ = false;
+    const obs::ScopedTimer timer(next_us_);
     FindNext();
   }
 
@@ -450,6 +458,7 @@ class SnapshotCursor final : public Cursor {
   const std::shared_ptr<BufferPool> pool_;
   AtomicIoStats* const io_stats_;
   const ReadOptions options_;
+  obs::Histogram* const next_us_;  // per-step latency sink (may be null)
   const uint64_t visible_seq_;  // read sequence: snapshot or "latest"
 
   std::vector<Source> sources_;
@@ -475,10 +484,12 @@ std::unique_ptr<Cursor> NewSnapshotCursor(
     const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
     const Box* query_box, std::vector<Entry> memtable_entries,
     SegmentSnapshot segments, std::shared_ptr<BufferPool> pool,
-    AtomicIoStats* io_stats, const ReadOptions& options) {
+    AtomicIoStats* io_stats, const ReadOptions& options,
+    obs::Histogram* next_latency_us) {
   return std::make_unique<SnapshotCursor>(
       curve, std::move(ranges), query_box, std::move(memtable_entries),
-      std::move(segments), std::move(pool), io_stats, options);
+      std::move(segments), std::move(pool), io_stats, options,
+      next_latency_us);
 }
 
 }  // namespace storage

@@ -45,6 +45,10 @@
 #include "sfc/types.h"
 #include "storage/io_stats.h"
 
+namespace onion::obs {
+class Histogram;  // obs/metrics.h — kept out of this lightweight header
+}  // namespace onion::obs
+
 namespace onion {
 
 class SpaceFillingCurve;
@@ -68,6 +72,9 @@ struct SpatialEntry {
 /// produced it.
 struct Snapshot {
   uint64_t sequence = 0;
+  /// When the pin was taken (obs::NowMicros clock) — lets the engine report
+  /// how long its oldest snapshot has been holding back compaction GC.
+  uint64_t created_us = 0;
 };
 
 /// Per-read knobs honored by every cursor. Zero means "unbounded".
@@ -172,11 +179,15 @@ struct SegmentSnapshot {
 /// hold no key of any range. Point ranges (lo == hi) additionally probe
 /// each candidate segment's bloom filter through the pool before touching
 /// any page.
+/// `next_latency_us` (may be null) receives the duration of every
+/// positioning step — the initial seek and each Next() — in microseconds,
+/// feeding the table's cursor.next_us histogram.
 std::unique_ptr<Cursor> NewSnapshotCursor(
     const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,
     const Box* query_box, std::vector<Entry> memtable_entries,
     SegmentSnapshot segments, std::shared_ptr<BufferPool> pool,
-    AtomicIoStats* io_stats, const ReadOptions& options);
+    AtomicIoStats* io_stats, const ReadOptions& options,
+    obs::Histogram* next_latency_us = nullptr);
 
 }  // namespace storage
 }  // namespace onion

@@ -12,6 +12,32 @@
 
 namespace onion {
 
+/// The single source of truth for the counter set: every IoStats /
+/// AtomicIoStats member, Snapshot(), Reset(), operator+, and the metric
+/// exporters' field iteration are generated from this list, so adding a
+/// counter is ONE line here (a forgotten field in a hand-written copy
+/// loop is a silent accounting bug).
+///
+/// Field semantics:
+///   page_reads               pages fetched from disk (or the simulated one)
+///   cache_hits               pages served by the buffer pool
+///   seeks                    non-sequential disk reads
+///   entries_read             entries delivered to the caller
+///   disk_bytes               on-disk (encoded) bytes fetched
+///   decoded_bytes            decoded page bytes those fetches produced
+///   pages_skipped_by_filter  page fetches avoided by a segment filter
+///                            (bloom-negative point probes and
+///                            zone-map-excluded pages); these cost neither
+///                            I/O nor a pool frame
+#define ONION_IO_STAT_FIELDS(V) \
+  V(page_reads)                 \
+  V(cache_hits)                 \
+  V(seeks)                      \
+  V(entries_read)               \
+  V(disk_bytes)                 \
+  V(decoded_bytes)              \
+  V(pages_skipped_by_filter)
+
 /// Physical I/O counters.
 ///
 /// Byte accounting rule: `disk_bytes` counts ON-DISK (encoded) bytes —
@@ -22,17 +48,33 @@ namespace onion {
 /// padding); for compressed codecs disk_bytes < decoded_bytes, and the
 /// ratio is the measured compression win.
 struct IoStats {
-  uint64_t page_reads = 0;   ///< pages fetched from disk (or the simulated one)
-  uint64_t cache_hits = 0;   ///< pages served by the buffer pool
-  uint64_t seeks = 0;        ///< non-sequential disk reads
-  uint64_t entries_read = 0; ///< entries delivered to the caller
-  uint64_t disk_bytes = 0;   ///< on-disk (encoded) bytes fetched
-  uint64_t decoded_bytes = 0;  ///< decoded page bytes those fetches produced
-  /// Page fetches avoided by a segment filter: bloom-negative point probes
-  /// and zone-map-excluded pages. These cost neither I/O nor a pool frame.
-  uint64_t pages_skipped_by_filter = 0;
+#define ONION_IO_STAT_DECL(name) uint64_t name = 0;
+  ONION_IO_STAT_FIELDS(ONION_IO_STAT_DECL)
+#undef ONION_IO_STAT_DECL
 
   void Reset() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& other) {
+#define ONION_IO_STAT_ADD(name) name += other.name;
+    ONION_IO_STAT_FIELDS(ONION_IO_STAT_ADD)
+#undef ONION_IO_STAT_ADD
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats lhs, const IoStats& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+
+  /// Invokes fn("field_name", value) for every counter, in declaration
+  /// order — what the JSON/Prometheus exporters iterate, so a new field
+  /// shows up in every dump automatically.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define ONION_IO_STAT_VISIT(name) fn(#name, name);
+    ONION_IO_STAT_FIELDS(ONION_IO_STAT_VISIT)
+#undef ONION_IO_STAT_VISIT
+  }
 };
 
 /// Lock-free I/O counters for per-table attribution on a SHARED buffer
@@ -42,35 +84,23 @@ struct IoStats {
 /// All updates are relaxed — the counters are statistics, not
 /// synchronization.
 struct AtomicIoStats {
-  std::atomic<uint64_t> page_reads{0};
-  std::atomic<uint64_t> cache_hits{0};
-  std::atomic<uint64_t> seeks{0};
-  std::atomic<uint64_t> entries_read{0};
-  std::atomic<uint64_t> disk_bytes{0};
-  std::atomic<uint64_t> decoded_bytes{0};
-  std::atomic<uint64_t> pages_skipped_by_filter{0};
+#define ONION_IO_STAT_DECL(name) std::atomic<uint64_t> name{0};
+  ONION_IO_STAT_FIELDS(ONION_IO_STAT_DECL)
+#undef ONION_IO_STAT_DECL
 
   IoStats Snapshot() const {
     IoStats out;
-    out.page_reads = page_reads.load(std::memory_order_relaxed);
-    out.cache_hits = cache_hits.load(std::memory_order_relaxed);
-    out.seeks = seeks.load(std::memory_order_relaxed);
-    out.entries_read = entries_read.load(std::memory_order_relaxed);
-    out.disk_bytes = disk_bytes.load(std::memory_order_relaxed);
-    out.decoded_bytes = decoded_bytes.load(std::memory_order_relaxed);
-    out.pages_skipped_by_filter =
-        pages_skipped_by_filter.load(std::memory_order_relaxed);
+#define ONION_IO_STAT_LOAD(name) \
+  out.name = name.load(std::memory_order_relaxed);
+    ONION_IO_STAT_FIELDS(ONION_IO_STAT_LOAD)
+#undef ONION_IO_STAT_LOAD
     return out;
   }
 
   void Reset() {
-    page_reads.store(0, std::memory_order_relaxed);
-    cache_hits.store(0, std::memory_order_relaxed);
-    seeks.store(0, std::memory_order_relaxed);
-    entries_read.store(0, std::memory_order_relaxed);
-    disk_bytes.store(0, std::memory_order_relaxed);
-    decoded_bytes.store(0, std::memory_order_relaxed);
-    pages_skipped_by_filter.store(0, std::memory_order_relaxed);
+#define ONION_IO_STAT_ZERO(name) name.store(0, std::memory_order_relaxed);
+    ONION_IO_STAT_FIELDS(ONION_IO_STAT_ZERO)
+#undef ONION_IO_STAT_ZERO
   }
 };
 

@@ -34,6 +34,9 @@ class MemTable {
 
   uint64_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+  /// In-memory footprint of the buffered entries (the memtable.bytes
+  /// gauge; excludes the vector's slack capacity).
+  uint64_t ApproximateBytes() const { return entries_.size() * sizeof(Entry); }
   void Clear() {
     entries_.clear();
     max_sequence_ = 0;

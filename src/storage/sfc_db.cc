@@ -70,7 +70,11 @@ SfcDb::SfcDb(std::string dir, const SfcDbOptions& options)
     : dir_(std::move(dir)),
       options_(options),
       pool_(std::make_shared<BufferPool>(options.pool_pages)),
-      workers_(std::make_unique<WorkerPool>(options.num_workers)) {}
+      workers_(std::make_unique<WorkerPool>(options.num_workers)) {
+  batch_commit_us_ = metrics_->histogram("db.batch_commit_us");
+  workers_->SetMetrics(metrics_->histogram("workers.task_wait_us"),
+                       metrics_->counter("workers.tasks_run"));
+}
 
 SfcDb::~SfcDb() {
   if (batch_log_ != nullptr) std::fclose(batch_log_);
@@ -344,7 +348,7 @@ Result<SfcTable*> SfcDb::CreateTable(const std::string& name,
   }
   auto table = SfcTable::CreateWithShared(
       TablePath(name), curve_name, universe, options,
-      SfcTable::SharedResources{pool_, workers_.get()});
+      SfcTable::SharedResources{pool_, workers_.get(), trace_});
   if (!table.ok()) return table.status();
   catalog_.insert(
       std::upper_bound(catalog_.begin(), catalog_.end(), name), name);
@@ -382,9 +386,9 @@ Result<SfcTable*> SfcDb::OpenTableLocked(const std::string& name,
   if (!std::binary_search(catalog_.begin(), catalog_.end(), name)) {
     return Status::NotFound("no table '" + name + "' in " + dir_);
   }
-  auto table =
-      SfcTable::OpenWithShared(TablePath(name), options,
-                               SfcTable::SharedResources{pool_, workers_.get()});
+  auto table = SfcTable::OpenWithShared(
+      TablePath(name), options,
+      SfcTable::SharedResources{pool_, workers_.get(), trace_});
   if (!table.ok()) return table.status();
   SfcTable* raw = table.value().get();
   open_tables_[name] = std::move(table).value();
@@ -393,6 +397,12 @@ Result<SfcTable*> SfcDb::OpenTableLocked(const std::string& name,
 
 Status SfcDb::Write(WriteBatch&& batch) {
   if (batch.empty()) return Status::OK();
+  // Commit latency end to end: validation, the journal append, every
+  // per-table WAL record, and (under wal_fsync) the fsyncs. Failed
+  // commits are recorded too — their latency is just as real.
+  const obs::ScopedTimer commit_timer(batch_commit_us_);
+  const uint64_t num_ops = batch.ops().size();
+  uint64_t journal_bytes = 0;
   // Phase 1 — resolve and validate under db_mu_, before anything is
   // logged: group the ops per table (preserving each table's op order),
   // open tables on demand, map cells to curve keys. Any error here
@@ -554,6 +564,7 @@ Status SfcDb::Write(WriteBatch&& batch) {
           }
         } else {
           batch_log_bytes_ += 8 + body.size();
+          journal_bytes = 8 + body.size();
           // The cross-table commit point must not be able to reach disk
           // AFTER a table slice it repairs: under wal_fsync (power-loss
           // durability) sync the journal record BEFORE any table WAL
@@ -593,6 +604,11 @@ Status SfcDb::Write(WriteBatch&& batch) {
       if (!synced.ok()) return synced;
     }
   }
+  trace_->Add(obs::TraceEvent{
+      trace_->NextId(), obs::TraceKind::kBatchCommit,
+      slices.size() > 1 ? "multi" : slices.front().name,
+      commit_timer.start_us(), obs::NowMicros() - commit_timer.start_us(),
+      journal_bytes, num_ops});
   return Status::OK();
 }
 
@@ -651,6 +667,73 @@ Status SfcDb::DropTable(const std::string& name) {
 std::vector<std::string> SfcDb::ListTables() const {
   std::lock_guard<std::mutex> lock(db_mu_);
   return catalog_;
+}
+
+std::string SfcDb::DumpMetrics(obs::MetricsFormat format) const {
+  // Refresh the dump-time gauges. batch_mu_ before db_mu_, per the
+  // global lock order.
+  {
+    std::lock_guard<std::mutex> batch_lock(batch_mu_);
+    metrics_->gauge("batchlog.bytes")
+        ->Set(static_cast<int64_t>(batch_log_bytes_));
+  }
+  metrics_->gauge("pool.resident_pages")
+      ->Set(static_cast<int64_t>(pool_->resident_pages()));
+  metrics_->gauge("pool.evictions")
+      ->Set(static_cast<int64_t>(pool_->evictions()));
+  const IoStats pool_io = pool_->stats();
+  const uint64_t touches = pool_io.page_reads + pool_io.cache_hits;
+  const double hit_ratio =
+      touches > 0 ? static_cast<double>(pool_io.cache_hits) / touches : 0.0;
+
+  std::lock_guard<std::mutex> lock(db_mu_);
+  metrics_->gauge("workers.queue_depth")
+      ->Set(workers_ != nullptr
+                ? static_cast<int64_t>(workers_->queue_depth())
+                : 0);
+  uint64_t oldest_pin_us = 0;
+  for (const auto& [name, table] : open_tables_) {
+    oldest_pin_us = std::max(oldest_pin_us, table->OldestSnapshotPinAgeUs());
+  }
+  metrics_->gauge("snapshot.oldest_pin_age_us")
+      ->Set(static_cast<int64_t>(oldest_pin_us));
+
+  if (format == obs::MetricsFormat::kPrometheus) {
+    std::string out;
+    metrics_->AppendPrometheus(&out, "");
+    pool_io.ForEachField([&](const char* field, uint64_t value) {
+      const std::string metric = "onion_pool_io_" + std::string(field);
+      out += "# TYPE " + metric + " counter\n";
+      out += metric + " " + std::to_string(value) + "\n";
+    });
+    out += "# TYPE onion_pool_hit_ratio gauge\nonion_pool_hit_ratio ";
+    obs::AppendJsonDouble(&out, hit_ratio);
+    out += "\n";
+    for (const auto& [name, table] : open_tables_) {
+      out += table->DumpMetrics(format);
+    }
+    return out;
+  }
+
+  std::string out = "{\"db\":{";
+  metrics_->AppendJsonMembers(&out);
+  out += "},\"pool\":{";
+  pool_io.ForEachField([&](const char* field, uint64_t value) {
+    out += "\"" + std::string(field) + "\":" + std::to_string(value) + ",";
+  });
+  out += "\"hit_ratio\":";
+  obs::AppendJsonDouble(&out, hit_ratio);
+  out += "},\"tables\":{";
+  bool first = true;
+  for (const auto& [name, table] : open_tables_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    obs::AppendJsonEscaped(&out, name);
+    out += "\":" + table->DumpMetrics(format);
+  }
+  out += "}}";
+  return out;
 }
 
 Status SfcDb::Close() {

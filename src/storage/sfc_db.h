@@ -59,6 +59,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/sfc_table.h"
 #include "storage/worker_pool.h"
@@ -173,6 +175,19 @@ class SfcDb {
   IoStats pool_stats() const { return pool_->stats(); }
   uint64_t pool_resident_pages() const { return pool_->resident_pages(); }
 
+  /// One dump of the whole engine: the db-level registry (batch-commit
+  /// latency, worker queue/wait, pool gauges), the shared pool's physical
+  /// I/O aggregate with its hit ratio, and every open table's DumpMetrics
+  /// — as one JSON object or Prometheus text (per-table series carry a
+  /// table="name" label). Metric catalog in docs/observability.md.
+  std::string DumpMetrics(
+      obs::MetricsFormat format = obs::MetricsFormat::kJson) const;
+  /// The shared trace ring (flush/compaction/batch-commit events of ALL
+  /// tables, one interleaved timeline) as a JSON array.
+  std::string DumpTrace() const { return trace_->ToJson(); }
+  /// The db-level metric registry (tests; tables have their own).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   SfcDb(std::string dir, const SfcDbOptions& options);
 
@@ -193,13 +208,24 @@ class SfcDb {
 
   const std::string dir_;
   const SfcDbOptions options_;
+
+  // Observability (declared before pool_/workers_ so worker threads
+  // recording into the registry never outlive it). The trace ring is
+  // shared with every table (SharedResources::trace).
+  const std::shared_ptr<obs::MetricsRegistry> metrics_ =
+      std::make_shared<obs::MetricsRegistry>();
+  const std::shared_ptr<obs::TraceRing> trace_ =
+      std::make_shared<obs::TraceRing>();
+  obs::Histogram* batch_commit_us_ = nullptr;  // resolved in the ctor
+
   std::shared_ptr<BufferPool> pool_;
   std::unique_ptr<WorkerPool> workers_;
 
   // Serializes multi-table commits (and GetSnapshot against them) and
   // guards the batch journal. Acquisition order: batch_mu_ strictly
-  // before db_mu_ and before any table's writer lock.
-  std::mutex batch_mu_;
+  // before db_mu_ and before any table's writer lock. Mutable so the
+  // const DumpMetrics can read batch_log_bytes_.
+  mutable std::mutex batch_mu_;
   std::FILE* batch_log_ = nullptr;  // lazily created on first use
   uint64_t batch_log_bytes_ = 0;
   // A journaled record failed to apply to every table: it is the only

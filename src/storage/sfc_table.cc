@@ -89,10 +89,39 @@ SfcTable::SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
       curve_(std::move(curve)),
       curve_name_(curve_->name()),
       options_(options),
+      trace_(shared.trace != nullptr ? shared.trace
+                                     : std::make_shared<obs::TraceRing>()),
       workers_(shared.workers),
       pool_(shared.pool != nullptr
                 ? shared.pool
-                : std::make_shared<BufferPool>(options.pool_pages)) {}
+                : std::make_shared<BufferPool>(options.pool_pages)) {
+  // Resolve every hot-path handle once; recording is pointer-only after
+  // this. The names are the catalog in docs/observability.md.
+  m_.wal_append_us = metrics_->histogram("wal.append_us");
+  m_.wal_fsync_us = metrics_->histogram("wal.fsync_us");
+  m_.wal_commit_batch_records =
+      metrics_->histogram("wal.commit_batch_records");
+  m_.memtable_insert_us = metrics_->histogram("memtable.insert_us");
+  m_.write_commit_us = metrics_->histogram("write.commit_us");
+  m_.flush_us = metrics_->histogram("flush.us");
+  m_.compaction_us = metrics_->histogram("compaction.us");
+  m_.cursor_next_us = metrics_->histogram("cursor.next_us");
+  m_.flush_bytes = metrics_->counter("flush.bytes");
+  m_.flush_entries = metrics_->counter("flush.entries");
+  m_.flush_count = metrics_->counter("flush.count");
+  m_.compaction_bytes_rewritten =
+      metrics_->counter("compaction.bytes_rewritten");
+  m_.compaction_entries_gcd = metrics_->counter("compaction.entries_gcd");
+  m_.compaction_count = metrics_->counter("compaction.count");
+}
+
+WalMetrics SfcTable::TableWalMetrics() const {
+  WalMetrics wal_metrics;
+  wal_metrics.append_us = m_.wal_append_us;
+  wal_metrics.fsync_us = m_.wal_fsync_us;
+  wal_metrics.commit_batch_records = m_.wal_commit_batch_records;
+  return wal_metrics;
+}
 
 SfcTable::~SfcTable() {
   // Deliberately no Flush(): destroying an unclosed table has crash
@@ -217,6 +246,10 @@ Status SfcTable::InstallManifest(std::unique_lock<std::shared_mutex>& lock) {
 void SfcTable::StartWorker() {
   if (workers_ == nullptr) {
     owned_workers_ = std::make_unique<WorkerPool>(1);
+    // A standalone table reports its private pool through its own
+    // registry; a db-owned table's shared pool reports through the db's.
+    owned_workers_->SetMetrics(metrics_->histogram("workers.task_wait_us"),
+                               metrics_->counter("workers.tasks_run"));
     workers_ = owned_workers_.get();
   }
   worker_client_ = workers_->Register([this] { return RunBackgroundWork(); });
@@ -296,6 +329,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::CreateWithShared(
   auto wal = WalWriter::Create(table->WalPath(0), /*fsync_each_append=*/false);
   if (!wal.ok()) return wal.status();
   table->wal_ = std::move(wal).value();
+  table->wal_->set_metrics(table->TableWalMetrics());
   table->wal_files_ = {table->WalFileName(0)};
   table->max_wal_id_ = 0;
   table->next_wal_id_ = 1;
@@ -477,6 +511,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
                                /*fsync_each_append=*/false);
   if (!wal.ok()) return wal.status();
   table->wal_ = std::move(wal).value();
+  table->wal_->set_metrics(table->TableWalMetrics());
   table->wal_files_.push_back(table->WalFileName(active_id));
   table->max_wal_id_ = active_id;
   table->StartWorker();
@@ -597,9 +632,12 @@ Status SfcTable::ApplyOpsWalLocked(const WalOp* ops, size_t count,
       (*used_wal)->AppendBatch(ops, count, first_seq, out_record);
   if (!status.ok()) return status;  // nothing buffered: retry-safe
   lock.lock();
-  for (size_t i = 0; i < count; ++i) {
-    memtable_.Insert(ops[i].key, ops[i].payload,
-                     PackSeq(first_seq + i, ops[i].tombstone));
+  {
+    const obs::ScopedTimer insert_timer(m_.memtable_insert_us);
+    for (size_t i = 0; i < count; ++i) {
+      memtable_.Insert(ops[i].key, ops[i].payload,
+                       PackSeq(first_seq + i, ops[i].tombstone));
+    }
   }
   // Publish AFTER buffering: a snapshot at sequence S sees every write
   // with sequence <= S, because applies happen in sequence order (the
@@ -616,6 +654,9 @@ Status SfcTable::ApplyOpsWalLocked(const WalOp* ops, size_t count,
 }
 
 Status SfcTable::WriteOps(const WalOp* ops, size_t count) {
+  // End-to-end commit latency: lock wait + WAL append + buffering +
+  // (with wal_fsync) the group-commit fsync.
+  const obs::ScopedTimer commit_timer(m_.write_commit_us);
   std::shared_ptr<WalWriter> wal;
   uint64_t record = 0;
   {
@@ -671,12 +712,13 @@ Status SfcTable::SyncWalForRecovery() {
 
 std::shared_ptr<const Snapshot> SfcTable::GetSnapshot() {
   auto* snapshot = new Snapshot{};
+  snapshot->created_us = obs::NowMicros();
   {
     // Registering in the same hold that reads the sequence keeps the pin
     // list consistent with what compaction may collect.
     std::lock_guard<std::mutex> lock(snapshots_->mu);
     snapshot->sequence = last_applied_seq_.load(std::memory_order_acquire);
-    snapshots_->sequences.insert(snapshot->sequence);
+    snapshots_->pins.insert({snapshot->sequence, snapshot->created_us});
   }
   // The deleter owns the REGISTRY, not the table: releasing a pin after
   // the table is closed or even destroyed unregisters safely (reading
@@ -685,8 +727,9 @@ std::shared_ptr<const Snapshot> SfcTable::GetSnapshot() {
       snapshot, [registry = snapshots_](const Snapshot* released) {
         {
           std::lock_guard<std::mutex> lock(registry->mu);
-          const auto it = registry->sequences.find(released->sequence);
-          if (it != registry->sequences.end()) registry->sequences.erase(it);
+          const auto it = registry->pins.find(
+              {released->sequence, released->created_us});
+          if (it != registry->pins.end()) registry->pins.erase(it);
         }
         delete released;
       });
@@ -694,8 +737,27 @@ std::shared_ptr<const Snapshot> SfcTable::GetSnapshot() {
 
 std::vector<uint64_t> SfcTable::PinnedSnapshotSequences() const {
   std::lock_guard<std::mutex> lock(snapshots_->mu);
-  return std::vector<uint64_t>(snapshots_->sequences.begin(),
-                               snapshots_->sequences.end());
+  std::vector<uint64_t> sequences;
+  sequences.reserve(snapshots_->pins.size());
+  // The multiset orders by (sequence, created_us), so this stays sorted.
+  for (const auto& [sequence, created_us] : snapshots_->pins) {
+    sequences.push_back(sequence);
+  }
+  return sequences;
+}
+
+uint64_t SfcTable::OldestSnapshotPinAgeUs() const {
+  uint64_t oldest = 0;
+  {
+    std::lock_guard<std::mutex> lock(snapshots_->mu);
+    // Lowest sequence is not necessarily the earliest pin; scan created_us.
+    for (const auto& [sequence, created_us] : snapshots_->pins) {
+      if (oldest == 0 || created_us < oldest) oldest = created_us;
+    }
+  }
+  if (oldest == 0) return 0;
+  const uint64_t now = obs::NowMicros();
+  return now > oldest ? now - oldest : 0;
 }
 
 Status SfcTable::RotateMemtableLocked(
@@ -723,6 +785,7 @@ Status SfcTable::RotateMemtableLocked(
   pending_.push_back(std::move(batch));
   memtable_ = MemTable();
   wal_ = std::move(wal).value();
+  wal_->set_metrics(TableWalMetrics());
   wal_files_ = {WalFileName(id)};
   max_wal_id_ = id;
   NotifyWorkerLocked();
@@ -795,6 +858,8 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
   // this table's background work at a time (WorkerPool guarantee), only
   // that worker pops, and deque growth does not invalidate references.
   PendingMemtable& batch = pending_.front();
+  const uint64_t flush_start_us = obs::NowMicros();
+  const uint64_t flush_entries = batch.mem.size();
   Status status;
   TableSegment installed;
   if (!batch.mem.empty()) {
@@ -857,6 +922,19 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
     std::remove((dir_ + "/" + wal_file).c_str());
   }
   pending_.pop_front();
+  if (installed.reader != nullptr) {
+    // Flush duration covers segment write + fsyncs + manifest install —
+    // the full cost of making this generation durable.
+    const uint64_t dur_us = obs::NowMicros() - flush_start_us;
+    const uint64_t bytes = installed.reader->file_bytes();
+    m_.flush_us->Record(dur_us);
+    m_.flush_count->Increment();
+    m_.flush_bytes->Add(bytes);
+    m_.flush_entries->Add(flush_entries);
+    trace_->Add(obs::TraceEvent{trace_->NextId(), obs::TraceKind::kFlush,
+                                installed.file, flush_start_us, dur_us, bytes,
+                                flush_entries});
+  }
   if (!manual_compaction_ && l0_.size() >= options_.l0_compaction_trigger) {
     compaction_pending_ = true;
   }
@@ -970,7 +1048,10 @@ void SfcTable::RunCompactionLocked(
   // level. The snapshot list may gain members while the merge runs
   // unlocked — harmless, because a snapshot taken later pins a sequence
   // >= everything in these inputs, which never changes a drop decision.
+  const uint64_t comp_start_us = obs::NowMicros();
+  CompactionStats merge_stats;
   CompactionOptions gc;
+  gc.stats = &merge_stats;
   gc.snapshots = PinnedSnapshotSequences();
   gc.bottom_level = true;
   for (size_t i = static_cast<size_t>(out_level); i < levels_.size(); ++i) {
@@ -1035,6 +1116,19 @@ void SfcTable::RunCompactionLocked(
     SetBackgroundErrorLocked(status);
     return;
   }
+  uint64_t bytes_rewritten = 0;
+  for (const TableSegment& segment : new_segments) {
+    bytes_rewritten += segment.reader->file_bytes();
+  }
+  const uint64_t dur_us = obs::NowMicros() - comp_start_us;
+  const uint64_t entries_gcd = merge_stats.entries_in - merge_stats.entries_out;
+  m_.compaction_us->Record(dur_us);
+  m_.compaction_count->Increment();
+  m_.compaction_bytes_rewritten->Add(bytes_rewritten);
+  m_.compaction_entries_gcd->Add(entries_gcd);
+  trace_->Add(obs::TraceEvent{trace_->NextId(), obs::TraceKind::kCompaction,
+                              "L" + std::to_string(out_level), comp_start_us,
+                              dur_us, bytes_rewritten, entries_gcd});
   const std::vector<std::string> doomed =
       DetachSegmentsLocked(std::move(inputs));
   // Unlink with compaction_inflight_ still set, so the Flush()/Close()
@@ -1150,6 +1244,8 @@ Status SfcTable::Compact() {
   }
   while (LevelTargetEntries(out_level) < total_entries) ++out_level;
   manual_compaction_ = true;  // keeps the worker from scheduling its own
+  const uint64_t comp_start_us = obs::NowMicros();
+  CompactionStats merge_stats;
   const std::string file = SegmentFileName(next_segment_id_++);
   const std::string path = SegmentPath(file);
   std::vector<const SegmentReader*> raw;
@@ -1165,6 +1261,7 @@ Status SfcTable::Compact() {
     // bottom-most by construction: unpinned shadowed versions and
     // tombstones no snapshot predates are collected here.
     CompactionOptions gc;
+    gc.stats = &merge_stats;
     gc.snapshots = PinnedSnapshotSequences();
     gc.bottom_level = true;
     SegmentWriter writer(path, WriterOptions());
@@ -1221,6 +1318,15 @@ Status SfcTable::Compact() {
     cv_.notify_all();
     return status;
   }
+  const uint64_t dur_us = obs::NowMicros() - comp_start_us;
+  const uint64_t entries_gcd = merge_stats.entries_in - merge_stats.entries_out;
+  m_.compaction_us->Record(dur_us);
+  m_.compaction_count->Increment();
+  m_.compaction_bytes_rewritten->Add(output.reader->file_bytes());
+  m_.compaction_entries_gcd->Add(entries_gcd);
+  trace_->Add(obs::TraceEvent{trace_->NextId(), obs::TraceKind::kCompaction,
+                              file, comp_start_us, dur_us,
+                              output.reader->file_bytes(), entries_gcd});
   std::vector<TableSegment> retired = inputs;
   const std::vector<std::string> doomed =
       DetachSegmentsLocked(std::move(retired));
@@ -1327,7 +1433,7 @@ std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
             });
   return NewSnapshotCursor(curve_.get(), std::move(ranges), query_box,
                            std::move(mem_hits), std::move(snapshot), pool_,
-                           &io_stats_, options);
+                           &io_stats_, options, m_.cursor_next_us);
 }
 
 Result<std::vector<uint64_t>> SfcTable::Get(const Cell& cell,
@@ -1382,6 +1488,83 @@ void SfcTable::ResetStats() {
     read_stats_.Reset();
   }
   io_stats_.Reset();
+}
+
+std::string SfcTable::DumpMetrics(obs::MetricsFormat format) const {
+  // Refresh the gauges that are derived state rather than event streams,
+  // so every dump reflects the structure at dump time.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    metrics_->gauge("memtable.entries")
+        ->Set(static_cast<int64_t>(memtable_.size()));
+    metrics_->gauge("memtable.bytes")
+        ->Set(static_cast<int64_t>(memtable_.ApproximateBytes()));
+    metrics_->gauge("pending.memtables")
+        ->Set(static_cast<int64_t>(pending_.size()));
+    size_t segments = l0_.size();
+    for (const auto& level_segments : levels_) {
+      segments += level_segments.size();
+    }
+    metrics_->gauge("segments.live")->Set(static_cast<int64_t>(segments));
+  }
+  metrics_->gauge("snapshot.oldest_pin_age_us")
+      ->Set(static_cast<int64_t>(OldestSnapshotPinAgeUs()));
+
+  const IoStats io = io_stats_.Snapshot();
+  const TableReadStats reads = read_stats();
+  const uint64_t pool_touches = io.page_reads + io.cache_hits;
+  const double hit_ratio =
+      pool_touches > 0 ? static_cast<double>(io.cache_hits) / pool_touches
+                       : 0.0;
+  const uint64_t candidates = pool_touches + io.pages_skipped_by_filter;
+  const double skip_ratio =
+      candidates > 0
+          ? static_cast<double>(io.pages_skipped_by_filter) / candidates
+          : 0.0;
+  std::string name = std::filesystem::path(dir_).filename().string();
+  if (name.empty()) name = dir_;
+
+  if (format == obs::MetricsFormat::kPrometheus) {
+    std::string labels = "table=\"";
+    obs::AppendJsonEscaped(&labels, name);  // JSON escapes satisfy Prometheus
+    labels += "\"";
+    std::string out;
+    metrics_->AppendPrometheus(&out, labels);
+    io.ForEachField([&](const char* field, uint64_t value) {
+      const std::string metric = "onion_io_" + std::string(field);
+      out += "# TYPE " + metric + " counter\n";
+      out += metric + "{" + labels + "} " + std::to_string(value) + "\n";
+    });
+    out += "# TYPE onion_pool_hit_ratio gauge\n";
+    out += "onion_pool_hit_ratio{" + labels + "} ";
+    obs::AppendJsonDouble(&out, hit_ratio);
+    out += "\n# TYPE onion_filter_skip_ratio gauge\n";
+    out += "onion_filter_skip_ratio{" + labels + "} ";
+    obs::AppendJsonDouble(&out, skip_ratio);
+    out += "\n";
+    return out;
+  }
+
+  std::string out = "{\"table\":\"";
+  obs::AppendJsonEscaped(&out, name);
+  out += "\",";
+  metrics_->AppendJsonMembers(&out);
+  out += ",\"io\":{";
+  bool first = true;
+  io.ForEachField([&](const char* field, uint64_t value) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + std::string(field) + "\":" + std::to_string(value);
+  });
+  out += "},\"read\":{\"queries\":" + std::to_string(reads.queries) +
+         ",\"ranges\":" + std::to_string(reads.ranges) +
+         ",\"memtable_entries\":" + std::to_string(reads.memtable_entries) +
+         "},\"derived\":{\"pool_hit_ratio\":";
+  obs::AppendJsonDouble(&out, hit_ratio);
+  out += ",\"filter_skip_ratio\":";
+  obs::AppendJsonDouble(&out, skip_ratio);
+  out += "}}";
+  return out;
 }
 
 }  // namespace onion::storage

@@ -79,11 +79,14 @@
 #include <set>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "index/disk_model.h"
 #include "index/spatial_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sfc/curve.h"
 #include "storage/buffer_pool.h"
 #include "storage/cursor.h"
@@ -281,6 +284,23 @@ class SfcTable {
   IoStats io_stats() const { return io_stats_.Snapshot(); }
   void ResetStats();
 
+  /// One dump of every table-level metric — the obs registry (latency
+  /// histograms, counters, gauges), the I/O counters, the logical read
+  /// stats, and derived ratios (pool hit ratio, filter skip ratio) — as a
+  /// JSON object or Prometheus text exposition (metric catalog in
+  /// docs/observability.md). Safe to call concurrently with everything.
+  std::string DumpMetrics(
+      obs::MetricsFormat format = obs::MetricsFormat::kJson) const;
+  /// The retained trace events (flush/compaction completions) as a JSON
+  /// array — see obs/trace.h.
+  std::string DumpTrace() const { return trace_->ToJson(); }
+  /// The table's metric registry (tests and the owning SfcDb's exporter;
+  /// hot paths use handles resolved at construction instead).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Age of the oldest live snapshot pin in microseconds (0 when no
+  /// snapshot is pinned) — how long compaction GC has been held back.
+  uint64_t OldestSnapshotPinAgeUs() const;
+
   /// Estimated latency of the I/O accumulated since the last ResetStats().
   double EstimateCostMs(const DiskModel& model) const {
     const IoStats io = io_stats();
@@ -295,6 +315,9 @@ class SfcTable {
   struct SharedResources {
     std::shared_ptr<BufferPool> pool;
     WorkerPool* workers = nullptr;
+    /// Shared trace ring (the db's, so flush/compaction/commit events of
+    /// all tables interleave in one timeline); null means private.
+    std::shared_ptr<obs::TraceRing> trace;
   };
 
   static Result<std::unique_ptr<SfcTable>> CreateWithShared(
@@ -427,6 +450,34 @@ class SfcTable {
   const std::string curve_name_;
   SfcTableOptions options_;
 
+  // Observability. The registry owns every named metric for the table's
+  // lifetime; `m_` caches the hot-path handles (the registry hands out
+  // stable addresses) so recording a sample is a relaxed atomic add, never
+  // a name lookup. Declared before all engine state so background threads
+  // recording into the handles never outlive them.
+  const std::shared_ptr<obs::MetricsRegistry> metrics_ =
+      std::make_shared<obs::MetricsRegistry>();
+  std::shared_ptr<obs::TraceRing> trace_;
+  struct MetricHandles {
+    obs::Histogram* wal_append_us = nullptr;
+    obs::Histogram* wal_fsync_us = nullptr;
+    obs::Histogram* wal_commit_batch_records = nullptr;
+    obs::Histogram* memtable_insert_us = nullptr;
+    obs::Histogram* write_commit_us = nullptr;
+    obs::Histogram* flush_us = nullptr;
+    obs::Histogram* compaction_us = nullptr;
+    obs::Histogram* cursor_next_us = nullptr;
+    obs::Counter* flush_bytes = nullptr;
+    obs::Counter* flush_entries = nullptr;
+    obs::Counter* flush_count = nullptr;
+    obs::Counter* compaction_bytes_rewritten = nullptr;
+    obs::Counter* compaction_entries_gcd = nullptr;
+    obs::Counter* compaction_count = nullptr;
+  } m_;
+  /// The WAL-facing slice of `m_` (every WalWriter this table creates gets
+  /// the same three handles).
+  WalMetrics TableWalMetrics() const;
+
   // Serializes writers (Insert / the rotation step of Flush) and pins the
   // active WAL, so the per-record WAL I/O can run with mu_ RELEASED —
   // readers snapshot state between any two inserts instead of stalling
@@ -448,7 +499,9 @@ class SfcTable {
   // deleter owns the registry, never the table.
   struct SnapshotRegistry {
     std::mutex mu;
-    std::multiset<uint64_t> sequences;
+    /// (sequence, created_us) per live pin — ordered by sequence for the
+    /// compaction GC list; created_us feeds the oldest-pin-age gauge.
+    std::multiset<std::pair<uint64_t, uint64_t>> pins;
   };
   const std::shared_ptr<SnapshotRegistry> snapshots_ =
       std::make_shared<SnapshotRegistry>();

@@ -82,6 +82,7 @@ Status WalWriter::AppendBatch(const WalOp* ops, size_t count,
     return Status::InvalidArgument("WAL record needs 1.." +
                                    std::to_string(kMaxWalRecordOps) + " ops");
   }
+  const obs::ScopedTimer append_timer(metrics_.append_us);
   std::vector<uint8_t>& record = record_scratch_;
   record.resize(kRecordPrefixBytes + count * kWalOpBytes + kRecordCrcBytes);
   PutU32(record.data(), static_cast<uint32_t>(count));
@@ -96,6 +97,7 @@ Status WalWriter::AppendBatch(const WalOp* ops, size_t count,
     return status_ = Status::Internal("WAL append failed: " + path_);
   }
   if (fsync_each_append_) {
+    const obs::ScopedTimer fsync_timer(metrics_.fsync_us);
     const Status status = SyncFile(file_, path_);
     if (!status.ok()) return status_ = status;
   }
@@ -106,7 +108,10 @@ Status WalWriter::AppendBatch(const WalOp* ops, size_t count,
   return Status::OK();
 }
 
-Status WalWriter::Sync() { return SyncFile(file_, path_); }
+Status WalWriter::Sync() {
+  const obs::ScopedTimer fsync_timer(metrics_.fsync_us);
+  return SyncFile(file_, path_);
+}
 
 Status WalWriter::SyncUpTo(uint64_t record) {
   std::unique_lock<std::mutex> lock(sync_mu_);
@@ -123,13 +128,24 @@ Status WalWriter::SyncUpTo(uint64_t record) {
   // Everything appended (and stdio-flushed) so far rides this one fsync —
   // including records of followers currently blocking on sync_mu_.
   const uint64_t target = appended_record_.load(std::memory_order_acquire);
+  const uint64_t synced_before = synced_record_;
   lock.unlock();
-  const Status status = SyncFile(file_, path_);
+  Status status;
+  {
+    const obs::ScopedTimer fsync_timer(metrics_.fsync_us);
+    status = SyncFile(file_, path_);
+  }
   lock.lock();
   sync_inflight_ = false;
   if (status.ok()) {
     synced_record_ = std::max(synced_record_, target);
     num_syncs_.fetch_add(1, std::memory_order_relaxed);
+    // The group-commit win, observable: this ONE fsync covered every
+    // record appended since the previous one.
+    if (metrics_.commit_batch_records != nullptr &&
+        synced_record_ > synced_before) {
+      metrics_.commit_batch_records->Record(synced_record_ - synced_before);
+    }
   } else if (sync_status_.ok()) {
     sync_status_ = status;
   }

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sfc/types.h"
 
 namespace onion::storage {
@@ -77,6 +78,21 @@ void EncodeWalOp(const WalOp& op, uint8_t* out);
 /// Decodes one op from `in[0..kWalOpBytes)`.
 WalOp DecodeWalOp(const uint8_t* in);
 
+/// Optional latency/throughput sinks (see docs/observability.md). Null
+/// members record nothing; the pointed-to histograms must outlive every
+/// writer they are wired into (SfcTable wires its own registry's, which
+/// lives as long as the table).
+struct WalMetrics {
+  /// AppendBatch duration (encode + fwrite + fflush), microseconds.
+  obs::Histogram* append_us = nullptr;
+  /// Physical fsync duration, microseconds (SyncUpTo leader fsyncs,
+  /// Sync(), and per-append fsyncs alike).
+  obs::Histogram* fsync_us = nullptr;
+  /// Records covered per group-commit fsync — the group-commit win: with
+  /// concurrent committers the p50 climbs above 1.
+  obs::Histogram* commit_batch_records = nullptr;
+};
+
 class WalWriter {
  public:
   /// Creates a new WAL file at `path` (truncating any stale one) and writes
@@ -85,6 +101,10 @@ class WalWriter {
   /// SyncUpTo for concurrent writers).
   static Result<std::unique_ptr<WalWriter>> Create(std::string path,
                                                    bool fsync_each_append);
+
+  /// Wires the latency sinks. Call before the first append (the table
+  /// does it right after Create, while the writer is still private).
+  void set_metrics(const WalMetrics& metrics) { metrics_ = metrics; }
 
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
@@ -130,6 +150,7 @@ class WalWriter {
   std::string path_;
   std::FILE* file_;
   bool fsync_each_append_;
+  WalMetrics metrics_;  // set once before the first append
   uint64_t num_records_ = 0;
   Status status_;  // first append error, sticky
   // Reused record buffer (appends are externally serialized), so a

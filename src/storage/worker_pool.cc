@@ -44,8 +44,24 @@ void WorkerPool::Notify(ClientId id) {
     if (it == clients_.end() || it->second.removed) return;
     if (it->second.armed) return;  // already scheduled
     it->second.armed = true;
+    it->second.armed_at_us = obs::NowMicros();
   }
   work_cv_.notify_one();
+}
+
+void WorkerPool::SetMetrics(obs::Histogram* wait_us, obs::Counter* tasks_run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wait_us_ = wait_us;
+  tasks_run_ = tasks_run;
+}
+
+size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t depth = 0;
+  for (const auto& [id, client] : clients_) {
+    if (client.armed && !client.removed) ++depth;
+  }
+  return depth;
 }
 
 void WorkerPool::WorkerMain() {
@@ -69,14 +85,22 @@ void WorkerPool::WorkerMain() {
     rr_cursor_ = it->first;
     it->second.armed = false;
     it->second.running = true;
+    if (wait_us_ != nullptr) {
+      const uint64_t now = obs::NowMicros();
+      wait_us_->Record(now > it->second.armed_at_us
+                           ? now - it->second.armed_at_us
+                           : 0);
+    }
     lock.unlock();
     // The map node is stable and Unregister blocks on `running`, so
     // calling through the iterator without the lock is safe.
     const bool more = it->second.run_one();
     lock.lock();
+    if (tasks_run_ != nullptr) tasks_run_->Increment();
     it->second.running = false;
     if (more && !it->second.removed) {
       it->second.armed = true;
+      it->second.armed_at_us = obs::NowMicros();
       work_cv_.notify_one();  // another worker may take it (or this one)
     }
     idle_cv_.notify_all();

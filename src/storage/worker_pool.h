@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace onion::storage {
 
 class WorkerPool {
@@ -63,17 +65,34 @@ class WorkerPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// Wires latency sinks (null members record nothing; the sinks must
+  /// outlive the pool). `wait_us` gets the arm-to-run delay of every unit
+  /// of work — how long a table's flush/compaction queued behind other
+  /// clients — and `tasks_run` counts completed units. Call before
+  /// clients start arming (the owner does it right after construction).
+  void SetMetrics(obs::Histogram* wait_us, obs::Counter* tasks_run);
+
+  /// Clients currently armed and waiting for a worker (the queue depth a
+  /// gauge exporter samples).
+  size_t queue_depth() const;
+
  private:
   struct Client {
     std::function<bool()> run_one;
     bool armed = false;
     bool running = false;
     bool removed = false;  // Unregister() in progress: stop scheduling
+    uint64_t armed_at_us = 0;  // NowMicros() when armed (wait-time start)
   };
 
   void WorkerMain();
 
-  std::mutex mu_;
+  // Metric sinks (may stay null). Written once by SetMetrics before the
+  // clients arm; read by workers under mu_.
+  obs::Histogram* wait_us_ = nullptr;
+  obs::Counter* tasks_run_ = nullptr;
+
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers wait for armed clients
   std::condition_variable idle_cv_;  // Unregister waits for !running
   std::map<ClientId, Client> clients_;

@@ -1,0 +1,403 @@
+// Unit tests for the observability primitives in src/obs/: histogram
+// bucket math and quantiles, concurrent recording (this test is in the
+// tsan job's list on purpose), registry pointer stability, the JSON and
+// Prometheus exporters (validated by a tiny JSON well-formedness parser,
+// not substring luck), and the bounded trace ring.
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace onion::obs {
+namespace {
+
+// --- a minimal JSON well-formedness checker ---------------------------
+// Enough of RFC 8259 to catch a broken exporter: objects, arrays,
+// strings with escapes, numbers, true/false/null. Returns true iff the
+// whole input is exactly one valid value.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!Digits()) return false;
+    if (Peek() == '.') { ++pos_; if (!Digits()) return false; }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!Digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool Digits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) {
+  return JsonChecker(text).Valid();
+}
+
+TEST(JsonCheckerTest, AcceptsValidRejectsBroken) {
+  // Sanity-check the checker itself so the exporter tests mean something.
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("{\"a\":[1,2.5,-3,1e9],\"b\":{\"c\":\"x\\\"y\"}}"));
+  EXPECT_TRUE(IsValidJson("[true,false,null]"));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson("{\"a\":}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1,}"));
+  EXPECT_FALSE(IsValidJson("{\"a\":01x}"));
+  EXPECT_FALSE(IsValidJson("\"unterminated"));
+  EXPECT_FALSE(IsValidJson("{} trailing"));
+}
+
+// --- histogram bucket math --------------------------------------------
+
+TEST(HistogramTest, BucketIndexMatchesPowerOfTwoScheme) {
+  // Bucket 0 holds only the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  for (size_t k = 1; k < 63; ++k) {
+    const uint64_t pow = uint64_t{1} << k;
+    EXPECT_EQ(Histogram::BucketIndex(pow), k + 1) << "at 2^" << k;
+    EXPECT_EQ(Histogram::BucketIndex(pow - 1), k) << "below 2^" << k;
+    EXPECT_EQ(Histogram::BucketIndex(pow + 1), k + 1) << "above 2^" << k;
+  }
+  // The top bucket is open-ended: everything >= 2^62 clamps to bucket 63.
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 63),
+            kHistogramBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            kHistogramBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsTileTheValueSpace) {
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  for (size_t b = 1; b < kHistogramBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketLowerBound(b), uint64_t{1} << (b - 1));
+    // Adjacent buckets meet exactly: lower(b) == upper(b-1).
+    EXPECT_EQ(Histogram::BucketLowerBound(b),
+              Histogram::BucketUpperBound(b - 1));
+    // Every bound maps back into its own bucket.
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(b)), b);
+  }
+  // The last bucket saturates instead of overflowing 2^64.
+  EXPECT_EQ(Histogram::BucketUpperBound(kHistogramBuckets - 1),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(HistogramTest, QuantilesExactToWithinBucketWidth) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 1000u * 1001u / 2);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  // The documented contract: a quantile lands inside the bucket holding
+  // the true value, i.e. within a factor of 2.
+  EXPECT_GE(s.p50(), 256.0);   // true p50 = 500, bucket [256, 512)
+  EXPECT_LE(s.p50(), 512.0);
+  EXPECT_GE(s.p99(), 512.0);   // true p99 = 990, bucket [512, 1024)
+  EXPECT_LE(s.p99(), 1024.0);
+  EXPECT_GE(s.Quantile(1.0), s.Quantile(0.0));  // monotone in q
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(s.Quantile(-1.0), s.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(s.Quantile(2.0), s.Quantile(1.0));
+}
+
+TEST(HistogramTest, EmptyAndZeroOnlyHistograms) {
+  Histogram h;
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  EXPECT_DOUBLE_EQ(h.Snapshot().p99(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().mean(), 0.0);
+  h.Record(0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_LE(s.p50(), 1.0);  // everything sits in the [0, 1) bucket
+}
+
+TEST(HistogramTest, SnapshotsMergeAndResetClears) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 10; ++i) a.Record(3);    // bucket 2
+  for (int i = 0; i < 20; ++i) b.Record(100);  // bucket 7
+  HistogramSnapshot merged = a.Snapshot();
+  merged += b.Snapshot();
+  EXPECT_EQ(merged.count, 30u);
+  EXPECT_EQ(merged.sum, 10u * 3 + 20u * 100);
+  EXPECT_EQ(merged.buckets[Histogram::BucketIndex(3)], 10u);
+  EXPECT_EQ(merged.buckets[Histogram::BucketIndex(100)], 20u);
+
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum(), 0u);
+  EXPECT_EQ(a.Snapshot().buckets[Histogram::BucketIndex(3)], 0u);
+}
+
+// Four threads hammer one histogram and one counter; totals must come
+// out exact. Run under tsan this also proves Record() is race-free.
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) + 1);
+        c.Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.sum(), (1u + 2u + 3u + 4u) * kPerThread);
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  uint64_t bucketed = 0;
+  for (const uint64_t b : h.Snapshot().buckets) bucketed += b;
+  EXPECT_EQ(bucketed, kThreads * kPerThread);
+}
+
+TEST(ScopedTimerTest, RecordsOnceAndToleratesNull) {
+  Histogram h;
+  {
+    const ScopedTimer timer(&h);
+    EXPECT_LE(timer.start_us(), NowMicros());
+  }
+  EXPECT_EQ(h.count(), 1u);
+  { const ScopedTimer noop(nullptr); }  // must not crash
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// --- registry ----------------------------------------------------------
+
+TEST(MetricsRegistryTest, CreateOrGetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.counter("reqs");
+  Histogram* h1 = registry.histogram("lat_us");
+  Gauge* g1 = registry.gauge("depth");
+  c1->Add(7);
+  h1->Record(42);
+  g1->Set(-3);
+  // Same name, same object — and the namespaces are per metric type, so
+  // a counter and a gauge may share a name without colliding.
+  EXPECT_EQ(registry.counter("reqs"), c1);
+  EXPECT_EQ(registry.histogram("lat_us"), h1);
+  EXPECT_EQ(registry.gauge("depth"), g1);
+  EXPECT_NE(registry.counter("other"), c1);
+  registry.gauge("reqs")->Set(1);
+  EXPECT_EQ(c1->value(), 7u);
+  EXPECT_EQ(registry.counter("reqs"), c1);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsWellFormedAndEscapes) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(IsValidJson(registry.ToJson())) << registry.ToJson();
+
+  registry.counter("wal.appends")->Add(12);
+  registry.gauge("pool.resident_pages")->Set(99);
+  registry.histogram("wal.fsync_us")->Record(250);
+  registry.counter("weird\"name\\with\ttrouble")->Increment();
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"wal.appends\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pool.resident_pages\":99"), std::string::npos);
+  EXPECT_NE(json.find("\"wal.fsync_us\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportEmitsCumulativeBuckets) {
+  EXPECT_EQ(PrometheusName("wal.fsync_us"), "onion_wal_fsync_us");
+
+  MetricsRegistry registry;
+  registry.counter("reqs")->Add(3);
+  Histogram* h = registry.histogram("lat_us");
+  h->Record(1);  // bucket 1, le="1"
+  h->Record(1);
+  h->Record(5);  // bucket 3, le="7"
+  std::string out;
+  registry.AppendPrometheus(&out, "table=\"t\"");
+  EXPECT_NE(out.find("# TYPE onion_reqs counter\n"), std::string::npos);
+  EXPECT_NE(out.find("onion_reqs{table=\"t\"} 3\n"), std::string::npos);
+  // Buckets are cumulative and carry the caller's labels plus le=.
+  EXPECT_NE(out.find("onion_lat_us_bucket{table=\"t\",le=\"1\"} 2\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("onion_lat_us_bucket{table=\"t\",le=\"7\"} 3\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("onion_lat_us_bucket{table=\"t\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("onion_lat_us_sum{table=\"t\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("onion_lat_us_count{table=\"t\"} 3\n"),
+            std::string::npos);
+}
+
+// --- trace ring --------------------------------------------------------
+
+TEST(TraceRingTest, KeepsMostRecentEventsOldestFirst) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    TraceEvent event;
+    event.id = ring.NextId();
+    event.kind = i % 2 == 0 ? TraceKind::kFlush : TraceKind::kCompaction;
+    event.label = "t" + std::to_string(i);
+    event.start_us = 1000 + i;
+    event.dur_us = 10 * (i + 1);
+    event.entries = i;
+    ring.Add(event);
+  }
+  EXPECT_EQ(ring.total_added(), 6u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);  // the two oldest fell off
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i + 3) << "oldest-first order";
+    EXPECT_EQ(events[i].label, "t" + std::to_string(i + 2));
+  }
+  const std::string json = ring.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"kind\":\"flush\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"compaction\""), std::string::npos);
+  EXPECT_EQ(json.find("\"label\":\"t0\""), std::string::npos)
+      << "evicted event still present: " << json;
+}
+
+TEST(TraceRingTest, KindNamesAreStable) {
+  EXPECT_STREQ(TraceKindName(TraceKind::kFlush), "flush");
+  EXPECT_STREQ(TraceKindName(TraceKind::kCompaction), "compaction");
+  EXPECT_STREQ(TraceKindName(TraceKind::kBatchCommit), "batch_commit");
+}
+
+TEST(TraceRingTest, EmptyRingDumpsEmptyArray) {
+  const TraceRing ring(8);
+  EXPECT_EQ(ring.ToJson(), "[]");
+  EXPECT_EQ(ring.Snapshot().size(), 0u);
+  EXPECT_EQ(ring.total_added(), 0u);
+}
+
+}  // namespace
+}  // namespace onion::obs

@@ -21,10 +21,6 @@
 #include "v1_segment_fixture.h"
 #include "workloads/generators.h"
 
-// The deprecated materializing Query() wrapper is exercised on purpose
-// here (equivalence coverage until its removal); silence the noise.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace onion::storage {
 namespace {
 
@@ -32,6 +28,17 @@ std::string FreshDir(const std::string& name) {
   const std::string dir = ::testing::TempDir() + "/sfc_table_test/" + name;
   std::filesystem::remove_all(dir);
   return dir;
+}
+
+/// Materializes a box query through the streaming cursor path — the
+/// replacement for the deprecated Query() wrapper. Works for SfcTable and
+/// SpatialIndex alike (same NewBoxCursor interface).
+template <typename Source>
+std::vector<SpatialEntry> CursorQuery(Source& source, const Box& box) {
+  auto cursor = source.NewBoxCursor(box);
+  auto results = DrainCursor(cursor.get());
+  EXPECT_TRUE(cursor->status().ok()) << cursor->status().ToString();
+  return results;
 }
 
 /// Canonical form for comparing result sets: sorted (key, payload) pairs
@@ -70,8 +77,8 @@ TEST(SfcTableTest, QueryEquivalentToSpatialIndexAcrossCurves) {
     // whatever is still in the memtable / pending flush queue.
     for (const auto& queries : {cubes, rects}) {
       for (const Box& query : queries) {
-        ASSERT_EQ(Canonical(table.curve(), table.Query(query)),
-                  Canonical(reference.curve(), reference.Query(query)))
+        ASSERT_EQ(Canonical(table.curve(), CursorQuery(table, query)),
+                  Canonical(reference.curve(), CursorQuery(reference, query)))
             << name << " " << query.ToString();
       }
     }
@@ -81,8 +88,8 @@ TEST(SfcTableTest, QueryEquivalentToSpatialIndexAcrossCurves) {
     // Second pass queries fully flushed segments only.
     for (const auto& queries : {cubes, rects}) {
       for (const Box& query : queries) {
-        ASSERT_EQ(Canonical(table.curve(), table.Query(query)),
-                  Canonical(reference.curve(), reference.Query(query)))
+        ASSERT_EQ(Canonical(table.curve(), CursorQuery(table, query)),
+                  Canonical(reference.curve(), CursorQuery(reference, query)))
             << name << " " << query.ToString();
       }
     }
@@ -106,7 +113,7 @@ TEST(SfcTableTest, SurvivesCloseAndReopen) {
       ASSERT_TRUE(table.Insert(points[i], i).ok());
     }
     for (const Box& query : queries) {
-      before.push_back(Canonical(table.curve(), table.Query(query)));
+      before.push_back(Canonical(table.curve(), CursorQuery(table, query)));
     }
     ASSERT_TRUE(table.Close().ok());
   }  // table destroyed: only the files remain
@@ -118,7 +125,7 @@ TEST(SfcTableTest, SurvivesCloseAndReopen) {
   EXPECT_EQ(reopened.size(), points.size());
   EXPECT_EQ(reopened.memtable_entries(), 0u);
   for (size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(Canonical(reopened.curve(), reopened.Query(queries[i])),
+    EXPECT_EQ(Canonical(reopened.curve(), CursorQuery(reopened, queries[i])),
               before[i])
         << queries[i].ToString();
   }
@@ -144,20 +151,20 @@ TEST(SfcTableTest, CompactionPreservesResultsAndReducesSeeks) {
 
   std::vector<std::vector<std::pair<Key, uint64_t>>> before;
   for (const Box& query : queries) {
-    before.push_back(Canonical(table.curve(), table.Query(query)));
+    before.push_back(Canonical(table.curve(), CursorQuery(table, query)));
   }
   table.ResetStats();
-  for (const Box& query : queries) table.Query(query);
+  for (const Box& query : queries) CursorQuery(table, query);
   const uint64_t seeks_fragmented = table.io_stats().seeks;
 
   ASSERT_TRUE(table.Compact().ok());
   EXPECT_EQ(table.num_segments(), 1u);
   EXPECT_EQ(table.size(), points.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(Canonical(table.curve(), table.Query(queries[i])), before[i]);
+    EXPECT_EQ(Canonical(table.curve(), CursorQuery(table, queries[i])), before[i]);
   }
   table.ResetStats();
-  for (const Box& query : queries) table.Query(query);
+  for (const Box& query : queries) CursorQuery(table, query);
   const uint64_t seeks_compacted = table.io_stats().seeks;
   EXPECT_LT(seeks_compacted, seeks_fragmented);
 }
@@ -172,7 +179,7 @@ TEST(SfcTableTest, UnflushedMemtableEntriesAreVisible) {
   ASSERT_TRUE(table.Insert(Cell(3, 4), 8).ok());
   ASSERT_TRUE(table.Insert(Cell(30, 30), 9).ok());
   EXPECT_EQ(table.num_segments(), 0u);  // nothing flushed yet
-  const auto results = table.Query(Box(Cell(0, 0), Cell(8, 8)));
+  const auto results = CursorQuery(table, Box(Cell(0, 0), Cell(8, 8)));
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].payload, 7u);
   EXPECT_EQ(results[1].payload, 8u);
@@ -229,8 +236,8 @@ TEST(SfcTableTest, CrashBeforeFlushRecoversFromWal) {
   for (size_t i = 0; i < points.size(); ++i) reference.Insert(points[i], i);
   const Box everything(Cell(0, 0), Cell(63, 63));
   EXPECT_EQ(Canonical(reopened.value()->curve(),
-                      reopened.value()->Query(everything)),
-            Canonical(reference.curve(), reference.Query(everything)));
+                      CursorQuery(*reopened.value(), everything)),
+            Canonical(reference.curve(), CursorQuery(reference, everything)));
 }
 
 TEST(SfcTableTest, HardProcessExitRecoversFromWal) {
@@ -256,7 +263,7 @@ TEST(SfcTableTest, HardProcessExitRecoversFromWal) {
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(reopened.value()->size(), 200u);
   const auto results =
-      reopened.value()->Query(Box(Cell(0, 0), Cell(31, 31)));
+      CursorQuery(*reopened.value(), Box(Cell(0, 0), Cell(31, 31)));
   EXPECT_EQ(results.size(), 200u);
 }
 
@@ -338,8 +345,8 @@ TEST(SfcTableTest, LeveledCompactionKeepsLevelsDisjoint) {
   }
   // Leveling preserved the data.
   const Box everything(Cell(0, 0), Cell(63, 63));
-  EXPECT_EQ(Canonical(table.curve(), table.Query(everything)),
-            Canonical(reference.curve(), reference.Query(everything)));
+  EXPECT_EQ(Canonical(table.curve(), CursorQuery(table, everything)),
+            Canonical(reference.curve(), CursorQuery(reference, everything)));
 }
 
 TEST(SfcTableTest, CloseQuiescesStopsWritesAndIsIdempotent) {
@@ -366,7 +373,7 @@ TEST(SfcTableTest, CloseQuiescesStopsWritesAndIsIdempotent) {
   EXPECT_EQ(table.Compact().code(), StatusCode::kInvalidArgument);
   // ...while reads stay fully valid.
   const Box everything(Cell(0, 0), Cell(63, 63));
-  EXPECT_EQ(table.Query(everything).size(), points.size());
+  EXPECT_EQ(CursorQuery(table, everything).size(), points.size());
   auto cursor = table.NewBoxCursor(everything);
   EXPECT_EQ(DrainCursor(cursor.get()).size(), points.size());
 }
@@ -435,7 +442,7 @@ TEST(SfcTableTest, ReopenedTableAcceptsMoreInserts) {
   ASSERT_TRUE(table.ok());
   EXPECT_EQ(table.value()->size(), 2u);
   const auto results =
-      table.value()->Query(Box(Cell(0, 0), Cell(31, 31)));
+      CursorQuery(*table.value(), Box(Cell(0, 0), Cell(31, 31)));
   EXPECT_EQ(results.size(), 2u);
 }
 
@@ -474,9 +481,9 @@ TEST(SfcTableTest, QueryResultsIdenticalAcrossCodecs) {
   }
   for (const Box& box : boxes) {
     const auto expected = Canonical(tables[0]->curve(),
-                                    tables[0]->Query(box));
+                                    CursorQuery(*tables[0], box));
     for (size_t t = 1; t < tables.size(); ++t) {
-      EXPECT_EQ(Canonical(tables[t]->curve(), tables[t]->Query(box)),
+      EXPECT_EQ(Canonical(tables[t]->curve(), CursorQuery(*tables[t], box)),
                 expected)
           << configs[t].tag << " " << box.ToString();
     }
@@ -580,7 +587,7 @@ TEST(SfcTableTest, V1FixtureOpensQueriesAndUpgradesOnCompaction) {
     EXPECT_EQ(infos[0].codec, PageCodec::kRaw);
   }
   // Queries read v1 pages through the same cursor path as v2.
-  const auto everything = table.Query(universe.Bounds());
+  const auto everything = CursorQuery(table, universe.Bounds());
   ASSERT_EQ(everything.size(), v1_entries.size());
   for (const SpatialEntry& entry : everything) {
     EXPECT_EQ(entry.payload, curve->IndexOf(entry.cell) * 2);
@@ -598,7 +605,7 @@ TEST(SfcTableTest, V1FixtureOpensQueriesAndUpgradesOnCompaction) {
   EXPECT_EQ(infos[0].codec, PageCodec::kDeltaVarint);
   EXPECT_GT(infos[0].filter_bytes, 0u);
   EXPECT_EQ(table.size(), v1_entries.size() + 50);
-  EXPECT_EQ(table.Query(universe.Bounds()).size(), v1_entries.size() + 50);
+  EXPECT_EQ(CursorQuery(table, universe.Bounds()).size(), v1_entries.size() + 50);
 }
 
 TEST(SfcTableTest, SnapshotPinsPreMutationStateAcrossFlushAndCompaction) {

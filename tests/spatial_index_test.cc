@@ -13,11 +13,8 @@
 #include "index/disk_model.h"
 #include "index/spatial_index.h"
 #include "sfc/registry.h"
+#include "storage/cursor.h"
 #include "workloads/generators.h"
-
-// The deprecated materializing Query() wrapper is exercised on purpose
-// here (equivalence coverage until its removal); silence the noise.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace onion {
 namespace {
@@ -25,6 +22,16 @@ namespace {
 SpatialIndex MakeIndex(const std::string& name, int dims, Coord side) {
   auto curve = MakeCurve(name, Universe(dims, side)).value();
   return SpatialIndex(std::move(curve));
+}
+
+/// Materializes a box query through the streaming cursor path — the
+/// replacement for the deprecated Query() wrapper.
+std::vector<SpatialEntry> CursorQuery(const SpatialIndex& index,
+                                      const Box& box) {
+  auto cursor = index.NewBoxCursor(box);
+  auto results = DrainCursor(cursor.get());
+  EXPECT_TRUE(cursor->status().ok()) << cursor->status().ToString();
+  return results;
 }
 
 TEST(SpatialIndexTest, InsertLookupErase) {
@@ -57,7 +64,7 @@ TEST(SpatialIndexTest, QueryMatchesBruteForceEveryCurve) {
         if (box.Contains(points[i])) expected.insert(i);
       }
       std::multiset<uint64_t> actual;
-      for (const SpatialEntry& entry : index.Query(box)) {
+      for (const SpatialEntry& entry : CursorQuery(index, box)) {
         EXPECT_TRUE(box.Contains(entry.cell));
         actual.insert(entry.payload);
       }
@@ -78,7 +85,7 @@ TEST(SpatialIndexTest, QueryMatchesBruteForce3D) {
       for (const Cell& p : points) {
         if (box.Contains(p)) ++expected;
       }
-      EXPECT_EQ(index.Query(box).size(), expected) << name;
+      EXPECT_EQ(CursorQuery(index, box).size(), expected) << name;
     }
   }
 }
@@ -90,7 +97,7 @@ TEST(SpatialIndexTest, SeeksEqualClusteringNumber) {
   const Box box = Box::FromCornerAndLengths(Cell(2, 3), {9, 7});
   index.Insert(Cell(4, 4), 1);
   index.ResetStats();
-  index.Query(box);
+  CursorQuery(index, box);
   EXPECT_EQ(index.stats().queries, 1u);
   EXPECT_EQ(index.stats().ranges, ClusteringNumber(index.curve(), box));
 }
@@ -101,8 +108,8 @@ TEST(SpatialIndexTest, StatsAccumulateAndReset) {
     index.Insert(Cell(i % 16, i / 16), i);
   }
   const Box box = Box::FromCornerAndLengths(Cell(0, 0), {8, 4});
-  index.Query(box);
-  index.Query(box);
+  CursorQuery(index, box);
+  CursorQuery(index, box);
   EXPECT_EQ(index.stats().queries, 2u);
   EXPECT_GT(index.stats().tree.seeks, 0u);
   index.ResetStats();
@@ -117,7 +124,7 @@ TEST(SpatialIndexTest, ResultsComeInKeyOrder) {
   const Box box = Box::FromCornerAndLengths(Cell(2, 2), {12, 11});
   Key prev = 0;
   bool first = true;
-  for (const SpatialEntry& entry : index.Query(box)) {
+  for (const SpatialEntry& entry : CursorQuery(index, box)) {
     const Key key = index.curve().IndexOf(entry.cell);
     if (!first) {
       EXPECT_GE(key, prev);
@@ -130,7 +137,7 @@ TEST(SpatialIndexTest, ResultsComeInKeyOrder) {
 TEST(SpatialIndexTest, EmptyIndexQueries) {
   SpatialIndex index = MakeIndex("onion", 2, 8);
   const Box box = Box::Cube(Cell(1, 1), 4);
-  EXPECT_TRUE(index.Query(box).empty());
+  EXPECT_TRUE(CursorQuery(index, box).empty());
   EXPECT_GT(index.stats().ranges, 0u);  // decomposition still happened
 }
 

@@ -15,13 +15,10 @@
 
 #include "common/rng.h"
 #include "storage/buffer_pool.h"
+#include "storage/cursor.h"
 #include "storage/segment.h"
 #include "storage/sfc_table.h"
 #include "workloads/generators.h"
-
-// The deprecated materializing Query() wrapper is exercised on purpose
-// here (equivalence coverage until its removal); silence the noise.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace onion::storage {
 namespace {
@@ -31,6 +28,14 @@ std::string FreshDir(const std::string& name) {
       ::testing::TempDir() + "/storage_concurrency_test/" + name;
   std::filesystem::remove_all(dir);
   return dir;
+}
+
+// Drains a box query through the streaming cursor path. Deliberately free
+// of gtest assertions: reader threads in these tests report failure through
+// atomics, not EXPECTs (which are not thread-safe everywhere).
+std::vector<SpatialEntry> CursorQuery(SfcTable& table, const Box& box) {
+  auto cursor = table.NewBoxCursor(box);
+  return DrainCursor(cursor.get());
 }
 
 // Readers run box queries nonstop while one writer inserts enough points
@@ -62,7 +67,7 @@ TEST(StorageConcurrencyTest, ReadersProceedDuringFlushAndCompaction) {
       size_t i = static_cast<size_t>(t);
       while (!done.load(std::memory_order_relaxed)) {
         const Box& box = boxes[i++ % boxes.size()];
-        for (const SpatialEntry& entry : table.Query(box)) {
+        for (const SpatialEntry& entry : CursorQuery(table, box)) {
           if (!box.Contains(entry.cell)) {
             reader_failed.store(true);
             return;
@@ -83,7 +88,7 @@ TEST(StorageConcurrencyTest, ReadersProceedDuringFlushAndCompaction) {
   EXPECT_GT(queries_run.load(), 0u);
 
   EXPECT_EQ(table.size(), points.size());
-  const auto all = table.Query(Box(Cell(0, 0), Cell(63, 63)));
+  const auto all = CursorQuery(table, Box(Cell(0, 0), Cell(63, 63)));
   EXPECT_EQ(all.size(), points.size());
 }
 
@@ -123,7 +128,7 @@ TEST(StorageConcurrencyTest, ConcurrentWritersLoseNothing) {
 
   std::vector<bool> seen(kWriters * kPerWriter, false);
   for (const SpatialEntry& entry :
-       table.Query(Box(Cell(0, 0), Cell(63, 63)))) {
+       CursorQuery(table, Box(Cell(0, 0), Cell(63, 63)))) {
     ASSERT_LT(entry.payload, seen.size());
     EXPECT_FALSE(seen[entry.payload]) << "duplicated payload";
     seen[entry.payload] = true;
@@ -151,14 +156,14 @@ TEST(StorageConcurrencyTest, ManualCompactionUnderReaders) {
   ASSERT_GT(table.num_segments(), 1u);
 
   const Box everything(Cell(0, 0), Cell(63, 63));
-  const size_t expected = table.Query(everything).size();
+  const size_t expected = CursorQuery(table, everything).size();
   std::atomic<bool> done{false};
   std::atomic<bool> reader_failed{false};
   std::vector<std::thread> readers;
   for (int t = 0; t < 2; ++t) {
     readers.emplace_back([&] {
       while (!done.load(std::memory_order_relaxed)) {
-        if (table.Query(everything).size() != expected) {
+        if (CursorQuery(table, everything).size() != expected) {
           reader_failed.store(true);
           return;
         }
@@ -170,7 +175,7 @@ TEST(StorageConcurrencyTest, ManualCompactionUnderReaders) {
   for (std::thread& reader : readers) reader.join();
   EXPECT_FALSE(reader_failed.load());
   EXPECT_EQ(table.num_segments(), 1u);
-  EXPECT_EQ(table.Query(everything).size(), expected);
+  EXPECT_EQ(CursorQuery(table, everything).size(), expected);
 }
 
 // Close() racing a manual Compact(): Close must not report quiesced while
@@ -204,7 +209,7 @@ TEST(StorageConcurrencyTest, CloseDuringManualCompactionQuiesces) {
   compactor.join();
   EXPECT_TRUE(table.Close().ok());  // still idempotent after the race
   EXPECT_EQ(table.size(), points.size());
-  EXPECT_EQ(table.Query(Box(Cell(0, 0), Cell(63, 63))).size(),
+  EXPECT_EQ(CursorQuery(table, Box(Cell(0, 0), Cell(63, 63))).size(),
             points.size());
 }
 
