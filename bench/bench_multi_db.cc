@@ -14,9 +14,14 @@
 //     (inserts + flush + compaction) must reproduce the pre-churn result
 //     exactly while latest reads see the new state, emitted as a CSVSNAP
 //     row (reads-under-snapshot vs latest) for the perf tooling.
+//   * secondary-index queries: a swap_xy index is created on one loaded
+//     table (timing the backfill), maintained through WriteBatches, and
+//     every box query through NewIndexCursor is checked for result-count
+//     equality against the equivalent direct base query.
 //   The process exits nonzero if the bounded cursor fails to read fewer
-//   pages or the snapshot fails repeatable reads, so CI can run this as a
-//   smoke check.
+//   pages, the snapshot fails repeatable reads, an indexed query disagrees
+//   with its base-query ground truth, or any index entry dangles, so CI
+//   can run this as a smoke check.
 //
 //   build/bench/bench_multi_db [--tables=4] [--side=128] [--points=60000]
 //       [--pool_pages=256] [--workers=2] [--limit=16] [--quick=false]
@@ -239,6 +244,72 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(latest_io.page_reads +
                                               latest_io.cache_hits));
 
+  // --- Secondary-index phase: backfill, maintenance, resolved queries ---
+  // Index the probe table's cells transposed (swap_xy) under a different
+  // curve: CreateIndex backfills everything loaded so far, subsequent
+  // WriteBatches maintain base and index atomically, and every box query
+  // through the index must return exactly as many rows as the equivalent
+  // direct query on the base (the transposed box) — counted as the
+  // ground-truth check the exit code enforces.
+  const auto start_index_build = Clock::now();
+  {
+    const Status created =
+        db.CreateIndex("shard0", {"ix", "swap_xy", "hilbert"});
+    ONION_CHECK_MSG(created.ok(), created.ToString().c_str());
+  }
+  const double index_build_secs =
+      std::chrono::duration<double>(Clock::now() - start_index_build).count();
+
+  // Online maintenance through the only legal write path for an indexed
+  // table: db.Write batches.
+  const auto post_index_points =
+      RandomPoints(universe, quick ? 500 : 2000, 555);
+  for (size_t i = 0; i < post_index_points.size();) {
+    storage::WriteBatch batch;
+    for (size_t op = 0; op < 64 && i < post_index_points.size(); ++op, ++i) {
+      batch.Put("shard0", post_index_points[i], 2000000 + i);
+    }
+    if (!db.Write(std::move(batch)).ok()) std::exit(1);
+  }
+
+  obs::Histogram index_query_latency_us;
+  uint64_t index_rows = 0;
+  bool index_match = true;
+  const auto start_index_query = Clock::now();
+  for (const Box& box : boxes) {
+    uint64_t via_index = 0;
+    {
+      const obs::ScopedTimer index_timer(&index_query_latency_us);
+      auto index_cursor = db.NewIndexCursor("shard0", "ix", box);
+      for (; index_cursor->Valid(); index_cursor->Next()) ++via_index;
+      ONION_CHECK_MSG(index_cursor->status().ok(),
+                      index_cursor->status().ToString().c_str());
+    }
+    index_rows += via_index;
+    // Ground truth: the same predicate directly on the base — swap_xy
+    // means an index box matches the base cells of the transposed box.
+    const Box base_box(Cell(box.lo.y(), box.lo.x()),
+                       Cell(box.hi.y(), box.hi.x()));
+    uint64_t via_base = 0;
+    auto base_cursor = probe->NewBoxCursor(base_box);
+    for (; base_cursor->Valid(); base_cursor->Next()) ++via_base;
+    ONION_CHECK_MSG(base_cursor->status().ok(),
+                    base_cursor->status().ToString().c_str());
+    if (via_index != via_base) index_match = false;
+  }
+  const double index_query_secs =
+      std::chrono::duration<double>(Clock::now() - start_index_query).count();
+  const uint64_t index_dangling =
+      db.metrics().counter("index.dangling_entries")->value();
+  std::printf("\nsecondary index (swap_xy/hilbert on shard0): backfill "
+              "%.3f s, %zu queries -> %llu rows in %.3f s (%.0f queries/s), "
+              "ground truth %s, %llu dangling\n",
+              index_build_secs, boxes.size(),
+              static_cast<unsigned long long>(index_rows), index_query_secs,
+              index_query_secs > 0 ? boxes.size() / index_query_secs : 0.0,
+              index_match ? "MATCH" : "MISMATCH",
+              static_cast<unsigned long long>(index_dangling));
+
   // Machine-readable perf trajectory — written BEFORE Close() because the
   // table handles (cursor.next_us histograms) and the shared pool die with
   // the db. CI uploads BENCH_multi_db.json and grep-gates its keys.
@@ -272,6 +343,13 @@ int main(int argc, char** argv) {
   report.AddCount("bounded_scan_pages", bounded_pages);
   report.AddCount("snapshot_entries", snapshot_count);
   report.AddCount("latest_entries", latest_count);
+  report.Add("index_build_secs", index_build_secs);
+  report.AddCount("index_queries", boxes.size());
+  report.Add("index_ops_per_sec",
+             index_query_secs > 0 ? boxes.size() / index_query_secs : 0.0);
+  report.AddLatency("index_query", index_query_latency_us.Snapshot());
+  report.AddCount("index_rows", index_rows);
+  report.AddCount("index_dangling", index_dangling);
   report.WriteFile();
 
   db_snapshot.reset();  // release the pins before the tables shut down
@@ -281,7 +359,8 @@ int main(int argc, char** argv) {
   // the snapshot must have pinned exactly the pre-churn state.
   return bounded_count == limit && bounded_pages < full_pages &&
                  snapshot_count == full_count &&
-                 latest_count == full_count + churn.size()
+                 latest_count == full_count + churn.size() && index_match &&
+                 index_dangling == 0
              ? 0
              : 1;
 }

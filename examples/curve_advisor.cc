@@ -1,24 +1,28 @@
 // Curve advisor: given a description of the expected query workload
-// (query-shape distribution), empirically evaluates every applicable curve
-// on a sampled workload and recommends the one with the lowest modeled
-// query cost. Demonstrates using the library to make the design decision
-// the paper informs: which SFC should back an index for THIS workload?
+// (query-shape distribution), ranks every applicable curve through the
+// library's AdviseCurve API (analysis/advisor.h — the same ranking
+// SfcDb::AdviseCurve applies to a live secondary index's observed
+// queries) and recommends the one with the lowest modeled query cost.
+// Demonstrates using the library to make the design decision the paper
+// informs: which SFC should back an index for THIS workload?
 //
 //   build/examples/curve_advisor [--side=256] [--shape=cube|rect|mixed]
 //                                [--min_len=8] [--max_len=248]
 //                                [--queries=200] [--seek_ms=8]
 //                                [--transfer_ms=0.001]
+//
+// Exit code: 0 on success (a recommendation was printed), 1 when the
+// advisor rejects the workload (bad flags leaving no valid queries, or no
+// curve applicable to the universe).
 
-#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "analysis/clustering.h"
+#include "analysis/advisor.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "index/disk_model.h"
-#include "sfc/registry.h"
 #include "workloads/generators.h"
 
 int main(int argc, char** argv) {
@@ -69,36 +73,24 @@ int main(int argc, char** argv) {
               "ms, transfer %.4f ms/entry\n\n",
               queries.size(), shape.c_str(), side, side, disk.seek_ms,
               disk.transfer_ms_per_entry);
+
+  const auto advice = AdviseCurve(universe, queries, disk);
+  if (!advice.ok()) {
+    std::fprintf(stderr, "curve advisor: %s\n",
+                 advice.status().ToString().c_str());
+    return 1;
+  }
+
   std::printf("%-14s %14s %16s %16s\n", "curve", "avg clusters",
               "avg cells/query", "modeled ms/query");
-
-  std::string best_name;
-  double best_cost = -1;
-  for (const std::string& name : KnownCurveNames()) {
-    auto result = MakeCurve(name, universe);
-    if (!result.ok()) continue;
-    auto curve = std::move(result).value();
-    const ClusteringEvaluator evaluator(curve.get());
-    double clusters = 0;
-    double cells = 0;
-    for (const Box& query : queries) {
-      clusters += static_cast<double>(evaluator.Clustering(query));
-      cells += static_cast<double>(query.Volume());
-    }
-    const auto q = static_cast<double>(queries.size());
-    const double cost =
-        disk.EstimateMs(static_cast<uint64_t>(clusters),
-                        static_cast<uint64_t>(cells)) /
-        q;
-    std::printf("%-14s %14.1f %16.1f %16.2f\n", name.c_str(), clusters / q,
-                cells / q, cost);
-    if (best_cost < 0 || cost < best_cost) {
-      best_cost = cost;
-      best_name = name;
-    }
+  for (const CurveCost& cost : advice.value().ranked) {
+    std::printf("%-14s %14.1f %16.1f %16.2f\n", cost.curve.c_str(),
+                cost.avg_clusters, cost.avg_cells,
+                cost.modeled_ms_per_query);
   }
   std::printf("\nrecommendation: index by the '%s' curve (%.2f ms/query "
               "under this model)\n",
-              best_name.c_str(), best_cost);
+              advice.value().recommended.c_str(),
+              advice.value().modeled_ms_per_query);
   return 0;
 }

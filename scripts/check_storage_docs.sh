@@ -25,7 +25,10 @@ for symbol in SfcDb SfcTable Cursor ReadOptions NewBoxCursor NewScanCursor \
               PageCodec kDeltaVarint filter_bits_per_key ProbeFilter \
               pages_skipped_by_filter disk_bytes decoded_bytes \
               SegmentInfos WriteBatch GetSnapshot Snapshot DbSnapshot \
-              Delete last_sequence Corruption CRC32C; do
+              Delete last_sequence Corruption CRC32C \
+              SecondaryIndexSpec IndexExtractor CreateIndex DropIndex \
+              ListIndexes IndexTable NewIndexCursor IndexReadOptions \
+              AdviseCurve CurveAdvice MigrateIndexCurve; do
   if ! grep -q "$symbol" docs/api.md; then
     echo "UNDOCUMENTED API: $symbol (document it in docs/api.md)"
     fail=1
@@ -43,7 +46,8 @@ for symbol in MetricsRegistry Counter Gauge Histogram HistogramSnapshot \
               DumpTrace MetricsFormat kPrometheus TraceRing TraceEvent \
               bench_report BENCH_ ops_per_sec p99_us pool_hit_ratio \
               wal.fsync_us flush.us compaction.us cursor.next_us \
-              db.batch_commit_us; do
+              db.batch_commit_us index.queries index.dangling_entries \
+              index.rows_resolved; do
   if ! grep -q "$symbol" docs/observability.md; then
     echo "UNDOCUMENTED OBSERVABILITY: $symbol (document it in docs/observability.md)"
     fail=1

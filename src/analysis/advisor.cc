@@ -1,0 +1,64 @@
+#include "analysis/advisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/clustering.h"
+#include "sfc/registry.h"
+
+namespace onion {
+
+Result<CurveAdvice> AdviseCurve(const Universe& universe,
+                                const std::vector<Box>& boxes,
+                                const DiskModel& model,
+                                const std::vector<std::string>& candidates) {
+  if (boxes.empty()) {
+    return Status::InvalidArgument("AdviseCurve needs at least one query box");
+  }
+  for (const Box& box : boxes) {
+    if (!universe.Contains(box)) {
+      return Status::InvalidArgument("query box " + box.ToString() +
+                                     " outside universe " +
+                                     universe.ToString());
+    }
+  }
+  const std::vector<std::string> names =
+      candidates.empty() ? KnownCurveNames() : candidates;
+  const auto num_queries = static_cast<double>(boxes.size());
+  CurveAdvice advice;
+  for (const std::string& name : names) {
+    auto curve = MakeCurve(name, universe);
+    if (!curve.ok()) continue;  // not applicable to this universe geometry
+    const ClusteringEvaluator evaluator(curve.value().get());
+    double clusters = 0;
+    double cells = 0;
+    for (const Box& box : boxes) {
+      clusters += static_cast<double>(evaluator.Clustering(box));
+      cells += static_cast<double>(box.Volume());
+    }
+    CurveCost cost;
+    cost.curve = name;
+    cost.avg_clusters = clusters / num_queries;
+    cost.avg_cells = cells / num_queries;
+    cost.modeled_ms_per_query =
+        model.EstimateMs(static_cast<uint64_t>(clusters),
+                         static_cast<uint64_t>(cells)) /
+        num_queries;
+    advice.ranked.push_back(std::move(cost));
+  }
+  if (advice.ranked.empty()) {
+    return Status::InvalidArgument(
+        "no candidate curve applies to universe " + universe.ToString());
+  }
+  // stable_sort: candidates tied on cost keep the given (registry) order,
+  // so the recommendation is deterministic.
+  std::stable_sort(advice.ranked.begin(), advice.ranked.end(),
+                   [](const CurveCost& a, const CurveCost& b) {
+                     return a.modeled_ms_per_query < b.modeled_ms_per_query;
+                   });
+  advice.recommended = advice.ranked.front().curve;
+  advice.modeled_ms_per_query = advice.ranked.front().modeled_ms_per_query;
+  return advice;
+}
+
+}  // namespace onion

@@ -1,0 +1,55 @@
+// Curve advisor: which space-filling curve should key an index serving
+// THIS query distribution?
+//
+// The paper's central quantity — the clustering number of a query under a
+// curve — is exactly the number of disk seeks a range scan pays, so the
+// best curve for a workload is the one minimizing the modeled cost
+// seek_ms * clusters + transfer_ms * cells over the observed boxes.
+// AdviseCurve() evaluates every candidate curve exactly (ClusteringEvaluator)
+// on the given boxes and ranks them by that model. It is the engine behind
+// examples/curve_advisor.cc and SfcDb::AdviseCurve (which feeds it the
+// query boxes its index cursors actually served, and can then migrate the
+// index via SfcDb::MigrateIndexCurve).
+
+#ifndef ONION_ANALYSIS_ADVISOR_H_
+#define ONION_ANALYSIS_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/disk_model.h"
+#include "sfc/types.h"
+
+namespace onion {
+
+/// Exact modeled cost of one candidate curve over the evaluated workload.
+struct CurveCost {
+  std::string curve;
+  double avg_clusters = 0;    ///< mean clustering number (== seeks) per query
+  double avg_cells = 0;       ///< mean cells (== entries transferred) per query
+  double modeled_ms_per_query = 0;  ///< DiskModel::EstimateMs, per query
+};
+
+/// The advisor's answer: the cheapest curve plus the full ranking (cost
+/// ascending) for reporting.
+struct CurveAdvice {
+  std::string recommended;
+  double modeled_ms_per_query = 0;
+  std::vector<CurveCost> ranked;
+};
+
+/// Evaluates every candidate curve on `boxes` (each must lie inside
+/// `universe`) and returns the ranking under `model`. `candidates` empty
+/// means every KnownCurveNames() entry; candidates the registry rejects
+/// for this universe (e.g. "zorder" on a non-power-of-two side) are
+/// skipped, not errors. Fails with InvalidArgument when `boxes` is empty,
+/// a box falls outside the universe, or no candidate curve applies.
+Result<CurveAdvice> AdviseCurve(const Universe& universe,
+                                const std::vector<Box>& boxes,
+                                const DiskModel& model,
+                                const std::vector<std::string>& candidates = {});
+
+}  // namespace onion
+
+#endif  // ONION_ANALYSIS_ADVISOR_H_

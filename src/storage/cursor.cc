@@ -9,6 +9,7 @@
 #include "sfc/curve.h"
 #include "storage/buffer_pool.h"
 #include "storage/segment.h"
+#include "storage/sfc_table.h"
 
 namespace onion {
 
@@ -478,7 +479,145 @@ class SnapshotCursor final : public Cursor {
   Status status_;
 };
 
+/// See NewIndexResolveCursor in cursor.h. The inner cursor walks the
+/// hidden index table in index-key order; this cursor consumes one index
+/// cell group at a time, resolves it to the base cell with a snapshot
+/// point Get, and streams the base cell's payload multiset.
+class IndexResolveCursor final : public Cursor {
+ public:
+  IndexResolveCursor(std::unique_ptr<Cursor> index_cursor, SfcTable* base,
+                     const Snapshot* base_snapshot,
+                     std::shared_ptr<const void> pin, uint64_t limit,
+                     obs::Counter* dangling, obs::Counter* resolved)
+      : inner_(std::move(index_cursor)),
+        base_(base),
+        base_snapshot_(base_snapshot),
+        pin_(std::move(pin)),
+        limit_(limit),
+        dangling_(dangling),
+        resolved_(resolved) {
+    FetchGroup();
+    CheckLimit();
+  }
+
+  bool Valid() const override { return pos_ < payloads_.size(); }
+
+  void Next() override {
+    ONION_CHECK(Valid());
+    ++pos_;
+    if (pos_ < payloads_.size()) {
+      current_.payload = payloads_[pos_];
+    } else {
+      FetchGroup();
+    }
+    CheckLimit();
+  }
+
+  const SpatialEntry& entry() const override {
+    ONION_CHECK(Valid());
+    return current_;
+  }
+
+  Status status() const override {
+    return status_.ok() ? inner_->status() : status_;
+  }
+
+  bool hit_read_budget() const override {
+    return budget_hit_ || inner_->hit_read_budget();
+  }
+
+  uint64_t pages_skipped_by_filter() const override {
+    return inner_->pages_skipped_by_filter();
+  }
+
+ private:
+  /// Advances `inner_` to the next distinct index cell, resolves it, and
+  /// loads the base cell's visible payloads (or invalidates on
+  /// exhaustion/error). Dangling index cells — base row gone — are
+  /// counted and skipped.
+  void FetchGroup() {
+    payloads_.clear();
+    pos_ = 0;
+    while (status_.ok() && inner_->Valid()) {
+      const SpatialEntry index_entry = inner_->entry();  // copied: Next()
+      inner_->Next();                                    // invalidates it
+      if (have_group_ && index_entry.cell == group_cell_) continue;
+      group_cell_ = index_entry.cell;
+      have_group_ = true;
+      const Key base_key = index_entry.payload;
+      if (base_key >= base_->curve().num_cells()) {
+        status_ = Status::Corruption(
+            "index entry resolves outside the base universe (key " +
+            std::to_string(base_key) + ")");
+        return;
+      }
+      const Cell base_cell = base_->curve().CellAt(base_key);
+      ReadOptions base_options;
+      base_options.snapshot = base_snapshot_;
+      auto rows = base_->Get(base_cell, base_options);
+      if (!rows.ok()) {
+        status_ = rows.status();
+        return;
+      }
+      if (rows.value().empty()) {
+        if (dangling_ != nullptr) dangling_->Increment();
+        continue;
+      }
+      payloads_ = std::move(rows).value();
+      std::sort(payloads_.begin(), payloads_.end());
+      if (resolved_ != nullptr) resolved_->Add(payloads_.size());
+      current_.cell = base_cell;
+      current_.payload = payloads_[0];
+      current_.seq = 0;
+      return;
+    }
+  }
+
+  /// Counts the entry about to be exposed against `limit_`; at the cap a
+  /// ready entry is withheld and reported as a hit budget instead.
+  void CheckLimit() {
+    if (!Valid() || limit_ == 0) {
+      if (Valid()) ++delivered_;
+      return;
+    }
+    if (delivered_ >= limit_) {
+      budget_hit_ = true;
+      payloads_.clear();
+      pos_ = 0;
+      return;
+    }
+    ++delivered_;
+  }
+
+  const std::unique_ptr<Cursor> inner_;
+  SfcTable* const base_;
+  const Snapshot* const base_snapshot_;
+  const std::shared_ptr<const void> pin_;  // keeps the snapshot alive
+  const uint64_t limit_;
+  obs::Counter* const dangling_;
+  obs::Counter* const resolved_;
+
+  std::vector<uint64_t> payloads_;  // visible base rows of the group
+  size_t pos_ = 0;
+  Cell group_cell_{};
+  bool have_group_ = false;
+  SpatialEntry current_{};
+  uint64_t delivered_ = 0;
+  bool budget_hit_ = false;
+  Status status_;
+};
+
 }  // namespace
+
+std::unique_ptr<Cursor> NewIndexResolveCursor(
+    std::unique_ptr<Cursor> index_cursor, SfcTable* base_table,
+    const Snapshot* base_snapshot, std::shared_ptr<const void> pin,
+    uint64_t limit, obs::Counter* dangling_entries,
+    obs::Counter* resolved_rows) {
+  return std::make_unique<IndexResolveCursor>(
+      std::move(index_cursor), base_table, base_snapshot, std::move(pin),
+      limit, dangling_entries, resolved_rows);
+}
 
 std::unique_ptr<Cursor> NewSnapshotCursor(
     const SpaceFillingCurve* curve, std::vector<KeyRange> ranges,

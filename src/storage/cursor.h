@@ -46,7 +46,8 @@
 #include "storage/io_stats.h"
 
 namespace onion::obs {
-class Histogram;  // obs/metrics.h — kept out of this lightweight header
+class Counter;    // obs/metrics.h — kept out of this lightweight header
+class Histogram;
 }  // namespace onion::obs
 
 namespace onion {
@@ -188,6 +189,34 @@ std::unique_ptr<Cursor> NewSnapshotCursor(
     SegmentSnapshot segments, std::shared_ptr<BufferPool> pool,
     AtomicIoStats* io_stats, const ReadOptions& options,
     obs::Histogram* next_latency_us = nullptr);
+
+class SfcTable;
+
+/// The resolution half of a secondary-index query (SfcDb::NewIndexCursor's
+/// engine): wraps a cursor over the hidden index table — whose entries
+/// carry the BASE table's curve key as payload — and emits the base rows.
+/// Each distinct index cell is resolved once (maintenance writes one index
+/// entry per base put, so an index cell holds one entry per live base
+/// version — injective extractors make them all identical) via a
+/// point Get on `base_table` at `base_snapshot`, and every payload stored
+/// at the base cell is emitted (ascending per cell), in nondecreasing
+/// INDEX-curve-key order overall. Emitted entries carry seq 0 — the point
+/// Get returns the visible payload multiset, not per-version stamps.
+///
+/// An index entry whose base row no longer exists (possible only when
+/// writes bypassed SfcDb::Write) is skipped and counted in
+/// `dangling_entries`; `resolved_rows` counts emitted base rows (both
+/// counters may be null). A base key outside the base universe is
+/// Corruption. `limit` caps emitted entries (hit_read_budget() == true
+/// when it stops iteration early); the inner cursor's own page/byte
+/// budgets and status propagate. `pin` (type-erased, may be null) keeps
+/// the snapshot that `base_snapshot` points into alive for the cursor's
+/// lifetime. The cursor must not outlive `base_table`.
+std::unique_ptr<Cursor> NewIndexResolveCursor(
+    std::unique_ptr<Cursor> index_cursor, SfcTable* base_table,
+    const Snapshot* base_snapshot, std::shared_ptr<const void> pin,
+    uint64_t limit, obs::Counter* dangling_entries = nullptr,
+    obs::Counter* resolved_rows = nullptr);
 
 }  // namespace storage
 }  // namespace onion

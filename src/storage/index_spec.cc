@@ -1,0 +1,48 @@
+#include "storage/index_spec.h"
+
+namespace onion::storage {
+namespace {
+
+Cell MapIdentity(const Cell& cell, const Universe&) { return cell; }
+
+Cell MapSwapXy(const Cell& cell, const Universe&) {
+  Cell out = cell;
+  out[0] = cell[1];
+  out[1] = cell[0];
+  return out;
+}
+
+Cell MapMirrorX(const Cell& cell, const Universe& base) {
+  Cell out = cell;
+  out[0] = base.side() - 1 - cell[0];
+  return out;
+}
+
+Universe SameUniverse(const Universe& base) { return base; }
+
+// Registration order is the KnownIndexExtractorNames() order. Every entry
+// must be injective on its accepted universes (see header).
+constexpr IndexExtractor kExtractors[] = {
+    {"cell", 1, &MapIdentity, &SameUniverse},
+    {"swap_xy", 2, &MapSwapXy, &SameUniverse},
+    {"mirror_x", 1, &MapMirrorX, &SameUniverse},
+};
+
+}  // namespace
+
+const IndexExtractor* FindIndexExtractor(const std::string& name) {
+  for (const IndexExtractor& extractor : kExtractors) {
+    if (name == extractor.name) return &extractor;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> KnownIndexExtractorNames() {
+  std::vector<std::string> names;
+  for (const IndexExtractor& extractor : kExtractors) {
+    names.emplace_back(extractor.name);
+  }
+  return names;
+}
+
+}  // namespace onion::storage

@@ -1,0 +1,74 @@
+// Secondary-index vocabulary: the per-table SecondaryIndexSpec and the
+// registry of index extractors.
+//
+// A secondary index re-keys a table's cells through a different
+// space-filling curve (paper, Sec. I: the curve choice determines the
+// clustering cost of a query distribution — so one physical table can
+// serve several query distributions by carrying one index per curve). An
+// index is a hidden SfcTable whose entries are
+//
+//   key     = index_curve.IndexOf(extractor(base_cell))
+//   payload = base_curve.IndexOf(base_cell)        (the base row address)
+//
+// maintained atomically with the base table by SfcDb::Write (see
+// storage/sfc_db.h for the atomicity rule) and queried through
+// SfcDb::NewIndexCursor, which resolves each index entry back to its base
+// row snapshot-consistently.
+//
+// Extractors are INJECTIVE cell-to-cell transforms chosen from a fixed,
+// named registry (names are persisted in the CATALOG, so the set can only
+// grow). Injectivity is load-bearing: a base Delete(cell) expands into an
+// index tombstone at extractor(cell), which deletes EVERY index entry at
+// that index cell — exactly the entries of the base cell if and only if
+// no other base cell maps there. Registered extractors:
+//
+//   "cell"      identity — index the base cell under another curve
+//   "swap_xy"   transpose axes 0 and 1 (dims >= 2)
+//   "mirror_x"  reflect axis 0: x -> side-1-x
+//
+// All three are bijections of the base universe onto itself, so the index
+// universe equals the base universe.
+
+#ifndef ONION_STORAGE_INDEX_SPEC_H_
+#define ONION_STORAGE_INDEX_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "sfc/types.h"
+
+namespace onion::storage {
+
+/// The registration record of one secondary index on a table: a name
+/// (same character rules as table names), an extractor from the registry
+/// below, and any curve name sfc/registry.h accepts over the extractor's
+/// index universe. Persisted in the database CATALOG.
+struct SecondaryIndexSpec {
+  std::string name;
+  std::string extractor = "cell";
+  std::string curve;
+};
+
+/// One registered extractor: an injective cell transform plus the derived
+/// index universe. Function pointers (not std::function) so the registry
+/// is a flat constant table with no initialization order hazards.
+struct IndexExtractor {
+  const char* name;
+  /// Minimum dimensionality of the base universe this extractor accepts.
+  int min_dims;
+  /// Maps a base cell to its index cell. The cell must lie in `base`;
+  /// the result lies in IndexUniverse(base).
+  Cell (*map)(const Cell& cell, const Universe& base);
+  /// The universe the mapped cells live in (the index table's universe).
+  Universe (*index_universe)(const Universe& base);
+};
+
+/// The registered extractor named `name`, or nullptr when unknown.
+const IndexExtractor* FindIndexExtractor(const std::string& name);
+
+/// Names of every registered extractor, in registration order.
+std::vector<std::string> KnownIndexExtractorNames();
+
+}  // namespace onion::storage
+
+#endif  // ONION_STORAGE_INDEX_SPEC_H_

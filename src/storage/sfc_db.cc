@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "sfc/registry.h"
 #include "storage/codec.h"
 #include "storage/crc32c.h"
 #include "storage/fs_util.h"
@@ -17,7 +20,23 @@ namespace {
 
 constexpr char kCatalogName[] = "CATALOG";
 constexpr char kCatalogFormat[] = "onion-sfc-db";
-constexpr int kCatalogVersion = 1;
+/// Version 2 added `index` lines (secondary indexes); version-1 catalogs
+/// (no indexes) still open and are upgraded by the next rewrite.
+constexpr int kCatalogVersion = 2;
+constexpr int kMinCatalogVersion = 1;
+
+/// Infix separating a base table name from an index name in a hidden
+/// index directory ("<table>__idx__<index>[__g<N>]"). User table and
+/// index names must not contain it, so hidden directories can never
+/// collide with cataloged tables.
+constexpr char kHiddenIndexInfix[] = "__idx__";
+
+/// Capacity of each index's observed-query-box ring (the AdviseCurve
+/// workload sample).
+constexpr size_t kObservedBoxRingCapacity = 128;
+
+/// Ops per WriteOps call when backfilling an index from a base scan.
+constexpr size_t kBackfillBatchOps = 1024;
 
 // Batch journal (BATCHLOG) geometry; byte spec in docs/storage_format.md.
 constexpr char kBatchLogName[] = "BATCHLOG";
@@ -64,6 +83,19 @@ bool ValidTableName(const std::string& name) {
   return true;
 }
 
+/// Hidden index directory names are composed of two validated names plus
+/// fixed infixes, so they use the same character set but may exceed the
+/// 255-char table-name cap.
+bool ValidIndexDirName(const std::string& name) {
+  if (name.empty() || name.size() > 600) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return name.find(kHiddenIndexInfix) != std::string::npos;
+}
+
 }  // namespace
 
 SfcDb::SfcDb(std::string dir, const SfcDbOptions& options)
@@ -74,6 +106,9 @@ SfcDb::SfcDb(std::string dir, const SfcDbOptions& options)
   batch_commit_us_ = metrics_->histogram("db.batch_commit_us");
   workers_->SetMetrics(metrics_->histogram("workers.task_wait_us"),
                        metrics_->counter("workers.tasks_run"));
+  index_queries_ = metrics_->counter("index.queries");
+  index_dangling_ = metrics_->counter("index.dangling_entries");
+  index_rows_resolved_ = metrics_->counter("index.rows_resolved");
 }
 
 SfcDb::~SfcDb() {
@@ -116,6 +151,13 @@ Status SfcDb::WriteCatalogLocked() const {
   text += std::string(kCatalogFormat) + " " + std::to_string(kCatalogVersion) +
           "\n";
   for (const std::string& name : catalog_) text += "table " + name + "\n";
+  for (const auto& [table, infos] : indexes_) {
+    for (const IndexInfo& info : infos) {
+      text += "index " + table + " " + info.spec.name + " " +
+              info.spec.extractor + " " + info.spec.curve + " " + info.dir +
+              "\n";
+    }
+  }
   const std::string tmp_path = CatalogPath() + ".tmp";
   std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
   if (out == nullptr) {
@@ -158,23 +200,47 @@ Result<std::unique_ptr<SfcDb>> SfcDb::Open(const std::string& dir,
     if (!in || format != kCatalogFormat) {
       return Status::InvalidArgument("bad catalog format in " + dir);
     }
-    if (version != kCatalogVersion) {
+    if (version < kMinCatalogVersion || version > kCatalogVersion) {
       return Status::InvalidArgument("unsupported catalog version " +
                                      std::to_string(version) + " in " + dir);
     }
     std::string field;
     while (in >> field) {
-      if (field != "table") {
+      if (field == "table") {
+        std::string name;
+        in >> name;
+        if (!ValidTableName(name)) {
+          return Status::InvalidArgument("invalid table name '" + name +
+                                         "' in catalog of " + dir);
+        }
+        db->catalog_.push_back(name);
+      } else if (field == "index" && version >= 2) {
+        std::string table, index, extractor, curve, index_dir;
+        if (!(in >> table >> index >> extractor >> curve >> index_dir)) {
+          return Status::InvalidArgument("truncated index line in catalog of " +
+                                         dir);
+        }
+        if (!ValidTableName(table) || !ValidTableName(index) ||
+            !ValidIndexDirName(index_dir)) {
+          return Status::InvalidArgument("invalid index line '" + table + " " +
+                                         index + " " + index_dir +
+                                         "' in catalog of " + dir);
+        }
+        IndexInfo info;
+        info.spec.name = index;
+        info.spec.extractor = extractor;
+        info.spec.curve = curve;
+        info.dir = index_dir;
+        info.extractor = FindIndexExtractor(extractor);
+        if (info.extractor == nullptr) {
+          return Status::InvalidArgument("unknown index extractor '" +
+                                         extractor + "' in catalog of " + dir);
+        }
+        db->indexes_[table].push_back(std::move(info));
+      } else {
         return Status::InvalidArgument("unknown catalog field '" + field +
                                        "' in " + dir);
       }
-      std::string name;
-      in >> name;
-      if (!ValidTableName(name)) {
-        return Status::InvalidArgument("invalid table name '" + name +
-                                       "' in catalog of " + dir);
-      }
-      db->catalog_.push_back(name);
     }
     std::sort(db->catalog_.begin(), db->catalog_.end());
     const auto dup =
@@ -182,6 +248,24 @@ Result<std::unique_ptr<SfcDb>> SfcDb::Open(const std::string& dir,
     if (dup != db->catalog_.end()) {
       return Status::InvalidArgument("duplicate table '" + *dup +
                                      "' in catalog of " + dir);
+    }
+    // Every index line must reference a cataloged table, and index names
+    // must be unique per table.
+    for (const auto& [table, infos] : db->indexes_) {
+      if (!std::binary_search(db->catalog_.begin(), db->catalog_.end(),
+                              table)) {
+        return Status::InvalidArgument("index on uncataloged table '" + table +
+                                       "' in catalog of " + dir);
+      }
+      for (size_t i = 0; i < infos.size(); ++i) {
+        for (size_t j = i + 1; j < infos.size(); ++j) {
+          if (infos[i].spec.name == infos[j].spec.name) {
+            return Status::InvalidArgument("duplicate index '" +
+                                           infos[i].spec.name + "' on table '" +
+                                           table + "' in catalog of " + dir);
+          }
+        }
+      }
     }
   } else {
     const Status status = db->WriteCatalogLocked();  // empty catalog
@@ -195,14 +279,27 @@ Result<std::unique_ptr<SfcDb>> SfcDb::Open(const std::string& dir,
   // unspecified — and keep the removal error separate so one stubborn
   // orphan cannot silently abort the sweep (survivors are retried on the
   // next Open anyway).
+  // The live set is the cataloged tables PLUS every cataloged index's
+  // hidden directory — so a crash mid-CreateIndex (directory built,
+  // catalog not yet rewritten) or mid-migration (new generation built,
+  // swap not yet durable) leaves a directory this sweep collects.
+  const auto is_live_dir = [&db](const std::string& name) {
+    if (std::binary_search(db->catalog_.begin(), db->catalog_.end(), name)) {
+      return true;
+    }
+    for (const auto& [table, infos] : db->indexes_) {
+      for (const IndexInfo& info : infos) {
+        if (info.dir == name) return true;
+      }
+    }
+    return false;
+  };
   std::vector<std::filesystem::path> orphans;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     if (ec) break;
     if (!entry.is_directory()) continue;
     const std::string name = entry.path().filename().string();
-    if (std::binary_search(db->catalog_.begin(), db->catalog_.end(), name)) {
-      continue;
-    }
+    if (is_live_dir(name)) continue;
     if (std::filesystem::exists(entry.path() / "MANIFEST")) {
       orphans.push_back(entry.path());
     }
@@ -283,12 +380,14 @@ Status SfcDb::ReplayBatchLog() {
       Result<SfcTable*> table = Status::Internal("unresolved");
       {
         std::lock_guard<std::mutex> lock(db_mu_);
-        table = OpenTableLocked(name, options_.table_options);
+        // OpenAny: journal sections may name hidden index directories
+        // (index slices of an expanded batch).
+        table = OpenAnyTableLocked(name, options_.table_options);
       }
       if (!table.ok()) {
-        // A dropped table's slice is moot; any other failure means we
-        // cannot prove the batch applied — refuse to open the database
-        // half-recovered.
+        // A dropped table's (or dropped index's) slice is moot; any other
+        // failure means we cannot prove the batch applied — refuse to
+        // open the database half-recovered.
         if (table.status().code() == StatusCode::kNotFound) continue;
         status = table.status();
         break;
@@ -342,6 +441,11 @@ Result<SfcTable*> SfcDb::CreateTable(const std::string& name,
     return Status::InvalidArgument("invalid table name '" + name +
                                    "' (use letters, digits, '_', '-')");
   }
+  if (name.find(kHiddenIndexInfix) != std::string::npos) {
+    return Status::InvalidArgument("invalid table name '" + name + "' ('" +
+                                   kHiddenIndexInfix +
+                                   "' is reserved for index directories)");
+  }
   if (std::binary_search(catalog_.begin(), catalog_.end(), name)) {
     return Status::InvalidArgument("table '" + name + "' already exists in " +
                                    dir_);
@@ -374,6 +478,11 @@ Result<SfcTable*> SfcDb::OpenTable(const std::string& name) {
 
 Result<SfcTable*> SfcDb::OpenTable(const std::string& name,
                                    const SfcTableOptions& options) {
+  // Hidden index directories are never cataloged tables; refuse them here
+  // so they can only be reached through IndexTable.
+  if (name.find(kHiddenIndexInfix) != std::string::npos) {
+    return Status::NotFound("no table '" + name + "' in " + dir_);
+  }
   std::lock_guard<std::mutex> lock(db_mu_);
   return OpenTableLocked(name, options);
 }
@@ -392,7 +501,53 @@ Result<SfcTable*> SfcDb::OpenTableLocked(const std::string& name,
   if (!table.ok()) return table.status();
   SfcTable* raw = table.value().get();
   open_tables_[name] = std::move(table).value();
+  // Open the table's index tables eagerly: a DbSnapshot taken from now on
+  // must pin them alongside the base (NewIndexCursor's consistency), and
+  // Write's index expansion needs their curves anyway.
+  const auto idx_it = indexes_.find(name);
+  if (idx_it != indexes_.end()) {
+    for (const IndexInfo& info : idx_it->second) {
+      auto index_table = OpenAnyTableLocked(info.dir, options_.table_options);
+      if (!index_table.ok()) return index_table.status();
+    }
+  }
   return raw;
+}
+
+Result<SfcTable*> SfcDb::OpenAnyTableLocked(const std::string& name,
+                                            const SfcTableOptions& options) {
+  const auto it = open_tables_.find(name);
+  if (it != open_tables_.end()) return it->second.get();
+  if (std::binary_search(catalog_.begin(), catalog_.end(), name)) {
+    return OpenTableLocked(name, options);
+  }
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  bool is_index_dir = false;
+  for (const auto& [table, infos] : indexes_) {
+    for (const IndexInfo& info : infos) {
+      if (info.dir == name) is_index_dir = true;
+    }
+  }
+  if (!is_index_dir) {
+    return Status::NotFound("no table '" + name + "' in " + dir_);
+  }
+  auto table = SfcTable::OpenWithShared(
+      TablePath(name), options,
+      SfcTable::SharedResources{pool_, workers_.get(), trace_});
+  if (!table.ok()) return table.status();
+  SfcTable* raw = table.value().get();
+  open_tables_[name] = std::move(table).value();
+  return raw;
+}
+
+SfcDb::IndexInfo* SfcDb::FindIndexLocked(const std::string& table,
+                                         const std::string& index) {
+  const auto it = indexes_.find(table);
+  if (it == indexes_.end()) return nullptr;
+  for (IndexInfo& info : it->second) {
+    if (info.spec.name == index) return &info;
+  }
+  return nullptr;
 }
 
 Status SfcDb::Write(WriteBatch&& batch) {
@@ -420,6 +575,16 @@ Status SfcDb::Write(WriteBatch&& batch) {
   {
     std::lock_guard<std::mutex> lock(db_mu_);
     if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+    const auto slice_for = [&slices](SfcTable* table,
+                                     const std::string& name) -> TableSlice* {
+      for (TableSlice& candidate : slices) {
+        if (candidate.table == table) return &candidate;
+      }
+      slices.push_back(TableSlice{});
+      slices.back().table = table;
+      slices.back().name = name;
+      return &slices.back();
+    };
     for (const WriteBatch::Op& op : batch.ops()) {
       auto table = OpenTableLocked(op.table, options_.table_options);
       if (!table.ok()) return table.status();
@@ -427,22 +592,34 @@ Status SfcDb::Write(WriteBatch&& batch) {
         return Status::OutOfRange("cell outside universe of table '" +
                                   op.table + "': " + op.cell.ToString());
       }
-      TableSlice* slice = nullptr;
-      for (TableSlice& candidate : slices) {
-        if (candidate.table == table.value()) {
-          slice = &candidate;
-          break;
+      const Key base_key = table.value()->curve().IndexOf(op.cell);
+      slice_for(table.value(), op.table)
+          ->ops.push_back(
+              WalOp{base_key, op.tombstone ? 0 : op.payload, op.tombstone});
+      // Index expansion: one index op per secondary index of the table —
+      // a Put adds the index entry (index key -> base key), a Delete
+      // tombstones the index cell (sound because extractors are
+      // injective: that cell holds exactly the base cell's entries). The
+      // expanded ops ride the SAME batch, so the BATCHLOG journal makes
+      // base and index atomic under any crash.
+      const auto idx_it = indexes_.find(op.table);
+      if (idx_it == indexes_.end()) continue;
+      const Universe& base_universe = table.value()->curve().universe();
+      for (const IndexInfo& info : idx_it->second) {
+        auto index_table = OpenAnyTableLocked(info.dir, options_.table_options);
+        if (!index_table.ok()) return index_table.status();
+        const Cell index_cell = info.extractor->map(op.cell, base_universe);
+        const SpaceFillingCurve& index_curve = index_table.value()->curve();
+        if (!index_curve.universe().Contains(index_cell)) {
+          return Status::Internal("extractor '" + info.spec.extractor +
+                                  "' mapped " + op.cell.ToString() +
+                                  " outside the universe of index '" +
+                                  info.spec.name + "'");
         }
+        slice_for(index_table.value(), info.dir)
+            ->ops.push_back(WalOp{index_curve.IndexOf(index_cell),
+                                  op.tombstone ? 0 : base_key, op.tombstone});
       }
-      if (slice == nullptr) {
-        slices.push_back(TableSlice{});
-        slice = &slices.back();
-        slice->table = table.value();
-        slice->name = op.table;
-      }
-      slice->ops.push_back(WalOp{table.value()->curve().IndexOf(op.cell),
-                                 op.tombstone ? 0 : op.payload,
-                                 op.tombstone});
     }
     // Size limits are validated here, where an error still applies
     // NOTHING: a slice must fit one WAL record, and the whole journal
@@ -626,12 +803,16 @@ Result<std::shared_ptr<const DbSnapshot>> SfcDb::GetSnapshot() {
 }
 
 SfcTable* SfcDb::GetTable(const std::string& name) const {
+  if (name.find(kHiddenIndexInfix) != std::string::npos) return nullptr;
   std::lock_guard<std::mutex> lock(db_mu_);
   const auto it = open_tables_.find(name);
   return it != open_tables_.end() ? it->second.get() : nullptr;
 }
 
 Status SfcDb::DropTable(const std::string& name) {
+  // batch_mu_ first (global order): no Write may be expanding ops against
+  // this table's indexes while they are being destroyed.
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
   std::lock_guard<std::mutex> lock(db_mu_);
   if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
   const auto catalog_it =
@@ -646,6 +827,14 @@ Status SfcDb::DropTable(const std::string& name) {
     open_it->second->Close();  // drop discards data; a close error is moot
     open_tables_.erase(open_it);
   }
+  // The table's secondary indexes die with it: uncatalog them in the same
+  // atomic rewrite, delete their hidden directories after.
+  std::vector<IndexInfo> dropped_indexes;
+  const auto idx_it = indexes_.find(name);
+  if (idx_it != indexes_.end()) {
+    dropped_indexes = std::move(idx_it->second);
+    indexes_.erase(idx_it);
+  }
   catalog_.erase(catalog_it);
   const Status status = WriteCatalogLocked();
   if (!status.ok()) {
@@ -653,9 +842,18 @@ Status SfcDb::DropTable(const std::string& name) {
     // reopened via OpenTable.
     catalog_.insert(std::upper_bound(catalog_.begin(), catalog_.end(), name),
                     name);
+    if (!dropped_indexes.empty()) indexes_[name] = std::move(dropped_indexes);
     return status;
   }
   std::error_code ec;
+  for (const IndexInfo& info : dropped_indexes) {
+    const auto open_index_it = open_tables_.find(info.dir);
+    if (open_index_it != open_tables_.end()) {
+      open_index_it->second->Close();
+      open_tables_.erase(open_index_it);
+    }
+    std::filesystem::remove_all(TablePath(info.dir), ec);
+  }
   std::filesystem::remove_all(TablePath(name), ec);
   if (ec) {
     return Status::Internal("table '" + name + "' uncataloged but its " +
@@ -667,6 +865,353 @@ Status SfcDb::DropTable(const std::string& name) {
 std::vector<std::string> SfcDb::ListTables() const {
   std::lock_guard<std::mutex> lock(db_mu_);
   return catalog_;
+}
+
+Result<std::unique_ptr<SfcTable>> SfcDb::BuildIndexTableLocked(
+    SfcTable* base, const IndexExtractor& extractor,
+    const std::string& curve_name, const std::string& dir_name) {
+  const Universe base_universe = base->curve().universe();
+  const Universe index_universe = extractor.index_universe(base_universe);
+  auto table = SfcTable::CreateWithShared(
+      TablePath(dir_name), curve_name, index_universe, options_.table_options,
+      SfcTable::SharedResources{pool_, workers_.get(), trace_});
+  if (!table.ok()) return table.status();
+  // Backfill: one index entry per live base row, batched through the
+  // hidden table's own single-table (WAL-atomic) write path. batch_mu_ is
+  // held, so the base cannot move underneath the scan; a crash anywhere
+  // in here leaves an uncataloged directory the next Open() collects.
+  Status status;
+  {
+    const auto cursor = base->NewScanCursor();
+    const SpaceFillingCurve& index_curve = table.value()->curve();
+    std::vector<WalOp> ops;
+    ops.reserve(kBackfillBatchOps);
+    for (; cursor->Valid(); cursor->Next()) {
+      const SpatialEntry& row = cursor->entry();
+      const Cell index_cell = extractor.map(row.cell, base_universe);
+      if (!index_universe.Contains(index_cell)) {
+        status = Status::Internal(
+            "extractor '" + std::string(extractor.name) + "' mapped " +
+            row.cell.ToString() + " outside the index universe");
+        break;
+      }
+      ops.push_back(WalOp{index_curve.IndexOf(index_cell),
+                          base->curve().IndexOf(row.cell), false});
+      if (ops.size() >= kBackfillBatchOps) {
+        status = table.value()->WriteOps(ops.data(), ops.size());
+        ops.clear();
+        if (!status.ok()) break;
+      }
+    }
+    if (status.ok()) status = cursor->status();
+    if (status.ok() && !ops.empty()) {
+      status = table.value()->WriteOps(ops.data(), ops.size());
+    }
+  }
+  if (!status.ok()) {
+    table = Status::Internal("rollback");  // destroy the handle first
+    std::error_code ec;
+    std::filesystem::remove_all(TablePath(dir_name), ec);
+    return status;
+  }
+  return table;
+}
+
+Status SfcDb::CreateIndex(const std::string& table,
+                          const SecondaryIndexSpec& spec) {
+  // batch_mu_ first: the backfill must see a base no Write can move, and
+  // the catalog flip must not interleave with an expanding commit.
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  std::lock_guard<std::mutex> lock(db_mu_);
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  if (!ValidTableName(spec.name) ||
+      spec.name.find(kHiddenIndexInfix) != std::string::npos) {
+    return Status::InvalidArgument("invalid index name '" + spec.name +
+                                   "' (use letters, digits, '_', '-')");
+  }
+  if (!ValidTableName(spec.curve)) {
+    return Status::InvalidArgument("invalid curve name '" + spec.curve + "'");
+  }
+  if (!std::binary_search(catalog_.begin(), catalog_.end(), table)) {
+    return Status::NotFound("no table '" + table + "' in " + dir_);
+  }
+  if (FindIndexLocked(table, spec.name) != nullptr) {
+    return Status::InvalidArgument("index '" + spec.name +
+                                   "' already exists on table '" + table +
+                                   "'");
+  }
+  const IndexExtractor* extractor = FindIndexExtractor(spec.extractor);
+  if (extractor == nullptr) {
+    std::string known;
+    for (const std::string& name : KnownIndexExtractorNames()) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    return Status::InvalidArgument("unknown index extractor '" +
+                                   spec.extractor + "' (known: " + known +
+                                   ")");
+  }
+  auto base = OpenTableLocked(table, options_.table_options);
+  if (!base.ok()) return base.status();
+  if (base.value()->curve().universe().dims() < extractor->min_dims) {
+    return Status::InvalidArgument(
+        "extractor '" + spec.extractor + "' needs at least " +
+        std::to_string(extractor->min_dims) + " dimensions; table '" + table +
+        "' has " + std::to_string(base.value()->curve().universe().dims()));
+  }
+  // Probe the curve now so an unknown name (or a curve/universe mismatch,
+  // e.g. zorder over a non-power-of-two side) is InvalidArgument before
+  // anything touches disk.
+  if (auto probe = MakeCurve(spec.curve,
+                             extractor->index_universe(
+                                 base.value()->curve().universe()));
+      !probe.ok()) {
+    return Status::InvalidArgument("curve '" + spec.curve +
+                                   "' is not usable for index '" + spec.name +
+                                   "': " + probe.status().message());
+  }
+  const std::string dir_name = table + kHiddenIndexInfix + spec.name;
+  auto built =
+      BuildIndexTableLocked(base.value(), *extractor, spec.curve, dir_name);
+  if (!built.ok()) return built.status();
+  IndexInfo info;
+  info.spec = spec;
+  info.dir = dir_name;
+  info.extractor = extractor;
+  indexes_[table].push_back(std::move(info));
+  const Status status = WriteCatalogLocked();
+  if (!status.ok()) {
+    indexes_[table].pop_back();
+    if (indexes_[table].empty()) indexes_.erase(table);
+    built = Status::Internal("rollback");  // destroy the handle first
+    std::error_code ec;
+    std::filesystem::remove_all(TablePath(dir_name), ec);
+    return status;
+  }
+  open_tables_[dir_name] = std::move(built).value();
+  return Status::OK();
+}
+
+Status SfcDb::DropIndex(const std::string& table, const std::string& index) {
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  std::lock_guard<std::mutex> lock(db_mu_);
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  const auto it = indexes_.find(table);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index '" + index + "' on table '" + table +
+                            "' in " + dir_);
+  }
+  const auto pos = std::find_if(
+      it->second.begin(), it->second.end(),
+      [&index](const IndexInfo& info) { return info.spec.name == index; });
+  if (pos == it->second.end()) {
+    return Status::NotFound("no index '" + index + "' on table '" + table +
+                            "' in " + dir_);
+  }
+  const size_t at = static_cast<size_t>(pos - it->second.begin());
+  IndexInfo removed = std::move(*pos);
+  it->second.erase(pos);
+  const bool was_last = it->second.empty();
+  if (was_last) indexes_.erase(it);
+  const Status status = WriteCatalogLocked();
+  if (!status.ok()) {
+    auto& infos = indexes_[table];  // re-creates the entry if was_last
+    infos.insert(infos.begin() + static_cast<ptrdiff_t>(at),
+                 std::move(removed));
+    return status;
+  }
+  const auto open_it = open_tables_.find(removed.dir);
+  if (open_it != open_tables_.end()) {
+    open_it->second->Close();  // drop discards data; a close error is moot
+    open_tables_.erase(open_it);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(TablePath(removed.dir), ec);
+  if (ec) {
+    return Status::Internal("index '" + index + "' uncataloged but its " +
+                            "directory could not be removed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::vector<SecondaryIndexSpec> SfcDb::ListIndexes(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  std::vector<SecondaryIndexSpec> specs;
+  const auto it = indexes_.find(table);
+  if (it == indexes_.end()) return specs;
+  for (const IndexInfo& info : it->second) specs.push_back(info.spec);
+  return specs;
+}
+
+Result<SfcTable*> SfcDb::IndexTable(const std::string& table,
+                                    const std::string& index) {
+  std::lock_guard<std::mutex> lock(db_mu_);
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  IndexInfo* info = FindIndexLocked(table, index);
+  if (info == nullptr) {
+    return Status::NotFound("no index '" + index + "' on table '" + table +
+                            "' in " + dir_);
+  }
+  return OpenAnyTableLocked(info->dir, options_.table_options);
+}
+
+std::unique_ptr<Cursor> SfcDb::NewIndexCursor(const std::string& table,
+                                              const std::string& index,
+                                              const Box& box,
+                                              const IndexReadOptions& options) {
+  SfcTable* base = nullptr;
+  SfcTable* index_table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    if (closed_) {
+      return NewErrorCursor(
+          Status::InvalidArgument("database is closed: " + dir_));
+    }
+    IndexInfo* info = FindIndexLocked(table, index);
+    if (info == nullptr) {
+      return NewErrorCursor(Status::NotFound("no index '" + index +
+                                             "' on table '" + table +
+                                             "' in " + dir_));
+    }
+    auto base_result = OpenTableLocked(table, options_.table_options);
+    if (!base_result.ok()) return NewErrorCursor(base_result.status());
+    auto index_result = OpenAnyTableLocked(info->dir, options_.table_options);
+    if (!index_result.ok()) return NewErrorCursor(index_result.status());
+    base = base_result.value();
+    index_table = index_result.value();
+    // Record the served box into the index's observed-workload ring (the
+    // AdviseCurve default input). Invalid boxes are not a workload.
+    if (index_table->curve().universe().Contains(box)) {
+      if (info->observed_boxes.size() < kObservedBoxRingCapacity) {
+        info->observed_boxes.push_back(box);
+      } else {
+        info->observed_boxes[info->observed_next] = box;
+        info->observed_next =
+            (info->observed_next + 1) % kObservedBoxRingCapacity;
+      }
+    }
+  }
+  index_queries_->Increment();
+  // One consistent cross-table pin for the index scan AND the base
+  // resolution — the caller's, or a fresh one the cursor keeps alive.
+  std::shared_ptr<const DbSnapshot> pin = options.snapshot;
+  if (pin == nullptr) {
+    auto snapshot = GetSnapshot();
+    if (!snapshot.ok()) return NewErrorCursor(snapshot.status());
+    pin = std::move(snapshot).value();
+  }
+  ReadOptions index_read;
+  index_read.max_pages = options.max_pages;
+  index_read.max_bytes = options.max_bytes;
+  index_read.snapshot = pin->ForTable(index_table);
+  auto inner = index_table->NewBoxCursor(box, index_read);
+  return NewIndexResolveCursor(std::move(inner), base, pin->ForTable(base),
+                               pin, options.limit, index_dangling_,
+                               index_rows_resolved_);
+}
+
+Result<CurveAdvice> SfcDb::AdviseCurve(const std::string& table,
+                                       const std::string& index,
+                                       const std::vector<Box>& boxes,
+                                       const DiskModel& model) {
+  std::vector<Box> workload = boxes;
+  std::optional<Universe> universe;
+  {
+    std::lock_guard<std::mutex> lock(db_mu_);
+    if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+    IndexInfo* info = FindIndexLocked(table, index);
+    if (info == nullptr) {
+      return Status::NotFound("no index '" + index + "' on table '" + table +
+                              "' in " + dir_);
+    }
+    auto index_table = OpenAnyTableLocked(info->dir, options_.table_options);
+    if (!index_table.ok()) return index_table.status();
+    universe = index_table.value()->curve().universe();
+    if (workload.empty()) workload = info->observed_boxes;
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument(
+        "no observed query boxes for index '" + index + "' on table '" +
+        table + "' — pass boxes explicitly or run NewIndexCursor queries "
+        "first");
+  }
+  // The exact clustering evaluation is CPU-heavy (O(n) per candidate
+  // curve); it runs on copies, outside every database lock.
+  return ::onion::AdviseCurve(*universe, workload, model);
+}
+
+Status SfcDb::MigrateIndexCurve(const std::string& table,
+                                const std::string& index,
+                                const std::string& new_curve) {
+  // Offline rebuild: hold batch_mu_ so no Write lands between the
+  // backfill scan and the catalog swap (the new generation would miss
+  // it).
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  std::lock_guard<std::mutex> lock(db_mu_);
+  if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
+  if (!ValidTableName(new_curve)) {
+    return Status::InvalidArgument("invalid curve name '" + new_curve + "'");
+  }
+  IndexInfo* info = FindIndexLocked(table, index);
+  if (info == nullptr) {
+    return Status::NotFound("no index '" + index + "' on table '" + table +
+                            "' in " + dir_);
+  }
+  if (info->spec.curve == new_curve) return Status::OK();
+  auto base = OpenTableLocked(table, options_.table_options);
+  if (!base.ok()) return base.status();
+  if (auto probe = MakeCurve(new_curve,
+                             info->extractor->index_universe(
+                                 base.value()->curve().universe()));
+      !probe.ok()) {
+    return Status::InvalidArgument("curve '" + new_curve +
+                                   "' is not usable for index '" + index +
+                                   "': " + probe.status().message());
+  }
+  // Each rebuild gets a fresh generation-suffixed directory, so the old
+  // and new generations coexist until the atomic catalog rewrite picks
+  // the winner; whichever loses (crash included) is an orphan.
+  const std::string stem = table + kHiddenIndexInfix + info->spec.name;
+  const std::string generation_prefix = stem + "__g";
+  uint64_t generation = 2;
+  if (info->dir.compare(0, generation_prefix.size(), generation_prefix) == 0) {
+    generation =
+        std::strtoull(info->dir.c_str() + generation_prefix.size(), nullptr,
+                      10) +
+        1;
+  }
+  const std::string new_dir =
+      generation_prefix + std::to_string(generation);
+  auto built =
+      BuildIndexTableLocked(base.value(), *info->extractor, new_curve, new_dir);
+  if (!built.ok()) return built.status();
+  const std::string old_dir = info->dir;
+  const std::string old_curve = info->spec.curve;
+  info->dir = new_dir;
+  info->spec.curve = new_curve;
+  const Status status = WriteCatalogLocked();
+  if (!status.ok()) {
+    info->dir = old_dir;
+    info->spec.curve = old_curve;
+    built = Status::Internal("rollback");  // destroy the handle first
+    std::error_code ec;
+    std::filesystem::remove_all(TablePath(new_dir), ec);
+    return status;
+  }
+  open_tables_[new_dir] = std::move(built).value();
+  const auto open_it = open_tables_.find(old_dir);
+  if (open_it != open_tables_.end()) {
+    open_it->second->Close();
+    open_tables_.erase(open_it);
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(TablePath(old_dir), ec);
+  if (ec) {
+    return Status::Internal("index '" + index + "' migrated to '" + new_curve +
+                            "' but the old generation could not be removed: " +
+                            ec.message());
+  }
+  return Status::OK();
 }
 
 std::string SfcDb::DumpMetrics(obs::MetricsFormat format) const {

@@ -13,8 +13,10 @@
 // pool_stats() reports the physical aggregate.
 //
 // On-disk layout of a database directory:
-//   CATALOG         text file: format line ("onion-sfc-db 1") followed by
-//                   one "table <name>" line per table, sorted by name
+//   CATALOG         text file: format line ("onion-sfc-db 2") followed by
+//                   one "table <name>" line per table, sorted by name,
+//                   then one "index <table> <index> <extractor> <curve>
+//                   <dir>" line per secondary index
 //   BATCHLOG        the batch journal: one checksummed record per
 //                   multi-table WriteBatch commit, the bridge that makes
 //                   a batch atomic ACROSS tables (within one table its
@@ -23,6 +25,25 @@
 //                   truncated on Open.
 //   <name>/         one SfcTable directory per cataloged table (MANIFEST,
 //                   seg_*.sfc, wal_*.log — see docs/storage_format.md)
+//   <t>__idx__<i>/  one hidden SfcTable directory per secondary index
+//                   (possibly generation-suffixed after a curve
+//                   migration); live only while a catalog `index` line
+//                   names it
+//
+// Secondary indexes (storage/index_spec.h): CreateIndex(table, spec)
+// re-keys the table's cells through spec.extractor and spec.curve into a
+// hidden index table. From then on every Put/Delete the table receives
+// through Write() is EXPANDED with the matching index ops, turning even a
+// single-table batch into a journaled multi-table one — so the BATCHLOG
+// guarantees recovery can never observe a base row without its index
+// entry, or vice versa. (The flip side: writes to an indexed table MUST
+// go through SfcDb::Write — direct SfcTable::Insert/Delete on the base
+// handle would silently bypass index maintenance.) NewIndexCursor scans
+// the index by box and resolves base rows snapshot-consistently;
+// AdviseCurve ranks every registry curve on the boxes those scans
+// actually served (or caller-provided ones), and MigrateIndexCurve
+// rebuilds the index under the recommendation offline — crash-safe via
+// the same orphan-GC rule as table creation.
 //
 // Versioned writes and reads: Write(WriteBatch&&) commits any mix of
 // Put/Delete ops spanning any number of tables atomically — recovery
@@ -58,10 +79,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/advisor.h"
 #include "common/status.h"
+#include "index/disk_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
+#include "storage/index_spec.h"
 #include "storage/sfc_table.h"
 #include "storage/worker_pool.h"
 #include "storage/write_batch.h"
@@ -97,6 +121,23 @@ struct SfcDbOptions {
   /// Defaults applied by CreateTable/OpenTable overloads that take no
   /// per-table options.
   SfcTableOptions table_options;
+};
+
+/// Read knobs of NewIndexCursor. Zero / null means "unbounded" / "pin a
+/// fresh snapshot".
+struct IndexReadOptions {
+  /// Stop after this many BASE rows have been delivered.
+  uint64_t limit = 0;
+  /// Page/byte budgets applied to the index-table scan (the base-row
+  /// point Gets are not budgeted — each touches O(1) pages).
+  uint64_t max_pages = 0;
+  uint64_t max_bytes = 0;
+  /// Read index and base at this consistent cross-table pin. Null pins a
+  /// fresh snapshot internally (kept alive by the cursor). A caller-
+  /// provided snapshot must have been taken while both the base table and
+  /// the index were open, or the read degrades to latest state for the
+  /// uncovered side.
+  std::shared_ptr<const DbSnapshot> snapshot;
 };
 
 class SfcDb {
@@ -156,11 +197,75 @@ class SfcDb {
   Result<std::shared_ptr<const DbSnapshot>> GetSnapshot();
 
   /// Uncatalogs `name` (atomic CATALOG rewrite), closes its open handle
-  /// if any, and deletes the table directory. NotFound for unknown names.
+  /// if any, and deletes the table directory — together with every
+  /// secondary index registered on it. NotFound for unknown names.
   Status DropTable(const std::string& name);
 
   /// Cataloged table names, sorted.
   std::vector<std::string> ListTables() const;
+
+  // --- Secondary indexes (storage/index_spec.h; see the file comment for
+  // the atomicity rule and the write-path contract).
+
+  /// Registers a secondary index on cataloged table `table`: creates the
+  /// hidden index table keyed by spec.curve over the extractor's index
+  /// universe, BACKFILLS it from the base table's current contents
+  /// (offline: blocks Write/GetSnapshot for the duration), and catalogs
+  /// it. From the moment this returns OK, Write() maintains the index
+  /// atomically with the base. Crash-safe: the hidden directory becomes
+  /// live only with the catalog rewrite; a crash mid-backfill leaves an
+  /// orphan the next Open() collects. InvalidArgument for bad names,
+  /// unknown extractors/curves, extractor/universe mismatches, or a
+  /// duplicate index name; NotFound for an uncataloged table.
+  Status CreateIndex(const std::string& table, const SecondaryIndexSpec& spec);
+
+  /// Unregisters the index (atomic catalog rewrite) and deletes its hidden
+  /// directory. NotFound when the table or index does not exist.
+  Status DropIndex(const std::string& table, const std::string& index);
+
+  /// The registered index specs of `table`, in creation order (empty for
+  /// unknown tables).
+  std::vector<SecondaryIndexSpec> ListIndexes(const std::string& table) const;
+
+  /// The hidden index table behind (table, index) — introspection for
+  /// tests, benches, and metrics tooling. Opens it if needed. Do NOT
+  /// write through this handle; index contents are maintained by Write().
+  Result<SfcTable*> IndexTable(const std::string& table,
+                               const std::string& index);
+
+  /// Streams the base rows whose INDEX cells fall inside `box` (a box in
+  /// index-cell space, i.e. post-extractor coordinates), in nondecreasing
+  /// index-curve-key order; each delivered entry is a base row (base
+  /// cell + payload). Index and base are read at one consistent
+  /// DbSnapshot — options.snapshot, or a fresh pin taken here and held by
+  /// the cursor. The box is also recorded in the index's observed-query
+  /// ring, the workload AdviseCurve consumes. Errors (unknown table or
+  /// index, out-of-universe box, closed db) arrive as an error cursor.
+  /// The cursor must not outlive the database.
+  std::unique_ptr<Cursor> NewIndexCursor(const std::string& table,
+                                         const std::string& index,
+                                         const Box& box,
+                                         const IndexReadOptions& options = {});
+
+  /// Ranks every registry curve on `boxes` (empty: the index's recorded
+  /// observed-query ring) under `model` and returns the cheapest —
+  /// analysis/advisor.h wired to this index's universe. InvalidArgument
+  /// when no boxes are available. Pure analysis: no index state changes;
+  /// pass the recommendation to MigrateIndexCurve to act on it.
+  Result<CurveAdvice> AdviseCurve(const std::string& table,
+                                  const std::string& index,
+                                  const std::vector<Box>& boxes = {},
+                                  const DiskModel& model = DiskModel::Hdd());
+
+  /// Rebuilds the index under `new_curve` (offline: blocks Write and
+  /// GetSnapshot for the duration): backfills a fresh generation of the
+  /// hidden table from the base, then atomically swaps the catalog to it
+  /// and deletes the old generation. A crash at any instant leaves
+  /// exactly one cataloged, complete index directory (the other
+  /// generation is an orphan for the next Open). No-op when the index
+  /// already uses `new_curve`.
+  Status MigrateIndexCurve(const std::string& table, const std::string& index,
+                           const std::string& new_curve);
 
   /// Clean shutdown: Close()s every open table (flush + quiesce), then
   /// stops the shared workers. Idempotent; returns the first table error.
@@ -191,13 +296,40 @@ class SfcDb {
  private:
   SfcDb(std::string dir, const SfcDbOptions& options);
 
+  /// One registered secondary index (in-memory face of a catalog `index`
+  /// line). Guarded by db_mu_.
+  struct IndexInfo {
+    SecondaryIndexSpec spec;
+    /// Hidden table directory name (also its open_tables_ key):
+    /// "<table>__idx__<index>", generation-suffixed after migrations.
+    std::string dir;
+    const IndexExtractor* extractor = nullptr;
+    /// Bounded ring of the boxes NewIndexCursor served — the observed
+    /// workload AdviseCurve evaluates by default.
+    std::vector<Box> observed_boxes;
+    size_t observed_next = 0;
+  };
+
   std::string TablePath(const std::string& name) const;
   std::string CatalogPath() const;
   std::string BatchLogPath() const;
-  /// Atomically rewrites CATALOG from catalog_. Requires db_mu_ held.
+  /// Atomically rewrites CATALOG from catalog_ + indexes_. Requires
+  /// db_mu_ held.
   Status WriteCatalogLocked() const;
   Result<SfcTable*> OpenTableLocked(const std::string& name,
                                     const SfcTableOptions& options);
+  /// OpenTableLocked for cataloged tables OR hidden index directories
+  /// (which the public OpenTable deliberately refuses).
+  Result<SfcTable*> OpenAnyTableLocked(const std::string& name,
+                                       const SfcTableOptions& options);
+  IndexInfo* FindIndexLocked(const std::string& table,
+                             const std::string& index);
+  /// Builds (creates + backfills from the base's current contents) one
+  /// hidden index table directory. Requires batch_mu_ + db_mu_ held (no
+  /// concurrent writes). On failure the directory is removed.
+  Result<std::unique_ptr<SfcTable>> BuildIndexTableLocked(
+      SfcTable* base, const IndexExtractor& extractor,
+      const std::string& curve_name, const std::string& dir_name);
   /// (Re)creates an empty BATCHLOG (header only). Requires batch_mu_ held
   /// (or exclusive access during Open/Close).
   Status ResetBatchLogLocked();
@@ -237,10 +369,18 @@ class SfcDb {
 
   mutable std::mutex db_mu_;
   std::vector<std::string> catalog_;  // sorted table names
+  /// Secondary indexes per base table, in creation order. An entry's
+  /// hidden table may or may not be open; its directory is live on disk
+  /// exactly while the entry exists (catalog `index` lines mirror this).
+  std::map<std::string, std::vector<IndexInfo>> indexes_;
   // Declared after workers_/pool_ so tables are destroyed first (their
   // destructors unregister from the worker pool).
   std::map<std::string, std::unique_ptr<SfcTable>> open_tables_;
   bool closed_ = false;
+  // Index read-path metric handles (resolved in the ctor).
+  obs::Counter* index_queries_ = nullptr;
+  obs::Counter* index_dangling_ = nullptr;
+  obs::Counter* index_rows_resolved_ = nullptr;
 };
 
 }  // namespace onion::storage

@@ -67,6 +67,13 @@
 // levels overflowing their size target spill into the next level the same
 // way. A box query therefore probes every L0 run but at most one
 // contiguous group of segments per deeper level and key range.
+//
+// A table may also serve as the HIDDEN half of an SfcDb secondary index
+// ("<table>__idx__<index>" directories, storage/index_spec.h): same
+// machinery, but its entries are (index key -> base curve key) pointers
+// maintained exclusively by SfcDb::Write — never write to such a table
+// directly. Its io_stats()/DumpMetrics() are the per-index seek/pages
+// counters surfaced through SfcDb::DumpMetrics.
 
 #ifndef ONION_STORAGE_SFC_TABLE_H_
 #define ONION_STORAGE_SFC_TABLE_H_
@@ -370,7 +377,8 @@ class SfcTable {
                            std::shared_ptr<WalWriter>* used_wal,
                            uint64_t* out_record);
   /// The single-table commit: reserve + apply + (optionally) group-commit
-  /// fsync. Insert and Delete are one-op wrappers.
+  /// fsync. Insert and Delete are one-op wrappers; SfcDb's secondary-index
+  /// backfill (CreateIndex/MigrateIndexCurve) batches through here too.
   Status WriteOps(const WalOp* ops, size_t count);
   /// Open-time only (no concurrent writers): re-applies a batch-journal
   /// record slice with its ORIGINAL sequences after a crash lost this

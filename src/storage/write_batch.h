@@ -7,6 +7,12 @@
 // The batch itself is a plain value object: building one touches no lock
 // and no file. Validation (table exists, cells inside each table's
 // universe) happens in SfcDb::Write before anything is logged.
+//
+// Secondary indexes: ops addressed at a table carrying secondary indexes
+// (storage/index_spec.h) are EXPANDED by SfcDb::Write with the matching
+// hidden-index-table ops before commit — a Put adds the index entries, a
+// Delete tombstones them — so the atomicity guarantee above covers base
+// and index together. Batches never name index tables directly.
 
 #ifndef ONION_STORAGE_WRITE_BATCH_H_
 #define ONION_STORAGE_WRITE_BATCH_H_
