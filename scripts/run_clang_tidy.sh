@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party translation unit, using the compile_commands.json that CMake
+# exports (CMAKE_EXPORT_COMPILE_COMMANDS is ON unconditionally).
+#
+# Usage, from the repo root:
+#   cmake -B build -S .            # or any configured build dir
+#   scripts/run_clang_tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# The build dir defaults to "build". Extra args are passed through, e.g.
+#   scripts/run_clang_tidy.sh build --fix
+# Exits non-zero on any finding in a WarningsAsErrors check (CI gates on
+# this) or when the tooling is missing.
+set -eu
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+[ $# -gt 0 ] && shift
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "error: $tidy not found (set CLANG_TIDY or install clang-tidy)" >&2
+  exit 1
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json missing — configure first:" >&2
+  echo "  cmake -B $build_dir -S ." >&2
+  exit 1
+fi
+
+# First-party TUs only: the glob mirrors the CMake source lists. Tests,
+# benches, and examples are linted too — a use-after-move in a test hides
+# bugs just as well as one in the engine.
+files=$(find src tests bench examples -name '*.cc' | sort)
+
+# run-clang-tidy parallelizes when available; otherwise loop.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # shellcheck disable=SC2086
+  exec run-clang-tidy -clang-tidy-binary "$tidy" -p "$build_dir" -quiet \
+      "$@" $files
+fi
+status=0
+for f in $files; do
+  "$tidy" -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+exit "$status"

@@ -1,0 +1,31 @@
+#include "common/mutex.h"
+
+namespace onion {
+
+// Waiting and notifying are cold (they block or make a futex syscall), so
+// these live out of line; the lock/unlock fast paths stay inline in the
+// header.
+
+void CondVar::Wait(Mutex& mu) {
+  // Adopt the already-held std::mutex into a unique_lock for the wait,
+  // then release ownership again so the caller's guard keeps it. The
+  // analysis sees `mu` held across the call (ONION_REQUIRES), which
+  // matches the runtime contract: Wait returns with the lock reacquired.
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+void CondVarAny::Wait(SharedMutex& mu) {
+  // std::shared_mutex is BasicLockable in exclusive mode, which is all
+  // condition_variable_any needs: wait() unlocks, blocks, and relocks it.
+  cv_.wait(mu.mu_);
+}
+
+void CondVarAny::NotifyOne() { cv_.notify_one(); }
+void CondVarAny::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace onion

@@ -1,0 +1,184 @@
+// Capability-annotated mutex wrappers over <mutex> / <shared_mutex>.
+//
+// The standard-library lock types carry no thread-safety attributes, so
+// Clang's analysis cannot see through them. These zero-overhead wrappers
+// delegate 1:1 to std::mutex / std::shared_mutex and add the annotations
+// from common/thread_annotations.h, which is what lets the engine declare
+// `ONION_GUARDED_BY(mu_)` on fields and have the compiler enforce it.
+//
+// Lock vocabulary used across the engine:
+//   Mutex        — exclusive lock (std::mutex)
+//   SharedMutex  — reader/writer lock (std::shared_mutex)
+//   MutexLock    — scoped exclusive guard for Mutex; supports early
+//                  Unlock() and re-Lock() for release-around-I/O sections
+//   WriterLock   — same, for SharedMutex held exclusively
+//   ReaderLock   — scoped shared guard for SharedMutex
+//   CondVar      — condition variable bound to a Mutex at each Wait
+//   CondVarAny   — condition variable waiting on an EXCLUSIVELY held
+//                  SharedMutex (memtable rotation backpressure)
+//
+// Waits always sit in explicit `while (!cond) cv.Wait(mu);` loops so the
+// condition reads stay inside the analyzed function body (a predicate
+// lambda would be analyzed as a separate, unannotated function).
+//
+// The engine's lock catalog and acquisition-order rules: docs/concurrency.md.
+
+#ifndef ONION_COMMON_MUTEX_H_
+#define ONION_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace onion {
+
+class CondVar;
+class CondVarAny;
+
+/// Exclusive mutex. Prefer MutexLock; raw Lock()/Unlock() is for manual
+/// protocols (SfcTable::LockWal) and release-around-I/O sections.
+class ONION_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ONION_ACQUIRE() { mu_.lock(); }
+  void Unlock() ONION_RELEASE() { mu_.unlock(); }
+  bool TryLock() ONION_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (exclusive writers, concurrent readers).
+class ONION_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ONION_ACQUIRE() { mu_.lock(); }
+  void Unlock() ONION_RELEASE() { mu_.unlock(); }
+  void LockShared() ONION_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() ONION_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class CondVarAny;
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive guard for Mutex. Relockable: Unlock()/Lock() open a
+/// window (fsync, file write) where the mutex is released; the destructor
+/// releases only if currently held. The analysis tracks the held state
+/// through all of it.
+class ONION_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ONION_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() ONION_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() ONION_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  void Lock() ONION_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Scoped exclusive guard for SharedMutex, relockable like MutexLock.
+class ONION_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ONION_ACQUIRE(mu)
+      : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~WriterLock() ONION_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+  void Unlock() ONION_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  void Lock() ONION_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  SharedMutex& mu_;
+  bool held_;
+};
+
+/// Scoped shared (read) guard for SharedMutex.
+class ONION_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ONION_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() ONION_RELEASE() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable used with Mutex. The mutex is named per Wait call
+/// (not stored) so one CondVar cannot silently migrate between locks.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// `mu` must be the mutex every other waiter/notifier of this CondVar
+  /// uses. Spurious wakeups happen: always call inside a condition loop.
+  void Wait(Mutex& mu) ONION_REQUIRES(mu);
+
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Condition variable waiting on an exclusively held SharedMutex (readers
+/// never wait on one of these in this codebase).
+class CondVarAny {
+ public:
+  CondVarAny() = default;
+  CondVarAny(const CondVarAny&) = delete;
+  CondVarAny& operator=(const CondVarAny&) = delete;
+
+  /// As CondVar::Wait, for a SharedMutex held EXCLUSIVELY.
+  void Wait(SharedMutex& mu) ONION_REQUIRES(mu);
+
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace onion
+
+#endif  // ONION_COMMON_MUTEX_H_

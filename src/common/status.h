@@ -29,7 +29,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A cheap value type describing the outcome of a fallible operation.
-class Status {
+/// [[nodiscard]] on the class makes EVERY function returning a Status by
+/// value warn when the result is dropped — an ignored error is a bug
+/// unless a call site says otherwise with an explicit (void) cast and a
+/// comment arguing why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -72,7 +76,7 @@ class Status {
 /// errored Result aborts the process (the library treats that as a
 /// programming error, consistent with CHECK semantics).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : repr_(std::move(status)) {  // NOLINT

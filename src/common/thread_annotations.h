@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis annotation shim.
+//
+// These macros attach compile-time lock-discipline attributes to types,
+// fields, and functions: which mutex guards a field, which lock a method
+// requires, which locks a function acquires or releases. Under Clang with
+// -Wthread-safety (the ONION_THREAD_SAFETY CMake option turns it on
+// together with -Werror=thread-safety) every violation — reading a
+// guarded field without its mutex, calling a *Locked method unlocked,
+// double-acquiring, returning with a lock still held — is a build error.
+// Under every other compiler the macros expand to nothing, so GCC builds
+// and sanitizer jobs are untouched.
+//
+// The annotated wrapper types that make these attributes usable with the
+// standard library mutexes live in common/mutex.h; the engine's lock
+// catalog and acquisition-order rules live in docs/concurrency.md.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef ONION_COMMON_THREAD_ANNOTATIONS_H_
+#define ONION_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define ONION_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define ONION_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex").
+#define ONION_CAPABILITY(x) ONION_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII guard type: constructing acquires, destructing releases.
+#define ONION_SCOPED_CAPABILITY ONION_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field is protected by the given mutex: every access needs it held
+/// (shared for reads, exclusive for writes).
+#define ONION_GUARDED_BY(x) ONION_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose POINTEE is protected by the given mutex.
+#define ONION_PT_GUARDED_BY(x) ONION_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering edges, checked under -Wthread-safety-beta.
+#define ONION_ACQUIRED_BEFORE(...) \
+  ONION_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ONION_ACQUIRED_AFTER(...) \
+  ONION_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function requires the mutex(es) held EXCLUSIVELY on entry (and exit).
+#define ONION_REQUIRES(...) \
+  ONION_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function requires the mutex(es) held at least SHARED on entry.
+#define ONION_REQUIRES_SHARED(...) \
+  ONION_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and returns holding them.
+#define ONION_ACQUIRE(...) \
+  ONION_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ONION_ACQUIRE_SHARED(...) \
+  ONION_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es), which must be held on entry.
+#define ONION_RELEASE(...) \
+  ONION_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define ONION_RELEASE_SHARED(...) \
+  ONION_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define ONION_RELEASE_GENERIC(...) \
+  ONION_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the mutex only when it returns the given value.
+#define ONION_TRY_ACQUIRE(...) \
+  ONION_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the mutex(es) held (deadlock guard for
+/// non-reentrant locks and for enforcing acquisition order).
+#define ONION_EXCLUDES(...) \
+  ONION_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion to the analysis that the mutex is held here.
+#define ONION_ASSERT_CAPABILITY(x) \
+  ONION_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the named mutex.
+#define ONION_RETURN_CAPABILITY(x) ONION_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function juggles locks in a way the (intraprocedural)
+/// analysis cannot model — e.g. locking a DYNAMIC set of mutexes in a
+/// loop. Every use carries a comment saying why.
+#define ONION_NO_THREAD_SAFETY_ANALYSIS \
+  ONION_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // ONION_COMMON_THREAD_ANNOTATIONS_H_

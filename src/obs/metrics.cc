@@ -80,21 +80,21 @@ HistogramSnapshot& HistogramSnapshot::operator+=(
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -153,7 +153,7 @@ void AppendHistogramJson(std::string* out, const HistogramSnapshot& h) {
 }  // namespace
 
 void MetricsRegistry::AppendJsonMembers(std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   *out += "\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -194,7 +194,7 @@ std::string MetricsRegistry::ToJson() const {
 
 void MetricsRegistry::AppendPrometheus(std::string* out,
                                        const std::string& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const std::string plain_labels = labels.empty() ? "" : "{" + labels + "}";
   for (const auto& [name, counter] : counters_) {
     const std::string prom = PrometheusName(name);

@@ -31,8 +31,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace onion::obs {
 
@@ -171,10 +173,14 @@ class MetricsRegistry {
   void AppendPrometheus(std::string* out, const std::string& labels) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // mu_ guards the name->metric maps only; the metric OBJECTS are
+  // lock-free atomics with stable addresses, recorded into without mu_.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      ONION_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ ONION_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ONION_GUARDED_BY(mu_);
 };
 
 // --- small rendering helpers shared by every exporter (DumpMetrics,

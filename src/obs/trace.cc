@@ -22,7 +22,7 @@ TraceRing::TraceRing(size_t capacity)
 
 void TraceRing::Add(TraceEvent event) {
   total_added_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (size_ < capacity_) {
     ring_[(start_ + size_) % capacity_] = std::move(event);
     ++size_;
@@ -33,7 +33,7 @@ void TraceRing::Add(TraceEvent event) {
 }
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(size_);
   for (size_t i = 0; i < size_; ++i) {

@@ -14,9 +14,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace onion::obs {
 
@@ -71,10 +73,11 @@ class TraceRing {
   const size_t capacity_;
   std::atomic<uint64_t> next_id_{0};
   std::atomic<uint64_t> total_added_{0};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // ring_[(start_ + i) % size] is i-th oldest
-  size_t start_ = 0;
-  size_t size_ = 0;
+  mutable Mutex mu_;
+  // ring_[(start_ + i) % size] is the i-th oldest retained event.
+  std::vector<TraceEvent> ring_ ONION_GUARDED_BY(mu_);
+  size_t start_ ONION_GUARDED_BY(mu_) = 0;
+  size_t size_ ONION_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace onion::obs

@@ -1,7 +1,5 @@
 #include "storage/buffer_pool.h"
 
-#include <mutex>
-
 namespace onion::storage {
 
 BufferPool::BufferPool(uint64_t capacity_pages) : capacity_(capacity_pages) {
@@ -13,7 +11,7 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
     Status* status) {
   if (status != nullptr) *status = Status::OK();
   const FrameKey key{source.source_id(), page};
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto it = resident_.find(key);
   if (it != resident_.end()) {
     ++stats_.cache_hits;
@@ -46,7 +44,7 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
   }
   last_disk_source_ = source.source_id();
   last_disk_page_ = page;
-  lock.unlock();
+  lock.Unlock();
 
   auto data = std::make_shared<std::vector<Entry>>();
   const Status read_status = source.ReadPage(page, data.get());
@@ -59,7 +57,7 @@ std::shared_ptr<const std::vector<Entry>> BufferPool::Fetch(
     return nullptr;
   }
 
-  lock.lock();
+  lock.Lock();
   // Another thread may have read the same page while the lock was free;
   // keep its frame (the physical read above already happened and stays
   // counted — the counters report real I/O, not residency).
@@ -88,13 +86,13 @@ bool BufferPool::ProbeFilter(const PageSource& source, Key key,
     attribution->pages_skipped_by_filter.fetch_add(1,
                                                    std::memory_order_relaxed);
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   ++stats_.pages_skipped_by_filter;
   return false;
 }
 
 void BufferPool::Drop(const PageSource* source) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->source_id == source->source_id()) {
       resident_.erase(FrameKey{it->source_id, it->page});
@@ -110,22 +108,22 @@ void BufferPool::Drop(const PageSource* source) {
 }
 
 IoStats BufferPool::stats() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   return stats_;
 }
 
 void BufferPool::ResetStats() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   stats_.Reset();
 }
 
 uint64_t BufferPool::resident_pages() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   return lru_.size();
 }
 
 uint64_t BufferPool::evictions() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   return evictions_;
 }
 
@@ -134,7 +132,7 @@ void BufferPool::AddEntriesRead(uint64_t count, AtomicIoStats* attribution) {
   if (attribution != nullptr) {
     attribution->entries_read.fetch_add(count, std::memory_order_relaxed);
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   stats_.entries_read += count;
 }
 
@@ -144,7 +142,7 @@ void BufferPool::AddFilterSkips(uint64_t count, AtomicIoStats* attribution) {
     attribution->pages_skipped_by_filter.fetch_add(count,
                                                    std::memory_order_relaxed);
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   stats_.pages_skipped_by_filter += count;
 }
 

@@ -26,12 +26,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/page_source.h"
 
 namespace onion::storage {
@@ -126,18 +127,18 @@ class BufferPool {
   };
 
   const uint64_t capacity_;
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   // LRU list of resident frames, most recent at front, with an index.
-  std::list<Frame> lru_;
+  std::list<Frame> lru_ ONION_GUARDED_BY(mu_);
   std::unordered_map<FrameKey, std::list<Frame>::iterator, FrameKeyHash>
-      resident_;
+      resident_ ONION_GUARDED_BY(mu_);
   // Position of the disk head: last source/page actually read from disk.
   // Source id 0 is never assigned; the sentinel page is chosen so
   // sentinel + 1 can't match a real page.
-  uint64_t last_disk_source_ = 0;
-  uint64_t last_disk_page_ = ~0ull - 1;
-  IoStats stats_;
-  uint64_t evictions_ = 0;
+  uint64_t last_disk_source_ ONION_GUARDED_BY(mu_) = 0;
+  uint64_t last_disk_page_ ONION_GUARDED_BY(mu_) = ~0ull - 1;
+  IoStats stats_ ONION_GUARDED_BY(mu_);
+  uint64_t evictions_ ONION_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace onion::storage

@@ -8,7 +8,10 @@
 // only under its exclusive table lock; once a memtable rotates into the
 // immutable flush queue it is never written again, so concurrent readers
 // may ScanRange() it (and the background thread may FlushTo() it — const,
-// it sorts a copy) under the shared lock.
+// it sorts a copy) under the shared lock. Because the guarding lock
+// belongs to the owner, this class carries no ONION_GUARDED_BY
+// annotations; the owning pointers in SfcTable are annotated instead
+// (see docs/concurrency.md).
 
 #ifndef ONION_STORAGE_MEMTABLE_H_
 #define ONION_STORAGE_MEMTABLE_H_

@@ -453,7 +453,7 @@ Status SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
   {
     // The seek+read pair must be atomic: concurrent readers (queries
     // through the buffer pool, a background compaction cursor) share file_.
-    std::lock_guard<std::mutex> lock(io_mu_);
+    const MutexLock lock(io_mu_);
     if (!SeekTo(file_, meta.offset) ||
         std::fread(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
       return Status::Corruption("segment page read truncated: page " +

@@ -54,12 +54,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/filter_block.h"
 #include "storage/page_codec.h"
 #include "storage/page_source.h"
@@ -202,8 +203,10 @@ class SegmentReader final : public PageSource {
   Status LoadV2(const uint8_t* header, uint32_t version);
 
   std::string path_;
+  // The stream position of file_ is the shared state io_mu_ serializes:
+  // every post-construction use is ReadPage's seek+read pair under it.
   mutable std::FILE* file_;
-  mutable std::mutex io_mu_;  // serializes the seek+read pair on file_
+  mutable Mutex io_mu_;
   uint32_t version_ = 1;
   PageCodec codec_ = PageCodec::kRaw;
   uint32_t entries_per_page_ = 1;

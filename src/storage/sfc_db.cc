@@ -192,84 +192,96 @@ Result<std::unique_ptr<SfcDb>> SfcDb::Open(const std::string& dir,
                             ec.message());
   }
   std::unique_ptr<SfcDb> db(new SfcDb(dir, options));
-  std::ifstream in(db->CatalogPath());
-  if (in) {
-    std::string format;
-    int version = 0;
-    in >> format >> version;
-    if (!in || format != kCatalogFormat) {
-      return Status::InvalidArgument("bad catalog format in " + dir);
-    }
-    if (version < kMinCatalogVersion || version > kCatalogVersion) {
-      return Status::InvalidArgument("unsupported catalog version " +
-                                     std::to_string(version) + " in " + dir);
-    }
-    std::string field;
-    while (in >> field) {
-      if (field == "table") {
-        std::string name;
-        in >> name;
-        if (!ValidTableName(name)) {
-          return Status::InvalidArgument("invalid table name '" + name +
-                                         "' in catalog of " + dir);
-        }
-        db->catalog_.push_back(name);
-      } else if (field == "index" && version >= 2) {
-        std::string table, index, extractor, curve, index_dir;
-        if (!(in >> table >> index >> extractor >> curve >> index_dir)) {
-          return Status::InvalidArgument("truncated index line in catalog of " +
-                                         dir);
-        }
-        if (!ValidTableName(table) || !ValidTableName(index) ||
-            !ValidIndexDirName(index_dir)) {
-          return Status::InvalidArgument("invalid index line '" + table + " " +
-                                         index + " " + index_dir +
-                                         "' in catalog of " + dir);
-        }
-        IndexInfo info;
-        info.spec.name = index;
-        info.spec.extractor = extractor;
-        info.spec.curve = curve;
-        info.dir = index_dir;
-        info.extractor = FindIndexExtractor(extractor);
-        if (info.extractor == nullptr) {
-          return Status::InvalidArgument("unknown index extractor '" +
-                                         extractor + "' in catalog of " + dir);
-        }
-        db->indexes_[table].push_back(std::move(info));
-      } else {
-        return Status::InvalidArgument("unknown catalog field '" + field +
-                                       "' in " + dir);
+  // catalog_/indexes_ are db_mu_-guarded even though the db is still
+  // private to this thread; live_dirs snapshots the live directory set
+  // for the lock-free GC sweep below.
+  std::vector<std::string> live_dirs;
+  {
+    const MutexLock lock(db->db_mu_);
+    std::ifstream in(db->CatalogPath());
+    if (in) {
+      std::string format;
+      int version = 0;
+      in >> format >> version;
+      if (!in || format != kCatalogFormat) {
+        return Status::InvalidArgument("bad catalog format in " + dir);
       }
-    }
-    std::sort(db->catalog_.begin(), db->catalog_.end());
-    const auto dup =
-        std::adjacent_find(db->catalog_.begin(), db->catalog_.end());
-    if (dup != db->catalog_.end()) {
-      return Status::InvalidArgument("duplicate table '" + *dup +
-                                     "' in catalog of " + dir);
-    }
-    // Every index line must reference a cataloged table, and index names
-    // must be unique per table.
-    for (const auto& [table, infos] : db->indexes_) {
-      if (!std::binary_search(db->catalog_.begin(), db->catalog_.end(),
-                              table)) {
-        return Status::InvalidArgument("index on uncataloged table '" + table +
+      if (version < kMinCatalogVersion || version > kCatalogVersion) {
+        return Status::InvalidArgument("unsupported catalog version " +
+                                       std::to_string(version) + " in " + dir);
+      }
+      std::string field;
+      while (in >> field) {
+        if (field == "table") {
+          std::string name;
+          in >> name;
+          if (!ValidTableName(name)) {
+            return Status::InvalidArgument("invalid table name '" + name +
+                                           "' in catalog of " + dir);
+          }
+          db->catalog_.push_back(name);
+        } else if (field == "index" && version >= 2) {
+          std::string table, index, extractor, curve, index_dir;
+          if (!(in >> table >> index >> extractor >> curve >> index_dir)) {
+            return Status::InvalidArgument("truncated index line in catalog of " +
+                                           dir);
+          }
+          if (!ValidTableName(table) || !ValidTableName(index) ||
+              !ValidIndexDirName(index_dir)) {
+            return Status::InvalidArgument("invalid index line '" + table + " " +
+                                           index + " " + index_dir +
+                                           "' in catalog of " + dir);
+          }
+          IndexInfo info;
+          info.spec.name = index;
+          info.spec.extractor = extractor;
+          info.spec.curve = curve;
+          info.dir = index_dir;
+          info.extractor = FindIndexExtractor(extractor);
+          if (info.extractor == nullptr) {
+            return Status::InvalidArgument("unknown index extractor '" +
+                                           extractor + "' in catalog of " + dir);
+          }
+          db->indexes_[table].push_back(std::move(info));
+        } else {
+          return Status::InvalidArgument("unknown catalog field '" + field +
+                                         "' in " + dir);
+        }
+      }
+      std::sort(db->catalog_.begin(), db->catalog_.end());
+      const auto dup =
+          std::adjacent_find(db->catalog_.begin(), db->catalog_.end());
+      if (dup != db->catalog_.end()) {
+        return Status::InvalidArgument("duplicate table '" + *dup +
                                        "' in catalog of " + dir);
       }
-      for (size_t i = 0; i < infos.size(); ++i) {
-        for (size_t j = i + 1; j < infos.size(); ++j) {
-          if (infos[i].spec.name == infos[j].spec.name) {
-            return Status::InvalidArgument("duplicate index '" +
-                                           infos[i].spec.name + "' on table '" +
-                                           table + "' in catalog of " + dir);
+      // Every index line must reference a cataloged table, and index names
+      // must be unique per table.
+      for (const auto& [table, infos] : db->indexes_) {
+        if (!std::binary_search(db->catalog_.begin(), db->catalog_.end(),
+                                table)) {
+          return Status::InvalidArgument("index on uncataloged table '" + table +
+                                         "' in catalog of " + dir);
+        }
+        for (size_t i = 0; i < infos.size(); ++i) {
+          for (size_t j = i + 1; j < infos.size(); ++j) {
+            if (infos[i].spec.name == infos[j].spec.name) {
+              return Status::InvalidArgument("duplicate index '" +
+                                             infos[i].spec.name + "' on table '" +
+                                             table + "' in catalog of " + dir);
+            }
           }
         }
       }
+    } else {
+      const Status status = db->WriteCatalogLocked();  // empty catalog
+      if (!status.ok()) return status;
     }
-  } else {
-    const Status status = db->WriteCatalogLocked();  // empty catalog
-    if (!status.ok()) return status;
+    live_dirs = db->catalog_;
+    for (const auto& [table, infos] : db->indexes_) {
+      for (const IndexInfo& info : infos) live_dirs.push_back(info.dir);
+    }
+    std::sort(live_dirs.begin(), live_dirs.end());
   }
   // GC: a crash between "create table dir" and "catalog it" (or between
   // "uncatalog it" and "delete the dir") leaves an orphaned table
@@ -283,16 +295,8 @@ Result<std::unique_ptr<SfcDb>> SfcDb::Open(const std::string& dir,
   // hidden directory — so a crash mid-CreateIndex (directory built,
   // catalog not yet rewritten) or mid-migration (new generation built,
   // swap not yet durable) leaves a directory this sweep collects.
-  const auto is_live_dir = [&db](const std::string& name) {
-    if (std::binary_search(db->catalog_.begin(), db->catalog_.end(), name)) {
-      return true;
-    }
-    for (const auto& [table, infos] : db->indexes_) {
-      for (const IndexInfo& info : infos) {
-        if (info.dir == name) return true;
-      }
-    }
-    return false;
+  const auto is_live_dir = [&live_dirs](const std::string& name) {
+    return std::binary_search(live_dirs.begin(), live_dirs.end(), name);
   };
   std::vector<std::filesystem::path> orphans;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
@@ -317,6 +321,10 @@ Result<std::unique_ptr<SfcDb>> SfcDb::Open(const std::string& dir,
 }
 
 Status SfcDb::ReplayBatchLog() {
+  // Held for the whole replay: ResetBatchLogLocked (both the torn-header
+  // path and the final truncation) writes the journal handle, and no
+  // commit may interleave with recovery.
+  const MutexLock batch_lock(batch_mu_);
   std::FILE* file = std::fopen(BatchLogPath().c_str(), "rb");
   if (file == nullptr) return Status::OK();  // no journal: nothing pending
   uint8_t header[kBatchLogHeaderBytes];
@@ -379,7 +387,7 @@ Status SfcDb::ReplayBatchLog() {
       }
       Result<SfcTable*> table = Status::Internal("unresolved");
       {
-        std::lock_guard<std::mutex> lock(db_mu_);
+        const MutexLock lock(db_mu_);
         // OpenAny: journal sections may name hidden index directories
         // (index slices of an expanded batch).
         table = OpenAnyTableLocked(name, options_.table_options);
@@ -435,7 +443,7 @@ Result<SfcTable*> SfcDb::CreateTable(const std::string& name,
                                      const std::string& curve_name,
                                      const Universe& universe,
                                      const SfcTableOptions& options) {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock lock(db_mu_);
   if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
   if (!ValidTableName(name)) {
     return Status::InvalidArgument("invalid table name '" + name +
@@ -483,7 +491,7 @@ Result<SfcTable*> SfcDb::OpenTable(const std::string& name,
   if (name.find(kHiddenIndexInfix) != std::string::npos) {
     return Status::NotFound("no table '" + name + "' in " + dir_);
   }
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock lock(db_mu_);
   return OpenTableLocked(name, options);
 }
 
@@ -563,17 +571,9 @@ Status SfcDb::Write(WriteBatch&& batch) {
   // open tables on demand, map cells to curve keys. Any error here
   // applies nothing. Dropping an involved table concurrently with this
   // Write is caller error, exactly like using any dropped handle.
-  struct TableSlice {
-    SfcTable* table = nullptr;
-    std::string name;
-    std::vector<WalOp> ops;
-    uint64_t first_seq = 0;
-    std::shared_ptr<WalWriter> wal;
-    uint64_t record = 0;
-  };
   std::vector<TableSlice> slices;
   {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    const MutexLock lock(db_mu_);
     if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
     const auto slice_for = [&slices](SfcTable* table,
                                      const std::string& name) -> TableSlice* {
@@ -653,8 +653,35 @@ Status SfcDb::Write(WriteBatch&& batch) {
   for (const TableSlice& slice : slices) {
     want_fsync = want_fsync || slice.table->options_.wal_fsync;
   }
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  if (slices.size() > 1 && batch_log_poisoned_) {
+  const MutexLock batch_lock(batch_mu_);
+  const Status status =
+      CommitSlicesLocked(&slices, want_fsync, &journal_bytes);
+  if (!status.ok()) return status;
+  // Power-loss durability on request: CommitSlicesLocked already
+  // fsynced the journal record (before any table append); finish with
+  // each table's WAL via group commit, outside the writer locks.
+  if (want_fsync) {
+    for (const TableSlice& slice : slices) {
+      const Status synced = slice.wal->SyncUpTo(slice.record);
+      if (!synced.ok()) return synced;
+    }
+  }
+  trace_->Add(obs::TraceEvent{
+      trace_->NextId(), obs::TraceKind::kBatchCommit,
+      slices.size() > 1 ? "multi" : slices.front().name,
+      commit_timer.start_us(), obs::NowMicros() - commit_timer.start_us(),
+      journal_bytes, num_ops});
+  return Status::OK();
+}
+
+Status SfcDb::CommitSlicesLocked(std::vector<TableSlice>* slices,
+                                 bool want_fsync, uint64_t* journal_bytes) {
+  // Lock tracking is opted out here (the declaration carries
+  // ONION_NO_THREAD_SAFETY_ANALYSIS): the involved tables' writer locks
+  // form a DYNAMIC set — one LockWal per slice, in the caller's
+  // sorted-pointer order — which the static analysis cannot express.
+  // batch_mu_ is still enforced at every call site via ONION_REQUIRES.
+  if (slices->size() > 1 && batch_log_poisoned_) {
     // A journal append failed while an earlier record was still
     // un-applied: the torn tail blocks new records from ever being
     // replayable, and truncating would lose the un-applied one. Only a
@@ -663,14 +690,14 @@ Status SfcDb::Write(WriteBatch&& batch) {
         "batch journal needs recovery (reopen the database): " +
         BatchLogPath());
   }
-  for (TableSlice& slice : slices) slice.table->LockWal();
+  for (TableSlice& slice : *slices) slice.table->LockWal();
   Status status;
-  for (TableSlice& slice : slices) {
+  for (TableSlice& slice : *slices) {
     status = slice.table->PrecheckWritableWalLocked();
     if (!status.ok()) break;
   }
   if (status.ok()) {
-    for (TableSlice& slice : slices) {
+    for (TableSlice& slice : *slices) {
       slice.first_seq =
           slice.table->ReserveSequencesWalLocked(slice.ops.size());
     }
@@ -678,11 +705,11 @@ Status SfcDb::Write(WriteBatch&& batch) {
     // OS-flushed) BEFORE any table sees the batch, so a crash between the
     // per-table applies is repaired by replay. A single-table batch needs
     // no journal — its one WAL record is already atomic.
-    if (slices.size() > 1) {
+    if (slices->size() > 1) {
       std::vector<uint8_t> body;
       body.resize(4);
-      PutU32(body.data(), static_cast<uint32_t>(slices.size()));
-      for (const TableSlice& slice : slices) {
+      PutU32(body.data(), static_cast<uint32_t>(slices->size()));
+      for (const TableSlice& slice : *slices) {
         const size_t at = body.size();
         body.resize(at + JournalSectionBytes(slice.name, slice.ops.size()));
         uint8_t* p = body.data() + at;
@@ -741,7 +768,7 @@ Status SfcDb::Write(WriteBatch&& batch) {
           }
         } else {
           batch_log_bytes_ += 8 + body.size();
-          journal_bytes = 8 + body.size();
+          *journal_bytes = 8 + body.size();
           // The cross-table commit point must not be able to reach disk
           // AFTER a table slice it repairs: under wal_fsync (power-loss
           // durability) sync the journal record BEFORE any table WAL
@@ -753,7 +780,7 @@ Status SfcDb::Write(WriteBatch&& batch) {
     }
   }
   if (status.ok()) {
-    for (TableSlice& slice : slices) {
+    for (TableSlice& slice : *slices) {
       status = slice.table->ApplyOpsWalLocked(slice.ops.data(),
                                               slice.ops.size(),
                                               slice.first_seq, &slice.wal,
@@ -763,37 +790,22 @@ Status SfcDb::Write(WriteBatch&& batch) {
       // Open; the commit itself is reported failed. Until that replay,
       // the record must survive every truncation path.
       if (!status.ok()) {
-        if (slices.size() > 1) batch_log_needs_replay_ = true;
+        if (slices->size() > 1) batch_log_needs_replay_ = true;
         break;
       }
     }
   }
-  for (auto it = slices.rbegin(); it != slices.rend(); ++it) {
+  for (auto it = slices->rbegin(); it != slices->rend(); ++it) {
     it->table->UnlockWal();
   }
-  if (!status.ok()) return status;
-  // Power-loss durability on request: the journal record was already
-  // fsynced above (before any table append); finish with each table's
-  // WAL via group commit, outside the writer locks.
-  if (want_fsync) {
-    for (const TableSlice& slice : slices) {
-      const Status synced = slice.wal->SyncUpTo(slice.record);
-      if (!synced.ok()) return synced;
-    }
-  }
-  trace_->Add(obs::TraceEvent{
-      trace_->NextId(), obs::TraceKind::kBatchCommit,
-      slices.size() > 1 ? "multi" : slices.front().name,
-      commit_timer.start_us(), obs::NowMicros() - commit_timer.start_us(),
-      journal_bytes, num_ops});
-  return Status::OK();
+  return status;
 }
 
 Result<std::shared_ptr<const DbSnapshot>> SfcDb::GetSnapshot() {
   // batch_mu_ first: no WriteBatch can commit between two tables' pins,
   // so the per-table sequences agree on every batch (all or nothing).
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock batch_lock(batch_mu_);
+  const MutexLock lock(db_mu_);
   if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
   auto snapshot = std::make_shared<DbSnapshot>();
   for (auto& [name, table] : open_tables_) {
@@ -804,7 +816,7 @@ Result<std::shared_ptr<const DbSnapshot>> SfcDb::GetSnapshot() {
 
 SfcTable* SfcDb::GetTable(const std::string& name) const {
   if (name.find(kHiddenIndexInfix) != std::string::npos) return nullptr;
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock lock(db_mu_);
   const auto it = open_tables_.find(name);
   return it != open_tables_.end() ? it->second.get() : nullptr;
 }
@@ -812,8 +824,8 @@ SfcTable* SfcDb::GetTable(const std::string& name) const {
 Status SfcDb::DropTable(const std::string& name) {
   // batch_mu_ first (global order): no Write may be expanding ops against
   // this table's indexes while they are being destroyed.
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock batch_lock(batch_mu_);
+  const MutexLock lock(db_mu_);
   if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
   const auto catalog_it =
       std::lower_bound(catalog_.begin(), catalog_.end(), name);
@@ -824,7 +836,8 @@ Status SfcDb::DropTable(const std::string& name) {
   // caller, per the handle-lifetime contract) touches files mid-delete.
   const auto open_it = open_tables_.find(name);
   if (open_it != open_tables_.end()) {
-    open_it->second->Close();  // drop discards data; a close error is moot
+    // Drop discards data anyway; a close error is moot.
+    (void)open_it->second->Close();
     open_tables_.erase(open_it);
   }
   // The table's secondary indexes die with it: uncatalog them in the same
@@ -849,7 +862,8 @@ Status SfcDb::DropTable(const std::string& name) {
   for (const IndexInfo& info : dropped_indexes) {
     const auto open_index_it = open_tables_.find(info.dir);
     if (open_index_it != open_tables_.end()) {
-      open_index_it->second->Close();
+      // The index dies with its table; a close error is moot.
+      (void)open_index_it->second->Close();
       open_tables_.erase(open_index_it);
     }
     std::filesystem::remove_all(TablePath(info.dir), ec);
@@ -863,7 +877,7 @@ Status SfcDb::DropTable(const std::string& name) {
 }
 
 std::vector<std::string> SfcDb::ListTables() const {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock lock(db_mu_);
   return catalog_;
 }
 
@@ -921,8 +935,8 @@ Status SfcDb::CreateIndex(const std::string& table,
                           const SecondaryIndexSpec& spec) {
   // batch_mu_ first: the backfill must see a base no Write can move, and
   // the catalog flip must not interleave with an expanding commit.
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock batch_lock(batch_mu_);
+  const MutexLock lock(db_mu_);
   if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
   if (!ValidTableName(spec.name) ||
       spec.name.find(kHiddenIndexInfix) != std::string::npos) {
@@ -992,8 +1006,8 @@ Status SfcDb::CreateIndex(const std::string& table,
 }
 
 Status SfcDb::DropIndex(const std::string& table, const std::string& index) {
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock batch_lock(batch_mu_);
+  const MutexLock lock(db_mu_);
   if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
   const auto it = indexes_.find(table);
   if (it == indexes_.end()) {
@@ -1021,7 +1035,8 @@ Status SfcDb::DropIndex(const std::string& table, const std::string& index) {
   }
   const auto open_it = open_tables_.find(removed.dir);
   if (open_it != open_tables_.end()) {
-    open_it->second->Close();  // drop discards data; a close error is moot
+    // Drop discards data anyway; a close error is moot.
+    (void)open_it->second->Close();
     open_tables_.erase(open_it);
   }
   std::error_code ec;
@@ -1035,7 +1050,7 @@ Status SfcDb::DropIndex(const std::string& table, const std::string& index) {
 
 std::vector<SecondaryIndexSpec> SfcDb::ListIndexes(
     const std::string& table) const {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock lock(db_mu_);
   std::vector<SecondaryIndexSpec> specs;
   const auto it = indexes_.find(table);
   if (it == indexes_.end()) return specs;
@@ -1045,7 +1060,7 @@ std::vector<SecondaryIndexSpec> SfcDb::ListIndexes(
 
 Result<SfcTable*> SfcDb::IndexTable(const std::string& table,
                                     const std::string& index) {
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock lock(db_mu_);
   if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
   IndexInfo* info = FindIndexLocked(table, index);
   if (info == nullptr) {
@@ -1062,7 +1077,7 @@ std::unique_ptr<Cursor> SfcDb::NewIndexCursor(const std::string& table,
   SfcTable* base = nullptr;
   SfcTable* index_table = nullptr;
   {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    const MutexLock lock(db_mu_);
     if (closed_) {
       return NewErrorCursor(
           Status::InvalidArgument("database is closed: " + dir_));
@@ -1117,7 +1132,7 @@ Result<CurveAdvice> SfcDb::AdviseCurve(const std::string& table,
   std::vector<Box> workload = boxes;
   std::optional<Universe> universe;
   {
-    std::lock_guard<std::mutex> lock(db_mu_);
+    const MutexLock lock(db_mu_);
     if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
     IndexInfo* info = FindIndexLocked(table, index);
     if (info == nullptr) {
@@ -1146,8 +1161,8 @@ Status SfcDb::MigrateIndexCurve(const std::string& table,
   // Offline rebuild: hold batch_mu_ so no Write lands between the
   // backfill scan and the catalog swap (the new generation would miss
   // it).
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock batch_lock(batch_mu_);
+  const MutexLock lock(db_mu_);
   if (closed_) return Status::InvalidArgument("database is closed: " + dir_);
   if (!ValidTableName(new_curve)) {
     return Status::InvalidArgument("invalid curve name '" + new_curve + "'");
@@ -1201,7 +1216,8 @@ Status SfcDb::MigrateIndexCurve(const std::string& table,
   open_tables_[new_dir] = std::move(built).value();
   const auto open_it = open_tables_.find(old_dir);
   if (open_it != open_tables_.end()) {
-    open_it->second->Close();
+    // The old generation is deleted right below; a close error is moot.
+    (void)open_it->second->Close();
     open_tables_.erase(open_it);
   }
   std::error_code ec;
@@ -1218,7 +1234,7 @@ std::string SfcDb::DumpMetrics(obs::MetricsFormat format) const {
   // Refresh the dump-time gauges. batch_mu_ before db_mu_, per the
   // global lock order.
   {
-    std::lock_guard<std::mutex> batch_lock(batch_mu_);
+    const MutexLock batch_lock(batch_mu_);
     metrics_->gauge("batchlog.bytes")
         ->Set(static_cast<int64_t>(batch_log_bytes_));
   }
@@ -1231,7 +1247,7 @@ std::string SfcDb::DumpMetrics(obs::MetricsFormat format) const {
   const double hit_ratio =
       touches > 0 ? static_cast<double>(pool_io.cache_hits) / touches : 0.0;
 
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock lock(db_mu_);
   metrics_->gauge("workers.queue_depth")
       ->Set(workers_ != nullptr
                 ? static_cast<int64_t>(workers_->queue_depth())
@@ -1284,8 +1300,8 @@ std::string SfcDb::DumpMetrics(obs::MetricsFormat format) const {
 Status SfcDb::Close() {
   // batch_mu_ before db_mu_ (the global order): no Write or GetSnapshot
   // can be mid-commit while the tables shut down.
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-  std::lock_guard<std::mutex> lock(db_mu_);
+  const MutexLock batch_lock(batch_mu_);
+  const MutexLock lock(db_mu_);
   if (closed_) return Status::OK();
   closed_ = true;
   Status first;

@@ -75,12 +75,13 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "analysis/advisor.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/disk_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -313,30 +314,53 @@ class SfcDb {
   std::string TablePath(const std::string& name) const;
   std::string CatalogPath() const;
   std::string BatchLogPath() const;
-  /// Atomically rewrites CATALOG from catalog_ + indexes_. Requires
-  /// db_mu_ held.
-  Status WriteCatalogLocked() const;
+  /// Atomically rewrites CATALOG from catalog_ + indexes_.
+  Status WriteCatalogLocked() const ONION_REQUIRES(db_mu_);
   Result<SfcTable*> OpenTableLocked(const std::string& name,
-                                    const SfcTableOptions& options);
+                                    const SfcTableOptions& options)
+      ONION_REQUIRES(db_mu_);
   /// OpenTableLocked for cataloged tables OR hidden index directories
   /// (which the public OpenTable deliberately refuses).
   Result<SfcTable*> OpenAnyTableLocked(const std::string& name,
-                                       const SfcTableOptions& options);
+                                       const SfcTableOptions& options)
+      ONION_REQUIRES(db_mu_);
   IndexInfo* FindIndexLocked(const std::string& table,
-                             const std::string& index);
+                             const std::string& index)
+      ONION_REQUIRES(db_mu_);
   /// Builds (creates + backfills from the base's current contents) one
   /// hidden index table directory. Requires batch_mu_ + db_mu_ held (no
   /// concurrent writes). On failure the directory is removed.
   Result<std::unique_ptr<SfcTable>> BuildIndexTableLocked(
       SfcTable* base, const IndexExtractor& extractor,
-      const std::string& curve_name, const std::string& dir_name);
-  /// (Re)creates an empty BATCHLOG (header only). Requires batch_mu_ held
-  /// (or exclusive access during Open/Close).
-  Status ResetBatchLogLocked();
+      const std::string& curve_name, const std::string& dir_name)
+      ONION_REQUIRES(batch_mu_, db_mu_);
+  /// (Re)creates an empty BATCHLOG (header only).
+  Status ResetBatchLogLocked() ONION_REQUIRES(batch_mu_);
   /// Open-time recovery: applies every journaled batch op a table's own
   /// WAL does not already cover (idempotent via per-table last_sequence),
   /// then truncates the journal. Tolerates a torn tail.
-  Status ReplayBatchLog();
+  Status ReplayBatchLog() ONION_EXCLUDES(batch_mu_, db_mu_);
+  /// One table's share of a WriteBatch commit: its validated ops, the
+  /// sequence range reserved for them, and the WAL handles pinned while
+  /// the table's writer lock is held. Built by Write() under db_mu_,
+  /// consumed by CommitSlicesLocked under batch_mu_.
+  struct TableSlice {
+    SfcTable* table = nullptr;
+    std::string name;
+    std::vector<WalOp> ops;
+    uint64_t first_seq = 0;
+    std::shared_ptr<WalWriter> wal;
+    uint64_t record = 0;
+  };
+  /// The commit fan-out of Write(): journals a multi-table batch and
+  /// applies every table's slice while holding ALL involved tables' writer
+  /// locks (a dynamic, sorted set — see the definition for why the body's
+  /// lock tracking is opted out while call sites still check batch_mu_).
+  /// `journal_bytes` receives the bytes appended to BATCHLOG (0 for
+  /// single-table batches, which skip the journal).
+  Status CommitSlicesLocked(std::vector<TableSlice>* slices, bool want_fsync,
+                            uint64_t* journal_bytes)
+      ONION_REQUIRES(batch_mu_) ONION_NO_THREAD_SAFETY_ANALYSIS;
 
   const std::string dir_;
   const SfcDbOptions options_;
@@ -357,26 +381,30 @@ class SfcDb {
   // guards the batch journal. Acquisition order: batch_mu_ strictly
   // before db_mu_ and before any table's writer lock. Mutable so the
   // const DumpMetrics can read batch_log_bytes_.
-  mutable std::mutex batch_mu_;
-  std::FILE* batch_log_ = nullptr;  // lazily created on first use
-  uint64_t batch_log_bytes_ = 0;
+  mutable Mutex batch_mu_ ONION_ACQUIRED_BEFORE(db_mu_);
+  // Lazily created on first use.
+  std::FILE* batch_log_ ONION_GUARDED_BY(batch_mu_) = nullptr;
+  uint64_t batch_log_bytes_ ONION_GUARDED_BY(batch_mu_) = 0;
   // A journaled record failed to apply to every table: it is the only
   // repair copy, so truncation is disabled until the next Open replays
   // it. If the journal ALSO suffers an append failure in that state,
   // multi-table commits are refused entirely (poisoned) until reopen.
-  bool batch_log_needs_replay_ = false;
-  bool batch_log_poisoned_ = false;
+  bool batch_log_needs_replay_ ONION_GUARDED_BY(batch_mu_) = false;
+  bool batch_log_poisoned_ ONION_GUARDED_BY(batch_mu_) = false;
 
-  mutable std::mutex db_mu_;
-  std::vector<std::string> catalog_;  // sorted table names
+  mutable Mutex db_mu_;
+  // Sorted table names.
+  std::vector<std::string> catalog_ ONION_GUARDED_BY(db_mu_);
   /// Secondary indexes per base table, in creation order. An entry's
   /// hidden table may or may not be open; its directory is live on disk
   /// exactly while the entry exists (catalog `index` lines mirror this).
-  std::map<std::string, std::vector<IndexInfo>> indexes_;
+  std::map<std::string, std::vector<IndexInfo>> indexes_
+      ONION_GUARDED_BY(db_mu_);
   // Declared after workers_/pool_ so tables are destroyed first (their
   // destructors unregister from the worker pool).
-  std::map<std::string, std::unique_ptr<SfcTable>> open_tables_;
-  bool closed_ = false;
+  std::map<std::string, std::unique_ptr<SfcTable>> open_tables_
+      ONION_GUARDED_BY(db_mu_);
+  bool closed_ ONION_GUARDED_BY(db_mu_) = false;
   // Index read-path metric handles (resolved in the ctor).
   obs::Counter* index_queries_ = nullptr;
   obs::Counter* index_dangling_ = nullptr;

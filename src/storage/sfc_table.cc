@@ -221,7 +221,7 @@ Status SfcTable::WriteManifestFile(const std::string& text) const {
   return SyncDir(dir_);
 }
 
-Status SfcTable::InstallManifest(std::unique_lock<std::shared_mutex>& lock) {
+Status SfcTable::InstallManifest() {
   // Requires mu_ held on entry and returns with it held, but does the
   // expensive part (tmp write + two fsyncs + rename) WITHOUT it, so
   // queries and inserts are not stalled behind manifest durability.
@@ -233,13 +233,13 @@ Status SfcTable::InstallManifest(std::unique_lock<std::shared_mutex>& lock) {
   // deadlock-free), then the text is snapshotted under mu_, then mu_ is
   // dropped for the file I/O. A concurrent installer blocks on
   // manifest_mu_ and will snapshot strictly later state.
-  lock.unlock();
-  std::lock_guard<std::mutex> manifest_lock(manifest_mu_);
-  lock.lock();
+  mu_.Unlock();
+  const MutexLock manifest_lock(manifest_mu_);
+  mu_.Lock();
   const std::string text = ManifestTextLocked();
-  lock.unlock();
+  mu_.Unlock();
   const Status status = WriteManifestFile(text);
-  lock.lock();
+  mu_.Lock();
   return status;
 }
 
@@ -252,13 +252,19 @@ void SfcTable::StartWorker() {
                                metrics_->counter("workers.tasks_run"));
     workers_ = owned_workers_.get();
   }
-  worker_client_ = workers_->Register([this] { return RunBackgroundWork(); });
+  const WorkerPool::ClientId client =
+      workers_->Register([this] { return RunBackgroundWork(); });
+  // worker_client_ is mu_-guarded: NotifyWorkerLocked and StopWorker read
+  // it there, and a table reopened after Close() restarts concurrently
+  // with in-flight readers.
+  const WriterLock lock(mu_);
+  worker_client_ = client;
 }
 
 void SfcTable::StopWorker() {
   WorkerPool::ClientId client = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    const WriterLock lock(mu_);
     client = worker_client_;
     worker_client_ = 0;
   }
@@ -274,12 +280,12 @@ void SfcTable::NotifyWorkerLocked() {
 }
 
 bool SfcTable::RunBackgroundWork() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  const WriterLock lock(mu_);
   if (!background_error_.ok()) return false;
   if (!pending_.empty()) {
-    FlushPendingLocked(lock);
+    FlushPendingLocked();
   } else if (compaction_pending_) {
-    RunCompactionLocked(lock);
+    RunCompactionLocked();
   } else {
     return false;
   }
@@ -320,8 +326,8 @@ Result<std::unique_ptr<SfcTable>> SfcTable::CreateWithShared(
       new SfcTable(dir, std::move(curve).value(), options, shared));
   Status status;
   {
-    std::unique_lock<std::shared_mutex> lock(table->mu_);
-    status = table->InstallManifest(lock);
+    const WriterLock lock(table->mu_);
+    status = table->InstallManifest();
   }
   if (!status.ok()) return status;
   // The table group-commits fsyncs itself (see Insert), so the writer is
@@ -519,7 +525,7 @@ Result<std::unique_ptr<SfcTable>> SfcTable::OpenWithShared(
 }
 
 uint64_t SfcTable::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   uint64_t total = memtable_.size();
   for (const PendingMemtable& batch : pending_) {
     if (!batch.installed) total += batch.mem.size();
@@ -536,14 +542,14 @@ uint64_t SfcTable::size() const {
 }
 
 size_t SfcTable::num_segments() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   size_t count = l0_.size();
   for (const auto& level_segments : levels_) count += level_segments.size();
   return count;
 }
 
 uint64_t SfcTable::memtable_entries() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   uint64_t total = memtable_.size();
   for (const PendingMemtable& batch : pending_) {
     if (!batch.installed) total += batch.mem.size();
@@ -552,12 +558,12 @@ uint64_t SfcTable::memtable_entries() const {
 }
 
 size_t SfcTable::pending_memtables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   return pending_.size();
 }
 
 std::vector<SegmentInfo> SfcTable::SegmentInfos() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   std::vector<SegmentInfo> infos;
   const auto add = [&](const TableSegment& segment) {
     infos.push_back(SegmentInfo{segment.file, segment.level,
@@ -595,7 +601,7 @@ Status SfcTable::Delete(const Cell& cell) {
 }
 
 Status SfcTable::PrecheckWritableWalLocked() {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   if (closed_) return Status::InvalidArgument("table is closed: " + dir_);
   return background_error_;
 }
@@ -610,7 +616,7 @@ Status SfcTable::ApplyOpsWalLocked(const WalOp* ops, size_t count,
                                    uint64_t first_seq,
                                    std::shared_ptr<WalWriter>* used_wal,
                                    uint64_t* out_record) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (closed_) return Status::InvalidArgument("table is closed: " + dir_);
   if (!background_error_.ok()) return background_error_;
   // Rotate BEFORE buffering so a failed WAL append has not retained any
@@ -620,18 +626,18 @@ Status SfcTable::ApplyOpsWalLocked(const WalOp* ops, size_t count,
   // already buffered — see the wal_fsync caveat in sfc_table.h.)
   if (memtable_.size() >= options_.memtable_flush_entries) {
     const Status status =
-        RotateMemtableLocked(lock, options_.memtable_flush_entries);
+        RotateMemtableLocked(options_.memtable_flush_entries);
     if (!status.ok()) return status;
   }
   *used_wal = wal_;  // stable: wal_mu_ (held by the caller) excludes rotation
-  lock.unlock();
+  lock.Unlock();
   // The WAL file I/O runs with mu_ RELEASED — readers are never stalled
   // behind a record's fflush. One record per commit: replay is
   // all-or-nothing for the whole op batch.
   const Status status =
       (*used_wal)->AppendBatch(ops, count, first_seq, out_record);
   if (!status.ok()) return status;  // nothing buffered: retry-safe
-  lock.lock();
+  lock.Lock();
   {
     const obs::ScopedTimer insert_timer(m_.memtable_insert_us);
     for (size_t i = 0; i < count; ++i) {
@@ -662,7 +668,7 @@ Status SfcTable::WriteOps(const WalOp* ops, size_t count) {
   {
     // wal_mu_ serializes writers and pins the active WAL for the duration
     // of this commit; sequence order == append order == apply order.
-    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    const MutexLock wal_lock(wal_mu_);
     const Status status = PrecheckWritableWalLocked();
     if (!status.ok()) return status;
     const uint64_t first_seq = ReserveSequencesWalLocked(count);
@@ -679,7 +685,7 @@ Status SfcTable::WriteOps(const WalOp* ops, size_t count) {
 
 Status SfcTable::ReplayCommittedOps(const WalOp* ops, size_t count,
                                     uint64_t first_seq) {
-  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  const MutexLock wal_lock(wal_mu_);
   const Status status = PrecheckWritableWalLocked();
   if (!status.ok()) return status;
   // The record's sequences are history — reuse them verbatim and move the
@@ -691,7 +697,7 @@ Status SfcTable::ReplayCommittedOps(const WalOp* ops, size_t count,
 }
 
 bool SfcTable::RecoveredStateCoversSequence(uint64_t sequence) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  const ReaderLock lock(mu_);
   // Flushed generations hold strictly older sequences than anything
   // unflushed, so the manifest fence is authoritative below it. (Residual
   // caveat: a commit that RETURNED AN ERROR mid-batch burns its sequences
@@ -706,8 +712,15 @@ bool SfcTable::RecoveredStateCoversSequence(uint64_t sequence) const {
 }
 
 Status SfcTable::SyncWalForRecovery() {
-  std::lock_guard<std::mutex> wal_lock(wal_mu_);
-  return wal_->Sync();
+  const MutexLock wal_lock(wal_mu_);
+  std::shared_ptr<WalWriter> wal;
+  {
+    // wal_ is mu_-guarded; wal_mu_ (held) is what pins the writer object
+    // against rotation for the Sync below.
+    const ReaderLock lock(mu_);
+    wal = wal_;
+  }
+  return wal->Sync();
 }
 
 std::shared_ptr<const Snapshot> SfcTable::GetSnapshot() {
@@ -716,7 +729,7 @@ std::shared_ptr<const Snapshot> SfcTable::GetSnapshot() {
   {
     // Registering in the same hold that reads the sequence keeps the pin
     // list consistent with what compaction may collect.
-    std::lock_guard<std::mutex> lock(snapshots_->mu);
+    const MutexLock lock(snapshots_->mu);
     snapshot->sequence = last_applied_seq_.load(std::memory_order_acquire);
     snapshots_->pins.insert({snapshot->sequence, snapshot->created_us});
   }
@@ -726,7 +739,7 @@ std::shared_ptr<const Snapshot> SfcTable::GetSnapshot() {
   return std::shared_ptr<const Snapshot>(
       snapshot, [registry = snapshots_](const Snapshot* released) {
         {
-          std::lock_guard<std::mutex> lock(registry->mu);
+          const MutexLock lock(registry->mu);
           const auto it = registry->pins.find(
               {released->sequence, released->created_us});
           if (it != registry->pins.end()) registry->pins.erase(it);
@@ -736,7 +749,7 @@ std::shared_ptr<const Snapshot> SfcTable::GetSnapshot() {
 }
 
 std::vector<uint64_t> SfcTable::PinnedSnapshotSequences() const {
-  std::lock_guard<std::mutex> lock(snapshots_->mu);
+  const MutexLock lock(snapshots_->mu);
   std::vector<uint64_t> sequences;
   sequences.reserve(snapshots_->pins.size());
   // The multiset orders by (sequence, created_us), so this stays sorted.
@@ -749,7 +762,7 @@ std::vector<uint64_t> SfcTable::PinnedSnapshotSequences() const {
 uint64_t SfcTable::OldestSnapshotPinAgeUs() const {
   uint64_t oldest = 0;
   {
-    std::lock_guard<std::mutex> lock(snapshots_->mu);
+    const MutexLock lock(snapshots_->mu);
     // Lowest sequence is not necessarily the earliest pin; scan created_us.
     for (const auto& [sequence, created_us] : snapshots_->pins) {
       if (oldest == 0 || created_us < oldest) oldest = created_us;
@@ -760,16 +773,15 @@ uint64_t SfcTable::OldestSnapshotPinAgeUs() const {
   return now > oldest ? now - oldest : 0;
 }
 
-Status SfcTable::RotateMemtableLocked(
-    std::unique_lock<std::shared_mutex>& lock, uint64_t min_entries) {
+Status SfcTable::RotateMemtableLocked(uint64_t min_entries) {
   // Bounded queue: block while max_pending_memtables generations are
   // already waiting for the background flush. (The wait releases mu_ but
   // keeps the caller's wal_mu_, so no other writer can rotate meanwhile;
   // the min_entries recheck below is defense in depth.)
-  cv_.wait(lock, [&] {
-    return !background_error_.ok() ||
-           pending_.size() < options_.max_pending_memtables;
-  });
+  while (background_error_.ok() &&
+         pending_.size() >= options_.max_pending_memtables) {
+    cv_.Wait(mu_);
+  }
   if (!background_error_.ok()) return background_error_;
   if (memtable_.size() < min_entries) return Status::OK();
   // Open the next WAL first: if that fails, the current generation stays
@@ -789,35 +801,36 @@ Status SfcTable::RotateMemtableLocked(
   wal_files_ = {WalFileName(id)};
   max_wal_id_ = id;
   NotifyWorkerLocked();
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 Status SfcTable::Flush() {
   {
-    std::lock_guard<std::mutex> wal_lock(wal_mu_);
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    const MutexLock wal_lock(wal_mu_);
+    const WriterLock lock(mu_);
     if (!background_error_.ok()) return background_error_;
     if (!memtable_.empty()) {
-      const Status status = RotateMemtableLocked(lock, 1);
+      const Status status = RotateMemtableLocked(1);
       if (!status.ok()) return status;
     }
   }  // release wal_mu_: writers may proceed while we wait for the barrier
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  const WriterLock lock(mu_);
   // Barrier: everything rotated is durable in segments and the level
   // structure has settled before we return.
-  cv_.wait(lock, [&] {
-    return !background_error_.ok() ||
-           (pending_.empty() && !compaction_pending_ && !compaction_inflight_);
-  });
+  while (background_error_.ok() &&
+         !(pending_.empty() && !compaction_pending_ &&
+           !compaction_inflight_)) {
+    cv_.Wait(mu_);
+  }
   return background_error_;
 }
 
 Status SfcTable::Close() {
   Status rotate_status;
   {
-    std::lock_guard<std::mutex> wal_lock(wal_mu_);
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    const MutexLock wal_lock(wal_mu_);
+    const WriterLock lock(mu_);
     // No early return when already closed: EVERY Close() call falls
     // through to the quiesce barrier below, so a second (possibly
     // concurrent) Close() cannot report "flushed and stopped" while the
@@ -825,21 +838,21 @@ Status SfcTable::Close() {
     if (!closed_) {
       closed_ = true;  // writers arriving from here on are refused
       if (background_error_.ok() && !memtable_.empty()) {
-        rotate_status = RotateMemtableLocked(lock, 1);
+        rotate_status = RotateMemtableLocked(1);
       }
     }
   }
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    const WriterLock lock(mu_);
     // The predicate includes manual_compaction_: a Compact() that passed
     // its closed_ check before we flipped the flag must finish (and any
     // compaction it re-armed must drain) before the worker is stopped,
     // or it would install manifests into a "closed" table.
-    cv_.wait(lock, [&] {
-      return !background_error_.ok() ||
-             (pending_.empty() && !compaction_pending_ &&
-              !compaction_inflight_ && !manual_compaction_);
-    });
+    while (background_error_.ok() &&
+           !(pending_.empty() && !compaction_pending_ &&
+             !compaction_inflight_ && !manual_compaction_)) {
+      cv_.Wait(mu_);
+    }
     if (rotate_status.ok()) rotate_status = background_error_;
   }
   // Quiesced (or failed): stop background processing either way. Reads
@@ -850,10 +863,10 @@ Status SfcTable::Close() {
 
 void SfcTable::SetBackgroundErrorLocked(const Status& status) {
   if (background_error_.ok()) background_error_ = status;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
-void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
+void SfcTable::FlushPendingLocked() {
   // The front reference stays valid while unlocked: only one worker runs
   // this table's background work at a time (WorkerPool guarantee), only
   // that worker pops, and deque growth does not invalidate references.
@@ -866,7 +879,7 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
     const std::string file = SegmentFileName(next_segment_id_++);
     const std::string path = SegmentPath(file);
     std::shared_ptr<SegmentReader> reader;
-    lock.unlock();
+    mu_.Unlock();
     {
       SegmentWriter writer(path, WriterOptions());
       status = batch.mem.FlushTo(&writer);
@@ -880,7 +893,7 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
         status = opened.status();
       }
     }
-    lock.lock();
+    mu_.Lock();
     if (!status.ok()) {
       // Never entered the in-memory state, so no manifest can name it.
       std::remove(path.c_str());
@@ -902,7 +915,7 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
   // makes these sequences durable — the same atomic install that fences
   // the WAL files carrying them.
   flushed_seq_ = std::max(flushed_seq_, batch.mem.max_sequence());
-  status = InstallManifest(lock);
+  status = InstallManifest();
   if (!status.ok()) {
     if (installed.reader != nullptr) {
       // Remove by identity — the lock was released during the install, so
@@ -938,7 +951,7 @@ void SfcTable::FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock) {
   if (!manual_compaction_ && l0_.size() >= options_.l0_compaction_trigger) {
     compaction_pending_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool SfcTable::HasAutoCompactionWorkLocked() const {
@@ -953,8 +966,7 @@ bool SfcTable::HasAutoCompactionWorkLocked() const {
   return false;
 }
 
-void SfcTable::RunCompactionLocked(
-    std::unique_lock<std::shared_mutex>& lock) {
+void SfcTable::RunCompactionLocked() {
   compaction_pending_ = false;
   if (manual_compaction_) return;
 
@@ -1023,7 +1035,7 @@ void SfcTable::RunCompactionLocked(
     auto& move_dest = levels_[out_level - 1];
     move_dest.push_back(std::move(moved));
     SortByMinKey(&move_dest);
-    const Status status = InstallManifest(lock);
+    const Status status = InstallManifest();
     compaction_inflight_ = false;
     if (!status.ok()) {
       l0_ = l0_backup;
@@ -1032,7 +1044,7 @@ void SfcTable::RunCompactionLocked(
       return;
     }
     if (HasAutoCompactionWorkLocked()) compaction_pending_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
     return;
   }
   std::vector<const SegmentReader*> raw;
@@ -1057,14 +1069,14 @@ void SfcTable::RunCompactionLocked(
   for (size_t i = static_cast<size_t>(out_level); i < levels_.size(); ++i) {
     if (!levels_[i].empty()) gc.bottom_level = false;
   }
-  lock.unlock();
+  mu_.Unlock();
 
   std::vector<std::string> out_files;
   std::vector<std::unique_ptr<SegmentWriter>> outs;
   auto open_output = [&]() {
     uint64_t id = 0;
     {
-      std::unique_lock<std::shared_mutex> id_lock(mu_);
+      const WriterLock id_lock(mu_);
       id = next_segment_id_++;
     }
     out_files.push_back(SegmentFileName(id));
@@ -1086,7 +1098,7 @@ void SfcTable::RunCompactionLocked(
     }
   }
 
-  lock.lock();
+  mu_.Lock();
   if (!status.ok()) {
     compaction_inflight_ = false;
     // The outputs never entered the in-memory state; no manifest can name
@@ -1106,7 +1118,7 @@ void SfcTable::RunCompactionLocked(
   auto& dest = levels_[out_level - 1];
   dest.insert(dest.end(), new_segments.begin(), new_segments.end());
   SortByMinKey(&dest);
-  status = InstallManifest(lock);
+  status = InstallManifest();
   if (!status.ok()) {
     compaction_inflight_ = false;
     l0_ = l0_backup;
@@ -1134,12 +1146,12 @@ void SfcTable::RunCompactionLocked(
   // Unlink with compaction_inflight_ still set, so the Flush()/Close()
   // barrier cannot release (and a caller cannot start tearing down the
   // table directory) while retired files are mid-deletion.
-  RemoveRetiredFiles(lock, doomed);
+  RemoveRetiredFiles(doomed);
   compaction_inflight_ = false;
   if (!manual_compaction_ && HasAutoCompactionWorkLocked()) {
     compaction_pending_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void SfcTable::RemoveSegmentsByIdentityLocked(
@@ -1182,17 +1194,16 @@ std::vector<std::string> SfcTable::DetachSegmentsLocked(
   return doomed;
 }
 
-void SfcTable::RemoveRetiredFiles(std::unique_lock<std::shared_mutex>& lock,
-                                  const std::vector<std::string>& doomed) {
+void SfcTable::RemoveRetiredFiles(const std::vector<std::string>& doomed) {
   // File I/O with the table unlocked; only the bookkeeping re-locks.
-  lock.unlock();
+  mu_.Unlock();
   std::vector<std::string> survivors;
   for (const std::string& path : doomed) {
     if (std::remove(path.c_str()) != 0 && std::filesystem::exists(path)) {
       survivors.push_back(path);
     }
   }
-  lock.lock();
+  mu_.Lock();
   garbage_files_.insert(garbage_files_.end(), survivors.begin(),
                         survivors.end());
 }
@@ -1207,21 +1218,21 @@ std::vector<SfcTable::TableSegment> SfcTable::AllSegmentsLocked() const {
 
 Status SfcTable::Compact() {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    const ReaderLock lock(mu_);
     if (closed_) return Status::InvalidArgument("table is closed: " + dir_);
   }
   Status status = Flush();
   if (!status.ok()) return status;
 
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   // Quiesce background compaction AND any other manual Compact() first:
   // two concurrent compactions over the same inputs would install each
   // other's entries twice.
-  cv_.wait(lock, [&] {
-    return !background_error_.ok() ||
-           (!compaction_inflight_ && !compaction_pending_ &&
-            !manual_compaction_);
-  });
+  while (background_error_.ok() &&
+         !(!compaction_inflight_ && !compaction_pending_ &&
+           !manual_compaction_)) {
+    cv_.Wait(mu_);
+  }
   if (!background_error_.ok()) return background_error_;
   // Re-check under the exclusive lock: a Close() may have slipped in
   // between the screening check above and here (its barrier would then
@@ -1253,7 +1264,7 @@ Status SfcTable::Compact() {
   for (const TableSegment& segment : inputs) {
     raw.push_back(segment.reader.get());
   }
-  lock.unlock();
+  lock.Unlock();
 
   std::shared_ptr<SegmentReader> reader;
   {
@@ -1277,12 +1288,12 @@ Status SfcTable::Compact() {
     }
   }
 
-  lock.lock();
+  lock.Lock();
   if (!status.ok()) {
     manual_compaction_ = false;
     // Never entered the in-memory state, so no manifest can name it.
     std::remove(path.c_str());
-    cv_.notify_all();
+    cv_.NotifyAll();
     return status;
   }
   const TableSegment output{std::move(reader), file, out_level};
@@ -1290,7 +1301,7 @@ Status SfcTable::Compact() {
   if (static_cast<int>(levels_.size()) < out_level) levels_.resize(out_level);
   levels_[out_level - 1].push_back(output);
   SortByMinKey(&levels_[out_level - 1]);
-  status = InstallManifest(lock);
+  status = InstallManifest();
   if (!status.ok()) {
     manual_compaction_ = false;
     // Roll back by identity: background flushes may have appended new L0
@@ -1315,7 +1326,7 @@ Status SfcTable::Compact() {
     for (auto& level_segments : levels_) SortByMinKey(&level_segments);
     // KEEP the output file: a manifest written concurrently by a flush
     // install may already reference it; unreferenced it is an orphan.
-    cv_.notify_all();
+    cv_.NotifyAll();
     return status;
   }
   const uint64_t dur_us = obs::NowMicros() - comp_start_us;
@@ -1332,7 +1343,7 @@ Status SfcTable::Compact() {
       DetachSegmentsLocked(std::move(retired));
   // Unlink before clearing manual_compaction_ or waking anyone: Compact()
   // must not appear finished while retired files are mid-deletion.
-  RemoveRetiredFiles(lock, doomed);
+  RemoveRetiredFiles(doomed);
   manual_compaction_ = false;
   // Re-arm background compaction: flushes that arrived during this manual
   // compaction skipped scheduling (manual_compaction_ was set), so L0 may
@@ -1341,7 +1352,7 @@ Status SfcTable::Compact() {
     compaction_pending_ = true;
     NotifyWorkerLocked();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
@@ -1368,7 +1379,7 @@ std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
                                                   const Box* query_box,
                                                   const ReadOptions& options) {
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const MutexLock stats_lock(stats_mu_);
     ++read_stats_.queries;
     read_stats_.ranges += ranges.size();
   }
@@ -1382,7 +1393,7 @@ std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
   std::vector<Entry> mem_hits;
   SegmentSnapshot snapshot;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    const ReaderLock lock(mu_);
     if (!background_error_.ok()) return NewErrorCursor(background_error_);
     // One pass over each memtable for the whole query (not one per range):
     // the ranges are sorted and disjoint, so membership is a binary search.
@@ -1423,7 +1434,7 @@ std::unique_ptr<Cursor> SfcTable::NewRangesCursor(std::vector<KeyRange> ranges,
   // Everything below runs WITHOUT the table lock: the cursor owns the
   // snapshot and later flushes/compactions cannot disturb it.
   if (!mem_hits.empty()) {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const MutexLock stats_lock(stats_mu_);
     read_stats_.memtable_entries += mem_hits.size();
   }
   std::sort(mem_hits.begin(), mem_hits.end(),
@@ -1478,13 +1489,13 @@ std::vector<SpatialEntry> SfcTable::Query(const Box& box) {
 }
 
 TableReadStats SfcTable::read_stats() const {
-  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  const MutexLock stats_lock(stats_mu_);
   return read_stats_;
 }
 
 void SfcTable::ResetStats() {
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const MutexLock stats_lock(stats_mu_);
     read_stats_.Reset();
   }
   io_stats_.Reset();
@@ -1494,7 +1505,7 @@ std::string SfcTable::DumpMetrics(obs::MetricsFormat format) const {
   // Refresh the gauges that are derived state rather than event streams,
   // so every dump reflects the structure at dump time.
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    const ReaderLock lock(mu_);
     metrics_->gauge("memtable.entries")
         ->Set(static_cast<int64_t>(memtable_.size()));
     metrics_->gauge("memtable.bytes")

@@ -79,17 +79,16 @@
 #define ONION_STORAGE_SFC_TABLE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/disk_model.h"
 #include "index/spatial_index.h"
 #include "obs/metrics.h"
@@ -362,12 +361,13 @@ class SfcTable {
   // helpers REQUIRE wal_mu_ held; holding it from reservation through
   // apply is what makes per-table sequence order equal WAL append order,
   // which the batch journal's idempotent replay depends on.
-  void LockWal() { wal_mu_.lock(); }
-  void UnlockWal() { wal_mu_.unlock(); }
+  void LockWal() ONION_ACQUIRE(wal_mu_) { wal_mu_.Lock(); }
+  void UnlockWal() ONION_RELEASE(wal_mu_) { wal_mu_.Unlock(); }
   /// Refuses writes on a closed or failed table (takes mu_ briefly).
-  Status PrecheckWritableWalLocked();
+  Status PrecheckWritableWalLocked() ONION_REQUIRES(wal_mu_)
+      ONION_EXCLUDES(mu_);
   /// Allocates `count` consecutive sequence numbers; returns the first.
-  uint64_t ReserveSequencesWalLocked(uint64_t count);
+  uint64_t ReserveSequencesWalLocked(uint64_t count) ONION_REQUIRES(wal_mu_);
   /// Appends `ops` as ONE WAL record stamped first_seq.., buffers them in
   /// the memtable, and publishes last_sequence. Rotates the memtable
   /// first when full (so a failed WAL append retains nothing and is
@@ -375,16 +375,18 @@ class SfcTable {
   /// SyncUpTo outside all locks.
   Status ApplyOpsWalLocked(const WalOp* ops, size_t count, uint64_t first_seq,
                            std::shared_ptr<WalWriter>* used_wal,
-                           uint64_t* out_record);
+                           uint64_t* out_record) ONION_REQUIRES(wal_mu_)
+      ONION_EXCLUDES(mu_);
   /// The single-table commit: reserve + apply + (optionally) group-commit
   /// fsync. Insert and Delete are one-op wrappers; SfcDb's secondary-index
   /// backfill (CreateIndex/MigrateIndexCurve) batches through here too.
-  Status WriteOps(const WalOp* ops, size_t count);
+  Status WriteOps(const WalOp* ops, size_t count)
+      ONION_EXCLUDES(wal_mu_, mu_);
   /// Open-time only (no concurrent writers): re-applies a batch-journal
   /// record slice with its ORIGINAL sequences after a crash lost this
   /// table's own WAL record of it; bumps the sequence allocator past it.
-  Status ReplayCommittedOps(const WalOp* ops, size_t count,
-                            uint64_t first_seq);
+  Status ReplayCommittedOps(const WalOp* ops, size_t count, uint64_t first_seq)
+      ONION_EXCLUDES(wal_mu_, mu_);
   /// Open-time only: whether the recovered state provably contains the
   /// write stamped `sequence` — durably flushed into segments (covered by
   /// the manifest's last_sequence fence) or sitting in the replayed
@@ -392,11 +394,12 @@ class SfcTable {
   /// correct even when a LATER write's WAL record survived a power loss
   /// that tore this one, because flushed generations hold strictly older
   /// sequences than anything unflushed.
-  bool RecoveredStateCoversSequence(uint64_t sequence) const;
+  bool RecoveredStateCoversSequence(uint64_t sequence) const
+      ONION_EXCLUDES(mu_);
   /// Open-time only: fsyncs the active WAL, making journal-replayed ops
   /// power-loss durable before the journal that could repair them is
   /// truncated.
-  Status SyncWalForRecovery();
+  Status SyncWalForRecovery() ONION_EXCLUDES(wal_mu_, mu_);
   /// Sequences of every live snapshot pin, sorted ascending.
   std::vector<uint64_t> PinnedSnapshotSequences() const;
 
@@ -406,14 +409,14 @@ class SfcTable {
   uint64_t EffectiveLevelSegmentEntries() const;
   uint64_t LevelTargetEntries(int level) const;
 
-  void StartWorker();
+  void StartWorker() ONION_EXCLUDES(mu_);
   /// Unregisters from the worker pool, blocking until in-flight background
   /// work finishes. Safe to call repeatedly; never called with mu_ held.
-  void StopWorker();
+  void StopWorker() ONION_EXCLUDES(mu_);
   /// One unit of background work (a flush or a compaction round); returns
   /// whether more work remains. Runs on a WorkerPool thread.
-  bool RunBackgroundWork();
-  void NotifyWorkerLocked();
+  bool RunBackgroundWork() ONION_EXCLUDES(mu_);
+  void NotifyWorkerLocked() ONION_REQUIRES(mu_);
 
   /// Shared cursor factory: counts the query, snapshots memtables and
   /// segments, and hands off to the streaming merge cursor. `query_box`
@@ -426,31 +429,35 @@ class SfcTable {
   /// budget, zone-map curve); used by flush and every compaction path.
   SegmentWriterOptions WriterOptions() const;
 
-  // All *Locked methods require mu_ held exclusively; those taking the
-  // lock by reference release it around file I/O and reacquire it.
+  // All *Locked methods require mu_ held exclusively (the annotations make
+  // the compiler enforce it); several release mu_ around file I/O and
+  // reacquire it before returning — the REQUIRES contract is "held on
+  // entry and on exit", and the analysis tracks the window in between.
   // RotateMemtableLocked additionally requires wal_mu_ held (it swaps the
   // active WAL). `min_entries` is rechecked after the backpressure wait so
   // a waiter whose rotation was performed by another writer meanwhile does
   // not rotate a fresh, near-empty memtable.
-  Status RotateMemtableLocked(std::unique_lock<std::shared_mutex>& lock,
-                              uint64_t min_entries);
-  void FlushPendingLocked(std::unique_lock<std::shared_mutex>& lock);
-  void RunCompactionLocked(std::unique_lock<std::shared_mutex>& lock);
-  bool HasAutoCompactionWorkLocked() const;
-  std::string ManifestTextLocked() const;
-  Status WriteManifestFile(const std::string& text) const;
-  Status InstallManifest(std::unique_lock<std::shared_mutex>& lock);
-  void SetBackgroundErrorLocked(const Status& status);
+  Status RotateMemtableLocked(uint64_t min_entries)
+      ONION_REQUIRES(wal_mu_, mu_);
+  void FlushPendingLocked() ONION_REQUIRES(mu_);
+  void RunCompactionLocked() ONION_REQUIRES(mu_);
+  bool HasAutoCompactionWorkLocked() const ONION_REQUIRES_SHARED(mu_);
+  std::string ManifestTextLocked() const ONION_REQUIRES_SHARED(mu_);
+  Status WriteManifestFile(const std::string& text) const ONION_EXCLUDES(mu_);
+  Status InstallManifest() ONION_REQUIRES(mu_) ONION_EXCLUDES(manifest_mu_);
+  void SetBackgroundErrorLocked(const Status& status) ONION_REQUIRES(mu_);
   /// Drops retired readers/pool frames and returns the file paths to
   /// unlink — deletion itself happens outside the lock via
   /// RemoveRetiredFiles (which re-locks only to stash failed unlinks in
   /// garbage_files_ for a later retry).
   std::vector<std::string> DetachSegmentsLocked(
-      std::vector<TableSegment> retired);
-  void RemoveRetiredFiles(std::unique_lock<std::shared_mutex>& lock,
-                          const std::vector<std::string>& doomed);
-  std::vector<TableSegment> AllSegmentsLocked() const;
-  void RemoveSegmentsByIdentityLocked(const std::vector<TableSegment>& gone);
+      std::vector<TableSegment> retired) ONION_REQUIRES(mu_);
+  void RemoveRetiredFiles(const std::vector<std::string>& doomed)
+      ONION_REQUIRES(mu_);
+  std::vector<TableSegment> AllSegmentsLocked() const
+      ONION_REQUIRES_SHARED(mu_);
+  void RemoveSegmentsByIdentityLocked(const std::vector<TableSegment>& gone)
+      ONION_REQUIRES(mu_);
   static void SortByMinKey(std::vector<TableSegment>* segments);
 
   const std::string dir_;
@@ -490,71 +497,77 @@ class SfcTable {
   // active WAL, so the per-record WAL I/O can run with mu_ RELEASED —
   // readers snapshot state between any two inserts instead of stalling
   // behind disk latency. Acquisition order: wal_mu_ strictly before mu_.
-  std::mutex wal_mu_;
+  Mutex wal_mu_ ONION_ACQUIRED_BEFORE(mu_);
 
   // Sequence state. next_seq_ is the allocator, guarded by wal_mu_ (the
   // writer lock); last_applied_seq_ publishes the newest buffered write
   // (stored under mu_, read lock-free by GetSnapshot/last_sequence);
   // flushed_seq_ is the newest sequence durably in segments, guarded by
   // mu_ and persisted as the MANIFEST's `last_sequence`.
-  uint64_t next_seq_ = 1;
+  uint64_t next_seq_ ONION_GUARDED_BY(wal_mu_) = 1;
   std::atomic<uint64_t> last_applied_seq_{0};
-  uint64_t flushed_seq_ = 0;
+  uint64_t flushed_seq_ ONION_GUARDED_BY(mu_) = 0;
 
   // Live snapshot pins, consulted by compaction's garbage collection.
   // Held behind a shared_ptr so a pin's release (which must unregister
   // its sequence) stays safe even when the pin outlives the table — the
   // deleter owns the registry, never the table.
   struct SnapshotRegistry {
-    std::mutex mu;
+    Mutex mu;
     /// (sequence, created_us) per live pin — ordered by sequence for the
     /// compaction GC list; created_us feeds the oldest-pin-age gauge.
-    std::multiset<std::pair<uint64_t, uint64_t>> pins;
+    std::multiset<std::pair<uint64_t, uint64_t>> pins ONION_GUARDED_BY(mu);
   };
   const std::shared_ptr<SnapshotRegistry> snapshots_ =
       std::make_shared<SnapshotRegistry>();
 
-  mutable std::shared_mutex mu_;
-  std::condition_variable_any cv_;
-  MemTable memtable_;
+  mutable SharedMutex mu_;
+  CondVarAny cv_;  // waited on with mu_ held exclusively
+  MemTable memtable_ ONION_GUARDED_BY(mu_);
   // shared_ptr so a group-commit fsync (outside all locks) can outlive a
   // concurrent rotation that retires this writer object.
-  std::shared_ptr<WalWriter> wal_;
-  std::vector<std::string> wal_files_;  // backing the active memtable
-  uint64_t max_wal_id_ = 0;
-  uint64_t next_wal_id_ = 0;
-  uint64_t wal_floor_ = 0;  // WAL ids below this are dead (fenced)
-  std::deque<PendingMemtable> pending_;
-  std::vector<TableSegment> l0_;  // oldest first; ranges may overlap
+  std::shared_ptr<WalWriter> wal_ ONION_GUARDED_BY(mu_);
+  // WAL file basenames backing the active memtable.
+  std::vector<std::string> wal_files_ ONION_GUARDED_BY(mu_);
+  uint64_t max_wal_id_ ONION_GUARDED_BY(mu_) = 0;
+  uint64_t next_wal_id_ ONION_GUARDED_BY(mu_) = 0;
+  // WAL ids below this are dead (fenced off by the MANIFEST).
+  uint64_t wal_floor_ ONION_GUARDED_BY(mu_) = 0;
+  std::deque<PendingMemtable> pending_ ONION_GUARDED_BY(mu_);
+  // Level 0, oldest first; key ranges may overlap.
+  std::vector<TableSegment> l0_ ONION_GUARDED_BY(mu_);
   // levels_[i] holds level i+1, sorted by min_key, pairwise disjoint.
-  std::vector<std::vector<TableSegment>> levels_;
+  std::vector<std::vector<TableSegment>> levels_ ONION_GUARDED_BY(mu_);
   // Retired segment files whose unlink failed (e.g. still open on
   // platforms that refuse to delete open files); retried on later
   // retirements and in the destructor.
-  std::vector<std::string> garbage_files_;
-  uint64_t next_segment_id_ = 0;
-  bool closed_ = false;
-  bool compaction_pending_ = false;
-  bool compaction_inflight_ = false;
-  bool manual_compaction_ = false;
-  Status background_error_;
+  std::vector<std::string> garbage_files_ ONION_GUARDED_BY(mu_);
+  uint64_t next_segment_id_ ONION_GUARDED_BY(mu_) = 0;
+  bool closed_ ONION_GUARDED_BY(mu_) = false;
+  bool compaction_pending_ ONION_GUARDED_BY(mu_) = false;
+  bool compaction_inflight_ ONION_GUARDED_BY(mu_) = false;
+  bool manual_compaction_ ONION_GUARDED_BY(mu_) = false;
+  Status background_error_ ONION_GUARDED_BY(mu_);
 
   // Serializes manifest installs so snapshot order equals rename order;
   // always acquired while mu_ is NOT held (see InstallManifest).
-  std::mutex manifest_mu_;
+  Mutex manifest_mu_ ONION_ACQUIRED_BEFORE(mu_);
 
   // Background execution: either the private pool below or an SfcDb's.
+  // Both pointers are set once by StartWorker (during Create/Open, before
+  // the table is visible to any other thread) and are immutable after —
+  // StopWorker and the destructor read them without a lock by design.
   std::unique_ptr<WorkerPool> owned_workers_;
   WorkerPool* workers_ = nullptr;
-  WorkerPool::ClientId worker_client_ = 0;  // guarded by mu_
+  WorkerPool::ClientId worker_client_ ONION_GUARDED_BY(mu_) = 0;
 
   // Page cache: private, or shared across an SfcDb's tables. Per-table
   // I/O attribution flows into io_stats_ on every pool call.
   std::shared_ptr<BufferPool> pool_;
   mutable AtomicIoStats io_stats_;
 
-  mutable std::mutex stats_mu_;
-  TableReadStats read_stats_;
+  mutable Mutex stats_mu_;
+  TableReadStats read_stats_ ONION_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace onion::storage

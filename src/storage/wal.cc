@@ -114,7 +114,7 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::SyncUpTo(uint64_t record) {
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   for (;;) {
     // Durability first: a record covered by an earlier successful leader
     // fsync IS durable, even if a later fsync failed — only callers whose
@@ -122,20 +122,20 @@ Status WalWriter::SyncUpTo(uint64_t record) {
     if (synced_record_ >= record) return Status::OK();
     if (!sync_status_.ok()) return sync_status_;
     if (!sync_inflight_) break;  // become the leader
-    sync_cv_.wait(lock);
+    sync_cv_.Wait(sync_mu_);
   }
   sync_inflight_ = true;
   // Everything appended (and stdio-flushed) so far rides this one fsync —
   // including records of followers currently blocking on sync_mu_.
   const uint64_t target = appended_record_.load(std::memory_order_acquire);
   const uint64_t synced_before = synced_record_;
-  lock.unlock();
+  lock.Unlock();  // fsync outside the lock: followers can queue up behind it
   Status status;
   {
     const obs::ScopedTimer fsync_timer(metrics_.fsync_us);
     status = SyncFile(file_, path_);
   }
-  lock.lock();
+  lock.Lock();
   sync_inflight_ = false;
   if (status.ok()) {
     synced_record_ = std::max(synced_record_, target);
@@ -149,7 +149,7 @@ Status WalWriter::SyncUpTo(uint64_t record) {
   } else if (sync_status_.ok()) {
     sync_status_ = status;
   }
-  sync_cv_.notify_all();
+  sync_cv_.NotifyAll();
   return status;
 }
 

@@ -43,15 +43,15 @@
 #define ONION_STORAGE_WAL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "sfc/types.h"
 
@@ -136,7 +136,13 @@ class WalWriter {
   /// later syncs (the tail's durability would be unknown).
   Status SyncUpTo(uint64_t record);
 
-  uint64_t num_records() const { return num_records_; }
+  /// Records appended AND published so far. Reads the atomic AppendBatch
+  /// publishes after each record (num_records_ itself is protected only by
+  /// the callers' external append serialization, so an observer thread
+  /// reading it directly would race with an in-flight append).
+  uint64_t num_records() const {
+    return appended_record_.load(std::memory_order_acquire);
+  }
   /// Physical fsyncs performed by SyncUpTo (group commit observability:
   /// with concurrent committers this stays well below num_records()).
   uint64_t num_syncs() const {
@@ -148,6 +154,12 @@ class WalWriter {
   WalWriter(std::string path, std::FILE* file, bool fsync_each_append);
 
   std::string path_;
+  // file_, num_records_, status_, and record_scratch_ are mutated only by
+  // AppendBatch, whose callers serialize externally (SfcTable's writer
+  // mutex) — no mutex of this class guards them, which is WHY observers
+  // must go through the published atomics below. file_ is additionally
+  // read by SyncUpTo's leader fsync: fsync(fd) is kernel-serialized
+  // against concurrent appends, and the fd itself is set once in Create.
   std::FILE* file_;
   bool fsync_each_append_;
   WalMetrics metrics_;  // set once before the first append
@@ -161,11 +173,11 @@ class WalWriter {
   // AppendBatch (externally serialized); the rest is guarded by sync_mu_.
   std::atomic<uint64_t> appended_record_{0};
   std::atomic<uint64_t> num_syncs_{0};
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  uint64_t synced_record_ = 0;
-  bool sync_inflight_ = false;
-  Status sync_status_;  // first fsync error, sticky
+  Mutex sync_mu_;
+  CondVar sync_cv_;
+  uint64_t synced_record_ ONION_GUARDED_BY(sync_mu_) = 0;
+  bool sync_inflight_ ONION_GUARDED_BY(sync_mu_) = false;
+  Status sync_status_ ONION_GUARDED_BY(sync_mu_);  // first fsync error, sticky
 };
 
 /// Replays the complete records of the WAL at `path` into `fn` — invoked

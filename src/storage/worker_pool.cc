@@ -14,49 +14,49 @@ WorkerPool::WorkerPool(size_t num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 WorkerPool::ClientId WorkerPool::Register(std::function<bool()> run_one) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const ClientId id = next_id_++;
   clients_.emplace(id, Client{std::move(run_one), false, false, false});
   return id;
 }
 
 void WorkerPool::Unregister(ClientId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = clients_.find(id);
   if (it == clients_.end()) return;
   it->second.removed = true;  // no worker will pick it from now on
-  idle_cv_.wait(lock, [&] { return !it->second.running; });
+  while (it->second.running) idle_cv_.Wait(mu_);
   clients_.erase(it);
 }
 
 void WorkerPool::Notify(ClientId id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     auto it = clients_.find(id);
     if (it == clients_.end() || it->second.removed) return;
     if (it->second.armed) return;  // already scheduled
     it->second.armed = true;
     it->second.armed_at_us = obs::NowMicros();
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void WorkerPool::SetMetrics(obs::Histogram* wait_us, obs::Counter* tasks_run) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   wait_us_ = wait_us;
   tasks_run_ = tasks_run;
 }
 
 size_t WorkerPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   size_t depth = 0;
   for (const auto& [id, client] : clients_) {
     if (client.armed && !client.removed) ++depth;
@@ -65,7 +65,7 @@ size_t WorkerPool::queue_depth() const {
 }
 
 void WorkerPool::WorkerMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
     // Round-robin: first armed schedulable client strictly after the last
     // scheduled id, wrapping around.
@@ -79,7 +79,7 @@ void WorkerPool::WorkerMain() {
       ++it;
     }
     if (it == clients_.end() || !runnable(it->second)) {
-      work_cv_.wait(lock);
+      work_cv_.Wait(mu_);
       continue;
     }
     rr_cursor_ = it->first;
@@ -91,19 +91,19 @@ void WorkerPool::WorkerMain() {
                            ? now - it->second.armed_at_us
                            : 0);
     }
-    lock.unlock();
+    lock.Unlock();
     // The map node is stable and Unregister blocks on `running`, so
     // calling through the iterator without the lock is safe.
     const bool more = it->second.run_one();
-    lock.lock();
+    lock.Lock();
     if (tasks_run_ != nullptr) tasks_run_->Increment();
     it->second.running = false;
     if (more && !it->second.removed) {
       it->second.armed = true;
       it->second.armed_at_us = obs::NowMicros();
-      work_cv_.notify_one();  // another worker may take it (or this one)
+      work_cv_.NotifyOne();  // another worker may take it (or this one)
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 

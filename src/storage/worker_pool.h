@@ -21,14 +21,14 @@
 #ifndef ONION_STORAGE_WORKER_POOL_H_
 #define ONION_STORAGE_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace onion::storage {
@@ -89,16 +89,22 @@ class WorkerPool {
 
   // Metric sinks (may stay null). Written once by SetMetrics before the
   // clients arm; read by workers under mu_.
-  obs::Histogram* wait_us_ = nullptr;
-  obs::Counter* tasks_run_ = nullptr;
+  obs::Histogram* wait_us_ ONION_GUARDED_BY(mu_) = nullptr;
+  obs::Counter* tasks_run_ ONION_GUARDED_BY(mu_) = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for armed clients
-  std::condition_variable idle_cv_;  // Unregister waits for !running
-  std::map<ClientId, Client> clients_;
-  ClientId next_id_ = 1;
-  ClientId rr_cursor_ = 0;  // last client id scheduled (round-robin point)
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;  // workers wait for armed clients
+  CondVar idle_cv_;  // Unregister waits for !running
+  // Client STATE is guarded by mu_; a client's map node is stable, and
+  // WorkerMain calls run_one() through its iterator with mu_ released
+  // (Unregister blocks on `running`, so the node cannot die mid-call).
+  std::map<ClientId, Client> clients_ ONION_GUARDED_BY(mu_);
+  ClientId next_id_ ONION_GUARDED_BY(mu_) = 1;
+  // Last client id scheduled (the round-robin fairness point).
+  ClientId rr_cursor_ ONION_GUARDED_BY(mu_) = 0;
+  bool stop_ ONION_GUARDED_BY(mu_) = false;
+  // Started in the constructor, joined in the destructor; never touched
+  // in between except num_threads()'s size() read — unguarded by design.
   std::vector<std::thread> threads_;
 };
 

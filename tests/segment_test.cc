@@ -92,7 +92,7 @@ TEST(SegmentTest, FencesMatchPageContents) {
   auto reader = WriteAndOpen("seg_fence.sfc", entries, 7);
   std::vector<Entry> page;
   for (uint64_t p = 0; p < reader->num_pages(); ++p) {
-    reader->ReadPage(p, &page);
+    ASSERT_TRUE(reader->ReadPage(p, &page).ok());
     EXPECT_EQ(reader->first_key(p), page.front().key);
     EXPECT_EQ(reader->last_key(p), page.back().key);
   }
@@ -266,7 +266,7 @@ TEST(SegmentTest, ZoneMapsPruneDisjointBoxes) {
       if (reader.PageMayIntersect(p, box)) continue;
       ++pruned;
       // "Skippable" must be sound: no entry of the page is in the box.
-      reader.ReadPage(p, &page);
+      ASSERT_TRUE(reader.ReadPage(p, &page).ok());
       for (const Entry& entry : page) {
         EXPECT_FALSE(box.Contains(curve->CellAt(entry.key)))
             << "zone map pruned a page containing a box entry";

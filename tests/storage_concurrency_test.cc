@@ -216,6 +216,48 @@ TEST(StorageConcurrencyTest, CloseDuringManualCompactionQuiesces) {
 // The shared buffer pool itself: many threads scanning two segments with
 // a pool too small to hold them, so fetches, evictions, and the stats
 // counters race as hard as possible.
+// Regression for the worker-registration lifecycle: worker_client_ is a
+// table-lock-guarded field that StartWorker used to publish WITHOUT the
+// lock, racing with the pool thread (which reads it under the lock to
+// re-notify itself) and with StopWorker. Cycle tables fast enough that
+// Close() routinely overlaps in-flight background flushes, with writer
+// threads notifying the worker the whole time — under TSan (CI) the old
+// unguarded publish is a reported race.
+TEST(StorageConcurrencyTest, WorkerLifecycleUnderChurn) {
+  const Universe universe(2, 64);
+  const auto points = RandomPoints(universe, 600, 131);
+  for (int round = 0; round < 8; ++round) {
+    SfcTableOptions options;
+    options.entries_per_page = 32;
+    options.pool_pages = 16;
+    options.memtable_flush_entries = 50;  // background work every 50 inserts
+    auto table_result = SfcTable::Create(
+        FreshDir("worker_churn_" + std::to_string(round)), "hilbert",
+        universe, options);
+    ASSERT_TRUE(table_result.ok()) << table_result.status().ToString();
+    auto& table = *table_result.value();
+    std::atomic<bool> writer_failed{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 2; ++t) {
+      writers.emplace_back([&, t] {
+        for (size_t i = static_cast<size_t>(t); i < points.size(); i += 2) {
+          if (!table.Insert(points[i], i).ok()) {
+            writer_failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& writer : writers) writer.join();
+    EXPECT_FALSE(writer_failed.load());
+    // Close while the last rotation's flush may still be in flight: the
+    // quiesce path reads worker_client_ under the lock and must agree
+    // with StartWorker's publish.
+    ASSERT_TRUE(table.Close().ok());
+    EXPECT_EQ(table.size(), points.size());
+  }
+}
+
 TEST(StorageConcurrencyTest, BufferPoolParallelScans) {
   const std::string dir = FreshDir("pool_parallel");
   std::filesystem::create_directories(dir);

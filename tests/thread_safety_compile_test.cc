@@ -1,0 +1,56 @@
+// Negative compile check for the thread-safety annotations — NOT a gtest
+// binary (CMake builds it as an object target and, under Clang, runs it
+// through -fsyntax-only twice via ctest):
+//
+//   thread_safety_compile_positive  compiles this file as is — the guarded
+//                                   accesses below must be warning-free.
+//   thread_safety_compile_negative  compiles with -DONION_TS_EXPECT_FAIL,
+//                                   unguarding one read; it MUST fail under
+//                                   -Werror=thread-safety (WILL_FAIL TRUE),
+//                                   proving the analysis actually fires —
+//                                   i.e. the ONION_* macros did not silently
+//                                   expand to nothing under the enforcing
+//                                   compiler.
+//
+// If the negative test ever starts passing, the annotations have gone dead
+// (macro rename, wrapper regression, flag typo) and every other file's
+// "warning-free" status means nothing.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace onion::ts_check {
+
+/// The smallest guarded class: one mutex, one ONION_GUARDED_BY field, one
+/// ONION_REQUIRES helper — the three annotation kinds the engine leans on.
+class Account {
+ public:
+  void Deposit(int amount);
+  int Read() const;
+
+ private:
+  int BalanceLocked() const ONION_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  int balance_ ONION_GUARDED_BY(mu_) = 0;
+};
+
+void Account::Deposit(int amount) {
+  const MutexLock lock(mu_);
+  balance_ += amount;
+}
+
+int Account::BalanceLocked() const { return balance_; }
+
+int Account::Read() const {
+#ifdef ONION_TS_EXPECT_FAIL
+  // Deliberately unguarded: reading balance_ without mu_ must be rejected
+  // by -Werror=thread-safety.
+  return balance_;
+#else
+  const MutexLock lock(mu_);
+  return BalanceLocked();
+#endif
+}
+
+}  // namespace onion::ts_check

@@ -7,6 +7,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -257,6 +258,45 @@ TEST(WalTest, GroupCommitBatchesConcurrentCommitters) {
   EXPECT_GT(wal.num_syncs(), 0u);
   EXPECT_LE(wal.num_syncs(), kThreads * kPerThread);
   EXPECT_EQ(Replay(path).size(), kThreads * kPerThread);
+}
+
+TEST(WalTest, NumRecordsIsSafeToObserveDuringAppends) {
+  // Regression: num_records() used to read the append-side counter
+  // directly, racing with in-flight appends (appends are serialized by
+  // the CALLER's lock, which an observer thread does not hold). It now
+  // reads the atomic AppendBatch publishes after each record, so a
+  // polling observer must always see a monotone count that never runs
+  // ahead of what has actually been appended. Run under TSan (CI) this
+  // also proves the read is race-free.
+  const std::string path = FreshPath("wal_observer.log");
+  auto wal_result = WalWriter::Create(path, /*fsync_each_append=*/false);
+  ASSERT_TRUE(wal_result.ok());
+  WalWriter& wal = *wal_result.value();
+  constexpr uint64_t kRecords = 2000;
+  std::atomic<bool> done{false};
+  std::atomic<bool> observer_failed{false};
+  std::thread observer([&] {
+    uint64_t prev = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t now = wal.num_records();
+      const uint64_t syncs = wal.num_syncs();
+      if (now < prev || now > kRecords || syncs > kRecords) {
+        observer_failed.store(true);
+        return;
+      }
+      prev = now;
+    }
+  });
+  uint64_t record = 0;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    const WalOp op{i, i, false};
+    ASSERT_TRUE(wal.AppendBatch(&op, 1, i + 1, &record).ok());
+  }
+  ASSERT_TRUE(wal.SyncUpTo(record).ok());
+  done.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_FALSE(observer_failed.load());
+  EXPECT_EQ(wal.num_records(), kRecords);
 }
 
 TEST(WalTest, MissingFileIsNotFound) {
