@@ -3,8 +3,19 @@
 // "index arithmetic" cost that an SFC-backed storage engine pays per
 // record and per query.
 //
+// Before the registered benchmarks run, a chrono-timed kernel pre-pass
+// measures the raw bit-interleave kernels of sfc/bits.h (scalar reference,
+// magic-number, byte-LUT, and — when the CPU has it — BMI2) and writes the
+// ns-per-op numbers as BENCH_curve_ops.json. The pre-pass doubles as the
+// perf contract of the kernel dispatch: on a BMI2 machine the BMI2 encode
+// path must beat the portable scalar reference by at least 2x, or the
+// binary exits non-zero. Without BMI2 the contract is skipped (the JSON
+// says so via bmi2_supported).
+//
 //   build/bench/bench_curve_ops [--benchmark_filter=...]
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,8 +23,10 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/clustering.h"
+#include "bench_report.h"
 #include "common/rng.h"
 #include "index/decompose.h"
+#include "sfc/bits.h"
 #include "sfc/registry.h"
 #include "workloads/generators.h"
 
@@ -112,9 +125,149 @@ void RegisterAll() {
   }
 }
 
+// ---------------------------------------------------------------------
+// Kernel pre-pass: raw sfc/bits.h throughput, BENCH_curve_ops.json, and
+// the BMI2-vs-scalar perf contract.
+
+/// Best-of-`reps` nanoseconds per call of fn(i) over `iters` calls —
+/// minimum, not mean, because on a shared core the cheapest rep is the
+/// one with the least interference.
+template <typename Fn>
+double BestNsPerOp(Fn&& fn, int iters, int reps) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn(i);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        iters;
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Times encode (coords -> key) and decode (key -> coords) of every kernel
+/// path at the widths the fast paths support (2D/32-bit, 3D/21-bit),
+/// records them in `report` as <op><dims>_<path>_ns, and returns false if
+/// the BMI2 encode contract fails on a BMI2 machine.
+bool RunKernelPrepass(bench::BenchReport* report) {
+  constexpr int kIters = 1 << 14;
+  constexpr int kReps = 7;
+  const bool bmi2 = bits::HasBmi2();
+  report->AddCount("bmi2_supported", bmi2 ? 1 : 0);
+  bool contract_ok = true;
+
+  for (const int dims : {2, 3}) {
+    const int bits_per_axis = dims == 2 ? 32 : 21;
+    // Pre-generated random inputs, consumed round-robin so the timed loop
+    // holds nothing but the kernel and an index increment.
+    Rng rng(17 * dims);
+    std::vector<Coord> coords(static_cast<size_t>(kIters) * dims);
+    std::vector<Key> codes(kIters);
+    const Coord mask = (Coord{1} << bits_per_axis) - 1;
+    for (auto& c : coords) c = static_cast<Coord>(rng.Next()) & mask;
+    for (int i = 0; i < kIters; ++i) {
+      codes[i] = bits::InterleaveScalar(&coords[i * dims], dims,
+                                        bits_per_axis);
+    }
+    const std::string d = std::to_string(dims);
+    Coord out[kMaxDims];
+    volatile Key key_sink = 0;
+
+    const double enc_scalar = BestNsPerOp(
+        [&](int i) {
+          key_sink = bits::InterleaveScalar(&coords[i * dims], dims,
+                                            bits_per_axis);
+        },
+        kIters, kReps);
+    report->Add("encode" + d + "_scalar_ns", enc_scalar);
+    const double dec_scalar = BestNsPerOp(
+        [&](int i) {
+          bits::DeinterleaveScalar(codes[i], dims, bits_per_axis, out);
+          key_sink = out[0];
+        },
+        kIters, kReps);
+    report->Add("decode" + d + "_scalar_ns", dec_scalar);
+
+    const double enc_magic = BestNsPerOp(
+        [&](int i) {
+          key_sink = dims == 2 ? bits::InterleaveMagic2(&coords[i * 2])
+                               : bits::InterleaveMagic3(&coords[i * 3]);
+        },
+        kIters, kReps);
+    report->Add("encode" + d + "_magic_ns", enc_magic);
+    const double dec_magic = BestNsPerOp(
+        [&](int i) {
+          if (dims == 2) {
+            bits::DeinterleaveMagic2(codes[i], out);
+          } else {
+            bits::DeinterleaveMagic3(codes[i], out);
+          }
+          key_sink = out[0];
+        },
+        kIters, kReps);
+    report->Add("decode" + d + "_magic_ns", dec_magic);
+
+    const double enc_lut = BestNsPerOp(
+        [&](int i) {
+          key_sink = dims == 2 ? bits::InterleaveLut2(&coords[i * 2])
+                               : bits::InterleaveLut3(&coords[i * 3]);
+        },
+        kIters, kReps);
+    report->Add("encode" + d + "_lut_ns", enc_lut);
+    const double dec_lut = BestNsPerOp(
+        [&](int i) {
+          if (dims == 2) {
+            bits::DeinterleaveLut2(codes[i], out);
+          } else {
+            bits::DeinterleaveLut3(codes[i], out);
+          }
+          key_sink = out[0];
+        },
+        kIters, kReps);
+    report->Add("decode" + d + "_lut_ns", dec_lut);
+
+#if defined(ONION_BITS_HAVE_BMI2_KERNELS)
+    if (bmi2) {
+      const double enc_bmi2 = BestNsPerOp(
+          [&](int i) {
+            key_sink = bits::InterleaveBmi2(&coords[i * dims], dims,
+                                            bits_per_axis);
+          },
+          kIters, kReps);
+      report->Add("encode" + d + "_bmi2_ns", enc_bmi2);
+      const double dec_bmi2 = BestNsPerOp(
+          [&](int i) {
+            bits::DeinterleaveBmi2(codes[i], dims, bits_per_axis, out);
+            key_sink = out[0];
+          },
+          kIters, kReps);
+      report->Add("decode" + d + "_bmi2_ns", dec_bmi2);
+      // The contract the dispatch exists for: pdep must leave the
+      // bit-at-a-time reference far behind. 2x is a deliberately low bar
+      // (typical is >5x) so a noisy shared-CPU run cannot flap.
+      if (enc_bmi2 * 2.0 > enc_scalar) {
+        std::fprintf(stderr,
+                     "bench_curve_ops: BMI2 encode contract FAILED for "
+                     "%dd: bmi2 %.2f ns vs scalar %.2f ns (need >= 2x)\n",
+                     dims, enc_bmi2, enc_scalar);
+        contract_ok = false;
+      }
+    }
+#endif
+    (void)key_sink;
+  }
+  return contract_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("curve_ops");
+  const bool contract_ok = RunKernelPrepass(&report);
+  if (!report.WriteFile()) return 1;
+  if (!contract_ok) return 1;
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

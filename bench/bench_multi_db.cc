@@ -24,8 +24,8 @@
 //   can run this as a smoke check.
 //
 //   build/bench/bench_multi_db [--tables=4] [--side=128] [--points=60000]
-//       [--pool_pages=256] [--workers=2] [--limit=16] [--quick=false]
-//       [--dir=/tmp/onion_bench_multi_db]
+//       [--pool_pages=256] [--readahead=4] [--workers=2] [--limit=16]
+//       [--quick=false] [--dir=/tmp/onion_bench_multi_db]
 
 #include <chrono>
 #include <cstdio>
@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(cli.GetInt("points", quick ? 15000 : 60000));
   const auto pool_pages =
       static_cast<uint64_t>(cli.GetInt("pool_pages", 256));
+  const auto readahead = static_cast<uint64_t>(cli.GetInt("readahead", 4));
   const auto workers = static_cast<size_t>(cli.GetInt("workers", 2));
   const auto limit = static_cast<uint64_t>(cli.GetInt("limit", 16));
   const std::string dir = cli.GetString("dir", "/tmp/onion_bench_multi_db");
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   const Universe universe(2, side);
   storage::SfcDbOptions db_options;
   db_options.pool_pages = pool_pages;
+  db_options.readahead_pages = readahead;
   db_options.num_workers = workers;
   db_options.table_options.entries_per_page = 64;
   db_options.table_options.memtable_flush_entries = points_per_table / 8 + 1;

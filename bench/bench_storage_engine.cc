@@ -25,14 +25,26 @@
 // bytes and pages fetched for point Gets — CI smoke-runs this as a
 // regression gate.
 //
+// Every box workload runs twice per table: a COLD pass (the pool starts
+// empty — the paper-model seek measurement the printed tables show) and a
+// WARM pass over the same queries (what a steady-state server sees). The
+// JSON reports the warm hit ratio as the headline pool_hit_ratio and the
+// cold one as pool_hit_ratio_cold.
+//
 // --page=0 (auto) picks 1 entry/page in grid mode and 256 in random mode.
+// --pool_pages=0 (auto, the default) sizes each table's pool to a quarter
+// of its page count — a realistic cache:data ratio — instead of a fixed
+// token value that leaves every fetch cold. --readahead sets the pool's
+// batched-readahead budget in pages (0 disables).
 // --quick shrinks the defaults (side 64, 10 queries) so CI can smoke-run
 // the whole bench in seconds; explicit flags still win.
 //
 //   build/bench/bench_storage_engine [--side=256] [--mode=grid]
-//       [--points=120000] [--queries=50] [--page=0] [--pool_pages=64]
-//       [--csv=false] [--quick=false] [--dir=/tmp/onion_bench_storage]
+//       [--points=120000] [--queries=50] [--page=0] [--pool_pages=0]
+//       [--readahead=8] [--csv=false] [--quick=false]
+//       [--dir=/tmp/onion_bench_storage]
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -100,7 +112,8 @@ int main(int argc, char** argv) {
   const auto num_queries =
       static_cast<size_t>(cli.GetInt("queries", quick ? 10 : 50));
   auto page = static_cast<uint32_t>(cli.GetInt("page", 0));
-  const auto pool_pages = static_cast<uint64_t>(cli.GetInt("pool_pages", 64));
+  auto pool_pages = static_cast<uint64_t>(cli.GetInt("pool_pages", 0));
+  const auto readahead = static_cast<uint64_t>(cli.GetInt("readahead", 8));
   const bool csv = cli.GetBool("csv", false);
   const std::string base_dir =
       cli.GetString("dir", "/tmp/onion_bench_storage");
@@ -121,6 +134,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (page == 0) page = mode == "grid" ? 1 : 256;
+  if (pool_pages == 0) {
+    // Realistic sizing: a quarter of one table's pages. The old fixed
+    // default (64) against a 65k-page grid table meant a 0.1% cache — every
+    // measurement was a cold-cache measurement whatever the workload did.
+    const uint64_t table_pages = (points.size() + page - 1) / page;
+    pool_pages = std::max<uint64_t>(64, table_pages / 4);
+  }
 
   struct Workload {
     std::string tag;
@@ -135,6 +155,7 @@ int main(int argc, char** argv) {
   const std::vector<FormatConfig> configs = {
       {"raw", storage::PageCodec::kRaw, 0},
       {"delta+filter", storage::PageCodec::kDeltaVarint, 10},
+      {"bitpack+filter", storage::PageCodec::kBitpack, 10},
   };
 
   std::printf("=== storage engine on real files: %zu points (%s) on %ux%u, "
@@ -156,6 +177,7 @@ int main(int argc, char** argv) {
       storage::SfcTableOptions options;
       options.entries_per_page = page;
       options.pool_pages = pool_pages;
+      options.readahead_pages = readahead;
       options.codec = config.codec;
       options.filter_bits_per_key = config.filter_bits_per_key;
       tables.push_back(BenchTable{
@@ -188,28 +210,47 @@ int main(int argc, char** argv) {
   obs::Histogram query_latency_us;
   uint64_t total_queries = 0;
   IoStats agg_io;
+  IoStats agg_cold;
+  IoStats agg_warm;
 
   for (const Workload& workload : workloads) {
-    std::printf("--- workload %s, %zu queries ---\n", workload.tag.c_str(),
-                workload.queries.size());
+    std::printf("--- workload %s, %zu queries (cold-pass numbers) ---\n",
+                workload.tag.c_str(), workload.queries.size());
     std::printf("%-10s %-14s %10s %10s %10s %10s %12s %10s\n", "curve",
                 "config", "avg seeks", "page reads", "cache hits",
                 "entries/q", "avg cluster", "HDD ms/q");
     uint64_t raw_results = 0;
     for (const BenchTable& bench_table : tables) {
       auto& table = *bench_table.table;
+      // One streamed run per query, twice: the COLD pass measures the
+      // paper-model seek behavior against an empty (or stale) cache, the
+      // WARM pass repeats the same queries against whatever the cold pass
+      // made resident — the steady-state a server actually serves from.
+      auto run_queries = [&](uint64_t* results) {
+        for (const Box& query : workload.queries) {
+          // Stream through the cursor API: same I/O pattern as Query(),
+          // but nothing is materialized, which is how a server would read.
+          const obs::ScopedTimer query_timer(&query_latency_us);
+          auto cursor = table.NewBoxCursor(query);
+          for (; cursor->Valid(); cursor->Next()) ++*results;
+          ONION_CHECK_MSG(cursor->status().ok(),
+                          cursor->status().ToString().c_str());
+        }
+        total_queries += workload.queries.size();
+      };
       table.ResetStats();
       uint64_t results = 0;
-      for (const Box& query : workload.queries) {
-        // Stream through the cursor API: same I/O pattern as Query(), but
-        // nothing is materialized, which is how a server would read.
-        const obs::ScopedTimer query_timer(&query_latency_us);
-        auto cursor = table.NewBoxCursor(query);
-        for (; cursor->Valid(); cursor->Next()) ++results;
-        ONION_CHECK_MSG(cursor->status().ok(),
-                        cursor->status().ToString().c_str());
-      }
-      total_queries += workload.queries.size();
+      run_queries(&results);
+      const IoStats io = table.io_stats();
+      agg_cold += io;
+      const double est_ms = table.EstimateCostMs(DiskModel::Hdd());
+      table.ResetStats();
+      uint64_t warm_results = 0;
+      run_queries(&warm_results);
+      agg_warm += table.io_stats();
+      agg_io += io + table.io_stats();
+      ONION_CHECK_MSG(warm_results == results,
+                      "warm pass changed query results");
       // Equivalence gate: every format configuration must produce the
       // same result count for the same workload on the same curve.
       if (bench_table.config == configs.front().tag) {
@@ -218,15 +259,12 @@ int main(int argc, char** argv) {
         ONION_CHECK_MSG(results == raw_results,
                         "codec changed query results");
       }
-      const IoStats io = table.io_stats();
-      agg_io += io;
       const ClusteringEvaluator evaluator(&table.curve());
       double clustering_sum = 0;
       for (const Box& query : workload.queries) {
         clustering_sum += static_cast<double>(evaluator.Clustering(query));
       }
       const double q = static_cast<double>(workload.queries.size());
-      const double est_ms = table.EstimateCostMs(DiskModel::Hdd());
       std::printf("%-10s %-14s %10.1f %10.1f %10.1f %10.1f %12.1f %10.2f\n",
                   bench_table.curve.c_str(), bench_table.config.c_str(),
                   static_cast<double>(io.seeks) / q,
@@ -266,6 +304,8 @@ int main(int argc, char** argv) {
         storage::SfcTableOptions options;
         options.entries_per_page = 16;  // realistic multi-entry pages
         options.pool_pages = pool_pages;
+        // No readahead here: point probes have no spatial run to widen,
+        // and prefetch waste would blur the filter contract below.
         options.codec = config.codec;
         options.filter_bits_per_key = config.filter_bits_per_key;
         auto table =
@@ -353,11 +393,17 @@ int main(int argc, char** argv) {
         bench_table.table->metrics().histogram("cursor.next_us")->Snapshot();
   }
   report.AddLatency("cursor_next", next_us);
-  const uint64_t touched = agg_io.page_reads + agg_io.cache_hits;
-  report.Add("pool_hit_ratio",
-             touched == 0 ? 0.0
-                          : static_cast<double>(agg_io.cache_hits) /
-                                static_cast<double>(touched));
+  // Headline hit ratio is the WARM phase (steady state); the cold phase —
+  // what the fixed 64-page pool used to measure exclusively — is reported
+  // alongside.
+  const auto hit_ratio = [](const IoStats& io) {
+    const uint64_t touched = io.page_reads + io.cache_hits;
+    return touched == 0 ? 0.0
+                        : static_cast<double>(io.cache_hits) /
+                              static_cast<double>(touched);
+  };
+  report.Add("pool_hit_ratio", hit_ratio(agg_warm));
+  report.Add("pool_hit_ratio_cold", hit_ratio(agg_cold));
   report.AddIoStats("io", agg_io);
   uint64_t disk_total = 0;
   for (const BenchTable& bench_table : tables) {
@@ -365,5 +411,15 @@ int main(int argc, char** argv) {
   }
   report.AddCount("disk_bytes_total", disk_total);
   report.WriteFile();
+
+  // Exit contracts of this PR's I/O work, checked on the numbers just
+  // reported. Grid mode only: random mode's three-config aggregate
+  // legitimately decodes more than twice its (compressed) disk bytes.
+  if (mode == "grid") {
+    ONION_CHECK_MSG(agg_io.decoded_bytes < agg_io.disk_bytes * 2,
+                    "decoded:disk ratio regressed past 2x");
+    ONION_CHECK_MSG(agg_io.readahead_batched_reads > 0,
+                    "readahead never batched a single read");
+  }
   return 0;
 }

@@ -22,8 +22,9 @@ for path in src/storage/*; do
 done
 for symbol in SfcDb SfcTable Cursor ReadOptions NewBoxCursor NewScanCursor \
               DrainCursor SyncUpTo CreateTable DropTable hit_read_budget \
-              PageCodec kDeltaVarint filter_bits_per_key ProbeFilter \
+              PageCodec kDeltaVarint kBitpack filter_bits_per_key ProbeFilter \
               pages_skipped_by_filter disk_bytes decoded_bytes \
+              readahead_pages \
               SegmentInfos WriteBatch GetSnapshot Snapshot DbSnapshot \
               Delete last_sequence Corruption CRC32C \
               SecondaryIndexSpec IndexExtractor CreateIndex DropIndex \
@@ -45,6 +46,8 @@ for symbol in MetricsRegistry Counter Gauge Histogram HistogramSnapshot \
               ScopedTimer kHistogramBuckets NowMicros DumpMetrics \
               DumpTrace MetricsFormat kPrometheus TraceRing TraceEvent \
               bench_report BENCH_ ops_per_sec p99_us pool_hit_ratio \
+              pool_hit_ratio_cold readahead_batched_reads readahead_hits \
+              readahead_wasted bmi2_supported encode2_scalar_ns \
               wal.fsync_us flush.us compaction.us cursor.next_us \
               db.batch_commit_us index.queries index.dangling_entries \
               index.rows_resolved; do
@@ -67,7 +70,7 @@ done
 for symbol in ONION_GUARDED_BY ONION_REQUIRES ONION_ACQUIRED_BEFORE \
               ONION_NO_THREAD_SAFETY_ANALYSIS ONION_THREAD_SAFETY \
               Mutex SharedMutex MutexLock WriterLock ReaderLock \
-              wal_mu_ manifest_mu_ batch_mu_ db_mu_ sync_mu_ \
+              wal_mu_ manifest_mu_ batch_mu_ db_mu_ sync_mu_ Shard::mu \
               SyncUpTo CommitSlicesLocked InstallManifest \
               thread_safety_compile_negative run_clang_tidy; do
   if ! grep -q "$symbol" docs/concurrency.md; then

@@ -1,5 +1,6 @@
 #include "sfc/hilbert_nd.h"
 
+#include "sfc/bits.h"
 #include "sfc/morton.h"
 
 namespace onion {
@@ -77,28 +78,21 @@ Key HilbertND::IndexOf(const Cell& cell) const {
   for (int i = 0; i < dims(); ++i) X[i] = cell[i];
   AxesToTranspose(X, bits_, dims());
   // Interleave the transpose, most significant bit-plane first; within a
-  // plane, X[0] is most significant.
-  Key key = 0;
-  for (int q = bits_ - 1; q >= 0; --q) {
-    for (int i = 0; i < dims(); ++i) {
-      key = (key << 1) | ((X[i] >> q) & 1u);
-    }
-  }
-  return key;
+  // plane, X[0] is most significant — the Morton layout with the axis
+  // order reversed, so the shared kernel applies to the reversed array.
+  Coord rev[kMaxDims];
+  for (int i = 0; i < dims(); ++i) rev[i] = X[dims() - 1 - i];
+  return bits::Interleave(rev, dims(), bits_);
 }
 
 Cell HilbertND::CellAt(Key key) const {
   ONION_DCHECK(key < num_cells());
+  // Inverse of IndexOf's interleave: deinterleave through the shared
+  // kernel, then un-reverse the axis order back into the transpose.
+  Coord rev[kMaxDims] = {};
+  bits::Deinterleave(key, dims(), bits_, rev);
   Coord X[kMaxDims] = {};
-  const int total_bits = bits_ * dims();
-  for (int pos = 0; pos < total_bits; ++pos) {
-    // Bit `pos` (from MSB) of the key belongs to axis pos % dims at bit
-    // plane bits_-1 - pos/dims.
-    const int q = bits_ - 1 - pos / dims();
-    const int i = pos % dims();
-    const Key bit = (key >> (total_bits - 1 - pos)) & 1u;
-    X[i] |= static_cast<Coord>(bit) << q;
-  }
+  for (int i = 0; i < dims(); ++i) X[i] = rev[dims() - 1 - i];
   TransposeToAxes(X, bits_, dims());
   Cell cell;
   cell.dims = dims();

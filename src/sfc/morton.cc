@@ -1,26 +1,17 @@
 #include "sfc/morton.h"
 
+#include "sfc/bits.h"
+
 namespace onion {
 
 Key MortonEncode(const Cell& cell, int bits) {
-  Key code = 0;
-  for (int q = bits - 1; q >= 0; --q) {
-    for (int axis = cell.dims - 1; axis >= 0; --axis) {
-      code = (code << 1) | ((cell[axis] >> q) & 1u);
-    }
-  }
-  return code;
+  return bits::Interleave(cell.coords.data(), cell.dims, bits);
 }
 
 Cell MortonDecode(Key code, int dims, int bits) {
   Cell cell;
   cell.dims = dims;
-  for (int q = 0; q < bits; ++q) {
-    for (int axis = 0; axis < dims; ++axis) {
-      const Key bit = (code >> (q * dims + axis)) & 1u;
-      cell[axis] |= static_cast<Coord>(bit << q);
-    }
-  }
+  bits::Deinterleave(code, dims, bits, cell.coords.data());
   return cell;
 }
 

@@ -39,7 +39,10 @@ namespace onion::storage {
 
 class BufferPool {
  public:
-  explicit BufferPool(uint64_t capacity_pages);
+  /// `readahead_pages` is the maximum number of EXTRA pages a miss may
+  /// pull in beyond the demanded one (0 disables readahead entirely and
+  /// reproduces the historical one-page-per-miss behavior byte for byte).
+  explicit BufferPool(uint64_t capacity_pages, uint64_t readahead_pages = 0);
 
   /// Ensures the page is resident and returns its entries. The returned
   /// data stays valid for as long as the caller holds the pointer, even if
@@ -50,9 +53,19 @@ class BufferPool {
   /// returns nullptr with the error in `*status` when given; with no
   /// status sink the failure is fatal (CHECK), preserving the legacy
   /// simulation contract.
+  ///
+  /// With readahead enabled, a miss extends into ONE batched read over the
+  /// run of pages following `page` (stopping at the source's end, at an
+  /// already-resident page, and at the readahead budget). When `box` is
+  /// non-null the run also stops at the first page whose zone map proves
+  /// it cannot intersect `box` — a filtered page is never prefetched.
+  /// Prefetched frames are inserted BEHIND the demanded page in LRU order;
+  /// their first touch counts readahead_hits, eviction or Drop() before
+  /// any touch counts readahead_wasted.
   std::shared_ptr<const std::vector<Entry>> Fetch(
       const PageSource& source, uint64_t page,
-      AtomicIoStats* attribution = nullptr, Status* status = nullptr);
+      AtomicIoStats* attribution = nullptr, Status* status = nullptr,
+      const Box* box = nullptr);
 
   /// Filter fast path: returns false when `source`'s filter proves no
   /// entry has key `key` — the page fetch a point probe would have done is
@@ -116,6 +129,10 @@ class BufferPool {
     uint64_t source_id;
     uint64_t page;
     std::shared_ptr<std::vector<Entry>> data;
+    // Readahead brought this frame in and nothing has touched it yet:
+    // cleared (and counted as a readahead hit) on first Fetch, counted as
+    // readahead_wasted if evicted or dropped still set.
+    bool prefetched = false;
   };
   using FrameKey = std::pair<uint64_t, uint64_t>;  // (source_id, page)
   struct FrameKeyHash {
@@ -126,7 +143,12 @@ class BufferPool {
     }
   };
 
+  /// Evicts LRU-tail frames until the pool fits its capacity, counting
+  /// never-touched prefetched victims as readahead_wasted.
+  void EvictOverflowLocked() ONION_REQUIRES(mu_);
+
   const uint64_t capacity_;
+  const uint64_t readahead_;
   mutable SharedMutex mu_;
   // LRU list of resident frames, most recent at front, with an index.
   std::list<Frame> lru_ ONION_GUARDED_BY(mu_);

@@ -215,7 +215,11 @@ class SnapshotCursor final : public Cursor {
       return false;
     }
     Status fetch_status;
-    *out = pool_->Fetch(segment, page_no, io_stats_, &fetch_status);
+    // Pass the query box through so pool readahead stops at the first
+    // zone-excluded page: a page this cursor would ZoneSkip is never
+    // prefetched on its behalf.
+    *out = pool_->Fetch(segment, page_no, io_stats_, &fetch_status,
+                        has_box_ ? &box_ : nullptr);
     if (*out == nullptr) {
       status_ = fetch_status;  // e.g. a page checksum mismatch
       return false;

@@ -29,6 +29,18 @@ namespace onion {
 ///                            (bloom-negative point probes and
 ///                            zone-map-excluded pages); these cost neither
 ///                            I/O nor a pool frame
+///   readahead_batched_reads  physical reads that covered a run of more
+///                            than one page (one seek+transfer instead of
+///                            run-length of them)
+///   readahead_pages          pages fetched beyond the demanded one by
+///                            those batched reads (counted in page_reads
+///                            too — readahead widens a read, it is still
+///                            a page read)
+///   readahead_hits           first-touch pool hits on a prefetched page:
+///                            readahead that actually saved a disk read
+///   readahead_wasted         prefetched pages evicted or dropped without
+///                            ever being touched: readahead that paid
+///                            transfer for nothing
 #define ONION_IO_STAT_FIELDS(V) \
   V(page_reads)                 \
   V(cache_hits)                 \
@@ -36,7 +48,11 @@ namespace onion {
   V(entries_read)               \
   V(disk_bytes)                 \
   V(decoded_bytes)              \
-  V(pages_skipped_by_filter)
+  V(pages_skipped_by_filter)    \
+  V(readahead_batched_reads)    \
+  V(readahead_pages)            \
+  V(readahead_hits)             \
+  V(readahead_wasted)
 
 /// Physical I/O counters.
 ///

@@ -1,26 +1,48 @@
 // The write buffer of the storage engine: an unsorted in-memory batch of
 // (key, payload, seq) entries — puts and tombstones alike — that is sorted
-// once when flushed into a segment. Reads against unflushed data are a
-// linear scan — the memtable is bounded by the flush threshold, so this
-// stays cheap, and it keeps inserts O(1).
+// once when flushed into a segment.
 //
-// Thread safety: none of its own. SfcTable mutates the active memtable
-// only under its exclusive table lock; once a memtable rotates into the
-// immutable flush queue it is never written again, so concurrent readers
-// may ScanRange() it (and the background thread may FlushTo() it — const,
-// it sorts a copy) under the shared lock. Because the guarding lock
-// belongs to the owner, this class carries no ONION_GUARDED_BY
-// annotations; the owning pointers in SfcTable are annotated instead
-// (see docs/concurrency.md).
+// Layout: the key space is split into kNumShards contiguous key ranges
+// (shard i covers keys [i*width, (i+1)*width)), each shard holding its own
+// Mutex and a bump-pointer arena of fixed-size entry blocks. Two effects:
+//
+//   - Inserts never relocate entries (a full block just links a new one),
+//     so buffering is a pointer bump instead of a vector's amortized
+//     realloc-and-copy, and a concurrent ScanRange can walk blocks while
+//     an insert appends to the tail block of the same shard (serialized
+//     only by that shard's mutex, held for the duration of the push).
+//   - Readers touch only the shards whose key range intersects their scan,
+//     so a query over a narrow key range never contends with an insert
+//     landing elsewhere in the key space.
+//
+// Sequence ordering for snapshot reads is preserved structurally: a key
+// always maps to the same shard, entries within a shard stay in insertion
+// order (== sequence order, the writer lock serializes appends), and
+// FlushTo concatenates shards in key-range order before a stable sort —
+// so same-key entries reach the segment in sequence order exactly as the
+// single-vector memtable delivered them.
+//
+// Thread safety: Insert/ScanRange/ContainsSequence/FlushTo are internally
+// synchronized by the per-shard mutexes (annotated; see the lock catalog
+// in docs/concurrency.md) and may run concurrently under the owner's
+// SHARED table lock. The object's identity — moving a rotated memtable
+// into the flush queue, assigning a fresh one — is still the owner's
+// business and happens only under its EXCLUSIVE table lock; SfcTable's
+// memtable_ member remains ONION_GUARDED_BY(mu_) for exactly that.
 
 #ifndef ONION_STORAGE_MEMTABLE_H_
 #define ONION_STORAGE_MEMTABLE_H_
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page_source.h"
 #include "storage/segment.h"
 
@@ -28,56 +50,129 @@ namespace onion::storage {
 
 class MemTable {
  public:
-  /// Buffers one entry. `seq` is the packed MVCC stamp (page_source.h):
-  /// sequence number plus the tombstone flag for Deletes.
-  void Insert(Key key, uint64_t payload, uint64_t seq) {
-    entries_.push_back(Entry{key, payload, seq});
-    max_sequence_ = std::max(max_sequence_, SequenceOf(seq));
-  }
+  /// Number of key-range shards. Fixed: the shard count trades lock
+  /// granularity against per-rotation allocation, not correctness.
+  static constexpr size_t kNumShards = 8;
+  /// Entries per arena block (~12 KiB): small enough that a near-empty
+  /// memtable stays cheap, large enough that block links are rare.
+  static constexpr size_t kBlockEntries = 512;
 
-  uint64_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  /// A memtable for keys in [0, key_span); keys at or past key_span still
+  /// work (they land in the last shard). key_span 0 means "unknown span" —
+  /// the full 64-bit key space is split evenly instead.
+  explicit MemTable(Key key_span = 0);
+
+  /// Moves transfer the shards wholesale; the moved-from table is empty
+  /// and must only be destroyed or assigned to. Owners move a memtable
+  /// only under their exclusive lock, never while inserts are in flight.
+  MemTable(MemTable&& other) noexcept;
+  MemTable& operator=(MemTable&& other) noexcept;
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Buffers one entry. `seq` is the packed MVCC stamp (page_source.h):
+  /// sequence number plus the tombstone flag for Deletes. Thread-safe;
+  /// concurrent inserts to different shards do not contend.
+  void Insert(Key key, uint64_t payload, uint64_t seq);
+
+  uint64_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
   /// In-memory footprint of the buffered entries (the memtable.bytes
-  /// gauge; excludes the vector's slack capacity).
-  uint64_t ApproximateBytes() const { return entries_.size() * sizeof(Entry); }
-  void Clear() {
-    entries_.clear();
-    max_sequence_ = 0;
-  }
+  /// gauge; excludes arena slack in partially filled blocks).
+  uint64_t ApproximateBytes() const { return size() * sizeof(Entry); }
+  void Clear();
 
   /// Largest sequence number buffered (0 when empty): the manifest's
   /// `last_sequence` advances to this when the memtable's segment lands.
-  uint64_t max_sequence() const { return max_sequence_; }
+  uint64_t max_sequence() const {
+    return max_sequence_.load(std::memory_order_acquire);
+  }
 
   /// Whether any buffered entry carries exactly `sequence` (linear; used
   /// by open-time batch-journal recovery, never on a hot path).
-  bool ContainsSequence(uint64_t sequence) const {
-    for (const Entry& entry : entries_) {
-      if (SequenceOf(entry.seq) == sequence) return true;
-    }
-    return false;
-  }
+  bool ContainsSequence(uint64_t sequence) const;
 
-  /// Invokes fn(entry) for every entry with lo <= key <= hi, in insertion
-  /// order (not key order). Tombstones are delivered too — visibility and
-  /// delete resolution belong to the cursor merge.
+  /// Invokes fn(entry) for every entry with lo <= key <= hi. Within a
+  /// shard, entries arrive in insertion order; across shards, in key-range
+  /// order — callers needing a global order sort the hits themselves
+  /// (the cursor path always has). Tombstones are delivered too —
+  /// visibility and delete resolution belong to the cursor merge. Only
+  /// shards whose range intersects [lo, hi] are locked and walked.
   template <typename Fn>
   void ScanRange(Key lo, Key hi, Fn&& fn) const {
-    for (const Entry& entry : entries_) {
-      if (entry.key >= lo && entry.key <= hi) fn(entry);
+    const size_t last = ShardOf(hi);
+    for (size_t s = ShardOf(lo); s <= last; ++s) {
+      const Shard& shard = shards_[s];
+      const MutexLock lock(shard.mu);
+      shard.arena.ForEach([&](const Entry& entry) {
+        if (entry.key >= lo && entry.key <= hi) fn(entry);
+      });
     }
   }
 
-  /// Streams the buffered entries into `writer` in key order (stable, so
-  /// same-key entries keep insertion order == sequence order). Sorts a
-  /// copy — the memtable itself is not modified, so concurrent readers
-  /// holding a shared table lock are undisturbed. The caller still owns
-  /// writer->Finish().
+  /// Streams the buffered entries into `writer` in key order (stable sort
+  /// over the shard concatenation, so same-key entries keep insertion
+  /// order == sequence order). Copies the entries out — the memtable
+  /// itself is not modified, so concurrent readers are undisturbed. The
+  /// caller still owns writer->Finish().
   Status FlushTo(SegmentWriter* writer) const;
 
  private:
-  std::vector<Entry> entries_;
-  uint64_t max_sequence_ = 0;
+  /// Bump-pointer arena: entries land in fixed-size blocks that never
+  /// move, linked in allocation order. Growth allocates one block; no
+  /// existing entry is ever copied.
+  class EntryArena {
+   public:
+    Entry* Push() {
+      const size_t used = size_ % kBlockEntries;
+      if (used == 0) blocks_.push_back(std::make_unique<Block>());
+      ++size_;
+      return &(*blocks_.back())[used];
+    }
+
+    template <typename Fn>
+    void ForEach(Fn&& fn) const {
+      size_t remaining = size_;
+      for (const auto& block : blocks_) {
+        const size_t in_block = std::min(remaining, kBlockEntries);
+        for (size_t i = 0; i < in_block; ++i) fn((*block)[i]);
+        remaining -= in_block;
+      }
+    }
+
+    void Clear() {
+      blocks_.clear();
+      size_ = 0;
+    }
+
+    size_t size() const { return size_; }
+
+   private:
+    using Block = std::array<Entry, kBlockEntries>;
+    std::vector<std::unique_ptr<Block>> blocks_;
+    size_t size_ = 0;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    EntryArena arena ONION_GUARDED_BY(mu);
+  };
+
+  // key -> shard is a shift, not a division: the shard width is rounded
+  // up to a power of two at construction. Any monotone mapping is correct
+  // (inserts and scans share it; only balance is affected, by < 2x), and
+  // a shift keeps the per-insert routing cost to a couple of cycles on
+  // the hot write path. For power-of-two spans — every curve universe in
+  // practice — the rounding is exact and the split is even.
+  size_t ShardOf(Key key) const {
+    const size_t shard = static_cast<size_t>(key >> shard_shift_);
+    return shard < kNumShards ? shard : kNumShards - 1;
+  }
+
+  int shard_shift_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> max_sequence_{0};
 };
 
 }  // namespace onion::storage

@@ -17,6 +17,14 @@
 //                 varint(packed seq) follows each payload. Dense key runs
 //                 (exactly what a well-clustered curve produces) shrink
 //                 to a few bytes per entry.
+//   kBitpack      frame-of-reference + bit packing: per page, each of the
+//                 three columns (keys, payloads, seqs) stores its minimum
+//                 as a u64 base followed by all values as base-relative
+//                 deltas packed at the column's exact bit width. Column
+//                 widths are data-driven per page, so a clustered key run
+//                 costs width(bits of the page's key span) bits per key
+//                 and constant columns cost zero bits. Byte layout in
+//                 docs/storage_format.md.
 //
 // Varints are LEB128: 7 payload bits per byte, high bit set on every byte
 // but the last, at most 10 bytes for a u64. Whether a page carries seqs is
@@ -39,21 +47,22 @@ namespace onion::storage {
 enum class PageCodec : uint32_t {
   kRaw = 0,
   kDeltaVarint = 1,
+  kBitpack = 2,
 };
 
 /// True for codec ids this build can decode.
 bool PageCodecValid(uint32_t id);
 
 /// Stable lowercase name, used by the table MANIFEST ("raw",
-/// "delta_varint").
+/// "delta_varint", "bitpack").
 const char* PageCodecName(PageCodec codec);
 
 /// Inverse of PageCodecName; returns false for unknown names.
 bool ParsePageCodec(const std::string& name, PageCodec* out);
 
 /// Appends the encoding of `entries` (sorted by key — checked for
-/// kDeltaVarint) to `*out`. `with_seqs` selects the v3 triple layout
-/// (key, payload, packed seq) over the v1/v2 pair layout.
+/// kDeltaVarint and kBitpack) to `*out`. `with_seqs` selects the v3
+/// triple layout (key, payload, packed seq) over the v1/v2 pair layout.
 void EncodePage(PageCodec codec, const std::vector<Entry>& entries,
                 bool with_seqs, std::vector<uint8_t>* out);
 

@@ -88,6 +88,28 @@ class PageSource {
   /// not validate (in-memory sources always succeed).
   virtual Status ReadPage(uint64_t page, std::vector<Entry>* out) const = 0;
 
+  /// Reads `count` consecutive pages starting at `first_page`, appending
+  /// one decoded vector per page to `*out` (cleared first). The contract
+  /// mirrors ReadPage called in a loop — the base implementation IS that
+  /// loop — but disk-backed sources override it with one batched transfer
+  /// over the contiguous byte span, which is what the buffer pool's
+  /// readahead path calls. A page that fails to validate leaves an EMPTY
+  /// vector in its slot (pages are never legitimately empty) rather than
+  /// failing the whole batch; only a transfer-level failure returns
+  /// non-OK. Callers needing the exact per-page error re-read that page
+  /// alone via ReadPage.
+  virtual Status ReadPages(uint64_t first_page, uint64_t count,
+                           std::vector<std::vector<Entry>>* out) const {
+    out->clear();
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      std::vector<Entry> page;
+      if (!ReadPage(first_page + i, &page).ok()) page.clear();
+      out->push_back(std::move(page));
+    }
+    return Status::OK();
+  }
+
   /// On-disk (encoded) bytes ReadPage(page) transfers. For in-memory and
   /// uncompressed sources this equals the decoded entry bytes; compressed
   /// segment pages report their real encoded size. Byte budgets

@@ -460,7 +460,13 @@ Status SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
                                 std::to_string(page) + " of " + path_);
     }
   }
-  size_t encoded_size = bytes.size();
+  return DecodePageBytes(page, bytes.data(), bytes.size(), out);
+}
+
+Status SegmentReader::DecodePageBytes(uint64_t page, const uint8_t* data,
+                                      size_t size,
+                                      std::vector<Entry>* out) const {
+  size_t encoded_size = size;
   if (version_ >= 3) {
     // v3 pages end in a CRC32C over the encoded bytes; verify before
     // decoding so a flipped bit can never produce silently wrong entries.
@@ -469,17 +475,63 @@ Status SegmentReader::ReadPage(uint64_t page, std::vector<Entry>* out) const {
                                 path_);
     }
     encoded_size -= kPageCrcBytes;
-    const uint32_t stored = GetU32(bytes.data() + encoded_size);
-    if (stored != Crc32c(bytes.data(), encoded_size)) {
+    const uint32_t stored = GetU32(data + encoded_size);
+    if (stored != Crc32c(data, encoded_size)) {
       return Status::Corruption("segment page checksum mismatch: page " +
                                 std::to_string(page) + " of " + path_);
     }
   }
   const uint64_t count = PageEnd(page) - PageBegin(page);
-  if (!DecodePage(codec_, bytes.data(), encoded_size, count,
+  if (!DecodePage(codec_, data, encoded_size, count,
                   /*with_seqs=*/version_ >= 3, out)) {
     return Status::Corruption("segment page decode failed: page " +
                               std::to_string(page) + " of " + path_);
+  }
+  return Status::OK();
+}
+
+Status SegmentReader::ReadPages(uint64_t first_page, uint64_t count,
+                                std::vector<std::vector<Entry>>* out) const {
+  ONION_CHECK_MSG(count > 0 && first_page < num_pages() &&
+                      count <= num_pages() - first_page,
+                  "page run out of range");
+  // The writer lays pages back-to-back, so a run of pages is one
+  // contiguous byte span. Verify rather than assume — if a foreign layout
+  // ever interleaves other blocks, fall back to the per-page loop.
+  const uint64_t base = pages_[first_page].offset;
+  uint64_t span = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (pages_[first_page + i].offset != base + span) {
+      return PageSource::ReadPages(first_page, count, out);
+    }
+    span += pages_[first_page + i].bytes;
+  }
+  std::vector<uint8_t> bytes(span);
+  {
+    // One seek + one transfer for the whole run; this is the entire point
+    // of the batched path.
+    const MutexLock lock(io_mu_);
+    if (!SeekTo(file_, base) ||
+        std::fread(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+      return Status::Corruption(
+          "segment batched page read truncated: pages " +
+          std::to_string(first_page) + "+" + std::to_string(count) + " of " +
+          path_);
+    }
+  }
+  out->clear();
+  out->resize(count);
+  uint64_t at = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t page = first_page + i;
+    // Per the PageSource contract a page that fails validation leaves an
+    // empty slot; the demanding caller re-reads it alone for the error.
+    if (!DecodePageBytes(page, bytes.data() + at, pages_[page].bytes,
+                         &(*out)[i])
+             .ok()) {
+      (*out)[i].clear();
+    }
+    at += pages_[page].bytes;
   }
   return Status::OK();
 }

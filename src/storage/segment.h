@@ -163,6 +163,13 @@ class SegmentReader final : public PageSource {
   /// CRC32C (format v3) or its encoding does not validate.
   Status ReadPage(uint64_t page, std::vector<Entry>* out) const override;
 
+  /// Batched read: one seek + one contiguous transfer for the whole run
+  /// (segment pages are laid back-to-back), then per-page CRC + decode
+  /// outside the I/O lock. Per-page validation failures leave empty slots
+  /// per the PageSource contract; only the transfer itself can fail.
+  Status ReadPages(uint64_t first_page, uint64_t count,
+                   std::vector<std::vector<Entry>>* out) const override;
+
   /// Encoded size of page `page` on disk — what ReadPage really transfers.
   uint64_t PageDiskBytes(uint64_t page) const override {
     ONION_CHECK_MSG(page < num_pages(), "page out of range");
@@ -198,6 +205,10 @@ class SegmentReader final : public PageSource {
   };
 
   SegmentReader(std::string path, std::FILE* file);
+  /// Validates (v3 CRC32C) and decodes one page's encoded bytes, already
+  /// in memory — the shared tail of ReadPage and ReadPages.
+  Status DecodePageBytes(uint64_t page, const uint8_t* data, size_t size,
+                         std::vector<Entry>* out) const;
   Status LoadV1(const uint8_t* header);
   /// Shared loader for the v2/v3 header layout (identical fields).
   Status LoadV2(const uint8_t* header, uint32_t version);

@@ -101,7 +101,8 @@ bool ValidIndexDirName(const std::string& name) {
 SfcDb::SfcDb(std::string dir, const SfcDbOptions& options)
     : dir_(std::move(dir)),
       options_(options),
-      pool_(std::make_shared<BufferPool>(options.pool_pages)),
+      pool_(std::make_shared<BufferPool>(options.pool_pages,
+                                         options.readahead_pages)),
       workers_(std::make_unique<WorkerPool>(options.num_workers)) {
   batch_commit_us_ = metrics_->histogram("db.batch_commit_us");
   workers_->SetMetrics(metrics_->histogram("workers.task_wait_us"),

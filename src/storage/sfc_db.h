@@ -116,6 +116,11 @@ struct SfcDbOptions {
   /// memory across all tables (SfcTableOptions::pool_pages is ignored for
   /// tables served by a db).
   uint64_t pool_pages = 4096;
+  /// Readahead budget of the shared pool: maximum EXTRA pages one miss
+  /// may pull in with a single batched read (0 = disabled; see
+  /// storage/buffer_pool.h). SfcTableOptions::readahead_pages is likewise
+  /// ignored for tables served by a db.
+  uint64_t readahead_pages = 0;
   /// Background worker threads shared by all tables' flushes and
   /// compactions (round-robin per-table fairness).
   size_t num_workers = 2;

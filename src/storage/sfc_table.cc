@@ -91,10 +91,12 @@ SfcTable::SfcTable(std::string dir, std::unique_ptr<SpaceFillingCurve> curve,
       options_(options),
       trace_(shared.trace != nullptr ? shared.trace
                                      : std::make_shared<obs::TraceRing>()),
+      memtable_(curve_->num_cells()),
       workers_(shared.workers),
       pool_(shared.pool != nullptr
                 ? shared.pool
-                : std::make_shared<BufferPool>(options.pool_pages)) {
+                : std::make_shared<BufferPool>(options.pool_pages,
+                                               options.readahead_pages)) {
   // Resolve every hot-path handle once; recording is pointer-only after
   // this. The names are the catalog in docs/observability.md.
   m_.wal_append_us = metrics_->histogram("wal.append_us");
@@ -637,8 +639,12 @@ Status SfcTable::ApplyOpsWalLocked(const WalOp* ops, size_t count,
   const Status status =
       (*used_wal)->AppendBatch(ops, count, first_seq, out_record);
   if (!status.ok()) return status;  // nothing buffered: retry-safe
-  lock.Lock();
   {
+    // Buffering needs only SHARED mu_: the memtable is internally
+    // synchronized (per-shard mutexes), and its identity cannot change
+    // underneath us — rotation runs under wal_mu_, which the caller
+    // holds. Writers therefore never exclude readers while buffering.
+    const ReaderLock shared(mu_);
     const obs::ScopedTimer insert_timer(m_.memtable_insert_us);
     for (size_t i = 0; i < count; ++i) {
       memtable_.Insert(ops[i].key, ops[i].payload,
@@ -795,7 +801,7 @@ Status SfcTable::RotateMemtableLocked(uint64_t min_entries) {
   batch.wal_files = std::move(wal_files_);
   batch.max_wal_id = max_wal_id_;
   pending_.push_back(std::move(batch));
-  memtable_ = MemTable();
+  memtable_ = MemTable(curve_->num_cells());
   wal_ = std::move(wal).value();
   wal_->set_metrics(TableWalMetrics());
   wal_files_ = {WalFileName(id)};

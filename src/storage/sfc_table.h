@@ -120,6 +120,11 @@ struct SfcTableOptions {
   /// the table is served by an SfcDb, whose shared pool is sized by
   /// SfcDbOptions::pool_pages instead.
   uint64_t pool_pages = 256;
+  /// Maximum EXTRA pages a buffer-pool miss may pull in with one batched
+  /// read beyond the demanded page (storage/buffer_pool.h). 0 disables
+  /// readahead — the historical one-page-per-miss behavior. Ignored (like
+  /// pool_pages) when the table is served by an SfcDb's shared pool.
+  uint64_t readahead_pages = 0;
   /// Inserts accumulate in the memtable until it reaches this size, then
   /// rotate to the background flush queue automatically.
   uint64_t memtable_flush_entries = 64 * 1024;

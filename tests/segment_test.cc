@@ -288,7 +288,8 @@ TEST(SegmentTest, SeqStampsRoundTripThroughSegments) {
     key += rng.UniformInclusive(4);
     entries.push_back({key, i, PackSeq(i + 1, i % 6 == 0)});
   }
-  for (const PageCodec codec : {PageCodec::kRaw, PageCodec::kDeltaVarint}) {
+  for (const PageCodec codec : {PageCodec::kRaw, PageCodec::kDeltaVarint,
+                                PageCodec::kBitpack}) {
     const std::string path =
         TempPath(std::string("seg_seq_") + PageCodecName(codec) + ".sfc");
     std::remove(path.c_str());
@@ -304,6 +305,50 @@ TEST(SegmentTest, SeqStampsRoundTripThroughSegments) {
     ASSERT_TRUE(reader.ok()) << reader.status().ToString();
     EXPECT_EQ(reader.value()->format_version(), 3u);
     EXPECT_EQ(ReadAll(*reader.value()), entries);
+  }
+}
+
+TEST(SegmentTest, BatchedReadPagesMatchesPerPageReads) {
+  // ReadPages must deliver byte-identical pages to a ReadPage loop, for
+  // every codec (variable page sizes stress the contiguous-span math) and
+  // every run position/length.
+  Rng rng(43);
+  std::vector<Entry> entries;
+  Key key = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    key += rng.UniformInclusive(6);
+    entries.push_back({key, i * 3, PackSeq(i + 1, i % 9 == 0)});
+  }
+  for (const PageCodec codec : {PageCodec::kRaw, PageCodec::kDeltaVarint,
+                                PageCodec::kBitpack}) {
+    const std::string path =
+        TempPath(std::string("seg_batch_") + PageCodecName(codec) + ".sfc");
+    std::remove(path.c_str());
+    SegmentWriterOptions options;
+    options.entries_per_page = 24;
+    options.codec = codec;
+    SegmentWriter writer(path, options);
+    for (const Entry& entry : entries) {
+      ASSERT_TRUE(writer.Add(entry.key, entry.payload, entry.seq).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+    auto opened = SegmentReader::Open(path);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    const auto reader = std::move(opened).value();
+    const uint64_t pages = reader->num_pages();
+    for (uint64_t first = 0; first < pages; ++first) {
+      for (uint64_t count = 1; count <= pages - first; ++count) {
+        std::vector<std::vector<Entry>> batch;
+        ASSERT_TRUE(reader->ReadPages(first, count, &batch).ok());
+        ASSERT_EQ(batch.size(), count);
+        for (uint64_t i = 0; i < count; ++i) {
+          std::vector<Entry> single;
+          ASSERT_TRUE(reader->ReadPage(first + i, &single).ok());
+          ASSERT_EQ(batch[i], single)
+              << PageCodecName(codec) << " page " << first + i;
+        }
+      }
+    }
   }
 }
 

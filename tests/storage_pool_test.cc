@@ -165,5 +165,106 @@ TEST(StoragePoolTest, MemAndDiskSourcesAreInterchangeable) {
   EXPECT_EQ(mem_pool.stats().cache_hits, disk_pool.stats().cache_hits);
 }
 
+TEST(StoragePoolTest, ReadaheadBatchesASequentialScan) {
+  // 8 pages, readahead budget 4: a cold sequential sweep costs two
+  // physical transfers (pages 0-4, then 5-7) instead of eight.
+  auto segment = MakeSegment("pool_ra.sfc", SequentialKeys(80), 10);
+  BufferPool pool(16, /*readahead_pages=*/4);
+  pool.ScanRange(*segment, 0, 79, [](Key, uint64_t) {});
+  const IoStats stats = pool.stats();
+  EXPECT_EQ(stats.page_reads, 8u);
+  EXPECT_EQ(stats.readahead_batched_reads, 2u);
+  EXPECT_EQ(stats.readahead_pages, 6u);
+  EXPECT_EQ(stats.readahead_hits, 6u);  // every prefetched page was used
+  EXPECT_EQ(stats.cache_hits, 6u);
+  // The second transfer starts right after the first ends: one seek total.
+  EXPECT_EQ(stats.seeks, 1u);
+  EXPECT_EQ(stats.readahead_wasted, 0u);
+}
+
+TEST(StoragePoolTest, ReadaheadScanMatchesReference) {
+  Rng rng(31);
+  std::vector<Key> keys;
+  for (int i = 0; i < 600; ++i) keys.push_back(rng.UniformInclusive(1999));
+  std::sort(keys.begin(), keys.end());
+  auto segment = MakeSegment("pool_ra_ref.sfc", keys, 16);
+  BufferPool plain(8);
+  BufferPool batched(8, /*readahead_pages=*/4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Key lo = rng.UniformInclusive(1999);
+    const Key hi = lo + rng.UniformInclusive(300);
+    std::vector<Key> expected;
+    std::vector<Key> actual;
+    plain.ScanRange(*segment, lo, hi,
+                    [&](Key key, uint64_t) { expected.push_back(key); });
+    batched.ScanRange(*segment, lo, hi,
+                      [&](Key key, uint64_t) { actual.push_back(key); });
+    ASSERT_EQ(actual, expected) << "[" << lo << ", " << hi << "]";
+  }
+  // Readahead changes how pages arrive, never how many entries do.
+  EXPECT_EQ(batched.stats().entries_read, plain.stats().entries_read);
+}
+
+TEST(StoragePoolTest, ReadaheadStopsAtResidentPages) {
+  auto segment = MakeSegment("pool_ra_stop.sfc", SequentialKeys(80), 10);
+  BufferPool pool(16, /*readahead_pages=*/4);
+  pool.Fetch(*segment, 4);  // resident: 4..7 (readahead stops at the end)
+  EXPECT_EQ(pool.stats().page_reads, 4u);
+  pool.Fetch(*segment, 3);  // the run must stop before resident page 4
+  EXPECT_EQ(pool.stats().page_reads, 5u);
+  EXPECT_EQ(pool.stats().readahead_batched_reads, 1u);
+}
+
+TEST(StoragePoolTest, ReadaheadCountsWaste) {
+  auto segment = MakeSegment("pool_ra_waste.sfc", SequentialKeys(80), 10);
+  // Drop of never-touched prefetched pages is counted.
+  BufferPool pool(16, /*readahead_pages=*/4);
+  pool.Fetch(*segment, 0);  // prefetches pages 1..4
+  pool.Drop(segment.get());
+  EXPECT_EQ(pool.stats().readahead_wasted, 4u);
+  // Eviction of never-touched prefetched pages is counted too.
+  BufferPool tight(3, /*readahead_pages=*/2);
+  tight.Fetch(*segment, 0);  // resident: 0,1,2 (1 and 2 prefetched)
+  tight.Fetch(*segment, 5);  // resident: 5,6,7 — evicts 0,1,2
+  EXPECT_EQ(tight.stats().readahead_wasted, 2u);
+  EXPECT_EQ(tight.evictions(), 3u);
+}
+
+// A memory source whose zone maps exclude a fixed page set — what a
+// segment's per-page cell bounding boxes do, reduced to its essence.
+class ZonedMemSource final : public MemPageSource {
+ public:
+  ZonedMemSource(std::vector<Entry> entries, uint32_t entries_per_page,
+                 std::vector<uint64_t> excluded)
+      : MemPageSource(std::move(entries), entries_per_page),
+        excluded_(std::move(excluded)) {}
+
+  bool PageMayIntersect(uint64_t page, const Box&) const override {
+    return std::find(excluded_.begin(), excluded_.end(), page) ==
+           excluded_.end();
+  }
+
+ private:
+  std::vector<uint64_t> excluded_;
+};
+
+TEST(StoragePoolTest, ReadaheadNeverPrefetchesZoneExcludedPages) {
+  std::vector<Entry> entries;
+  for (uint64_t i = 0; i < 80; ++i) entries.push_back({i, i});
+  const ZonedMemSource source(entries, 10, /*excluded=*/{2});
+  const Box box(Cell(0, 0), Cell(7, 7));
+  BufferPool pool(16, /*readahead_pages=*/4);
+  Status status;
+  // The run from page 0 must stop at excluded page 2: pages 0 and 1 only.
+  pool.Fetch(source, 0, nullptr, &status, &box);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(pool.stats().page_reads, 2u);
+  EXPECT_EQ(pool.resident_pages(), 2u);
+  // Without a box the zone map cannot apply and the full run is read.
+  BufferPool unfiltered(16, /*readahead_pages=*/4);
+  unfiltered.Fetch(source, 0, nullptr, &status);
+  EXPECT_EQ(unfiltered.stats().page_reads, 5u);
+}
+
 }  // namespace
 }  // namespace onion::storage
