@@ -1,0 +1,338 @@
+// Network front-end load driver: starts an SfcDb behind an SfcServer
+// in-process, then opens THOUSANDS of concurrent client connections and
+// keeps a pipeline window of requests in flight on every one of them —
+// the workload shape the single-reactor server is designed for. Worker
+// threads speak the wire protocol directly (net/protocol.h over
+// nonblocking sockets), not through the blocking SfcClient, so one thread
+// can multiplex hundreds of connections.
+//
+// Emits BENCH_net.json (ops_per_sec, p50/p99 latency, connections,
+// errors) for the CI-gated perf trajectory; see docs/observability.md.
+//
+//   build/bench/bench_net                  # full: 5000 connections, 8 s
+//   build/bench/bench_net --quick          # CI smoke: 64 connections, 2 s
+//   build/bench/bench_net --connections=N --seconds=S --window=W
+//                         --threads=T --put-percent=P [--dir=...]
+//
+// Exits nonzero when any connection errors out or the run completes no
+// requests — CI treats this binary's exit code as the smoke contract.
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/cli.h"
+#include "common/macros.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "storage/sfc_db.h"
+
+namespace {
+
+using namespace onion;
+using net::Frame;
+using net::FrameDecoder;
+using net::MessageType;
+
+constexpr Coord kSide = 256;  // bench table universe: [0, 256)^2
+
+/// One pipelined client connection, multiplexed by a worker thread.
+struct Conn {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::vector<uint8_t> out;  // unsent request bytes
+  size_t out_at = 0;
+  std::deque<uint64_t> inflight_sent_us;  // responses arrive in order
+  uint64_t next_id = 0;
+  uint64_t rng = 0;
+  bool dead = false;
+};
+
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+/// The per-thread driver: scans its connections round-robin, topping up
+/// each pipeline window, flushing pending bytes, and reaping responses.
+struct Worker {
+  std::vector<Conn> conns;
+  uint64_t end_us = 0;
+  uint32_t window = 8;
+  uint32_t put_percent = 10;
+  obs::Histogram* latency_us = nullptr;
+  std::atomic<uint64_t>* completed = nullptr;
+  std::atomic<uint64_t>* errors = nullptr;
+
+  void BuildRequest(Conn* conn) {
+    const uint64_t roll = NextRand(&conn->rng) % 100;
+    const Cell cell(static_cast<Coord>(NextRand(&conn->rng) % kSide),
+                    static_cast<Coord>(NextRand(&conn->rng) % kSide));
+    std::vector<uint8_t> payload;
+    MessageType type;
+    if (roll < put_percent) {
+      type = MessageType::kPut;
+      net::AppendString(&payload, "bench");
+      net::AppendCell(&payload, cell);
+      net::AppendU64(&payload, conn->next_id);
+    } else {
+      type = MessageType::kGet;
+      net::AppendString(&payload, "bench");
+      net::AppendCell(&payload, cell);
+      net::AppendU64(&payload, 0);  // latest
+    }
+    const std::vector<uint8_t> wire = net::EncodeFrame(
+        ++conn->next_id, static_cast<uint8_t>(type), payload);
+    conn->out.insert(conn->out.end(), wire.begin(), wire.end());
+    conn->inflight_sent_us.push_back(obs::NowMicros());
+  }
+
+  void Run() {
+    uint8_t buf[64 * 1024];
+    while (true) {
+      bool progressed = false;
+      bool drained = true;
+      const bool issuing = obs::NowMicros() < end_us;
+      for (Conn& conn : conns) {
+        if (conn.dead) continue;
+        while (issuing && conn.inflight_sent_us.size() < window) {
+          BuildRequest(&conn);
+          progressed = true;
+        }
+        if (conn.out_at < conn.out.size()) {
+          const ssize_t n =
+              ::send(conn.fd, conn.out.data() + conn.out_at,
+                     conn.out.size() - conn.out_at,
+                     MSG_DONTWAIT | MSG_NOSIGNAL);
+          if (n > 0) {
+            conn.out_at += static_cast<size_t>(n);
+            progressed = true;
+            if (conn.out_at == conn.out.size()) {
+              conn.out.clear();
+              conn.out_at = 0;
+            }
+          } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR) {
+            conn.dead = true;
+            errors->fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+        }
+        while (true) {
+          const ssize_t n = ::recv(conn.fd, buf, sizeof buf, MSG_DONTWAIT);
+          if (n > 0) {
+            conn.decoder.Feed(buf, static_cast<size_t>(n));
+            progressed = true;
+            if (static_cast<size_t>(n) < sizeof buf) break;
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          conn.dead = true;  // EOF or hard error
+          errors->fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (conn.dead) continue;
+        Frame frame;
+        while (conn.decoder.Next(&frame).ok()) {
+          if (conn.inflight_sent_us.empty()) {
+            conn.dead = true;
+            errors->fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          latency_us->Record(obs::NowMicros() -
+                             conn.inflight_sent_us.front());
+          conn.inflight_sent_us.pop_front();
+          completed->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (conn.decoder.poisoned()) {
+          conn.dead = true;
+          errors->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!conn.inflight_sent_us.empty() || !conn.out.empty()) {
+          drained = false;
+        }
+      }
+      if (!issuing && drained) return;
+      if (!progressed) std::this_thread::yield();
+    }
+  }
+};
+
+void RaiseFdLimit(uint64_t want) {
+  rlimit lim = {};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  if (lim.rlim_cur >= want) return;
+  lim.rlim_cur = want > lim.rlim_max ? lim.rlim_max : want;
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const bool quick = cli.GetBool("quick", false);
+  const uint64_t connections =
+      static_cast<uint64_t>(cli.GetInt("connections", quick ? 64 : 5000));
+  const uint64_t seconds =
+      static_cast<uint64_t>(cli.GetInt("seconds", quick ? 2 : 8));
+  // Closed-loop latency is outstanding/throughput: with thousands of
+  // connections even a small window keeps tens of thousands of requests
+  // in flight, so the default stays low to keep p99 meaningful.
+  const uint32_t window =
+      static_cast<uint32_t>(cli.GetInt("window", 2));
+  const uint32_t put_percent =
+      static_cast<uint32_t>(cli.GetInt("put-percent", 10));
+  // hardware_concurrency() is unsigned: subtract in signed space or a
+  // small core count wraps around to "thousands of threads".
+  const int64_t cores =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  const size_t threads = static_cast<size_t>(cli.GetInt(
+      "threads", std::min<int64_t>(8, std::max<int64_t>(2, cores - 2))));
+  const std::string dir = cli.GetString("dir", "/tmp/onion_bench_net");
+
+  // Client fds + server session fds live in one process here; 5000
+  // connections need well over the usual 1024 soft limit.
+  RaiseFdLimit(2 * connections + 512);
+
+  std::filesystem::remove_all(dir);
+  auto db_result = storage::SfcDb::Open(dir);
+  ONION_CHECK_MSG(db_result.ok(), db_result.status().ToString().c_str());
+  auto& db = *db_result.value();
+  const Universe universe(2, kSide);
+  auto table = db.CreateTable("bench", "hilbert", universe);
+  ONION_CHECK_MSG(table.ok(), table.status().ToString().c_str());
+  // Prefill so the Get-heavy mix reads real data through real pages.
+  uint64_t seed = 0x2545f4914f6cdd1dull;
+  for (int i = 0; i < 20'000; ++i) {
+    const Cell cell(static_cast<Coord>(NextRand(&seed) % kSide),
+                    static_cast<Coord>(NextRand(&seed) % kSide));
+    ONION_CHECK(table.value()->Insert(cell, i).ok());
+  }
+  ONION_CHECK(table.value()->Flush().ok());
+
+  net::SfcServerOptions server_options;
+  server_options.max_connections = connections + 64;
+  net::SfcServer server(&db, server_options);
+  const Status start = server.Start();
+  ONION_CHECK_MSG(start.ok(), start.ToString().c_str());
+
+  std::printf(
+      "bench_net: %llu connections, window %u, %llu s, %zu driver threads, "
+      "%u%% puts\n",
+      static_cast<unsigned long long>(connections), window,
+      static_cast<unsigned long long>(seconds), threads, put_percent);
+
+  // Open every connection up front, dealt round-robin to the workers.
+  obs::Histogram latency_us;
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<Worker> workers(threads);
+  uint64_t opened = 0;
+  for (uint64_t i = 0; i < connections; ++i) {
+    const int fd = ConnectLoopback(server.port());
+    if (fd < 0) break;
+    Conn conn;
+    conn.fd = fd;
+    conn.rng = 0x9e3779b97f4a7c15ull ^ (i * 0xbf58476d1ce4e5b9ull + 1);
+    workers[i % threads].conns.push_back(std::move(conn));
+    ++opened;
+  }
+  ONION_CHECK_MSG(opened == connections, "could not open every connection");
+
+  const uint64_t start_us = obs::NowMicros();
+  const uint64_t end_us = start_us + seconds * 1'000'000;
+  std::vector<std::thread> pool;
+  for (Worker& worker : workers) {
+    worker.end_us = end_us;
+    worker.window = window;
+    worker.put_percent = put_percent;
+    worker.latency_us = &latency_us;
+    worker.completed = &completed;
+    worker.errors = &errors;
+    pool.emplace_back([&worker] { worker.Run(); });
+  }
+  // Sample the server's live-session gauge mid-run, while every
+  // connection is actively pipelining.
+  std::this_thread::sleep_for(std::chrono::microseconds(seconds * 500'000));
+  const int64_t active_mid_run = server.active_connections();
+  for (std::thread& t : pool) t.join();
+  const double elapsed_s =
+      static_cast<double>(obs::NowMicros() - start_us) / 1e6;
+
+  for (Worker& worker : workers) {
+    for (Conn& conn : worker.conns) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+  }
+  server.Stop();
+  ONION_CHECK(db.Close().ok());
+
+  const uint64_t total = completed.load();
+  const double ops_per_sec = elapsed_s > 0 ? total / elapsed_s : 0;
+  const obs::HistogramSnapshot snapshot = latency_us.Snapshot();
+  std::printf(
+      "bench_net: %llu ops in %.2f s -> %.0f ops/s, p50 %.0f us, "
+      "p99 %.0f us, %lld sessions live mid-run, %llu errors\n",
+      static_cast<unsigned long long>(total), elapsed_s, ops_per_sec,
+      snapshot.p50(), snapshot.p99(),
+      static_cast<long long>(active_mid_run),
+      static_cast<unsigned long long>(errors.load()));
+
+  bench::BenchReport report("net");
+  report.AddString("mode", quick ? "quick" : "full");
+  report.AddCount("connections", connections);
+  report.AddCount("active_connections_mid_run",
+                  static_cast<uint64_t>(active_mid_run > 0 ? active_mid_run
+                                                           : 0));
+  report.AddCount("pipeline_window", window);
+  report.AddCount("driver_threads", threads);
+  report.AddCount("put_percent", put_percent);
+  report.AddCount("duration_ms", static_cast<uint64_t>(elapsed_s * 1000));
+  report.Add("ops_per_sec", ops_per_sec);
+  report.AddLatency("", snapshot);
+  report.AddCount("errors", errors.load());
+  if (!report.WriteFile()) return 1;
+
+  if (total == 0 || errors.load() != 0) {
+    std::fprintf(stderr, "bench_net: FAILED (completed=%llu errors=%llu)\n",
+                 static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(errors.load()));
+    return 1;
+  }
+  return 0;
+}

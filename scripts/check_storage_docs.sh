@@ -8,7 +8,12 @@
 #    cursor/catalog documentation cannot silently rot either;
 # 3. every file under src/obs/ must be mentioned in
 #    docs/observability.md, and the observability surface (metric types,
-#    exporters, trace ring, bench report) must be documented there too.
+#    exporters, trace ring, bench report) must be documented there too;
+# 4. the concurrency story must be documented in docs/concurrency.md;
+# 5. every file under src/net/ must be mentioned in
+#    docs/network_protocol.md, docs/api.md, or README.md, and the wire
+#    protocol surface (frame fields, request catalog, session knobs,
+#    net.* metrics) must be documented in docs/network_protocol.md.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -78,7 +83,43 @@ for symbol in ONION_GUARDED_BY ONION_REQUIRES ONION_ACQUIRED_BEFORE \
     fail=1
   fi
 done
+# 5. the network front end: every src/net/ file, plus the protocol and
+#    session-model vocabulary in docs/network_protocol.md, and the net
+#    metric catalog in docs/observability.md.
+for path in src/net/*; do
+  name="$(basename "$path")"
+  if ! grep -q "$name" docs/network_protocol.md docs/api.md README.md; then
+    echo "UNDOCUMENTED: $path (mention it in docs/network_protocol.md, docs/api.md, or README.md)"
+    fail=1
+  fi
+done
+for symbol in SfcServer SfcClient FrameDecoder PayloadReader MessageType \
+              kResponseBit request_id CRC32C max_frame_bytes StatusCode \
+              kPut kDelete kWrite kGet kOpenBoxCursor kCursorNext \
+              kCursorClose kOpenIndexCursor kSnapshotAcquire \
+              kSnapshotRelease kDumpMetrics kPing \
+              kCursorDone kCursorHitReadBudget max_entries_per_chunk \
+              snapshot_id write_queue_limit_bytes max_connections \
+              session_idle_deadline_ms max_requests_per_tick \
+              net.frames_bad net.requests_bad net.write_queue_stalls \
+              net.connections_refused net.sessions_expired \
+              snapshots.force_released session_expire \
+              bench_net BENCH_net sfc_net_demo net_test; do
+  if ! grep -q "$symbol" docs/network_protocol.md; then
+    echo "UNDOCUMENTED PROTOCOL: $symbol (document it in docs/network_protocol.md)"
+    fail=1
+  fi
+done
+for symbol in net.request_us net.active_connections net.snapshots_pinned \
+              net.cursors_open net.bytes_read net.bytes_written \
+              net.connections_accepted active_connections_mid_run \
+              pipeline_window session_expire snapshots.force_released; do
+  if ! grep -q "$symbol" docs/observability.md; then
+    echo "UNDOCUMENTED OBSERVABILITY: $symbol (document it in docs/observability.md)"
+    fail=1
+  fi
+done
 if [ "$fail" -eq 0 ]; then
-  echo "docs check OK: every src/storage/ and src/obs/ file, core API name, and concurrency symbol is documented"
+  echo "docs check OK: every src/storage/, src/obs/, and src/net/ file, core API name, concurrency symbol, and protocol symbol is documented"
 fi
 exit "$fail"

@@ -11,6 +11,7 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kFlush: return "flush";
     case TraceKind::kCompaction: return "compaction";
     case TraceKind::kBatchCommit: return "batch_commit";
+    case TraceKind::kSessionExpire: return "session_expire";
   }
   return "unknown";
 }

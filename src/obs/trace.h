@@ -23,12 +23,14 @@
 namespace onion::obs {
 
 enum class TraceKind {
-  kFlush,        // one memtable generation written as an L0 segment
-  kCompaction,   // one merge (leveled round or full Compact())
-  kBatchCommit,  // one SfcDb::Write (single- or multi-table)
+  kFlush,          // one memtable generation written as an L0 segment
+  kCompaction,     // one merge (leveled round or full Compact())
+  kBatchCommit,    // one SfcDb::Write (single- or multi-table)
+  kSessionExpire,  // the net server force-expired a stalled session
 };
 
-/// Stable lower-case name ("flush", "compaction", "batch_commit").
+/// Stable lower-case name ("flush", "compaction", "batch_commit",
+/// "session_expire").
 const char* TraceKindName(TraceKind kind);
 
 struct TraceEvent {

@@ -4,8 +4,14 @@
 #include <io.h>
 #else
 #include <fcntl.h>
+#include <limits.h>
 #include <unistd.h>
 #endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
 
 namespace onion::storage {
 
@@ -42,6 +48,74 @@ Status SyncDir(const std::string& dir) {
   return Status::OK();
 #endif
 }
+
+#if defined(ONION_HAVE_PREADV)
+Status PreadvFull(int fd, uint64_t offset, struct iovec* iov, size_t iovcnt,
+                  const std::string& path, size_t max_bytes_per_call) {
+  size_t at = 0;          // first iovec not yet completely filled
+  size_t first_done = 0;  // bytes of iov[at] already filled
+  std::vector<struct iovec> window;
+  while (at < iovcnt) {
+    // Step over zero-length (or already-completed) iovecs: they absorb no
+    // bytes, and a window of only empty entries would misread preadv's 0
+    // return as EOF.
+    if (iov[at].iov_len <= first_done) {
+      ++at;
+      first_done = 0;
+      continue;
+    }
+    // One preadv call covers a window of iovecs: at most IOV_MAX of them,
+    // the first one trimmed by what a previous short read already filled,
+    // the whole window trimmed to max_bytes_per_call when set.
+    const size_t want = std::min<size_t>(iovcnt - at, IOV_MAX);
+    window.clear();
+    size_t window_bytes = 0;
+    for (size_t i = 0; i < want; ++i) {
+      struct iovec entry = iov[at + i];
+      if (i == 0) {
+        entry.iov_base = static_cast<uint8_t*>(entry.iov_base) + first_done;
+        entry.iov_len -= first_done;
+      }
+      if (max_bytes_per_call != 0 &&
+          window_bytes + entry.iov_len >= max_bytes_per_call) {
+        entry.iov_len = max_bytes_per_call - window_bytes;
+        if (entry.iov_len > 0) window.push_back(entry);
+        window_bytes = max_bytes_per_call;
+        break;
+      }
+      window_bytes += entry.iov_len;
+      window.push_back(entry);
+    }
+    const ssize_t r =
+        ::preadv(fd, window.data(), static_cast<int>(window.size()),
+                 static_cast<off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("preadv failed: ") +
+                              std::strerror(errno) + ": " + path);
+    }
+    if (r == 0) {
+      return Status::Corruption("preadv hit EOF before filling the request: " +
+                                path);
+    }
+    // Consume r bytes across the original iovecs.
+    offset += static_cast<uint64_t>(r);
+    size_t remaining = static_cast<size_t>(r);
+    while (remaining > 0) {
+      const size_t room = iov[at].iov_len - first_done;
+      if (remaining < room) {
+        first_done += remaining;
+        remaining = 0;
+      } else {
+        remaining -= room;
+        ++at;
+        first_done = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+#endif  // ONION_HAVE_PREADV
 
 std::string DirOf(const std::string& path) {
   const size_t slash = path.find_last_of("/\\");

@@ -22,6 +22,11 @@
 
 #include "common/status.h"
 
+#if !defined(_WIN32)
+#define ONION_HAVE_PREADV 1
+#include <sys/uio.h>
+#endif
+
 namespace onion::storage {
 
 /// Flushes the stdio buffer of `file` and fsyncs it to stable storage.
@@ -34,6 +39,23 @@ Status SyncDir(const std::string& dir);
 
 /// The directory component of `path` ("." when there is none).
 std::string DirOf(const std::string& path);
+
+#if defined(ONION_HAVE_PREADV)
+/// Positioned vectored read: fills every iovec completely, starting at
+/// byte `offset` of `fd`, resuming across short reads (preadv may return
+/// less than asked at page-cache boundaries, on signals, or near EOF) and
+/// capping each call at IOV_MAX iovecs. Positioned reads never move the
+/// descriptor's file offset, so concurrent users of the same descriptor
+/// need no serialization against this call.
+///
+/// `max_bytes_per_call` (0 = unlimited) bounds how many bytes one preadv
+/// call may return; tests use a small value to force the short-read resume
+/// path deterministically. `path` is used only for error messages.
+/// Corruption when EOF arrives before the iovecs are full, Internal on
+/// I/O errors.
+Status PreadvFull(int fd, uint64_t offset, struct iovec* iov, size_t iovcnt,
+                  const std::string& path, size_t max_bytes_per_call = 0);
+#endif  // ONION_HAVE_PREADV
 
 }  // namespace onion::storage
 

@@ -506,6 +506,43 @@ Status SegmentReader::ReadPages(uint64_t first_page, uint64_t count,
     }
     span += pages_[first_page + i].bytes;
   }
+  out->clear();
+  out->resize(count);
+  (void)span;
+#if defined(ONION_HAVE_PREADV)
+  // One positioned vectored read for the whole run, scattered straight
+  // into one buffer per page. preadv never touches the descriptor's file
+  // offset, so — unlike the seek+fread pairs above — this path runs
+  // WITHOUT io_mu_ and never serializes against concurrent page reads.
+  std::vector<std::vector<uint8_t>> buffers(count);
+  std::vector<struct iovec> iov(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    buffers[i].resize(pages_[first_page + i].bytes);
+    iov[i].iov_base = buffers[i].data();
+    iov[i].iov_len = buffers[i].size();
+  }
+  // The stdio stream may still hold buffered state from open-time header
+  // reads; positioned reads bypass it, which is fine because segments are
+  // immutable once opened.
+  const Status read_status = PreadvFull(::fileno(file_), base, iov.data(),
+                                        iov.size(), path_);
+  if (!read_status.ok()) {
+    return Status::Corruption("segment batched page read truncated: pages " +
+                              std::to_string(first_page) + "+" +
+                              std::to_string(count) + " of " + path_ + " (" +
+                              read_status.message() + ")");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t page = first_page + i;
+    // Per the PageSource contract a page that fails validation leaves an
+    // empty slot; the demanding caller re-reads it alone for the error.
+    if (!DecodePageBytes(page, buffers[i].data(), buffers[i].size(),
+                         &(*out)[i])
+             .ok()) {
+      (*out)[i].clear();
+    }
+  }
+#else
   std::vector<uint8_t> bytes(span);
   {
     // One seek + one transfer for the whole run; this is the entire point
@@ -519,8 +556,6 @@ Status SegmentReader::ReadPages(uint64_t first_page, uint64_t count,
           path_);
     }
   }
-  out->clear();
-  out->resize(count);
   uint64_t at = 0;
   for (uint64_t i = 0; i < count; ++i) {
     const uint64_t page = first_page + i;
@@ -533,6 +568,7 @@ Status SegmentReader::ReadPages(uint64_t first_page, uint64_t count,
     }
     at += pages_[page].bytes;
   }
+#endif
   return Status::OK();
 }
 

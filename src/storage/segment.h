@@ -163,10 +163,13 @@ class SegmentReader final : public PageSource {
   /// CRC32C (format v3) or its encoding does not validate.
   Status ReadPage(uint64_t page, std::vector<Entry>* out) const override;
 
-  /// Batched read: one seek + one contiguous transfer for the whole run
-  /// (segment pages are laid back-to-back), then per-page CRC + decode
-  /// outside the I/O lock. Per-page validation failures leave empty slots
-  /// per the PageSource contract; only the transfer itself can fail.
+  /// Batched read: one positioned vectored transfer (PreadvFull) scatters
+  /// the whole contiguous run (segment pages are laid back-to-back)
+  /// straight into per-page buffers WITHOUT the I/O lock — positioned
+  /// reads never move the shared file offset — then per-page CRC + decode.
+  /// Platforms without preadv fall back to one locked seek+fread. Per-page
+  /// validation failures leave empty slots per the PageSource contract;
+  /// only the transfer itself can fail.
   Status ReadPages(uint64_t first_page, uint64_t count,
                    std::vector<std::vector<Entry>>* out) const override;
 

@@ -296,6 +296,10 @@ class SfcDb {
   /// The shared trace ring (flush/compaction/batch-commit events of ALL
   /// tables, one interleaved timeline) as a JSON array.
   std::string DumpTrace() const { return trace_->ToJson(); }
+  /// The shared trace ring itself — layers above the engine (the net
+  /// server's session-expiry sweep) deposit their events into the same
+  /// timeline.
+  obs::TraceRing& trace() const { return *trace_; }
   /// The db-level metric registry (tests; tables have their own).
   obs::MetricsRegistry& metrics() const { return *metrics_; }
 

@@ -1,0 +1,138 @@
+// PreadvFull tests: positioned scatter reads that must fill every buffer
+// exactly — across short reads (forced deterministically via
+// max_bytes_per_call), IOV_MAX-sized windows, zero-length iovecs, and an
+// early EOF, which is the one condition that must fail loudly.
+
+#include "storage/fs_util.h"
+
+#if defined(ONION_HAVE_PREADV)
+
+#include <fcntl.h>
+#include <limits.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace onion::storage {
+namespace {
+
+class PreadvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir = ::testing::TempDir() + "/preadv_test";
+    std::filesystem::create_directories(dir);
+    path_ = dir + "/data.bin";
+    contents_.resize(10'000);
+    for (size_t i = 0; i < contents_.size(); ++i) {
+      contents_[i] = static_cast<uint8_t>(i * 31 + 7);
+    }
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(contents_.data()),
+              static_cast<std::streamsize>(contents_.size()));
+    ASSERT_TRUE(out.good());
+    out.close();
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    ASSERT_GE(fd_, 0);
+  }
+
+  void TearDown() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Builds iovecs over `buffers` and checks PreadvFull reproduces the
+  /// file bytes starting at `offset`.
+  void ReadAndVerify(uint64_t offset, std::vector<std::vector<uint8_t>>* buffers,
+                     size_t max_bytes_per_call) {
+    std::vector<struct iovec> iov(buffers->size());
+    for (size_t i = 0; i < buffers->size(); ++i) {
+      iov[i].iov_base = (*buffers)[i].data();
+      iov[i].iov_len = (*buffers)[i].size();
+    }
+    const Status status = PreadvFull(fd_, offset, iov.data(), iov.size(),
+                                     path_, max_bytes_per_call);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    size_t at = offset;
+    for (const std::vector<uint8_t>& buffer : *buffers) {
+      for (const uint8_t byte : buffer) {
+        ASSERT_EQ(byte, contents_[at]) << "file offset " << at;
+        ++at;
+      }
+    }
+  }
+
+  std::string path_;
+  std::vector<uint8_t> contents_;
+  int fd_ = -1;
+};
+
+TEST_F(PreadvTest, FillsScatteredBuffersAtAnOffset) {
+  std::vector<std::vector<uint8_t>> buffers;
+  buffers.emplace_back(137);
+  buffers.emplace_back(1);
+  buffers.emplace_back(900);
+  ReadAndVerify(/*offset=*/123, &buffers, /*max_bytes_per_call=*/0);
+}
+
+TEST_F(PreadvTest, ResumesAcrossForcedShortReads) {
+  // Every call may return at most 3 bytes: buffers larger than that can
+  // only be filled by the resume loop, including mid-iovec resumption.
+  std::vector<std::vector<uint8_t>> buffers;
+  buffers.emplace_back(10);
+  buffers.emplace_back(7);
+  buffers.emplace_back(25);
+  ReadAndVerify(/*offset=*/55, &buffers, /*max_bytes_per_call=*/3);
+}
+
+TEST_F(PreadvTest, ShortReadLandingExactlyOnAnIovecBoundary) {
+  // max == first buffer size: each call completes exactly one iovec, the
+  // next call must start cleanly at the following one.
+  std::vector<std::vector<uint8_t>> buffers;
+  buffers.emplace_back(8);
+  buffers.emplace_back(8);
+  buffers.emplace_back(8);
+  ReadAndVerify(/*offset=*/200, &buffers, /*max_bytes_per_call=*/8);
+}
+
+TEST_F(PreadvTest, HandlesMoreIovecsThanIovMax) {
+  // 2 * IOV_MAX + 100 tiny buffers force at least three call windows even
+  // without the byte cap.
+  const size_t count = 2 * static_cast<size_t>(IOV_MAX) + 100;
+  ASSERT_LE(count * 3, contents_.size());
+  std::vector<std::vector<uint8_t>> buffers;
+  buffers.reserve(count);
+  for (size_t i = 0; i < count; ++i) buffers.emplace_back(3);
+  ReadAndVerify(/*offset=*/0, &buffers, /*max_bytes_per_call=*/0);
+}
+
+TEST_F(PreadvTest, SkipsZeroLengthIovecs) {
+  std::vector<std::vector<uint8_t>> buffers;
+  buffers.emplace_back(0);
+  buffers.emplace_back(40);
+  buffers.emplace_back(0);
+  buffers.emplace_back(0);
+  buffers.emplace_back(17);
+  buffers.emplace_back(0);
+  ReadAndVerify(/*offset=*/400, &buffers, /*max_bytes_per_call=*/5);
+}
+
+TEST_F(PreadvTest, EarlyEofIsCorruption) {
+  std::vector<uint8_t> buffer(100);
+  struct iovec iov;
+  iov.iov_base = buffer.data();
+  iov.iov_len = buffer.size();
+  // 50 bytes short of what the iovec needs.
+  const Status status =
+      PreadvFull(fd_, contents_.size() - 50, &iov, 1, path_, 0);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+}
+
+}  // namespace
+}  // namespace onion::storage
+
+#endif  // ONION_HAVE_PREADV
